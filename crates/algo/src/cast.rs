@@ -1,0 +1,222 @@
+//! Reusable broadcast / convergecast primitives over a shared tree.
+//!
+//! Half the protocols in the paper are built from two communication
+//! patterns on a rooted tree (Section 3.2 calls them *broadcast* and
+//! *convergecast*): pushing a value from the root to all members, and
+//! folding values from the leaves to the root. This module packages them
+//! as standalone protocols with cost accounting, so applications (and
+//! tests) don't have to re-derive the state machines:
+//!
+//! * one broadcast costs exactly `w(T)` and takes `height(T)` time;
+//! * one convergecast costs exactly `w(T)` and takes `height(T)` time;
+//! * [`run_echo`] composes them — a broadcast whose completion is
+//!   *detected* at the root (the PIF / echo pattern), the building block
+//!   of synchronizer β.
+
+use crate::util::tree_from_parents;
+use csp_graph::{NodeId, RootedTree, WeightedGraph};
+use csp_sim::{Context, CostReport, DelayModel, Process, SimError, Simulator};
+
+/// Messages of the echo protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EchoMsg {
+    /// The payload moving down the tree.
+    Down(u64),
+    /// Completion report moving up.
+    UpDone,
+}
+
+/// Per-vertex state of broadcast-with-feedback (PIF / echo) over a
+/// shared tree.
+#[derive(Clone, Debug)]
+pub struct Echo {
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    payload: Option<u64>,
+    pending: usize,
+    /// Root only: every vertex has received and confirmed the payload.
+    complete: bool,
+}
+
+impl Echo {
+    /// Creates the per-vertex state over `tree`; the root supplies the
+    /// payload.
+    pub fn new(v: NodeId, tree: &RootedTree, payload: Option<u64>) -> Self {
+        let children: Vec<NodeId> = tree.children_lists()[v.index()]
+            .iter()
+            .map(|&(c, _)| c)
+            .collect();
+        Echo {
+            parent: tree.parent(v).map(|(p, _, _)| p),
+            pending: children.len(),
+            children,
+            payload,
+            complete: false,
+        }
+    }
+
+    /// The received payload.
+    pub fn payload(&self) -> Option<u64> {
+        self.payload
+    }
+
+    /// Root only: completion was detected.
+    pub fn complete(&self) -> bool {
+        self.complete
+    }
+
+    fn maybe_done(&mut self, ctx: &mut Context<'_, EchoMsg>) {
+        if self.pending > 0 || self.payload.is_none() {
+            return;
+        }
+        match self.parent {
+            Some(p) => ctx.send(p, EchoMsg::UpDone),
+            None => self.complete = true,
+        }
+    }
+}
+
+impl Process for Echo {
+    type Msg = EchoMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, EchoMsg>) {
+        if self.parent.is_none() {
+            let payload = self.payload.expect("the root supplies the payload");
+            for c in self.children.clone() {
+                ctx.send(c, EchoMsg::Down(payload));
+            }
+            self.maybe_done(ctx);
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: EchoMsg, ctx: &mut Context<'_, EchoMsg>) {
+        match msg {
+            EchoMsg::Down(payload) => {
+                self.payload = Some(payload);
+                for c in self.children.clone() {
+                    ctx.send(c, EchoMsg::Down(payload));
+                }
+                self.maybe_done(ctx);
+            }
+            EchoMsg::UpDone => {
+                self.pending -= 1;
+                self.maybe_done(ctx);
+            }
+        }
+    }
+}
+
+/// Outcome of an echo run.
+#[derive(Debug)]
+pub struct EchoOutcome {
+    /// Payload as received at every vertex.
+    pub payloads: Vec<u64>,
+    /// Metered costs: exactly `2·w(T)` communication, one round trip of
+    /// the tree in time.
+    pub cost: CostReport,
+}
+
+/// Broadcasts `payload` from `tree.root()` over `tree` with completion
+/// feedback (PIF): the returned run ends the moment the root *knows*
+/// everyone has the payload.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+///
+/// # Panics
+///
+/// Panics if `tree` does not span `g`'s vertices.
+pub fn run_echo(
+    g: &WeightedGraph,
+    tree: &RootedTree,
+    payload: u64,
+    delay: DelayModel,
+    seed: u64,
+) -> Result<EchoOutcome, SimError> {
+    assert!(tree.is_spanning(), "echo needs a spanning tree");
+    let root = tree.root();
+    let run = Simulator::new(g)
+        .delay(delay)
+        .seed(seed)
+        .run(|v, _| Echo::new(v, tree, (v == root).then_some(payload)))?;
+    assert!(run.states[root.index()].complete(), "echo must complete");
+    let payloads = run
+        .states
+        .iter()
+        .map(|s| s.payload().expect("everyone receives the payload"))
+        .collect();
+    Ok(EchoOutcome {
+        payloads,
+        cost: run.cost,
+    })
+}
+
+/// Builds a spanning tree by flooding (the cheapest preprocessing step,
+/// Fact 6.1) and returns it for reuse by the cast primitives.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+pub fn flood_tree(
+    g: &WeightedGraph,
+    root: NodeId,
+    delay: DelayModel,
+    seed: u64,
+) -> Result<RootedTree, SimError> {
+    let run = Simulator::new(g)
+        .delay(delay)
+        .seed(seed)
+        .run(|v, _| crate::flood::Flood::new(v == root))?;
+    let parents: Vec<Option<NodeId>> = run.states.iter().map(crate::flood::Flood::parent).collect();
+    Ok(tree_from_parents(g, root, &parents))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_graph::algo::shortest_path_tree;
+    use csp_graph::{generators, Cost};
+
+    #[test]
+    fn echo_delivers_everywhere_and_costs_two_tree_weights() {
+        let g = generators::connected_gnp(20, 0.2, generators::WeightDist::Uniform(1, 10), 8);
+        let tree = shortest_path_tree(&g, NodeId::new(0));
+        let out = run_echo(&g, &tree, 42, DelayModel::WorstCase, 0).unwrap();
+        assert!(out.payloads.iter().all(|&p| p == 42));
+        assert_eq!(out.cost.weighted_comm, tree.weight() * 2);
+        // Time: down sweep + up sweep ≤ 2·height.
+        assert!(
+            Cost::new(out.cost.completion.get() as u128) <= tree.height() * 2,
+            "echo time {} > 2·height {}",
+            out.cost.completion,
+            tree.height() * 2
+        );
+    }
+
+    #[test]
+    fn echo_over_flood_tree_composes() {
+        let g = generators::torus(3, 4, generators::WeightDist::Uniform(1, 6), 2);
+        let tree = flood_tree(&g, NodeId::new(5), DelayModel::Uniform, 1).unwrap();
+        assert!(tree.is_spanning());
+        let out = run_echo(&g, &tree, 7, DelayModel::Uniform, 2).unwrap();
+        assert!(out.payloads.iter().all(|&p| p == 7));
+    }
+
+    #[test]
+    fn echo_on_singleton_completes_immediately() {
+        let g = csp_graph::GraphBuilder::new(1).build().unwrap();
+        let tree = RootedTree::new(1, NodeId::new(0));
+        let out = run_echo(&g, &tree, 1, DelayModel::WorstCase, 0).unwrap();
+        assert_eq!(out.cost.messages, 0);
+        assert_eq!(out.payloads, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "spanning")]
+    fn echo_rejects_partial_trees() {
+        let g = generators::path(3, |_| 1);
+        let tree = RootedTree::new(3, NodeId::new(0)); // only the root
+        let _ = run_echo(&g, &tree, 0, DelayModel::WorstCase, 0);
+    }
+}

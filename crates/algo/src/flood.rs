@@ -1,0 +1,167 @@
+//! `CON_flood` — flooding broadcast and spanning-tree construction
+//! (Section 6.1).
+//!
+//! The initiator sends a token to all neighbors; every vertex forwards the
+//! token to all its neighbors on first receipt and records the first
+//! sender as its parent. The marked edges form a spanning tree rooted at
+//! the initiator.
+//!
+//! Fact 6.1: communication `O(Ê)` (at most two messages per edge, each of
+//! cost `w(e)`), time `O(D̂)` (the token reaches every vertex within its
+//! weighted distance from the initiator).
+
+use crate::util::tree_from_parents;
+use csp_graph::{NodeId, RootedTree, WeightedGraph};
+use csp_sim::{Context, CostReport, DelayModel, Process, Run, SimError, Simulator};
+
+/// Per-vertex state of the flooding protocol.
+#[derive(Clone, Debug)]
+pub struct Flood {
+    /// Whether this vertex initiates the flood.
+    initiator: bool,
+    /// First vertex the token arrived from (`None` at the initiator).
+    parent: Option<NodeId>,
+    /// Whether the token has been seen.
+    reached: bool,
+}
+
+impl Flood {
+    /// Creates the per-vertex state; exactly one vertex should be the
+    /// initiator.
+    pub fn new(is_initiator: bool) -> Self {
+        Flood {
+            initiator: is_initiator,
+            parent: None,
+            reached: false,
+        }
+    }
+
+    /// The parent in the flood tree (`None` for the initiator and
+    /// unreached vertices).
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    /// Whether the token reached this vertex.
+    pub fn reached(&self) -> bool {
+        self.reached
+    }
+}
+
+impl Process for Flood {
+    type Msg = ();
+
+    fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+        if self.initiator {
+            self.reached = true;
+            ctx.send_all(());
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, _msg: (), ctx: &mut Context<'_, ()>) {
+        if !self.reached {
+            self.reached = true;
+            self.parent = Some(from);
+            ctx.send_all(());
+        }
+    }
+}
+
+/// Outcome of a flood run.
+#[derive(Debug)]
+pub struct FloodOutcome {
+    /// The constructed spanning tree, rooted at the initiator.
+    pub tree: RootedTree,
+    /// Metered costs.
+    pub cost: CostReport,
+}
+
+/// Runs `CON_flood` from `root` under the given delay model and extracts
+/// the spanning tree.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator (cannot normally happen:
+/// flooding sends at most `2m` messages).
+///
+/// # Panics
+///
+/// Panics if `g` is disconnected (the flood tree would not span) or
+/// `root` is out of range.
+pub fn run_flood(
+    g: &WeightedGraph,
+    root: NodeId,
+    delay: DelayModel,
+    seed: u64,
+) -> Result<FloodOutcome, SimError> {
+    g.check_node(root);
+    let run: Run<Flood> = Simulator::new(g)
+        .delay(delay)
+        .seed(seed)
+        .run(|v, _| Flood::new(v == root))?;
+    let parents: Vec<Option<NodeId>> = run.states.iter().map(Flood::parent).collect();
+    let tree = tree_from_parents(g, root, &parents);
+    assert!(tree.is_spanning(), "flood tree must span a connected graph");
+    Ok(FloodOutcome {
+        tree,
+        cost: run.cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_graph::params::CostParams;
+    use csp_graph::{generators, Cost};
+
+    #[test]
+    fn flood_spans_and_respects_fact_6_1() {
+        let g = generators::connected_gnp(30, 0.15, generators::WeightDist::Uniform(1, 16), 2);
+        let p = CostParams::of(&g);
+        let out = run_flood(&g, NodeId::new(0), DelayModel::WorstCase, 0).unwrap();
+        assert!(out.tree.is_spanning());
+        // comm ≤ 2·Ê
+        assert!(out.cost.weighted_comm <= p.total_weight * 2);
+        // time ≤ D̂ under worst-case delays: the token follows every edge,
+        // reaching each vertex no later than its weighted distance…
+        // last *message* may land later (an edge into an already-reached
+        // vertex), bounded by D̂ + W.
+        let bound = p.weighted_diameter + p.max_weight.to_cost();
+        assert!(
+            Cost::new(out.cost.completion.get() as u128) <= bound,
+            "completion {} > D̂+W = {bound}",
+            out.cost.completion
+        );
+    }
+
+    #[test]
+    fn flood_tree_depths_bounded_by_distance_under_worst_case() {
+        // Under exact (worst-case) delays the token arrives at each vertex
+        // exactly at its weighted distance, so parents realize shortest
+        // paths.
+        let g = generators::heavy_chord_cycle(14, 60);
+        let out = run_flood(&g, NodeId::new(0), DelayModel::WorstCase, 0).unwrap();
+        let dist = csp_graph::algo::distances(&g, NodeId::new(0));
+        for v in g.nodes() {
+            assert_eq!(out.tree.depth(v), dist[v.index()], "depth mismatch at {v}");
+        }
+    }
+
+    #[test]
+    fn flood_under_random_delays_still_spans() {
+        let g = generators::grid(5, 5, generators::WeightDist::Uniform(1, 9), 7);
+        for seed in 0..4 {
+            let out = run_flood(&g, NodeId::new(12), DelayModel::Uniform, seed).unwrap();
+            assert!(out.tree.is_spanning());
+            assert_eq!(out.tree.root(), NodeId::new(12));
+        }
+    }
+
+    #[test]
+    fn exactly_one_message_per_direction_at_most() {
+        let g = generators::cycle(10, |_| 3);
+        let out = run_flood(&g, NodeId::new(0), DelayModel::WorstCase, 0).unwrap();
+        assert!(out.cost.max_edge_congestion() <= 2);
+        assert!(out.cost.messages <= 2 * g.edge_count() as u64);
+    }
+}

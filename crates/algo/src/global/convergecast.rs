@@ -1,0 +1,351 @@
+//! Convergecast + broadcast evaluation of a global function over a
+//! locally computed spanning tree (Corollary 2.3).
+//!
+//! The paper's model for this problem (Section 1.4.1) gives every vertex
+//! full knowledge of the network structure; only the `n` inputs are
+//! distributed. Each vertex therefore computes the *same* spanning tree
+//! deterministically from the graph, then:
+//!
+//! 1. **Convergecast**: each leaf sends its lifted input to its parent;
+//!    each interior vertex folds its own input with all children's partial
+//!    results and forwards one value to its parent.
+//! 2. **Broadcast**: the root folds the last partial results, obtains the
+//!    output, and floods it down the tree; every vertex outputs it.
+//!
+//! Over a shallow-light tree this costs `2·w(T) = O(V̂)` communication and
+//! `O(Diam(T)) = O(D̂)` time — matching the lower bounds of Theorem 2.1.
+
+use crate::global::functions::SymmetricCompact;
+use csp_graph::algo::{bfs_tree, prim_mst, shortest_path_tree};
+use csp_graph::slt::shallow_light_tree;
+use csp_graph::{NodeId, RootedTree, WeightedGraph};
+use csp_sim::{Context, CostReport, DelayModel, Process, SimError, Simulator};
+
+/// Which spanning tree the computation is convergecast over.
+///
+/// The tree choice is the whole story of Section 2: SPTs are shallow but
+/// can be heavy (`w(T_S) = Ω(n·V̂)`), MSTs are light but can be deep
+/// (`Diam(T_M) = Ω(n·D̂)`); the SLT is both.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TreeKind {
+    /// Shallow-light tree with breakpoint parameter `q`: the optimal
+    /// choice (`O(V̂)` comm, `O(D̂)` time).
+    Slt {
+        /// Breakpoint parameter (`q ≥ 1`); 2 is a good default.
+        q: u64,
+    },
+    /// Minimum spanning tree: light (`w = V̂`) but possibly deep.
+    Mst,
+    /// Shortest-path tree: shallow (`depth ≤ D̂`) but possibly heavy.
+    Spt,
+    /// Hop-BFS tree: the weight-oblivious classical baseline.
+    Bfs,
+}
+
+impl TreeKind {
+    /// Builds the deterministic tree every vertex agrees on.
+    pub fn build(self, g: &WeightedGraph, root: NodeId) -> RootedTree {
+        match self {
+            TreeKind::Slt { q } => shallow_light_tree(g, root, q).tree,
+            TreeKind::Mst => prim_mst(g, root),
+            TreeKind::Spt => shortest_path_tree(g, root),
+            TreeKind::Bfs => bfs_tree(g, root),
+        }
+    }
+}
+
+/// Messages of the convergecast/broadcast protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GlobalMsg {
+    /// Partial fold moving toward the root.
+    Up(u64),
+    /// Final result moving toward the leaves.
+    Down(u64),
+}
+
+/// Per-vertex state of the global computation.
+#[derive(Clone, Debug)]
+pub struct GlobalFunction<F> {
+    function: F,
+    input: u64,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    pending: usize,
+    acc: u64,
+    result: Option<u64>,
+}
+
+impl<F: SymmetricCompact> GlobalFunction<F> {
+    /// Creates the state at `v`: computes the shared tree locally and
+    /// positions itself in it.
+    pub fn new(v: NodeId, g: &WeightedGraph, function: F, input: u64, tree: &RootedTree) -> Self {
+        let _ = g;
+        let parent = tree.parent(v).map(|(p, _, _)| p);
+        let children: Vec<NodeId> = tree.children_lists()[v.index()]
+            .iter()
+            .map(|&(c, _)| c)
+            .collect();
+        let acc = function.lift(input);
+        GlobalFunction {
+            function,
+            input,
+            parent,
+            pending: children.len(),
+            children,
+            acc,
+            result: None,
+        }
+    }
+
+    /// The computed output (available after the run).
+    pub fn result(&self) -> Option<u64> {
+        self.result
+    }
+
+    /// The raw input this vertex contributed.
+    pub fn input(&self) -> u64 {
+        self.input
+    }
+
+    fn forward_or_finish(&mut self, ctx: &mut Context<'_, GlobalMsg>) {
+        if self.pending > 0 {
+            return;
+        }
+        match self.parent {
+            Some(p) => ctx.send(p, GlobalMsg::Up(self.acc)),
+            None => {
+                // Root: the fold is complete.
+                self.result = Some(self.acc);
+                for c in self.children.clone() {
+                    ctx.send(c, GlobalMsg::Down(self.acc));
+                }
+            }
+        }
+    }
+}
+
+impl<F: SymmetricCompact> Process for GlobalFunction<F> {
+    type Msg = GlobalMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, GlobalMsg>) {
+        // Leaves (and a degenerate single-vertex root) fire immediately.
+        self.forward_or_finish(ctx);
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: GlobalMsg, ctx: &mut Context<'_, GlobalMsg>) {
+        match msg {
+            GlobalMsg::Up(partial) => {
+                self.acc = self.function.combine(self.acc, partial);
+                self.pending -= 1;
+                self.forward_or_finish(ctx);
+            }
+            GlobalMsg::Down(result) => {
+                self.result = Some(result);
+                for c in self.children.clone() {
+                    ctx.send(c, GlobalMsg::Down(result));
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of a global function computation.
+#[derive(Debug)]
+pub struct GlobalOutcome {
+    /// The value computed (identical at every vertex).
+    pub value: u64,
+    /// Per-vertex outputs, for verification.
+    pub outputs: Vec<u64>,
+    /// Metered costs.
+    pub cost: CostReport,
+    /// The tree that was used.
+    pub tree: RootedTree,
+}
+
+/// Computes `function` over `inputs` (one per vertex) with outputs at all
+/// vertices, convergecast over `kind`-trees rooted at `root`.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+///
+/// # Panics
+///
+/// Panics if `g` is disconnected, `root` is out of range, or
+/// `inputs.len() != n`.
+pub fn compute_global<F: SymmetricCompact>(
+    g: &WeightedGraph,
+    root: NodeId,
+    function: F,
+    inputs: &[u64],
+    kind: TreeKind,
+    delay: DelayModel,
+) -> Result<GlobalOutcome, SimError> {
+    assert_eq!(inputs.len(), g.node_count(), "one input per vertex");
+    let tree = kind.build(g, root);
+    assert!(tree.is_spanning(), "graph must be connected");
+    let run = Simulator::new(g)
+        .delay(delay)
+        .run(|v, g| GlobalFunction::new(v, g, function.clone(), inputs[v.index()], &tree))?;
+    let outputs: Vec<u64> = run
+        .states
+        .iter()
+        .map(|s| s.result().expect("every vertex outputs"))
+        .collect();
+    Ok(GlobalOutcome {
+        value: outputs[root.index()],
+        outputs,
+        cost: run.cost,
+        tree,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::functions::{fold_all, Count, Max, Sum, Xor};
+    use csp_graph::params::CostParams;
+    use csp_graph::{generators, Cost};
+
+    fn inputs_for(n: usize) -> Vec<u64> {
+        (0..n).map(|i| ((i as u64) * 37 + 11) % 101).collect()
+    }
+
+    #[test]
+    fn all_vertices_output_the_right_value() {
+        let g = generators::connected_gnp(25, 0.2, generators::WeightDist::Uniform(1, 20), 5);
+        let inputs = inputs_for(25);
+        for kind in [
+            TreeKind::Slt { q: 2 },
+            TreeKind::Mst,
+            TreeKind::Spt,
+            TreeKind::Bfs,
+        ] {
+            let out = compute_global(
+                &g,
+                NodeId::new(0),
+                Max,
+                &inputs,
+                kind,
+                DelayModel::WorstCase,
+            )
+            .unwrap();
+            let expect = fold_all(&Max, &inputs);
+            assert_eq!(out.value, expect);
+            assert!(out.outputs.iter().all(|&o| o == expect));
+        }
+    }
+
+    #[test]
+    fn works_for_every_function() {
+        let g = generators::grid(4, 5, generators::WeightDist::Uniform(1, 6), 3);
+        let inputs = inputs_for(20);
+        let kind = TreeKind::Slt { q: 2 };
+        macro_rules! check {
+            ($f:expr) => {
+                let out =
+                    compute_global(&g, NodeId::new(7), $f, &inputs, kind, DelayModel::Uniform)
+                        .unwrap();
+                assert_eq!(out.value, fold_all(&$f, &inputs));
+            };
+        }
+        check!(Max);
+        check!(Sum);
+        check!(Xor);
+        check!(Count);
+    }
+
+    #[test]
+    fn slt_meets_theorem_2_1_bounds() {
+        // comm ≤ 2·w(SLT) ≤ 2(1+2/q)V̂ and time ≤ 2·(q+1)·D̂.
+        let q = 2u64;
+        for seed in 0..4 {
+            let g =
+                generators::connected_gnp(30, 0.15, generators::WeightDist::Uniform(1, 64), seed);
+            let p = CostParams::of(&g);
+            let inputs = inputs_for(30);
+            let out = compute_global(
+                &g,
+                NodeId::new(0),
+                Sum,
+                &inputs,
+                TreeKind::Slt { q },
+                DelayModel::WorstCase,
+            )
+            .unwrap();
+            let comm_bound = p.mst_weight * (2 * (q as u128 + 2) / q as u128);
+            assert!(
+                out.cost.weighted_comm <= comm_bound,
+                "comm {} > 2(1+2/q)V̂ = {comm_bound}",
+                out.cost.weighted_comm
+            );
+            let time_bound = p.weighted_diameter * (2 * (q as u128 + 1));
+            assert!(
+                Cost::new(out.cost.completion.get() as u128) <= time_bound,
+                "time {} > 2(q+1)D̂ = {time_bound}",
+                out.cost.completion
+            );
+        }
+    }
+
+    #[test]
+    fn exactly_two_messages_per_tree_edge() {
+        let g = generators::cycle(12, |i| i as u64 + 1);
+        let inputs = inputs_for(12);
+        let out = compute_global(
+            &g,
+            NodeId::new(0),
+            Max,
+            &inputs,
+            TreeKind::Mst,
+            DelayModel::WorstCase,
+        )
+        .unwrap();
+        // n-1 tree edges, one Up and one Down each.
+        assert_eq!(out.cost.messages, 2 * 11);
+        assert_eq!(out.cost.weighted_comm, out.tree.weight() * 2);
+    }
+
+    #[test]
+    fn single_vertex_graph_degenerates_gracefully() {
+        let g = csp_graph::GraphBuilder::new(1).build().unwrap();
+        let out = compute_global(
+            &g,
+            NodeId::new(0),
+            Sum,
+            &[42],
+            TreeKind::Mst,
+            DelayModel::WorstCase,
+        )
+        .unwrap();
+        assert_eq!(out.value, 42);
+        assert_eq!(out.cost.messages, 0);
+    }
+
+    #[test]
+    fn lower_bound_witness_spt_vs_slt_weight() {
+        // On the family where the SPT is heavy, convergecast over the SPT
+        // costs ≫ the SLT's O(V̂): the paper's motivation for SLTs.
+        let g = generators::lower_bound_family(16, 4);
+        let inputs = inputs_for(16);
+        let spt = compute_global(
+            &g,
+            NodeId::new(0),
+            Max,
+            &inputs,
+            TreeKind::Spt,
+            DelayModel::WorstCase,
+        )
+        .unwrap();
+        let slt = compute_global(
+            &g,
+            NodeId::new(0),
+            Max,
+            &inputs,
+            TreeKind::Slt { q: 2 },
+            DelayModel::WorstCase,
+        )
+        .unwrap();
+        assert!(slt.cost.weighted_comm <= spt.cost.weighted_comm);
+    }
+}

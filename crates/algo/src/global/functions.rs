@@ -1,0 +1,158 @@
+//! The symmetric compact function family (\[GS86], Section 1.4.1).
+//!
+//! A function `f : Xⁿ → X` is *symmetric* (argument order is irrelevant)
+//! and *compact* (the contribution of any argument subset fits in one
+//! `log|X|`-bit value) when there is a combiner `g : X² → X` with
+//! `f(x₁…xₙ) = g(f(x₁…x_k), f(x_{k+1}…xₙ))`. Maximum, sum, parity and
+//! the basic boolean functions all qualify; broadcast and termination
+//! detection reduce to them.
+
+use std::fmt::Debug;
+
+/// A symmetric compact function over `u64` values.
+///
+/// Implementations must be associative and commutative:
+/// `combine(a, combine(b, c)) == combine(combine(a, b), c)` and
+/// `combine(a, b) == combine(b, a)`; the protocol may fold partial
+/// results in any grouping and any order.
+pub trait SymmetricCompact: Clone + Debug {
+    /// Folds two partial results into one.
+    fn combine(&self, a: u64, b: u64) -> u64;
+
+    /// Maps a raw vertex input into the function's value domain.
+    /// The default is the identity.
+    fn lift(&self, input: u64) -> u64 {
+        input
+    }
+}
+
+/// Maximum of all inputs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Max;
+
+impl SymmetricCompact for Max {
+    fn combine(&self, a: u64, b: u64) -> u64 {
+        a.max(b)
+    }
+}
+
+/// Minimum of all inputs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Min;
+
+impl SymmetricCompact for Min {
+    fn combine(&self, a: u64, b: u64) -> u64 {
+        a.min(b)
+    }
+}
+
+/// Sum of all inputs (wrapping on overflow).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Sum;
+
+impl SymmetricCompact for Sum {
+    fn combine(&self, a: u64, b: u64) -> u64 {
+        a.wrapping_add(b)
+    }
+}
+
+/// Bitwise XOR (parity per bit).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Xor;
+
+impl SymmetricCompact for Xor {
+    fn combine(&self, a: u64, b: u64) -> u64 {
+        a ^ b
+    }
+}
+
+/// Logical AND of nonzero-ness (1 iff every input is nonzero).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BoolAnd;
+
+impl SymmetricCompact for BoolAnd {
+    fn combine(&self, a: u64, b: u64) -> u64 {
+        u64::from(a != 0 && b != 0)
+    }
+
+    fn lift(&self, input: u64) -> u64 {
+        u64::from(input != 0)
+    }
+}
+
+/// Logical OR of nonzero-ness (1 iff some input is nonzero).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BoolOr;
+
+impl SymmetricCompact for BoolOr {
+    fn combine(&self, a: u64, b: u64) -> u64 {
+        u64::from(a != 0 || b != 0)
+    }
+
+    fn lift(&self, input: u64) -> u64 {
+        u64::from(input != 0)
+    }
+}
+
+/// Number of vertices (every input counts as 1) — the termination-
+/// detection / census primitive.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Count;
+
+impl SymmetricCompact for Count {
+    fn combine(&self, a: u64, b: u64) -> u64 {
+        a.wrapping_add(b)
+    }
+
+    fn lift(&self, _input: u64) -> u64 {
+        1
+    }
+}
+
+/// Folds a whole input slice — the sequential reference the distributed
+/// protocol is tested against.
+pub fn fold_all<F: SymmetricCompact>(f: &F, inputs: &[u64]) -> u64 {
+    let mut iter = inputs.iter().map(|&x| f.lift(x));
+    let first = iter.next().expect("at least one input");
+    iter.fold(first, |acc, x| f.combine(acc, x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INPUTS: [u64; 5] = [3, 0, 7, 7, 12];
+
+    #[test]
+    fn reference_folds() {
+        assert_eq!(fold_all(&Max, &INPUTS), 12);
+        assert_eq!(fold_all(&Min, &INPUTS), 0);
+        assert_eq!(fold_all(&Sum, &INPUTS), 29);
+        assert_eq!(fold_all(&Xor, &INPUTS), 3 ^ 7 ^ 7 ^ 12);
+        assert_eq!(fold_all(&BoolAnd, &INPUTS), 0);
+        assert_eq!(fold_all(&BoolOr, &INPUTS), 1);
+        assert_eq!(fold_all(&Count, &INPUTS), 5);
+    }
+
+    #[test]
+    fn combiners_are_associative_and_commutative() {
+        fn check<F: SymmetricCompact>(f: &F) {
+            for a in [0u64, 1, 5, 100] {
+                for b in [0u64, 2, 9] {
+                    for c in [1u64, 4] {
+                        let (a, b, c) = (f.lift(a), f.lift(b), f.lift(c));
+                        assert_eq!(f.combine(a, b), f.combine(b, a));
+                        assert_eq!(f.combine(a, f.combine(b, c)), f.combine(f.combine(a, b), c));
+                    }
+                }
+            }
+        }
+        check(&Max);
+        check(&Min);
+        check(&Sum);
+        check(&Xor);
+        check(&BoolAnd);
+        check(&BoolOr);
+        check(&Count);
+    }
+}

@@ -1,0 +1,13 @@
+//! Global function computation (Section 2).
+//!
+//! Computes a *symmetric compact* function of `n` inputs — one per vertex
+//! — with outputs produced at **all** vertices. Theorem 2.1 shows `Ω(V̂)`
+//! communication and `Ω(D̂)` time are necessary; Corollary 2.3 shows the
+//! bounds are achieved by convergecast + broadcast over a shallow-light
+//! tree.
+
+mod convergecast;
+mod functions;
+
+pub use convergecast::{compute_global, GlobalFunction, GlobalOutcome, TreeKind};
+pub use functions::{fold_all, BoolAnd, BoolOr, Count, Max, Min, Sum, SymmetricCompact, Xor};

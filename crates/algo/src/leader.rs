@@ -1,0 +1,195 @@
+//! Leader election through MST construction (\[Awe87], cited in
+//! Section 8 as the companion of the MST results).
+//!
+//! Once GHS terminates, exactly two adjacent vertices — the final core
+//! edge's endpoints — detect it. Each locally computes the same
+//! candidate (the smaller of the two endpoint identifiers) and
+//! broadcasts it over the MST's branch edges; every vertex learns the
+//! leader with `n − 1` additional messages, i.e. `O(V̂)` extra weighted
+//! communication on top of GHS's `O(Ê + V̂·log n)`.
+
+use crate::mst::ghs::{Ghs, GhsMsg};
+use csp_graph::{NodeId, WeightedGraph};
+use csp_sim::{Context, CostClass, CostReport, DelayModel, Process, SimError, Simulator};
+
+/// Messages of the leader election: GHS traffic plus the announcement.
+#[derive(Clone, Debug)]
+pub enum LeaderMsg {
+    /// Embedded GHS message.
+    Ghs(GhsMsg),
+    /// The elected leader, broadcast over branch edges.
+    Announce(NodeId),
+}
+
+/// Per-vertex state: GHS plus the announcement phase.
+#[derive(Debug)]
+pub struct LeaderElect {
+    ghs: Ghs,
+    leader: Option<NodeId>,
+}
+
+impl LeaderElect {
+    /// Creates the per-vertex state.
+    pub fn new(v: NodeId, g: &WeightedGraph) -> Self {
+        LeaderElect {
+            ghs: Ghs::new(v, g),
+            leader: None,
+        }
+    }
+
+    /// The elected leader (after the run).
+    pub fn leader(&self) -> Option<NodeId> {
+        self.leader
+    }
+
+    /// Runs an embedded GHS handler and relays its sends, then checks
+    /// for the halt transition.
+    fn drive_ghs<F>(&mut self, ctx: &mut Context<'_, LeaderMsg>, f: F)
+    where
+        F: FnOnce(&mut Ghs, &mut Context<'_, GhsMsg>),
+    {
+        let mut inner = ctx.derive::<GhsMsg>();
+        f(&mut self.ghs, &mut inner);
+        for (to, msg, class) in inner.take_outbox() {
+            ctx.send_class(to, LeaderMsg::Ghs(msg), class);
+        }
+        if self.ghs.halted() && self.leader.is_none() {
+            let me = ctx.self_id();
+            let other = self
+                .ghs
+                .core_neighbor()
+                .expect("a halted vertex sits on the core edge");
+            let leader = me.min(other);
+            self.announce(leader, None, ctx);
+        }
+    }
+
+    /// Adopts and forwards the announcement over branch edges.
+    fn announce(&mut self, leader: NodeId, from: Option<NodeId>, ctx: &mut Context<'_, LeaderMsg>) {
+        if self.leader.is_some() {
+            return;
+        }
+        self.leader = Some(leader);
+        for u in self.ghs.branch_neighbors() {
+            if Some(u) != from {
+                ctx.send_class(u, LeaderMsg::Announce(leader), CostClass::Auxiliary);
+            }
+        }
+    }
+}
+
+impl Process for LeaderElect {
+    type Msg = LeaderMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, LeaderMsg>) {
+        if ctx.node_count() == 1 {
+            self.leader = Some(ctx.self_id());
+            return;
+        }
+        self.drive_ghs(ctx, |ghs, inner| ghs.on_start(inner));
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: LeaderMsg, ctx: &mut Context<'_, LeaderMsg>) {
+        match msg {
+            LeaderMsg::Ghs(m) => self.drive_ghs(ctx, |ghs, inner| ghs.on_message(from, m, inner)),
+            LeaderMsg::Announce(leader) => self.announce(leader, Some(from), ctx),
+        }
+    }
+}
+
+/// Outcome of a leader election.
+#[derive(Debug)]
+pub struct LeaderOutcome {
+    /// The elected vertex (agreed by everyone).
+    pub leader: NodeId,
+    /// Metered costs; announcements are [`CostClass::Auxiliary`].
+    pub cost: CostReport,
+}
+
+/// Elects a leader by GHS + core announcement.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+///
+/// # Panics
+///
+/// Panics if `g` is disconnected or empty.
+pub fn run_leader_election(
+    g: &WeightedGraph,
+    delay: DelayModel,
+    seed: u64,
+) -> Result<LeaderOutcome, SimError> {
+    assert!(g.node_count() > 0, "cannot elect a leader of nothing");
+    let run = Simulator::new(g)
+        .delay(delay)
+        .seed(seed)
+        .run(|v, g| LeaderElect::new(v, g))?;
+    let leader = run.states[0]
+        .leader()
+        .expect("every vertex learns the leader");
+    for (i, s) in run.states.iter().enumerate() {
+        assert_eq!(
+            s.leader(),
+            Some(leader),
+            "vertex {i} disagrees on the leader"
+        );
+    }
+    Ok(LeaderOutcome {
+        leader,
+        cost: run.cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_graph::generators;
+    use csp_graph::params::CostParams;
+
+    #[test]
+    fn everyone_agrees_on_one_leader() {
+        for seed in 0..4 {
+            let g =
+                generators::connected_gnp(16, 0.25, generators::WeightDist::Uniform(1, 20), seed);
+            let out = run_leader_election(&g, DelayModel::Uniform, seed).unwrap();
+            assert!(out.leader.index() < 16);
+        }
+    }
+
+    #[test]
+    fn leader_is_a_core_endpoint_of_the_canonical_mst() {
+        // Deterministic under worst-case delays; the core is the last
+        // merge edge, so the leader is well-defined but topology-
+        // dependent. We only require agreement and stability.
+        let g = generators::grid(3, 4, generators::WeightDist::Uniform(1, 9), 6);
+        let a = run_leader_election(&g, DelayModel::WorstCase, 0).unwrap();
+        let b = run_leader_election(&g, DelayModel::WorstCase, 0).unwrap();
+        assert_eq!(a.leader, b.leader);
+    }
+
+    #[test]
+    fn announcement_overhead_is_small() {
+        let g = generators::heavy_chord_cycle(12, 80);
+        let p = CostParams::of(&g);
+        let out = run_leader_election(&g, DelayModel::WorstCase, 0).unwrap();
+        use csp_sim::CostClass;
+        // Announcements travel over MST branches only: ≤ 2·V̂.
+        assert!(out.cost.comm_of(CostClass::Auxiliary) <= p.mst_weight * 2);
+    }
+
+    #[test]
+    fn two_vertices_elect_the_smaller() {
+        let g = generators::path(2, |_| 5);
+        let out = run_leader_election(&g, DelayModel::WorstCase, 0).unwrap();
+        assert_eq!(out.leader, NodeId::new(0));
+    }
+
+    #[test]
+    fn single_vertex_is_its_own_leader() {
+        let g = csp_graph::GraphBuilder::new(1).build().unwrap();
+        let out = run_leader_election(&g, DelayModel::WorstCase, 0).unwrap();
+        assert_eq!(out.leader, NodeId::new(0));
+        assert_eq!(out.cost.messages, 0);
+    }
+}

@@ -1,0 +1,36 @@
+#![deny(missing_docs)]
+
+//! Cost-sensitive distributed protocols.
+//!
+//! Every protocol of the paper, implemented as [`csp_sim::Process`] (or
+//! [`csp_sim::SyncProcess`](csp_sim::sync::SyncProcess)) state machines and
+//! measured with the weighted complexity measures:
+//!
+//! | paper section | module | protocol | weighted bounds (comm, time) |
+//! |---|---|---|---|
+//! | §2    | [`global`]     | global function computation over an SLT | `O(V̂)`, `O(D̂)` |
+//! | §6.1  | [`flood`]      | `CON_flood` broadcast / spanning tree | `O(Ê)`, `O(D̂)` |
+//! | §6.2  | [`dfs`]        | distributed DFS with root estimates | `O(Ê)`, `O(Ê)` |
+//! | §6.3  | [`mst`]        | `MST_centr` full-information Prim | `O(n·V̂)`, `O(n·Diam(MST))` |
+//! | §6.4  | [`spt`]        | `SPT_centr` full-information Dijkstra | `O(n²·V̂)`, `O(n·D̂)` |
+//! | §7.2  | [`con_hybrid`] | `CON_hybrid` | `O(min{Ê, n·V̂})` |
+//! | §8.1  | [`mst`]        | `MST_ghs` (Gallager–Humblet–Spira) | `O(Ê + V̂·log n)` |
+//! | §8.2  | [`mst`]        | `MST_hybrid` | `O(min{Ê + V̂ log n, n·V̂})` |
+//! | §8.3  | [`mst`]        | `MST_fast` (guess doubling) | `O(Ê·log n·log V̂)` |
+//! | §9.1  | [`spt`]        | `SPT_synch` (synchronous SPT + γ_w) | `O(Ê + D̂·k·n·log n)` |
+//! | §9.2  | [`spt`]        | `SPT_recur` (layered strips) | strip-tunable |
+//! | §9.3  | [`spt`]        | `SPT_hybrid` | min of the two |
+//! | §2.4  | [`slt_dist`]   | distributed SLT construction | `O(V̂·n²)`, `O(D̂·n²)` |
+
+pub mod cast;
+pub mod con_hybrid;
+pub mod dfs;
+pub mod flood;
+pub mod full_info;
+pub mod global;
+pub mod leader;
+pub mod mst;
+pub mod slt_dist;
+pub mod spt;
+pub mod termination;
+pub mod util;

@@ -1,0 +1,89 @@
+//! `MST_centr` — the full-information minimum spanning tree algorithm
+//! (Section 6.3), a distributed Prim built on the
+//! [growth engine](crate::full_info).
+//!
+//! Communication `O(n·V̂)` (Corollary 6.4): `n − 1` phases, each a
+//! constant number of sweeps over the current tree whose weight never
+//! exceeds `V̂`. Its signature property on heavy-fringe graphs (like the
+//! lower-bound family of Figure 7) is that it never pays for edges outside
+//! the MST, so it beats every `O(Ê)` algorithm whenever `n·V̂ ≪ Ê`.
+
+use crate::full_info::{run_growth, run_growth_budgeted, GrowthBudgetedOutcome, MstRule};
+use csp_graph::{NodeId, RootedTree, WeightedGraph};
+use csp_sim::{CostReport, DelayModel, SimError};
+
+/// Outcome of an `MST_centr` run.
+#[derive(Debug)]
+pub struct MstCentrOutcome {
+    /// The minimum spanning tree, rooted at the initiator.
+    pub tree: RootedTree,
+    /// Metered costs.
+    pub cost: CostReport,
+}
+
+/// Runs `MST_centr` from `root`.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+///
+/// # Panics
+///
+/// Panics if `g` is disconnected or `root` is out of range.
+///
+/// # Example
+///
+/// ```
+/// use csp_graph::{generators, NodeId};
+/// use csp_algo::mst::run_mst_centr;
+/// use csp_sim::DelayModel;
+///
+/// let g = generators::lower_bound_family(10, 4);
+/// let out = run_mst_centr(&g, NodeId::new(0), DelayModel::WorstCase, 0)?;
+/// // The MST of the family is the light path: (n−1)·x = 9·4.
+/// assert_eq!(out.tree.weight().get(), 36);
+/// # Ok::<(), csp_sim::SimError>(())
+/// ```
+pub fn run_mst_centr(
+    g: &WeightedGraph,
+    root: NodeId,
+    delay: DelayModel,
+    seed: u64,
+) -> Result<MstCentrOutcome, SimError> {
+    let out = run_growth(g, root, MstRule, delay, seed)?;
+    Ok(MstCentrOutcome {
+        tree: out.tree,
+        cost: out.cost,
+    })
+}
+
+/// Budgeted variant for the hybrid algorithms: the root suspends growth
+/// rather than exceed `budget` communication.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+pub fn run_mst_centr_budgeted(
+    g: &WeightedGraph,
+    root: NodeId,
+    budget: u128,
+    delay: DelayModel,
+    seed: u64,
+) -> Result<GrowthBudgetedOutcome, SimError> {
+    run_growth_budgeted(g, root, MstRule, budget, delay, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_graph::{algo, generators};
+
+    #[test]
+    fn matches_sequential_prim() {
+        let g = generators::cluster_graph(3, 5, 40, 8);
+        let out = run_mst_centr(&g, NodeId::new(0), DelayModel::Uniform, 3).unwrap();
+        let reference = algo::prim_mst(&g, NodeId::new(0));
+        assert_eq!(out.tree.weight(), reference.weight());
+        assert!(out.tree.is_spanning());
+    }
+}

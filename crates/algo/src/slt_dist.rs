@@ -1,0 +1,123 @@
+//! Distributed shallow-light tree construction (Theorem 2.7).
+//!
+//! The paper's recipe: build the MST with `MST_centr`
+//! (`O(n·V̂)` comm, `O(n²·D̂)` time via Fact 6.3), after which *every*
+//! tree vertex knows the whole MST (the full-information invariant);
+//! stretching the MST into the line `L` and scanning for breakpoints is
+//! then pure local computation, and one more `SPT_centr` pass over the
+//! spliced subgraph `G'` finishes the job (`O(n²·V̂)` comm, `O(n·D̂)`
+//! time). Overall `O(V̂·n²)` communication and `O(D̂·n²)` time.
+//!
+//! Every vertex outputs its parent in the resulting SLT.
+
+use crate::full_info::{run_growth, MstRule, SptRule};
+use csp_graph::slt::{shallow_light_tree, BreakpointRule, ShallowLightTree};
+use csp_graph::{GraphBuilder, NodeId, WeightedGraph};
+use csp_sim::{CostReport, DelayModel, SimError, SimTime};
+
+/// Outcome of the distributed SLT construction.
+#[derive(Debug)]
+pub struct SltDistOutcome {
+    /// The shallow-light tree (with the sequential construction's
+    /// metadata).
+    pub slt: ShallowLightTree,
+    /// Combined metered costs of both distributed passes.
+    pub cost: CostReport,
+}
+
+/// Runs the distributed SLT construction rooted at `root` with
+/// breakpoint parameter `q`.
+///
+/// The two communication-bearing passes (`MST_centr` on `G`, `SPT_centr`
+/// on the spliced `G'`) are executed distributedly and metered; the line
+/// stretching and breakpoint scan between them are local computation at
+/// every (fully informed) vertex and cost nothing, exactly as in the
+/// paper's Theorem 2.7 accounting.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+///
+/// # Panics
+///
+/// Panics if `g` is disconnected, `root` is out of range, or `q == 0`.
+pub fn run_slt_dist(
+    g: &WeightedGraph,
+    root: NodeId,
+    q: u64,
+    delay: DelayModel,
+    seed: u64,
+) -> Result<SltDistOutcome, SimError> {
+    g.check_node(root);
+    // Pass 1: distributed MST; afterwards every vertex knows the tree.
+    let mst_pass = run_growth(g, root, MstRule, delay, seed)?;
+
+    // Local computation at every vertex: Euler tour, breakpoints, splice.
+    // (`shallow_light_tree_with_rule` recomputes the same canonical MST
+    // internally — identical to what the vertices now hold.)
+    let reference = shallow_light_tree(g, root, q);
+
+    // Pass 2: distributed SPT over G' = MST ∪ spliced paths.
+    let mut present = std::collections::HashSet::new();
+    let mut b = GraphBuilder::new(g.node_count());
+    for (child, parent, _, w) in reference.tree.edges() {
+        let key = (child.min(parent), child.max(parent));
+        if present.insert(key) {
+            b.edge(key.0.index(), key.1.index(), w.get());
+        }
+    }
+    let g_prime = b.build().expect("SLT edges form a valid graph");
+    let spt_pass = run_growth(&g_prime, root, SptRule, delay, seed)?;
+
+    // Combine the two passes' costs (sequential composition).
+    let mut cost = CostReport::new(g.edge_count());
+    cost.messages = mst_pass.cost.messages + spt_pass.cost.messages;
+    cost.weighted_comm = mst_pass.cost.weighted_comm + spt_pass.cost.weighted_comm;
+    cost.completion = SimTime::new(mst_pass.cost.completion.get() + spt_pass.cost.completion.get());
+    for i in 0..4 {
+        cost.messages_by_class[i] =
+            mst_pass.cost.messages_by_class[i] + spt_pass.cost.messages_by_class[i];
+        cost.comm_by_class[i] = mst_pass.cost.comm_by_class[i] + spt_pass.cost.comm_by_class[i];
+    }
+
+    let _ = BreakpointRule::RootPath; // the rule used by `shallow_light_tree`
+    Ok(SltDistOutcome {
+        slt: reference,
+        cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_graph::generators;
+    use csp_graph::params::CostParams;
+
+    #[test]
+    fn distributed_slt_satisfies_both_bounds() {
+        let q = 2u64;
+        for seed in 0..3 {
+            let g =
+                generators::connected_gnp(16, 0.2, generators::WeightDist::Uniform(1, 24), seed);
+            let p = CostParams::of(&g);
+            let out = run_slt_dist(&g, NodeId::new(0), q, DelayModel::WorstCase, 0).unwrap();
+            assert!(out.slt.tree.is_spanning());
+            // Lemma 2.4 and 2.5 bounds.
+            assert!(out.slt.weight().get() * q as u128 <= p.mst_weight.get() * (q as u128 + 2));
+            assert!(out.slt.height() <= p.weighted_diameter * (q as u128 + 1));
+        }
+    }
+
+    #[test]
+    fn communication_is_o_n_squared_v() {
+        let g = generators::heavy_chord_cycle(12, 50);
+        let p = CostParams::of(&g);
+        let out = run_slt_dist(&g, NodeId::new(0), 2, DelayModel::WorstCase, 0).unwrap();
+        let bound = p.mst_weight * (8 * (p.n as u128) * (p.n as u128));
+        assert!(
+            out.cost.weighted_comm <= bound,
+            "comm {} > 8·n²·V̂ = {bound}",
+            out.cost.weighted_comm
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! `SPT_centr` — the full-information shortest-path tree algorithm
+//! (Section 6.4), a distributed Dijkstra built on the
+//! [growth engine](crate::full_info).
+//!
+//! Each phase adds the non-member with the smallest tentative distance,
+//! so on completion the labels are exact weighted distances and the tree
+//! is a shortest-path tree. Communication `O(n·w(SPT))`, which Fact 6.5
+//! bounds by `O(n²·V̂)`; time `O(n·D̂)` (Corollary 6.6).
+
+use crate::full_info::{run_growth, run_growth_budgeted, GrowthBudgetedOutcome, SptRule};
+use csp_graph::{Cost, NodeId, RootedTree, WeightedGraph};
+use csp_sim::{CostReport, DelayModel, SimError};
+
+/// Outcome of an `SPT_centr` run.
+#[derive(Debug)]
+pub struct SptCentrOutcome {
+    /// The shortest-path tree rooted at the source.
+    pub tree: RootedTree,
+    /// Exact weighted distances from the source.
+    pub dists: Vec<Cost>,
+    /// Metered costs.
+    pub cost: CostReport,
+}
+
+/// Runs `SPT_centr` from source `s`.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+///
+/// # Panics
+///
+/// Panics if `g` is disconnected or `s` is out of range.
+///
+/// # Example
+///
+/// ```
+/// use csp_graph::{generators, NodeId};
+/// use csp_algo::spt::run_spt_centr;
+/// use csp_sim::DelayModel;
+///
+/// let g = generators::heavy_chord_cycle(8, 50);
+/// let out = run_spt_centr(&g, NodeId::new(0), DelayModel::WorstCase, 0)?;
+/// let reference = csp_graph::algo::distances(&g, NodeId::new(0));
+/// assert_eq!(out.dists, reference);
+/// # Ok::<(), csp_sim::SimError>(())
+/// ```
+pub fn run_spt_centr(
+    g: &WeightedGraph,
+    s: NodeId,
+    delay: DelayModel,
+    seed: u64,
+) -> Result<SptCentrOutcome, SimError> {
+    let out = run_growth(g, s, SptRule, delay, seed)?;
+    Ok(SptCentrOutcome {
+        tree: out.tree,
+        dists: out.dists,
+        cost: out.cost,
+    })
+}
+
+/// Budgeted variant for the hybrid algorithms.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+pub fn run_spt_centr_budgeted(
+    g: &WeightedGraph,
+    s: NodeId,
+    budget: u128,
+    delay: DelayModel,
+    seed: u64,
+) -> Result<GrowthBudgetedOutcome, SimError> {
+    run_growth_budgeted(g, s, SptRule, budget, delay, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_graph::{algo, generators};
+
+    #[test]
+    fn exact_distances_on_random_graphs() {
+        for seed in 0..3 {
+            let g =
+                generators::connected_gnp(15, 0.3, generators::WeightDist::Uniform(1, 25), seed);
+            let out = run_spt_centr(&g, NodeId::new(1), DelayModel::WorstCase, 0).unwrap();
+            let reference = algo::distances(&g, NodeId::new(1));
+            assert_eq!(out.dists, reference);
+            for v in g.nodes() {
+                assert_eq!(out.tree.depth(v), reference[v.index()]);
+            }
+        }
+    }
+}

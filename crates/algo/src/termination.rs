@@ -1,0 +1,267 @@
+//! Dijkstra–Scholten termination detection for diffusing computations
+//! (\[DS80], the execution model of Section 5).
+//!
+//! The paper treats termination detection as one of the basic global
+//! tasks (it is a symmetric-compact computation, Section 1.4.1), and
+//! both the controller (Section 5) and `SPT_recur` (Section 9.2) build
+//! on the same signal-and-acknowledge discipline. This module packages
+//! it as a reusable protocol *transformer*: wrap any diffusing
+//! [`Process`] and the initiator learns, within the same execution, the
+//! moment the hosted protocol has globally quiesced.
+//!
+//! Mechanism: every hosted message is acknowledged. A vertex is
+//! *engaged* from its first unacknowledged activation until all its own
+//! sends are acknowledged; the engagement edges form a dynamic tree
+//! rooted at the initiator, and a vertex acknowledges its engaging
+//! message last. When the initiator's deficit reaches zero the
+//! computation has terminated — detected with exactly one
+//! acknowledgment per hosted message (overhead factor ≤ 2 in weighted
+//! communication).
+
+use csp_graph::{Cost, NodeId, WeightedGraph};
+use csp_sim::{Context, CostClass, CostReport, DelayModel, Process, SimError, SimTime, Simulator};
+
+/// Wrapper messages: hosted traffic plus acknowledgments.
+#[derive(Clone, Debug)]
+pub enum DsMsg<M> {
+    /// A hosted protocol message.
+    App(M),
+    /// Acknowledgment of one hosted message.
+    Ack,
+}
+
+/// The Dijkstra–Scholten wrapper around one vertex's protocol instance.
+#[derive(Debug)]
+pub struct Detector<P: Process> {
+    hosted: P,
+    is_root: bool,
+    /// Unacknowledged messages this vertex has sent.
+    deficit: u64,
+    /// The engaging sender awaiting our final acknowledgment.
+    engager: Option<NodeId>,
+    /// Root only: the time at which termination was detected.
+    detected_at: Option<SimTime>,
+    /// Root only: whether the root ever became active.
+    started: bool,
+}
+
+impl<P: Process> Detector<P> {
+    /// Wraps `hosted` at vertex `v`; `root` is the diffusing
+    /// computation's initiator.
+    pub fn new(v: NodeId, root: NodeId, hosted: P) -> Self {
+        Detector {
+            hosted,
+            is_root: v == root,
+            deficit: 0,
+            engager: None,
+            detected_at: None,
+            started: false,
+        }
+    }
+
+    /// The hosted protocol state.
+    pub fn hosted(&self) -> &P {
+        &self.hosted
+    }
+
+    /// Root only: when termination was detected, if it was.
+    pub fn detected_at(&self) -> Option<SimTime> {
+        self.detected_at
+    }
+
+    /// Relays the hosted outbox, counting the deficit.
+    fn relay(
+        &mut self,
+        sends: Vec<(NodeId, P::Msg, CostClass)>,
+        ctx: &mut Context<'_, DsMsg<P::Msg>>,
+    ) {
+        for (to, msg, _class) in sends {
+            self.deficit += 1;
+            ctx.send(to, DsMsg::App(msg));
+        }
+        self.maybe_quiesce(ctx);
+    }
+
+    fn maybe_quiesce(&mut self, ctx: &mut Context<'_, DsMsg<P::Msg>>) {
+        if self.deficit > 0 {
+            return;
+        }
+        if let Some(e) = self.engager.take() {
+            ctx.send_class(e, DsMsg::Ack, CostClass::Auxiliary);
+        } else if self.is_root && self.started && self.detected_at.is_none() {
+            self.detected_at = Some(ctx.time());
+        }
+    }
+}
+
+impl<P: Process> Process for Detector<P> {
+    type Msg = DsMsg<P::Msg>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, DsMsg<P::Msg>>) {
+        let mut inner = ctx.derive::<P::Msg>();
+        self.hosted.on_start(&mut inner);
+        let sends = inner.take_outbox();
+        if self.is_root {
+            self.started = true;
+        }
+        self.relay(sends, ctx);
+    }
+
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: DsMsg<P::Msg>,
+        ctx: &mut Context<'_, DsMsg<P::Msg>>,
+    ) {
+        match msg {
+            DsMsg::App(m) => {
+                let engaging = self.deficit == 0 && self.engager.is_none() && !self.is_root;
+                let mut inner = ctx.derive::<P::Msg>();
+                self.hosted.on_message(from, m, &mut inner);
+                let sends = inner.take_outbox();
+                if engaging && !sends.is_empty() {
+                    // Becoming active: defer this message's ack until we
+                    // quiesce.
+                    self.engager = Some(from);
+                } else {
+                    ctx.send_class(from, DsMsg::Ack, CostClass::Auxiliary);
+                }
+                self.relay(sends, ctx);
+            }
+            DsMsg::Ack => {
+                self.deficit -= 1;
+                self.maybe_quiesce(ctx);
+            }
+        }
+    }
+}
+
+/// Outcome of a run with termination detection.
+#[derive(Debug)]
+pub struct DetectedRun<P> {
+    /// Final hosted protocol states.
+    pub states: Vec<P>,
+    /// Simulated time at which the initiator detected termination.
+    pub detected_at: SimTime,
+    /// Metered costs; acknowledgments are [`CostClass::Auxiliary`].
+    pub cost: CostReport,
+}
+
+/// Runs a diffusing computation with Dijkstra–Scholten termination
+/// detection; the initiator's detection time is returned alongside the
+/// states.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range, or the hosted protocol is not a
+/// diffusing computation (a non-initiator acted spontaneously, so the
+/// engagement tree cannot cover it).
+pub fn run_with_termination_detection<P, F>(
+    g: &WeightedGraph,
+    root: NodeId,
+    delay: DelayModel,
+    seed: u64,
+    mut make: F,
+) -> Result<DetectedRun<P>, SimError>
+where
+    P: Process,
+    F: FnMut(NodeId, &WeightedGraph) -> P,
+{
+    g.check_node(root);
+    let run = Simulator::new(g)
+        .delay(delay)
+        .seed(seed)
+        .run(|v, g| Detector::new(v, root, make(v, g)))?;
+    let detected_at = run.states[root.index()]
+        .detected_at()
+        .expect("the initiator must detect termination at quiescence");
+    let states = run.states.into_iter().map(|d| d.hosted).collect();
+    Ok(DetectedRun {
+        states,
+        detected_at,
+        cost: run.cost,
+    })
+}
+
+/// The weighted overhead of detection: the acknowledgment share of the
+/// total (always ≤ the hosted share, i.e. a factor ≤ 2 overall).
+pub fn detection_overhead(cost: &CostReport) -> Cost {
+    cost.comm_of(CostClass::Auxiliary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flood::Flood;
+    use csp_graph::generators;
+
+    #[test]
+    fn detects_flood_termination() {
+        let g = generators::connected_gnp(18, 0.2, generators::WeightDist::Uniform(1, 12), 4);
+        let out =
+            run_with_termination_detection(&g, NodeId::new(0), DelayModel::WorstCase, 0, |v, _| {
+                Flood::new(v == NodeId::new(0))
+            })
+            .unwrap();
+        assert!(out.states.iter().all(Flood::reached));
+        // Detection cannot precede the last delivery.
+        assert_eq!(out.detected_at, out.cost.completion);
+    }
+
+    #[test]
+    fn overhead_is_exactly_one_ack_per_message() {
+        let g = generators::cycle(10, |_| 3);
+        let out =
+            run_with_termination_detection(&g, NodeId::new(0), DelayModel::Uniform, 7, |v, _| {
+                Flood::new(v == NodeId::new(0))
+            })
+            .unwrap();
+        let app = out.cost.messages_of(CostClass::Protocol);
+        let acks = out.cost.messages_of(CostClass::Auxiliary);
+        assert_eq!(app, acks, "every hosted message gets exactly one ack");
+        assert_eq!(
+            detection_overhead(&out.cost),
+            out.cost.comm_of(CostClass::Protocol),
+            "weighted overhead factor is exactly 2 for symmetric acks"
+        );
+    }
+
+    #[test]
+    fn silent_protocol_detects_immediately() {
+        #[derive(Debug)]
+        struct Silent;
+        impl Process for Silent {
+            type Msg = ();
+            fn on_start(&mut self, _ctx: &mut Context<'_, ()>) {}
+            fn on_message(&mut self, _f: NodeId, _m: (), _c: &mut Context<'_, ()>) {}
+        }
+        let g = generators::path(4, |_| 2);
+        let out =
+            run_with_termination_detection(&g, NodeId::new(0), DelayModel::WorstCase, 0, |_, _| {
+                Silent
+            })
+            .unwrap();
+        assert_eq!(out.detected_at, SimTime::ZERO);
+        assert_eq!(out.cost.messages, 0);
+    }
+
+    #[test]
+    fn detection_works_under_random_delays() {
+        let g = generators::grid(4, 4, generators::WeightDist::Uniform(1, 10), 2);
+        for seed in 0..5 {
+            let out = run_with_termination_detection(
+                &g,
+                NodeId::new(5),
+                DelayModel::Uniform,
+                seed,
+                |v, _| Flood::new(v == NodeId::new(5)),
+            )
+            .unwrap();
+            assert!(out.states.iter().all(Flood::reached), "seed {seed}");
+        }
+    }
+}

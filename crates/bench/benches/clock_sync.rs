@@ -1,0 +1,41 @@
+//! Section 3 — the clock synchronizers α*, β*, γ*.
+//!
+//! Cost-metric reproduction: `src/bin/report.rs` §7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csp_bench::clock_workload;
+use csp_graph::NodeId;
+use csp_sim::DelayModel;
+use csp_sync::clock::{run_alpha_star, run_beta_star, run_gamma_star};
+use std::hint::black_box;
+
+fn bench_clock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clock_sync");
+    group.sample_size(12);
+    for n in [12usize, 20] {
+        let w = clock_workload(n, 1_000);
+        let pulses = 4;
+        group.bench_with_input(BenchmarkId::new("alpha", n), &w, |b, w| {
+            b.iter(|| {
+                black_box(run_alpha_star(&w.graph, pulses, DelayModel::WorstCase, 0).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("beta", n), &w, |b, w| {
+            b.iter(|| {
+                black_box(
+                    run_beta_star(&w.graph, NodeId::new(0), pulses, DelayModel::WorstCase, 0)
+                        .unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gamma", n), &w, |b, w| {
+            b.iter(|| {
+                black_box(run_gamma_star(&w.graph, pulses, DelayModel::WorstCase, 0).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clock);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Section 5 — the execution-tree controller taming a runaway protocol.
+//!
+//! Cost-metric reproduction: `src/bin/report.rs` §9.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csp_control::{run_controlled, GrantPolicy};
+use csp_graph::{generators, NodeId};
+use csp_sim::{Context, DelayModel, Process};
+use std::hint::black_box;
+
+#[derive(Debug)]
+struct Echo {
+    initiator: bool,
+}
+
+impl Process for Echo {
+    type Msg = u32;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+        if self.initiator {
+            let targets: Vec<NodeId> = ctx.neighbors().map(|(u, _, _)| u).collect();
+            for u in targets {
+                ctx.send(u, 0);
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, b: u32, ctx: &mut Context<'_, u32>) {
+        ctx.send(from, b + 1);
+    }
+}
+
+fn bench_controller(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller");
+    group.sample_size(15);
+    let g = generators::grid(4, 4, generators::WeightDist::Uniform(1, 6), 3);
+    for threshold in [200u64, 1600] {
+        for policy in [GrantPolicy::Naive, GrantPolicy::Caching] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{policy:?}"), threshold),
+                &threshold,
+                |b, &threshold| {
+                    b.iter(|| {
+                        black_box(
+                            run_controlled(
+                                &g,
+                                NodeId::new(0),
+                                threshold,
+                                policy,
+                                DelayModel::WorstCase,
+                                0,
+                                |v, _| Echo {
+                                    initiator: v == NodeId::new(0),
+                                },
+                            )
+                            .unwrap(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_controller);
+criterion_main!(benches);

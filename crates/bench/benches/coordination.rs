@@ -1,0 +1,44 @@
+//! Coordination primitives: leader election, termination detection, and
+//! the echo (PIF) pattern.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csp_algo::cast::{flood_tree, run_echo};
+use csp_algo::flood::Flood;
+use csp_algo::leader::run_leader_election;
+use csp_algo::termination::run_with_termination_detection;
+use csp_graph::{generators, NodeId};
+use csp_sim::DelayModel;
+use std::hint::black_box;
+
+fn bench_coordination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coordination");
+    group.sample_size(15);
+    for n in [16usize, 32] {
+        let g = generators::connected_gnp(n, 0.2, generators::WeightDist::Uniform(1, 12), 7);
+        group.bench_with_input(BenchmarkId::new("leader_election", n), &g, |b, g| {
+            b.iter(|| black_box(run_leader_election(g, DelayModel::WorstCase, 0).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("termination_detection", n), &g, |b, g| {
+            b.iter(|| {
+                black_box(
+                    run_with_termination_detection(
+                        g,
+                        NodeId::new(0),
+                        DelayModel::WorstCase,
+                        0,
+                        |v, _| Flood::new(v == NodeId::new(0)),
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        let tree = flood_tree(&g, NodeId::new(0), DelayModel::WorstCase, 0).unwrap();
+        group.bench_with_input(BenchmarkId::new("echo", n), &g, |b, g| {
+            b.iter(|| black_box(run_echo(g, &tree, 9, DelayModel::WorstCase, 0).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coordination);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Ablation — sensitivity of protocol costs to the delay adversary.
+//!
+//! Communication costs are schedule-independent for deterministic
+//! protocols; completion time is what the adversary moves. This bench
+//! tracks simulator throughput across the delay models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csp_algo::mst::run_mst_ghs;
+use csp_graph::{generators, NodeId};
+use csp_sim::DelayModel;
+use std::hint::black_box;
+
+fn bench_delays(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delay_models");
+    group.sample_size(15);
+    let g = generators::connected_gnp(24, 0.2, generators::WeightDist::Uniform(1, 24), 13);
+    for (label, delay) in [
+        ("worst_case", DelayModel::WorstCase),
+        ("uniform", DelayModel::Uniform),
+        ("half", DelayModel::Proportional { num: 1, den: 2 }),
+        ("eager", DelayModel::Eager),
+    ] {
+        group.bench_with_input(BenchmarkId::new("ghs", label), &delay, |b, &delay| {
+            b.iter(|| black_box(run_mst_ghs(&g, NodeId::new(0), delay, 1).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delays);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 1 — global function computation over SLT / MST / SPT trees.
+//!
+//! Wall-clock of the simulated convergecast+broadcast; the cost-metric
+//! reproduction of the figure lives in `src/bin/report.rs` (§1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csp_algo::global::{compute_global, Max, TreeKind};
+use csp_bench::random_sweep;
+use csp_graph::NodeId;
+use csp_sim::DelayModel;
+use std::hint::black_box;
+
+fn bench_global(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_global");
+    group.sample_size(20);
+    for w in random_sweep(&[16, 32, 64], 3) {
+        let inputs: Vec<u64> = (0..w.params.n as u64).collect();
+        for (label, kind) in [
+            ("slt", TreeKind::Slt { q: 2 }),
+            ("mst", TreeKind::Mst),
+            ("spt", TreeKind::Spt),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, w.params.n), &w, |b, w| {
+                b.iter(|| {
+                    let out = compute_global(
+                        &w.graph,
+                        NodeId::new(0),
+                        Max,
+                        black_box(&inputs),
+                        kind,
+                        DelayModel::WorstCase,
+                    )
+                    .unwrap();
+                    black_box(out.value)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_global);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 2 — connectivity algorithms on both adversarial regimes.
+//!
+//! Cost-metric reproduction: `src/bin/report.rs` §2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csp_algo::con_hybrid::run_con_hybrid;
+use csp_algo::dfs::run_dfs;
+use csp_algo::flood::run_flood;
+use csp_bench::{regime_a, regime_b};
+use csp_graph::NodeId;
+use csp_sim::DelayModel;
+use std::hint::black_box;
+
+fn bench_connectivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_connectivity");
+    group.sample_size(15);
+    for w in [regime_a(32), regime_b(24, 8)] {
+        group.bench_with_input(BenchmarkId::new("flood", &w.name), &w, |b, w| {
+            b.iter(|| {
+                black_box(run_flood(&w.graph, NodeId::new(0), DelayModel::WorstCase, 0).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dfs", &w.name), &w, |b, w| {
+            b.iter(|| {
+                black_box(run_dfs(&w.graph, NodeId::new(0), DelayModel::WorstCase, 0).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hybrid", &w.name), &w, |b, w| {
+            b.iter(|| {
+                black_box(
+                    run_con_hybrid(&w.graph, NodeId::new(0), DelayModel::WorstCase, 0).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_connectivity);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figure 3 — the four MST algorithms.
+//!
+//! Cost-metric reproduction: `src/bin/report.rs` §3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csp_algo::mst::{run_mst_centr, run_mst_fast, run_mst_ghs, run_mst_hybrid};
+use csp_bench::{regime_a, regime_b, Workload};
+use csp_graph::{generators, NodeId};
+use csp_sim::DelayModel;
+use std::hint::black_box;
+
+fn bench_mst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_mst");
+    group.sample_size(12);
+    let workloads = vec![
+        regime_a(28),
+        regime_b(20, 8),
+        Workload::new(
+            "gnp n=32",
+            generators::connected_gnp(32, 0.15, generators::WeightDist::Uniform(1, 32), 5),
+        ),
+    ];
+    for w in &workloads {
+        group.bench_with_input(BenchmarkId::new("ghs", &w.name), w, |b, w| {
+            b.iter(|| {
+                black_box(run_mst_ghs(&w.graph, NodeId::new(0), DelayModel::WorstCase, 0).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("centr", &w.name), w, |b, w| {
+            b.iter(|| {
+                black_box(
+                    run_mst_centr(&w.graph, NodeId::new(0), DelayModel::WorstCase, 0).unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fast", &w.name), w, |b, w| {
+            b.iter(|| {
+                black_box(run_mst_fast(&w.graph, NodeId::new(0), DelayModel::WorstCase, 0).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hybrid", &w.name), w, |b, w| {
+            b.iter(|| {
+                black_box(
+                    run_mst_hybrid(&w.graph, NodeId::new(0), DelayModel::WorstCase, 0).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mst);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 4 (+ Figure 9) — the SPT algorithms and the strip sweep.
+//!
+//! Cost-metric reproduction: `src/bin/report.rs` §4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csp_algo::spt::synch::run_spt_synch_ideal;
+use csp_algo::spt::{run_spt_centr, run_spt_recur, run_spt_synch};
+use csp_graph::{generators, NodeId};
+use csp_sim::DelayModel;
+use std::hint::black_box;
+
+fn bench_spt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_spt");
+    group.sample_size(12);
+    let g = generators::connected_gnp(20, 0.2, generators::WeightDist::Uniform(1, 12), 11);
+    group.bench_function("centr", |b| {
+        b.iter(|| black_box(run_spt_centr(&g, NodeId::new(0), DelayModel::WorstCase, 0).unwrap()))
+    });
+    // Figure 9: the strip-depth sweep.
+    for delta in [1u64, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("recur", delta), &delta, |b, &delta| {
+            b.iter(|| {
+                black_box(
+                    run_spt_recur(&g, NodeId::new(0), delta, DelayModel::WorstCase, 0).unwrap(),
+                )
+            })
+        });
+    }
+    group.bench_function("synch_ideal", |b| {
+        b.iter(|| black_box(run_spt_synch_ideal(&g, NodeId::new(0))))
+    });
+    group.bench_function("synch_gamma_w_k2", |b| {
+        b.iter(|| {
+            black_box(run_spt_synch(&g, NodeId::new(0), 2, DelayModel::WorstCase, 0).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spt);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figures 5–6 — the shallow-light tree construction (q ablation).
+//!
+//! Cost-metric reproduction: `src/bin/report.rs` §5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csp_graph::slt::{shallow_light_tree_with_rule, BreakpointRule};
+use csp_graph::{generators, NodeId};
+use std::hint::black_box;
+
+fn bench_slt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_slt");
+    group.sample_size(20);
+    let g = generators::connected_gnp(96, 0.08, generators::WeightDist::Uniform(1, 64), 9);
+    for q in [1u64, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("root_path", q), &q, |b, &q| {
+            b.iter(|| {
+                black_box(shallow_light_tree_with_rule(
+                    &g,
+                    NodeId::new(0),
+                    q,
+                    BreakpointRule::RootPath,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("consecutive", q), &q, |b, &q| {
+            b.iter(|| {
+                black_box(shallow_light_tree_with_rule(
+                    &g,
+                    NodeId::new(0),
+                    q,
+                    BreakpointRule::ConsecutivePairs,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_slt);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figures 7–8 — the lower-bound family G_n: construction and the cost
+//! of spanning it.
+//!
+//! Cost-metric reproduction: `src/bin/report.rs` §6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csp_algo::flood::run_flood;
+use csp_algo::mst::run_mst_centr;
+use csp_graph::{generators, NodeId};
+use csp_sim::DelayModel;
+use std::hint::black_box;
+
+fn bench_lower_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_lower_bound");
+    group.sample_size(15);
+    for n in [12usize, 20, 28] {
+        group.bench_with_input(BenchmarkId::new("construct", n), &n, |b, &n| {
+            b.iter(|| black_box(generators::lower_bound_family(n, 8)))
+        });
+        let g = generators::lower_bound_family(n, 8);
+        group.bench_with_input(BenchmarkId::new("flood", n), &g, |b, g| {
+            b.iter(|| black_box(run_flood(g, NodeId::new(0), DelayModel::WorstCase, 0).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("mst_centr", n), &g, |b, g| {
+            b.iter(|| {
+                black_box(run_mst_centr(g, NodeId::new(0), DelayModel::WorstCase, 0).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lower_bound);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Section 4 — synchronizer γ_w hosting a synchronous protocol, with the
+//! cluster-parameter k ablation.
+//!
+//! Cost-metric reproduction: `src/bin/report.rs` §8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csp_algo::spt::run_spt_synch;
+use csp_graph::{generators, NodeId};
+use csp_sim::DelayModel;
+use std::hint::black_box;
+
+fn bench_synchronizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synchronizer");
+    group.sample_size(10);
+    let g = generators::connected_gnp(16, 0.2, generators::WeightDist::Uniform(1, 8), 7);
+    for k in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("spt_under_gamma_w", k), &k, |b, &k| {
+            b.iter(|| {
+                black_box(run_spt_synch(&g, NodeId::new(0), k, DelayModel::WorstCase, 0).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_synchronizer);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Breadth-first search: hop distances and BFS trees.
+//!
+//! BFS ignores weights — it measures the classical (hop-based) quantities
+//! `D` that the weighted parameters `D̂` generalize.
+
+use crate::graph::WeightedGraph;
+use crate::ids::NodeId;
+use crate::tree::RootedTree;
+use std::collections::VecDeque;
+
+/// Hop distances from `s` (`None` for unreachable vertices).
+///
+/// # Panics
+///
+/// Panics if `s` is out of range.
+pub fn hop_distances(g: &WeightedGraph, s: NodeId) -> Vec<Option<usize>> {
+    g.check_node(s);
+    let mut dist = vec![None; g.node_count()];
+    dist[s.index()] = Some(0);
+    let mut queue = VecDeque::from([s]);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()].expect("queued with distance");
+        for (u, _, _) in g.neighbors(v) {
+            if dist[u.index()].is_none() {
+                dist[u.index()] = Some(dv + 1);
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS spanning tree of the component of `s` (minimum *hop* depth).
+///
+/// # Panics
+///
+/// Panics if `s` is out of range.
+pub fn bfs_tree(g: &WeightedGraph, s: NodeId) -> RootedTree {
+    g.check_node(s);
+    let mut tree = RootedTree::new(g.node_count(), s);
+    let mut queue = VecDeque::from([s]);
+    while let Some(v) = queue.pop_front() {
+        for (u, eid, w) in g.neighbors(v) {
+            if !tree.contains(u) {
+                tree.attach_via(u, v, eid, w);
+                queue.push_back(u);
+            }
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn hop_distance_ignores_weights() {
+        // heavy direct edge vs light two-hop path: BFS prefers fewer hops.
+        let mut b = GraphBuilder::new(3);
+        b.edge(0, 2, 100).edge(0, 1, 1).edge(1, 2, 1);
+        let g = b.build().unwrap();
+        let d = hop_distances(&g, NodeId::new(0));
+        assert_eq!(d[2], Some(1));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut b = GraphBuilder::new(3);
+        b.edge(0, 1, 1);
+        let g = b.build().unwrap();
+        let d = hop_distances(&g, NodeId::new(0));
+        assert_eq!(d[2], None);
+    }
+
+    #[test]
+    fn bfs_tree_has_min_hop_depths() {
+        let mut b = GraphBuilder::new(5);
+        b.edge(0, 1, 1)
+            .edge(1, 2, 1)
+            .edge(2, 3, 1)
+            .edge(3, 4, 1)
+            .edge(0, 4, 9);
+        let g = b.build().unwrap();
+        let t = bfs_tree(&g, NodeId::new(0));
+        let d = hop_distances(&g, NodeId::new(0));
+        for v in g.nodes() {
+            assert_eq!(t.hop_depth(v), d[v.index()].unwrap());
+        }
+        assert_eq!(t.hop_depth(NodeId::new(4)), 1); // via the heavy shortcut
+    }
+}

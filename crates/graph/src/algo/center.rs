@@ -1,0 +1,99 @@
+//! Weighted eccentricities and graph centers.
+//!
+//! The pulse delay of clock synchronizer β* and the depth of every
+//! root-path structure depend on which vertex anchors the tree; the
+//! *center* — the vertex of minimum weighted eccentricity — is the
+//! optimal anchor.
+
+use crate::algo::distances;
+use crate::graph::WeightedGraph;
+use crate::ids::NodeId;
+use crate::weight::Cost;
+
+/// Weighted eccentricity of every vertex: `ecc(v) = max_u dist(v, u)`.
+///
+/// # Panics
+///
+/// Panics if `g` is disconnected or empty.
+pub fn eccentricities(g: &WeightedGraph) -> Vec<Cost> {
+    assert!(g.node_count() > 0, "eccentricities of the empty graph");
+    g.nodes()
+        .map(|v| {
+            let dist = distances(g, v);
+            let ecc = dist.into_iter().max().expect("nonempty");
+            assert!(ecc.is_finite(), "graph must be connected");
+            ecc
+        })
+        .collect()
+}
+
+/// The weighted center: the vertex minimizing eccentricity (smallest id
+/// on ties), with its eccentricity (the weighted *radius* of `G`).
+///
+/// # Example
+///
+/// ```
+/// use csp_graph::generators;
+/// use csp_graph::algo::weighted_center;
+///
+/// // On a path, the center is the middle vertex.
+/// let g = generators::path(5, |_| 2);
+/// let (center, radius) = weighted_center(&g);
+/// assert_eq!(center.index(), 2);
+/// assert_eq!(radius.get(), 4);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `g` is disconnected or empty.
+pub fn weighted_center(g: &WeightedGraph) -> (NodeId, Cost) {
+    let eccs = eccentricities(g);
+    let (idx, ecc) = eccs
+        .into_iter()
+        .enumerate()
+        .min_by_key(|&(i, e)| (e, i))
+        .expect("nonempty");
+    (NodeId::new(idx), ecc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn center_of_a_star_is_the_hub() {
+        let g = generators::star(7, |_| 3);
+        let (c, r) = weighted_center(&g);
+        assert_eq!(c, NodeId::new(0));
+        assert_eq!(r, Cost::new(3));
+    }
+
+    #[test]
+    fn eccentricities_are_bounded_by_diameter() {
+        let g = generators::connected_gnp(15, 0.25, generators::WeightDist::Uniform(1, 9), 4);
+        let eccs = eccentricities(&g);
+        let diam = eccs.iter().copied().max().unwrap();
+        let radius = eccs.iter().copied().min().unwrap();
+        // radius ≤ diameter ≤ 2·radius on any connected graph.
+        assert!(radius <= diam);
+        assert!(diam <= radius * 2);
+    }
+
+    #[test]
+    fn center_anchors_a_shallower_spt_than_the_corner() {
+        let g = generators::path(9, |_| 5);
+        let (c, r) = weighted_center(&g);
+        let corner_ecc = eccentricities(&g)[0];
+        assert!(r < corner_ecc);
+        assert_eq!(c.index(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_rejected() {
+        let mut b = crate::graph::GraphBuilder::new(3);
+        b.edge(0, 1, 1);
+        let _ = eccentricities(&b.build().unwrap());
+    }
+}

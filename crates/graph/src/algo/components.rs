@@ -1,0 +1,134 @@
+//! Connected components.
+
+use crate::graph::WeightedGraph;
+use crate::ids::NodeId;
+
+/// The partition of `V` into connected components.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Components {
+    /// `label[v]` = component index of vertex `v` (dense, `0..count`).
+    label: Vec<usize>,
+    count: usize,
+}
+
+impl Components {
+    /// Number of components.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Component index of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn component_of(&self, v: NodeId) -> usize {
+        self.label[v.index()]
+    }
+
+    /// Whether `u` and `v` are in the same component.
+    #[inline]
+    pub fn same(&self, u: NodeId, v: NodeId) -> bool {
+        self.label[u.index()] == self.label[v.index()]
+    }
+
+    /// The members of each component.
+    pub fn groups(&self) -> Vec<Vec<NodeId>> {
+        let mut groups = vec![Vec::new(); self.count];
+        for (i, &c) in self.label.iter().enumerate() {
+            groups[c].push(NodeId::new(i));
+        }
+        groups
+    }
+}
+
+/// Computes connected components by repeated DFS.
+///
+/// Component indices are assigned in order of their smallest vertex.
+///
+/// # Example
+///
+/// ```
+/// use csp_graph::{GraphBuilder, NodeId};
+/// use csp_graph::algo::connected_components;
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.edge(0, 1, 1).edge(2, 3, 1);
+/// let g = b.build()?;
+/// let cc = connected_components(&g);
+/// assert_eq!(cc.count(), 2);
+/// assert!(cc.same(NodeId::new(0), NodeId::new(1)));
+/// assert!(!cc.same(NodeId::new(1), NodeId::new(2)));
+/// # Ok::<(), csp_graph::GraphError>(())
+/// ```
+pub fn connected_components(g: &WeightedGraph) -> Components {
+    let n = g.node_count();
+    let mut label = vec![usize::MAX; n];
+    let mut count = 0;
+    for start in 0..n {
+        if label[start] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![NodeId::new(start)];
+        label[start] = count;
+        while let Some(v) = stack.pop() {
+            for (u, _, _) in g.neighbors(v) {
+                if label[u.index()] == usize::MAX {
+                    label[u.index()] = count;
+                    stack.push(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components { label, count }
+}
+
+/// Whether `G` is connected. The empty graph counts as connected.
+pub fn is_connected(g: &WeightedGraph) -> bool {
+    connected_components(g).count() <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn single_component() {
+        let mut b = GraphBuilder::new(3);
+        b.edge(0, 1, 1).edge(1, 2, 1);
+        let g = b.build().unwrap();
+        assert!(is_connected(&g));
+        assert_eq!(connected_components(&g).count(), 1);
+    }
+
+    #[test]
+    fn isolated_vertices_are_own_components() {
+        let g = GraphBuilder::new(3).build().unwrap();
+        let cc = connected_components(&g);
+        assert_eq!(cc.count(), 3);
+        assert!(!cc.same(NodeId::new(0), NodeId::new(1)));
+    }
+
+    #[test]
+    fn groups_partition_vertices() {
+        let mut b = GraphBuilder::new(5);
+        b.edge(0, 2, 1).edge(1, 3, 1);
+        let g = b.build().unwrap();
+        let cc = connected_components(&g);
+        let groups = cc.groups();
+        assert_eq!(groups.len(), 3);
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 5);
+        assert_eq!(groups[0], vec![NodeId::new(0), NodeId::new(2)]);
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g = GraphBuilder::new(0).build().unwrap();
+        assert!(is_connected(&g));
+    }
+}

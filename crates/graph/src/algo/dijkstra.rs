@@ -1,0 +1,181 @@
+//! Dijkstra's algorithm: weighted distances and shortest-path trees.
+
+use crate::graph::WeightedGraph;
+use crate::ids::NodeId;
+use crate::tree::RootedTree;
+use crate::weight::Cost;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Weighted distances `dist(s, v, G)` from `s` to every vertex.
+///
+/// Unreachable vertices get [`Cost::INFINITY`].
+///
+/// # Example
+///
+/// ```
+/// use csp_graph::{GraphBuilder, NodeId};
+/// use csp_graph::algo::distances;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.edge(0, 1, 2).edge(1, 2, 3).edge(0, 2, 10);
+/// let g = b.build()?;
+/// let d = distances(&g, NodeId::new(0));
+/// assert_eq!(d[2].get(), 5); // via vertex 1, not the direct 10-edge
+/// # Ok::<(), csp_graph::GraphError>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics if `s` is out of range.
+pub fn distances(g: &WeightedGraph, s: NodeId) -> Vec<Cost> {
+    g.check_node(s);
+    let mut dist = vec![Cost::INFINITY; g.node_count()];
+    dist[s.index()] = Cost::ZERO;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((Cost::ZERO, s)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v.index()] {
+            continue; // stale entry
+        }
+        for (u, _, w) in g.neighbors(v) {
+            let nd = d + w;
+            if nd < dist[u.index()] {
+                dist[u.index()] = nd;
+                heap.push(Reverse((nd, u)));
+            }
+        }
+    }
+    dist
+}
+
+/// Shortest-path tree (SPT) of `G` rooted at `s` — the tree `T_S` of the
+/// paper, defined by the collection of shortest paths from `s`.
+///
+/// Ties are broken toward the neighbor discovered first, making the result
+/// deterministic. Only the connected component of `s` is spanned.
+///
+/// # Panics
+///
+/// Panics if `s` is out of range.
+pub fn shortest_path_tree(g: &WeightedGraph, s: NodeId) -> RootedTree {
+    g.check_node(s);
+    let mut dist = vec![Cost::INFINITY; g.node_count()];
+    dist[s.index()] = Cost::ZERO;
+    let mut tree = RootedTree::new(g.node_count(), s);
+    let mut parent: Vec<Option<NodeId>> = vec![None; g.node_count()];
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((Cost::ZERO, s)));
+    let mut settled = vec![false; g.node_count()];
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if settled[v.index()] {
+            continue;
+        }
+        settled[v.index()] = true;
+        if let Some(p) = parent[v.index()] {
+            tree.attach(v, p, g);
+        }
+        for (u, _, w) in g.neighbors(v) {
+            let nd = d + w;
+            if nd < dist[u.index()] {
+                dist[u.index()] = nd;
+                parent[u.index()] = Some(v);
+                heap.push(Reverse((nd, u)));
+            }
+        }
+    }
+    tree
+}
+
+/// One shortest path `Path(u, v, G)` as a vertex sequence (inclusive), or
+/// `None` if `v` is unreachable from `u`.
+///
+/// # Panics
+///
+/// Panics if `u` or `v` is out of range.
+pub fn shortest_path(g: &WeightedGraph, u: NodeId, v: NodeId) -> Option<Vec<NodeId>> {
+    g.check_node(u);
+    g.check_node(v);
+    let tree = shortest_path_tree(g, u);
+    if !tree.contains(v) {
+        return None;
+    }
+    let mut path = tree.path_to_root(v);
+    path.reverse();
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn diamond() -> WeightedGraph {
+        // 0 -1- 1 -1- 3, 0 -3- 2 -1- 3
+        let mut b = GraphBuilder::new(4);
+        b.edge(0, 1, 1).edge(1, 3, 1).edge(0, 2, 3).edge(2, 3, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn distances_pick_cheapest_route() {
+        let g = diamond();
+        let d = distances(&g, NodeId::new(0));
+        assert_eq!(d[0], Cost::ZERO);
+        assert_eq!(d[1], Cost::new(1));
+        assert_eq!(d[3], Cost::new(2));
+        assert_eq!(d[2], Cost::new(3)); // direct edge beats 0-1-3-2 (cost 3 too, tie)
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let mut b = GraphBuilder::new(3);
+        b.edge(0, 1, 1);
+        let g = b.build().unwrap();
+        let d = distances(&g, NodeId::new(0));
+        assert_eq!(d[2], Cost::INFINITY);
+    }
+
+    #[test]
+    fn spt_depths_equal_distances() {
+        let g = diamond();
+        let s = NodeId::new(0);
+        let t = shortest_path_tree(&g, s);
+        let d = distances(&g, s);
+        for v in g.nodes() {
+            assert_eq!(t.depth(v), d[v.index()], "depth mismatch at {v}");
+        }
+        assert!(t.is_spanning());
+    }
+
+    #[test]
+    fn spt_skips_unreachable() {
+        let mut b = GraphBuilder::new(3);
+        b.edge(0, 1, 4);
+        let g = b.build().unwrap();
+        let t = shortest_path_tree(&g, NodeId::new(0));
+        assert!(t.contains(NodeId::new(1)));
+        assert!(!t.contains(NodeId::new(2)));
+    }
+
+    #[test]
+    fn shortest_path_vertices() {
+        let g = diamond();
+        let p = shortest_path(&g, NodeId::new(0), NodeId::new(3)).unwrap();
+        assert_eq!(p, vec![NodeId::new(0), NodeId::new(1), NodeId::new(3)]);
+    }
+
+    #[test]
+    fn shortest_path_none_when_disconnected() {
+        let mut b = GraphBuilder::new(2);
+        let g = b.edges([]).build().unwrap();
+        assert!(shortest_path(&g, NodeId::new(0), NodeId::new(1)).is_none());
+    }
+
+    #[test]
+    fn path_to_self_is_singleton() {
+        let g = diamond();
+        let p = shortest_path(&g, NodeId::new(2), NodeId::new(2)).unwrap();
+        assert_eq!(p, vec![NodeId::new(2)]);
+    }
+}

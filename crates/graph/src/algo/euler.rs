@@ -1,0 +1,231 @@
+//! Euler tours of rooted trees and the "line version" of an MST.
+//!
+//! The SLT algorithm (Section 2.2, step 2–3 of the paper) traverses the
+//! MST `T_M` depth-first with a token; `v(i)` is the token's position at
+//! mileage `i` (`0 ≤ i ≤ 2(n−1)`). The *line version* `L` of `T_M` is the
+//! weighted path graph on vertices `0..=2(n−1)` in which edge `(i, i+1)`
+//! inherits the weight of the tree edge `(v(i), v(i+1))`. Its total weight
+//! is at most `2·w(T_M) ≤ 2·V̂`.
+
+use crate::ids::NodeId;
+use crate::tree::RootedTree;
+use crate::weight::{Cost, Weight};
+
+/// One position on the DFS line `L`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LineVertex {
+    /// Mileage index `i` on the line.
+    pub index: usize,
+    /// The graph vertex `v(i)` the token occupies at mileage `i`.
+    pub node: NodeId,
+}
+
+/// The line version `L` of a tree: the Euler tour as a weighted path.
+#[derive(Clone, Debug)]
+pub struct MstLine {
+    /// `tour[i]` = `v(i)`; `tour.len() == 2(n−1) + 1` and
+    /// `tour[0] == tour[2(n−1)] ==` the DFS source.
+    tour: Vec<NodeId>,
+    /// `step_weight[i]` = weight of the tree edge `(v(i), v(i+1))`.
+    step_weight: Vec<Weight>,
+    /// Prefix sums: `prefix[i]` = weighted distance from line vertex 0 to i.
+    prefix: Vec<Cost>,
+}
+
+impl MstLine {
+    /// Number of line vertices (`2(n−1) + 1` for a tree on `n` members).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tour.len()
+    }
+
+    /// Whether the line is a single point (tree with one member).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tour.len() <= 1
+    }
+
+    /// The graph vertex `v(i)` at line position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn node_at(&self, i: usize) -> NodeId {
+        self.tour[i]
+    }
+
+    /// Iterates over the line positions.
+    pub fn iter(&self) -> impl Iterator<Item = LineVertex> + '_ {
+        self.tour
+            .iter()
+            .enumerate()
+            .map(|(index, &node)| LineVertex { index, node })
+    }
+
+    /// Weight of the line edge `(i, i+1)` — the weight of the traversed
+    /// tree edge `(v(i), v(i+1))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i + 1` is out of range.
+    #[inline]
+    pub fn step_weight(&self, i: usize) -> Weight {
+        self.step_weight[i]
+    }
+
+    /// Weighted distance `dist(i, j, L)` along the line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn line_distance(&self, i: usize, j: usize) -> Cost {
+        let (lo, hi) = (i.min(j), i.max(j));
+        Cost::new(self.prefix[hi].get() - self.prefix[lo].get())
+    }
+
+    /// Total weight `w(L)` of the line (≤ `2·w(T)`).
+    pub fn total_weight(&self) -> Cost {
+        *self.prefix.last().unwrap_or(&Cost::ZERO)
+    }
+}
+
+/// The Euler tour of `tree` as a vertex sequence starting and ending at the
+/// root; each tree edge is traversed exactly twice.
+///
+/// Children are visited in ascending vertex order, making the tour
+/// deterministic.
+pub fn euler_tour(tree: &RootedTree) -> Vec<NodeId> {
+    let mut children = tree.children_lists();
+    for c in &mut children {
+        c.sort_by_key(|&(v, _)| v);
+    }
+    let mut tour = vec![tree.root()];
+    // Explicit stack of (vertex, next-child-index) to avoid recursion on
+    // deep trees.
+    let mut stack: Vec<(NodeId, usize)> = vec![(tree.root(), 0)];
+    while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+        if *next < children[v.index()].len() {
+            let (c, _) = children[v.index()][*next];
+            *next += 1;
+            tour.push(c);
+            stack.push((c, 0));
+        } else {
+            stack.pop();
+            if let Some(&(p, _)) = stack.last() {
+                tour.push(p);
+            }
+        }
+    }
+    tour
+}
+
+/// Builds the line version `L` of `tree` (step 3 of the SLT algorithm).
+pub fn mst_line(tree: &RootedTree) -> MstLine {
+    let tour = euler_tour(tree);
+    let mut step_weight = Vec::with_capacity(tour.len().saturating_sub(1));
+    let mut prefix = Vec::with_capacity(tour.len());
+    let mut acc = Cost::ZERO;
+    prefix.push(acc);
+    for pair in tour.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        // One of a, b is the parent of the other in the tree.
+        let w = match tree.parent(a) {
+            Some((p, _, w)) if p == b => w,
+            _ => match tree.parent(b) {
+                Some((p, _, w)) if p == a => w,
+                _ => unreachable!("consecutive tour vertices are tree neighbors"),
+            },
+        };
+        step_weight.push(w);
+        acc += w;
+        prefix.push(acc);
+    }
+    MstLine {
+        tour,
+        step_weight,
+        prefix,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{GraphBuilder, WeightedGraph};
+
+    fn spider() -> (WeightedGraph, RootedTree) {
+        // root 0 with children 1 (w 2) and 2 (w 3); 2 has child 3 (w 5).
+        let mut b = GraphBuilder::new(4);
+        b.edge(0, 1, 2).edge(0, 2, 3).edge(2, 3, 5);
+        let g = b.build().unwrap();
+        let mut t = RootedTree::new(4, NodeId::new(0));
+        t.attach(NodeId::new(1), NodeId::new(0), &g);
+        t.attach(NodeId::new(2), NodeId::new(0), &g);
+        t.attach(NodeId::new(3), NodeId::new(2), &g);
+        (g, t)
+    }
+
+    #[test]
+    fn tour_visits_each_edge_twice() {
+        let (_, t) = spider();
+        let tour = euler_tour(&t);
+        assert_eq!(tour.len(), 2 * 3 + 1); // 2(n-1)+1 with n=4
+        assert_eq!(tour.first(), tour.last());
+        // expected order with ascending children: 0 1 0 2 3 2 0
+        let ids: Vec<usize> = tour.iter().map(|v| v.index()).collect();
+        assert_eq!(ids, vec![0, 1, 0, 2, 3, 2, 0]);
+    }
+
+    #[test]
+    fn line_weight_is_twice_tree_weight() {
+        let (_, t) = spider();
+        let line = mst_line(&t);
+        assert_eq!(line.total_weight(), Cost::new(2 * 10));
+        assert_eq!(line.len(), 7);
+    }
+
+    #[test]
+    fn line_distances_are_prefix_differences() {
+        let (_, t) = spider();
+        let line = mst_line(&t);
+        // steps: 0-1 (2), 1-0 (2), 0-2 (3), 2-3 (5), 3-2 (5), 2-0 (3)
+        assert_eq!(line.line_distance(0, 1), Cost::new(2));
+        assert_eq!(line.line_distance(0, 3), Cost::new(7));
+        assert_eq!(line.line_distance(3, 0), Cost::new(7));
+        assert_eq!(line.line_distance(2, 4), Cost::new(8));
+        assert_eq!(line.line_distance(5, 5), Cost::ZERO);
+    }
+
+    #[test]
+    fn singleton_tree_gives_point_line() {
+        let t = RootedTree::new(1, NodeId::new(0));
+        let line = mst_line(&t);
+        assert!(line.is_empty());
+        assert_eq!(line.total_weight(), Cost::ZERO);
+        assert_eq!(line.node_at(0), NodeId::new(0));
+    }
+
+    #[test]
+    fn line_vertices_iterate_in_order() {
+        let (_, t) = spider();
+        let line = mst_line(&t);
+        let indices: Vec<usize> = line.iter().map(|lv| lv.index).collect();
+        assert_eq!(indices, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow_stack() {
+        let n = 50_000;
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.edge(i, i + 1, 1);
+        }
+        let g = b.build().unwrap();
+        let mut t = RootedTree::new(n, NodeId::new(0));
+        for i in 1..n {
+            t.attach(NodeId::new(i), NodeId::new(i - 1), &g);
+        }
+        let tour = euler_tour(&t);
+        assert_eq!(tour.len(), 2 * (n - 1) + 1);
+    }
+}

@@ -1,0 +1,19 @@
+//! Sequential reference algorithms on weighted graphs.
+//!
+//! These are the centralized counterparts of the distributed protocols in
+//! `csp-algo`: the distributed implementations are tested against them, and
+//! the paper's parameters (`V̂`, `D̂`) are defined through them.
+
+mod bfs;
+mod center;
+mod components;
+mod dijkstra;
+mod euler;
+mod mst;
+
+pub use bfs::{bfs_tree, hop_distances};
+pub use center::{eccentricities, weighted_center};
+pub use components::{connected_components, is_connected, Components};
+pub use dijkstra::{distances, shortest_path, shortest_path_tree};
+pub use euler::{euler_tour, mst_line, LineVertex, MstLine};
+pub use mst::{kruskal_mst, prim_mst};

@@ -1,0 +1,198 @@
+//! Minimum spanning trees: Prim and Kruskal.
+//!
+//! Ties between equal-weight edges are broken by `(weight, edge id)` so
+//! that all MST routines in the workspace agree on a *unique* canonical
+//! MST — this is the same trick the GHS algorithm relies on (distinct
+//! weights), realized by the lexicographic key.
+
+use crate::graph::WeightedGraph;
+use crate::ids::{EdgeId, NodeId};
+use crate::tree::RootedTree;
+use crate::weight::Weight;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Canonical comparison key making every edge weight distinct.
+#[inline]
+pub(crate) fn edge_key(g: &WeightedGraph, e: EdgeId) -> (Weight, EdgeId) {
+    (g.weight(e), e)
+}
+
+/// Prim's algorithm: the canonical MST of `G` rooted at `root`.
+///
+/// Spans the connected component of `root`. This is the sequential analog
+/// of the paper's full-information algorithm `MST_centr` (Section 6.3).
+///
+/// # Example
+///
+/// ```
+/// use csp_graph::{GraphBuilder, NodeId};
+/// use csp_graph::algo::prim_mst;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.edge(0, 1, 1).edge(1, 2, 2).edge(0, 2, 10);
+/// let g = b.build()?;
+/// let t = prim_mst(&g, NodeId::new(0));
+/// assert_eq!(t.weight().get(), 3); // V̂
+/// # Ok::<(), csp_graph::GraphError>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics if `root` is out of range.
+pub fn prim_mst(g: &WeightedGraph, root: NodeId) -> RootedTree {
+    g.check_node(root);
+    let mut tree = RootedTree::new(g.node_count(), root);
+    let mut heap: BinaryHeap<Reverse<((Weight, EdgeId), NodeId, NodeId)>> = BinaryHeap::new();
+    let push_edges = |heap: &mut BinaryHeap<_>, v: NodeId| {
+        for (u, eid, _) in g.neighbors(v) {
+            heap.push(Reverse((edge_key(g, eid), u, v)));
+        }
+    };
+    push_edges(&mut heap, root);
+    while let Some(Reverse(((w, eid), u, v))) = heap.pop() {
+        if tree.contains(u) {
+            continue;
+        }
+        tree.attach_via(u, v, eid, w);
+        push_edges(&mut heap, u);
+    }
+    tree
+}
+
+/// Kruskal's algorithm: the set of canonical-MST edge ids of `G`
+/// (a minimum spanning *forest* if `G` is disconnected).
+///
+/// Agrees with [`prim_mst`] on connected graphs: both select exactly the
+/// edges of the unique canonical MST under the `(weight, id)` order.
+pub fn kruskal_mst(g: &WeightedGraph) -> Vec<EdgeId> {
+    let mut edges: Vec<EdgeId> = g.edge_ids().collect();
+    edges.sort_by_key(|&e| edge_key(g, e));
+    let mut dsu = DisjointSets::new(g.node_count());
+    let mut chosen = Vec::new();
+    for e in edges {
+        let (u, v) = g.edge(e).endpoints();
+        if dsu.union(u.index(), v.index()) {
+            chosen.push(e);
+        }
+    }
+    chosen
+}
+
+/// Union–find with path halving and union by size.
+#[derive(Clone, Debug)]
+pub(crate) struct DisjointSets {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl DisjointSets {
+    pub(crate) fn new(n: usize) -> Self {
+        DisjointSets {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    pub(crate) fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Unions the sets of `a` and `b`; returns `false` if already joined.
+    pub(crate) fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::weight::Cost;
+
+    fn square_with_diagonal() -> WeightedGraph {
+        let mut b = GraphBuilder::new(4);
+        b.edge(0, 1, 1)
+            .edge(1, 2, 2)
+            .edge(2, 3, 3)
+            .edge(3, 0, 4)
+            .edge(0, 2, 5);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn prim_picks_lightest_spanning_set() {
+        let g = square_with_diagonal();
+        let t = prim_mst(&g, NodeId::new(0));
+        assert!(t.is_spanning());
+        assert_eq!(t.weight(), Cost::new(6)); // 1 + 2 + 3
+    }
+
+    #[test]
+    fn prim_and_kruskal_agree() {
+        let g = square_with_diagonal();
+        let t = prim_mst(&g, NodeId::new(2));
+        let mut prim_edges: Vec<EdgeId> = t.edges().map(|(_, _, e, _)| e).collect();
+        prim_edges.sort();
+        let mut kruskal_edges = kruskal_mst(&g);
+        kruskal_edges.sort();
+        assert_eq!(prim_edges, kruskal_edges);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        // all weights equal: canonical MST must be the first n-1 edges
+        // that don't close a cycle, in id order.
+        let mut b = GraphBuilder::new(4);
+        b.edge(0, 1, 7).edge(1, 2, 7).edge(2, 0, 7).edge(2, 3, 7);
+        let g = b.build().unwrap();
+        let chosen = kruskal_mst(&g);
+        assert_eq!(chosen, vec![EdgeId::new(0), EdgeId::new(1), EdgeId::new(3)]);
+        let t = prim_mst(&g, NodeId::new(3));
+        let mut prim_edges: Vec<EdgeId> = t.edges().map(|(_, _, e, _)| e).collect();
+        prim_edges.sort();
+        assert_eq!(prim_edges, chosen);
+    }
+
+    #[test]
+    fn kruskal_on_disconnected_graph_builds_forest() {
+        let mut b = GraphBuilder::new(4);
+        b.edge(0, 1, 1).edge(2, 3, 2);
+        let g = b.build().unwrap();
+        assert_eq!(kruskal_mst(&g).len(), 2);
+    }
+
+    #[test]
+    fn prim_spans_only_component_of_root() {
+        let mut b = GraphBuilder::new(4);
+        b.edge(0, 1, 1).edge(2, 3, 2);
+        let g = b.build().unwrap();
+        let t = prim_mst(&g, NodeId::new(0));
+        assert!(t.contains(NodeId::new(1)));
+        assert!(!t.contains(NodeId::new(2)));
+    }
+
+    #[test]
+    fn disjoint_sets_basics() {
+        let mut d = DisjointSets::new(4);
+        assert!(d.union(0, 1));
+        assert!(!d.union(1, 0));
+        assert!(d.union(2, 3));
+        assert_ne!(d.find(0), d.find(2));
+        assert!(d.union(1, 3));
+        assert_eq!(d.find(0), d.find(2));
+    }
+}

@@ -1,0 +1,530 @@
+//! Workload graph families.
+//!
+//! Deterministic constructions (paths, cycles, grids, the paper's
+//! lower-bound family of Figure 7) plus seeded random families. Every
+//! random generator takes an explicit seed, so benchmark workloads are
+//! reproducible.
+
+use crate::graph::{GraphBuilder, WeightedGraph};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// How edge weights are drawn in random generators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WeightDist {
+    /// Every edge gets the same weight.
+    Constant(u64),
+    /// Uniform in `lo..=hi`.
+    Uniform(u64, u64),
+    /// `2^k` with `k` uniform in `0..=max_exp` (normalized networks).
+    PowerOfTwo(u32),
+}
+
+impl WeightDist {
+    fn sample(self, rng: &mut StdRng) -> u64 {
+        match self {
+            WeightDist::Constant(w) => w.max(1),
+            WeightDist::Uniform(lo, hi) => rng.random_range(lo.max(1)..=hi.max(lo.max(1))),
+            WeightDist::PowerOfTwo(max_exp) => 1u64 << rng.random_range(0..=max_exp),
+        }
+    }
+}
+
+/// Path `0 − 1 − … − (n−1)` with the given weights per position.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn path(n: usize, weight: impl Fn(usize) -> u64) -> WeightedGraph {
+    assert!(n > 0, "path needs at least one vertex");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n.saturating_sub(1) {
+        b.edge(i, i + 1, weight(i));
+    }
+    b.build().expect("path construction is valid")
+}
+
+/// Cycle on `n ≥ 3` vertices.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize, weight: impl Fn(usize) -> u64) -> WeightedGraph {
+    assert!(n >= 3, "cycle needs at least three vertices");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.edge(i, (i + 1) % n, weight(i));
+    }
+    b.build().expect("cycle construction is valid")
+}
+
+/// Star with center `0` and `n−1` leaves.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn star(n: usize, weight: impl Fn(usize) -> u64) -> WeightedGraph {
+    assert!(n > 0, "star needs at least one vertex");
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.edge(0, i, weight(i));
+    }
+    b.build().expect("star construction is valid")
+}
+
+/// Complete graph `K_n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn complete(n: usize, weight: impl Fn(usize, usize) -> u64) -> WeightedGraph {
+    assert!(n > 0, "complete graph needs at least one vertex");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.edge(i, j, weight(i, j));
+        }
+    }
+    b.build().expect("complete construction is valid")
+}
+
+/// `rows × cols` grid with seeded random weights.
+///
+/// # Panics
+///
+/// Panics if `rows == 0 || cols == 0`.
+pub fn grid(rows: usize, cols: usize, dist: WeightDist, seed: u64) -> WeightedGraph {
+    assert!(rows > 0 && cols > 0, "grid needs positive dimensions");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let id = |r: usize, c: usize| r * cols + c;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.edge(id(r, c), id(r, c + 1), dist.sample(&mut rng));
+            }
+            if r + 1 < rows {
+                b.edge(id(r, c), id(r + 1, c), dist.sample(&mut rng));
+            }
+        }
+    }
+    b.build().expect("grid construction is valid")
+}
+
+/// Connected Erdős–Rényi-style graph: a random spanning tree plus each
+/// remaining pair independently with probability `p`.
+///
+/// The random-tree backbone guarantees connectivity (the paper's protocols
+/// assume a connected network).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `p` is not in `[0, 1]`.
+pub fn connected_gnp(n: usize, p: f64, dist: WeightDist, seed: u64) -> WeightedGraph {
+    assert!(n > 0, "connected_gnp needs at least one vertex");
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    let mut tree_pairs = std::collections::HashSet::new();
+    let mut in_tree = vec![0usize]; // random attachment tree
+    for v in 1..n {
+        let parent = in_tree[rng.random_range(0..in_tree.len())];
+        b.edge(v, parent, dist.sample(&mut rng));
+        tree_pairs.insert((parent.min(v), parent.max(v)));
+        in_tree.push(v);
+    }
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if tree_pairs.contains(&(u, v)) {
+                continue;
+            }
+            if rng.random_bool(p) {
+                b.edge(u, v, dist.sample(&mut rng));
+            }
+        }
+    }
+    b.build().expect("gnp construction is valid")
+}
+
+/// The lower-bound family `G_n` of Figure 7 (Section 7.1).
+///
+/// Vertices `0..n` (the paper's `1..=n` shifted down). Edges:
+///
+/// * the *path* `E_p = {(i, i+1)}` with weight `x`,
+/// * the *bypassing* edges `E_b = {(i, n−1−i) : i < n/2}` with weight
+///   `x⁴` (the paper's `X` vs `X⁴` with `X > n`).
+///
+/// The MST is the path alone, so `V̂ = (n−1)·x`, while using even one
+/// bypass edge costs `x⁴`. Any correct spanning-tree algorithm must spend
+/// `Ω(n·V̂)` communication on this family.
+///
+/// # Panics
+///
+/// Panics if `n < 4` or `x < 2`, where the construction degenerates.
+pub fn lower_bound_family(n: usize, x: u64) -> WeightedGraph {
+    assert!(n >= 4, "lower-bound family needs n >= 4");
+    assert!(x >= 2, "lower-bound family needs x >= 2");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n - 1 {
+        b.edge(i, i + 1, x);
+    }
+    let heavy = x.saturating_mul(x).saturating_mul(x).saturating_mul(x);
+    for i in 0..n / 2 {
+        let j = n - 1 - i;
+        if j != i && j != i + 1 && (i == 0 || j != i - 1) {
+            b.edge(i, j, heavy);
+        }
+    }
+    b.build().expect("lower-bound construction is valid")
+}
+
+/// The adversarial split `G'_{n,i}` of Figure 8: `G_n` with bypass edge
+/// `(i, n−1−i)` replaced by two pendant edges `(i, v)` and `(n−1−i, w)` to
+/// fresh vertices `v = n`, `w = n+1`, with the same heavy weight.
+///
+/// In the paper's indistinguishability argument, a protocol that never
+/// communicates across bypass edges cannot tell `G_n` from `G'_{n,i}`
+/// and therefore strands `v` and `w` outside the spanning tree.
+///
+/// # Panics
+///
+/// Panics if `n < 4`, `x < 2` or `i ≥ n/2` (no such bypass edge).
+pub fn lower_bound_split(n: usize, x: u64, i: usize) -> WeightedGraph {
+    assert!(n >= 4 && x >= 2, "invalid lower-bound parameters");
+    assert!(i < n / 2, "bypass index out of range");
+    let heavy = x.saturating_mul(x).saturating_mul(x).saturating_mul(x);
+    let j = n - 1 - i;
+    let mut b = GraphBuilder::new(n + 2);
+    for k in 0..n - 1 {
+        b.edge(k, k + 1, x);
+    }
+    for k in 0..n / 2 {
+        let l = n - 1 - k;
+        if l == k || l == k + 1 || (k > 0 && l == k - 1) {
+            continue;
+        }
+        if k == i {
+            b.edge(i, n, heavy); // (i, v)
+            b.edge(j, n + 1, heavy); // (n−1−i, w)
+        } else {
+            b.edge(k, l, heavy);
+        }
+    }
+    b.build().expect("split construction is valid")
+}
+
+/// A family where `d ≪ W`: a light cycle (weight 1 edges) plus heavy
+/// chords of weight `heavy` connecting antipodal vertices.
+///
+/// Every chord's endpoints are at light-cycle distance `≤ n/2`, so
+/// `d ≤ n/2` while `W = heavy` can be arbitrarily larger — the regime
+/// where clock synchronizer γ\* beats α\* (Section 3).
+///
+/// # Panics
+///
+/// Panics if `n < 4`.
+pub fn heavy_chord_cycle(n: usize, heavy: u64) -> WeightedGraph {
+    assert!(n >= 4, "heavy_chord_cycle needs n >= 4");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.edge(i, (i + 1) % n, 1);
+    }
+    for i in 0..n / 2 {
+        let j = i + n / 2;
+        if j < n && j != (i + 1) % n && (i + n - 1) % n != j {
+            b.edge(i, j, heavy.max(1));
+        }
+    }
+    b.build().expect("heavy chord construction is valid")
+}
+
+/// A family where `Ê ≪ n·V̂`: a heavy spanning path plus a few light
+/// chords. Here flooding/DFS (cost `O(Ê)`) beats the full-information
+/// algorithms (cost `O(n·V̂)`).
+///
+/// # Panics
+///
+/// Panics if `n < 4`.
+pub fn sparse_heavy_path(n: usize, heavy: u64, seed: u64) -> WeightedGraph {
+    assert!(n >= 4, "sparse_heavy_path needs n >= 4");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n - 1 {
+        b.edge(i, i + 1, heavy.max(2));
+    }
+    // a handful of light chords (n/4 of them)
+    let mut used = std::collections::HashSet::new();
+    let mut added = 0;
+    while added < n / 4 {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u == v || u.abs_diff(v) == 1 {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if used.insert(key) {
+            b.edge(key.0, key.1, 1);
+            added += 1;
+        }
+    }
+    b.build().expect("sparse heavy path construction is valid")
+}
+
+/// The `dim`-dimensional hypercube `Q_dim` (`2^dim` vertices) — the
+/// topology of the Peleg–Ullman optimal synchronizer \[PU89], cited in
+/// Section 1.4.3. Edge weights drawn from `dist`.
+///
+/// # Panics
+///
+/// Panics if `dim == 0` or `dim > 16`.
+pub fn hypercube(dim: u32, dist: WeightDist, seed: u64) -> WeightedGraph {
+    assert!(
+        (1..=16).contains(&dim),
+        "hypercube dimension must be 1..=16"
+    );
+    let n = 1usize << dim;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for bit in 0..dim {
+            let u = v ^ (1 << bit);
+            if v < u {
+                b.edge(v, u, dist.sample(&mut rng));
+            }
+        }
+    }
+    b.build().expect("hypercube construction is valid")
+}
+
+/// A `rows × cols` torus (grid with wraparound) — every vertex has
+/// degree 4, the classic low-diameter mesh.
+///
+/// # Panics
+///
+/// Panics if `rows < 3 || cols < 3` (smaller wraps create duplicate
+/// edges).
+pub fn torus(rows: usize, cols: usize, dist: WeightDist, seed: u64) -> WeightedGraph {
+    assert!(rows >= 3 && cols >= 3, "torus needs at least 3×3");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let id = |r: usize, c: usize| r * cols + c;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            b.edge(id(r, c), id(r, (c + 1) % cols), dist.sample(&mut rng));
+            b.edge(id(r, c), id((r + 1) % rows, c), dist.sample(&mut rng));
+        }
+    }
+    b.build().expect("torus construction is valid")
+}
+
+/// A random tree on `n` vertices (uniform attachment), the minimal
+/// connected workload: `Ê = V̂` and every algorithm's frugal path.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_tree(n: usize, dist: WeightDist, seed: u64) -> WeightedGraph {
+    assert!(n > 0, "random tree needs at least one vertex");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        let parent = rng.random_range(0..v);
+        b.edge(v, parent, dist.sample(&mut rng));
+    }
+    b.build().expect("random tree construction is valid")
+}
+
+/// Clustered graph: `k` dense clusters of `size` vertices with light
+/// intra-cluster edges, connected by a sparse ring of heavy inter-cluster
+/// edges. Exercises cover/partition quality.
+///
+/// # Panics
+///
+/// Panics if `clusters == 0 || size == 0`.
+pub fn cluster_graph(clusters: usize, size: usize, heavy: u64, seed: u64) -> WeightedGraph {
+    assert!(
+        clusters > 0 && size > 0,
+        "cluster graph needs positive sizes"
+    );
+    let n = clusters * size;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for c in 0..clusters {
+        let base = c * size;
+        // intra-cluster: ring + random chords, weight 1..=3
+        for i in 0..size.saturating_sub(1) {
+            b.edge(base + i, base + i + 1, rng.random_range(1..=3));
+        }
+        if size >= 3 {
+            b.edge(base, base + size - 1, rng.random_range(1..=3));
+        }
+    }
+    if clusters > 1 {
+        for c in 0..clusters {
+            let next = (c + 1) % clusters;
+            if clusters == 2 && c == 1 {
+                break; // avoid duplicating the single connecting edge
+            }
+            b.edge(c * size, next * size, heavy.max(1));
+        }
+    }
+    b.build().expect("cluster construction is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::is_connected;
+    use crate::params::CostParams;
+    use crate::weight::Cost;
+
+    #[test]
+    fn path_cycle_star_complete_shapes() {
+        assert_eq!(path(5, |_| 2).edge_count(), 4);
+        assert_eq!(cycle(5, |_| 2).edge_count(), 5);
+        assert_eq!(star(5, |_| 2).edge_count(), 4);
+        assert_eq!(complete(5, |_, _| 2).edge_count(), 10);
+    }
+
+    #[test]
+    fn grid_is_connected() {
+        let g = grid(4, 5, WeightDist::Uniform(1, 9), 7);
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(g.edge_count(), 4 * 4 + 3 * 5); // rows*(cols-1) + (rows-1)*cols
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn gnp_is_connected_and_deterministic() {
+        let g1 = connected_gnp(30, 0.1, WeightDist::Uniform(1, 16), 42);
+        let g2 = connected_gnp(30, 0.1, WeightDist::Uniform(1, 16), 42);
+        assert!(is_connected(&g1));
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        let w1: Vec<u64> = g1.edges().map(|e| e.weight().get()).collect();
+        let w2: Vec<u64> = g2.edges().map(|e| e.weight().get()).collect();
+        assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn gnp_different_seeds_differ() {
+        let g1 = connected_gnp(30, 0.3, WeightDist::Uniform(1, 1000), 1);
+        let g2 = connected_gnp(30, 0.3, WeightDist::Uniform(1, 1000), 2);
+        let w1: Vec<u64> = g1.edges().map(|e| e.weight().get()).collect();
+        let w2: Vec<u64> = g2.edges().map(|e| e.weight().get()).collect();
+        assert_ne!(w1, w2);
+    }
+
+    #[test]
+    fn power_of_two_dist_is_normalized() {
+        let g = connected_gnp(20, 0.2, WeightDist::PowerOfTwo(6), 5);
+        assert!(g.is_normalized());
+    }
+
+    #[test]
+    fn lower_bound_family_matches_figure_7() {
+        // Figure 7: n = 9 — path of 8 edges + bypasses (1,9),(2,8),(3,7)
+        // (1-indexed); (4,6) is skipped because 6 = 4+2... in 0-indexed
+        // terms bypass (i, 8-i) for i in 0..4 subject to adjacency rules.
+        let g = lower_bound_family(9, 3);
+        let p = CostParams::of(&g);
+        // MST is the path alone: V̂ = 8 * 3 = 24.
+        assert_eq!(p.mst_weight, Cost::new(24));
+        // every bypass edge has weight 81*... x^4 = 81
+        assert_eq!(p.max_weight.get(), 81);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn lower_bound_mst_is_the_path() {
+        let g = lower_bound_family(12, 5);
+        let mst = crate::algo::prim_mst(&g, crate::NodeId::new(0));
+        assert!(mst.is_spanning());
+        assert_eq!(mst.weight(), Cost::new(11 * 5));
+        // all MST edges are path edges (weight 5)
+        for (_, _, _, w) in mst.edges() {
+            assert_eq!(w.get(), 5);
+        }
+    }
+
+    #[test]
+    fn lower_bound_split_adds_two_pendants() {
+        let g = lower_bound_family(10, 3);
+        let gs = lower_bound_split(10, 3, 1);
+        assert_eq!(gs.node_count(), 12);
+        assert_eq!(gs.edge_count(), g.edge_count() + 1); // one bypass became two pendants
+        assert!(is_connected(&gs));
+    }
+
+    #[test]
+    fn heavy_chord_cycle_has_small_d_large_w() {
+        let g = heavy_chord_cycle(16, 1_000);
+        let p = CostParams::of(&g);
+        assert_eq!(p.max_weight.get(), 1_000);
+        assert!(p.max_neighbor_distance <= Cost::new(8)); // around the light cycle
+    }
+
+    #[test]
+    fn sparse_heavy_path_regime() {
+        let g = sparse_heavy_path(32, 1_000, 3);
+        let p = CostParams::of(&g);
+        // Ê ≈ 31 heavy + few light; n·V̂ ≥ 32 * 31 * ~1 — need Ê < n·V̂.
+        let nv = p.mst_weight * p.n as u128;
+        assert!(
+            p.total_weight < nv,
+            "expected Ê ({}) < n·V̂ ({nv})",
+            p.total_weight
+        );
+    }
+
+    #[test]
+    fn cluster_graph_is_connected() {
+        let g = cluster_graph(4, 6, 50, 11);
+        assert_eq!(g.node_count(), 24);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 4")]
+    fn lower_bound_rejects_tiny_n() {
+        let _ = lower_bound_family(3, 5);
+    }
+
+    #[test]
+    fn hypercube_has_the_right_shape() {
+        let g = hypercube(4, WeightDist::Constant(2), 0);
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.edge_count(), 4 * 16 / 2);
+        assert!(is_connected(&g));
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn torus_is_four_regular_and_connected() {
+        let g = torus(4, 5, WeightDist::Uniform(1, 7), 3);
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(g.edge_count(), 2 * 20);
+        assert!(is_connected(&g));
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn random_tree_has_n_minus_one_edges() {
+        let g = random_tree(30, WeightDist::Uniform(1, 9), 5);
+        assert_eq!(g.edge_count(), 29);
+        assert!(is_connected(&g));
+        let p = CostParams::of(&g);
+        assert_eq!(p.total_weight, p.mst_weight); // a tree is its own MST
+    }
+
+    #[test]
+    fn hypercube_diameter_is_dimension_for_unit_weights() {
+        let g = hypercube(5, WeightDist::Constant(1), 0);
+        let p = CostParams::of(&g);
+        assert_eq!(p.hop_diameter, 5);
+        assert_eq!(p.weighted_diameter, Cost::new(5));
+    }
+}

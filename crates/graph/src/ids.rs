@@ -1,0 +1,145 @@
+//! Typed identifiers for vertices and edges.
+//!
+//! Raw `usize` indices are easy to mix up between node and edge index
+//! spaces; these newtypes keep the distinction static ([C-NEWTYPE]).
+
+use std::fmt;
+
+/// Identifier of a vertex in a [`WeightedGraph`](crate::WeightedGraph).
+///
+/// Node identifiers are dense indices `0..n`.
+///
+/// # Example
+///
+/// ```
+/// use csp_graph::NodeId;
+/// let v = NodeId::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(format!("{v}"), "v3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Creates a node identifier from a dense index.
+    #[inline]
+    pub const fn new(index: usize) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the dense index of this node.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(index: usize) -> Self {
+        NodeId(index)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> usize {
+        id.0
+    }
+}
+
+/// Identifier of an undirected edge in a
+/// [`WeightedGraph`](crate::WeightedGraph).
+///
+/// Edge identifiers are dense indices `0..m` in insertion order.
+///
+/// # Example
+///
+/// ```
+/// use csp_graph::EdgeId;
+/// let e = EdgeId::new(7);
+/// assert_eq!(e.index(), 7);
+/// assert_eq!(format!("{e}"), "e7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct EdgeId(usize);
+
+impl EdgeId {
+    /// Creates an edge identifier from a dense index.
+    #[inline]
+    pub const fn new(index: usize) -> Self {
+        EdgeId(index)
+    }
+
+    /// Returns the dense index of this edge.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<usize> for EdgeId {
+    fn from(index: usize) -> Self {
+        EdgeId(index)
+    }
+}
+
+impl From<EdgeId> for usize {
+    fn from(id: EdgeId) -> usize {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn node_id_round_trip() {
+        for i in [0usize, 1, 17, usize::MAX] {
+            assert_eq!(NodeId::new(i).index(), i);
+            assert_eq!(usize::from(NodeId::from(i)), i);
+        }
+    }
+
+    #[test]
+    fn edge_id_round_trip() {
+        for i in [0usize, 1, 17, usize::MAX] {
+            assert_eq!(EdgeId::new(i).index(), i);
+            assert_eq!(usize::from(EdgeId::from(i)), i);
+        }
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(EdgeId::new(1) < EdgeId::new(2));
+        let set: HashSet<NodeId> = [NodeId::new(1), NodeId::new(1), NodeId::new(2)]
+            .into_iter()
+            .collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId::new(0).to_string(), "v0");
+        assert_eq!(EdgeId::new(42).to_string(), "e42");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(NodeId::default(), NodeId::new(0));
+        assert_eq!(EdgeId::default(), EdgeId::new(0));
+    }
+}

@@ -1,0 +1,207 @@
+//! Plain-text edge-list serialization.
+//!
+//! A minimal, dependency-free interchange format so workloads can be
+//! saved, diffed and replayed:
+//!
+//! ```text
+//! # comment lines start with '#'
+//! n 5            # vertex count
+//! e 0 1 3        # edge u v weight
+//! e 1 2 7
+//! ```
+
+use crate::graph::{GraphBuilder, WeightedGraph};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while parsing an edge list.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParseGraphError {
+    /// A line could not be interpreted.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What was expected.
+        reason: String,
+    },
+    /// The `n` header is missing or appears after edges.
+    MissingHeader,
+    /// The edge set failed graph validation.
+    Invalid(crate::graph::GraphError),
+}
+
+impl fmt::Display for ParseGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseGraphError::BadLine { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+            ParseGraphError::MissingHeader => {
+                f.write_str("missing 'n <count>' header before the first edge")
+            }
+            ParseGraphError::Invalid(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl Error for ParseGraphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseGraphError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<crate::graph::GraphError> for ParseGraphError {
+    fn from(e: crate::graph::GraphError) -> Self {
+        ParseGraphError::Invalid(e)
+    }
+}
+
+/// Serializes a graph as an edge list.
+///
+/// # Example
+///
+/// ```
+/// use csp_graph::GraphBuilder;
+/// use csp_graph::io::{parse_edge_list, to_edge_list};
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.edge(0, 1, 2).edge(1, 2, 5);
+/// let g = b.build()?;
+/// let text = to_edge_list(&g);
+/// let back = parse_edge_list(&text)?;
+/// assert_eq!(back.total_weight(), g.total_weight());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn to_edge_list(g: &WeightedGraph) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(out, "n {}", g.node_count()).expect("write to String");
+    for e in g.edges() {
+        writeln!(
+            out,
+            "e {} {} {}",
+            e.u().index(),
+            e.v().index(),
+            e.weight().get()
+        )
+        .expect("write to String");
+    }
+    out
+}
+
+/// Parses an edge list produced by [`to_edge_list`] (comments and blank
+/// lines allowed).
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] on malformed lines, a missing header, or
+/// an invalid edge set.
+pub fn parse_edge_list(text: &str) -> Result<WeightedGraph, ParseGraphError> {
+    let mut builder: Option<GraphBuilder> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        match parts.next() {
+            Some("n") => {
+                let n: usize = parts.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
+                    ParseGraphError::BadLine {
+                        line,
+                        reason: "expected 'n <count>'".into(),
+                    }
+                })?;
+                builder = Some(GraphBuilder::new(n));
+            }
+            Some("e") => {
+                let b = builder.as_mut().ok_or(ParseGraphError::MissingHeader)?;
+                let mut next_num = |what: &str| -> Result<u64, ParseGraphError> {
+                    parts.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
+                        ParseGraphError::BadLine {
+                            line,
+                            reason: format!("expected {what} in 'e <u> <v> <w>'"),
+                        }
+                    })
+                };
+                let u = next_num("u")? as usize;
+                let v = next_num("v")? as usize;
+                let w = next_num("w")?;
+                if w == 0 {
+                    return Err(ParseGraphError::BadLine {
+                        line,
+                        reason: "edge weight must be ≥ 1".into(),
+                    });
+                }
+                b.edge(u, v, w);
+            }
+            Some(other) => {
+                return Err(ParseGraphError::BadLine {
+                    line,
+                    reason: format!("unknown directive '{other}'"),
+                })
+            }
+            None => unreachable!("empty lines are skipped"),
+        }
+    }
+    let b = builder.ok_or(ParseGraphError::MissingHeader)?;
+    Ok(b.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let g = generators::connected_gnp(25, 0.2, generators::WeightDist::Uniform(1, 50), 3);
+        let text = to_edge_list(&g);
+        let back = parse_edge_list(&text).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        let orig: Vec<_> = g.edges().map(|e| (e.u(), e.v(), e.weight())).collect();
+        let parsed: Vec<_> = back.edges().map(|e| (e.u(), e.v(), e.weight())).collect();
+        assert_eq!(orig, parsed);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# a workload\n\nn 3\n# the edges\ne 0 1 4\n\ne 1 2 1\n";
+        let g = parse_edge_list(text).unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn missing_header_is_reported() {
+        assert_eq!(
+            parse_edge_list("e 0 1 1").unwrap_err(),
+            ParseGraphError::MissingHeader
+        );
+    }
+
+    #[test]
+    fn bad_lines_carry_line_numbers() {
+        let err = parse_edge_list("n 3\ne 0 1\n").unwrap_err();
+        assert!(matches!(err, ParseGraphError::BadLine { line: 2, .. }));
+        let err = parse_edge_list("n 3\nx 1 2 3\n").unwrap_err();
+        assert!(matches!(err, ParseGraphError::BadLine { line: 2, .. }));
+    }
+
+    #[test]
+    fn zero_weight_rejected() {
+        let err = parse_edge_list("n 2\ne 0 1 0\n").unwrap_err();
+        assert!(matches!(err, ParseGraphError::BadLine { line: 2, .. }));
+    }
+
+    #[test]
+    fn invalid_graphs_are_rejected() {
+        let err = parse_edge_list("n 2\ne 0 5 1\n").unwrap_err();
+        assert!(matches!(err, ParseGraphError::Invalid(_)));
+        assert!(err.to_string().contains("out of range"));
+    }
+}

@@ -1,0 +1,223 @@
+//! The paper's weighted complexity parameters `Ê`, `V̂`, `D̂`, `d`, `W`.
+//!
+//! Section 1.3 of the paper evaluates weighted protocols through the
+//! weighted analogs of the classical parameters `E`, `V`, `D`:
+//!
+//! * `Ê = w(G)` — total edge weight: the cost of sending one message over
+//!   every edge (analog of the edge count `E`);
+//! * `V̂ = w(MST)` — MST weight: the minimal cost of reaching all vertices
+//!   (analog of the vertex count `V`);
+//! * `D̂ = Diam(G)` — weighted diameter: the maximal cost of transmitting
+//!   a message between a pair of vertices (analog of the hop diameter `D`);
+//!
+//! plus the clock-synchronization parameters of Section 1.4.2:
+//!
+//! * `d = max_{(u,v)∈E} dist(u, v, G)` — the largest weighted distance
+//!   between *neighbors* (always `d ≤ W`, and the interesting case for
+//!   synchronizer γ\* is `d ≪ W`);
+//! * `W = max_e w(e)` — the maximum edge weight.
+
+use crate::algo::{distances, prim_mst};
+use crate::graph::WeightedGraph;
+use crate::ids::NodeId;
+use crate::weight::{Cost, Weight};
+use std::fmt;
+
+/// All cost-sensitive parameters of a connected weighted graph.
+///
+/// # Example
+///
+/// ```
+/// use csp_graph::GraphBuilder;
+/// use csp_graph::params::CostParams;
+///
+/// // A triangle: heavy direct edge, light detour.
+/// let mut b = GraphBuilder::new(3);
+/// b.edge(0, 1, 1).edge(1, 2, 1).edge(0, 2, 8);
+/// let g = b.build()?;
+/// let p = CostParams::of(&g);
+/// assert_eq!(p.total_weight.get(), 10);        // Ê
+/// assert_eq!(p.mst_weight.get(), 2);           // V̂
+/// assert_eq!(p.weighted_diameter.get(), 2);    // D̂
+/// assert_eq!(p.max_neighbor_distance.get(), 2);// d: the 8-edge's endpoints
+///                                              // are at distance 2
+/// assert_eq!(p.max_weight.get(), 8);           // W
+/// # Ok::<(), csp_graph::GraphError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CostParams {
+    /// Number of vertices `n`.
+    pub n: usize,
+    /// Number of edges `m`.
+    pub m: usize,
+    /// `Ê = w(G)`.
+    pub total_weight: Cost,
+    /// `V̂ = w(MST)`.
+    pub mst_weight: Cost,
+    /// `D̂ = Diam(G)` (weighted).
+    pub weighted_diameter: Cost,
+    /// Hop diameter `D` (unweighted).
+    pub hop_diameter: usize,
+    /// `d = max_{(u,v)∈E} dist(u, v, G)`.
+    pub max_neighbor_distance: Cost,
+    /// `W = max_e w(e)`.
+    pub max_weight: Weight,
+    /// `Diam(MST)` — weighted diameter of the canonical MST
+    /// (Fact 6.3: `Diam(MST) ≤ V̂ ≤ (n−1)·D̂`).
+    pub mst_diameter: Cost,
+}
+
+impl CostParams {
+    /// Computes every parameter of `g`.
+    ///
+    /// Runs `n` Dijkstra sweeps (`O(n·m·log n)`); intended for analysis and
+    /// benchmarking, not inner loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is disconnected or has no vertices — the weighted
+    /// diameter and `V̂` are undefined there.
+    pub fn of(g: &WeightedGraph) -> CostParams {
+        assert!(
+            g.node_count() > 0,
+            "parameters of the empty graph are undefined"
+        );
+        let n = g.node_count();
+        let mst = prim_mst(g, NodeId::new(0));
+        assert!(
+            mst.is_spanning(),
+            "graph must be connected to compute cost parameters"
+        );
+        let mut diameter = Cost::ZERO;
+        let mut max_neighbor = Cost::ZERO;
+        let mut hop_diam = 0usize;
+        for v in g.nodes() {
+            let dist = distances(g, v);
+            for u in g.nodes() {
+                let d = dist[u.index()];
+                assert!(d.is_finite(), "graph must be connected");
+                if d > diameter {
+                    diameter = d;
+                }
+            }
+            for (u, _, _) in g.neighbors(v) {
+                let d = dist[u.index()];
+                if d > max_neighbor {
+                    max_neighbor = d;
+                }
+            }
+            let hops = crate::algo::hop_distances(g, v);
+            for u in g.nodes() {
+                let h = hops[u.index()].expect("connected");
+                if h > hop_diam {
+                    hop_diam = h;
+                }
+            }
+        }
+        CostParams {
+            n,
+            m: g.edge_count(),
+            total_weight: g.total_weight(),
+            mst_weight: mst.weight(),
+            weighted_diameter: diameter,
+            hop_diameter: hop_diam,
+            max_neighbor_distance: max_neighbor,
+            max_weight: g.max_weight(),
+            mst_diameter: mst.diameter(),
+        }
+    }
+
+    /// The paper's connectivity/MST bound pivot `min{Ê, n·V̂}`.
+    pub fn min_e_nv(&self) -> Cost {
+        let nv = self.mst_weight * self.n as u128;
+        self.total_weight.min(nv)
+    }
+}
+
+impl fmt::Display for CostParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} m={} Ê={} V̂={} D̂={} D={} d={} W={}",
+            self.n,
+            self.m,
+            self.total_weight,
+            self.mst_weight,
+            self.weighted_diameter,
+            self.hop_diameter,
+            self.max_neighbor_distance,
+            self.max_weight
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn sample() -> WeightedGraph {
+        // path 0-1-2-3 with weights 2,3,4 and a bypass 0-3 of weight 20.
+        let mut b = GraphBuilder::new(4);
+        b.edge(0, 1, 2).edge(1, 2, 3).edge(2, 3, 4).edge(0, 3, 20);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn parameters_of_sample() {
+        let p = CostParams::of(&sample());
+        assert_eq!(p.n, 4);
+        assert_eq!(p.m, 4);
+        assert_eq!(p.total_weight, Cost::new(29));
+        assert_eq!(p.mst_weight, Cost::new(9)); // drops the 20-edge
+        assert_eq!(p.weighted_diameter, Cost::new(9)); // 0 to 3 along the path
+        assert_eq!(p.hop_diameter, 2); // e.g. 1 to 3 takes 2 hops
+        assert_eq!(p.max_neighbor_distance, Cost::new(9)); // endpoints of the 20-edge
+        assert_eq!(p.max_weight, Weight::new(20));
+    }
+
+    #[test]
+    fn fact_6_3_mst_diameter_le_v_hat_le_n_times_d_hat() {
+        let p = CostParams::of(&sample());
+        assert!(p.mst_diameter <= p.mst_weight);
+        assert!(p.mst_weight <= p.weighted_diameter * (p.n as u128 - 1));
+    }
+
+    #[test]
+    fn d_le_w_always() {
+        let p = CostParams::of(&sample());
+        assert!(p.max_neighbor_distance <= p.max_weight.to_cost());
+    }
+
+    #[test]
+    fn min_pivot() {
+        let p = CostParams::of(&sample());
+        // n·V̂ = 36 > Ê = 29
+        assert_eq!(p.min_e_nv(), Cost::new(29));
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_graph_panics() {
+        let mut b = GraphBuilder::new(3);
+        b.edge(0, 1, 1);
+        let g = b.build().unwrap();
+        let _ = CostParams::of(&g);
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = GraphBuilder::new(1).build().unwrap();
+        let p = CostParams::of(&g);
+        assert_eq!(p.weighted_diameter, Cost::ZERO);
+        assert_eq!(p.mst_weight, Cost::ZERO);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let p = CostParams::of(&sample());
+        let s = p.to_string();
+        assert!(s.contains("Ê=29"));
+        assert!(s.contains("V̂=9"));
+    }
+}

@@ -1,0 +1,529 @@
+//! Rooted spanning trees and tree measurements.
+//!
+//! Protocols in the paper constantly manipulate rooted trees — spanning
+//! trees, MSTs, shortest-path trees, shallow-light trees, cluster trees.
+//! [`RootedTree`] stores the parent structure over a subset of a graph's
+//! vertices, together with the connecting edge weights, and offers the
+//! measurements the analysis needs: total weight, weighted depth and
+//! weighted diameter.
+
+use crate::graph::WeightedGraph;
+use crate::ids::{EdgeId, NodeId};
+use crate::weight::{Cost, Weight};
+use std::fmt;
+
+/// A rooted tree over (a subset of) the vertices of a graph.
+///
+/// Each non-root member vertex records its parent and the weight of the
+/// connecting edge. Vertices outside the tree have no parent and are not
+/// [members](RootedTree::contains).
+///
+/// # Example
+///
+/// ```
+/// use csp_graph::{GraphBuilder, NodeId, RootedTree};
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.edge(0, 1, 2).edge(1, 2, 3);
+/// let g = b.build()?;
+/// let mut t = RootedTree::new(g.node_count(), NodeId::new(0));
+/// t.attach(NodeId::new(1), NodeId::new(0), &g);
+/// t.attach(NodeId::new(2), NodeId::new(1), &g);
+/// assert_eq!(t.weight().get(), 5);
+/// assert_eq!(t.depth(NodeId::new(2)).get(), 5);
+/// # Ok::<(), csp_graph::GraphError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct RootedTree {
+    root: NodeId,
+    /// `parent[v]` is `Some((parent, edge id, weight))` for non-root members.
+    parent: Vec<Option<(NodeId, EdgeId, Weight)>>,
+    /// Membership flags (the root is always a member).
+    member: Vec<bool>,
+}
+
+impl RootedTree {
+    /// Creates a tree containing only `root`, over a vertex universe of
+    /// size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root.index() >= n`.
+    pub fn new(n: usize, root: NodeId) -> Self {
+        assert!(root.index() < n, "root {root} out of range for {n} nodes");
+        let mut member = vec![false; n];
+        member[root.index()] = true;
+        RootedTree {
+            root,
+            parent: vec![None; n],
+            member,
+        }
+    }
+
+    /// The root vertex.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Size of the vertex universe (not the member count).
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.member.len()
+    }
+
+    /// Whether `v` belongs to the tree.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.member[v.index()]
+    }
+
+    /// Number of member vertices.
+    pub fn len(&self) -> usize {
+        self.member.iter().filter(|&&m| m).count()
+    }
+
+    /// Whether the tree contains only the root.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 1
+    }
+
+    /// Whether the tree spans all `n` universe vertices.
+    pub fn is_spanning(&self) -> bool {
+        self.member.iter().all(|&m| m)
+    }
+
+    /// Parent link of `v`: `(parent, edge, weight)`, or `None` for the root
+    /// and for non-members.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<(NodeId, EdgeId, Weight)> {
+        self.parent[v.index()]
+    }
+
+    /// Attaches non-member `child` under member `parent` using the graph
+    /// edge between them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `child` is already a member, `parent` is not a member, or
+    /// the graph has no edge `{parent, child}`.
+    pub fn attach(&mut self, child: NodeId, parent: NodeId, g: &WeightedGraph) {
+        let eid = g
+            .edge_between(parent, child)
+            .unwrap_or_else(|| panic!("no edge between {parent} and {child}"));
+        self.attach_via(child, parent, eid, g.weight(eid));
+    }
+
+    /// Attaches non-member `child` under member `parent` via a known edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `child` is already a member or `parent` is not a member.
+    pub fn attach_via(&mut self, child: NodeId, parent: NodeId, edge: EdgeId, w: Weight) {
+        assert!(
+            !self.member[child.index()],
+            "{child} is already in the tree"
+        );
+        assert!(self.member[parent.index()], "{parent} is not in the tree");
+        self.member[child.index()] = true;
+        self.parent[child.index()] = Some((parent, edge, w));
+    }
+
+    /// Iterates over member vertices.
+    pub fn members(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.member
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| m)
+            .map(|(i, _)| NodeId::new(i))
+    }
+
+    /// Iterates over tree edges as `(child, parent, edge id, weight)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, EdgeId, Weight)> + '_ {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.map(|(parent, eid, w)| (NodeId::new(i), parent, eid, w)))
+    }
+
+    /// Total weight `w(T)` of the tree.
+    pub fn weight(&self) -> Cost {
+        self.edges().map(|(_, _, _, w)| w.to_cost()).sum()
+    }
+
+    /// Weighted depth of `v`: the length of the tree path from the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a member.
+    pub fn depth(&self, v: NodeId) -> Cost {
+        assert!(self.member[v.index()], "{v} is not in the tree");
+        let mut depth = Cost::ZERO;
+        let mut cur = v;
+        while let Some((p, _, w)) = self.parent[cur.index()] {
+            depth += w;
+            cur = p;
+        }
+        depth
+    }
+
+    /// Hop depth of `v`: number of tree edges from the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a member.
+    pub fn hop_depth(&self, v: NodeId) -> usize {
+        assert!(self.member[v.index()], "{v} is not in the tree");
+        let mut hops = 0;
+        let mut cur = v;
+        while let Some((p, _, _)) = self.parent[cur.index()] {
+            hops += 1;
+            cur = p;
+        }
+        hops
+    }
+
+    /// Maximum weighted depth over all members (the tree's *height*).
+    pub fn height(&self) -> Cost {
+        self.depths()
+            .into_iter()
+            .flatten()
+            .max()
+            .unwrap_or(Cost::ZERO)
+    }
+
+    /// Weighted depths of all vertices (`None` for non-members), computed
+    /// in one pass.
+    pub fn depths(&self) -> Vec<Option<Cost>> {
+        let n = self.member.len();
+        let mut depth: Vec<Option<Cost>> = vec![None; n];
+        depth[self.root.index()] = Some(Cost::ZERO);
+        // Children lists give a top-down order without recursion.
+        let children = self.children_lists();
+        let mut stack = vec![self.root];
+        while let Some(v) = stack.pop() {
+            let dv = depth[v.index()].expect("parent depth set before child");
+            for &(c, w) in &children[v.index()] {
+                depth[c.index()] = Some(dv + w);
+                stack.push(c);
+            }
+        }
+        depth
+    }
+
+    /// Weighted diameter of the tree: the maximum weighted distance between
+    /// two members along tree paths.
+    ///
+    /// Computed with two sweeps (farthest-from-root, then farthest from
+    /// that), which is exact on trees.
+    pub fn diameter(&self) -> Cost {
+        let far = match self.farthest_from(self.root) {
+            Some((v, _)) => v,
+            None => return Cost::ZERO,
+        };
+        self.farthest_from(far)
+            .map(|(_, d)| d)
+            .unwrap_or(Cost::ZERO)
+    }
+
+    /// The member farthest (in weighted tree distance) from `start`, and
+    /// that distance. Returns `None` when the tree has a single member.
+    fn farthest_from(&self, start: NodeId) -> Option<(NodeId, Cost)> {
+        let n = self.member.len();
+        let children = self.children_lists();
+        let mut dist: Vec<Option<Cost>> = vec![None; n];
+        dist[start.index()] = Some(Cost::ZERO);
+        let mut stack = vec![start];
+        let mut best: Option<(NodeId, Cost)> = None;
+        while let Some(v) = stack.pop() {
+            let dv = dist[v.index()].expect("visited with distance");
+            if v != start && best.is_none_or(|(_, b)| dv > b) {
+                best = Some((v, dv));
+            }
+            // Tree neighbors: parent plus children.
+            let mut push = |u: NodeId, w: Weight| {
+                if dist[u.index()].is_none() {
+                    dist[u.index()] = Some(dv + w);
+                    stack.push(u);
+                }
+            };
+            if let Some((p, _, w)) = self.parent[v.index()] {
+                push(p, w);
+            }
+            for &(c, w) in &children[v.index()] {
+                push(c, w);
+            }
+        }
+        best
+    }
+
+    /// Builds, for each vertex, the list of `(child, weight)` pairs.
+    pub fn children_lists(&self) -> Vec<Vec<(NodeId, Weight)>> {
+        let mut children = vec![Vec::new(); self.member.len()];
+        for (i, p) in self.parent.iter().enumerate() {
+            if let Some((parent, _, w)) = p {
+                children[parent.index()].push((NodeId::new(i), *w));
+            }
+        }
+        children
+    }
+
+    /// The tree path from `v` up to the root, inclusive of both ends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a member.
+    pub fn path_to_root(&self, v: NodeId) -> Vec<NodeId> {
+        assert!(self.member[v.index()], "{v} is not in the tree");
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some((p, _, _)) = self.parent[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path
+    }
+
+    /// The tree path `Path(x, y, T)` between two members, as a vertex
+    /// sequence from `x` to `y` (inclusive), through their lowest common
+    /// ancestor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` is not a member.
+    pub fn path_between(&self, x: NodeId, y: NodeId) -> Vec<NodeId> {
+        assert!(self.member[x.index()], "{x} is not in the tree");
+        assert!(self.member[y.index()], "{y} is not in the tree");
+        // Climb the deeper endpoint until both are at the same hop depth,
+        // then climb together to the LCA.
+        let mut up_x = vec![x];
+        let mut up_y = vec![y];
+        let (mut hx, mut hy) = (self.hop_depth(x), self.hop_depth(y));
+        let (mut cx, mut cy) = (x, y);
+        while hx > hy {
+            cx = self.parent[cx.index()].expect("deeper vertex has parent").0;
+            up_x.push(cx);
+            hx -= 1;
+        }
+        while hy > hx {
+            cy = self.parent[cy.index()].expect("deeper vertex has parent").0;
+            up_y.push(cy);
+            hy -= 1;
+        }
+        while cx != cy {
+            cx = self.parent[cx.index()].expect("non-root has parent").0;
+            cy = self.parent[cy.index()].expect("non-root has parent").0;
+            up_x.push(cx);
+            up_y.push(cy);
+        }
+        // up_x ends at the LCA; append up_y reversed, skipping its LCA.
+        up_y.pop();
+        up_x.extend(up_y.into_iter().rev());
+        up_x
+    }
+
+    /// Weighted length of the tree path between two members,
+    /// `dist(x, y, T)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` is not a member.
+    pub fn tree_distance(&self, x: NodeId, y: NodeId) -> Cost {
+        let path = self.path_between(x, y);
+        let mut total = Cost::ZERO;
+        for pair in path.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let w = match self.parent[a.index()] {
+                Some((p, _, w)) if p == b => w,
+                _ => match self.parent[b.index()] {
+                    Some((p, _, w)) if p == a => w,
+                    _ => unreachable!("consecutive path vertices are tree neighbors"),
+                },
+            };
+            total += w;
+        }
+        total
+    }
+
+    /// Converts the tree into a standalone [`WeightedGraph`] over the same
+    /// vertex universe (useful for re-running graph algorithms on a tree).
+    pub fn to_graph(&self) -> WeightedGraph {
+        let mut b = crate::graph::GraphBuilder::new(self.member.len());
+        for (child, parent, _, w) in self.edges() {
+            b.edge(child.index(), parent.index(), w.get());
+        }
+        b.build().expect("tree edges form a valid graph")
+    }
+}
+
+impl fmt::Display for RootedTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RootedTree(root={}, members={}, w={})",
+            self.root,
+            self.len(),
+            self.weight()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn path_graph() -> WeightedGraph {
+        // 0 -2- 1 -3- 2 -1- 3
+        let mut b = GraphBuilder::new(4);
+        b.edge(0, 1, 2).edge(1, 2, 3).edge(2, 3, 1);
+        b.build().unwrap()
+    }
+
+    fn path_tree(g: &WeightedGraph) -> RootedTree {
+        let mut t = RootedTree::new(4, NodeId::new(0));
+        t.attach(NodeId::new(1), NodeId::new(0), g);
+        t.attach(NodeId::new(2), NodeId::new(1), g);
+        t.attach(NodeId::new(3), NodeId::new(2), g);
+        t
+    }
+
+    #[test]
+    fn membership_and_counts() {
+        let g = path_graph();
+        let t = path_tree(&g);
+        assert!(t.is_spanning());
+        assert_eq!(t.len(), 4);
+        assert!(t.contains(NodeId::new(3)));
+    }
+
+    #[test]
+    fn weight_depth_height() {
+        let g = path_graph();
+        let t = path_tree(&g);
+        assert_eq!(t.weight(), Cost::new(6));
+        assert_eq!(t.depth(NodeId::new(0)), Cost::ZERO);
+        assert_eq!(t.depth(NodeId::new(2)), Cost::new(5));
+        assert_eq!(t.depth(NodeId::new(3)), Cost::new(6));
+        assert_eq!(t.height(), Cost::new(6));
+        assert_eq!(t.hop_depth(NodeId::new(3)), 3);
+    }
+
+    #[test]
+    fn diameter_of_path_equals_height_from_end() {
+        let g = path_graph();
+        let t = path_tree(&g);
+        assert_eq!(t.diameter(), Cost::new(6));
+    }
+
+    #[test]
+    fn diameter_of_star_is_two_longest_arms() {
+        // star rooted at 0 with arms 5, 3, 2
+        let mut b = GraphBuilder::new(4);
+        b.edge(0, 1, 5).edge(0, 2, 3).edge(0, 3, 2);
+        let g = b.build().unwrap();
+        let mut t = RootedTree::new(4, NodeId::new(0));
+        for v in 1..4 {
+            t.attach(NodeId::new(v), NodeId::new(0), &g);
+        }
+        assert_eq!(t.diameter(), Cost::new(8)); // 5 + 3
+        assert_eq!(t.height(), Cost::new(5));
+    }
+
+    #[test]
+    fn singleton_tree() {
+        let t = RootedTree::new(3, NodeId::new(1));
+        assert!(t.is_empty());
+        assert_eq!(t.weight(), Cost::ZERO);
+        assert_eq!(t.diameter(), Cost::ZERO);
+        assert_eq!(t.height(), Cost::ZERO);
+        assert!(!t.is_spanning());
+    }
+
+    #[test]
+    fn path_to_root() {
+        let g = path_graph();
+        let t = path_tree(&g);
+        let p = t.path_to_root(NodeId::new(3));
+        assert_eq!(
+            p,
+            vec![
+                NodeId::new(3),
+                NodeId::new(2),
+                NodeId::new(1),
+                NodeId::new(0)
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "is already in the tree")]
+    fn double_attach_panics() {
+        let g = path_graph();
+        let mut t = RootedTree::new(4, NodeId::new(0));
+        t.attach(NodeId::new(1), NodeId::new(0), &g);
+        t.attach(NodeId::new(1), NodeId::new(0), &g);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not in the tree")]
+    fn attach_to_non_member_panics() {
+        let g = path_graph();
+        let mut t = RootedTree::new(4, NodeId::new(0));
+        t.attach(NodeId::new(2), NodeId::new(1), &g);
+    }
+
+    #[test]
+    fn depths_bulk_matches_pointwise() {
+        let g = path_graph();
+        let t = path_tree(&g);
+        let depths = t.depths();
+        for v in t.members() {
+            assert_eq!(depths[v.index()], Some(t.depth(v)));
+        }
+    }
+
+    #[test]
+    fn path_between_through_lca() {
+        // star-ish tree: 0 -> {1, 2}; 2 -> 3
+        let mut b = GraphBuilder::new(4);
+        b.edge(0, 1, 5).edge(0, 2, 3).edge(2, 3, 2);
+        let g = b.build().unwrap();
+        let mut t = RootedTree::new(4, NodeId::new(0));
+        t.attach(NodeId::new(1), NodeId::new(0), &g);
+        t.attach(NodeId::new(2), NodeId::new(0), &g);
+        t.attach(NodeId::new(3), NodeId::new(2), &g);
+        let p = t.path_between(NodeId::new(1), NodeId::new(3));
+        assert_eq!(
+            p,
+            vec![
+                NodeId::new(1),
+                NodeId::new(0),
+                NodeId::new(2),
+                NodeId::new(3)
+            ]
+        );
+        assert_eq!(
+            t.tree_distance(NodeId::new(1), NodeId::new(3)),
+            Cost::new(10)
+        );
+        assert_eq!(
+            t.tree_distance(NodeId::new(3), NodeId::new(1)),
+            Cost::new(10)
+        );
+        assert_eq!(t.tree_distance(NodeId::new(3), NodeId::new(3)), Cost::ZERO);
+        assert_eq!(
+            t.path_between(NodeId::new(0), NodeId::new(3)),
+            vec![NodeId::new(0), NodeId::new(2), NodeId::new(3)]
+        );
+    }
+
+    #[test]
+    fn to_graph_round_trip() {
+        let g = path_graph();
+        let t = path_tree(&g);
+        let tg = t.to_graph();
+        assert_eq!(tg.edge_count(), 3);
+        assert_eq!(tg.total_weight(), Cost::new(6));
+    }
+}

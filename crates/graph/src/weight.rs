@@ -1,0 +1,295 @@
+//! Edge weights and accumulated costs.
+//!
+//! The paper's model assigns every edge `e` a weight `w(e) ≥ 1` that serves
+//! both as the *cost* of transmitting one message over `e` and as the
+//! worst-case *delay* of `e`. [`Weight`] is the per-edge quantity;
+//! [`Cost`] is a saturating accumulator for sums of weights (communication
+//! complexity, tree weights, distances).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+/// Weight of a single edge: `w(e) ≥ 1`.
+///
+/// The paper assumes `W = max_e w(e) = poly(n)`; weights are plain `u64`s.
+///
+/// # Example
+///
+/// ```
+/// use csp_graph::Weight;
+/// let w = Weight::new(5);
+/// assert_eq!(w.get(), 5);
+/// assert_eq!(w.next_power_of_two().get(), 8); // `power(w)` of Definition 4.6
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Weight(u64);
+
+impl Weight {
+    /// The minimum legal weight.
+    pub const ONE: Weight = Weight(1);
+
+    /// Creates a weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w == 0`; the model requires `w(e) ≥ 1` (a zero-weight
+    /// edge would allow free, instantaneous communication).
+    #[inline]
+    pub fn new(w: u64) -> Self {
+        assert!(w >= 1, "edge weight must be at least 1, got 0");
+        Weight(w)
+    }
+
+    /// Returns the raw weight value.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `power(w)`, the smallest power of two `≥ w`
+    /// (Definition 4.6 of the paper). Satisfies `w ≤ power(w) < 2w`.
+    #[inline]
+    pub fn next_power_of_two(self) -> Weight {
+        Weight(self.0.next_power_of_two())
+    }
+
+    /// Whether this weight is a power of two (a *normalized* weight in the
+    /// sense of Definition 4.3).
+    #[inline]
+    pub const fn is_power_of_two(self) -> bool {
+        self.0.is_power_of_two()
+    }
+
+    /// Converts to a [`Cost`].
+    #[inline]
+    pub const fn to_cost(self) -> Cost {
+        Cost(self.0 as u128)
+    }
+}
+
+impl fmt::Display for Weight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl From<Weight> for u64 {
+    fn from(w: Weight) -> u64 {
+        w.0
+    }
+}
+
+/// Accumulated cost: a sum of edge weights.
+///
+/// Used for communication complexity (Σ `w(e)` over transmitted messages),
+/// tree weights, weighted distances and time bounds. Stored as `u128` so
+/// that sums like `n · V̂` on large adversarial families cannot overflow;
+/// arithmetic is checked in debug and saturating in release.
+///
+/// # Example
+///
+/// ```
+/// use csp_graph::{Cost, Weight};
+/// let c = Cost::ZERO + Weight::new(3).to_cost() + Weight::new(4).to_cost();
+/// assert_eq!(c.get(), 7);
+/// assert_eq!((c * 2).get(), 14);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Cost(u128);
+
+impl Cost {
+    /// The zero cost.
+    pub const ZERO: Cost = Cost(0);
+
+    /// A cost representing "unreachable" / "infinite".
+    pub const INFINITY: Cost = Cost(u128::MAX);
+
+    /// Creates a cost from a raw value.
+    #[inline]
+    pub const fn new(c: u128) -> Self {
+        Cost(c)
+    }
+
+    /// Returns the raw cost value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cost is [`Cost::INFINITY`]; use [`Cost::is_finite`]
+    /// first when the value may be unreachable.
+    #[inline]
+    pub fn get(self) -> u128 {
+        assert!(self.is_finite(), "cost is infinite");
+        self.0
+    }
+
+    /// Returns the raw value without the finiteness check.
+    #[inline]
+    pub const fn raw(self) -> u128 {
+        self.0
+    }
+
+    /// Whether this cost is finite (not [`Cost::INFINITY`]).
+    #[inline]
+    pub const fn is_finite(self) -> bool {
+        self.0 != u128::MAX
+    }
+
+    /// Whether this cost is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating addition that preserves infinity.
+    #[inline]
+    pub fn saturating_add(self, rhs: Cost) -> Cost {
+        if !self.is_finite() || !rhs.is_finite() {
+            Cost::INFINITY
+        } else {
+            Cost(self.0.saturating_add(rhs.0))
+        }
+    }
+
+    /// Cost as an `f64`, for ratio reporting in benches. Infinity maps to
+    /// `f64::INFINITY`.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        if self.is_finite() {
+            self.0 as f64
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_finite() {
+            fmt::Display::fmt(&self.0, f)
+        } else {
+            f.write_str("∞")
+        }
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+
+    fn add(self, rhs: Cost) -> Cost {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        *self = *self + rhs;
+    }
+}
+
+impl Add<Weight> for Cost {
+    type Output = Cost;
+
+    fn add(self, rhs: Weight) -> Cost {
+        self + rhs.to_cost()
+    }
+}
+
+impl AddAssign<Weight> for Cost {
+    fn add_assign(&mut self, rhs: Weight) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<u128> for Cost {
+    type Output = Cost;
+
+    fn mul(self, rhs: u128) -> Cost {
+        if !self.is_finite() {
+            return Cost::INFINITY;
+        }
+        Cost(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        iter.fold(Cost::ZERO, Add::add)
+    }
+}
+
+impl From<Weight> for Cost {
+    fn from(w: Weight) -> Cost {
+        w.to_cost()
+    }
+}
+
+impl From<u64> for Cost {
+    fn from(c: u64) -> Cost {
+        Cost(c as u128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "edge weight must be at least 1")]
+    fn zero_weight_rejected() {
+        let _ = Weight::new(0);
+    }
+
+    #[test]
+    fn power_of_two_rounding_matches_definition_4_6() {
+        // w <= power(w) < 2w for all w >= 1.
+        for w in 1..=1000u64 {
+            let p = Weight::new(w).next_power_of_two().get();
+            assert!(w <= p, "power({w}) = {p} < {w}");
+            assert!(p < 2 * w, "power({w}) = {p} >= 2*{w}");
+            assert!(p.is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn cost_sums() {
+        let total: Cost = [1u64, 2, 3, 4].into_iter().map(Cost::from).sum();
+        assert_eq!(total.get(), 10);
+    }
+
+    #[test]
+    fn infinity_is_absorbing() {
+        assert_eq!(Cost::INFINITY + Cost::new(5), Cost::INFINITY);
+        assert_eq!(Cost::new(5) + Cost::INFINITY, Cost::INFINITY);
+        assert_eq!(Cost::INFINITY * 3, Cost::INFINITY);
+        assert!(!Cost::INFINITY.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "cost is infinite")]
+    fn get_on_infinity_panics() {
+        let _ = Cost::INFINITY.get();
+    }
+
+    #[test]
+    fn add_weight_to_cost() {
+        let mut c = Cost::ZERO;
+        c += Weight::new(7);
+        assert_eq!(c, Cost::new(7));
+        assert_eq!(c + Weight::new(3), Cost::new(10));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Cost::new(12).to_string(), "12");
+        assert_eq!(Cost::INFINITY.to_string(), "∞");
+        assert_eq!(Weight::new(9).to_string(), "9");
+    }
+
+    #[test]
+    fn ordering_and_comparisons() {
+        assert!(Cost::ZERO < Cost::new(1));
+        assert!(Cost::new(10) < Cost::INFINITY);
+        assert!(Weight::new(2) < Weight::new(3));
+    }
+}

@@ -1,0 +1,156 @@
+//! Cost-sensitive accounting.
+//!
+//! Every message send is metered: the *weighted communication complexity*
+//! is the sum of `w(e)` over all transmissions (Section 1.3 of the paper),
+//! and the *time complexity* is the completion time of the run. Messages
+//! can additionally be tagged with a [`CostClass`] so that, e.g., a
+//! synchronizer's control overhead can be reported separately from the
+//! client protocol's own traffic.
+
+use crate::time::SimTime;
+use csp_graph::{Cost, EdgeId, Weight};
+use std::fmt;
+
+/// A coarse label distinguishing message categories in a [`CostReport`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum CostClass {
+    /// The client protocol's own messages (the default).
+    #[default]
+    Protocol,
+    /// Synchronizer pulses, safety reports and acknowledgments.
+    Synchronizer,
+    /// Controller requests and permits.
+    Controller,
+    /// Anything else (wake-up floods, estimates, bookkeeping).
+    Auxiliary,
+}
+
+impl CostClass {
+    /// All classes, in report order.
+    pub const ALL: [CostClass; 4] = [
+        CostClass::Protocol,
+        CostClass::Synchronizer,
+        CostClass::Controller,
+        CostClass::Auxiliary,
+    ];
+
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        match self {
+            CostClass::Protocol => 0,
+            CostClass::Synchronizer => 1,
+            CostClass::Controller => 2,
+            CostClass::Auxiliary => 3,
+        }
+    }
+}
+
+impl fmt::Display for CostClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            CostClass::Protocol => "protocol",
+            CostClass::Synchronizer => "synchronizer",
+            CostClass::Controller => "controller",
+            CostClass::Auxiliary => "auxiliary",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Aggregate cost of a protocol run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CostReport {
+    /// Total number of messages sent.
+    pub messages: u64,
+    /// Weighted communication complexity: `Σ w(e)` over all sends.
+    pub weighted_comm: Cost,
+    /// Completion time (time of the last delivered event).
+    pub completion: SimTime,
+    /// Message counts per [`CostClass`].
+    pub messages_by_class: [u64; 4],
+    /// Weighted communication per [`CostClass`].
+    pub comm_by_class: [Cost; 4],
+    /// Per-edge message counts (both directions combined), indexed by
+    /// [`EdgeId`].
+    pub per_edge_messages: Vec<u64>,
+}
+
+impl CostReport {
+    /// Creates an empty report for a graph with `m` edges.
+    pub fn new(m: usize) -> Self {
+        CostReport {
+            per_edge_messages: vec![0; m],
+            ..CostReport::default()
+        }
+    }
+
+    /// Meters one send of weight `w` on edge `e` under `class`.
+    pub fn record_send(&mut self, e: EdgeId, w: Weight, class: CostClass) {
+        self.messages += 1;
+        self.weighted_comm += w;
+        self.messages_by_class[class.index()] += 1;
+        self.comm_by_class[class.index()] += w.to_cost();
+        self.per_edge_messages[e.index()] += 1;
+    }
+
+    /// Weighted communication attributed to one class.
+    pub fn comm_of(&self, class: CostClass) -> Cost {
+        self.comm_by_class[class.index()]
+    }
+
+    /// Message count attributed to one class.
+    pub fn messages_of(&self, class: CostClass) -> u64 {
+        self.messages_by_class[class.index()]
+    }
+
+    /// The maximum number of messages any single edge carried
+    /// (a congestion measure).
+    pub fn max_edge_congestion(&self) -> u64 {
+        self.per_edge_messages.iter().copied().max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for CostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "msgs={} comm={} time={}",
+            self.messages, self.weighted_comm, self.completion
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut r = CostReport::new(3);
+        r.record_send(EdgeId::new(0), Weight::new(4), CostClass::Protocol);
+        r.record_send(EdgeId::new(0), Weight::new(4), CostClass::Synchronizer);
+        r.record_send(EdgeId::new(2), Weight::new(1), CostClass::Protocol);
+        assert_eq!(r.messages, 3);
+        assert_eq!(r.weighted_comm, Cost::new(9));
+        assert_eq!(r.comm_of(CostClass::Protocol), Cost::new(5));
+        assert_eq!(r.comm_of(CostClass::Synchronizer), Cost::new(4));
+        assert_eq!(r.messages_of(CostClass::Controller), 0);
+        assert_eq!(r.per_edge_messages, vec![2, 0, 1]);
+        assert_eq!(r.max_edge_congestion(), 2);
+    }
+
+    #[test]
+    fn classes_cover_indices() {
+        for (i, c) in CostClass::ALL.into_iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn display() {
+        let mut r = CostReport::new(1);
+        r.record_send(EdgeId::new(0), Weight::new(2), CostClass::Protocol);
+        r.completion = SimTime::new(5);
+        assert_eq!(r.to_string(), "msgs=1 comm=2 time=t=5");
+    }
+}

@@ -1,0 +1,98 @@
+//! Edge delay models.
+//!
+//! The paper's time complexity is defined against an adversary that may
+//! delay each message on edge `e` by anything in `[0, w(e)]`. The
+//! simulator realizes a spectrum of adversaries. Delays are quantized to
+//! at least one tick so that every run has finitely many events per time
+//! unit; this shifts the adversary's range to `[1, w(e)]`, which changes
+//! no asymptotic statement (all weights are ≥ 1).
+
+use csp_graph::Weight;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// How message delays are chosen.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DelayModel {
+    /// Every message takes exactly `w(e)` — the worst-case adversary, and
+    /// the model under which the paper's time bounds are stated.
+    #[default]
+    WorstCase,
+    /// Uniformly random in `[1, w(e)]`, drawn from the simulator's seeded
+    /// generator.
+    Uniform,
+    /// Every message takes exactly `max(1, w(e)·num/den)` — a "partially
+    /// loaded" network.
+    Proportional {
+        /// Numerator of the load fraction.
+        num: u64,
+        /// Denominator of the load fraction.
+        den: u64,
+    },
+    /// Every message takes exactly 1 tick regardless of weight — the
+    /// most favorable schedule (weights then act only as *costs*).
+    Eager,
+}
+
+impl DelayModel {
+    /// Samples the delay for one message on an edge of weight `w`.
+    pub fn sample(self, w: Weight, rng: &mut StdRng) -> u64 {
+        match self {
+            DelayModel::WorstCase => w.get(),
+            DelayModel::Uniform => rng.random_range(1..=w.get()),
+            DelayModel::Proportional { num, den } => {
+                assert!(den > 0, "proportional delay denominator must be nonzero");
+                (w.get().saturating_mul(num) / den).clamp(1, w.get())
+            }
+            DelayModel::Eager => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn worst_case_is_weight() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(DelayModel::WorstCase.sample(Weight::new(7), &mut rng), 7);
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let d = DelayModel::Uniform.sample(Weight::new(9), &mut rng);
+            assert!((1..=9).contains(&d));
+        }
+    }
+
+    #[test]
+    fn uniform_is_seeded_deterministic() {
+        let sample = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..10)
+                .map(|_| DelayModel::Uniform.sample(Weight::new(100), &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sample(7), sample(7));
+    }
+
+    #[test]
+    fn proportional_clamps() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let half = DelayModel::Proportional { num: 1, den: 2 };
+        assert_eq!(half.sample(Weight::new(8), &mut rng), 4);
+        assert_eq!(half.sample(Weight::new(1), &mut rng), 1); // floor clamp
+        let over = DelayModel::Proportional { num: 3, den: 2 };
+        assert_eq!(over.sample(Weight::new(8), &mut rng), 8); // ceiling clamp
+    }
+
+    #[test]
+    fn eager_is_one() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(DelayModel::Eager.sample(Weight::new(50), &mut rng), 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! The protocol interface: message-driven state machines.
+
+use crate::cost::CostClass;
+use crate::time::SimTime;
+use csp_graph::{EdgeId, NodeId, Weight, WeightedGraph};
+
+/// A node-local protocol instance.
+///
+/// One value of the implementing type runs at each vertex. Handlers may
+/// only touch local state and the [`Context`]; the simulator owns
+/// scheduling and delivery. See the [crate docs](crate) for a complete
+/// example.
+pub trait Process {
+    /// The protocol's message alphabet.
+    type Msg: Clone + std::fmt::Debug;
+
+    /// Called once at time zero, in vertex order. Typically only an
+    /// initiator does anything here.
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>);
+
+    /// Called on each message delivery.
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>);
+}
+
+/// Handler-side view of the network: identity, topology, clock and the
+/// outbox.
+///
+/// The paper's model gives every vertex full knowledge of the network
+/// structure (Section 1.4.1), so the whole [`WeightedGraph`] is exposed;
+/// protocols for weaker models simply restrict themselves to
+/// [`Context::neighbors`].
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    node: NodeId,
+    now: SimTime,
+    graph: &'a WeightedGraph,
+    outbox: Vec<(NodeId, M, CostClass)>,
+}
+
+impl<'a, M: Clone + std::fmt::Debug> Context<'a, M> {
+    pub(crate) fn new(node: NodeId, now: SimTime, graph: &'a WeightedGraph) -> Self {
+        Context {
+            node,
+            now,
+            graph,
+            outbox: Vec::new(),
+        }
+    }
+
+    /// This vertex's identifier.
+    #[inline]
+    pub fn self_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn time(&self) -> SimTime {
+        self.now
+    }
+
+    /// The communication graph.
+    #[inline]
+    pub fn graph(&self) -> &'a WeightedGraph {
+        self.graph
+    }
+
+    /// Number of vertices in the network.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// `(neighbor, edge, weight)` triples of this vertex.
+    pub fn neighbors(&self) -> impl Iterator<Item = (NodeId, EdgeId, Weight)> + 'a {
+        self.graph.neighbors(self.node)
+    }
+
+    /// Number of incident edges.
+    pub fn degree(&self) -> usize {
+        self.graph.degree(self.node)
+    }
+
+    /// Sends `msg` to neighbor `to` at protocol cost class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not a neighbor of this vertex — the model only
+    /// permits communication along edges.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.send_class(to, msg, CostClass::Protocol);
+    }
+
+    /// Sends `msg` to neighbor `to`, accounted under `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not a neighbor of this vertex.
+    pub fn send_class(&mut self, to: NodeId, msg: M, class: CostClass) {
+        assert!(
+            self.graph.edge_between(self.node, to).is_some(),
+            "{} cannot send to non-neighbor {to}",
+            self.node
+        );
+        self.outbox.push((to, msg, class));
+    }
+
+    /// Sends a copy of `msg` to every neighbor.
+    pub fn send_all(&mut self, msg: M) {
+        let targets: Vec<NodeId> = self.neighbors().map(|(u, _, _)| u).collect();
+        for u in targets {
+            self.outbox.push((u, msg.clone(), CostClass::Protocol));
+        }
+    }
+
+    /// Creates a context over a different message alphabet at the same
+    /// vertex, time and graph — for protocol *transformers* (controllers,
+    /// synchronizers) that host an inner protocol and relay its sends
+    /// through their own wrapper messages.
+    pub fn derive<N: Clone + std::fmt::Debug>(&self) -> Context<'a, N> {
+        Context::new(self.node, self.now, self.graph)
+    }
+
+    /// Drains the queued sends — for protocol transformers inspecting a
+    /// hosted handler's output. Each entry is
+    /// `(destination, message, cost class)`.
+    pub fn take_outbox(&mut self) -> Vec<(NodeId, M, CostClass)> {
+        std::mem::take(&mut self.outbox)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_graph::generators;
+
+    #[test]
+    fn context_exposes_topology() {
+        let g = generators::star(4, |_| 3);
+        let ctx: Context<'_, ()> = Context::new(NodeId::new(0), SimTime::new(9), &g);
+        assert_eq!(ctx.self_id(), NodeId::new(0));
+        assert_eq!(ctx.time(), SimTime::new(9));
+        assert_eq!(ctx.degree(), 3);
+        assert_eq!(ctx.node_count(), 4);
+        assert_eq!(ctx.neighbors().count(), 3);
+    }
+
+    #[test]
+    fn send_all_targets_every_neighbor() {
+        let g = generators::star(4, |_| 3);
+        let mut ctx: Context<'_, u32> = Context::new(NodeId::new(0), SimTime::ZERO, &g);
+        ctx.send_all(7);
+        let out = ctx.take_outbox();
+        assert_eq!(out.len(), 3);
+        assert!(out
+            .iter()
+            .all(|(_, m, c)| *m == 7 && *c == CostClass::Protocol));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbor")]
+    fn send_to_non_neighbor_panics() {
+        let g = generators::path(3, |_| 1);
+        let mut ctx: Context<'_, ()> = Context::new(NodeId::new(0), SimTime::ZERO, &g);
+        ctx.send(NodeId::new(2), ()); // 0 and 2 are not adjacent on a path
+    }
+
+    #[test]
+    fn take_outbox_drains() {
+        let g = generators::path(2, |_| 1);
+        let mut ctx: Context<'_, ()> = Context::new(NodeId::new(0), SimTime::ZERO, &g);
+        ctx.send(NodeId::new(1), ());
+        assert_eq!(ctx.take_outbox().len(), 1);
+        assert!(ctx.take_outbox().is_empty());
+    }
+}

@@ -1,0 +1,494 @@
+//! The event-driven asynchronous runtime.
+
+use crate::cost::{CostClass, CostReport};
+use crate::delay::DelayModel;
+use crate::process::{Context, Process};
+use crate::time::SimTime;
+use crate::trace::{Trace, TraceEvent};
+use csp_graph::{NodeId, WeightedGraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors terminating a simulation abnormally.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// The event budget was exhausted — the protocol is probably not
+    /// terminating (or the budget was set too low for the workload).
+    EventLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SimError::EventLimitExceeded { limit } => {
+                write!(
+                    f,
+                    "event limit of {limit} exceeded; protocol may not terminate"
+                )
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// The outcome of a completed (quiescent) run.
+#[derive(Debug)]
+pub struct Run<P> {
+    /// Final per-vertex protocol states, indexed by vertex.
+    pub states: Vec<P>,
+    /// Metered costs of the whole run.
+    pub cost: CostReport,
+    /// Whether the run was cut short by [`Simulator::comm_limit`] —
+    /// remaining messages were dropped undelivered.
+    pub truncated: bool,
+    /// Message trace (empty unless [`Simulator::record_trace`] was set).
+    pub trace: Trace,
+}
+
+/// Configurable asynchronous network simulator (non-consuming builder).
+///
+/// Executes a [`Process`] per vertex with:
+///
+/// * per-message delays drawn from the configured [`DelayModel`] (default
+///   [`DelayModel::WorstCase`], matching the paper's time bounds),
+/// * **per-directed-edge FIFO** delivery (a later send on the same channel
+///   never overtakes an earlier one — the standard reliable-link
+///   assumption, which protocols like GHS require),
+/// * deterministic tie-breaking: simultaneous deliveries happen in send
+///   order,
+/// * weighted cost metering of every send.
+///
+/// The run ends at *quiescence* — no messages in flight. Protocols in the
+/// paper's model (diffusing computations) always reach it; a configurable
+/// event budget converts runaway executions into [`SimError`].
+#[derive(Debug)]
+pub struct Simulator<'g> {
+    graph: &'g WeightedGraph,
+    delay: DelayModel,
+    seed: u64,
+    event_limit: u64,
+    comm_limit: Option<u128>,
+    trace_cap: usize,
+}
+
+impl<'g> Simulator<'g> {
+    /// Creates a simulator for `graph` with worst-case delays, seed 0 and
+    /// a 100-million-event budget.
+    pub fn new(graph: &'g WeightedGraph) -> Self {
+        Simulator {
+            graph,
+            delay: DelayModel::WorstCase,
+            seed: 0,
+            event_limit: 100_000_000,
+            comm_limit: None,
+            trace_cap: 0,
+        }
+    }
+
+    /// Sets the delay model.
+    pub fn delay(&mut self, delay: DelayModel) -> &mut Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Sets the seed for randomized delay models.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the event budget.
+    pub fn event_limit(&mut self, limit: u64) -> &mut Self {
+        self.event_limit = limit;
+        self
+    }
+
+    /// Records up to `cap` delivered messages into [`Run::trace`].
+    pub fn record_trace(&mut self, cap: usize) -> &mut Self {
+        self.trace_cap = cap;
+        self
+    }
+
+    /// Caps the weighted communication: once the metered cost exceeds
+    /// `limit`, delivery stops and the run returns with
+    /// [`Run::truncated`] set. This models the root *suspending* a
+    /// sub-protocol in the hybrid algorithms (Sections 7.2, 8.2, 9.3):
+    /// the wasted work of a suspended attempt is bounded by the budget.
+    pub fn comm_limit(&mut self, limit: u128) -> &mut Self {
+        self.comm_limit = Some(limit);
+        self
+    }
+
+    /// Runs `make(v, graph)`-constructed processes to quiescence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventLimitExceeded`] if the protocol does not
+    /// quiesce within the event budget.
+    pub fn run<P, F>(&self, mut make: F) -> Result<Run<P>, SimError>
+    where
+        P: Process,
+        F: FnMut(NodeId, &WeightedGraph) -> P,
+    {
+        let g = self.graph;
+        let n = g.node_count();
+        let mut states: Vec<P> = g.nodes().map(|v| make(v, g)).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut cost = CostReport::new(g.edge_count());
+
+        // Min-heap of (time, seq) -> delivery.
+        struct Delivery<M> {
+            to: NodeId,
+            from: NodeId,
+            msg: M,
+            sent: SimTime,
+            class: CostClass,
+        }
+        let mut queue: BinaryHeap<Reverse<(SimTime, u64)>> = BinaryHeap::new();
+        let mut payloads: std::collections::HashMap<u64, Delivery<P::Msg>> =
+            std::collections::HashMap::new();
+        let mut seq: u64 = 0;
+        // FIFO floor per directed edge: key = from * n + to.
+        let mut fifo_floor: std::collections::HashMap<usize, SimTime> =
+            std::collections::HashMap::new();
+
+        let dispatch = |outbox: Vec<(NodeId, P::Msg, CostClass)>,
+                        from: NodeId,
+                        now: SimTime,
+                        queue: &mut BinaryHeap<Reverse<(SimTime, u64)>>,
+                        payloads: &mut std::collections::HashMap<u64, Delivery<P::Msg>>,
+                        fifo_floor: &mut std::collections::HashMap<usize, SimTime>,
+                        seq: &mut u64,
+                        cost: &mut CostReport,
+                        rng: &mut StdRng| {
+            for (to, msg, class) in outbox {
+                let eid = g
+                    .edge_between(from, to)
+                    .expect("context validated the neighbor");
+                let w = g.weight(eid);
+                cost.record_send(eid, w, class);
+                let mut arrival = now + self.delay.sample(w, rng);
+                let key = from.index() * n + to.index();
+                if let Some(&floor) = fifo_floor.get(&key) {
+                    arrival = arrival.max(floor);
+                }
+                fifo_floor.insert(key, arrival);
+                queue.push(Reverse((arrival, *seq)));
+                payloads.insert(
+                    *seq,
+                    Delivery {
+                        to,
+                        from,
+                        msg,
+                        sent: now,
+                        class,
+                    },
+                );
+                *seq += 1;
+            }
+        };
+
+        // Time zero: start every vertex.
+        for v in g.nodes() {
+            let mut ctx = Context::new(v, SimTime::ZERO, g);
+            states[v.index()].on_start(&mut ctx);
+            dispatch(
+                ctx.take_outbox(),
+                v,
+                SimTime::ZERO,
+                &mut queue,
+                &mut payloads,
+                &mut fifo_floor,
+                &mut seq,
+                &mut cost,
+                &mut rng,
+            );
+        }
+
+        let mut events: u64 = 0;
+        let mut truncated = false;
+        let mut trace = Trace::new(self.trace_cap);
+        while let Some(Reverse((now, id))) = queue.pop() {
+            events += 1;
+            if events > self.event_limit {
+                return Err(SimError::EventLimitExceeded {
+                    limit: self.event_limit,
+                });
+            }
+            if self
+                .comm_limit
+                .is_some_and(|lim| cost.weighted_comm.raw() > lim)
+            {
+                truncated = true;
+                break;
+            }
+            let Delivery {
+                to,
+                from,
+                msg,
+                sent,
+                class,
+            } = payloads.remove(&id).expect("payload for event");
+            cost.completion = cost.completion.max(now);
+            if self.trace_cap > 0 {
+                let eid = g.edge_between(from, to).expect("delivery edge exists");
+                trace.push(TraceEvent {
+                    from,
+                    to,
+                    edge: eid,
+                    sent,
+                    delivered: now,
+                    class,
+                });
+            }
+            let mut ctx = Context::new(to, now, g);
+            states[to.index()].on_message(from, msg, &mut ctx);
+            dispatch(
+                ctx.take_outbox(),
+                to,
+                now,
+                &mut queue,
+                &mut payloads,
+                &mut fifo_floor,
+                &mut seq,
+                &mut cost,
+                &mut rng,
+            );
+        }
+
+        Ok(Run {
+            states,
+            cost,
+            truncated,
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_graph::{generators, Cost};
+
+    /// Ping-pong `rounds` times between the endpoints of a single edge.
+    struct PingPong {
+        rounds: u32,
+        received: u32,
+    }
+
+    impl Process for PingPong {
+        type Msg = u32;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            if ctx.self_id() == NodeId::new(0) && self.rounds > 0 {
+                ctx.send(NodeId::new(1), 1);
+            }
+        }
+
+        fn on_message(&mut self, from: NodeId, msg: u32, ctx: &mut Context<'_, u32>) {
+            self.received += 1;
+            if msg < self.rounds {
+                ctx.send(from, msg + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_costs_add_up() {
+        let g = generators::path(2, |_| 5);
+        let run = Simulator::new(&g)
+            .run(|_, _| PingPong {
+                rounds: 4,
+                received: 0,
+            })
+            .unwrap();
+        // 4 messages, each of weight 5, each taking exactly 5 ticks.
+        assert_eq!(run.cost.messages, 4);
+        assert_eq!(run.cost.weighted_comm, Cost::new(20));
+        assert_eq!(run.cost.completion, SimTime::new(20));
+        assert_eq!(run.states[0].received + run.states[1].received, 4);
+    }
+
+    #[test]
+    fn eager_delay_shrinks_time_not_cost() {
+        let g = generators::path(2, |_| 5);
+        let run = Simulator::new(&g)
+            .delay(DelayModel::Eager)
+            .run(|_, _| PingPong {
+                rounds: 4,
+                received: 0,
+            })
+            .unwrap();
+        assert_eq!(run.cost.weighted_comm, Cost::new(20)); // cost unchanged
+        assert_eq!(run.cost.completion, SimTime::new(4)); // 4 unit hops
+    }
+
+    #[test]
+    fn uniform_delays_are_reproducible() {
+        let g = generators::cycle(8, |i| 1 + i as u64 % 7);
+        let run_with = |seed: u64| {
+            Simulator::new(&g)
+                .delay(DelayModel::Uniform)
+                .seed(seed)
+                .run(|_, _| PingPong {
+                    rounds: 6,
+                    received: 0,
+                })
+                .unwrap()
+                .cost
+        };
+        assert_eq!(run_with(3), run_with(3));
+    }
+
+    #[test]
+    fn event_limit_catches_infinite_protocols() {
+        /// Bounces a message forever.
+        #[derive(Debug)]
+        struct Forever;
+        impl Process for Forever {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                if ctx.self_id() == NodeId::new(0) {
+                    ctx.send(NodeId::new(1), ());
+                }
+            }
+            fn on_message(&mut self, from: NodeId, _msg: (), ctx: &mut Context<'_, ()>) {
+                ctx.send(from, ());
+            }
+        }
+        let g = generators::path(2, |_| 1);
+        let err = Simulator::new(&g)
+            .event_limit(1000)
+            .run(|_, _| Forever)
+            .unwrap_err();
+        assert_eq!(err, SimError::EventLimitExceeded { limit: 1000 });
+    }
+
+    /// Sends a burst of numbered messages; receiver checks FIFO order.
+    struct FifoCheck {
+        next_expected: u32,
+        violations: u32,
+    }
+
+    impl Process for FifoCheck {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            if ctx.self_id() == NodeId::new(0) {
+                for i in 0..50 {
+                    ctx.send(NodeId::new(1), i);
+                }
+            }
+        }
+        fn on_message(&mut self, _from: NodeId, msg: u32, _ctx: &mut Context<'_, u32>) {
+            if msg != self.next_expected {
+                self.violations += 1;
+            }
+            self.next_expected = msg + 1;
+        }
+    }
+
+    #[test]
+    fn fifo_order_is_preserved_under_random_delays() {
+        let g = generators::path(2, |_| 100);
+        for seed in 0..5 {
+            let run = Simulator::new(&g)
+                .delay(DelayModel::Uniform)
+                .seed(seed)
+                .run(|_, _| FifoCheck {
+                    next_expected: 0,
+                    violations: 0,
+                })
+                .unwrap();
+            assert_eq!(run.states[1].violations, 0, "FIFO violated at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn quiescent_protocol_reports_zero() {
+        struct Silent;
+        impl Process for Silent {
+            type Msg = ();
+            fn on_start(&mut self, _ctx: &mut Context<'_, ()>) {}
+            fn on_message(&mut self, _f: NodeId, _m: (), _ctx: &mut Context<'_, ()>) {}
+        }
+        let g = generators::cycle(4, |_| 2);
+        let run = Simulator::new(&g).run(|_, _| Silent).unwrap();
+        assert_eq!(run.cost.messages, 0);
+        assert_eq!(run.cost.completion, SimTime::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::process::{Context, Process};
+    use csp_graph::generators;
+    use csp_graph::NodeId;
+
+    struct Chain {
+        last: bool,
+    }
+
+    impl Process for Chain {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            if ctx.self_id() == NodeId::new(0) {
+                ctx.send(NodeId::new(1), 0);
+            }
+        }
+        fn on_message(&mut self, _from: NodeId, hops: u32, ctx: &mut Context<'_, u32>) {
+            let me = ctx.self_id().index();
+            if me + 1 < ctx.node_count() {
+                ctx.send(NodeId::new(me + 1), hops + 1);
+            } else {
+                self.last = true;
+            }
+        }
+    }
+
+    #[test]
+    fn trace_records_every_delivery_in_order() {
+        let g = generators::path(5, |i| i as u64 + 1);
+        let run = Simulator::new(&g)
+            .record_trace(64)
+            .run(|_, _| Chain { last: false })
+            .unwrap();
+        assert_eq!(run.trace.len(), 4);
+        assert!(run.trace.is_fifo());
+        // Latencies equal the edge weights under worst-case delays.
+        for (i, e) in run.trace.events().iter().enumerate() {
+            assert_eq!(e.latency(), i as u64 + 1);
+            assert_eq!(e.from, NodeId::new(i));
+            assert_eq!(e.to, NodeId::new(i + 1));
+        }
+        assert!(run.states[4].last);
+    }
+
+    #[test]
+    fn trace_cap_is_honored() {
+        let g = generators::path(8, |_| 1);
+        let run = Simulator::new(&g)
+            .record_trace(3)
+            .run(|_, _| Chain { last: false })
+            .unwrap();
+        assert_eq!(run.trace.len(), 3);
+        assert_eq!(run.trace.dropped(), 4);
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let g = generators::path(4, |_| 1);
+        let run = Simulator::new(&g)
+            .run(|_, _| Chain { last: false })
+            .unwrap();
+        assert!(run.trace.is_empty());
+    }
+}

@@ -1,0 +1,89 @@
+//! Simulated physical time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// A point in simulated time.
+///
+/// One unit of [`SimTime`] is the time a unit-weight edge takes to deliver
+/// a message under the worst-case delay model; an edge of weight `w`
+/// takes up to `w` units.
+///
+/// # Example
+///
+/// ```
+/// use csp_sim::SimTime;
+/// let t = SimTime::ZERO + 5;
+/// assert_eq!(t.get(), 5);
+/// assert!(t < SimTime::new(6));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time point.
+    #[inline]
+    pub const fn new(t: u64) -> Self {
+        SimTime(t)
+    }
+
+    /// Raw tick count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference `self − earlier`.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0.checked_add(rhs).expect("simulated time overflow"))
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, rhs: u64) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let t = SimTime::new(10);
+        assert_eq!((t + 5).get(), 15);
+        assert!(SimTime::ZERO < t);
+        assert_eq!(t.since(SimTime::new(4)), 6);
+        assert_eq!(SimTime::new(4).since(t), 0); // saturating
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let _ = SimTime::new(u64::MAX) + 1;
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::new(7).to_string(), "t=7");
+    }
+}

@@ -1,0 +1,168 @@
+//! Message-level execution traces.
+//!
+//! When enabled with [`Simulator::record_trace`](crate::Simulator::record_trace),
+//! the runtime records every delivery: who sent what to whom, when it
+//! was sent, and when it arrived. Traces make adversarial schedules
+//! inspectable and power the causality checks in the test suites.
+
+use crate::cost::CostClass;
+use crate::time::SimTime;
+use csp_graph::{EdgeId, NodeId};
+use std::fmt;
+
+/// One delivered message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// Sending vertex.
+    pub from: NodeId,
+    /// Receiving vertex.
+    pub to: NodeId,
+    /// The edge crossed.
+    pub edge: EdgeId,
+    /// When the message was sent.
+    pub sent: SimTime,
+    /// When it was delivered.
+    pub delivered: SimTime,
+    /// Cost class of the message.
+    pub class: CostClass,
+}
+
+impl TraceEvent {
+    /// The message's in-flight duration.
+    pub fn latency(&self) -> u64 {
+        self.delivered.since(self.sent)
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}→{} on {} [{}] sent {} delivered {}",
+            self.from, self.to, self.edge, self.class, self.sent, self.delivered
+        )
+    }
+}
+
+/// A recorded message trace.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    /// Number of events dropped once the cap was reached.
+    dropped: u64,
+    cap: usize,
+}
+
+impl Trace {
+    pub(crate) fn new(cap: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            dropped: 0,
+            cap,
+        }
+    }
+
+    pub(crate) fn push(&mut self, event: TraceEvent) {
+        if self.events.len() < self.cap {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded events, in delivery order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events dropped after the cap was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// All deliveries into `v`, in order.
+    pub fn deliveries_to(&self, v: NodeId) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.events.iter().filter(move |e| e.to == v)
+    }
+
+    /// Checks per-directed-edge FIFO: for each `(from, to)` pair,
+    /// delivery order must follow send order.
+    pub fn is_fifo(&self) -> bool {
+        use std::collections::HashMap;
+        let mut last_sent: HashMap<(NodeId, NodeId), SimTime> = HashMap::new();
+        for e in &self.events {
+            let key = (e.from, e.to);
+            if let Some(&prev) = last_sent.get(&key) {
+                if e.sent < prev {
+                    return false;
+                }
+            }
+            last_sent.insert(key, e.sent);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(from: usize, to: usize, sent: u64, delivered: u64) -> TraceEvent {
+        TraceEvent {
+            from: NodeId::new(from),
+            to: NodeId::new(to),
+            edge: EdgeId::new(0),
+            sent: SimTime::new(sent),
+            delivered: SimTime::new(delivered),
+            class: CostClass::Protocol,
+        }
+    }
+
+    #[test]
+    fn latency_and_display() {
+        let e = ev(0, 1, 3, 8);
+        assert_eq!(e.latency(), 5);
+        assert!(e.to_string().contains("v0→v1"));
+    }
+
+    #[test]
+    fn cap_drops_excess() {
+        let mut t = Trace::new(2);
+        for i in 0..5 {
+            t.push(ev(0, 1, i, i + 1));
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn fifo_check() {
+        let mut t = Trace::new(10);
+        t.push(ev(0, 1, 0, 5));
+        t.push(ev(0, 1, 2, 6));
+        assert!(t.is_fifo());
+        let mut bad = Trace::new(10);
+        bad.push(ev(0, 1, 4, 5));
+        bad.push(ev(0, 1, 2, 6)); // delivered after, but sent before
+        assert!(!bad.is_fifo());
+    }
+
+    #[test]
+    fn deliveries_filter() {
+        let mut t = Trace::new(10);
+        t.push(ev(0, 1, 0, 1));
+        t.push(ev(0, 2, 0, 1));
+        t.push(ev(2, 1, 1, 2));
+        assert_eq!(t.deliveries_to(NodeId::new(1)).count(), 2);
+    }
+}

@@ -1,0 +1,156 @@
+//! Clock synchronizer α\* (Section 3.1).
+//!
+//! Whenever a vertex generates pulse `p` it sends a pulse token to every
+//! neighbor over the direct edge; having received pulse-`p` tokens from
+//! all neighbors, it generates pulse `p + 1`. Simple and
+//! message-minimal, but the pulse delay is governed by the *heaviest*
+//! incident edge: `Θ(W)` in the worst case.
+
+use super::stats::{ClockOutcome, PulseStats};
+use csp_graph::{NodeId, WeightedGraph};
+use csp_sim::{Context, CostClass, DelayModel, Process, SimError, SimTime, Simulator};
+use std::collections::BTreeMap;
+
+/// Per-vertex state of synchronizer α\*.
+#[derive(Clone, Debug)]
+pub struct AlphaStar {
+    pulses: u64,
+    degree: usize,
+    current: u64,
+    /// Tokens received per future pulse index.
+    received: BTreeMap<u64, usize>,
+    /// Generation time of each pulse.
+    times: Vec<SimTime>,
+}
+
+impl AlphaStar {
+    /// Creates the per-vertex state, targeting `pulses` pulses.
+    pub fn new(v: NodeId, g: &WeightedGraph, pulses: u64) -> Self {
+        AlphaStar {
+            pulses,
+            degree: g.degree(v),
+            current: 0,
+            received: BTreeMap::new(),
+            times: Vec::new(),
+        }
+    }
+
+    /// Recorded pulse generation times.
+    pub fn times(&self) -> &[SimTime] {
+        &self.times
+    }
+
+    fn generate(&mut self, pulse: u64, ctx: &mut Context<'_, u64>) {
+        self.current = pulse;
+        self.times.push(ctx.time());
+        if pulse + 1 >= self.pulses {
+            return; // generated the last pulse; stop announcing
+        }
+        let targets: Vec<NodeId> = ctx.neighbors().map(|(u, _, _)| u).collect();
+        for u in targets {
+            ctx.send_class(u, pulse, CostClass::Synchronizer);
+        }
+        self.try_advance(ctx);
+    }
+
+    fn try_advance(&mut self, ctx: &mut Context<'_, u64>) {
+        while self.received.get(&self.current).copied().unwrap_or(0) == self.degree
+            && self.current + 1 < self.pulses
+        {
+            self.received.remove(&self.current);
+            let next = self.current + 1;
+            self.generate(next, ctx);
+        }
+    }
+}
+
+impl Process for AlphaStar {
+    type Msg = u64;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+        if self.pulses > 0 {
+            self.generate(0, ctx);
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeId, pulse: u64, ctx: &mut Context<'_, u64>) {
+        *self.received.entry(pulse).or_insert(0) += 1;
+        self.try_advance(ctx);
+    }
+}
+
+/// Runs synchronizer α\* for `pulses` pulses.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+///
+/// # Panics
+///
+/// Panics if some vertex failed to generate all pulses (cannot happen on
+/// a connected graph).
+pub fn run_alpha_star(
+    g: &WeightedGraph,
+    pulses: u64,
+    delay: DelayModel,
+    seed: u64,
+) -> Result<ClockOutcome, SimError> {
+    let run = Simulator::new(g)
+        .delay(delay)
+        .seed(seed)
+        .run(|v, g| AlphaStar::new(v, g, pulses))?;
+    let times: Vec<Vec<SimTime>> = run.states.iter().map(|s| s.times().to_vec()).collect();
+    assert!(
+        times.iter().all(|ts| ts.len() == pulses as usize),
+        "every vertex must generate every pulse"
+    );
+    Ok(ClockOutcome {
+        stats: PulseStats { times },
+        cost: run.cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_graph::generators;
+    use csp_graph::params::CostParams;
+
+    #[test]
+    fn alpha_star_pulse_delay_is_theta_w() {
+        let g = generators::heavy_chord_cycle(12, 200);
+        let p = CostParams::of(&g);
+        let out = run_alpha_star(&g, 5, DelayModel::WorstCase, 0).unwrap();
+        assert_eq!(out.stats.min_pulses(), 5);
+        let delay = out.stats.max_pulse_delay();
+        // Exactly W under worst-case delays: the heavy chord dominates.
+        assert_eq!(delay as u128, p.max_weight.get() as u128);
+        assert!(out.stats.is_monotone());
+    }
+
+    #[test]
+    fn alpha_star_invariant_under_random_delays() {
+        let g = generators::grid(3, 4, generators::WeightDist::Uniform(1, 30), 4);
+        for seed in 0..4 {
+            let out = run_alpha_star(&g, 4, DelayModel::Uniform, seed).unwrap();
+            assert_eq!(out.stats.min_pulses(), 4);
+            assert!(out.stats.is_monotone());
+        }
+    }
+
+    #[test]
+    fn alpha_star_message_count_is_pulses_times_degree_sum() {
+        let g = generators::cycle(8, |_| 3);
+        let out = run_alpha_star(&g, 6, DelayModel::WorstCase, 0).unwrap();
+        // Each vertex announces pulses 0..=4 (not the last) to 2 neighbors.
+        assert_eq!(out.cost.messages, 8 * 2 * 5);
+    }
+
+    #[test]
+    fn single_pulse_needs_no_messages() {
+        let g = generators::path(3, |_| 2);
+        let out = run_alpha_star(&g, 1, DelayModel::WorstCase, 0).unwrap();
+        assert_eq!(out.cost.messages, 0);
+        assert_eq!(out.stats.min_pulses(), 1);
+    }
+}

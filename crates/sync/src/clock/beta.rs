@@ -1,0 +1,195 @@
+//! Clock synchronizer β\* (Section 3.2).
+//!
+//! Preprocessing picks one global spanning tree and a leader (we use the
+//! shortest-path tree of a given root, which minimizes depth). Per pulse:
+//! completion reports *convergecast* from the leaves to the leader, which
+//! then *broadcasts* permission for the next pulse. The pulse delay is a
+//! full tree round-trip — `Θ(depth(T))`, which is `Ω(D̂)` on any tree —
+//! independent of `W`, so β\* beats α\* when `W ≫ D̂` but loses to γ\*
+//! when `d ≪ D̂`.
+
+use super::stats::{ClockOutcome, PulseStats};
+use csp_graph::algo::shortest_path_tree;
+use csp_graph::{NodeId, RootedTree, WeightedGraph};
+use csp_sim::{Context, CostClass, DelayModel, Process, SimError, SimTime, Simulator};
+use std::collections::BTreeMap;
+
+/// β\* messages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BetaMsg {
+    /// Subtree finished pulse `p` (convergecast).
+    Done(u64),
+    /// Generate pulse `p` (broadcast).
+    Next(u64),
+}
+
+/// Per-vertex state of synchronizer β\*.
+#[derive(Clone, Debug)]
+pub struct BetaStar {
+    pulses: u64,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    /// Done reports per pulse.
+    done: BTreeMap<u64, usize>,
+    times: Vec<SimTime>,
+}
+
+impl BetaStar {
+    /// Creates the per-vertex state over the shared tree.
+    pub fn new(v: NodeId, tree: &RootedTree, pulses: u64) -> Self {
+        BetaStar {
+            pulses,
+            parent: tree.parent(v).map(|(p, _, _)| p),
+            children: tree.children_lists()[v.index()]
+                .iter()
+                .map(|&(c, _)| c)
+                .collect(),
+            done: BTreeMap::new(),
+            times: Vec::new(),
+        }
+    }
+
+    /// Recorded pulse generation times.
+    pub fn times(&self) -> &[SimTime] {
+        &self.times
+    }
+
+    fn generate(&mut self, pulse: u64, ctx: &mut Context<'_, BetaMsg>) {
+        self.times.push(ctx.time());
+        if pulse + 1 >= self.pulses {
+            return;
+        }
+        // Done with this pulse instantly (clock synchronization carries no
+        // protocol work).
+        self.maybe_report(pulse, ctx);
+    }
+
+    fn maybe_report(&mut self, pulse: u64, ctx: &mut Context<'_, BetaMsg>) {
+        let have = self.done.get(&pulse).copied().unwrap_or(0);
+        if have == self.children.len() && (self.times.len() as u64) > pulse {
+            match self.parent {
+                Some(p) => ctx.send_class(p, BetaMsg::Done(pulse), CostClass::Synchronizer),
+                None => {
+                    // Leader: everyone finished; broadcast the next pulse.
+                    self.done.remove(&pulse);
+                    self.broadcast_next(pulse + 1, ctx);
+                }
+            }
+        }
+    }
+
+    fn broadcast_next(&mut self, pulse: u64, ctx: &mut Context<'_, BetaMsg>) {
+        for c in self.children.clone() {
+            ctx.send_class(c, BetaMsg::Next(pulse), CostClass::Synchronizer);
+        }
+        self.generate(pulse, ctx);
+    }
+}
+
+impl Process for BetaStar {
+    type Msg = BetaMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, BetaMsg>) {
+        if self.pulses > 0 {
+            self.generate(0, ctx);
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: BetaMsg, ctx: &mut Context<'_, BetaMsg>) {
+        match msg {
+            BetaMsg::Done(p) => {
+                *self.done.entry(p).or_insert(0) += 1;
+                self.maybe_report(p, ctx);
+            }
+            BetaMsg::Next(p) => {
+                for c in self.children.clone() {
+                    ctx.send_class(c, BetaMsg::Next(p), CostClass::Synchronizer);
+                }
+                self.generate(p, ctx);
+            }
+        }
+    }
+}
+
+/// Runs synchronizer β\* for `pulses` pulses over the SPT rooted at
+/// `leader`.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+///
+/// # Panics
+///
+/// Panics if `g` is disconnected or `leader` is out of range.
+pub fn run_beta_star(
+    g: &WeightedGraph,
+    leader: NodeId,
+    pulses: u64,
+    delay: DelayModel,
+    seed: u64,
+) -> Result<ClockOutcome, SimError> {
+    g.check_node(leader);
+    let tree = shortest_path_tree(g, leader);
+    assert!(tree.is_spanning(), "β* needs a connected graph");
+    let run = Simulator::new(g)
+        .delay(delay)
+        .seed(seed)
+        .run(|v, _| BetaStar::new(v, &tree, pulses))?;
+    let times: Vec<Vec<SimTime>> = run.states.iter().map(|s| s.times().to_vec()).collect();
+    assert!(
+        times.iter().all(|ts| ts.len() == pulses as usize),
+        "every vertex must generate every pulse"
+    );
+    Ok(ClockOutcome {
+        stats: PulseStats { times },
+        cost: run.cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_graph::generators;
+    use csp_graph::params::CostParams;
+
+    #[test]
+    fn beta_star_generates_all_pulses() {
+        let g = generators::grid(3, 4, generators::WeightDist::Uniform(1, 10), 2);
+        let out = run_beta_star(&g, NodeId::new(0), 6, DelayModel::WorstCase, 0).unwrap();
+        assert_eq!(out.stats.min_pulses(), 6);
+        assert!(out.stats.is_monotone());
+    }
+
+    #[test]
+    fn beta_star_delay_is_tree_round_trip_not_w() {
+        // Heavy chords make W large, but β* never touches them: its delay
+        // is bounded by a light-tree round trip.
+        let g = generators::heavy_chord_cycle(12, 500);
+        let p = CostParams::of(&g);
+        let out = run_beta_star(&g, NodeId::new(0), 5, DelayModel::WorstCase, 0).unwrap();
+        let delay = out.stats.max_pulse_delay() as u128;
+        assert!(
+            delay <= 2 * p.weighted_diameter.get() + 2,
+            "β* delay {delay} > 2·D̂"
+        );
+        assert!(delay < p.max_weight.get() as u128, "β* should beat W here");
+    }
+
+    #[test]
+    fn beta_star_message_cost_per_pulse_is_two_tree_sweeps() {
+        let g = generators::path(6, |_| 4);
+        let pulses = 5;
+        let out = run_beta_star(&g, NodeId::new(0), pulses, DelayModel::WorstCase, 0).unwrap();
+        // per pulse transition: n-1 Done + n-1 Next messages.
+        assert_eq!(out.cost.messages, 2 * 5 * (pulses - 1));
+    }
+
+    #[test]
+    fn beta_star_under_random_delays() {
+        let g = generators::connected_gnp(14, 0.3, generators::WeightDist::Uniform(1, 20), 3);
+        for seed in 0..3 {
+            let out = run_beta_star(&g, NodeId::new(2), 4, DelayModel::Uniform, seed).unwrap();
+            assert_eq!(out.stats.min_pulses(), 4);
+        }
+    }
+}

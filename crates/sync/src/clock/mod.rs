@@ -1,0 +1,26 @@
+//! Clock synchronizers α\*, β\* and γ\* (Section 3).
+//!
+//! All three generate `pulses` pulses at every vertex under the invariant
+//! that pulse `p` is generated only after every neighbor generated pulse
+//! `p − 1` (causally). They differ in *pulse delay* — the worst-case time
+//! between successive pulses at a vertex:
+//!
+//! | synchronizer | mechanism | pulse delay |
+//! |---|---|---|
+//! | α\* ([`run_alpha_star`]) | exchange pulse tokens with every neighbor over the direct edge | `O(W)` |
+//! | β\* ([`run_beta_star`]) | convergecast/broadcast on one global tree | `O(D̂)` (tree diameter) |
+//! | γ\* ([`run_gamma_star`]) | tree edge-cover: β inside each cover tree, α among trees | `O(d·log² n)` |
+//!
+//! The lower bound is `Ω(d)`, where `d` is the maximum weighted distance
+//! between neighbors; γ\* approaches it within `log² n` whenever heavy
+//! edges have light detours (`d ≪ W`).
+
+mod alpha;
+mod beta;
+mod gamma;
+mod stats;
+
+pub use alpha::run_alpha_star;
+pub use beta::run_beta_star;
+pub use gamma::run_gamma_star;
+pub use stats::{ClockOutcome, PulseStats};

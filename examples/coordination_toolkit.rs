@@ -1,0 +1,93 @@
+//! The coordination toolkit: leader election, termination detection, and
+//! message tracing on one network.
+//!
+//! The paper's machinery composes: GHS elects a leader (the [Awe87]
+//! reduction), Dijkstra–Scholten acknowledgments tell the initiator when
+//! a diffusing computation has globally finished ([DS80], the model of
+//! Section 5), and the simulator's trace facility shows the adversarial
+//! schedule that was actually played.
+//!
+//! ```text
+//! cargo run --example coordination_toolkit
+//! ```
+
+use cost_sensitive::algo::flood::Flood;
+use cost_sensitive::algo::leader::run_leader_election;
+use cost_sensitive::algo::termination::{detection_overhead, run_with_termination_detection};
+use cost_sensitive::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let g = generators::torus(4, 5, generators::WeightDist::Uniform(1, 9), 2026);
+    let p = CostParams::of(&g);
+    println!("network: {p}");
+    println!();
+
+    // 1. Elect a leader: GHS + one announcement sweep over the MST.
+    let election = run_leader_election(&g, DelayModel::Uniform, 1)?;
+    println!(
+        "leader election: {} elected  ({}; announcement overhead {})",
+        election.leader,
+        election.cost,
+        election.cost.comm_of(CostClass::Auxiliary),
+    );
+
+    // 2. The leader initiates a broadcast; Dijkstra–Scholten
+    //    acknowledgments let it *know* when everyone has been reached.
+    let root = election.leader;
+    let detected = run_with_termination_detection(&g, root, DelayModel::Uniform, 7, |v, _| {
+        Flood::new(v == root)
+    })?;
+    println!(
+        "broadcast + termination detection: detected at {} ({}; ack overhead {})",
+        detected.detected_at,
+        detected.cost,
+        detection_overhead(&detected.cost),
+    );
+    assert!(detected.states.iter().all(Flood::reached));
+
+    // 3. Replay with tracing to inspect the adversarial schedule.
+    let run = Simulator::new(&g)
+        .delay(DelayModel::Uniform)
+        .seed(7)
+        .record_trace(4096)
+        .run(|v, _| Flood::new(v == root))?;
+    let trace = &run.trace;
+    println!();
+    println!(
+        "traced replay: {} deliveries, FIFO per channel: {}",
+        trace.len(),
+        trace.is_fifo()
+    );
+    let max_latency = trace
+        .events()
+        .iter()
+        .map(|e| e.latency())
+        .max()
+        .unwrap_or(0);
+    println!(
+        "max in-flight latency: {max_latency} (≤ W = {})",
+        p.max_weight
+    );
+    println!();
+    println!("first five deliveries:");
+    for e in trace.events().iter().take(5) {
+        println!("  {e}");
+    }
+
+    // 4. Export the flood tree for visualization.
+    let parents: Vec<Option<NodeId>> = run.states.iter().map(Flood::parent).collect();
+    let tree_edges: Vec<EdgeId> = g
+        .nodes()
+        .filter_map(|v| {
+            parents[v.index()].map(|u| g.edge_between(v, u).expect("parent is a neighbor"))
+        })
+        .collect();
+    let dot = g.to_dot(&tree_edges);
+    println!();
+    println!(
+        "Graphviz export: {} bytes, {} bold tree edges (pipe to `dot -Tsvg`)",
+        dot.len(),
+        tree_edges.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! The MST algorithms race on the two adversarial regimes of Figure 3.
+//!
+//! * Regime A (`Ê ≪ n·V̂`): a long heavy path with a few light chords —
+//!   the edge-frugal GHS wins.
+//! * Regime B (`n·V̂ ≪ Ê`): the paper's lower-bound family `G_n`
+//!   (Figure 7) — a light path buried under astronomically heavy bypass
+//!   edges; the full-information `MST_centr` wins because it never pays
+//!   for non-MST edges, and `MST_hybrid` tracks whichever is cheaper.
+//!
+//! ```text
+//! cargo run --example mst_race
+//! ```
+
+use cost_sensitive::prelude::*;
+
+fn race(name: &str, g: &WeightedGraph) -> Result<(), Box<dyn std::error::Error>> {
+    let p = CostParams::of(g);
+    let pivot = p.total_weight.min(p.mst_weight * p.n as u128);
+    println!("── {name}");
+    println!("   {p}");
+    println!(
+        "   bounds: Ê = {}, n·V̂ = {}, min = {pivot}",
+        p.total_weight,
+        p.mst_weight * p.n as u128
+    );
+    let root = NodeId::new(0);
+    let ghs = run_mst_ghs(g, root, DelayModel::WorstCase, 0)?;
+    let centr = run_mst_centr(g, root, DelayModel::WorstCase, 0)?;
+    let fast = run_mst_fast(g, root, DelayModel::WorstCase, 0)?;
+    let hybrid = run_mst_hybrid(g, root, DelayModel::WorstCase, 0)?;
+    assert_eq!(ghs.tree.weight(), centr.tree.weight());
+    assert_eq!(ghs.tree.weight(), fast.tree.weight());
+    assert_eq!(ghs.tree.weight(), hybrid.tree.weight());
+    println!("   {:<12} {:>12} {:>10}", "algorithm", "comm", "time");
+    println!(
+        "   {:<12} {:>12} {:>10}",
+        "MST_ghs", ghs.cost.weighted_comm, ghs.cost.completion
+    );
+    println!(
+        "   {:<12} {:>12} {:>10}",
+        "MST_centr", centr.cost.weighted_comm, centr.cost.completion
+    );
+    println!(
+        "   {:<12} {:>12} {:>10}",
+        "MST_fast", fast.cost.weighted_comm, fast.cost.completion
+    );
+    println!(
+        "   {:<12} {:>12} {:>10}   winner: {:?}",
+        "MST_hybrid", hybrid.cost.weighted_comm, hybrid.cost.completion, hybrid.winner
+    );
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Regime A: heavy path + light chords → Ê small relative to n·V̂.
+    let a = generators::sparse_heavy_path(28, 60, 11);
+    race("regime A: sparse heavy path (GHS territory)", &a)?;
+
+    // Regime B: the Figure-7 family → n·V̂ tiny relative to Ê.
+    let b = generators::lower_bound_family(24, 16);
+    race("regime B: lower-bound family G_n (MST_centr territory)", &b)?;
+
+    // Bonus: where MST_fast shines — heavy internal edges that GHS must
+    // reject one serial round-trip at a time.
+    let c = generators::complete(16, |i, _| if i == 0 { 1 } else { 64 });
+    race("regime C: star in a heavy clique (MST_fast time win)", &c)?;
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Quickstart: build a weighted network, read off the paper's cost
+//! parameters, and run a few protocols on it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use cost_sensitive::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 6-vertex network: a light ring (the "backbone") plus one heavy
+    // chord (an expensive long-haul link).
+    let mut b = GraphBuilder::new(6);
+    b.edge(0, 1, 1)
+        .edge(1, 2, 1)
+        .edge(2, 3, 1)
+        .edge(3, 4, 1)
+        .edge(4, 5, 1)
+        .edge(5, 0, 1)
+        .edge(0, 3, 10);
+    let g = b.build()?;
+
+    // The paper's weighted parameters.
+    let p = CostParams::of(&g);
+    println!("network: {g}");
+    println!("parameters: {p}");
+    println!();
+
+    // 1. Flood a token from vertex 0 (CON_flood, §6.1): O(Ê) comm, O(D̂) time.
+    let flood = run_flood(&g, NodeId::new(0), DelayModel::WorstCase, 0)?;
+    println!("CON_flood:   {}", flood.cost);
+
+    // 2. Depth-first search with root estimates (§6.2): O(Ê) comm & time.
+    let dfs = run_dfs(&g, NodeId::new(0), DelayModel::WorstCase, 0)?;
+    println!(
+        "DFS:         {}  (exact traversal cost {}, root estimate {})",
+        dfs.cost, dfs.traversal_cost, dfs.root_estimate
+    );
+
+    // 3. Global function over a shallow-light tree (§2): O(V̂) comm, O(D̂) time.
+    let inputs = [3u64, 1, 4, 1, 5, 9];
+    let out = compute_global(
+        &g,
+        NodeId::new(0),
+        Max,
+        &inputs,
+        TreeKind::Slt { q: 2 },
+        DelayModel::WorstCase,
+    )?;
+    println!(
+        "global max:  {}  -> {} at every vertex (tree weight {})",
+        out.cost,
+        out.value,
+        out.tree.weight()
+    );
+
+    // 4. The minimum spanning tree three ways (§6.3, §8).
+    let ghs = run_mst_ghs(&g, NodeId::new(0), DelayModel::WorstCase, 0)?;
+    let centr = run_mst_centr(&g, NodeId::new(0), DelayModel::WorstCase, 0)?;
+    let hybrid = run_mst_hybrid(&g, NodeId::new(0), DelayModel::WorstCase, 0)?;
+    println!("MST_ghs:     {}  (w(T) = {})", ghs.cost, ghs.tree.weight());
+    println!("MST_centr:   {}", centr.cost);
+    println!(
+        "MST_hybrid:  {}  (winner: {:?})",
+        hybrid.cost, hybrid.winner
+    );
+
+    // 5. Shortest-path tree from vertex 0 under the strip method (§9.2).
+    let spt = run_spt_recur(&g, NodeId::new(0), 2, DelayModel::WorstCase, 0)?;
+    println!(
+        "SPT_recur:   {}  ({} strips, dist(v3) = {})",
+        spt.cost, spt.strips, spt.dists[3]
+    );
+
+    Ok(())
+}

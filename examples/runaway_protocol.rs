@@ -1,0 +1,138 @@
+//! Taming a diverging protocol with the controller (Section 5).
+//!
+//! A buggy "echo" protocol bounces every message back forever. Run
+//! naked, it would flood the network without end (the simulator's event
+//! budget is the only thing that stops it). Run under the controller
+//! with threshold `c_π`, it is cut off after consuming at most `2·c_π`
+//! weighted units, while a *correct* protocol under the same controller
+//! runs to completion unimpeded.
+//!
+//! ```text
+//! cargo run --example runaway_protocol
+//! ```
+
+use cost_sensitive::prelude::*;
+
+/// The buggy protocol: echoes every message back, forever.
+#[derive(Debug)]
+struct Echo {
+    initiator: bool,
+}
+
+impl Process for Echo {
+    type Msg = u64;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+        if self.initiator {
+            let targets: Vec<NodeId> = ctx.neighbors().map(|(u, _, _)| u).collect();
+            for u in targets {
+                ctx.send(u, 0);
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, hops: u64, ctx: &mut Context<'_, u64>) {
+        ctx.send(from, hops + 1); // bug: never stops
+    }
+}
+
+/// A correct protocol: a one-shot flood.
+#[derive(Debug)]
+struct Flood {
+    initiator: bool,
+    reached: bool,
+}
+
+impl Process for Flood {
+    type Msg = u64;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+        if self.initiator {
+            self.reached = true;
+            let targets: Vec<NodeId> = ctx.neighbors().map(|(u, _, _)| u).collect();
+            for u in targets {
+                ctx.send(u, 0);
+            }
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeId, _m: u64, ctx: &mut Context<'_, u64>) {
+        if !self.reached {
+            self.reached = true;
+            let targets: Vec<NodeId> = ctx.neighbors().map(|(u, _, _)| u).collect();
+            for u in targets {
+                ctx.send(u, 0);
+            }
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let g = generators::grid(4, 5, generators::WeightDist::Uniform(1, 6), 3);
+    let p = CostParams::of(&g);
+    // Correct flooding costs at most 2·Ê — that is the threshold c_π.
+    let threshold = (p.total_weight * 2).get() as u64;
+    println!("network: {p}");
+    println!("threshold c_π = 2·Ê = {threshold}");
+    println!();
+
+    // 1. The naked runaway protocol never stops — the simulator's event
+    //    budget has to kill it.
+    let naked = Simulator::new(&g).event_limit(20_000).run(|v, _| Echo {
+        initiator: v == NodeId::new(0),
+    });
+    println!(
+        "naked Echo:      {:?}   (runs until the harness gives up)",
+        naked.err().expect("echo never terminates")
+    );
+
+    // 2. Under the controller, the same protocol is cut off around c_π.
+    for policy in [GrantPolicy::Naive, GrantPolicy::Caching] {
+        let out = run_controlled(
+            &g,
+            NodeId::new(0),
+            threshold,
+            policy,
+            DelayModel::WorstCase,
+            0,
+            |v, _| Echo {
+                initiator: v == NodeId::new(0),
+            },
+        )?;
+        println!(
+            "controlled Echo  [{policy:?}]: suspended={} granted={} protocol-comm={} control-comm={}",
+            out.suspended,
+            out.granted,
+            out.cost.comm_of(CostClass::Protocol),
+            out.cost.comm_of(CostClass::Controller),
+        );
+        assert!(out.suspended);
+    }
+    println!();
+
+    // 3. The correct protocol sails through under the same threshold.
+    let out = run_controlled(
+        &g,
+        NodeId::new(0),
+        threshold,
+        GrantPolicy::Caching,
+        DelayModel::WorstCase,
+        0,
+        |v, _| Flood {
+            initiator: v == NodeId::new(0),
+            reached: false,
+        },
+    )?;
+    assert!(!out.suspended);
+    assert!(out.states.iter().all(|f| f.reached));
+    println!(
+        "controlled Flood [Caching]: completed, suspended={} protocol-comm={} control-comm={}",
+        out.suspended,
+        out.cost.comm_of(CostClass::Protocol),
+        out.cost.comm_of(CostClass::Controller),
+    );
+    println!();
+    println!("Corollary 5.1: the controlled protocol keeps the semantics of");
+    println!("correct executions and caps incorrect ones at O(c_π·log²c_π).");
+    Ok(())
+}

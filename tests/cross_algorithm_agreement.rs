@@ -1,0 +1,136 @@
+//! Cross-crate integration: every distributed algorithm must agree with
+//! its sequential reference, across graph families, delay models and
+//! seeds.
+
+use cost_sensitive::prelude::*;
+
+fn families() -> Vec<(&'static str, WeightedGraph)> {
+    vec![
+        (
+            "gnp",
+            generators::connected_gnp(18, 0.2, generators::WeightDist::Uniform(1, 30), 42),
+        ),
+        (
+            "grid",
+            generators::grid(4, 4, generators::WeightDist::Uniform(1, 10), 7),
+        ),
+        ("lower-bound", generators::lower_bound_family(14, 5)),
+        ("heavy-chords", generators::heavy_chord_cycle(14, 100)),
+        ("cluster", generators::cluster_graph(3, 5, 40, 9)),
+        ("path", generators::path(12, |i| (i as u64 % 7) + 1)),
+        (
+            "complete",
+            generators::complete(9, |i, j| ((i * j) % 11 + 1) as u64),
+        ),
+    ]
+}
+
+#[test]
+fn all_mst_algorithms_agree_with_prim() {
+    for (name, g) in families() {
+        let reference = cost_sensitive::graph::algo::prim_mst(&g, NodeId::new(0)).weight();
+        let ghs = run_mst_ghs(&g, NodeId::new(0), DelayModel::WorstCase, 0).unwrap();
+        assert_eq!(ghs.tree.weight(), reference, "GHS on {name}");
+        let centr = run_mst_centr(&g, NodeId::new(0), DelayModel::WorstCase, 0).unwrap();
+        assert_eq!(centr.tree.weight(), reference, "centr on {name}");
+        let fast = run_mst_fast(&g, NodeId::new(0), DelayModel::WorstCase, 0).unwrap();
+        assert_eq!(fast.tree.weight(), reference, "fast on {name}");
+        let hybrid = run_mst_hybrid(&g, NodeId::new(0), DelayModel::WorstCase, 0).unwrap();
+        assert_eq!(hybrid.tree.weight(), reference, "hybrid on {name}");
+    }
+}
+
+#[test]
+fn all_spt_algorithms_agree_with_dijkstra() {
+    for (name, g) in families() {
+        let reference = cost_sensitive::graph::algo::distances(&g, NodeId::new(0));
+        let centr = run_spt_centr(&g, NodeId::new(0), DelayModel::WorstCase, 0).unwrap();
+        assert_eq!(centr.dists, reference, "SPT_centr on {name}");
+        let recur = run_spt_recur(&g, NodeId::new(0), 4, DelayModel::WorstCase, 0).unwrap();
+        assert_eq!(recur.dists, reference, "SPT_recur on {name}");
+        let ideal = run_spt_synch_ideal(&g, NodeId::new(0));
+        assert_eq!(ideal.dists, reference, "SPT_synch_ideal on {name}");
+    }
+}
+
+#[test]
+fn spt_synch_under_gamma_w_matches_dijkstra_on_every_family() {
+    // Smaller instances: γ_w simulates 4·D̂ virtual pulses.
+    let cases = vec![
+        (
+            "gnp",
+            generators::connected_gnp(10, 0.25, generators::WeightDist::Uniform(1, 8), 3),
+        ),
+        ("path", generators::path(8, |i| (i as u64 % 4) + 1)),
+        ("cluster", generators::cluster_graph(2, 4, 12, 5)),
+    ];
+    for (name, g) in cases {
+        let reference = cost_sensitive::graph::algo::distances(&g, NodeId::new(0));
+        for k in [2, 4] {
+            let out = run_spt_synch(&g, NodeId::new(0), k, DelayModel::Uniform, 1).unwrap();
+            assert_eq!(out.dists, reference, "SPT_synch k={k} on {name}");
+        }
+    }
+}
+
+#[test]
+fn mst_algorithms_are_delay_schedule_independent() {
+    // The canonical MST must come out identical under every adversary.
+    let g = generators::connected_gnp(16, 0.25, generators::WeightDist::Uniform(1, 40), 17);
+    let reference = cost_sensitive::graph::algo::prim_mst(&g, NodeId::new(0)).weight();
+    for delay in [
+        DelayModel::WorstCase,
+        DelayModel::Eager,
+        DelayModel::Proportional { num: 1, den: 2 },
+    ] {
+        let out = run_mst_ghs(&g, NodeId::new(0), delay, 0).unwrap();
+        assert_eq!(out.tree.weight(), reference, "{delay:?}");
+    }
+    for seed in 0..10 {
+        let out = run_mst_ghs(&g, NodeId::new(0), DelayModel::Uniform, seed).unwrap();
+        assert_eq!(out.tree.weight(), reference, "uniform seed {seed}");
+        let fast = run_mst_fast(&g, NodeId::new(0), DelayModel::Uniform, seed).unwrap();
+        assert_eq!(fast.tree.weight(), reference, "fast uniform seed {seed}");
+    }
+}
+
+#[test]
+fn spanning_structures_span_from_any_root() {
+    let g = generators::cluster_graph(3, 4, 25, 2);
+    for r in 0..g.node_count() {
+        let root = NodeId::new(r);
+        assert!(run_flood(&g, root, DelayModel::WorstCase, 0)
+            .unwrap()
+            .tree
+            .is_spanning());
+        assert!(run_dfs(&g, root, DelayModel::WorstCase, 0)
+            .unwrap()
+            .tree
+            .is_spanning());
+        assert!(run_con_hybrid(&g, root, DelayModel::WorstCase, 0)
+            .unwrap()
+            .tree
+            .is_spanning());
+    }
+}
+
+#[test]
+fn global_functions_agree_with_sequential_folds_everywhere() {
+    for (name, g) in families() {
+        let inputs: Vec<u64> = (0..g.node_count() as u64).map(|i| i * 31 % 17).collect();
+        for kind in [TreeKind::Slt { q: 2 }, TreeKind::Mst, TreeKind::Spt] {
+            let out = compute_global(&g, NodeId::new(0), Sum, &inputs, kind, DelayModel::Uniform)
+                .unwrap();
+            assert_eq!(out.value, fold_all(&Sum, &inputs), "{name} {kind:?}");
+        }
+    }
+}
+
+#[test]
+fn distributed_slt_matches_sequential_slt() {
+    let g = generators::connected_gnp(14, 0.25, generators::WeightDist::Uniform(1, 20), 5);
+    let sequential = shallow_light_tree(&g, NodeId::new(0), 2);
+    let distributed = run_slt_dist(&g, NodeId::new(0), 2, DelayModel::WorstCase, 0).unwrap();
+    assert_eq!(distributed.slt.weight(), sequential.weight());
+    assert_eq!(distributed.slt.height(), sequential.height());
+}

@@ -1,0 +1,196 @@
+//! The paper's stated complexity bounds, checked empirically (with
+//! explicit constants) on parameter sweeps — the integration-level
+//! counterpart of the per-crate unit tests.
+
+use cost_sensitive::prelude::*;
+
+fn log2c(n: usize) -> u128 {
+    (n.max(2) as f64).log2().ceil() as u128
+}
+
+/// Figure 1: global function computation — comm Θ(V̂), time Θ(D̂).
+#[test]
+fn figure_1_global_functions_are_v_and_d_optimal() {
+    for n in [12, 20, 28] {
+        for seed in 0..3 {
+            let g = generators::connected_gnp(n, 0.2, generators::WeightDist::Uniform(1, 32), seed);
+            let p = CostParams::of(&g);
+            let inputs: Vec<u64> = (0..n as u64).collect();
+            let out = compute_global(
+                &g,
+                NodeId::new(0),
+                Max,
+                &inputs,
+                TreeKind::Slt { q: 2 },
+                DelayModel::WorstCase,
+            )
+            .unwrap();
+            // Upper bounds with q = 2 constants.
+            assert!(
+                out.cost.weighted_comm <= p.mst_weight * 4,
+                "n={n} seed={seed}"
+            );
+            assert!(
+                (out.cost.completion.get() as u128) <= p.weighted_diameter.get() * 6,
+                "n={n} seed={seed}"
+            );
+            // Lower bounds: no algorithm beats V̂ comm / D̂ time by more
+            // than the convergecast+broadcast structure allows; our
+            // measured run must sit above the floor too (sanity).
+            assert!(out.cost.weighted_comm >= p.mst_weight);
+        }
+    }
+}
+
+/// Figure 2: connectivity — flood/DFS at O(Ê), hybrid at O(min{Ê, n·V̂}).
+#[test]
+fn figure_2_connectivity_bounds() {
+    for seed in 0..3 {
+        let g = generators::connected_gnp(20, 0.25, generators::WeightDist::Uniform(1, 24), seed);
+        let p = CostParams::of(&g);
+        let flood = run_flood(&g, NodeId::new(0), DelayModel::WorstCase, 0).unwrap();
+        assert!(flood.cost.weighted_comm <= p.total_weight * 2);
+        let dfs = run_dfs(&g, NodeId::new(0), DelayModel::WorstCase, 0).unwrap();
+        assert!(dfs.cost.weighted_comm <= p.total_weight * 12);
+        let hybrid = run_con_hybrid(&g, NodeId::new(0), DelayModel::WorstCase, 0).unwrap();
+        let pivot = connectivity_pivot(&g, p.mst_weight);
+        assert!(
+            hybrid.cost.weighted_comm <= pivot * 60,
+            "hybrid {} ≫ pivot {pivot} (seed {seed})",
+            hybrid.cost.weighted_comm
+        );
+    }
+}
+
+/// Figure 3: MST — GHS at O(Ê + V̂·log n), centr at O(n·V̂).
+#[test]
+fn figure_3_mst_bounds() {
+    for seed in 0..3 {
+        let g = generators::connected_gnp(24, 0.2, generators::WeightDist::Uniform(1, 50), seed);
+        let p = CostParams::of(&g);
+        let ghs = run_mst_ghs(&g, NodeId::new(0), DelayModel::WorstCase, 0).unwrap();
+        let ghs_bound = (p.total_weight + p.mst_weight * log2c(p.n)) * 5;
+        assert!(ghs.cost.weighted_comm <= ghs_bound, "seed {seed}");
+        let centr = run_mst_centr(&g, NodeId::new(0), DelayModel::WorstCase, 0).unwrap();
+        let centr_bound = p.mst_weight * (6 * p.n as u128);
+        assert!(centr.cost.weighted_comm <= centr_bound, "seed {seed}");
+        let fast = run_mst_fast(&g, NodeId::new(0), DelayModel::WorstCase, 0).unwrap();
+        let w_hat = p.mst_weight.get().max(2) as f64;
+        let fast_bound = (p.total_weight.get() as f64) * 5.0 * (p.n as f64).log2() * w_hat.log2();
+        assert!(
+            (fast.cost.weighted_comm.get() as f64) <= fast_bound,
+            "fast {} > {fast_bound} (seed {seed})",
+            fast.cost.weighted_comm
+        );
+    }
+}
+
+/// Figure 4: SPT — centr at O(n·w(SPT)), synch at O(Ê + D̂·k·n·log n).
+#[test]
+fn figure_4_spt_bounds() {
+    for seed in 0..2 {
+        let g = generators::connected_gnp(14, 0.25, generators::WeightDist::Uniform(1, 16), seed);
+        let p = CostParams::of(&g);
+        let spt_w = cost_sensitive::graph::algo::shortest_path_tree(&g, NodeId::new(0)).weight();
+        let centr = run_spt_centr(&g, NodeId::new(0), DelayModel::WorstCase, 0).unwrap();
+        assert!(
+            centr.cost.weighted_comm <= spt_w * (6 * p.n as u128),
+            "centr seed {seed}"
+        );
+        // Fact 6.5 inside the bound: w(SPT) ≤ (n−1)·V̂.
+        assert!(spt_w <= p.mst_weight * (p.n as u128 - 1));
+
+        let k = 2u128;
+        let synch = run_spt_synch(&g, NodeId::new(0), 2, DelayModel::WorstCase, 0).unwrap();
+        let d_hat = p.weighted_diameter.get();
+        let bound = p.total_weight.get() * 2 + 40 * d_hat * k * (p.n as u128) * log2c(p.n);
+        assert!(
+            synch.cost.weighted_comm.get() <= bound,
+            "synch {} > Ê + c·D̂·k·n·log n = {bound} (seed {seed})",
+            synch.cost.weighted_comm
+        );
+    }
+}
+
+/// Figure 7: on the lower-bound family every correct algorithm pays
+/// Ω(n·V̂); the frugal ones stay near it while flooding pays Ê.
+#[test]
+fn figure_7_lower_bound_family_cost_shape() {
+    let g = generators::lower_bound_family(20, 8);
+    let p = CostParams::of(&g);
+    let nv = p.mst_weight * p.n as u128;
+    // Flooding can't avoid the bypasses: Ω(Ê).
+    let flood = run_flood(&g, NodeId::new(0), DelayModel::WorstCase, 0).unwrap();
+    assert!(flood.cost.weighted_comm >= p.total_weight);
+    // MST_centr stays within O(n·V̂) — far below Ê.
+    let centr = run_mst_centr(&g, NodeId::new(0), DelayModel::WorstCase, 0).unwrap();
+    assert!(centr.cost.weighted_comm <= nv * 6);
+    assert!(centr.cost.weighted_comm < flood.cost.weighted_comm);
+}
+
+/// Section 3: the clock synchronizer hierarchy α* ≥ γ* ≥ Ω(d) on
+/// heavy-chord networks, and β* pinned to the tree round trip.
+#[test]
+fn section_3_clock_synchronizer_hierarchy() {
+    let g = generators::heavy_chord_cycle(16, 1_000);
+    let p = CostParams::of(&g);
+    let alpha = run_alpha_star(&g, 5, DelayModel::WorstCase, 0).unwrap();
+    let beta = run_beta_star(&g, NodeId::new(0), 5, DelayModel::WorstCase, 0).unwrap();
+    let gamma = run_gamma_star(&g, 5, DelayModel::WorstCase, 0).unwrap();
+    let d = p.max_neighbor_distance.get() as u64;
+    // α* is pinned to W.
+    assert_eq!(
+        alpha.stats.max_pulse_delay() as u128,
+        p.max_weight.get() as u128
+    );
+    // γ* beats α* and respects the Ω(d) floor.
+    assert!(gamma.stats.max_pulse_delay() < alpha.stats.max_pulse_delay());
+    assert!(gamma.stats.max_pulse_delay() as u64 >= d);
+    // β* ≤ 2·D̂ + slack.
+    assert!((beta.stats.max_pulse_delay() as u128) <= 2 * p.weighted_diameter.get() + 2);
+}
+
+/// Section 5: controller overhead O(c·log² c) and cut-off ≤ 2·threshold.
+#[test]
+fn section_5_controller_bounds() {
+    #[derive(Debug)]
+    struct Noisy {
+        initiator: bool,
+        bounces: u32,
+    }
+    impl Process for Noisy {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            if self.initiator {
+                let all: Vec<NodeId> = ctx.neighbors().map(|(u, _, _)| u).collect();
+                for u in all {
+                    ctx.send(u, 0);
+                }
+            }
+        }
+        fn on_message(&mut self, from: NodeId, b: u32, ctx: &mut Context<'_, u32>) {
+            self.bounces += 1;
+            ctx.send(from, b + 1); // diverges
+        }
+    }
+    let g = generators::grid(3, 4, generators::WeightDist::Uniform(1, 5), 8);
+    let threshold = 200u64;
+    let out = run_controlled(
+        &g,
+        NodeId::new(0),
+        threshold,
+        GrantPolicy::Caching,
+        DelayModel::WorstCase,
+        0,
+        |v, _| Noisy {
+            initiator: v == NodeId::new(0),
+            bounces: 0,
+        },
+    )
+    .unwrap();
+    assert!(out.suspended);
+    assert!(out.cost.comm_of(CostClass::Protocol).get() <= 2 * threshold as u128);
+    let c = (2 * threshold) as f64;
+    let bound = 4.0 * c * c.log2() * c.log2();
+    assert!((out.cost.weighted_comm.get() as f64) <= bound);
+}

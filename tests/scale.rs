@@ -1,0 +1,62 @@
+//! Moderate-scale runs: the protocols must stay correct (and the
+//! simulator efficient) well beyond the unit-test sizes.
+
+use cost_sensitive::prelude::*;
+
+#[test]
+fn ghs_at_n_200() {
+    let g = generators::connected_gnp(200, 0.03, generators::WeightDist::Uniform(1, 100), 17);
+    let reference = cost_sensitive::graph::algo::prim_mst(&g, NodeId::new(0)).weight();
+    let out = run_mst_ghs(&g, NodeId::new(0), DelayModel::Uniform, 3).unwrap();
+    assert_eq!(out.tree.weight(), reference);
+}
+
+#[test]
+fn spt_recur_at_n_150() {
+    let g = generators::connected_gnp(150, 0.04, generators::WeightDist::Uniform(1, 64), 23);
+    let reference = cost_sensitive::graph::algo::distances(&g, NodeId::new(0));
+    let out = run_spt_recur(&g, NodeId::new(0), 16, DelayModel::Uniform, 5).unwrap();
+    assert_eq!(out.dists, reference);
+}
+
+#[test]
+fn flood_on_a_large_torus() {
+    let g = generators::torus(16, 16, generators::WeightDist::Uniform(1, 32), 9);
+    let out = run_flood(&g, NodeId::new(0), DelayModel::WorstCase, 0).unwrap();
+    assert!(out.tree.is_spanning());
+    assert!(out.cost.weighted_comm <= g.total_weight() * 2);
+}
+
+#[test]
+fn slt_on_a_dense_graph() {
+    let g = generators::connected_gnp(300, 0.05, generators::WeightDist::Uniform(1, 128), 31);
+    let p = CostParams::of(&g);
+    let slt = shallow_light_tree(&g, NodeId::new(0), 2);
+    assert!(slt.tree.is_spanning());
+    assert!(slt.weight().get() * 2 <= p.mst_weight.get() * 4);
+    assert!(slt.height() <= p.weighted_diameter * 3);
+}
+
+#[test]
+fn global_function_on_a_hypercube_q7() {
+    let g = generators::hypercube(7, generators::WeightDist::Uniform(1, 16), 2);
+    let inputs: Vec<u64> = (0..128u64).map(|i| i * 37 % 251).collect();
+    let out = compute_global(
+        &g,
+        NodeId::new(0),
+        Xor,
+        &inputs,
+        TreeKind::Slt { q: 2 },
+        DelayModel::Uniform,
+    )
+    .unwrap();
+    assert_eq!(out.value, fold_all(&Xor, &inputs));
+}
+
+#[test]
+fn mst_fast_at_n_128() {
+    let g = generators::connected_gnp(128, 0.05, generators::WeightDist::Uniform(1, 256), 41);
+    let reference = cost_sensitive::graph::algo::prim_mst(&g, NodeId::new(0)).weight();
+    let out = run_mst_fast(&g, NodeId::new(0), DelayModel::Uniform, 1).unwrap();
+    assert_eq!(out.tree.weight(), reference);
+}
