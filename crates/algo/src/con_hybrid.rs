@@ -49,7 +49,7 @@ pub(crate) fn accumulate(total: &mut CostReport, part: &CostReport) {
     total.completion = SimTime::new(total.completion.get() + part.completion.get());
     for i in 0..4 {
         total.messages_by_class[i] += part.messages_by_class[i];
-        total.comm_by_class[i] = total.comm_by_class[i] + part.comm_by_class[i];
+        total.comm_by_class[i] += part.comm_by_class[i];
     }
     for (a, b) in total
         .per_edge_messages

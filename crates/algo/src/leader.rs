@@ -124,7 +124,7 @@ pub fn run_leader_election(
     let run = Simulator::new(g)
         .delay(delay)
         .seed(seed)
-        .run(|v, g| LeaderElect::new(v, g))?;
+        .run(LeaderElect::new)?;
     let leader = run.states[0]
         .leader()
         .expect("every vertex learns the leader");

@@ -465,7 +465,7 @@ pub fn run_mst_fast(
     let run = Simulator::new(g)
         .delay(delay)
         .seed(seed)
-        .run(|v, g| MstFast::new(v, g))?;
+        .run(MstFast::new)?;
     assert!(
         run.states.iter().any(MstFast::halted),
         "MST_fast must detect termination"

@@ -438,10 +438,7 @@ pub fn run_mst_ghs(
             cost: CostReport::new(0),
         });
     }
-    let run = Simulator::new(g)
-        .delay(delay)
-        .seed(seed)
-        .run(|v, g| Ghs::new(v, g))?;
+    let run = Simulator::new(g).delay(delay).seed(seed).run(Ghs::new)?;
     assert!(
         run.states.iter().any(Ghs::halted),
         "GHS must detect termination"
@@ -595,7 +592,7 @@ mod stress_tests {
     #[test]
     fn exactly_two_core_endpoints_halt() {
         let g = generators::connected_gnp(20, 0.2, generators::WeightDist::Uniform(1, 30), 6);
-        let run = Simulator::new(&g).run(|v, g| Ghs::new(v, g)).unwrap();
+        let run = Simulator::new(&g).run(Ghs::new).unwrap();
         let halted: Vec<usize> = (0..20).filter(|&i| run.states[i].halted()).collect();
         assert_eq!(halted.len(), 2, "exactly the two core endpoints halt");
         let a = NodeId::new(halted[0]);

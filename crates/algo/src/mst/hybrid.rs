@@ -51,7 +51,7 @@ fn try_ghs_budgeted(
         .delay(delay)
         .seed(seed)
         .comm_limit(budget)
-        .run(|v, g| Ghs::new(v, g))?;
+        .run(Ghs::new)?;
     if run.truncated || !run.states.iter().any(Ghs::halted) {
         return Ok((None, run.cost));
     }

@@ -4,22 +4,15 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use csp_algo::mst::{run_mst_centr, run_mst_fast, run_mst_ghs, run_mst_hybrid};
-use csp_bench::{regime_a, regime_b, Workload};
-use csp_graph::{generators, NodeId};
+use csp_bench::fig3_workloads;
+use csp_graph::NodeId;
 use csp_sim::DelayModel;
 use std::hint::black_box;
 
 fn bench_mst(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_mst");
     group.sample_size(12);
-    let workloads = vec![
-        regime_a(28),
-        regime_b(20, 8),
-        Workload::new(
-            "gnp n=32",
-            generators::connected_gnp(32, 0.15, generators::WeightDist::Uniform(1, 32), 5),
-        ),
-    ];
+    let workloads = fig3_workloads();
     for w in &workloads {
         group.bench_with_input(BenchmarkId::new("ghs", &w.name), w, |b, w| {
             b.iter(|| {

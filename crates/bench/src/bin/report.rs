@@ -24,6 +24,7 @@ use csp_graph::generators;
 use csp_graph::params::CostParams;
 use csp_graph::slt::{shallow_light_tree, shallow_light_tree_with_rule, BreakpointRule};
 use csp_graph::{Cost, NodeId};
+use csp_sim::sweep::par_map;
 use csp_sim::sync::{SyncContext, SyncProcess};
 use csp_sim::{Context, CostClass, DelayModel, Process};
 use csp_sync::clock::{run_alpha_star, run_beta_star, run_gamma_star};
@@ -154,7 +155,9 @@ fn fig2_connectivity() {
         )
     );
     let workloads = vec![regime_a(48), regime_b(32, 12)];
-    for w in &workloads {
+    // Workloads are independent — fan them out over the sweep driver
+    // and print the collected row bundles in workload order.
+    let bundles = par_map(&workloads, workloads.len(), |w| {
         let e_hat = w.params.total_weight;
         let nv = w.params.mst_weight * w.params.n as u128;
         let pivot = connectivity_pivot(&w.graph, w.params.mst_weight);
@@ -162,26 +165,27 @@ fn fig2_connectivity() {
         let flood = run_flood(&w.graph, root, DelayModel::WorstCase, 0).unwrap();
         let dfs = run_dfs(&w.graph, root, DelayModel::WorstCase, 0).unwrap();
         let hybrid = run_con_hybrid(&w.graph, root, DelayModel::WorstCase, 0).unwrap();
-        for (name, comm) in [
+        [
             ("CON_flood", flood.cost.weighted_comm),
             ("DFS", dfs.cost.weighted_comm),
             ("CON_hybrid", hybrid.cost.weighted_comm),
-        ] {
-            println!(
-                "{}",
-                row(
-                    &[
-                        w.name.clone(),
-                        name.to_string(),
-                        comm.to_string(),
-                        e_hat.to_string(),
-                        nv.to_string(),
-                        format!("{:.2}", ratio(comm.get(), pivot.get())),
-                    ],
-                    &widths
-                )
-            );
-        }
+        ]
+        .map(|(name, comm)| {
+            row(
+                &[
+                    w.name.clone(),
+                    name.to_string(),
+                    comm.to_string(),
+                    e_hat.to_string(),
+                    nv.to_string(),
+                    format!("{:.2}", ratio(comm.get(), pivot.get())),
+                ],
+                &widths,
+            )
+        })
+    });
+    for line in bundles.into_iter().flatten() {
+        println!("{line}");
     }
     println!("paper: flood/DFS track Ê (losing badly on regime B); the hybrid");
     println!("tracks min{{Ê, n·V̂}} on both (constant-factor restart overhead).");
@@ -206,7 +210,9 @@ fn fig3_mst() {
             generators::connected_gnp(48, 0.15, generators::WeightDist::Uniform(1, 32), 5),
         ),
     ];
-    for w in &workloads {
+    // Four MST algorithms × three workloads, all independent: fan the
+    // workloads out over the sweep driver.
+    let bundles = par_map(&workloads, workloads.len(), |w| {
         let root = NodeId::new(0);
         let p = &w.params;
         let ghs = run_mst_ghs(&w.graph, root, DelayModel::WorstCase, 0).unwrap();
@@ -218,27 +224,28 @@ fn fig3_mst() {
         let w_hat = p.mst_weight.get().max(2) as f64;
         let fast_bound = (p.total_weight.get() as f64 * (p.n as f64).log2() * w_hat.log2()) as u128;
         let hybrid_bound = ghs_bound.min(centr_bound);
-        for (name, cost, bound) in [
-            ("MST_ghs", &ghs.cost, ghs_bound),
-            ("MST_centr", &centr.cost, centr_bound),
-            ("MST_fast", &fast.cost, fast_bound),
-            ("MST_hybrid", &hybrid.cost, hybrid_bound),
-        ] {
-            println!(
-                "{}",
-                row(
-                    &[
-                        w.name.clone(),
-                        name.to_string(),
-                        cost.weighted_comm.to_string(),
-                        bound.to_string(),
-                        format!("{:.2}", ratio(cost.weighted_comm.get(), bound)),
-                        cost.completion.get().to_string(),
-                    ],
-                    &widths
-                )
-            );
-        }
+        [
+            ("MST_ghs", ghs.cost, ghs_bound),
+            ("MST_centr", centr.cost, centr_bound),
+            ("MST_fast", fast.cost, fast_bound),
+            ("MST_hybrid", hybrid.cost, hybrid_bound),
+        ]
+        .map(|(name, cost, bound)| {
+            row(
+                &[
+                    w.name.clone(),
+                    name.to_string(),
+                    cost.weighted_comm.to_string(),
+                    bound.to_string(),
+                    format!("{:.2}", ratio(cost.weighted_comm.get(), bound)),
+                    cost.completion.get().to_string(),
+                ],
+                &widths,
+            )
+        })
+    });
+    for line in bundles.into_iter().flatten() {
+        println!("{line}");
     }
     println!("bounds: GHS Ê+V̂·log n · centr n·V̂ · fast Ê·log n·log V̂ · hybrid min.");
     println!("paper: GHS wins regime A, centr wins regime B, hybrid within a");

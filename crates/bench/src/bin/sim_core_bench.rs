@@ -1,0 +1,154 @@
+//! Events-per-second microbench: the flat-array event core
+//! ([`Simulator`]) against the retained `HashMap` reference core
+//! ([`BaselineSimulator`]) on the Figure-3 MST workloads, running GHS —
+//! the chattiest protocol in the workspace.
+//!
+//! ```text
+//! cargo run -p csp-bench --release --bin sim_core_bench [-- out.json]
+//! ```
+//!
+//! Writes a hand-rolled JSON report (default `BENCH_sim_core.json`)
+//! with per-workload and aggregate events/sec for both cores and the
+//! speedup ratio. "Event" = one delivered message; with no
+//! communication budget both cores deliver every message they meter,
+//! so the event counts are identical by construction (and asserted).
+
+use csp_algo::mst::ghs::Ghs;
+use csp_bench::fig3_workloads;
+use csp_graph::WeightedGraph;
+use csp_sim::{BaselineSimulator, DelayModel, Simulator};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Seeds swept per workload — enough runs that per-run noise averages
+/// out without the bench taking more than a few seconds in release.
+const SEEDS: [u64; 4] = [0, 1, 2, 3];
+/// Timed repetitions of the full seed sweep per core.
+const REPS: u32 = 30;
+/// Untimed warm-up repetitions (page in code + allocator state).
+const WARMUP: u32 = 3;
+
+struct CoreRate {
+    events: u64,
+    secs: f64,
+}
+
+impl CoreRate {
+    fn eps(&self) -> f64 {
+        self.events as f64 / self.secs
+    }
+}
+
+fn run_flat(g: &WeightedGraph, seed: u64) -> u64 {
+    let out = Simulator::new(g)
+        .delay(DelayModel::WorstCase)
+        .seed(seed)
+        .run(Ghs::new)
+        .expect("flat GHS run");
+    black_box(out.cost.messages)
+}
+
+fn run_baseline(g: &WeightedGraph, seed: u64) -> u64 {
+    let out = BaselineSimulator::new(g)
+        .delay(DelayModel::WorstCase)
+        .seed(seed)
+        .run(Ghs::new)
+        .expect("baseline GHS run");
+    black_box(out.cost.messages)
+}
+
+fn measure(g: &WeightedGraph, run: impl Fn(&WeightedGraph, u64) -> u64) -> CoreRate {
+    for _ in 0..WARMUP {
+        for s in SEEDS {
+            run(g, s);
+        }
+    }
+    let mut events = 0u64;
+    let start = Instant::now();
+    for _ in 0..REPS {
+        for s in SEEDS {
+            events += run(g, s);
+        }
+    }
+    CoreRate {
+        events,
+        secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sim_core.json".to_string());
+
+    let workloads = fig3_workloads();
+    let mut rows = Vec::new();
+    let (mut base_events, mut base_secs) = (0u64, 0.0f64);
+    let (mut flat_events, mut flat_secs) = (0u64, 0.0f64);
+
+    for w in &workloads {
+        // Interleave the two cores per workload so thermal / allocator
+        // drift hits both sides equally.
+        let base = measure(&w.graph, run_baseline);
+        let flat = measure(&w.graph, run_flat);
+        assert_eq!(
+            base.events, flat.events,
+            "{}: the two cores must deliver identical event counts",
+            w.name
+        );
+        let speedup = flat.eps() / base.eps();
+        eprintln!(
+            "{:<24} events/rep {:>8}  baseline {:>12.0} ev/s  flat {:>12.0} ev/s  speedup {speedup:.2}x",
+            w.name,
+            base.events / (REPS as u64 * SEEDS.len() as u64),
+            base.eps(),
+            flat.eps(),
+        );
+        base_events += base.events;
+        base_secs += base.secs;
+        flat_events += flat.events;
+        flat_secs += flat.secs;
+        rows.push(format!(
+            concat!(
+                "    {{\"workload\": \"{}\", \"events\": {}, ",
+                "\"baseline_eps\": {:.0}, \"flat_eps\": {:.0}, \"speedup\": {:.3}}}"
+            ),
+            json_escape(&w.name),
+            base.events,
+            base.eps(),
+            flat.eps(),
+            speedup,
+        ));
+    }
+
+    let baseline_eps = base_events as f64 / base_secs;
+    let flat_eps = flat_events as f64 / flat_secs;
+    let speedup = flat_eps / baseline_eps;
+    eprintln!("aggregate: baseline {baseline_eps:.0} ev/s, flat {flat_eps:.0} ev/s, speedup {speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"bench\": \"sim_core_events_per_second\",\n  \"protocol\": \"GHS (MST)\",\n  \
+         \"delay_model\": \"WorstCase\",\n  \"seeds_per_workload\": {},\n  \"reps\": {},\n  \
+         \"baseline_eps\": {:.0},\n  \"flat_eps\": {:.0},\n  \"speedup\": {:.3},\n  \
+         \"per_workload\": [\n{}\n  ]\n}}\n",
+        SEEDS.len(),
+        REPS,
+        baseline_eps,
+        flat_eps,
+        speedup,
+        rows.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("write bench JSON");
+    eprintln!("wrote {out_path}");
+}

@@ -71,6 +71,21 @@ pub fn clock_workload(n: usize, heavy: u64) -> Workload {
     )
 }
 
+/// The Figure-3 MST workloads — shared by the Criterion bench
+/// (`benches/fig3_mst.rs`), the report generator and the event-core
+/// microbench (`src/bin/sim_core_bench.rs`) so they all measure the
+/// same graphs.
+pub fn fig3_workloads() -> Vec<Workload> {
+    vec![
+        regime_a(28),
+        regime_b(20, 8),
+        Workload::new(
+            "gnp n=32",
+            generators::connected_gnp(32, 0.15, generators::WeightDist::Uniform(1, 32), 5),
+        ),
+    ]
+}
+
 /// Ratio formatted for tables; `∞`-safe.
 pub fn ratio(measured: u128, bound: u128) -> f64 {
     if bound == 0 {

@@ -43,7 +43,9 @@ pub(crate) fn edge_key(g: &WeightedGraph, e: EdgeId) -> (Weight, EdgeId) {
 pub fn prim_mst(g: &WeightedGraph, root: NodeId) -> RootedTree {
     g.check_node(root);
     let mut tree = RootedTree::new(g.node_count(), root);
-    let mut heap: BinaryHeap<Reverse<((Weight, EdgeId), NodeId, NodeId)>> = BinaryHeap::new();
+    // Key first so `Reverse` yields a min-heap on (weight, edge id).
+    type PrimEntry = Reverse<((Weight, EdgeId), NodeId, NodeId)>;
+    let mut heap: BinaryHeap<PrimEntry> = BinaryHeap::new();
     let push_edges = |heap: &mut BinaryHeap<_>, v: NodeId| {
         for (u, eid, _) in g.neighbors(v) {
             heap.push(Reverse((edge_key(g, eid), u, v)));

@@ -676,7 +676,7 @@ mod tests {
         for k in [2, 3, 8] {
             let p = ball_partition(&g, k);
             // Every vertex in exactly one cluster.
-            let mut seen = vec![false; 40];
+            let mut seen = [false; 40];
             for (ci, cl) in p.clusters.iter().enumerate() {
                 for &v in cl {
                     assert!(!seen[v.index()], "vertex {v} in two clusters");

@@ -1,0 +1,287 @@
+//! Reference `HashMap`-based event loop, kept for differential testing.
+//!
+//! [`BaselineSimulator`] is the original implementation of the
+//! asynchronous runtime: payloads in a `HashMap<u64, Delivery>` keyed by
+//! sequence number, FIFO floors in a `HashMap<usize, SimTime>` keyed by
+//! `from·n + to`, and a freshly allocated outbox per event. The flat-array
+//! core in [`crate::runtime`] replaced it in the hot path; this copy
+//! stays as the executable specification the optimized core is checked
+//! against (see the `flat_core_differential` test suite) and as the
+//! before-side of the `sim_core_bench` microbenchmark.
+//!
+//! Semantics match [`crate::runtime::Simulator`] exactly for runs without
+//! a communication budget. With [`BaselineSimulator::comm_limit`] set it
+//! keeps the *historical* behavior of checking the budget one event late
+//! at delivery time — the bug the optimized core fixes — so differential
+//! comparisons must not set a budget.
+
+use crate::cost::{CostClass, CostReport};
+use crate::delay::DelayModel;
+use crate::process::{Context, Process};
+use crate::runtime::{Run, SimError};
+use crate::time::SimTime;
+use crate::trace::{Trace, TraceEvent};
+use csp_graph::{NodeId, WeightedGraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The pre-flat-core simulator. Same builder API as
+/// [`crate::runtime::Simulator`]; see the [module docs](self) for why it
+/// is kept around.
+#[derive(Debug)]
+pub struct BaselineSimulator<'g> {
+    graph: &'g WeightedGraph,
+    delay: DelayModel,
+    seed: u64,
+    event_limit: u64,
+    comm_limit: Option<u128>,
+    trace_cap: usize,
+}
+
+impl<'g> BaselineSimulator<'g> {
+    /// Creates a baseline simulator with worst-case delays, seed 0 and a
+    /// 100-million-event budget.
+    pub fn new(graph: &'g WeightedGraph) -> Self {
+        BaselineSimulator {
+            graph,
+            delay: DelayModel::WorstCase,
+            seed: 0,
+            event_limit: 100_000_000,
+            comm_limit: None,
+            trace_cap: 0,
+        }
+    }
+
+    /// Sets the delay model.
+    pub fn delay(&mut self, delay: DelayModel) -> &mut Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Sets the seed for randomized delay models.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the event budget.
+    pub fn event_limit(&mut self, limit: u64) -> &mut Self {
+        self.event_limit = limit;
+        self
+    }
+
+    /// Records up to `cap` delivered messages into [`Run::trace`].
+    pub fn record_trace(&mut self, cap: usize) -> &mut Self {
+        self.trace_cap = cap;
+        self
+    }
+
+    /// Caps the weighted communication with the *historical* late check:
+    /// the budget is tested at delivery time, one event after it was
+    /// exceeded. Kept verbatim so the baseline stays a faithful snapshot;
+    /// use [`crate::runtime::Simulator`] for correct budget enforcement.
+    pub fn comm_limit(&mut self, limit: u128) -> &mut Self {
+        self.comm_limit = Some(limit);
+        self
+    }
+
+    /// Runs `make(v, graph)`-constructed processes to quiescence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventLimitExceeded`] if the protocol does not
+    /// quiesce within the event budget.
+    pub fn run<P, F>(&self, mut make: F) -> Result<Run<P>, SimError>
+    where
+        P: Process,
+        F: FnMut(NodeId, &WeightedGraph) -> P,
+    {
+        let g = self.graph;
+        let n = g.node_count();
+        let mut states: Vec<P> = g.nodes().map(|v| make(v, g)).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut cost = CostReport::new(g.edge_count());
+
+        // Min-heap of (time, seq) -> delivery.
+        struct Delivery<M> {
+            to: NodeId,
+            from: NodeId,
+            msg: M,
+            sent: SimTime,
+            class: CostClass,
+        }
+        let mut queue: BinaryHeap<Reverse<(SimTime, u64)>> = BinaryHeap::new();
+        let mut payloads: std::collections::HashMap<u64, Delivery<P::Msg>> =
+            std::collections::HashMap::new();
+        let mut seq: u64 = 0;
+        // FIFO floor per directed edge: key = from * n + to.
+        let mut fifo_floor: std::collections::HashMap<usize, SimTime> =
+            std::collections::HashMap::new();
+
+        let dispatch = |outbox: Vec<(NodeId, P::Msg, CostClass)>,
+                        from: NodeId,
+                        now: SimTime,
+                        queue: &mut BinaryHeap<Reverse<(SimTime, u64)>>,
+                        payloads: &mut std::collections::HashMap<u64, Delivery<P::Msg>>,
+                        fifo_floor: &mut std::collections::HashMap<usize, SimTime>,
+                        seq: &mut u64,
+                        cost: &mut CostReport,
+                        rng: &mut StdRng| {
+            for (to, msg, class) in outbox {
+                let eid = g
+                    .edge_between(from, to)
+                    .expect("context validated the neighbor");
+                let w = g.weight(eid);
+                cost.record_send(eid, w, class);
+                let mut arrival = now + self.delay.sample(w, rng);
+                let key = from.index() * n + to.index();
+                if let Some(&floor) = fifo_floor.get(&key) {
+                    arrival = arrival.max(floor);
+                }
+                fifo_floor.insert(key, arrival);
+                queue.push(Reverse((arrival, *seq)));
+                payloads.insert(
+                    *seq,
+                    Delivery {
+                        to,
+                        from,
+                        msg,
+                        sent: now,
+                        class,
+                    },
+                );
+                *seq += 1;
+            }
+        };
+
+        // Time zero: start every vertex.
+        for v in g.nodes() {
+            let mut ctx = Context::new(v, SimTime::ZERO, g);
+            states[v.index()].on_start(&mut ctx);
+            dispatch(
+                ctx.take_outbox(),
+                v,
+                SimTime::ZERO,
+                &mut queue,
+                &mut payloads,
+                &mut fifo_floor,
+                &mut seq,
+                &mut cost,
+                &mut rng,
+            );
+        }
+
+        let mut events: u64 = 0;
+        let mut truncated = false;
+        let mut trace = Trace::new(self.trace_cap);
+        while let Some(Reverse((now, id))) = queue.pop() {
+            events += 1;
+            if events > self.event_limit {
+                return Err(SimError::EventLimitExceeded {
+                    limit: self.event_limit,
+                });
+            }
+            if self
+                .comm_limit
+                .is_some_and(|lim| cost.weighted_comm.raw() > lim)
+            {
+                truncated = true;
+                break;
+            }
+            let Delivery {
+                to,
+                from,
+                msg,
+                sent,
+                class,
+            } = payloads.remove(&id).expect("payload for event");
+            cost.completion = cost.completion.max(now);
+            if self.trace_cap > 0 {
+                let eid = g.edge_between(from, to).expect("delivery edge exists");
+                trace.push(TraceEvent {
+                    from,
+                    to,
+                    edge: eid,
+                    sent,
+                    delivered: now,
+                    class,
+                });
+            }
+            let mut ctx = Context::new(to, now, g);
+            states[to.index()].on_message(from, msg, &mut ctx);
+            dispatch(
+                ctx.take_outbox(),
+                to,
+                now,
+                &mut queue,
+                &mut payloads,
+                &mut fifo_floor,
+                &mut seq,
+                &mut cost,
+                &mut rng,
+            );
+        }
+
+        Ok(Run {
+            states,
+            cost,
+            truncated,
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Simulator;
+    use csp_graph::generators::{self, WeightDist};
+
+    /// Floods one numbered token outward; replies when it terminates.
+    struct Flood {
+        seen: bool,
+    }
+
+    impl Process for Flood {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            if ctx.self_id() == NodeId::new(0) {
+                self.seen = true;
+                ctx.send_all(0);
+            }
+        }
+        fn on_message(&mut self, _from: NodeId, hops: u32, ctx: &mut Context<'_, u32>) {
+            if !self.seen {
+                self.seen = true;
+                ctx.send_all(hops + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_matches_flat_core_on_flood() {
+        let g = generators::connected_gnp(12, 0.3, WeightDist::Uniform(1, 16), 42);
+        for seed in 0..4 {
+            let base = BaselineSimulator::new(&g)
+                .delay(DelayModel::Uniform)
+                .seed(seed)
+                .record_trace(4096)
+                .run(|_, _| Flood { seen: false })
+                .unwrap();
+            let flat = Simulator::new(&g)
+                .delay(DelayModel::Uniform)
+                .seed(seed)
+                .record_trace(4096)
+                .run(|_, _| Flood { seen: false })
+                .unwrap();
+            assert_eq!(base.cost, flat.cost, "cost diverged at seed {seed}");
+            assert_eq!(
+                base.trace.events(),
+                flat.trace.events(),
+                "trace diverged at seed {seed}"
+            );
+        }
+    }
+}

@@ -57,18 +57,22 @@
 //! # Ok::<(), csp_sim::SimError>(())
 //! ```
 
+pub mod baseline;
 pub mod cost;
 pub mod delay;
 pub mod process;
 pub mod runtime;
+pub mod sweep;
 pub mod sync;
 pub mod time;
 pub mod trace;
 
+pub use baseline::BaselineSimulator;
 pub use cost::{CostClass, CostReport};
 pub use delay::DelayModel;
 pub use process::{Context, Process};
 pub use runtime::{Run, SimError, Simulator};
+pub use sweep::{par_map, summarize, SweepGrid, SweepPoint, SweepRun, SweepSummary};
 pub use sync::{SyncContext, SyncProcess, SyncRun, SyncRunner};
 pub use time::SimTime;
 pub use trace::{Trace, TraceEvent};

@@ -35,16 +35,39 @@ pub struct Context<'a, M> {
     now: SimTime,
     graph: &'a WeightedGraph,
     outbox: Vec<(NodeId, M, CostClass)>,
+    /// Edge of each queued send, resolved once at `send` time so the
+    /// runtime's dispatch never repeats the adjacency lookup.
+    out_edges: Vec<EdgeId>,
 }
 
 impl<'a, M: Clone + std::fmt::Debug> Context<'a, M> {
     pub(crate) fn new(node: NodeId, now: SimTime, graph: &'a WeightedGraph) -> Self {
+        Context::recycled(node, now, graph, Vec::new(), Vec::new())
+    }
+
+    /// Creates a context reusing previously drained buffers — the
+    /// runtime's steady-state path, which allocates nothing per event.
+    pub(crate) fn recycled(
+        node: NodeId,
+        now: SimTime,
+        graph: &'a WeightedGraph,
+        outbox: Vec<(NodeId, M, CostClass)>,
+        out_edges: Vec<EdgeId>,
+    ) -> Self {
+        debug_assert!(outbox.is_empty() && out_edges.is_empty());
         Context {
             node,
             now,
             graph,
-            outbox: Vec::new(),
+            outbox,
+            out_edges,
         }
+    }
+
+    /// Disassembles the context into its send queue and the matching
+    /// per-send edge ids (same length, same order).
+    pub(crate) fn into_parts(self) -> (Vec<(NodeId, M, CostClass)>, Vec<EdgeId>) {
+        (self.outbox, self.out_edges)
     }
 
     /// This vertex's identifier.
@@ -97,19 +120,20 @@ impl<'a, M: Clone + std::fmt::Debug> Context<'a, M> {
     ///
     /// Panics if `to` is not a neighbor of this vertex.
     pub fn send_class(&mut self, to: NodeId, msg: M, class: CostClass) {
-        assert!(
-            self.graph.edge_between(self.node, to).is_some(),
-            "{} cannot send to non-neighbor {to}",
-            self.node
-        );
+        let Some(eid) = self.graph.edge_between(self.node, to) else {
+            panic!("{} cannot send to non-neighbor {to}", self.node);
+        };
         self.outbox.push((to, msg, class));
+        self.out_edges.push(eid);
     }
 
     /// Sends a copy of `msg` to every neighbor.
     pub fn send_all(&mut self, msg: M) {
-        let targets: Vec<NodeId> = self.neighbors().map(|(u, _, _)| u).collect();
-        for u in targets {
-            self.outbox.push((u, msg.clone(), CostClass::Protocol));
+        let node = self.node;
+        for eid in self.graph.incident(node) {
+            let to = self.graph.edge(*eid).other(node);
+            self.outbox.push((to, msg.clone(), CostClass::Protocol));
+            self.out_edges.push(*eid);
         }
     }
 
@@ -125,6 +149,7 @@ impl<'a, M: Clone + std::fmt::Debug> Context<'a, M> {
     /// hosted handler's output. Each entry is
     /// `(destination, message, cost class)`.
     pub fn take_outbox(&mut self) -> Vec<(NodeId, M, CostClass)> {
+        self.out_edges.clear();
         std::mem::take(&mut self.outbox)
     }
 }

@@ -1,11 +1,32 @@
 //! The event-driven asynchronous runtime.
+//!
+//! # Event-core layout
+//!
+//! The hot loop is allocation-free in steady state:
+//!
+//! * In-flight messages live in a **slab** — a `Vec<Option<Delivery>>`
+//!   indexed by slot, with freed slots recycled through a free list. The
+//!   scheduling heap stores only `(arrival, seq, slot)` triples; `seq`
+//!   preserves global send order, so delivery order is identical to the
+//!   reference implementation in [`crate::baseline`].
+//! * Per-directed-edge **FIFO floors** live in a flat `Vec<SimTime>` of
+//!   length `2·m`, indexed by `2·edge + direction` — no hashing, and no
+//!   `n²` table.
+//! * The handler outbox buffers are drained by dispatch and recycled
+//!   through [`Context`], so a warm run performs zero allocations per
+//!   delivered event.
+//!
+//! The communication budget ([`Simulator::comm_limit`]) is enforced at
+//! *dispatch* time: the send that first pushes the metered cost past the
+//! budget is the last one accepted, so the overshoot is bounded by a
+//! single message weight.
 
 use crate::cost::{CostClass, CostReport};
 use crate::delay::DelayModel;
 use crate::process::{Context, Process};
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceEvent};
-use csp_graph::{NodeId, WeightedGraph};
+use csp_graph::{EdgeId, NodeId, WeightedGraph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
@@ -51,6 +72,75 @@ pub struct Run<P> {
     pub truncated: bool,
     /// Message trace (empty unless [`Simulator::record_trace`] was set).
     pub trace: Trace,
+}
+
+/// One in-flight message: everything needed at delivery time.
+struct Delivery<M> {
+    to: NodeId,
+    from: NodeId,
+    msg: M,
+    sent: SimTime,
+    class: CostClass,
+    edge: EdgeId,
+}
+
+/// Flat-array event queue: scheduling heap + payload slab + FIFO floors.
+///
+/// See the [module docs](self) for the layout rationale.
+struct EventCore<M> {
+    /// Min-heap of `(arrival, seq, slot)`. `seq` is globally unique so
+    /// ties at equal arrival break in send order, exactly like the
+    /// baseline's `(arrival, seq)` key.
+    queue: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    /// Payloads, indexed by slot. `None` marks a free slot.
+    slab: Vec<Option<Delivery<M>>>,
+    /// Slots vacated by delivered events, reused before growing the slab.
+    free: Vec<usize>,
+    /// Earliest admissible arrival per directed edge, indexed by
+    /// `2·edge + direction`. `SimTime::ZERO` is the identity for the
+    /// `max` floor update since every arrival is strictly positive.
+    fifo_floor: Vec<SimTime>,
+    seq: u64,
+}
+
+impl<M> EventCore<M> {
+    fn new(edge_count: usize) -> Self {
+        EventCore {
+            queue: BinaryHeap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            fifo_floor: vec![SimTime::ZERO; 2 * edge_count],
+            seq: 0,
+        }
+    }
+
+    /// The FIFO-floor index of the channel `from --eid--> other`.
+    #[inline]
+    fn channel(&self, g: &WeightedGraph, eid: EdgeId, from: NodeId) -> usize {
+        2 * eid.index() + usize::from(g.edge(eid).u() != from)
+    }
+
+    fn push(&mut self, arrival: SimTime, delivery: Delivery<M>) {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slab[s] = Some(delivery);
+                s
+            }
+            None => {
+                self.slab.push(Some(delivery));
+                self.slab.len() - 1
+            }
+        };
+        self.queue.push(Reverse((arrival, self.seq, slot)));
+        self.seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, Delivery<M>)> {
+        let Reverse((now, _seq, slot)) = self.queue.pop()?;
+        let delivery = self.slab[slot].take().expect("slab slot holds payload");
+        self.free.push(slot);
+        Some((now, delivery))
+    }
 }
 
 /// Configurable asynchronous network simulator (non-consuming builder).
@@ -118,10 +208,15 @@ impl<'g> Simulator<'g> {
     }
 
     /// Caps the weighted communication: once the metered cost exceeds
-    /// `limit`, delivery stops and the run returns with
-    /// [`Run::truncated`] set. This models the root *suspending* a
-    /// sub-protocol in the hybrid algorithms (Sections 7.2, 8.2, 9.3):
-    /// the wasted work of a suspended attempt is bounded by the budget.
+    /// `limit`, no further sends are accepted, in-flight messages are
+    /// dropped, and the run returns with [`Run::truncated`] set. This
+    /// models the root *suspending* a sub-protocol in the hybrid
+    /// algorithms (Sections 7.2, 8.2, 9.3): the wasted work of a
+    /// suspended attempt is bounded by the budget.
+    ///
+    /// The budget is checked at dispatch time, before each send is
+    /// metered, so the recorded cost exceeds `limit` by at most one
+    /// message weight.
     pub fn comm_limit(&mut self, limit: u128) -> &mut Self {
         self.comm_limit = Some(limit);
         self
@@ -139,127 +234,106 @@ impl<'g> Simulator<'g> {
         F: FnMut(NodeId, &WeightedGraph) -> P,
     {
         let g = self.graph;
-        let n = g.node_count();
         let mut states: Vec<P> = g.nodes().map(|v| make(v, g)).collect();
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut cost = CostReport::new(g.edge_count());
+        let mut core: EventCore<P::Msg> = EventCore::new(g.edge_count());
+        let mut truncated = false;
+        let mut trace = Trace::new(self.trace_cap);
 
-        // Min-heap of (time, seq) -> delivery.
-        struct Delivery<M> {
-            to: NodeId,
-            from: NodeId,
-            msg: M,
-            sent: SimTime,
-            class: CostClass,
-        }
-        let mut queue: BinaryHeap<Reverse<(SimTime, u64)>> = BinaryHeap::new();
-        let mut payloads: std::collections::HashMap<u64, Delivery<P::Msg>> =
-            std::collections::HashMap::new();
-        let mut seq: u64 = 0;
-        // FIFO floor per directed edge: key = from * n + to.
-        let mut fifo_floor: std::collections::HashMap<usize, SimTime> =
-            std::collections::HashMap::new();
+        // Handler buffers, drained by dispatch and recycled every event.
+        let mut outbox: Vec<(NodeId, P::Msg, CostClass)> = Vec::new();
+        let mut out_edges: Vec<EdgeId> = Vec::new();
 
-        let dispatch = |outbox: Vec<(NodeId, P::Msg, CostClass)>,
+        let dispatch = |outbox: &mut Vec<(NodeId, P::Msg, CostClass)>,
+                        out_edges: &mut Vec<EdgeId>,
                         from: NodeId,
                         now: SimTime,
-                        queue: &mut BinaryHeap<Reverse<(SimTime, u64)>>,
-                        payloads: &mut std::collections::HashMap<u64, Delivery<P::Msg>>,
-                        fifo_floor: &mut std::collections::HashMap<usize, SimTime>,
-                        seq: &mut u64,
+                        core: &mut EventCore<P::Msg>,
                         cost: &mut CostReport,
+                        truncated: &mut bool,
                         rng: &mut StdRng| {
-            for (to, msg, class) in outbox {
-                let eid = g
-                    .edge_between(from, to)
-                    .expect("context validated the neighbor");
+            for ((to, msg, class), eid) in outbox.drain(..).zip(out_edges.drain(..)) {
+                // Budget check happens *before* metering: the send that
+                // crossed the limit was the last one paid for, so the
+                // overshoot is at most one message weight.
+                if *truncated
+                    || self
+                        .comm_limit
+                        .is_some_and(|lim| cost.weighted_comm.raw() > lim)
+                {
+                    *truncated = true;
+                    continue;
+                }
                 let w = g.weight(eid);
                 cost.record_send(eid, w, class);
-                let mut arrival = now + self.delay.sample(w, rng);
-                let key = from.index() * n + to.index();
-                if let Some(&floor) = fifo_floor.get(&key) {
-                    arrival = arrival.max(floor);
-                }
-                fifo_floor.insert(key, arrival);
-                queue.push(Reverse((arrival, *seq)));
-                payloads.insert(
-                    *seq,
+                let channel = core.channel(g, eid, from);
+                let arrival = (now + self.delay.sample(w, rng)).max(core.fifo_floor[channel]);
+                core.fifo_floor[channel] = arrival;
+                core.push(
+                    arrival,
                     Delivery {
                         to,
                         from,
                         msg,
                         sent: now,
                         class,
+                        edge: eid,
                     },
                 );
-                *seq += 1;
             }
         };
 
         // Time zero: start every vertex.
         for v in g.nodes() {
-            let mut ctx = Context::new(v, SimTime::ZERO, g);
+            let mut ctx = Context::recycled(v, SimTime::ZERO, g, outbox, out_edges);
             states[v.index()].on_start(&mut ctx);
+            (outbox, out_edges) = ctx.into_parts();
             dispatch(
-                ctx.take_outbox(),
+                &mut outbox,
+                &mut out_edges,
                 v,
                 SimTime::ZERO,
-                &mut queue,
-                &mut payloads,
-                &mut fifo_floor,
-                &mut seq,
+                &mut core,
                 &mut cost,
+                &mut truncated,
                 &mut rng,
             );
         }
 
         let mut events: u64 = 0;
-        let mut truncated = false;
-        let mut trace = Trace::new(self.trace_cap);
-        while let Some(Reverse((now, id))) = queue.pop() {
+        while !truncated {
+            let Some((now, delivery)) = core.pop() else {
+                break;
+            };
             events += 1;
             if events > self.event_limit {
                 return Err(SimError::EventLimitExceeded {
                     limit: self.event_limit,
                 });
             }
-            if self
-                .comm_limit
-                .is_some_and(|lim| cost.weighted_comm.raw() > lim)
-            {
-                truncated = true;
-                break;
-            }
-            let Delivery {
-                to,
-                from,
-                msg,
-                sent,
-                class,
-            } = payloads.remove(&id).expect("payload for event");
             cost.completion = cost.completion.max(now);
             if self.trace_cap > 0 {
-                let eid = g.edge_between(from, to).expect("delivery edge exists");
                 trace.push(TraceEvent {
-                    from,
-                    to,
-                    edge: eid,
-                    sent,
+                    from: delivery.from,
+                    to: delivery.to,
+                    edge: delivery.edge,
+                    sent: delivery.sent,
                     delivered: now,
-                    class,
+                    class: delivery.class,
                 });
             }
-            let mut ctx = Context::new(to, now, g);
-            states[to.index()].on_message(from, msg, &mut ctx);
+            let mut ctx = Context::recycled(delivery.to, now, g, outbox, out_edges);
+            states[delivery.to.index()].on_message(delivery.from, delivery.msg, &mut ctx);
+            (outbox, out_edges) = ctx.into_parts();
             dispatch(
-                ctx.take_outbox(),
-                to,
+                &mut outbox,
+                &mut out_edges,
+                delivery.to,
                 now,
-                &mut queue,
-                &mut payloads,
-                &mut fifo_floor,
-                &mut seq,
+                &mut core,
                 &mut cost,
+                &mut truncated,
                 &mut rng,
             );
         }
@@ -423,6 +497,71 @@ mod tests {
         let run = Simulator::new(&g).run(|_, _| Silent).unwrap();
         assert_eq!(run.cost.messages, 0);
         assert_eq!(run.cost.completion, SimTime::ZERO);
+    }
+
+    #[test]
+    fn comm_limit_overshoot_is_at_most_one_message() {
+        // Every message has weight 7; budget 20 admits sends at metered
+        // cost 0, 7, 14 and rejects the one at 21 — so the recorded cost
+        // must land in (20, 20 + 7].
+        let g = generators::path(2, |_| 7);
+        let run = Simulator::new(&g)
+            .comm_limit(20)
+            .run(|_, _| PingPong {
+                rounds: 100,
+                received: 0,
+            })
+            .unwrap();
+        assert!(run.truncated);
+        let cost = run.cost.weighted_comm.raw();
+        assert!(cost > 20, "budget not exhausted: {cost}");
+        assert!(cost <= 20 + 7, "overshoot exceeds one message: {cost}");
+        // Every metered message was actually delivered: dispatch-time
+        // enforcement never pays for a dropped send.
+        assert_eq!(
+            run.cost.messages,
+            u64::from(run.states[0].received + run.states[1].received)
+        );
+    }
+
+    #[test]
+    fn comm_limit_zero_truncates_after_first_message() {
+        let g = generators::path(2, |_| 3);
+        let run = Simulator::new(&g)
+            .comm_limit(0)
+            .run(|_, _| PingPong {
+                rounds: 100,
+                received: 0,
+            })
+            .unwrap();
+        // The first send is metered (cost 0 is not > 0); the reply is
+        // rejected at dispatch.
+        assert!(run.truncated);
+        assert_eq!(run.cost.messages, 1);
+        assert_eq!(run.cost.weighted_comm, Cost::new(3));
+    }
+
+    #[test]
+    fn slab_slots_are_reused_across_deliveries() {
+        // A long chain keeps at most one message in flight, so the slab
+        // never grows past one slot no matter how many events run.
+        struct Chain;
+        impl Process for Chain {
+            type Msg = u32;
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                if ctx.self_id() == NodeId::new(0) {
+                    ctx.send(NodeId::new(1), 0);
+                }
+            }
+            fn on_message(&mut self, from: NodeId, hops: u32, ctx: &mut Context<'_, u32>) {
+                if hops < 1000 {
+                    ctx.send(from, hops + 1);
+                }
+            }
+        }
+        let g = generators::path(2, |_| 1);
+        let run = Simulator::new(&g).run(|_, _| Chain).unwrap();
+        assert_eq!(run.cost.messages, 1001);
     }
 }
 

@@ -20,7 +20,8 @@
 use crate::cost::{CostClass, CostReport};
 use crate::time::SimTime;
 use csp_graph::{EdgeId, NodeId, Weight, WeightedGraph};
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::error::Error;
 use std::fmt;
 
@@ -247,47 +248,75 @@ impl<'g> SyncRunner<'g> {
         let mut finished = vec![false; n];
         let mut cost = CostReport::new(g.edge_count());
 
-        // pulse -> per-vertex inboxes (sparse).
-        let mut deliveries: BTreeMap<u64, Vec<(NodeId, NodeId, P::Msg)>> = BTreeMap::new();
-        // pulse -> vertices with requested wake-ups.
-        let mut wakes: BTreeMap<u64, Vec<NodeId>> = BTreeMap::new();
+        // Flat in-flight store, mirroring the asynchronous runtime's
+        // event core: the heap holds `(arrival pulse, seq, slot)` and the
+        // payload `(to, from, msg)` lives in a slab with free-list reuse.
+        // `seq` is globally unique, so same-pulse deliveries pop in send
+        // order — the insertion order the old `BTreeMap<_, Vec<_>>` kept.
+        let mut queue: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+        let mut slab: Vec<Option<(NodeId, NodeId, P::Msg)>> = Vec::new();
+        let mut free: Vec<usize> = Vec::new();
+        let mut seq: u64 = 0;
+        // Requested wake-ups as `(pulse, vertex)`; duplicates are
+        // harmless since a wake only marks the vertex active.
+        let mut wakes: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+
+        // Persistent per-vertex buffers, reset between pulses via the
+        // `touched` list so a pulse costs O(activations), not O(n).
+        let mut inbox: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
+        let mut active = vec![false; n];
+        let mut touched: Vec<usize> = Vec::new();
 
         let mut pulse: u64 = 0;
         let mut last_activity: u64 = 0;
         loop {
             // Gather this pulse's activations.
-            let arriving = deliveries.remove(&pulse).unwrap_or_default();
-            let woken = wakes.remove(&pulse).unwrap_or_default();
-            let mut inbox: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
-            let mut active = vec![pulse == 0; n];
-            for (to, from, msg) in arriving {
-                inbox[to.index()].push((from, msg));
-                active[to.index()] = true;
+            for &i in &touched {
+                inbox[i].clear();
+                active[i] = false;
             }
-            for v in woken {
-                active[v.index()] = true;
+            touched.clear();
+            let everyone = pulse == 0;
+            while queue.peek().is_some_and(|&Reverse((p, _, _))| p == pulse) {
+                let Reverse((_, _, slot)) = queue.pop().expect("peeked entry");
+                let (to, from, msg) = slab[slot].take().expect("slab slot holds payload");
+                free.push(slot);
+                let i = to.index();
+                if !active[i] {
+                    active[i] = true;
+                    touched.push(i);
+                }
+                inbox[i].push((from, msg));
+            }
+            while wakes.peek().is_some_and(|&Reverse((p, _))| p == pulse) {
+                let Reverse((_, i)) = wakes.pop().expect("peeked entry");
+                if !active[i] {
+                    active[i] = true;
+                    touched.push(i);
+                }
             }
 
             for v in g.nodes() {
-                if !active[v.index()] {
+                let i = v.index();
+                if !(everyone || active[i]) {
                     continue;
                 }
-                if finished[v.index()] && inbox[v.index()].is_empty() {
+                if finished[i] && inbox[i].is_empty() {
                     continue;
                 }
                 let mut ctx = SyncContext::host(v, pulse, g);
-                states[v.index()].on_pulse(pulse, &inbox[v.index()], &mut ctx);
+                states[i].on_pulse(pulse, &inbox[i], &mut ctx);
                 let out = ctx.drain();
                 if out.finished {
-                    finished[v.index()] = true;
+                    finished[i] = true;
                 }
                 if let Some(w) = out.wake_at {
-                    wakes.entry(w).or_default().push(v);
+                    wakes.push(Reverse((w, i)));
                 }
                 for (to, msg) in out.sends {
                     let eid = g.edge_between(v, to).expect("send validated");
                     let w = g.weight(eid);
-                    if self.require_in_synch && pulse % w.get() != 0 {
+                    if self.require_in_synch && !pulse.is_multiple_of(w.get()) {
                         return Err(SyncError::InSynchViolation {
                             node: v,
                             pulse,
@@ -295,17 +324,26 @@ impl<'g> SyncRunner<'g> {
                         });
                     }
                     cost.record_send(eid, w, CostClass::Protocol);
-                    deliveries
-                        .entry(pulse + w.get())
-                        .or_default()
-                        .push((to, v, msg));
-                    last_activity = pulse + w.get();
+                    let arrival = pulse + w.get();
+                    let slot = match free.pop() {
+                        Some(s) => {
+                            slab[s] = Some((to, v, msg));
+                            s
+                        }
+                        None => {
+                            slab.push(Some((to, v, msg)));
+                            slab.len() - 1
+                        }
+                    };
+                    queue.push(Reverse((arrival, seq, slot)));
+                    seq += 1;
+                    last_activity = arrival;
                 }
             }
 
             // Termination: all finished, nothing in flight, no wake-ups.
             let all_done = finished.iter().all(|&f| f);
-            if all_done && deliveries.is_empty() {
+            if all_done && queue.is_empty() {
                 cost.completion = SimTime::new(last_activity.max(pulse));
                 return Ok(SyncRun {
                     states,
@@ -314,8 +352,8 @@ impl<'g> SyncRunner<'g> {
                 });
             }
             // Advance to the next interesting pulse.
-            let next_delivery = deliveries.keys().next().copied();
-            let next_wake = wakes.keys().next().copied();
+            let next_delivery = queue.peek().map(|&Reverse((p, _, _))| p);
+            let next_wake = wakes.peek().map(|&Reverse((p, _))| p);
             let next = match (next_delivery, next_wake) {
                 (Some(d), Some(w)) => d.min(w),
                 (Some(d), None) => d,

@@ -65,6 +65,9 @@ pub enum GammaMsg {
     },
 }
 
+/// A vertex's `(parent, children)` within one cover tree.
+type TreePosition = (Option<NodeId>, Vec<NodeId>);
+
 /// Static per-vertex placement inside the cover, shared by all vertices.
 #[derive(Debug)]
 struct CoverLayout {
@@ -72,7 +75,7 @@ struct CoverLayout {
     trees_of: Vec<Vec<usize>>,
     /// `(parent, children)` of each vertex in each tree (indexed
     /// `[tree][vertex]`), `None` if the vertex is outside the tree.
-    position: Vec<Vec<Option<(Option<NodeId>, Vec<NodeId>)>>>,
+    position: Vec<Vec<Option<TreePosition>>>,
     /// Neighboring trees of each tree.
     tree_neighbors: Vec<BTreeSet<usize>>,
     /// For each ordered pair `(a, b)` of neighboring trees, the single
@@ -97,8 +100,7 @@ impl CoverLayout {
         }
         let mut tree_neighbors = vec![BTreeSet::new(); t];
         let mut relay = BTreeMap::new();
-        for v in 0..n {
-            let ts = &trees_of[v];
+        for (v, ts) in trees_of.iter().enumerate() {
             for (i, &a) in ts.iter().enumerate() {
                 for &b in &ts[i + 1..] {
                     tree_neighbors[a].insert(b);

@@ -284,7 +284,7 @@ impl<P: SyncProcess> GammaWHost<P> {
     /// Executes virtual pulse `t`: hosted work, aligned transmissions,
     /// and the start of each divisible level's safety round.
     fn execute_pulse(&mut self, t: u64, ctx: &mut Context<'_, HostMsg<P::Msg>>) {
-        if t % 4 == 0 {
+        if t.is_multiple_of(4) {
             self.host_pulse(t / 4, ctx);
         }
         // Physical transmissions aligned at t.
@@ -303,7 +303,7 @@ impl<P: SyncProcess> GammaWHost<P> {
         // Start the safety round of every level whose boundary this is.
         for li in 0..self.layouts.len() {
             let width = self.layouts[li].width;
-            if t % width == 0 && self.layouts[li].participates[ctx.self_id().index()] {
+            if t.is_multiple_of(width) && self.layouts[li].participates[ctx.self_id().index()] {
                 let c = t / width;
                 self.levels[li].boundary = self.levels[li].boundary.max(c + 1);
                 self.maybe_safe_up(li, c + 1, ctx);
@@ -437,7 +437,7 @@ impl<P: SyncProcess> GammaWHost<P> {
             let gated = (0..self.layouts.len()).any(|li| {
                 let layout = &self.layouts[li];
                 layout.participates[me.index()]
-                    && next % layout.width == 0
+                    && next.is_multiple_of(layout.width)
                     && self.levels[li].confirmed < next / layout.width
             });
             if gated {

@@ -83,7 +83,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     println!(
         "naked Echo:      {:?}   (runs until the harness gives up)",
-        naked.err().expect("echo never terminates")
+        naked.expect_err("echo never terminates")
     );
 
     // 2. Under the controller, the same protocol is cut off around c_π.

@@ -80,8 +80,11 @@ pub mod prelude {
     pub use csp_graph::params::CostParams;
     pub use csp_graph::slt::{shallow_light_tree, BreakpointRule};
     pub use csp_graph::{Cost, EdgeId, GraphBuilder, NodeId, RootedTree, Weight, WeightedGraph};
+    pub use csp_sim::sweep::{par_map, summarize, SweepGrid, SweepPoint, SweepRun, SweepSummary};
     pub use csp_sim::sync::{SyncContext, SyncProcess, SyncRunner};
-    pub use csp_sim::{Context, CostClass, CostReport, DelayModel, Process, SimTime, Simulator};
+    pub use csp_sim::{
+        BaselineSimulator, Context, CostClass, CostReport, DelayModel, Process, SimTime, Simulator,
+    };
     pub use csp_sync::clock::{run_alpha_star, run_beta_star, run_gamma_star};
     pub use csp_sync::net::{
         run_synchronized, run_synchronized_alpha, run_synchronized_beta, GammaWConfig,

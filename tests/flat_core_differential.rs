@@ -1,0 +1,125 @@
+//! Differential property test: the flat-array event core in
+//! [`Simulator`] must be observationally *identical* to the retained
+//! `HashMap`-based reference implementation
+//! ([`BaselineSimulator`](cost_sensitive::sim::BaselineSimulator)) —
+//! same [`CostReport`], same delivery trace, across graph families,
+//! delay models and seeds. No communication budget is set here: the two
+//! cores intentionally differ in budget enforcement (the baseline keeps
+//! the historical late check).
+
+use cost_sensitive::algo::mst::ghs::Ghs;
+use cost_sensitive::prelude::*;
+use cost_sensitive::sim::BaselineSimulator;
+use proptest::prelude::*;
+
+/// A connected graph drawn from four structurally distinct families.
+fn arb_graph() -> impl Strategy<Value = WeightedGraph> {
+    (0u8..4, 6usize..=16, 1u64..=32, any::<u64>()).prop_map(
+        |(family, n, wmax, seed)| match family {
+            0 => generators::connected_gnp(n, 0.3, generators::WeightDist::Uniform(1, wmax), seed),
+            1 => generators::sparse_heavy_path(n, wmax.max(2) * 10, seed),
+            2 => generators::cluster_graph(3, (n / 3).max(2), wmax.max(2) * 8, seed),
+            _ => generators::heavy_chord_cycle(n, wmax * 50),
+        },
+    )
+}
+
+fn arb_delay() -> impl Strategy<Value = DelayModel> {
+    (0u8..4).prop_map(|i| match i {
+        0 => DelayModel::WorstCase,
+        1 => DelayModel::Uniform,
+        2 => DelayModel::Proportional { num: 1, den: 2 },
+        _ => DelayModel::Eager,
+    })
+}
+
+/// A deliberately chatty protocol: floods, then every vertex bounces a
+/// shrinking counter to a rotating neighbor — exercises bursts,
+/// same-pulse ties and FIFO stacking more than a plain flood does.
+#[derive(Debug)]
+struct Chatter {
+    seen: bool,
+    budget: u32,
+}
+
+impl Process for Chatter {
+    type Msg = u32;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+        if ctx.self_id() == NodeId::new(0) {
+            self.seen = true;
+            ctx.send_all(4);
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, counter: u32, ctx: &mut Context<'_, u32>) {
+        if !self.seen {
+            self.seen = true;
+            ctx.send_all(counter);
+        }
+        if counter > 0 && self.budget > 0 {
+            self.budget -= 1;
+            let degree = ctx.degree();
+            let pick = ctx
+                .neighbors()
+                .nth((counter as usize + self.budget as usize) % degree)
+                .map(|(u, _, _)| u)
+                .unwrap_or(from);
+            ctx.send(pick, counter - 1);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// GHS — the heaviest protocol in the workspace — produces the same
+    /// costs and the same message-by-message trace on both cores.
+    #[test]
+    fn ghs_runs_identically_on_both_cores(
+        g in arb_graph(),
+        delay in arb_delay(),
+        seed in any::<u64>(),
+    ) {
+        let flat = Simulator::new(&g)
+            .delay(delay)
+            .seed(seed)
+            .record_trace(1 << 16)
+            .run(Ghs::new)
+            .unwrap();
+        let base = BaselineSimulator::new(&g)
+            .delay(delay)
+            .seed(seed)
+            .record_trace(1 << 16)
+            .run(Ghs::new)
+            .unwrap();
+        prop_assert_eq!(&flat.cost, &base.cost);
+        prop_assert_eq!(flat.trace.events(), base.trace.events());
+        prop_assert_eq!(flat.truncated, base.truncated);
+    }
+
+    /// Burst-heavy traffic with FIFO stacking is also bit-identical.
+    #[test]
+    fn chatter_runs_identically_on_both_cores(
+        g in arb_graph(),
+        delay in arb_delay(),
+        seed in any::<u64>(),
+        budget in 0u32..6,
+    ) {
+        let mk = |_: NodeId, _: &WeightedGraph| Chatter { seen: false, budget };
+        let flat = Simulator::new(&g)
+            .delay(delay)
+            .seed(seed)
+            .record_trace(1 << 16)
+            .run(mk)
+            .unwrap();
+        let base = BaselineSimulator::new(&g)
+            .delay(delay)
+            .seed(seed)
+            .record_trace(1 << 16)
+            .run(mk)
+            .unwrap();
+        prop_assert_eq!(&flat.cost, &base.cost);
+        prop_assert_eq!(flat.trace.events(), base.trace.events());
+    }
+}

@@ -1,6 +1,7 @@
 //! The paper's stated complexity bounds, checked empirically (with
 //! explicit constants) on parameter sweeps — the integration-level
-//! counterpart of the per-crate unit tests.
+//! counterpart of the per-crate unit tests. The sweeps fan out over
+//! `csp_sim::sweep` so multi-core machines check all grid points at once.
 
 use cost_sensitive::prelude::*;
 
@@ -11,41 +12,58 @@ fn log2c(n: usize) -> u128 {
 /// Figure 1: global function computation — comm Θ(V̂), time Θ(D̂).
 #[test]
 fn figure_1_global_functions_are_v_and_d_optimal() {
-    for n in [12, 20, 28] {
-        for seed in 0..3 {
-            let g = generators::connected_gnp(n, 0.2, generators::WeightDist::Uniform(1, 32), seed);
-            let p = CostParams::of(&g);
-            let inputs: Vec<u64> = (0..n as u64).collect();
-            let out = compute_global(
-                &g,
-                NodeId::new(0),
-                Max,
-                &inputs,
-                TreeKind::Slt { q: 2 },
-                DelayModel::WorstCase,
+    let graphs: Vec<(String, WeightedGraph)> = [12, 20, 28]
+        .iter()
+        .flat_map(|&n| (0..3).map(move |seed| (n, seed)))
+        .map(|(n, seed)| {
+            (
+                format!("gnp-n{n}-s{seed}"),
+                generators::connected_gnp(n, 0.2, generators::WeightDist::Uniform(1, 32), seed),
             )
-            .unwrap();
-            // Upper bounds with q = 2 constants.
-            assert!(
-                out.cost.weighted_comm <= p.mst_weight * 4,
-                "n={n} seed={seed}"
-            );
-            assert!(
-                (out.cost.completion.get() as u128) <= p.weighted_diameter.get() * 6,
-                "n={n} seed={seed}"
-            );
-            // Lower bounds: no algorithm beats V̂ comm / D̂ time by more
-            // than the convergecast+broadcast structure allows; our
-            // measured run must sit above the floor too (sanity).
-            assert!(out.cost.weighted_comm >= p.mst_weight);
-        }
+        })
+        .collect();
+    let mut grid = SweepGrid::new();
+    for (label, g) in &graphs {
+        grid = grid.graph(label.clone(), g);
     }
+    let runs = grid.run(|pt| {
+        let p = CostParams::of(pt.graph);
+        let n = pt.graph.node_count();
+        let inputs: Vec<u64> = (0..n as u64).collect();
+        let out = compute_global(
+            pt.graph,
+            NodeId::new(0),
+            Max,
+            &inputs,
+            TreeKind::Slt { q: 2 },
+            pt.delay,
+        )
+        .unwrap();
+        // Upper bounds with q = 2 constants.
+        assert!(
+            out.cost.weighted_comm <= p.mst_weight * 4,
+            "{}",
+            pt.graph_label
+        );
+        assert!(
+            (out.cost.completion.get() as u128) <= p.weighted_diameter.get() * 6,
+            "{}",
+            pt.graph_label
+        );
+        // Lower bounds: no algorithm beats V̂ comm / D̂ time by more
+        // than the convergecast+broadcast structure allows; our
+        // measured run must sit above the floor too (sanity).
+        assert!(out.cost.weighted_comm >= p.mst_weight);
+        out.cost
+    });
+    assert_eq!(runs.len(), 9);
 }
 
 /// Figure 2: connectivity — flood/DFS at O(Ê), hybrid at O(min{Ê, n·V̂}).
 #[test]
 fn figure_2_connectivity_bounds() {
-    for seed in 0..3 {
+    let seeds: Vec<u64> = (0..3).collect();
+    par_map(&seeds, seeds.len(), |&seed| {
         let g = generators::connected_gnp(20, 0.25, generators::WeightDist::Uniform(1, 24), seed);
         let p = CostParams::of(&g);
         let flood = run_flood(&g, NodeId::new(0), DelayModel::WorstCase, 0).unwrap();
@@ -59,36 +77,51 @@ fn figure_2_connectivity_bounds() {
             "hybrid {} ≫ pivot {pivot} (seed {seed})",
             hybrid.cost.weighted_comm
         );
-    }
+    });
 }
 
 /// Figure 3: MST — GHS at O(Ê + V̂·log n), centr at O(n·V̂).
 #[test]
 fn figure_3_mst_bounds() {
-    for seed in 0..3 {
-        let g = generators::connected_gnp(24, 0.2, generators::WeightDist::Uniform(1, 50), seed);
-        let p = CostParams::of(&g);
-        let ghs = run_mst_ghs(&g, NodeId::new(0), DelayModel::WorstCase, 0).unwrap();
+    let graphs: Vec<(String, WeightedGraph)> = (0..3)
+        .map(|seed| {
+            (
+                format!("gnp-s{seed}"),
+                generators::connected_gnp(24, 0.2, generators::WeightDist::Uniform(1, 50), seed),
+            )
+        })
+        .collect();
+    let mut grid = SweepGrid::new();
+    for (label, g) in &graphs {
+        grid = grid.graph(label.clone(), g);
+    }
+    let runs = grid.run(|pt| {
+        let p = CostParams::of(pt.graph);
+        let label = pt.graph_label;
+        let ghs = run_mst_ghs(pt.graph, NodeId::new(0), pt.delay, pt.seed).unwrap();
         let ghs_bound = (p.total_weight + p.mst_weight * log2c(p.n)) * 5;
-        assert!(ghs.cost.weighted_comm <= ghs_bound, "seed {seed}");
-        let centr = run_mst_centr(&g, NodeId::new(0), DelayModel::WorstCase, 0).unwrap();
+        assert!(ghs.cost.weighted_comm <= ghs_bound, "{label}");
+        let centr = run_mst_centr(pt.graph, NodeId::new(0), pt.delay, pt.seed).unwrap();
         let centr_bound = p.mst_weight * (6 * p.n as u128);
-        assert!(centr.cost.weighted_comm <= centr_bound, "seed {seed}");
-        let fast = run_mst_fast(&g, NodeId::new(0), DelayModel::WorstCase, 0).unwrap();
+        assert!(centr.cost.weighted_comm <= centr_bound, "{label}");
+        let fast = run_mst_fast(pt.graph, NodeId::new(0), pt.delay, pt.seed).unwrap();
         let w_hat = p.mst_weight.get().max(2) as f64;
         let fast_bound = (p.total_weight.get() as f64) * 5.0 * (p.n as f64).log2() * w_hat.log2();
         assert!(
             (fast.cost.weighted_comm.get() as f64) <= fast_bound,
-            "fast {} > {fast_bound} (seed {seed})",
+            "fast {} > {fast_bound} ({label})",
             fast.cost.weighted_comm
         );
-    }
+        ghs.cost
+    });
+    assert_eq!(runs.len(), 3);
 }
 
 /// Figure 4: SPT — centr at O(n·w(SPT)), synch at O(Ê + D̂·k·n·log n).
 #[test]
 fn figure_4_spt_bounds() {
-    for seed in 0..2 {
+    let seeds: Vec<u64> = (0..2).collect();
+    par_map(&seeds, seeds.len(), |&seed| {
         let g = generators::connected_gnp(14, 0.25, generators::WeightDist::Uniform(1, 16), seed);
         let p = CostParams::of(&g);
         let spt_w = cost_sensitive::graph::algo::shortest_path_tree(&g, NodeId::new(0)).weight();
@@ -109,7 +142,7 @@ fn figure_4_spt_bounds() {
             "synch {} > Ê + c·D̂·k·n·log n = {bound} (seed {seed})",
             synch.cost.weighted_comm
         );
-    }
+    });
 }
 
 /// Figure 7: on the lower-bound family every correct algorithm pays

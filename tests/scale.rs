@@ -1,5 +1,6 @@
 //! Moderate-scale runs: the protocols must stay correct (and the
-//! simulator efficient) well beyond the unit-test sizes.
+//! simulator efficient) well beyond the unit-test sizes. Independent
+//! seeds fan out through `csp_sim::sweep` to use every available core.
 
 use cost_sensitive::prelude::*;
 
@@ -7,8 +8,11 @@ use cost_sensitive::prelude::*;
 fn ghs_at_n_200() {
     let g = generators::connected_gnp(200, 0.03, generators::WeightDist::Uniform(1, 100), 17);
     let reference = cost_sensitive::graph::algo::prim_mst(&g, NodeId::new(0)).weight();
-    let out = run_mst_ghs(&g, NodeId::new(0), DelayModel::Uniform, 3).unwrap();
-    assert_eq!(out.tree.weight(), reference);
+    let sim_seeds: Vec<u64> = vec![3, 11];
+    par_map(&sim_seeds, sim_seeds.len(), |&seed| {
+        let out = run_mst_ghs(&g, NodeId::new(0), DelayModel::Uniform, seed).unwrap();
+        assert_eq!(out.tree.weight(), reference, "sim seed {seed}");
+    });
 }
 
 #[test]
@@ -22,9 +26,21 @@ fn spt_recur_at_n_150() {
 #[test]
 fn flood_on_a_large_torus() {
     let g = generators::torus(16, 16, generators::WeightDist::Uniform(1, 32), 9);
-    let out = run_flood(&g, NodeId::new(0), DelayModel::WorstCase, 0).unwrap();
-    assert!(out.tree.is_spanning());
-    assert!(out.cost.weighted_comm <= g.total_weight() * 2);
+    let runs = SweepGrid::new()
+        .graph("torus-16x16", &g)
+        .seeds(0..3)
+        .delays([DelayModel::WorstCase, DelayModel::Uniform])
+        .run(|pt| {
+            let out = run_flood(pt.graph, NodeId::new(0), pt.delay, pt.seed).unwrap();
+            assert!(out.tree.is_spanning(), "seed {} {:?}", pt.seed, pt.delay);
+            out.cost
+        });
+    let s = summarize(&runs);
+    assert_eq!(s.runs, 6);
+    // Every run independently respects the flood bound: ≤ 2·Ê.
+    for r in &runs {
+        assert!(r.cost.weighted_comm <= g.total_weight() * 2);
+    }
 }
 
 #[test]

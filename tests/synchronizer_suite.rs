@@ -47,7 +47,7 @@ fn gamma_w_is_exact_on_hypercubes() {
             horizon,
             DelayModel::Uniform,
             seed,
-            |v, _| WeightedFlood {
+            |_v, _| WeightedFlood {
                 source: s,
                 heard_at: None,
             },

@@ -1,0 +1,372 @@
+#![deny(missing_docs)]
+
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides deterministic, seeded property-based testing with the API
+//! subset this workspace uses: the [`Strategy`] trait with `prop_map`,
+//! range and tuple strategies, [`any`], the [`proptest!`] macro, and the
+//! `prop_assert!` / `prop_assert_eq!` assertion macros.
+//!
+//! Unlike upstream proptest there is no shrinking: a failing case
+//! reports its case index and seed so it can be replayed exactly (the
+//! generator is a pure function of the test name and case index).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// A failed property-test case (carried by `prop_assert!`-style macros).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given explanation.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Execution parameters for a [`proptest!`] block.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value from the seeded generator.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        self.start + rng.random_unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Types with a canonical full-range strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        use rand::RngCore;
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        use rand::RngCore;
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        use rand::RngCore;
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The full-range strategy for `T` (`any::<u64>()`, `any::<bool>()`, …).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Derives the per-case generator: a pure function of test name and
+/// case index, so failures replay exactly.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    use rand::SeedableRng;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Declares deterministic property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn prop(x in 0u64..10, y in any::<bool>()) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::__proptest_run(
+                    stringify!($name),
+                    $cfg,
+                    |__rng| {
+                        $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                        let __result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                        __result
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Runs one property across all cases (used by [`proptest!`]).
+pub fn __proptest_run(
+    name: &str,
+    cfg: ProptestConfig,
+    mut case: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+) {
+    for i in 0..cfg.cases {
+        let mut rng = case_rng(name, i);
+        if let Err(e) = case(&mut rng) {
+            panic!("property {name} failed at case {i}/{}: {e}", cfg.cases);
+        }
+    }
+}
+
+/// Fails the enclosing property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the enclosing property case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Fails the enclosing property case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// The commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..=9, y in 0usize..5, z in 0.0f64..1.0) {
+            prop_assert!((3..=9).contains(&x));
+            prop_assert!(y < 5);
+            prop_assert!((0.0..1.0).contains(&z));
+        }
+
+        #[test]
+        fn prop_map_applies(v in (1u64..=4, 1u64..=4).prop_map(|(a, b)| a * b)) {
+            prop_assert!((1..=16).contains(&v));
+            prop_assert_eq!(v, v);
+        }
+
+        #[test]
+        fn any_generates(x in any::<u64>(), b in any::<bool>()) {
+            // touch both to ensure generation happened
+            let _ = (x, b);
+            prop_assert!(true);
+        }
+    }
+
+    #[test]
+    fn cases_are_reproducible() {
+        use crate::Strategy;
+        let s = 0u64..=1_000_000;
+        let a: Vec<u64> = (0..10)
+            .map(|i| s.generate(&mut crate::case_rng("t", i)))
+            .collect();
+        let b: Vec<u64> = (0..10)
+            .map(|i| s.generate(&mut crate::case_rng("t", i)))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_index() {
+        crate::__proptest_run("always_fails", ProptestConfig::with_cases(3), |_| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+}
