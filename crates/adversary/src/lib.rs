@@ -1,0 +1,98 @@
+#![deny(missing_docs)]
+
+//! Adversarial delay-schedule search for the cost-sensitive simulator.
+//!
+//! The paper defines time complexity as the **worst case over all
+//! per-message delay assignments** in `[0, w(e)]`. The simulator's fixed
+//! [`DelayModel`](csp_sim::DelayModel) policies only realize uniform
+//! points of that space — `WorstCase` stretches *every* message, which
+//! is the true adversary for monotone protocols (flooding, DFS) but not
+//! in general: selectively *fast* messages can force extra phases in
+//! timing-dependent protocols like GHS. This crate searches the
+//! schedule space through the [`csp_sim::DelayOracle`] dispatch-time
+//! hook:
+//!
+//! * [`Schedule`] — a deterministic, serializable transcript of every
+//!   delay decision, with [`record`] / [`replay`] reproducing a run
+//!   exactly (plain-text format, no external dependencies);
+//! * [`find_worst_schedule`] — seeded random probes, the
+//!   [`CriticalPathOracle`] greedy and hill-climbing mutation, fanned
+//!   out in parallel through [`csp_sim::sweep::par_map`];
+//! * [`check_time_bound`] — refutes a claimed time bound on a
+//!   protocol × graph grid and [`shrink`]s any violating schedule,
+//!   proptest-style, to a 1-minimal replayable counterexample on disk.
+//!
+//! # Example: hunt for a bad schedule
+//!
+//! ```
+//! use csp_adversary::{find_worst_schedule, replay, SearchConfig};
+//! use csp_graph::generators::{self, WeightDist};
+//! use csp_graph::NodeId;
+//! use csp_sim::{Context, Process};
+//!
+//! struct Flood { seen: bool }
+//! impl Process for Flood {
+//!     type Msg = ();
+//!     fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+//!         if ctx.self_id() == NodeId::new(0) { self.seen = true; ctx.send_all(()); }
+//!     }
+//!     fn on_message(&mut self, _from: NodeId, _m: (), ctx: &mut Context<'_, ()>) {
+//!         if !self.seen { self.seen = true; ctx.send_all(()); }
+//!     }
+//! }
+//!
+//! let g = generators::connected_gnp(12, 0.3, WeightDist::Uniform(1, 9), 5);
+//! let out = find_worst_schedule(&g, |_, _| Flood { seen: false }, &SearchConfig::default());
+//! // The found schedule replays to exactly the reported time.
+//! let rerun = replay(&g, |_, _| Flood { seen: false }, &out.schedule);
+//! assert_eq!(rerun.cost.completion, out.best_time);
+//! assert!(out.gap() >= 1.0);
+//! ```
+
+pub mod oracle;
+pub mod refute;
+pub mod schedule;
+pub mod search;
+
+pub use oracle::{CriticalPathOracle, Recorder, ScheduleOracle};
+pub use refute::{check_time_bound, shrink, GridPoint, Refutation};
+pub use schedule::{Decision, Fallback, ParseError, Schedule};
+pub use search::{find_worst_schedule, mutate, SearchConfig, SearchOutcome};
+
+use csp_graph::{NodeId, WeightedGraph};
+use csp_sim::{DelayOracle, Process, Run, Simulator};
+
+/// Runs the protocol under `oracle` while recording every delay
+/// decision. Returns the completed run and the [`Schedule`] that
+/// [`replay`] will reproduce it from.
+pub fn record<P, F, O>(
+    g: &WeightedGraph,
+    make: F,
+    oracle: O,
+    fallback: Fallback,
+) -> (Run<P>, Schedule)
+where
+    P: Process,
+    F: FnMut(NodeId, &WeightedGraph) -> P,
+    O: DelayOracle,
+{
+    let mut rec = Recorder::new(oracle);
+    let run = Simulator::new(g)
+        .run_with_oracle(&mut rec, make)
+        .expect("protocol must quiesce under an admissible schedule");
+    (run, rec.into_schedule(fallback))
+}
+
+/// Replays a recorded [`Schedule`]: the run is reproduced decision for
+/// decision (identical [`CostReport`](csp_sim::CostReport), trace and
+/// final states — pinned by the adversary test suite).
+pub fn replay<P, F>(g: &WeightedGraph, make: F, schedule: &Schedule) -> Run<P>
+where
+    P: Process,
+    F: FnMut(NodeId, &WeightedGraph) -> P,
+{
+    let mut oracle = ScheduleOracle::new(schedule);
+    Simulator::new(g)
+        .run_with_oracle(&mut oracle, make)
+        .expect("replayed protocol must quiesce")
+}

@@ -1,0 +1,223 @@
+//! Delay oracles built on the [`csp_sim::DelayOracle`] hook: recording,
+//! replay and the critical-path greedy adversary.
+
+use crate::schedule::{Decision, Fallback, Schedule};
+use csp_sim::{DelayOracle, MsgInfo};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Wraps any oracle and records every decision it makes, producing a
+/// [`Schedule`] that replays the run exactly.
+///
+/// The recorded delay is the *effective* one — clamped into
+/// `[1, w(e)]` exactly as the runtime clamps it — so a recording never
+/// disagrees with the run it transcribed.
+#[derive(Clone, Debug)]
+pub struct Recorder<O> {
+    inner: O,
+    decisions: Vec<Decision>,
+}
+
+impl<O: DelayOracle> Recorder<O> {
+    /// Starts recording on top of `inner`.
+    pub fn new(inner: O) -> Self {
+        Recorder {
+            inner,
+            decisions: Vec::new(),
+        }
+    }
+
+    /// Finishes the recording into a schedule with the given fallback.
+    pub fn into_schedule(self, fallback: Fallback) -> Schedule {
+        Schedule {
+            decisions: self.decisions,
+            fallback,
+        }
+    }
+}
+
+impl<O: DelayOracle> DelayOracle for Recorder<O> {
+    fn delay(&mut self, msg: &MsgInfo) -> u64 {
+        let d = self.inner.delay(msg).clamp(1, msg.weight.get());
+        debug_assert_eq!(msg.index, self.decisions.len() as u64);
+        self.decisions.push(Decision {
+            index: msg.index,
+            edge: msg.edge,
+            dir: msg.dir,
+            weight: msg.weight.get(),
+            delay: d,
+        });
+        d
+    }
+}
+
+/// Replays a [`Schedule`]: message `i` takes the recorded delay of
+/// decision `i`, as long as the run still dispatches the same message
+/// (same edge and direction) at that index.
+///
+/// Past the recorded prefix — or at any mismatching index, which happens
+/// when a *mutated* schedule steers the protocol down a different path —
+/// the oracle applies the schedule's [`Fallback`] and counts the event in
+/// [`ScheduleOracle::divergences`]. A faithful replay of an unmodified
+/// recording never diverges (asserted in the adversary test suite).
+#[derive(Clone, Debug)]
+pub struct ScheduleOracle<'s> {
+    schedule: &'s Schedule,
+    /// How many decisions fell through to the fallback policy.
+    pub divergences: u64,
+}
+
+impl<'s> ScheduleOracle<'s> {
+    /// Replays `schedule`.
+    pub fn new(schedule: &'s Schedule) -> Self {
+        ScheduleOracle {
+            schedule,
+            divergences: 0,
+        }
+    }
+}
+
+impl DelayOracle for ScheduleOracle<'_> {
+    fn delay(&mut self, msg: &MsgInfo) -> u64 {
+        if let Some(d) = self.schedule.decisions.get(msg.index as usize) {
+            if d.index == msg.index && d.edge == msg.edge && d.dir == msg.dir {
+                return d.delay;
+            }
+        }
+        self.divergences += 1;
+        match self.schedule.fallback {
+            Fallback::WorstCase => msg.weight.get(),
+            Fallback::Rush => 1,
+        }
+    }
+}
+
+/// The critical-path greedy adversary: stretch the message that would
+/// otherwise complete the earliest pending event to its full `w(e)`, and
+/// rush everything else.
+///
+/// The oracle only sees dispatch-time information, so it tracks its own
+/// model of the in-flight set: a min-heap of the arrival times it has
+/// assigned. At each decision it first retires arrivals at or before the
+/// current send time, then asks whether *this* message, delivered as
+/// fast as possible (`sent + 1`), would become the next event. If so the
+/// message is on the critical path and gets stretched to `w(e)`;
+/// otherwise some other message completes first, so rushing this one
+/// costs the adversary nothing and may force extra protocol phases.
+///
+/// Deterministic and stateless across runs — recording it twice yields
+/// identical schedules.
+#[derive(Clone, Debug, Default)]
+pub struct CriticalPathOracle {
+    pending: BinaryHeap<Reverse<u64>>,
+}
+
+impl CriticalPathOracle {
+    /// A fresh adversary with an empty in-flight model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl DelayOracle for CriticalPathOracle {
+    fn delay(&mut self, msg: &MsgInfo) -> u64 {
+        let now = msg.sent.get();
+        while self.pending.peek().is_some_and(|&Reverse(t)| t <= now) {
+            self.pending.pop();
+        }
+        let w = msg.weight.get();
+        let rushed_arrival = now + 1;
+        let on_critical_path = match self.pending.peek() {
+            None => true,
+            Some(&Reverse(t)) => rushed_arrival < t,
+        };
+        let d = if on_critical_path { w } else { 1 };
+        self.pending.push(Reverse(now + d));
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_graph::{EdgeId, NodeId, Weight};
+    use csp_sim::SimTime;
+
+    fn info(index: u64, w: u64, sent: u64) -> MsgInfo {
+        MsgInfo {
+            index,
+            edge: EdgeId::new(index as usize),
+            dir: 0,
+            weight: Weight::new(w),
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+            sent: SimTime::new(sent),
+        }
+    }
+
+    #[test]
+    fn recorder_transcribes_and_clamps() {
+        struct Wild;
+        impl DelayOracle for Wild {
+            fn delay(&mut self, _msg: &MsgInfo) -> u64 {
+                u64::MAX
+            }
+        }
+        let mut rec = Recorder::new(Wild);
+        assert_eq!(rec.delay(&info(0, 7, 0)), 7);
+        let s = rec.into_schedule(Fallback::Rush);
+        assert_eq!(s.decisions.len(), 1);
+        assert_eq!(s.decisions[0].delay, 7);
+    }
+
+    #[test]
+    fn schedule_oracle_replays_then_falls_back() {
+        let s = Schedule {
+            decisions: vec![Decision {
+                index: 0,
+                edge: EdgeId::new(0),
+                dir: 0,
+                weight: 9,
+                delay: 4,
+            }],
+            fallback: Fallback::WorstCase,
+        };
+        let mut o = ScheduleOracle::new(&s);
+        assert_eq!(o.delay(&info(0, 9, 0)), 4); // recorded
+        assert_eq!(o.delay(&info(1, 9, 0)), 9); // past prefix -> worst case
+        assert_eq!(o.divergences, 1);
+    }
+
+    #[test]
+    fn schedule_oracle_detects_edge_mismatch() {
+        let s = Schedule {
+            decisions: vec![Decision {
+                index: 0,
+                edge: EdgeId::new(5),
+                dir: 0,
+                weight: 9,
+                delay: 4,
+            }],
+            fallback: Fallback::Rush,
+        };
+        let mut o = ScheduleOracle::new(&s);
+        // Same index but a different edge: the run diverged.
+        assert_eq!(o.delay(&info(0, 9, 0)), 1);
+        assert_eq!(o.divergences, 1);
+    }
+
+    #[test]
+    fn critical_path_stretches_the_gating_message_and_rushes_shadowed_ones() {
+        let mut o = CriticalPathOracle::new();
+        // First message: nothing else pending -> it gates progress.
+        assert_eq!(o.delay(&info(0, 10, 0)), 10);
+        // Sent at t=5: rushed it would arrive at t=6, before the pending
+        // t=10 event -> it gates progress -> stretched to its weight.
+        assert_eq!(o.delay(&info(1, 8, 5)), 8);
+        // Sent at t=9: rushed it arrives at t=10, no earlier than the
+        // pending t=10 event -> shadowed -> rushed.
+        assert_eq!(o.delay(&info(2, 4, 9)), 1);
+        // At t=20 everything has arrived; the next message gates again.
+        assert_eq!(o.delay(&info(3, 6, 20)), 6);
+    }
+}

@@ -1,0 +1,303 @@
+//! Bound refutation: search a protocol × graph-family grid for schedules
+//! violating a stated time bound, and shrink any violation to a minimal
+//! replayable counterexample.
+//!
+//! The shrinker is proptest-style: a violation witnessed by a searched
+//! schedule usually rushes many messages, most of them irrelevant.
+//! [`shrink`] reverts rushed decisions toward
+//! [`DelayModel::WorstCase`](csp_sim::DelayModel::WorstCase) in
+//! halving-size chunks while the violation persists, down to a
+//! 1-minimal schedule: reverting any single remaining rushed decision
+//! makes the violation disappear. The minimal schedule is re-recorded
+//! after every accepted step, so the file written to disk replays to
+//! exactly the reported completion time.
+
+use crate::oracle::{Recorder, ScheduleOracle};
+use crate::schedule::{Fallback, Schedule};
+use crate::search::{find_worst_schedule, SearchConfig, SearchOutcome};
+use csp_graph::{NodeId, WeightedGraph};
+use csp_sim::{Process, SimTime, Simulator};
+use std::path::{Path, PathBuf};
+
+/// One instance of the grid [`check_time_bound`] sweeps.
+#[derive(Clone, Debug)]
+pub struct GridPoint {
+    /// Human-readable instance name, e.g. `"gnp-n24"` — also the stem of
+    /// the counterexample file if the bound falls here.
+    pub label: String,
+    /// The instance itself.
+    pub graph: WeightedGraph,
+}
+
+/// A refuted bound on one grid point: a minimal schedule whose replay
+/// completes later than the claimed bound.
+#[derive(Clone, Debug)]
+pub struct Refutation {
+    /// Which grid point the bound fell on.
+    pub label: String,
+    /// The claimed bound, evaluated on that instance.
+    pub bound: u64,
+    /// Completion time of the (shrunk) counterexample schedule.
+    pub observed: SimTime,
+    /// The 1-minimal counterexample; replaying it reproduces
+    /// [`Refutation::observed`].
+    pub schedule: Schedule,
+    /// Where the counterexample was written, if an output directory was
+    /// given.
+    pub path: Option<PathBuf>,
+}
+
+/// Replays `schedule` and re-records what was actually taken.
+fn replay_recorded<P, F>(g: &WeightedGraph, make: &F, schedule: &Schedule) -> (SimTime, Schedule)
+where
+    P: Process,
+    F: Fn(NodeId, &WeightedGraph) -> P,
+{
+    let mut rec = Recorder::new(ScheduleOracle::new(schedule));
+    let run = Simulator::new(g)
+        .run_with_oracle(&mut rec, |v, g| make(v, g))
+        .expect("protocol must quiesce under an admissible schedule");
+    (run.cost.completion, rec.into_schedule(Fallback::WorstCase))
+}
+
+/// Shrinks `schedule` to a 1-minimal violation of `violates`.
+///
+/// Rushed decisions (`delay < weight`) are reverted to the full edge
+/// weight in chunks, halving the chunk size whenever no chunk at the
+/// current size can be reverted, until no single rushed decision can be
+/// reverted without losing the violation. The returned schedule is a
+/// fresh recording of its own replay, so it is internally consistent
+/// even when reverting steered the protocol down a different path.
+///
+/// Returns the input re-recorded (unshrunk) if its replay does not
+/// satisfy `violates` in the first place.
+pub fn shrink<P, F>(
+    g: &WeightedGraph,
+    make: &F,
+    schedule: &Schedule,
+    violates: impl Fn(SimTime) -> bool,
+) -> (SimTime, Schedule)
+where
+    P: Process,
+    F: Fn(NodeId, &WeightedGraph) -> P,
+{
+    let (mut time, mut current) = replay_recorded(g, make, schedule);
+    if !violates(time) {
+        return (time, current);
+    }
+
+    let rushed_positions = |s: &Schedule| -> Vec<usize> {
+        (0..s.decisions.len())
+            .filter(|&i| s.decisions[i].delay < s.decisions[i].weight)
+            .collect()
+    };
+
+    let mut chunk = rushed_positions(&current).len().div_ceil(2).max(1);
+    loop {
+        let rushed = rushed_positions(&current);
+        if rushed.is_empty() {
+            break;
+        }
+        chunk = chunk.min(rushed.len());
+        let mut reverted = false;
+        for block in rushed.chunks(chunk) {
+            let mut candidate = current.clone();
+            for &i in block {
+                candidate.decisions[i].delay = candidate.decisions[i].weight;
+            }
+            let (t, recorded) = replay_recorded(g, make, &candidate);
+            if violates(t) {
+                time = t;
+                current = recorded;
+                reverted = true;
+                break;
+            }
+        }
+        if !reverted {
+            if chunk == 1 {
+                break;
+            }
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    (time, current)
+}
+
+/// Searches every grid point for a schedule whose completion time
+/// exceeds `bound`, shrinking each violation to a minimal replayable
+/// counterexample.
+///
+/// `bound` evaluates the claimed time bound on an instance (typically
+/// the same formula `tests/paper_bounds.rs` asserts). Counterexamples
+/// are written to `out_dir` (when given) as
+/// `<label>.schedule`, with the claim and observation in the header.
+/// An empty return vector means the search could not refute the bound
+/// anywhere on the grid.
+pub fn check_time_bound<P, F, B>(
+    grid: &[GridPoint],
+    make: F,
+    bound: B,
+    cfg: &SearchConfig,
+    out_dir: Option<&Path>,
+) -> Vec<Refutation>
+where
+    P: Process,
+    F: Fn(NodeId, &WeightedGraph) -> P + Sync,
+    B: Fn(&GridPoint) -> u64,
+{
+    let mut refutations = Vec::new();
+    for point in grid {
+        let claimed = bound(point);
+        let outcome: SearchOutcome = find_worst_schedule(&point.graph, &make, cfg);
+        if outcome.best_time.get() <= claimed {
+            continue;
+        }
+        let (observed, minimal) = shrink(&point.graph, &make, &outcome.schedule, |t| {
+            t.get() > claimed
+        });
+        let path = out_dir.map(|dir| {
+            let file = dir.join(format!("{}.schedule", sanitize(&point.label)));
+            minimal
+                .save(
+                    &file,
+                    &[
+                        format!("refuted time bound on {}", point.label),
+                        format!("claimed <= {claimed}, observed {observed}"),
+                        format!(
+                            "found by {} after {} evaluations",
+                            outcome.strategy, outcome.evaluations
+                        ),
+                    ],
+                )
+                .expect("write counterexample schedule");
+            file
+        });
+        refutations.push(Refutation {
+            label: point.label.clone(),
+            bound: claimed,
+            observed,
+            schedule: minimal,
+            path,
+        });
+    }
+    refutations
+}
+
+/// Keeps labels filesystem-safe.
+fn sanitize(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_graph::generators;
+    use csp_sim::{Context, DelayModel, ModelOracle};
+
+    /// Token ring: node 0 sends a token once around the cycle.
+    struct Ring {
+        done: bool,
+    }
+
+    impl Process for Ring {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            if ctx.self_id() == NodeId::new(0) {
+                let next = NodeId::new(1);
+                ctx.send(next, 0);
+            }
+        }
+        fn on_message(&mut self, _from: NodeId, hops: u32, ctx: &mut Context<'_, u32>) {
+            let me = ctx.self_id().index();
+            let n = ctx.node_count();
+            if me != 0 {
+                self.done = true;
+                ctx.send(NodeId::new((me + 1) % n), hops + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_is_one_minimal() {
+        // On a ring, completion is the sum of the token's six delays.
+        // Record the all-rushed schedule (completion 6), then shrink
+        // against the property "completes within 27 ticks": that needs
+        // at least one rushed hop (all-worst-case completes at 30, one
+        // rush gives 26), so the minimal schedule has exactly one.
+        let g = generators::cycle(6, |_| 5);
+        let make = |_: NodeId, _: &WeightedGraph| Ring { done: false };
+        let mut rec = Recorder::new(ModelOracle::new(DelayModel::Eager, 0));
+        let run = Simulator::new(&g).run_with_oracle(&mut rec, make).unwrap();
+        assert_eq!(run.cost.completion, SimTime::new(6));
+        let all_rushed = rec.into_schedule(Fallback::WorstCase);
+        assert_eq!(all_rushed.rushed(), 6);
+        let (t, minimal) = shrink(&g, &make, &all_rushed, |t| t.get() <= 27);
+        assert_eq!(minimal.rushed(), 1);
+        assert_eq!(t, SimTime::new(26));
+    }
+
+    #[test]
+    fn shrink_returns_input_when_not_violating() {
+        let g = generators::cycle(4, |_| 3);
+        let make = |_: NodeId, _: &WeightedGraph| Ring { done: false };
+        let cfg = SearchConfig {
+            random_probes: 2,
+            hill_rounds: 0,
+            candidates_per_round: 1,
+            ..SearchConfig::default()
+        };
+        let outcome = find_worst_schedule(&g, make, &cfg);
+        let (t, s) = shrink(&g, &make, &outcome.schedule, |t| t.get() > 10_000);
+        assert!(t.get() <= 10_000);
+        assert_eq!(s.decisions.len(), outcome.schedule.decisions.len());
+    }
+
+    #[test]
+    fn check_time_bound_refutes_and_writes_counterexample() {
+        let dir = std::env::temp_dir().join("csp-adversary-refute-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let grid = vec![GridPoint {
+            label: "cycle n=5 w=4".to_string(),
+            graph: generators::cycle(5, |_| 4),
+        }];
+        // The true worst case is 5·4 = 20; claiming 10 must be refuted.
+        let refs = check_time_bound(
+            &grid,
+            |_: NodeId, _: &WeightedGraph| Ring { done: false },
+            |_| 10,
+            &SearchConfig {
+                random_probes: 2,
+                hill_rounds: 0,
+                candidates_per_round: 1,
+                ..SearchConfig::default()
+            },
+            Some(&dir),
+        );
+        assert_eq!(refs.len(), 1);
+        let r = &refs[0];
+        assert!(r.observed.get() > 10);
+        let path = r.path.as_ref().unwrap();
+        assert_eq!(path.file_name().unwrap(), "cycle-n-5-w-4.schedule");
+        let loaded = Schedule::load(path).unwrap();
+        assert_eq!(loaded, r.schedule);
+        // And an unrefutable bound stays unrefuted.
+        let none = check_time_bound(
+            &grid,
+            |_: NodeId, _: &WeightedGraph| Ring { done: false },
+            |_| 1_000_000,
+            &SearchConfig::default(),
+            None,
+        );
+        assert!(none.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,320 @@
+//! Recorded delay schedules: the serializable unit of adversarial state.
+//!
+//! A [`Schedule`] is the complete transcript of one run's delay
+//! decisions, one [`Decision`] per metered send in dispatch order.
+//! Because the simulator is deterministic given an oracle, replaying a
+//! schedule (see [`crate::ScheduleOracle`]) reproduces the run exactly —
+//! same [`CostReport`](csp_sim::CostReport), same trace, same final
+//! states. Mutated or truncated schedules may diverge from the run that
+//! produced them; past the recorded prefix (or on an edge mismatch) the
+//! replay oracle falls back to the schedule's [`Fallback`] policy.
+//!
+//! # Text format
+//!
+//! Schedules serialize to a line-oriented plain-text format (no external
+//! dependencies):
+//!
+//! ```text
+//! csp-adversary-schedule v1
+//! fallback worst-case
+//! # index edge dir weight delay
+//! d 0 3 1 16 16
+//! d 1 7 0 4 1
+//! ```
+//!
+//! Blank lines and `#` comments are ignored anywhere, so counterexample
+//! files can carry a human-readable header.
+
+use csp_graph::EdgeId;
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+
+/// One recorded delay decision: the i-th metered send of the run took
+/// `delay` ticks on `edge`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Decision {
+    /// Global dispatch index (0-based send order) — matches
+    /// [`MsgInfo::index`](csp_sim::MsgInfo::index).
+    pub index: u64,
+    /// The edge the message crossed.
+    pub edge: EdgeId,
+    /// Direction bit, as in [`MsgInfo::dir`](csp_sim::MsgInfo::dir).
+    pub dir: u8,
+    /// Weight of the edge at record time (delays live in `[1, weight]`).
+    pub weight: u64,
+    /// The delay taken, in ticks.
+    pub delay: u64,
+}
+
+/// What the replay oracle does beyond the recorded prefix, or when the
+/// run diverges from the recording (different edge or direction at some
+/// index).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Fallback {
+    /// Unrecorded messages take the full edge weight — reverting toward
+    /// [`DelayModel::WorstCase`](csp_sim::DelayModel::WorstCase), the
+    /// policy shrinking drives schedules to.
+    #[default]
+    WorstCase,
+    /// Unrecorded messages take one tick.
+    Rush,
+}
+
+/// A deterministic, serializable record of every delay decision of a run.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Schedule {
+    /// Decisions in dispatch order; position `i` holds index `i`.
+    pub decisions: Vec<Decision>,
+    /// Policy for messages beyond (or diverging from) the recording.
+    pub fallback: Fallback,
+}
+
+impl Schedule {
+    /// Number of recorded decisions.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// Whether the schedule records no decisions at all.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+
+    /// Number of decisions strictly faster than the worst case
+    /// (`delay < weight`) — the "interesting" part of an adversarial
+    /// schedule, and the quantity shrinking minimizes.
+    pub fn rushed(&self) -> usize {
+        self.decisions.iter().filter(|d| d.delay < d.weight).count()
+    }
+
+    /// Serializes to the plain-text format described in the
+    /// [module docs](self).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("csp-adversary-schedule v1\n");
+        out.push_str(match self.fallback {
+            Fallback::WorstCase => "fallback worst-case\n",
+            Fallback::Rush => "fallback rush\n",
+        });
+        out.push_str("# index edge dir weight delay\n");
+        for d in &self.decisions {
+            out.push_str(&format!(
+                "d {} {} {} {} {}\n",
+                d.index,
+                d.edge.index(),
+                d.dir,
+                d.weight,
+                d.delay
+            ));
+        }
+        out
+    }
+
+    /// Parses the plain-text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] naming the offending line on malformed
+    /// input: wrong header, unknown fallback, non-contiguous indices or
+    /// a delay outside `[1, weight]`.
+    pub fn from_text(text: &str) -> Result<Schedule, ParseError> {
+        let fail = |line: usize, msg: &str| ParseError {
+            line,
+            msg: msg.to_string(),
+        };
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+        let (ln, header) = lines.next().ok_or_else(|| fail(0, "empty schedule"))?;
+        if header != "csp-adversary-schedule v1" {
+            return Err(fail(ln, "expected header `csp-adversary-schedule v1`"));
+        }
+        let (ln, fb) = lines
+            .next()
+            .ok_or_else(|| fail(0, "missing `fallback` line"))?;
+        let fallback = match fb {
+            "fallback worst-case" => Fallback::WorstCase,
+            "fallback rush" => Fallback::Rush,
+            _ => {
+                return Err(fail(
+                    ln,
+                    "expected `fallback worst-case` or `fallback rush`",
+                ))
+            }
+        };
+
+        let mut decisions = Vec::new();
+        for (ln, line) in lines {
+            let mut parts = line.split_ascii_whitespace();
+            if parts.next() != Some("d") {
+                return Err(fail(
+                    ln,
+                    "expected decision line `d <index> <edge> <dir> <weight> <delay>`",
+                ));
+            }
+            let mut num = |what: &str| -> Result<u64, ParseError> {
+                parts
+                    .next()
+                    .ok_or_else(|| fail(ln, &format!("missing {what}")))?
+                    .parse::<u64>()
+                    .map_err(|_| fail(ln, &format!("malformed {what}")))
+            };
+            let index = num("index")?;
+            let edge = num("edge")?;
+            let dir = num("dir")?;
+            let weight = num("weight")?;
+            let delay = num("delay")?;
+            if parts.next().is_some() {
+                return Err(fail(ln, "trailing tokens on decision line"));
+            }
+            if index != decisions.len() as u64 {
+                return Err(fail(ln, "decision indices must be contiguous from 0"));
+            }
+            if dir > 1 {
+                return Err(fail(ln, "dir must be 0 or 1"));
+            }
+            if weight == 0 || delay == 0 || delay > weight {
+                return Err(fail(ln, "delay must lie in [1, weight]"));
+            }
+            decisions.push(Decision {
+                index,
+                edge: EdgeId::new(edge as usize),
+                dir: dir as u8,
+                weight,
+                delay,
+            });
+        }
+        Ok(Schedule {
+            decisions,
+            fallback,
+        })
+    }
+
+    /// Writes the schedule to `path`, prefixing `header` lines as `#`
+    /// comments (pass `&[]` for none).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn save(&self, path: &Path, header: &[String]) -> std::io::Result<()> {
+        let mut text = String::new();
+        for h in header {
+            text.push_str(&format!("# {h}\n"));
+        }
+        text.push_str(&self.to_text());
+        std::fs::write(path, text)
+    }
+
+    /// Reads and parses a schedule from `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors pass through; parse failures surface as
+    /// [`std::io::ErrorKind::InvalidData`].
+    pub fn load(path: &Path) -> std::io::Result<Schedule> {
+        let text = std::fs::read_to_string(path)?;
+        Schedule::from_text(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// A malformed schedule file.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based line number of the offending line (0 when the input ended
+    /// early).
+    pub line: usize,
+    /// What was wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "schedule parse error at line {}: {}",
+            self.line, self.msg
+        )
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schedule {
+        Schedule {
+            decisions: vec![
+                Decision {
+                    index: 0,
+                    edge: EdgeId::new(3),
+                    dir: 1,
+                    weight: 16,
+                    delay: 16,
+                },
+                Decision {
+                    index: 1,
+                    edge: EdgeId::new(7),
+                    dir: 0,
+                    weight: 4,
+                    delay: 1,
+                },
+            ],
+            fallback: Fallback::Rush,
+        }
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let s = sample();
+        assert_eq!(Schedule::from_text(&s.to_text()).unwrap(), s);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = format!("# counterexample\n\n{}\n# trailing\n", sample().to_text());
+        assert_eq!(Schedule::from_text(&text).unwrap(), sample());
+    }
+
+    #[test]
+    fn rushed_counts_sub_worst_case_decisions() {
+        assert_eq!(sample().rushed(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        for (text, expect) in [
+            ("", "empty"),
+            ("wrong header", "header"),
+            ("csp-adversary-schedule v1\nfallback maybe", "fallback"),
+            (
+                "csp-adversary-schedule v1\nfallback rush\nd 1 0 0 5 5",
+                "contiguous",
+            ),
+            (
+                "csp-adversary-schedule v1\nfallback rush\nd 0 0 0 5 9",
+                "[1, weight]",
+            ),
+            (
+                "csp-adversary-schedule v1\nfallback rush\nd 0 0 2 5 5",
+                "dir",
+            ),
+            (
+                "csp-adversary-schedule v1\nfallback rush\nd 0 0 0 5",
+                "missing delay",
+            ),
+        ] {
+            let err = Schedule::from_text(text).unwrap_err();
+            assert!(
+                err.msg.contains(expect) || err.to_string().contains(expect),
+                "input {text:?} gave {err}"
+            );
+        }
+    }
+}

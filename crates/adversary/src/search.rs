@@ -1,0 +1,284 @@
+//! Schedule-space search: seeded random probes, the critical-path
+//! greedy, and hill-climbing mutation — all fanned out through
+//! [`csp_sim::sweep::par_map`].
+//!
+//! Every strategy records the schedule it actually ran (via
+//! [`Recorder`]), so [`SearchOutcome::schedule`] always replays to
+//! exactly [`SearchOutcome::best_time`]. The whole search is
+//! deterministic: fixed seeds, order-preserving parallel map, and
+//! strict-improvement adoption, so two searches with the same config
+//! find the same schedule regardless of thread count.
+
+use crate::oracle::{CriticalPathOracle, Recorder, ScheduleOracle};
+use crate::schedule::{Fallback, Schedule};
+use csp_graph::{NodeId, WeightedGraph};
+use csp_sim::sweep::par_map;
+use csp_sim::{DelayModel, DelayOracle, ModelOracle, Process, SimTime, Simulator};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Search budget and seeding; the defaults complete in well under a
+/// second on Figure-2/3/4-sized instances.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchConfig {
+    /// Uniform-delay random probes.
+    pub random_probes: usize,
+    /// Hill-climbing rounds mutating the incumbent schedule.
+    pub hill_rounds: usize,
+    /// Mutated candidates evaluated per round.
+    pub candidates_per_round: usize,
+    /// Decisions re-randomized per mutation.
+    pub flips: usize,
+    /// Master seed; every probe and mutation seed derives from it.
+    pub seed: u64,
+    /// Worker threads for the parallel fan-out (`0` = one per core).
+    pub threads: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            random_probes: 32,
+            hill_rounds: 12,
+            candidates_per_round: 8,
+            flips: 4,
+            seed: 0,
+            threads: 0,
+        }
+    }
+}
+
+impl SearchConfig {
+    fn worker_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// The result of a schedule search on one protocol × graph instance.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// Completion time under [`DelayModel::WorstCase`] — the baseline the
+    /// paper's time bounds are stated against.
+    pub worst_case: SimTime,
+    /// The latest completion time any searched schedule achieved
+    /// (`>= worst_case` only if the search found a genuinely worse
+    /// adversary; equal when uniform-delay stretching is already optimal,
+    /// as it is for monotone protocols like flooding).
+    pub best_time: SimTime,
+    /// The recorded schedule achieving [`SearchOutcome::best_time`];
+    /// replaying it reproduces that time exactly.
+    pub schedule: Schedule,
+    /// Which strategy found the best schedule: `"worst-case"`,
+    /// `"critical-path"`, `"random"` or `"hill-climb"`.
+    pub strategy: &'static str,
+    /// Total simulator runs spent.
+    pub evaluations: usize,
+}
+
+impl SearchOutcome {
+    /// Whether the search beat the fixed worst-case delay model.
+    pub fn beats_worst_case(&self) -> bool {
+        self.best_time > self.worst_case
+    }
+
+    /// `best_time / worst_case` — how much the searched adversary
+    /// out-delays the fixed model (`1.0` = no gap).
+    pub fn gap(&self) -> f64 {
+        if self.worst_case == SimTime::ZERO {
+            1.0
+        } else {
+            self.best_time.get() as f64 / self.worst_case.get() as f64
+        }
+    }
+}
+
+/// Runs the simulator under `oracle`, recording the schedule actually
+/// taken. Returns the completion time and the recording.
+fn record_run<P, F, O>(g: &WeightedGraph, make: &F, oracle: O) -> (SimTime, Schedule)
+where
+    P: Process,
+    F: Fn(NodeId, &WeightedGraph) -> P,
+    O: DelayOracle,
+{
+    let mut rec = Recorder::new(oracle);
+    let run = Simulator::new(g)
+        .run_with_oracle(&mut rec, |v, g| make(v, g))
+        .expect("protocol must quiesce under an admissible schedule");
+    (run.cost.completion, rec.into_schedule(Fallback::WorstCase))
+}
+
+/// Re-randomizes `flips` decisions of `base`: each picked decision is set
+/// to rushed (`1`), stretched (`weight`) or a uniform point between.
+pub fn mutate(base: &Schedule, seed: u64, flips: usize) -> Schedule {
+    let mut out = base.clone();
+    if out.decisions.is_empty() {
+        return out;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..flips {
+        let i = rng.random_range(0..out.decisions.len() as u64) as usize;
+        let d = &mut out.decisions[i];
+        d.delay = match rng.random_range(0..3u64) {
+            0 => 1,
+            1 => d.weight,
+            _ => rng.random_range(1..=d.weight),
+        };
+    }
+    out
+}
+
+/// Searches for the schedule maximizing completion time of the protocol
+/// built by `make` on `g`.
+///
+/// Strategy pipeline: (1) the [`DelayModel::WorstCase`] baseline, which
+/// also defines [`SearchOutcome::worst_case`]; (2) the
+/// [`CriticalPathOracle`] greedy; (3) `random_probes` uniform-delay
+/// probes in parallel; (4) `hill_rounds` rounds of parallel
+/// [`mutate`]-and-replay hill climbing from the incumbent. Strict
+/// improvement is required to adopt a candidate, and ties prefer the
+/// earlier strategy, so the outcome is deterministic.
+pub fn find_worst_schedule<P, F>(g: &WeightedGraph, make: F, cfg: &SearchConfig) -> SearchOutcome
+where
+    P: Process,
+    F: Fn(NodeId, &WeightedGraph) -> P + Sync,
+{
+    let threads = cfg.worker_threads();
+    let mut evaluations = 0usize;
+
+    let (worst_case, worst_schedule) =
+        record_run(g, &make, ModelOracle::new(DelayModel::WorstCase, cfg.seed));
+    evaluations += 1;
+    let mut best = SearchOutcome {
+        worst_case,
+        best_time: worst_case,
+        schedule: worst_schedule,
+        strategy: "worst-case",
+        evaluations: 0,
+    };
+
+    let (t, s) = record_run(g, &make, CriticalPathOracle::new());
+    evaluations += 1;
+    if t > best.best_time {
+        (best.best_time, best.schedule, best.strategy) = (t, s, "critical-path");
+    }
+
+    let probe_seeds: Vec<u64> = (0..cfg.random_probes as u64)
+        .map(|i| cfg.seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .collect();
+    let probes = par_map(&probe_seeds, threads, |&s| {
+        record_run(g, &make, ModelOracle::new(DelayModel::Uniform, s))
+    });
+    evaluations += probes.len();
+    for (t, s) in probes {
+        if t > best.best_time {
+            (best.best_time, best.schedule, best.strategy) = (t, s, "random");
+        }
+    }
+
+    for round in 0..cfg.hill_rounds as u64 {
+        let mutation_seeds: Vec<u64> = (0..cfg.candidates_per_round as u64)
+            .map(|i| cfg.seed.wrapping_mul(0x100_0001b3) ^ (round << 32 | i))
+            .collect();
+        let incumbent = &best.schedule;
+        let candidates = par_map(&mutation_seeds, threads, |&ms| {
+            let mutant = mutate(incumbent, ms, cfg.flips);
+            record_run(g, &make, ScheduleOracle::new(&mutant))
+        });
+        evaluations += candidates.len();
+        for (t, s) in candidates {
+            if t > best.best_time {
+                (best.best_time, best.schedule, best.strategy) = (t, s, "hill-climb");
+            }
+        }
+    }
+
+    best.evaluations = evaluations;
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_graph::generators::{self, WeightDist};
+    use csp_sim::Context;
+
+    /// Minimal flooding protocol for search smoke tests.
+    struct Flood {
+        seen: bool,
+    }
+
+    impl Process for Flood {
+        type Msg = ();
+        fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+            if ctx.self_id() == NodeId::new(0) {
+                self.seen = true;
+                ctx.send_all(());
+            }
+        }
+        fn on_message(&mut self, _from: NodeId, _msg: (), ctx: &mut Context<'_, ()>) {
+            if !self.seen {
+                self.seen = true;
+                ctx.send_all(());
+            }
+        }
+    }
+
+    fn small_graph() -> WeightedGraph {
+        generators::connected_gnp(10, 0.35, WeightDist::Uniform(1, 12), 7)
+    }
+
+    #[test]
+    fn search_never_loses_to_its_own_baseline() {
+        let g = small_graph();
+        let cfg = SearchConfig {
+            random_probes: 8,
+            hill_rounds: 3,
+            candidates_per_round: 4,
+            ..SearchConfig::default()
+        };
+        let out = find_worst_schedule(&g, |_, _| Flood { seen: false }, &cfg);
+        assert!(out.best_time >= out.worst_case);
+        assert!(out.gap() >= 1.0);
+        assert!(out.evaluations >= 1 + 1 + 8);
+    }
+
+    #[test]
+    fn search_is_deterministic_across_thread_counts() {
+        let g = small_graph();
+        let run = |threads| {
+            let cfg = SearchConfig {
+                random_probes: 8,
+                hill_rounds: 2,
+                candidates_per_round: 4,
+                threads,
+                ..SearchConfig::default()
+            };
+            find_worst_schedule(&g, |_, _| Flood { seen: false }, &cfg)
+        };
+        let (a, b) = (run(1), run(4));
+        assert_eq!(a.best_time, b.best_time);
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.strategy, b.strategy);
+    }
+
+    #[test]
+    fn mutate_keeps_delays_admissible() {
+        let g = small_graph();
+        let (_, base) = record_run(
+            &g,
+            &|_, _| Flood { seen: false },
+            ModelOracle::new(DelayModel::Uniform, 3),
+        );
+        let mutant = mutate(&base, 99, 16);
+        assert_eq!(mutant.decisions.len(), base.decisions.len());
+        for d in &mutant.decisions {
+            assert!(d.delay >= 1 && d.delay <= d.weight);
+        }
+    }
+}

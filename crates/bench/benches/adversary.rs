@@ -1,0 +1,84 @@
+//! Throughput of the `csp-adversary` machinery: record overhead over a
+//! plain oracle run, schedule replay, and the full search pipeline at a
+//! small budget.
+//!
+//! The interesting ratio is record/replay vs the bare simulator run —
+//! the adversary hook must stay cheap enough to fan out thousands of
+//! probes per search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csp_adversary::{find_worst_schedule, replay, Fallback, Recorder, SearchConfig};
+use csp_algo::mst::ghs::Ghs;
+use csp_algo::spt::recur::SptRecur;
+use csp_graph::{generators, NodeId, WeightedGraph};
+use csp_sim::{DelayModel, ModelOracle, Simulator};
+use std::hint::black_box;
+
+fn workload() -> WeightedGraph {
+    generators::connected_gnp(16, 0.25, generators::WeightDist::Uniform(1, 32), 7)
+}
+
+fn bench_record_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversary_record_replay");
+    group.sample_size(20);
+    let g = workload();
+
+    group.bench_function("ghs_bare_run", |b| {
+        b.iter(|| {
+            black_box(
+                Simulator::new(&g)
+                    .delay(DelayModel::WorstCase)
+                    .run(Ghs::new)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("ghs_recorded_run", |b| {
+        b.iter(|| {
+            let mut rec = Recorder::new(ModelOracle::new(DelayModel::WorstCase, 0));
+            let run = Simulator::new(&g)
+                .run_with_oracle(&mut rec, Ghs::new)
+                .unwrap();
+            black_box((run, rec.into_schedule(Fallback::WorstCase)))
+        })
+    });
+
+    let mut rec = Recorder::new(ModelOracle::new(DelayModel::WorstCase, 0));
+    Simulator::new(&g)
+        .run_with_oracle(&mut rec, Ghs::new)
+        .unwrap();
+    let schedule = rec.into_schedule(Fallback::WorstCase);
+    group.bench_function("ghs_replay", |b| {
+        b.iter(|| black_box(replay(&g, Ghs::new, &schedule)))
+    });
+    group.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversary_search");
+    group.sample_size(10);
+    let g = workload();
+    let cfg = SearchConfig {
+        random_probes: 8,
+        hill_rounds: 3,
+        candidates_per_round: 4,
+        ..SearchConfig::default()
+    };
+    let root = NodeId::new(0);
+    group.bench_with_input(BenchmarkId::new("find_worst", "ghs"), &g, |b, g| {
+        b.iter(|| black_box(find_worst_schedule(g, Ghs::new, &cfg)))
+    });
+    group.bench_with_input(BenchmarkId::new("find_worst", "spt_recur"), &g, |b, g| {
+        b.iter(|| {
+            black_box(find_worst_schedule(
+                g,
+                |v, _| SptRecur::new(v, root, 1 << 40),
+                &cfg,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_record_replay, bench_search);
+criterion_main!(benches);

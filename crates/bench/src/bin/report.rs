@@ -10,11 +10,14 @@
 //! wins on which regime, by roughly what factor, and that every measured
 //! cost stays within its stated bound (reported as a normalized ratio).
 
+use csp_adversary::{find_worst_schedule, SearchConfig};
 use csp_algo::con_hybrid::{connectivity_pivot, run_con_hybrid};
-use csp_algo::dfs::run_dfs;
-use csp_algo::flood::run_flood;
+use csp_algo::dfs::{run_dfs, Dfs};
+use csp_algo::flood::{run_flood, Flood};
 use csp_algo::global::{compute_global, Max, TreeKind};
+use csp_algo::mst::ghs::Ghs;
 use csp_algo::mst::{run_mst_centr, run_mst_fast, run_mst_ghs, run_mst_hybrid};
+use csp_algo::spt::recur::SptRecur;
 use csp_algo::spt::synch::run_spt_synch_ideal;
 use csp_algo::spt::{run_spt_centr, run_spt_hybrid, run_spt_recur, run_spt_synch};
 use csp_bench::{clock_workload, random_sweep, ratio, regime_a, regime_b, row, Workload};
@@ -807,6 +810,90 @@ fn companions() {
     println!("mirror the hosted traffic one-for-one (overhead factor exactly 2).");
 }
 
+/// §11 — the adversary: how much worse than the fixed `WorstCase` delay
+/// model can a *searched* per-message delay schedule make the Figure-2/
+/// 3/4 protocols?
+fn adversary_gap() {
+    heading("Section 11 — adversarial schedule search (searched vs WorstCase time)");
+    let widths = [16, 18, 12, 10, 7, 14];
+    println!(
+        "{}",
+        row(
+            &[
+                "protocol",
+                "workload",
+                "worst-case",
+                "searched",
+                "gap",
+                "strategy"
+            ]
+            .map(String::from),
+            &widths
+        )
+    );
+    // A smaller budget than `examples/adversary_hunt.rs` so the report
+    // stays fast; the committed proof schedules under `tests/schedules/`
+    // come from the full default budget.
+    let cfg = SearchConfig {
+        random_probes: 16,
+        hill_rounds: 6,
+        candidates_per_round: 6,
+        ..SearchConfig::default()
+    };
+    let root = NodeId::new(0);
+    let families = [
+        (
+            "gnp n=12",
+            generators::connected_gnp(12, 0.3, generators::WeightDist::Uniform(1, 16), 42),
+        ),
+        (
+            "sparse-heavy n=14",
+            generators::sparse_heavy_path(14, 100, 3),
+        ),
+    ];
+    for (family, g) in &families {
+        let mut outcomes = vec![
+            (
+                "CON_flood",
+                find_worst_schedule(g, |v, _| Flood::new(v == root), &cfg),
+            ),
+            (
+                "DFS",
+                find_worst_schedule(g, |v, g| Dfs::new(v, g, root), &cfg),
+            ),
+            ("MST_ghs", find_worst_schedule(g, Ghs::new, &cfg)),
+            (
+                // Single-strip SPT_recur = chaotic Bellman–Ford: the one
+                // Figure-4 regime whose message set depends on delivery
+                // order, so the searched adversary beats WorstCase.
+                "SPT_recur Δ=∞",
+                find_worst_schedule(g, |v, _| SptRecur::new(v, root, 1 << 40), &cfg),
+            ),
+        ];
+        for (name, out) in outcomes.drain(..) {
+            println!(
+                "{}",
+                row(
+                    &[
+                        name.to_string(),
+                        family.to_string(),
+                        out.worst_case.get().to_string(),
+                        out.best_time.get().to_string(),
+                        format!("{:.3}", out.gap()),
+                        out.strategy.to_string(),
+                    ],
+                    &widths
+                )
+            );
+        }
+    }
+    println!("gap = searched/WorstCase completion time. Flood/DFS/GHS are timing-");
+    println!("monotone here (every delay pattern delivers the same message set,");
+    println!("so stretching all delays to w(e) is already the maximum — gap 1);");
+    println!("chaotic Bellman–Ford re-relaxes along delivery order and a searched");
+    println!("schedule provably exceeds the uniform worst case.");
+}
+
 fn main() {
     println!("Cost-Sensitive Analysis of Communication Protocols — reproduction report");
     println!("(Awerbuch, Baratz, Peleg; PODC 1990 / MIT-LCS-TM-453)");
@@ -821,6 +908,7 @@ fn main() {
     synchronizer_overhead();
     controller();
     companions();
+    adversary_gap();
     println!();
     println!("{:=^78}", " end of report ");
 }

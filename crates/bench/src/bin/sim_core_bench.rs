@@ -1,22 +1,26 @@
-//! Events-per-second microbench: the flat-array event core
-//! ([`Simulator`]) against the retained `HashMap` reference core
-//! ([`BaselineSimulator`]) on the Figure-3 MST workloads, running GHS —
-//! the chattiest protocol in the workspace.
+//! Events-per-second microbench covering both executors: the flat-array
+//! asynchronous event core ([`Simulator`]) against the retained
+//! `HashMap` reference core ([`BaselineSimulator`]) running GHS — the
+//! chattiest protocol in the workspace — plus the lock-step
+//! [`SyncRunner`] running `SPT_synch`, all on the Figure-3 MST
+//! workloads.
 //!
 //! ```text
 //! cargo run -p csp-bench --release --bin sim_core_bench [-- out.json]
 //! ```
 //!
 //! Writes a hand-rolled JSON report (default `BENCH_sim_core.json`)
-//! with per-workload and aggregate events/sec for both cores and the
-//! speedup ratio. "Event" = one delivered message; with no
-//! communication budget both cores deliver every message they meter,
-//! so the event counts are identical by construction (and asserted).
+//! with per-workload and aggregate events/sec for both asynchronous
+//! cores, the speedup ratio, and the synchronous executor's rate.
+//! "Event" = one delivered message; with no communication budget both
+//! asynchronous cores deliver every message they meter, so their event
+//! counts are identical by construction (and asserted).
 
 use csp_algo::mst::ghs::Ghs;
+use csp_algo::spt::synch::SptSynch;
 use csp_bench::fig3_workloads;
-use csp_graph::WeightedGraph;
-use csp_sim::{BaselineSimulator, DelayModel, Simulator};
+use csp_graph::{NodeId, WeightedGraph};
+use csp_sim::{BaselineSimulator, DelayModel, Simulator, SyncRunner};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -54,6 +58,16 @@ fn run_baseline(g: &WeightedGraph, seed: u64) -> u64 {
         .seed(seed)
         .run(Ghs::new)
         .expect("baseline GHS run");
+    black_box(out.cost.messages)
+}
+
+fn run_sync(g: &WeightedGraph, _seed: u64) -> u64 {
+    // SPT_synch is deterministic (lock-step), so the seed is unused; the
+    // sweep still runs once per seed to keep the rep structure of the
+    // async measurements.
+    let out = SyncRunner::new(g)
+        .run(|v, _| SptSynch::new(v, NodeId::new(0)))
+        .expect("synchronous SPT run");
     black_box(out.cost.messages)
 }
 
@@ -96,57 +110,70 @@ fn main() {
     let mut rows = Vec::new();
     let (mut base_events, mut base_secs) = (0u64, 0.0f64);
     let (mut flat_events, mut flat_secs) = (0u64, 0.0f64);
+    let (mut sync_events, mut sync_secs) = (0u64, 0.0f64);
 
     for w in &workloads {
-        // Interleave the two cores per workload so thermal / allocator
-        // drift hits both sides equally.
+        // Interleave the cores per workload so thermal / allocator
+        // drift hits all sides equally.
         let base = measure(&w.graph, run_baseline);
         let flat = measure(&w.graph, run_flat);
+        let sync = measure(&w.graph, run_sync);
         assert_eq!(
             base.events, flat.events,
-            "{}: the two cores must deliver identical event counts",
+            "{}: the two async cores must deliver identical event counts",
             w.name
         );
         let speedup = flat.eps() / base.eps();
         eprintln!(
-            "{:<24} events/rep {:>8}  baseline {:>12.0} ev/s  flat {:>12.0} ev/s  speedup {speedup:.2}x",
+            "{:<24} events/rep {:>8}  baseline {:>12.0} ev/s  flat {:>12.0} ev/s  speedup {speedup:.2}x  sync {:>12.0} ev/s",
             w.name,
             base.events / (REPS as u64 * SEEDS.len() as u64),
             base.eps(),
             flat.eps(),
+            sync.eps(),
         );
         base_events += base.events;
         base_secs += base.secs;
         flat_events += flat.events;
         flat_secs += flat.secs;
+        sync_events += sync.events;
+        sync_secs += sync.secs;
         rows.push(format!(
             concat!(
                 "    {{\"workload\": \"{}\", \"events\": {}, ",
-                "\"baseline_eps\": {:.0}, \"flat_eps\": {:.0}, \"speedup\": {:.3}}}"
+                "\"baseline_eps\": {:.0}, \"flat_eps\": {:.0}, \"speedup\": {:.3}, ",
+                "\"sync_events\": {}, \"sync_eps\": {:.0}}}"
             ),
             json_escape(&w.name),
             base.events,
             base.eps(),
             flat.eps(),
             speedup,
+            sync.events,
+            sync.eps(),
         ));
     }
 
     let baseline_eps = base_events as f64 / base_secs;
     let flat_eps = flat_events as f64 / flat_secs;
+    let sync_eps = sync_events as f64 / sync_secs;
     let speedup = flat_eps / baseline_eps;
-    eprintln!("aggregate: baseline {baseline_eps:.0} ev/s, flat {flat_eps:.0} ev/s, speedup {speedup:.2}x");
+    eprintln!(
+        "aggregate: baseline {baseline_eps:.0} ev/s, flat {flat_eps:.0} ev/s, speedup {speedup:.2}x, sync {sync_eps:.0} ev/s"
+    );
 
     let json = format!(
         "{{\n  \"bench\": \"sim_core_events_per_second\",\n  \"protocol\": \"GHS (MST)\",\n  \
+         \"sync_protocol\": \"SPT_synch (lock-step SyncRunner)\",\n  \
          \"delay_model\": \"WorstCase\",\n  \"seeds_per_workload\": {},\n  \"reps\": {},\n  \
          \"baseline_eps\": {:.0},\n  \"flat_eps\": {:.0},\n  \"speedup\": {:.3},\n  \
-         \"per_workload\": [\n{}\n  ]\n}}\n",
+         \"sync_eps\": {:.0},\n  \"per_workload\": [\n{}\n  ]\n}}\n",
         SEEDS.len(),
         REPS,
         baseline_eps,
         flat_eps,
         speedup,
+        sync_eps,
         rows.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("write bench JSON");

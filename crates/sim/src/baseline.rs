@@ -16,14 +16,12 @@
 //! comparisons must not set a budget.
 
 use crate::cost::{CostClass, CostReport};
-use crate::delay::DelayModel;
+use crate::delay::{DelayModel, DelayOracle, ModelOracle, MsgInfo};
 use crate::process::{Context, Process};
 use crate::runtime::{Run, SimError};
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceEvent};
 use csp_graph::{NodeId, WeightedGraph};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -93,15 +91,34 @@ impl<'g> BaselineSimulator<'g> {
     ///
     /// Returns [`SimError::EventLimitExceeded`] if the protocol does not
     /// quiesce within the event budget.
-    pub fn run<P, F>(&self, mut make: F) -> Result<Run<P>, SimError>
+    pub fn run<P, F>(&self, make: F) -> Result<Run<P>, SimError>
     where
         P: Process,
         F: FnMut(NodeId, &WeightedGraph) -> P,
     {
+        self.run_with_oracle(&mut ModelOracle::new(self.delay, self.seed), make)
+    }
+
+    /// Runs with every message's delay decided by `oracle` — the same
+    /// dispatch-time hook as
+    /// [`Simulator::run_with_oracle`](crate::Simulator::run_with_oracle),
+    /// so the differential suite can compare both cores under arbitrary
+    /// adversaries. The configured [`DelayModel`] and seed are ignored on
+    /// this path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventLimitExceeded`] if the protocol does not
+    /// quiesce within the event budget.
+    pub fn run_with_oracle<P, F, O>(&self, oracle: &mut O, mut make: F) -> Result<Run<P>, SimError>
+    where
+        P: Process,
+        F: FnMut(NodeId, &WeightedGraph) -> P,
+        O: DelayOracle + ?Sized,
+    {
         let g = self.graph;
         let n = g.node_count();
         let mut states: Vec<P> = g.nodes().map(|v| make(v, g)).collect();
-        let mut rng = StdRng::seed_from_u64(self.seed);
         let mut cost = CostReport::new(g.edge_count());
 
         // Min-heap of (time, seq) -> delivery.
@@ -128,14 +145,26 @@ impl<'g> BaselineSimulator<'g> {
                         fifo_floor: &mut std::collections::HashMap<usize, SimTime>,
                         seq: &mut u64,
                         cost: &mut CostReport,
-                        rng: &mut StdRng| {
+                        oracle: &mut O| {
             for (to, msg, class) in outbox {
                 let eid = g
                     .edge_between(from, to)
                     .expect("context validated the neighbor");
                 let w = g.weight(eid);
+                let index = cost.messages;
                 cost.record_send(eid, w, class);
-                let mut arrival = now + self.delay.sample(w, rng);
+                let delay = oracle
+                    .delay(&MsgInfo {
+                        index,
+                        edge: eid,
+                        dir: u8::from(g.edge(eid).u() != from),
+                        weight: w,
+                        from,
+                        to,
+                        sent: now,
+                    })
+                    .clamp(1, w.get());
+                let mut arrival = now + delay;
                 let key = from.index() * n + to.index();
                 if let Some(&floor) = fifo_floor.get(&key) {
                     arrival = arrival.max(floor);
@@ -169,7 +198,7 @@ impl<'g> BaselineSimulator<'g> {
                 &mut fifo_floor,
                 &mut seq,
                 &mut cost,
-                &mut rng,
+                &mut *oracle,
             );
         }
 
@@ -220,7 +249,7 @@ impl<'g> BaselineSimulator<'g> {
                 &mut fifo_floor,
                 &mut seq,
                 &mut cost,
-                &mut rng,
+                &mut *oracle,
             );
         }
 

@@ -1,15 +1,26 @@
-//! Edge delay models.
+//! Edge delay models and the dispatch-time delay oracle.
 //!
 //! The paper's time complexity is defined against an adversary that may
 //! delay each message on edge `e` by anything in `[0, w(e)]`. The
-//! simulator realizes a spectrum of adversaries. Delays are quantized to
-//! at least one tick so that every run has finitely many events per time
-//! unit; this shifts the adversary's range to `[1, w(e)]`, which changes
-//! no asymptotic statement (all weights are ≥ 1).
+//! simulator realizes a spectrum of adversaries, from the fixed per-edge
+//! policies of [`DelayModel`] up to fully general per-message
+//! [`DelayOracle`]s (the `csp-adversary` crate builds schedule search,
+//! record/replay and counterexample shrinking on top of the oracle hook).
+//!
+//! **Quantization deviation (stated here, once).** Delays are quantized
+//! to at least one tick so that every run has finitely many events per
+//! time unit; this shifts the adversary's range from the paper's
+//! `[0, w(e)]` to `[1, w(e)]`, which changes no asymptotic statement
+//! (all weights are ≥ 1). The runtime enforces the range by clamping
+//! every oracle decision into `[1, w(e)]`. This is the one in-code home
+//! of the deviation; the corresponding row of DESIGN.md's
+//! implementation-deviation table links back here so the two cannot
+//! drift.
 
-use csp_graph::Weight;
+use crate::time::SimTime;
+use csp_graph::{EdgeId, NodeId, Weight};
 use rand::rngs::StdRng;
-use rand::RngExt;
+use rand::{RngExt, SeedableRng};
 
 /// How message delays are chosen.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -46,6 +57,90 @@ impl DelayModel {
             }
             DelayModel::Eager => 1,
         }
+    }
+}
+
+/// Everything known about one message at the moment its delay is decided
+/// (dispatch time), handed to a [`DelayOracle`].
+///
+/// `index` is the global dispatch index: the i-th metered send of the run
+/// has `index == i`. Runs are deterministic given an oracle, so the index
+/// names the same message across a record/replay pair — the property the
+/// `csp-adversary` schedule format relies on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MsgInfo {
+    /// Global dispatch index of this message (0-based send order).
+    pub index: u64,
+    /// The edge the message crosses.
+    pub edge: EdgeId,
+    /// Direction bit: `0` when the sender is the edge's `u` endpoint,
+    /// `1` otherwise — the same encoding as the runtime's FIFO channels.
+    pub dir: u8,
+    /// Weight of the edge (the adversary may pick any delay in
+    /// `[1, w]`).
+    pub weight: Weight,
+    /// Sending vertex.
+    pub from: NodeId,
+    /// Receiving vertex.
+    pub to: NodeId,
+    /// Simulated time at which the message is sent.
+    pub sent: SimTime,
+}
+
+/// Decides each message's delay at dispatch time.
+///
+/// This is the simulator's adversary interface: the oracle sees the full
+/// dispatch context ([`MsgInfo`]) and returns a delay in ticks. The
+/// runtime clamps the returned value into `[1, w(e)]` (see the
+/// [module docs](self) for why the floor is 1), and per-directed-edge
+/// FIFO order is still enforced afterwards, so an oracle can never
+/// reorder a channel — only stretch or squeeze it.
+///
+/// Oracles are stateful (`&mut self`): recording, replaying and
+/// search-strategy oracles all need memory. The fixed [`DelayModel`]
+/// policies are re-expressed as the stateless-per-message
+/// [`ModelOracle`].
+pub trait DelayOracle {
+    /// Returns the delay, in ticks, of the message described by `msg`.
+    ///
+    /// Values outside `[1, w(e)]` are clamped by the runtime, so `0`
+    /// means "as fast as the model allows" and `u64::MAX` means "as slow
+    /// as the adversary may be".
+    fn delay(&mut self, msg: &MsgInfo) -> u64;
+}
+
+/// A [`DelayModel`] plus its seeded generator, as a [`DelayOracle`].
+///
+/// [`Simulator::run`](crate::Simulator::run) is defined as
+/// `run_with_oracle` over a `ModelOracle`, so a model-driven run and the
+/// equivalent oracle-driven run are bit-identical by construction
+/// (pinned by the `flat_core_differential` suite).
+#[derive(Clone, Debug)]
+pub struct ModelOracle {
+    model: DelayModel,
+    rng: StdRng,
+}
+
+impl ModelOracle {
+    /// Wraps `model` with a generator seeded from `seed` — the same
+    /// construction [`Simulator::run`](crate::Simulator::run) uses.
+    pub fn new(model: DelayModel, seed: u64) -> Self {
+        ModelOracle {
+            model,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl DelayOracle for ModelOracle {
+    fn delay(&mut self, msg: &MsgInfo) -> u64 {
+        self.model.sample(msg.weight, &mut self.rng)
+    }
+}
+
+impl<O: DelayOracle + ?Sized> DelayOracle for &mut O {
+    fn delay(&mut self, msg: &MsgInfo) -> u64 {
+        (**self).delay(msg)
     }
 }
 
@@ -94,5 +189,30 @@ mod tests {
     fn eager_is_one() {
         let mut rng = StdRng::seed_from_u64(0);
         assert_eq!(DelayModel::Eager.sample(Weight::new(50), &mut rng), 1);
+    }
+
+    fn info(index: u64, w: u64) -> MsgInfo {
+        MsgInfo {
+            index,
+            edge: EdgeId::new(0),
+            dir: 0,
+            weight: Weight::new(w),
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+            sent: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn model_oracle_matches_direct_sampling() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut oracle = ModelOracle::new(DelayModel::Uniform, 9);
+        for i in 0..50 {
+            let w = 1 + i % 13;
+            assert_eq!(
+                oracle.delay(&info(i, w)),
+                DelayModel::Uniform.sample(Weight::new(w), &mut rng)
+            );
+        }
     }
 }

@@ -69,7 +69,7 @@ pub mod trace;
 
 pub use baseline::BaselineSimulator;
 pub use cost::{CostClass, CostReport};
-pub use delay::DelayModel;
+pub use delay::{DelayModel, DelayOracle, ModelOracle, MsgInfo};
 pub use process::{Context, Process};
 pub use runtime::{Run, SimError, Simulator};
 pub use sweep::{par_map, summarize, SweepGrid, SweepPoint, SweepRun, SweepSummary};

@@ -22,13 +22,11 @@
 //! single message weight.
 
 use crate::cost::{CostClass, CostReport};
-use crate::delay::DelayModel;
+use crate::delay::{DelayModel, DelayOracle, ModelOracle, MsgInfo};
 use crate::process::{Context, Process};
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceEvent};
 use csp_graph::{EdgeId, NodeId, WeightedGraph};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::error::Error;
@@ -222,20 +220,45 @@ impl<'g> Simulator<'g> {
         self
     }
 
-    /// Runs `make(v, graph)`-constructed processes to quiescence.
+    /// Runs `make(v, graph)`-constructed processes to quiescence under
+    /// the configured [`DelayModel`].
+    ///
+    /// Defined as [`Simulator::run_with_oracle`] over a [`ModelOracle`],
+    /// so model-driven and oracle-driven runs are bit-identical by
+    /// construction.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::EventLimitExceeded`] if the protocol does not
     /// quiesce within the event budget.
-    pub fn run<P, F>(&self, mut make: F) -> Result<Run<P>, SimError>
+    pub fn run<P, F>(&self, make: F) -> Result<Run<P>, SimError>
     where
         P: Process,
         F: FnMut(NodeId, &WeightedGraph) -> P,
     {
+        self.run_with_oracle(&mut ModelOracle::new(self.delay, self.seed), make)
+    }
+
+    /// Runs `make(v, graph)`-constructed processes to quiescence with
+    /// every message's delay decided by `oracle` at dispatch time.
+    ///
+    /// The oracle's decisions are clamped into `[1, w(e)]` (the paper's
+    /// adversary range, quantized — see the [`crate::delay`] module
+    /// docs), and per-directed-edge FIFO order is enforced afterwards.
+    /// The configured [`DelayModel`] and seed are ignored on this path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventLimitExceeded`] if the protocol does not
+    /// quiesce within the event budget.
+    pub fn run_with_oracle<P, F, O>(&self, oracle: &mut O, mut make: F) -> Result<Run<P>, SimError>
+    where
+        P: Process,
+        F: FnMut(NodeId, &WeightedGraph) -> P,
+        O: DelayOracle + ?Sized,
+    {
         let g = self.graph;
         let mut states: Vec<P> = g.nodes().map(|v| make(v, g)).collect();
-        let mut rng = StdRng::seed_from_u64(self.seed);
         let mut cost = CostReport::new(g.edge_count());
         let mut core: EventCore<P::Msg> = EventCore::new(g.edge_count());
         let mut truncated = false;
@@ -252,7 +275,7 @@ impl<'g> Simulator<'g> {
                         core: &mut EventCore<P::Msg>,
                         cost: &mut CostReport,
                         truncated: &mut bool,
-                        rng: &mut StdRng| {
+                        oracle: &mut O| {
             for ((to, msg, class), eid) in outbox.drain(..).zip(out_edges.drain(..)) {
                 // Budget check happens *before* metering: the send that
                 // crossed the limit was the last one paid for, so the
@@ -266,9 +289,21 @@ impl<'g> Simulator<'g> {
                     continue;
                 }
                 let w = g.weight(eid);
+                let index = cost.messages;
                 cost.record_send(eid, w, class);
                 let channel = core.channel(g, eid, from);
-                let arrival = (now + self.delay.sample(w, rng)).max(core.fifo_floor[channel]);
+                let delay = oracle
+                    .delay(&MsgInfo {
+                        index,
+                        edge: eid,
+                        dir: (channel & 1) as u8,
+                        weight: w,
+                        from,
+                        to,
+                        sent: now,
+                    })
+                    .clamp(1, w.get());
+                let arrival = (now + delay).max(core.fifo_floor[channel]);
                 core.fifo_floor[channel] = arrival;
                 core.push(
                     arrival,
@@ -297,7 +332,7 @@ impl<'g> Simulator<'g> {
                 &mut core,
                 &mut cost,
                 &mut truncated,
-                &mut rng,
+                &mut *oracle,
             );
         }
 
@@ -334,7 +369,7 @@ impl<'g> Simulator<'g> {
                 &mut core,
                 &mut cost,
                 &mut truncated,
-                &mut rng,
+                &mut *oracle,
             );
         }
 

@@ -20,7 +20,10 @@
 //! * [`control`] — execution-tree resource controllers;
 //! * [`algo`] — the paper's protocols: flooding, DFS, global functions,
 //!   MST (centralized / GHS / fast / hybrid), SPT (centralized /
-//!   recursive / synchronous / hybrid), connectivity, distributed SLT.
+//!   recursive / synchronous / hybrid), connectivity, distributed SLT;
+//! * [`adversary`] — adversarial delay-schedule search, record/replay
+//!   and counterexample shrinking over the simulator's
+//!   [`DelayOracle`](csp_sim::DelayOracle) hook.
 //!
 //! # Quickstart
 //!
@@ -53,6 +56,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub use csp_adversary as adversary;
 pub use csp_algo as algo;
 pub use csp_control as control;
 pub use csp_graph as graph;
@@ -61,6 +65,10 @@ pub use csp_sync as sync;
 
 /// The most commonly used items, in one import.
 pub mod prelude {
+    pub use csp_adversary::{
+        check_time_bound, find_worst_schedule, replay, shrink, CriticalPathOracle, Fallback,
+        GridPoint, Recorder, Schedule, ScheduleOracle, SearchConfig, SearchOutcome,
+    };
     pub use csp_algo::con_hybrid::{connectivity_pivot, run_con_hybrid};
     pub use csp_algo::dfs::run_dfs;
     pub use csp_algo::flood::run_flood;
@@ -83,7 +91,8 @@ pub mod prelude {
     pub use csp_sim::sweep::{par_map, summarize, SweepGrid, SweepPoint, SweepRun, SweepSummary};
     pub use csp_sim::sync::{SyncContext, SyncProcess, SyncRunner};
     pub use csp_sim::{
-        BaselineSimulator, Context, CostClass, CostReport, DelayModel, Process, SimTime, Simulator,
+        BaselineSimulator, Context, CostClass, CostReport, DelayModel, DelayOracle, ModelOracle,
+        MsgInfo, Process, SimTime, Simulator,
     };
     pub use csp_sync::clock::{run_alpha_star, run_beta_star, run_gamma_star};
     pub use csp_sync::net::{

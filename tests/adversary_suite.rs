@@ -1,0 +1,181 @@
+//! The `csp-adversary` acceptance suite: replay determinism, committed
+//! beating schedules, and paper-bound compliance under searched
+//! adversaries.
+//!
+//! The committed schedules under `tests/schedules/` were produced by
+//! `examples/adversary_hunt.rs` (deterministic search, default
+//! [`SearchConfig`]) and are the proof artifacts that a searched
+//! adversary strictly beats `DelayModel::WorstCase` on single-strip
+//! `SPT_recur` — the chaotic-Bellman–Ford regime, whose *message set*
+//! depends on delivery order. Regenerate them with
+//! `cargo run --release --example adversary_hunt -- tests/schedules`.
+
+use cost_sensitive::algo::mst::ghs::Ghs;
+use cost_sensitive::algo::spt::recur::SptRecur;
+use cost_sensitive::prelude::*;
+use std::path::PathBuf;
+
+/// Strip depth putting `SPT_recur` in its single-strip (plain
+/// Bellman–Ford) regime on every test instance.
+const ONE_STRIP: u64 = 1 << 40;
+
+fn schedule_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/schedules")
+}
+
+/// The committed beating points: family label, instance, and the
+/// completion time the committed schedule must replay to. The
+/// `WorstCase` baseline is recomputed fresh, so the "beats" assertion
+/// can never drift out of sync with the simulator.
+fn committed_points() -> Vec<(&'static str, WeightedGraph, u64)> {
+    vec![
+        (
+            "gnp-n12",
+            generators::connected_gnp(12, 0.3, generators::WeightDist::Uniform(1, 16), 42),
+            92,
+        ),
+        (
+            "gnp-n16",
+            generators::connected_gnp(16, 0.25, generators::WeightDist::Uniform(1, 32), 7),
+            152,
+        ),
+        (
+            "heavy-chord-n12",
+            generators::heavy_chord_cycle(12, 64),
+            200,
+        ),
+        (
+            "sparse-heavy-n14",
+            generators::sparse_heavy_path(14, 100, 3),
+            1101,
+        ),
+    ]
+}
+
+fn make_recur(v: NodeId, _: &WeightedGraph) -> SptRecur {
+    SptRecur::new(v, NodeId::new(0), ONE_STRIP)
+}
+
+#[test]
+fn committed_schedules_beat_worst_case() {
+    for (label, g, expected) in committed_points() {
+        let worst = Simulator::new(&g)
+            .delay(DelayModel::WorstCase)
+            .run(make_recur)
+            .unwrap();
+        let schedule =
+            Schedule::load(&schedule_dir().join(format!("spt-recur-{label}.schedule"))).unwrap();
+
+        // Replay through an inspectable oracle: a committed schedule
+        // must reproduce its run without a single fallback decision.
+        let mut oracle = ScheduleOracle::new(&schedule);
+        let replayed = Simulator::new(&g)
+            .run_with_oracle(&mut oracle, make_recur)
+            .unwrap();
+        assert_eq!(oracle.divergences, 0, "{label}: replay diverged");
+        assert_eq!(
+            replayed.cost.completion.get(),
+            expected,
+            "{label}: committed schedule no longer replays to its recorded time"
+        );
+        assert!(
+            replayed.cost.completion > worst.cost.completion,
+            "{label}: searched schedule ({}) must beat WorstCase ({})",
+            replayed.cost.completion,
+            worst.cost.completion,
+        );
+    }
+}
+
+#[test]
+fn committed_schedules_respect_paper_time_and_comm_envelopes() {
+    // Chaotic Bellman–Ford envelopes, generous constants in the style of
+    // `tests/paper_bounds.rs`: at most n sequential relaxation waves,
+    // each reaching depth D̂ and possibly relaxing one non-shortest-path
+    // edge of delay up to W; and O(n·Ê) weighted communication (every
+    // vertex improves its distance at most n times, each improvement
+    // relaxing each incident edge once, plus the Start/Ack overhead).
+    for (label, g, _) in committed_points() {
+        let p = CostParams::of(&g);
+        let schedule =
+            Schedule::load(&schedule_dir().join(format!("spt-recur-{label}.schedule"))).unwrap();
+        let run = replay(&g, make_recur, &schedule);
+        let time_bound = (p.weighted_diameter.get() + p.max_weight.get() as u128) * p.n as u128;
+        assert!(
+            u128::from(run.cost.completion.get()) <= time_bound,
+            "{label}: searched time {} exceeds n·(D̂ + W) = {time_bound}",
+            run.cost.completion,
+        );
+        let comm_bound = p.total_weight.get() * 4 * p.n as u128;
+        assert!(
+            run.cost.weighted_comm.get() <= comm_bound,
+            "{label}: searched comm {} exceeds 4·n·Ê = {comm_bound}",
+            run.cost.weighted_comm,
+        );
+    }
+}
+
+#[test]
+fn searched_ghs_schedule_keeps_figure_3_comm_bound() {
+    // The searched adversary may stretch GHS's completion time, but its
+    // weighted communication must stay inside the paper's
+    // O(Ê + V̂·log n) Figure-3 bound (same constants as
+    // `tests/paper_bounds.rs`).
+    let g = generators::connected_gnp(12, 0.3, generators::WeightDist::Uniform(1, 16), 42);
+    let p = CostParams::of(&g);
+    let cfg = SearchConfig {
+        random_probes: 8,
+        hill_rounds: 2,
+        candidates_per_round: 4,
+        ..SearchConfig::default()
+    };
+    let out = find_worst_schedule(&g, Ghs::new, &cfg);
+    let run = replay(&g, Ghs::new, &out.schedule);
+    assert_eq!(run.cost.completion, out.best_time);
+    let log2c = (p.n.max(2) as f64).log2().ceil() as u128;
+    let bound = (p.total_weight + p.mst_weight * log2c) * 5;
+    assert!(
+        run.cost.weighted_comm <= bound,
+        "searched GHS comm {} exceeds 5·(Ê + V̂·log n) = {bound}",
+        run.cost.weighted_comm,
+    );
+}
+
+#[test]
+fn record_then_replay_reproduces_the_run_exactly() {
+    let g = generators::connected_gnp(14, 0.3, generators::WeightDist::Uniform(1, 24), 9);
+    let mut recorder = Recorder::new(ModelOracle::new(DelayModel::Uniform, 5));
+    let recorded = Simulator::new(&g)
+        .record_trace(1 << 16)
+        .run_with_oracle(&mut recorder, Ghs::new)
+        .unwrap();
+    let schedule = recorder.into_schedule(Fallback::WorstCase);
+
+    let mut oracle = ScheduleOracle::new(&schedule);
+    let replayed = Simulator::new(&g)
+        .record_trace(1 << 16)
+        .run_with_oracle(&mut oracle, Ghs::new)
+        .unwrap();
+
+    assert_eq!(oracle.divergences, 0);
+    assert_eq!(recorded.cost, replayed.cost);
+    assert_eq!(recorded.trace.events(), replayed.trace.events());
+    assert_eq!(recorded.truncated, replayed.truncated);
+    // Final per-vertex states, compared structurally via Debug (protocol
+    // states are not PartialEq).
+    assert_eq!(
+        format!("{:?}", recorded.states),
+        format!("{:?}", replayed.states)
+    );
+}
+
+#[test]
+fn committed_schedule_files_round_trip_textually() {
+    for (label, _, _) in committed_points() {
+        let path = schedule_dir().join(format!("spt-recur-{label}.schedule"));
+        let schedule = Schedule::load(&path).unwrap();
+        assert!(!schedule.is_empty(), "{label}");
+        let reparsed = Schedule::from_text(&schedule.to_text()).unwrap();
+        assert_eq!(schedule, reparsed, "{label}");
+    }
+}

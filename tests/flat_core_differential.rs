@@ -3,9 +3,10 @@
 //! `HashMap`-based reference implementation
 //! ([`BaselineSimulator`](cost_sensitive::sim::BaselineSimulator)) —
 //! same [`CostReport`], same delivery trace, across graph families,
-//! delay models and seeds. No communication budget is set here: the two
-//! cores intentionally differ in budget enforcement (the baseline keeps
-//! the historical late check).
+//! delay models, dispatch-time delay *oracles* and seeds — and every
+//! trace passes the per-channel FIFO validator. No communication budget
+//! is set here: the two cores intentionally differ in budget enforcement
+//! (the baseline keeps the historical late check).
 
 use cost_sensitive::algo::mst::ghs::Ghs;
 use cost_sensitive::prelude::*;
@@ -31,6 +32,38 @@ fn arb_delay() -> impl Strategy<Value = DelayModel> {
         2 => DelayModel::Proportional { num: 1, den: 2 },
         _ => DelayModel::Eager,
     })
+}
+
+/// How to build a [`DelayOracle`] for the oracle-driven differential
+/// property: the fixed models re-expressed as oracles, the adversary
+/// crate's critical-path greedy, and replay of a mutated recording
+/// (which exercises the fallback path on divergence).
+#[derive(Clone, Copy, Debug)]
+enum OracleSpec {
+    Model(DelayModel, u64),
+    CriticalPath,
+    MutatedReplay { seed: u64, flips: usize },
+}
+
+fn arb_oracle() -> impl Strategy<Value = OracleSpec> {
+    (0u8..4, arb_delay(), any::<u64>(), 1u64..12).prop_map(|(kind, m, seed, flips)| match kind {
+        0 | 1 => OracleSpec::Model(m, seed),
+        2 => OracleSpec::CriticalPath,
+        _ => OracleSpec::MutatedReplay {
+            seed,
+            flips: flips as usize,
+        },
+    })
+}
+
+fn oracle_for<'s>(spec: &OracleSpec, mutant: Option<&'s Schedule>) -> Box<dyn DelayOracle + 's> {
+    match spec {
+        OracleSpec::Model(m, s) => Box::new(ModelOracle::new(*m, *s)),
+        OracleSpec::CriticalPath => Box::new(CriticalPathOracle::new()),
+        OracleSpec::MutatedReplay { .. } => {
+            Box::new(ScheduleOracle::new(mutant.expect("mutant prepared")))
+        }
+    }
 }
 
 /// A deliberately chatty protocol: floods, then every vertex bounces a
@@ -119,6 +152,42 @@ proptest! {
             .record_trace(1 << 16)
             .run(mk)
             .unwrap();
+        prop_assert_eq!(&flat.cost, &base.cost);
+        prop_assert_eq!(flat.trace.events(), base.trace.events());
+    }
+
+    /// Arbitrary delay *oracles* — not just the fixed models — keep the
+    /// two cores bit-identical, and every resulting trace passes the
+    /// per-channel FIFO validator from `csp_sim::trace`.
+    #[test]
+    fn oracle_runs_are_fifo_and_identical_on_both_cores(
+        g in arb_graph(),
+        spec in arb_oracle(),
+    ) {
+        let mutant = match spec {
+            OracleSpec::MutatedReplay { seed, flips } => {
+                let mut rec = Recorder::new(ModelOracle::new(DelayModel::WorstCase, 0));
+                Simulator::new(&g).run_with_oracle(&mut rec, Ghs::new).unwrap();
+                Some(cost_sensitive::adversary::mutate(
+                    &rec.into_schedule(Fallback::Rush),
+                    seed,
+                    flips,
+                ))
+            }
+            _ => None,
+        };
+        let mut flat_oracle = oracle_for(&spec, mutant.as_ref());
+        let flat = Simulator::new(&g)
+            .record_trace(1 << 16)
+            .run_with_oracle(&mut *flat_oracle, Ghs::new)
+            .unwrap();
+        let mut base_oracle = oracle_for(&spec, mutant.as_ref());
+        let base = BaselineSimulator::new(&g)
+            .record_trace(1 << 16)
+            .run_with_oracle(&mut *base_oracle, Ghs::new)
+            .unwrap();
+        prop_assert!(flat.trace.is_fifo(), "flat core violated channel FIFO");
+        prop_assert!(base.trace.is_fifo(), "baseline violated channel FIFO");
         prop_assert_eq!(&flat.cost, &base.cost);
         prop_assert_eq!(flat.trace.events(), base.trace.events());
     }
