@@ -17,7 +17,10 @@
 //!   exactly (plain-text format, no external dependencies);
 //! * [`find_worst_schedule`] — seeded random probes, the
 //!   [`CriticalPathOracle`] greedy and hill-climbing mutation, fanned
-//!   out in parallel through [`csp_sim::sweep::par_map`];
+//!   out in parallel through [`csp_sim::sweep::par_map_with`] with a
+//!   pooled evaluator per worker; hill-climb candidates resume from
+//!   [checkpoints](csp_sim::Checkpoint) of the incumbent's run instead
+//!   of replaying from scratch;
 //! * [`check_time_bound`] — refutes a claimed time bound on a
 //!   protocol × graph grid and [`shrink`]s any violating schedule,
 //!   proptest-style, to a 1-minimal replayable counterexample on disk.
@@ -30,6 +33,7 @@
 //! use csp_graph::NodeId;
 //! use csp_sim::{Context, Process};
 //!
+//! #[derive(Clone)]
 //! struct Flood { seen: bool }
 //! impl Process for Flood {
 //!     type Msg = ();

@@ -16,30 +16,53 @@ use std::collections::BinaryHeap;
 pub struct Recorder<O> {
     inner: O,
     decisions: Vec<Decision>,
+    /// Message index the recording starts at — non-zero when transcribing
+    /// a run resumed from a [`csp_sim::Checkpoint`], whose first decision
+    /// carries the checkpoint's message count as its index.
+    offset: u64,
 }
 
 impl<O: DelayOracle> Recorder<O> {
     /// Starts recording on top of `inner`.
     pub fn new(inner: O) -> Self {
+        Self::with_offset(inner, 0)
+    }
+
+    /// Starts recording a run that resumes mid-schedule: the first
+    /// decision observed is expected to carry index `start_index`.
+    /// [`Recorder::into_decisions`] then yields only the suffix, to be
+    /// spliced after the prefix the checkpoint already covers.
+    pub fn with_offset(inner: O, start_index: u64) -> Self {
         Recorder {
             inner,
             decisions: Vec::new(),
+            offset: start_index,
         }
     }
 
     /// Finishes the recording into a schedule with the given fallback.
+    ///
+    /// Only meaningful for recordings started at index 0 ([`Recorder::new`]);
+    /// offset recordings are a suffix, not a standalone schedule.
     pub fn into_schedule(self, fallback: Fallback) -> Schedule {
+        debug_assert_eq!(self.offset, 0, "offset recordings are not full schedules");
         Schedule {
             decisions: self.decisions,
             fallback,
         }
+    }
+
+    /// The raw recorded decisions, in dispatch order, starting at the
+    /// recorder's offset.
+    pub fn into_decisions(self) -> Vec<Decision> {
+        self.decisions
     }
 }
 
 impl<O: DelayOracle> DelayOracle for Recorder<O> {
     fn delay(&mut self, msg: &MsgInfo) -> u64 {
         let d = self.inner.delay(msg).clamp(1, msg.weight.get());
-        debug_assert_eq!(msg.index, self.decisions.len() as u64);
+        debug_assert_eq!(msg.index, self.offset + self.decisions.len() as u64);
         self.decisions.push(Decision {
             index: msg.index,
             edge: msg.edge,

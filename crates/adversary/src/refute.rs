@@ -141,7 +141,8 @@ pub fn check_time_bound<P, F, B>(
     out_dir: Option<&Path>,
 ) -> Vec<Refutation>
 where
-    P: Process,
+    P: Process + Clone + Sync,
+    P::Msg: Clone + Sync,
     F: Fn(NodeId, &WeightedGraph) -> P + Sync,
     B: Fn(&GridPoint) -> u64,
 {
@@ -204,6 +205,7 @@ mod tests {
     use csp_sim::{Context, DelayModel, ModelOracle};
 
     /// Token ring: node 0 sends a token once around the cycle.
+    #[derive(Clone)]
     struct Ring {
         done: bool,
     }

@@ -195,28 +195,50 @@ impl Schedule {
     }
 
     /// Writes the schedule to `path`, prefixing `header` lines as `#`
-    /// comments (pass `&[]` for none).
+    /// comments (pass `&[]` for none). Decision lines stream through a
+    /// [`BufWriter`](std::io::BufWriter), so large schedules (searched
+    /// runs easily record tens of thousands of decisions) never
+    /// materialize as one giant in-memory string.
     ///
     /// # Errors
     ///
     /// Propagates the underlying I/O error.
     pub fn save(&self, path: &Path, header: &[String]) -> std::io::Result<()> {
-        let mut text = String::new();
+        use std::io::Write;
+        let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
         for h in header {
-            text.push_str(&format!("# {h}\n"));
+            writeln!(w, "# {h}")?;
         }
-        text.push_str(&self.to_text());
-        std::fs::write(path, text)
+        writeln!(w, "csp-adversary-schedule v1")?;
+        match self.fallback {
+            Fallback::WorstCase => writeln!(w, "fallback worst-case")?,
+            Fallback::Rush => writeln!(w, "fallback rush")?,
+        }
+        writeln!(w, "# index edge dir weight delay")?;
+        for d in &self.decisions {
+            writeln!(
+                w,
+                "d {} {} {} {} {}",
+                d.index,
+                d.edge.index(),
+                d.dir,
+                d.weight,
+                d.delay
+            )?;
+        }
+        w.flush()
     }
 
-    /// Reads and parses a schedule from `path`.
+    /// Reads and parses a schedule from `path`, buffering the read.
     ///
     /// # Errors
     ///
     /// I/O errors pass through; parse failures surface as
     /// [`std::io::ErrorKind::InvalidData`].
     pub fn load(path: &Path) -> std::io::Result<Schedule> {
-        let text = std::fs::read_to_string(path)?;
+        use std::io::Read;
+        let mut text = String::new();
+        std::io::BufReader::new(std::fs::File::open(path)?).read_to_string(&mut text)?;
         Schedule::from_text(&text)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
@@ -285,6 +307,30 @@ mod tests {
     #[test]
     fn rushed_counts_sub_worst_case_decisions() {
         assert_eq!(sample().rushed(), 1);
+    }
+
+    #[test]
+    fn save_load_round_trips_a_large_schedule() {
+        // 10k+ decisions: exercises the buffered writer/reader paths on a
+        // schedule the size the search actually records.
+        let decisions: Vec<Decision> = (0..10_500u64)
+            .map(|i| Decision {
+                index: i,
+                edge: EdgeId::new((i % 37) as usize),
+                dir: (i % 2) as u8,
+                weight: 1 + i % 50,
+                delay: 1 + (i * 7) % (1 + i % 50),
+            })
+            .collect();
+        let s = Schedule {
+            decisions,
+            fallback: Fallback::Rush,
+        };
+        let path = std::env::temp_dir().join("csp-adversary-large-roundtrip.schedule");
+        s.save(&path, &["large round-trip".to_string()]).unwrap();
+        let loaded = Schedule::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, s);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Schedule-space search: seeded random probes, the critical-path
 //! greedy, and hill-climbing mutation — all fanned out through
-//! [`csp_sim::sweep::par_map`].
+//! [`csp_sim::sweep::par_map_with`] with a pooled evaluator per worker.
 //!
 //! Every strategy records the schedule it actually ran (via
 //! [`Recorder`]), so [`SearchOutcome::schedule`] always replays to
@@ -8,17 +8,54 @@
 //! deterministic: fixed seeds, order-preserving parallel map, and
 //! strict-improvement adoption, so two searches with the same config
 //! find the same schedule regardless of thread count.
+//!
+//! # Incremental candidate evaluation
+//!
+//! Hill-climb and polish candidates are mutations of the incumbent
+//! schedule: they agree with it on every decision before the first
+//! mutated index. The search therefore
+//! [checkpoints](csp_sim::Checkpoint) the incumbent's run at regular
+//! message intervals and evaluates each candidate by *resuming* from the
+//! last checkpoint at or before its first mutated decision, replaying
+//! only the suffix. Resumption is bit-identical to a cold run (pinned by
+//! the checkpoint-equivalence proptests in
+//! `tests/flat_core_differential.rs`), so this is purely a performance
+//! change. Candidates are *scored* time-only (no recording); only an
+//! adopted winner is re-evaluated through a [`Recorder`], and its
+//! schedule is assembled as the shared prefix plus the resumed
+//! recording, exactly what a cold recorder would have transcribed.
+//!
+//! # Tail polish
+//!
+//! After hill climbing, `polish_passes` rounds of coordinate descent
+//! toggle one decision at a time to its extremes (rush = `1`,
+//! stretch = `weight`), sweeping the final quarter of the schedule from
+//! the tail backwards. The tail is where a toggle is cheapest to
+//! evaluate (suffix-only replay from a deep checkpoint) *and* most
+//! likely to move the completion time — it is the arrival time of a
+//! late message; global moves stay the hill phase's job, whose
+//! mutations already re-randomize arbitrary positions. Allocating the
+//! single-toggle budget to the cheap, high-leverage region is the
+//! cost-sensitive spending the checkpoint machinery exists for.
+//! Re-sweeping matters because each adoption rewrites the suffix behind
+//! it, exposing new profitable toggles. Adopting a toggle at position
+//! `k` keeps every checkpoint with `messages() <= k` valid (the prefix
+//! is unchanged), so a descending sweep never rebuilds the store
+//! mid-pass; it is truncated on adoption and rebuilt once at the end of
+//! an improving pass.
 
 use crate::oracle::{CriticalPathOracle, Recorder, ScheduleOracle};
 use crate::schedule::{Fallback, Schedule};
 use csp_graph::{NodeId, WeightedGraph};
-use csp_sim::sweep::par_map;
-use csp_sim::{DelayModel, DelayOracle, ModelOracle, Process, SimTime, Simulator};
+use csp_sim::sweep::{effective_threads, par_map_with};
+use csp_sim::{
+    Checkpoint, DelayModel, DelayOracle, EvalPool, ModelOracle, Process, SimTime, Simulator,
+};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-/// Search budget and seeding; the defaults complete in well under a
-/// second on Figure-2/3/4-sized instances.
+/// Search budget and seeding; the defaults complete in seconds on
+/// Figure-2/3/4-sized instances.
 #[derive(Clone, Copy, Debug)]
 pub struct SearchConfig {
     /// Uniform-delay random probes.
@@ -31,31 +68,50 @@ pub struct SearchConfig {
     pub flips: usize,
     /// Master seed; every probe and mutation seed derives from it.
     pub seed: u64,
-    /// Worker threads for the parallel fan-out (`0` = one per core).
+    /// Worker threads for the parallel fan-out: `0` means one per core,
+    /// and explicit requests are capped at the machine's available
+    /// parallelism (via [`effective_threads`], the same rule the sweep
+    /// driver uses).
     pub threads: usize,
+    /// Message interval between incumbent checkpoints for resumed
+    /// candidate evaluation. `0` (the default) sizes the interval
+    /// automatically from the incumbent schedule: one checkpoint per
+    /// ~1/32 of its decisions, but never more often than every 8
+    /// messages.
+    pub checkpoint_every: u64,
+    /// Coordinate-descent polish passes after hill climbing, each
+    /// sweeping the final quarter of the schedule from the tail (see the
+    /// [module docs](self)).
+    pub polish_passes: usize,
 }
 
 impl Default for SearchConfig {
     fn default() -> Self {
         SearchConfig {
-            random_probes: 32,
-            hill_rounds: 12,
-            candidates_per_round: 8,
+            random_probes: 64,
+            hill_rounds: 24,
+            candidates_per_round: 16,
             flips: 4,
             seed: 0,
             threads: 0,
+            checkpoint_every: 0,
+            polish_passes: 4,
         }
     }
 }
 
 impl SearchConfig {
     fn worker_threads(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
+        effective_threads(self.threads)
+    }
+
+    /// The checkpoint interval used for an incumbent of `schedule_len`
+    /// decisions (`checkpoint_every`, or the auto rule when it is 0).
+    fn interval_for(&self, schedule_len: usize) -> u64 {
+        if self.checkpoint_every > 0 {
+            self.checkpoint_every
         } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            (schedule_len as u64 / 32).max(8)
         }
     }
 }
@@ -75,9 +131,11 @@ pub struct SearchOutcome {
     /// replaying it reproduces that time exactly.
     pub schedule: Schedule,
     /// Which strategy found the best schedule: `"worst-case"`,
-    /// `"critical-path"`, `"random"` or `"hill-climb"`.
+    /// `"critical-path"`, `"random"`, `"hill-climb"` or `"polish"`.
     pub strategy: &'static str,
-    /// Total simulator runs spent.
+    /// Total simulator runs spent (checkpoint-resumed candidate
+    /// evaluations count as one run each, like the cold runs they
+    /// replace).
     pub evaluations: usize,
 }
 
@@ -113,6 +171,128 @@ where
     (run.cost.completion, rec.into_schedule(Fallback::WorstCase))
 }
 
+/// [`record_run`] through a pooled evaluator: same result, but the
+/// simulator state (slab, queue, cost meters) is recycled from `pool`.
+fn eval_recorded<P, F, O>(
+    sim: &Simulator<'_>,
+    pool: &mut EvalPool<P>,
+    make: &F,
+    oracle: O,
+) -> (SimTime, Schedule)
+where
+    P: Process,
+    F: Fn(NodeId, &WeightedGraph) -> P,
+    O: DelayOracle,
+{
+    let mut rec = Recorder::new(oracle);
+    let summary = sim
+        .eval(pool, &mut rec, |v, g| make(v, g))
+        .expect("protocol must quiesce under an admissible schedule");
+    (summary.completion, rec.into_schedule(Fallback::WorstCase))
+}
+
+/// Replays `schedule` (the incumbent: a faithful recording, so the
+/// replay never diverges) while snapshotting checkpoints every
+/// `interval` messages into `out`.
+fn rebuild_checkpoints<P, F>(
+    sim: &Simulator<'_>,
+    make: &F,
+    schedule: &Schedule,
+    interval: u64,
+    out: &mut Vec<Checkpoint<P>>,
+) where
+    P: Process + Clone,
+    F: Fn(NodeId, &WeightedGraph) -> P,
+{
+    out.clear();
+    let mut oracle = ScheduleOracle::new(schedule);
+    sim.run_with_checkpoints(&mut oracle, |v, g| make(v, g), interval, out)
+        .expect("incumbent schedule must replay to quiescence");
+    debug_assert_eq!(oracle.divergences, 0, "incumbent replay diverged");
+}
+
+/// First index at which `mutant`'s delays depart from the incumbent's —
+/// the first message where the candidate's run can diverge; everything
+/// before it is shared prefix. Mutation only rewrites delays, so
+/// comparing delays suffices.
+fn first_diff(incumbent: &Schedule, mutant: &Schedule) -> u64 {
+    incumbent
+        .decisions
+        .iter()
+        .zip(&mutant.decisions)
+        .position(|(a, b)| a.delay != b.delay)
+        .unwrap_or(mutant.decisions.len()) as u64
+}
+
+/// Scores one mutated candidate — completion time only, no recording —
+/// resuming from the deepest incumbent checkpoint at or before
+/// `first_diff` (cold-running only when the mutation lands before the
+/// first checkpoint). [`ScheduleOracle`] answers by message index, so it
+/// needs no positional state to resume mid-run.
+fn score_candidate_from<P, F>(
+    sim: &Simulator<'_>,
+    pool: &mut EvalPool<P>,
+    make: &F,
+    checkpoints: &[Checkpoint<P>],
+    mutant: &Schedule,
+    first_diff: u64,
+) -> SimTime
+where
+    P: Process + Clone,
+    F: Fn(NodeId, &WeightedGraph) -> P,
+{
+    let mut oracle = ScheduleOracle::new(mutant);
+    match checkpoints
+        .iter()
+        .rev()
+        .find(|cp| cp.messages() <= first_diff)
+    {
+        Some(cp) => sim.eval_resume(pool, cp, &mut oracle),
+        None => sim.eval(pool, &mut oracle, |v, g| make(v, g)),
+    }
+    .expect("protocol must quiesce under an admissible schedule")
+    .completion
+}
+
+/// Like [`score_candidate_from`], but records the candidate's run: the
+/// returned schedule is the shared prefix plus the resumed recording —
+/// the faithful transcript a cold [`Recorder`] would have produced.
+/// Only adopted winners pay for this.
+fn evaluate_candidate_from<P, F>(
+    sim: &Simulator<'_>,
+    pool: &mut EvalPool<P>,
+    make: &F,
+    checkpoints: &[Checkpoint<P>],
+    mutant: &Schedule,
+    first_diff: u64,
+) -> (SimTime, Schedule)
+where
+    P: Process + Clone,
+    P::Msg: Clone,
+    F: Fn(NodeId, &WeightedGraph) -> P,
+{
+    let Some(cp) = checkpoints
+        .iter()
+        .rev()
+        .find(|cp| cp.messages() <= first_diff)
+    else {
+        return eval_recorded(sim, pool, make, ScheduleOracle::new(mutant));
+    };
+    let mut rec = Recorder::with_offset(ScheduleOracle::new(mutant), cp.messages());
+    let summary = sim
+        .eval_resume(pool, cp, &mut rec)
+        .expect("protocol must quiesce under an admissible schedule");
+    let mut decisions = mutant.decisions[..cp.messages() as usize].to_vec();
+    decisions.extend(rec.into_decisions());
+    (
+        summary.completion,
+        Schedule {
+            decisions,
+            fallback: Fallback::WorstCase,
+        },
+    )
+}
+
 /// Re-randomizes `flips` decisions of `base`: each picked decision is set
 /// to rushed (`1`), stretched (`weight`) or a uniform point between.
 pub fn mutate(base: &Schedule, seed: u64, flips: usize) -> Schedule {
@@ -140,15 +320,20 @@ pub fn mutate(base: &Schedule, seed: u64, flips: usize) -> Schedule {
 /// also defines [`SearchOutcome::worst_case`]; (2) the
 /// [`CriticalPathOracle`] greedy; (3) `random_probes` uniform-delay
 /// probes in parallel; (4) `hill_rounds` rounds of parallel
-/// [`mutate`]-and-replay hill climbing from the incumbent. Strict
-/// improvement is required to adopt a candidate, and ties prefer the
-/// earlier strategy, so the outcome is deterministic.
+/// [`mutate`]-and-replay hill climbing from the incumbent, each
+/// candidate resumed from the incumbent's checkpoint store (see the
+/// [module docs](self)); (5) `polish_passes` of tail coordinate descent
+/// over single decisions. Strict improvement is required to adopt a
+/// candidate, and ties prefer the earlier strategy, so the outcome is
+/// deterministic.
 pub fn find_worst_schedule<P, F>(g: &WeightedGraph, make: F, cfg: &SearchConfig) -> SearchOutcome
 where
-    P: Process,
+    P: Process + Clone + Sync,
+    P::Msg: Clone + Sync,
     F: Fn(NodeId, &WeightedGraph) -> P + Sync,
 {
     let threads = cfg.worker_threads();
+    let sim = Simulator::new(g);
     let mut evaluations = 0usize;
 
     let (worst_case, worst_schedule) =
@@ -171,8 +356,8 @@ where
     let probe_seeds: Vec<u64> = (0..cfg.random_probes as u64)
         .map(|i| cfg.seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
         .collect();
-    let probes = par_map(&probe_seeds, threads, |&s| {
-        record_run(g, &make, ModelOracle::new(DelayModel::Uniform, s))
+    let probes = par_map_with(&probe_seeds, threads, EvalPool::new, |pool, &s| {
+        eval_recorded(&sim, pool, &make, ModelOracle::new(DelayModel::Uniform, s))
     });
     evaluations += probes.len();
     for (t, s) in probes {
@@ -181,21 +366,111 @@ where
         }
     }
 
+    let mut checkpoints: Vec<Checkpoint<P>> = Vec::new();
+    let mut main_pool = EvalPool::new();
+    if cfg.hill_rounds > 0 || cfg.polish_passes > 0 {
+        let interval = cfg.interval_for(best.schedule.len());
+        rebuild_checkpoints(&sim, &make, &best.schedule, interval, &mut checkpoints);
+        evaluations += 1;
+    }
     for round in 0..cfg.hill_rounds as u64 {
         let mutation_seeds: Vec<u64> = (0..cfg.candidates_per_round as u64)
             .map(|i| cfg.seed.wrapping_mul(0x100_0001b3) ^ (round << 32 | i))
             .collect();
         let incumbent = &best.schedule;
-        let candidates = par_map(&mutation_seeds, threads, |&ms| {
+        let store = &checkpoints;
+        let scores = par_map_with(&mutation_seeds, threads, EvalPool::new, |pool, &ms| {
             let mutant = mutate(incumbent, ms, cfg.flips);
-            record_run(g, &make, ScheduleOracle::new(&mutant))
+            let fd = first_diff(incumbent, &mutant);
+            score_candidate_from(&sim, pool, &make, store, &mutant, fd)
         });
-        evaluations += candidates.len();
-        for (t, s) in candidates {
-            if t > best.best_time {
-                (best.best_time, best.schedule, best.strategy) = (t, s, "hill-climb");
+        evaluations += scores.len();
+        // Adopt the round's best strict improvement (earliest on ties,
+        // matching a sequential `>` scan) and only then pay for its
+        // recording.
+        let mut winner: Option<(usize, SimTime)> = None;
+        for (i, &t) in scores.iter().enumerate() {
+            if t > winner.map_or(best.best_time, |(_, wt)| wt) {
+                winner = Some((i, t));
             }
         }
+        if let Some((i, t)) = winner {
+            let mutant = mutate(&best.schedule, mutation_seeds[i], cfg.flips);
+            let fd = first_diff(&best.schedule, &mutant);
+            let (rt, rs) =
+                evaluate_candidate_from(&sim, &mut main_pool, &make, &checkpoints, &mutant, fd);
+            evaluations += 1;
+            debug_assert_eq!(rt, t, "recorded winner must replay to its score");
+            (best.best_time, best.schedule, best.strategy) = (rt, rs, "hill-climb");
+            let interval = cfg.interval_for(best.schedule.len());
+            rebuild_checkpoints(&sim, &make, &best.schedule, interval, &mut checkpoints);
+            evaluations += 1;
+        }
+    }
+
+    // Tail polish: sequential coordinate descent over single decisions,
+    // each candidate resumed from the deepest prefix checkpoint (see the
+    // module docs). Deterministic by construction — fixed sweep order,
+    // strict-improvement adoption, no randomness.
+    let mut mutant = best.schedule.clone();
+    for _pass in 0..cfg.polish_passes {
+        let len = best.schedule.decisions.len();
+        if len == 0 {
+            break;
+        }
+        let lo = len.saturating_sub((len / 4).max(1));
+        let mut improved = false;
+        let mut k = len;
+        while k > lo {
+            k -= 1;
+            let d = best.schedule.decisions[k];
+            for target in [d.weight, 1] {
+                if target == d.delay {
+                    continue;
+                }
+                mutant.clone_from(&best.schedule);
+                mutant.decisions[k].delay = target;
+                let t = score_candidate_from(
+                    &sim,
+                    &mut main_pool,
+                    &make,
+                    &checkpoints,
+                    &mutant,
+                    k as u64,
+                );
+                evaluations += 1;
+                if t > best.best_time {
+                    let (rt, rs) = evaluate_candidate_from(
+                        &sim,
+                        &mut main_pool,
+                        &make,
+                        &checkpoints,
+                        &mutant,
+                        k as u64,
+                    );
+                    evaluations += 1;
+                    debug_assert_eq!(rt, t, "recorded winner must replay to its score");
+                    (best.best_time, best.schedule, best.strategy) = (rt, rs, "polish");
+                    improved = true;
+                    // The adopted run departs from the old incumbent at
+                    // message k, so checkpoints at or before k captured
+                    // identical state and stay valid; the rest are stale.
+                    checkpoints.retain(|cp| cp.messages() <= k as u64);
+                    break;
+                }
+            }
+            // Adoption may change the schedule's length; keep the sweep
+            // inside the new incumbent.
+            k = k.min(best.schedule.decisions.len());
+        }
+        if !improved {
+            // Converged: re-sweeping an unchanged incumbent re-scores
+            // identical candidates.
+            break;
+        }
+        let interval = cfg.interval_for(best.schedule.len());
+        rebuild_checkpoints(&sim, &make, &best.schedule, interval, &mut checkpoints);
+        evaluations += 1;
     }
 
     best.evaluations = evaluations;
@@ -209,6 +484,7 @@ mod tests {
     use csp_sim::Context;
 
     /// Minimal flooding protocol for search smoke tests.
+    #[derive(Clone)]
     struct Flood {
         seen: bool,
     }
@@ -268,6 +544,31 @@ mod tests {
     }
 
     #[test]
+    fn checkpointed_search_matches_cold_candidate_evaluation() {
+        // Force dense checkpoints and verify the search is insensitive to
+        // the interval: resumed evaluation is bit-identical to cold, so
+        // any `checkpoint_every` must produce the same outcome.
+        let g = small_graph();
+        let run = |every| {
+            let cfg = SearchConfig {
+                random_probes: 4,
+                hill_rounds: 4,
+                candidates_per_round: 4,
+                checkpoint_every: every,
+                ..SearchConfig::default()
+            };
+            find_worst_schedule(&g, |_, _| Flood { seen: false }, &cfg)
+        };
+        let dense = run(1);
+        let sparse = run(10_000); // only the post-start checkpoint applies
+        let auto = run(0);
+        assert_eq!(dense.best_time, sparse.best_time);
+        assert_eq!(dense.schedule, sparse.schedule);
+        assert_eq!(dense.best_time, auto.best_time);
+        assert_eq!(dense.schedule, auto.schedule);
+    }
+
+    #[test]
     fn mutate_keeps_delays_admissible() {
         let g = small_graph();
         let (_, base) = record_run(
@@ -280,5 +581,17 @@ mod tests {
         for d in &mutant.decisions {
             assert!(d.delay >= 1 && d.delay <= d.weight);
         }
+    }
+
+    #[test]
+    fn worker_threads_are_capped_at_the_machine() {
+        let cfg = SearchConfig {
+            threads: usize::MAX,
+            ..SearchConfig::default()
+        };
+        let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(cfg.worker_threads(), avail);
+        let auto = SearchConfig::default();
+        assert_eq!(auto.worker_threads(), avail);
     }
 }

@@ -64,7 +64,7 @@ pub enum RecurMsg {
 }
 
 /// Per-vertex state of `SPT_recur`.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct SptRecur {
     source: NodeId,
     delta: u64,
@@ -87,6 +87,51 @@ pub struct SptRecur {
     /// Source only: total vertices reached, and completion flag.
     total_reached: u64,
     finished: bool,
+}
+
+// Hand-written so `clone_from` reuses the `intro_children` buffer: the
+// adversary's checkpoint-restore path clones whole state vectors per
+// candidate, and `Vec<SptRecur>::clone_from` delegates element-wise.
+impl Clone for SptRecur {
+    fn clone(&self) -> Self {
+        SptRecur {
+            intro_children: self.intro_children.clone(),
+            ..*self
+        }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        let SptRecur {
+            source,
+            delta,
+            dist,
+            parent,
+            ref intro_children,
+            adopted,
+            engaged,
+            engager,
+            outstanding,
+            count_acc,
+            reached_this_episode,
+            strip,
+            total_reached,
+            finished,
+        } = *src;
+        self.intro_children.clone_from(intro_children);
+        self.source = source;
+        self.delta = delta;
+        self.dist = dist;
+        self.parent = parent;
+        self.adopted = adopted;
+        self.engaged = engaged;
+        self.engager = engager;
+        self.outstanding = outstanding;
+        self.count_acc = count_acc;
+        self.reached_this_episode = reached_this_episode;
+        self.strip = strip;
+        self.total_reached = total_reached;
+        self.finished = finished;
+    }
 }
 
 impl SptRecur {

@@ -1,0 +1,367 @@
+//! Candidate-evaluation throughput of the adversary search: the cold
+//! per-candidate evaluator the search shipped with (a fresh heap-core
+//! simulator and recorder per schedule) against the current one (pooled
+//! bucket-core simulator, candidates scored time-only by resuming from
+//! the incumbent's checkpoint store).
+//!
+//! ```text
+//! cargo run -p csp-bench --release --bin adversary_eval_bench \
+//!     [-- out.json [candidates_per_stream]]
+//! ```
+//!
+//! The workloads are the four committed `SPT_recur` witness instances
+//! from `tests/adversary_suite.rs` — the graphs the searched beating
+//! schedules live on. Two candidate streams are measured, mirroring the
+//! two phases of `csp_adversary::find_worst_schedule`:
+//!
+//! * **polish** (the headline `speedup`): single-decision rush/stretch
+//!   toggles swept from the schedule tail, exactly the candidate stream
+//!   of the search's polish phase — the phase the incremental-replay
+//!   machinery is built for. Resumes replay only the suffix past the
+//!   toggled position.
+//! * **hill** (`hill_speedup`): `flips`-decision random mutations, the
+//!   global-exploration stream. Its first mutated index is uniform, so
+//!   resume saves less; reported for transparency.
+//!
+//! Both evaluators run every candidate of both streams and must agree on
+//! its completion time (asserted per candidate). The report (default
+//! `BENCH_adversary_eval.json`) gives schedules evaluated per second
+//! before/after per stream, per workload and aggregate. The one-time
+//! cost of building the incumbent's checkpoint store — what the search
+//! pays when it adopts an incumbent — is charged to the polish stream's
+//! "after" timing.
+
+use csp_adversary::{mutate, Fallback, Recorder, Schedule, ScheduleOracle};
+use csp_algo::spt::recur::SptRecur;
+use csp_graph::{generators, NodeId, WeightedGraph};
+use csp_sim::{Checkpoint, CoreKind, DelayModel, EvalPool, ModelOracle, SimTime, Simulator};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Strip depth putting `SPT_recur` in its single-strip regime — the
+/// chaotic Bellman–Ford mode the committed witnesses exercise.
+const ONE_STRIP: u64 = 1 << 40;
+
+/// Decisions re-randomized per hill candidate (the search default).
+const FLIPS: usize = 4;
+
+/// Untimed candidates evaluated by each path before its timed loop.
+const WARMUP: usize = 4;
+
+fn make_recur(v: NodeId, _: &WeightedGraph) -> SptRecur {
+    SptRecur::new(v, NodeId::new(0), ONE_STRIP)
+}
+
+/// The committed witness instances of `tests/adversary_suite.rs`.
+fn witness_instances() -> Vec<(&'static str, WeightedGraph)> {
+    vec![
+        (
+            "gnp-n12",
+            generators::connected_gnp(12, 0.3, generators::WeightDist::Uniform(1, 16), 42),
+        ),
+        (
+            "gnp-n16",
+            generators::connected_gnp(16, 0.25, generators::WeightDist::Uniform(1, 32), 7),
+        ),
+        ("heavy-chord-n12", generators::heavy_chord_cycle(12, 64)),
+        (
+            "sparse-heavy-n14",
+            generators::sparse_heavy_path(14, 100, 3),
+        ),
+    ]
+}
+
+/// The evaluator the search launched with: a fresh simulator on the
+/// binary-heap core and a fresh recorder per candidate, replayed from
+/// message zero.
+fn eval_cold_heap(g: &WeightedGraph, mutant: &Schedule) -> SimTime {
+    let mut rec = Recorder::new(ScheduleOracle::new(mutant));
+    let run = Simulator::new(g)
+        .core(CoreKind::Heap)
+        .run_with_oracle(&mut rec, make_recur)
+        .expect("candidate must quiesce");
+    black_box(rec.into_schedule(Fallback::WorstCase));
+    run.cost.completion
+}
+
+/// The current scoring path: pooled bucket-core machine resumed from the
+/// deepest incumbent checkpoint at or before the candidate's first
+/// mutated decision, completion time only (mirrors
+/// `csp_adversary::search`; winners there pay a separate recorded
+/// re-evaluation, rare enough not to move throughput).
+fn score_resumed(
+    sim: &Simulator<'_>,
+    pool: &mut EvalPool<SptRecur>,
+    checkpoints: &[Checkpoint<SptRecur>],
+    mutant: &Schedule,
+    first_diff: u64,
+) -> SimTime {
+    let mut oracle = ScheduleOracle::new(mutant);
+    match checkpoints
+        .iter()
+        .rev()
+        .find(|cp| cp.messages() <= first_diff)
+    {
+        Some(cp) => sim.eval_resume(pool, cp, &mut oracle),
+        None => sim.eval(pool, &mut oracle, make_recur),
+    }
+    .expect("candidate must quiesce")
+    .completion
+}
+
+/// The polish-phase candidate stream for a fixed incumbent: rush/stretch
+/// toggles at positions sweeping the final quarter of the schedule from
+/// the tail, exactly the search's polish-pass shape. Whole passes repeat
+/// until at least `budget` candidates exist. Each candidate carries its
+/// first divergence index (the toggled position).
+fn polish_candidates(incumbent: &Schedule, budget: usize) -> Vec<(u64, Schedule)> {
+    let len = incumbent.decisions.len();
+    let lo = len.saturating_sub((len / 4).max(1));
+    let mut out = Vec::with_capacity(budget);
+    while out.len() < budget {
+        let produced = out.len();
+        for k in (lo..len).rev() {
+            let d = incumbent.decisions[k];
+            for target in [d.weight, 1] {
+                if target != d.delay {
+                    out.push((k as u64, incumbent.clone()));
+                    out.last_mut().unwrap().1.decisions[k].delay = target;
+                }
+            }
+        }
+        assert!(
+            out.len() > produced,
+            "incumbent admits no toggles in its tail (all weights 1?)"
+        );
+    }
+    out
+}
+
+/// The hill-phase candidate stream: random `FLIPS`-decision mutations,
+/// each carrying its first divergence index.
+fn hill_candidates(incumbent: &Schedule, budget: usize) -> Vec<(u64, Schedule)> {
+    (0..budget)
+        .map(|i| {
+            let m = mutate(incumbent, 0x5eed ^ i as u64, FLIPS);
+            let fd = incumbent
+                .decisions
+                .iter()
+                .zip(&m.decisions)
+                .position(|(a, b)| a.delay != b.delay)
+                .unwrap_or(m.decisions.len()) as u64;
+            (fd, m)
+        })
+        .collect()
+}
+
+struct StreamRate {
+    candidates: usize,
+    before_secs: f64,
+    after_secs: f64,
+}
+
+impl StreamRate {
+    fn before_eps(&self) -> f64 {
+        self.candidates as f64 / self.before_secs
+    }
+    fn after_eps(&self) -> f64 {
+        self.candidates as f64 / self.after_secs
+    }
+    fn speedup(&self) -> f64 {
+        self.after_eps() / self.before_eps()
+    }
+}
+
+/// Times one candidate stream through both evaluators and asserts they
+/// agree on every completion time. The two paths are interleaved in
+/// chunks so machine drift during the run hits both sides equally.
+/// `build_store` charges the checkpoint store construction to the
+/// "after" timing (the search pays it when it adopts an incumbent).
+#[allow(clippy::too_many_arguments)]
+fn bench_stream(
+    name: &str,
+    g: &WeightedGraph,
+    sim: &Simulator<'_>,
+    pool: &mut EvalPool<SptRecur>,
+    incumbent: &Schedule,
+    cps: &mut Vec<Checkpoint<SptRecur>>,
+    stream: &[(u64, Schedule)],
+    build_store: bool,
+) -> StreamRate {
+    let (warm, timed) = stream.split_at(WARMUP.min(stream.len().saturating_sub(1)));
+
+    let mut after_secs = 0.0f64;
+    if build_store {
+        let interval = (incumbent.decisions.len() as u64 / 32).max(8);
+        let start = Instant::now();
+        sim.run_with_checkpoints(
+            &mut ScheduleOracle::new(incumbent),
+            make_recur,
+            interval,
+            cps,
+        )
+        .expect("incumbent must quiesce");
+        after_secs += start.elapsed().as_secs_f64();
+    }
+    for (fd, m) in warm {
+        black_box(eval_cold_heap(g, m));
+        black_box(score_resumed(sim, pool, cps, m, *fd));
+    }
+
+    let mut before_secs = 0.0f64;
+    let mut before_times = Vec::with_capacity(timed.len());
+    let mut after_times = Vec::with_capacity(timed.len());
+    for chunk in timed.chunks(32) {
+        let start = Instant::now();
+        before_times.extend(chunk.iter().map(|(_, m)| black_box(eval_cold_heap(g, m))));
+        before_secs += start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        after_times.extend(
+            chunk
+                .iter()
+                .map(|(fd, m)| black_box(score_resumed(sim, pool, cps, m, *fd))),
+        );
+        after_secs += start.elapsed().as_secs_f64();
+    }
+
+    for (i, (b, a)) in before_times.iter().zip(&after_times).enumerate() {
+        assert_eq!(b, a, "{name}: candidate {i} diverged between evaluators");
+    }
+
+    StreamRate {
+        candidates: timed.len(),
+        before_secs,
+        after_secs,
+    }
+}
+
+struct WorkloadReport {
+    name: &'static str,
+    decisions: usize,
+    polish: StreamRate,
+    hill: StreamRate,
+}
+
+fn bench_workload(name: &'static str, g: &WeightedGraph, candidates: usize) -> WorkloadReport {
+    // The incumbent a search phase would refine: a recorded
+    // uniform-delay run (faithful recording, so replay never diverges).
+    let mut rec = Recorder::new(ModelOracle::new(DelayModel::Uniform, 0));
+    Simulator::new(g)
+        .run_with_oracle(&mut rec, make_recur)
+        .expect("incumbent must quiesce");
+    let incumbent = rec.into_schedule(Fallback::WorstCase);
+
+    let sim = Simulator::new(g);
+    let mut pool = EvalPool::new();
+    let mut cps: Vec<Checkpoint<SptRecur>> = Vec::new();
+
+    let polish_stream = polish_candidates(&incumbent, candidates + WARMUP);
+    let polish = bench_stream(
+        name,
+        g,
+        &sim,
+        &mut pool,
+        &incumbent,
+        &mut cps,
+        &polish_stream,
+        true,
+    );
+    let hill_stream = hill_candidates(&incumbent, candidates + WARMUP);
+    let hill = bench_stream(
+        name,
+        g,
+        &sim,
+        &mut pool,
+        &incumbent,
+        &mut cps,
+        &hill_stream,
+        false,
+    );
+
+    WorkloadReport {
+        name,
+        decisions: incumbent.decisions.len(),
+        polish,
+        hill,
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let out_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_adversary_eval.json".to_string());
+    let candidates: usize = args
+        .next()
+        .map(|s| s.parse().expect("candidate budget must be an integer"))
+        .unwrap_or(400);
+
+    let mut rows = Vec::new();
+    let (mut p_n, mut p_before, mut p_after) = (0usize, 0.0f64, 0.0f64);
+    let (mut h_n, mut h_before, mut h_after) = (0usize, 0.0f64, 0.0f64);
+    for (name, g) in witness_instances() {
+        let r = bench_workload(name, &g, candidates);
+        eprintln!(
+            "{:<18} decisions {:>5}  polish {:>8.0} -> {:>8.0} eval/s ({:.2}x)  hill {:>8.0} -> {:>8.0} eval/s ({:.2}x)",
+            r.name,
+            r.decisions,
+            r.polish.before_eps(),
+            r.polish.after_eps(),
+            r.polish.speedup(),
+            r.hill.before_eps(),
+            r.hill.after_eps(),
+            r.hill.speedup(),
+        );
+        p_n += r.polish.candidates;
+        p_before += r.polish.before_secs;
+        p_after += r.polish.after_secs;
+        h_n += r.hill.candidates;
+        h_before += r.hill.before_secs;
+        h_after += r.hill.after_secs;
+        rows.push(format!(
+            concat!(
+                "    {{\"workload\": \"{}\", \"decisions\": {}, \"candidates\": {}, ",
+                "\"before_eval_per_s\": {:.1}, \"after_eval_per_s\": {:.1}, ",
+                "\"speedup\": {:.3}, ",
+                "\"hill_before_eval_per_s\": {:.1}, \"hill_after_eval_per_s\": {:.1}, ",
+                "\"hill_speedup\": {:.3}}}"
+            ),
+            r.name,
+            r.decisions,
+            r.polish.candidates,
+            r.polish.before_eps(),
+            r.polish.after_eps(),
+            r.polish.speedup(),
+            r.hill.before_eps(),
+            r.hill.after_eps(),
+            r.hill.speedup(),
+        ));
+    }
+
+    let before_eps = p_n as f64 / p_before;
+    let after_eps = p_n as f64 / p_after;
+    let speedup = after_eps / before_eps;
+    let hill_before_eps = h_n as f64 / h_before;
+    let hill_after_eps = h_n as f64 / h_after;
+    let hill_speedup = hill_after_eps / hill_before_eps;
+    eprintln!(
+        "aggregate: polish {before_eps:.0} -> {after_eps:.0} eval/s ({speedup:.2}x), hill {hill_before_eps:.0} -> {hill_after_eps:.0} eval/s ({hill_speedup:.2}x)"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"adversary_candidate_evaluations_per_second\",\n  \
+         \"protocol\": \"SPT_recur (single strip)\",\n  \
+         \"before\": \"cold heap-core replay, fresh simulator and recorder per candidate\",\n  \
+         \"after\": \"pooled bucket core, checkpoint-resumed time-only scoring\",\n  \
+         \"headline_stream\": \"polish (tail rush/stretch toggles)\",\n  \
+         \"candidates_per_stream\": {candidates},\n  \"flips\": {FLIPS},\n  \
+         \"before_eval_per_s\": {before_eps:.1},\n  \"after_eval_per_s\": {after_eps:.1},\n  \
+         \"speedup\": {speedup:.3},\n  \
+         \"hill_before_eval_per_s\": {hill_before_eps:.1},\n  \
+         \"hill_after_eval_per_s\": {hill_after_eps:.1},\n  \
+         \"hill_speedup\": {hill_speedup:.3},\n  \"per_workload\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("write bench JSON");
+    eprintln!("wrote {out_path}");
+}

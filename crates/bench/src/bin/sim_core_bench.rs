@@ -1,17 +1,19 @@
-//! Events-per-second microbench covering both executors: the flat-array
-//! asynchronous event core ([`Simulator`]) against the retained
-//! `HashMap` reference core ([`BaselineSimulator`]) running GHS — the
-//! chattiest protocol in the workspace — plus the lock-step
-//! [`SyncRunner`] running `SPT_synch`, all on the Figure-3 MST
-//! workloads.
+//! Events-per-second microbench covering every executor: the flat-array
+//! asynchronous event core ([`Simulator`]) with its default bucket
+//! queue, the same core on the retained `BinaryHeap` reference queue
+//! ([`CoreKind::Heap`]), and the retained `HashMap` reference core
+//! ([`BaselineSimulator`]), all running GHS — the chattiest protocol in
+//! the workspace — plus the lock-step [`SyncRunner`] running
+//! `SPT_synch`, on the Figure-3 MST workloads.
 //!
 //! ```text
 //! cargo run -p csp-bench --release --bin sim_core_bench [-- out.json]
 //! ```
 //!
 //! Writes a hand-rolled JSON report (default `BENCH_sim_core.json`)
-//! with per-workload and aggregate events/sec for both asynchronous
-//! cores, the speedup ratio, and the synchronous executor's rate.
+//! with per-workload and aggregate events/sec for all asynchronous
+//! cores, the flat-vs-baseline speedup ratio, and the synchronous
+//! executor's rate.
 //! "Event" = one delivered message; with no communication budget both
 //! asynchronous cores deliver every message they meter, so their event
 //! counts are identical by construction (and asserted).
@@ -20,7 +22,7 @@ use csp_algo::mst::ghs::Ghs;
 use csp_algo::spt::synch::SptSynch;
 use csp_bench::fig3_workloads;
 use csp_graph::{NodeId, WeightedGraph};
-use csp_sim::{BaselineSimulator, DelayModel, Simulator, SyncRunner};
+use csp_sim::{BaselineSimulator, CoreKind, DelayModel, Simulator, SyncRunner};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -49,6 +51,16 @@ fn run_flat(g: &WeightedGraph, seed: u64) -> u64 {
         .seed(seed)
         .run(Ghs::new)
         .expect("flat GHS run");
+    black_box(out.cost.messages)
+}
+
+fn run_heap(g: &WeightedGraph, seed: u64) -> u64 {
+    let out = Simulator::new(g)
+        .core(CoreKind::Heap)
+        .delay(DelayModel::WorstCase)
+        .seed(seed)
+        .run(Ghs::new)
+        .expect("heap GHS run");
     black_box(out.cost.messages)
 }
 
@@ -110,25 +122,33 @@ fn main() {
     let mut rows = Vec::new();
     let (mut base_events, mut base_secs) = (0u64, 0.0f64);
     let (mut flat_events, mut flat_secs) = (0u64, 0.0f64);
+    let (mut heap_events, mut heap_secs) = (0u64, 0.0f64);
     let (mut sync_events, mut sync_secs) = (0u64, 0.0f64);
 
     for w in &workloads {
         // Interleave the cores per workload so thermal / allocator
         // drift hits all sides equally.
         let base = measure(&w.graph, run_baseline);
+        let heap = measure(&w.graph, run_heap);
         let flat = measure(&w.graph, run_flat);
         let sync = measure(&w.graph, run_sync);
         assert_eq!(
             base.events, flat.events,
-            "{}: the two async cores must deliver identical event counts",
+            "{}: the async cores must deliver identical event counts",
+            w.name
+        );
+        assert_eq!(
+            heap.events, flat.events,
+            "{}: the async cores must deliver identical event counts",
             w.name
         );
         let speedup = flat.eps() / base.eps();
         eprintln!(
-            "{:<24} events/rep {:>8}  baseline {:>12.0} ev/s  flat {:>12.0} ev/s  speedup {speedup:.2}x  sync {:>12.0} ev/s",
+            "{:<24} events/rep {:>8}  baseline {:>12.0} ev/s  heap {:>12.0} ev/s  flat {:>12.0} ev/s  speedup {speedup:.2}x  sync {:>12.0} ev/s",
             w.name,
             base.events / (REPS as u64 * SEEDS.len() as u64),
             base.eps(),
+            heap.eps(),
             flat.eps(),
             sync.eps(),
         );
@@ -136,17 +156,21 @@ fn main() {
         base_secs += base.secs;
         flat_events += flat.events;
         flat_secs += flat.secs;
+        heap_events += heap.events;
+        heap_secs += heap.secs;
         sync_events += sync.events;
         sync_secs += sync.secs;
         rows.push(format!(
             concat!(
                 "    {{\"workload\": \"{}\", \"events\": {}, ",
-                "\"baseline_eps\": {:.0}, \"flat_eps\": {:.0}, \"speedup\": {:.3}, ",
+                "\"baseline_eps\": {:.0}, \"heap_eps\": {:.0}, \"flat_eps\": {:.0}, ",
+                "\"speedup\": {:.3}, ",
                 "\"sync_events\": {}, \"sync_eps\": {:.0}}}"
             ),
             json_escape(&w.name),
             base.events,
             base.eps(),
+            heap.eps(),
             flat.eps(),
             speedup,
             sync.events,
@@ -156,21 +180,24 @@ fn main() {
 
     let baseline_eps = base_events as f64 / base_secs;
     let flat_eps = flat_events as f64 / flat_secs;
+    let heap_eps = heap_events as f64 / heap_secs;
     let sync_eps = sync_events as f64 / sync_secs;
     let speedup = flat_eps / baseline_eps;
     eprintln!(
-        "aggregate: baseline {baseline_eps:.0} ev/s, flat {flat_eps:.0} ev/s, speedup {speedup:.2}x, sync {sync_eps:.0} ev/s"
+        "aggregate: baseline {baseline_eps:.0} ev/s, heap {heap_eps:.0} ev/s, flat {flat_eps:.0} ev/s, speedup {speedup:.2}x, sync {sync_eps:.0} ev/s"
     );
 
     let json = format!(
         "{{\n  \"bench\": \"sim_core_events_per_second\",\n  \"protocol\": \"GHS (MST)\",\n  \
          \"sync_protocol\": \"SPT_synch (lock-step SyncRunner)\",\n  \
          \"delay_model\": \"WorstCase\",\n  \"seeds_per_workload\": {},\n  \"reps\": {},\n  \
-         \"baseline_eps\": {:.0},\n  \"flat_eps\": {:.0},\n  \"speedup\": {:.3},\n  \
+         \"baseline_eps\": {:.0},\n  \"heap_eps\": {:.0},\n  \"flat_eps\": {:.0},\n  \
+         \"speedup\": {:.3},\n  \
          \"sync_eps\": {:.0},\n  \"per_workload\": [\n{}\n  ]\n}}\n",
         SEEDS.len(),
         REPS,
         baseline_eps,
+        heap_eps,
         flat_eps,
         speedup,
         sync_eps,

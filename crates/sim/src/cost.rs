@@ -58,7 +58,7 @@ impl fmt::Display for CostClass {
 }
 
 /// Aggregate cost of a protocol run.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct CostReport {
     /// Total number of messages sent.
     pub messages: u64,
@@ -75,6 +75,31 @@ pub struct CostReport {
     pub per_edge_messages: Vec<u64>,
 }
 
+// Manual `Clone` so `clone_from` reuses the per-edge buffer — the hot
+// checkpoint-restore path in the pooled evaluator assigns reports in a
+// loop.
+impl Clone for CostReport {
+    fn clone(&self) -> Self {
+        CostReport {
+            messages: self.messages,
+            weighted_comm: self.weighted_comm,
+            completion: self.completion,
+            messages_by_class: self.messages_by_class,
+            comm_by_class: self.comm_by_class,
+            per_edge_messages: self.per_edge_messages.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        self.messages = src.messages;
+        self.weighted_comm = src.weighted_comm;
+        self.completion = src.completion;
+        self.messages_by_class = src.messages_by_class;
+        self.comm_by_class = src.comm_by_class;
+        self.per_edge_messages.clone_from(&src.per_edge_messages);
+    }
+}
+
 impl CostReport {
     /// Creates an empty report for a graph with `m` edges.
     pub fn new(m: usize) -> Self {
@@ -82,6 +107,18 @@ impl CostReport {
             per_edge_messages: vec![0; m],
             ..CostReport::default()
         }
+    }
+
+    /// Zeroes every meter in place for a graph with `m` edges, keeping
+    /// the per-edge buffer's allocation (pooled-evaluation reuse).
+    pub fn reset(&mut self, m: usize) {
+        self.messages = 0;
+        self.weighted_comm = Cost::default();
+        self.completion = SimTime::ZERO;
+        self.messages_by_class = [0; 4];
+        self.comm_by_class = [Cost::default(); 4];
+        self.per_edge_messages.clear();
+        self.per_edge_messages.resize(m, 0);
     }
 
     /// Meters one send of weight `w` on edge `e` under `class`.

@@ -61,6 +61,7 @@ pub mod baseline;
 pub mod cost;
 pub mod delay;
 pub mod process;
+pub mod queue;
 pub mod runtime;
 pub mod sweep;
 pub mod sync;
@@ -71,8 +72,11 @@ pub use baseline::BaselineSimulator;
 pub use cost::{CostClass, CostReport};
 pub use delay::{DelayModel, DelayOracle, ModelOracle, MsgInfo};
 pub use process::{Context, Process};
-pub use runtime::{Run, SimError, Simulator};
-pub use sweep::{par_map, summarize, SweepGrid, SweepPoint, SweepRun, SweepSummary};
+pub use runtime::{Checkpoint, CoreKind, EvalPool, EvalSummary, Run, SimError, Simulator};
+pub use sweep::{
+    effective_threads, par_map, par_map_with, summarize, SweepGrid, SweepPoint, SweepRun,
+    SweepSummary,
+};
 pub use sync::{SyncContext, SyncProcess, SyncRun, SyncRunner};
 pub use time::SimTime;
 pub use trace::{Trace, TraceEvent};

@@ -1,0 +1,692 @@
+//! Integer-keyed event queues: the bucket "ladder" behind the hot
+//! scheduling path, and the binary-heap reference it is checked against.
+//!
+//! # Why a bucket queue works here
+//!
+//! Both executors in this crate schedule events whose keys satisfy two
+//! structural properties (see the proofs sketched in DESIGN.md):
+//!
+//! 1. **Monotone pushes.** Every push happens while the queue's clock
+//!    sits at the last popped time `now`, and schedules an arrival
+//!    strictly greater than `now` (delays are quantized to ≥ 1 tick, and
+//!    the per-channel FIFO floor is itself a previously scheduled
+//!    arrival).
+//! 2. **Bounded span.** Every pending arrival lies in `(now, now + W]`
+//!    where `W` is the maximum edge weight: a fresh arrival is at most
+//!    `now + w(e) ≤ now + W`, and a FIFO-floored arrival *equals* an
+//!    earlier arrival, which is within the bound by induction.
+//!
+//! Under these two properties a circular array of `capacity ≥ W + 1`
+//! buckets indexed by `time mod capacity` holds every pending event with
+//! **at most one distinct timestamp per bucket**, so push is O(1) and
+//! pop is a bitmap scan. The global send-order sequence number makes
+//! same-time pops identical to the heap's `(time, seq)` order: pushes
+//! carry strictly increasing `seq`, so tail-append order inside a
+//! bucket's list *is* seq order.
+//!
+//! Weights larger than the bucket horizon (the capacity is capped — see
+//! [`BucketQueue::MAX_CAPACITY`]) fall back to an **overflow heap**:
+//! entries beyond `cur + capacity` wait there and are merged into the
+//! window, in seq order, before any pop that could overtake them. This
+//! keeps the queue exact for arbitrarily heavy edges at a small cost on
+//! that (rare) path.
+//!
+//! [`HeapQueue`] is the retained `BinaryHeap` implementation — the
+//! differential reference the proptests and the core microbench run the
+//! bucket queue against (`Simulator::core(CoreKind::Heap)`).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One scheduled entry: `(arrival time, global send sequence, payload
+/// slot)`. Ordering is lexicographic — time first, then seq — and the
+/// slot never participates in ordering decisions.
+pub type QueueEntry = (u64, u64, usize);
+
+/// A slab node: one pending entry plus the index of its bucket
+/// successor ([`NIL`]-terminated).
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    entry: QueueEntry,
+    next: u32,
+}
+
+/// Sentinel "no node" index for the intrusive bucket lists.
+const NIL: u32 = u32::MAX;
+
+/// Circular bucket ("calendar") queue with exact `(time, seq)` pop
+/// order, an O(1) amortized push, and a two-level-bitmap pop scan.
+///
+/// Buckets are intrusive singly-linked lists threaded through one slab
+/// `Vec` — a deliberate choice over `Vec<Vec<_>>`: adversary evaluation
+/// runs thousands of *short* simulations, and per-bucket vectors cost
+/// one malloc per first-touched bucket (≈ one per event on a cold run).
+/// The slab makes the whole queue a handful of flat allocations that a
+/// pooled simulator reuses wholesale.
+///
+/// See the [module docs](self) for the invariants this relies on; they
+/// are asserted in debug builds and pinned against [`HeapQueue`] and the
+/// baseline simulator by `tests/flat_core_differential.rs`.
+#[derive(Debug)]
+pub struct BucketQueue {
+    /// `head[t & mask]` / `tail[t & mask]` delimit the pending entries
+    /// of exactly one timestamp at any moment, linked in ascending seq
+    /// order through [`BucketQueue::nodes`].
+    head: Vec<u32>,
+    tail: Vec<u32>,
+    mask: u64,
+    /// Bit `b` set ⇔ bucket `b` is non-empty.
+    l0: Vec<u64>,
+    /// Bit `w` set ⇔ `l0[w] != 0` (capacity is capped so one summary
+    /// word always suffices).
+    l1: u64,
+    /// Entries currently threaded through the buckets.
+    bucketed: usize,
+    /// Slab of list nodes; free slots are chained through their own
+    /// `next` fields starting at [`BucketQueue::free_head`], so the slab
+    /// grows to the peak number of pending entries and stays there
+    /// without a side allocation.
+    nodes: Vec<Node>,
+    free_head: u32,
+    /// The last popped time; every pending entry is ≥ `cur` and every
+    /// bucketed entry is `< cur + capacity`.
+    cur: u64,
+    /// Entries scheduled at or beyond `cur + capacity`, merged into the
+    /// window lazily as `cur` advances.
+    overflow: BinaryHeap<Reverse<QueueEntry>>,
+}
+
+// Hand-written so `clone_from` reuses every flat allocation (all
+// element types are `Copy`, so the field copies are memcpys): the
+// checkpoint-resume path overwrites a pooled queue with a snapshotted
+// one per candidate, and the derived `clone_from` would reallocate.
+impl Clone for BucketQueue {
+    fn clone(&self) -> Self {
+        BucketQueue {
+            head: self.head.clone(),
+            tail: self.tail.clone(),
+            mask: self.mask,
+            l0: self.l0.clone(),
+            l1: self.l1,
+            bucketed: self.bucketed,
+            nodes: self.nodes.clone(),
+            free_head: self.free_head,
+            cur: self.cur,
+            overflow: self.overflow.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        self.head.clone_from(&src.head);
+        self.tail.clone_from(&src.tail);
+        self.mask = src.mask;
+        self.l0.clone_from(&src.l0);
+        self.l1 = src.l1;
+        self.bucketed = src.bucketed;
+        self.nodes.clone_from(&src.nodes);
+        self.free_head = src.free_head;
+        self.cur = src.cur;
+        self.overflow.clone_from(&src.overflow);
+    }
+}
+
+impl BucketQueue {
+    /// Hard cap on the bucket array. Kept deliberately small (2⁸ buckets
+    /// ≈ 6 KiB of headers): a short run on a heavy-weighted graph pays
+    /// the full window allocation up front, so a wide window would
+    /// dominate cold-start cost while buying nothing — entries beyond
+    /// the horizon ride the overflow heap and merge back in exactly.
+    /// One `u64` summary word covers `256 / 64 = 4` first-level words
+    /// with room to spare.
+    pub const MAX_CAPACITY: usize = 1 << 8;
+
+    /// Smallest bucket array worth the bitmap bookkeeping.
+    pub const MIN_CAPACITY: usize = 1 << 4;
+
+    /// Creates a queue sized for delays up to `max_delay` ticks: the
+    /// capacity is the next power of two above `max_delay + 1`, clamped
+    /// into `[MIN_CAPACITY, MAX_CAPACITY]`, so the common case (maximum
+    /// edge weight below the cap) never touches the overflow heap.
+    pub fn new(max_delay: u64) -> Self {
+        Self::with_capacity(Self::capacity_for(max_delay))
+    }
+
+    /// The bucket count [`BucketQueue::new`] would allocate for
+    /// `max_delay` — lets pools decide whether an existing queue's
+    /// window already suffices.
+    pub fn capacity_for(max_delay: u64) -> usize {
+        (max_delay.saturating_add(1).min(Self::MAX_CAPACITY as u64) as usize)
+            .next_power_of_two()
+            .clamp(Self::MIN_CAPACITY, Self::MAX_CAPACITY)
+    }
+
+    /// Creates a queue with an explicit bucket count (rounded up to a
+    /// power of two and clamped into `[MIN_CAPACITY, MAX_CAPACITY]`) —
+    /// mainly for tests that want to force the overflow path.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity
+            .next_power_of_two()
+            .clamp(Self::MIN_CAPACITY, Self::MAX_CAPACITY);
+        BucketQueue {
+            head: vec![NIL; capacity],
+            tail: vec![NIL; capacity],
+            mask: capacity as u64 - 1,
+            l0: vec![0; capacity.div_ceil(64)],
+            l1: 0,
+            bucketed: 0,
+            nodes: Vec::new(),
+            free_head: NIL,
+            cur: 0,
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    /// Takes a slab slot for `entry`, recycling freed slots first.
+    #[inline]
+    fn alloc(&mut self, entry: QueueEntry) -> u32 {
+        let node = Node { entry, next: NIL };
+        if self.free_head != NIL {
+            let i = self.free_head;
+            self.free_head = self.nodes[i as usize].next;
+            self.nodes[i as usize] = node;
+            i
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    /// Number of buckets (a power of two).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.mask as usize + 1
+    }
+
+    /// Total pending entries (bucketed + overflow).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bucketed + self.overflow.len()
+    }
+
+    /// Whether no entries are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes every pending entry and rewinds the clock to zero,
+    /// keeping all allocations (slab, bitmaps, overflow) for reuse.
+    pub fn clear(&mut self) {
+        for (w, &word) in self.l0.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = (w << 6) | bits.trailing_zeros() as usize;
+                self.head[b] = NIL;
+                self.tail[b] = NIL;
+                bits &= bits - 1;
+            }
+        }
+        self.l0.fill(0);
+        self.l1 = 0;
+        self.bucketed = 0;
+        self.nodes.clear();
+        self.free_head = NIL;
+        self.cur = 0;
+        self.overflow.clear();
+    }
+
+    #[inline]
+    fn set_bit(&mut self, b: usize) {
+        self.l0[b >> 6] |= 1 << (b & 63);
+        self.l1 |= 1 << (b >> 6);
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, b: usize) {
+        self.l0[b >> 6] &= !(1 << (b & 63));
+        if self.l0[b >> 6] == 0 {
+            self.l1 &= !(1 << (b >> 6));
+        }
+    }
+
+    /// Schedules `(time, seq, slot)`.
+    ///
+    /// `time` must be at least the last popped time, and `seq` strictly
+    /// greater than every previously pushed seq (both debug-asserted) —
+    /// exactly what the simulator's dispatch loop guarantees.
+    pub fn push(&mut self, time: u64, seq: u64, slot: usize) {
+        debug_assert!(
+            time >= self.cur,
+            "bucket queue requires monotone pushes: {time} < clock {}",
+            self.cur
+        );
+        if time - self.cur > self.mask {
+            self.overflow.push(Reverse((time, seq, slot)));
+            return;
+        }
+        let b = (time & self.mask) as usize;
+        let idx = self.alloc((time, seq, slot));
+        let t = self.tail[b];
+        if t == NIL {
+            self.head[b] = idx;
+            self.set_bit(b);
+        } else {
+            debug_assert!(
+                {
+                    let (pt, ps, _) = self.nodes[t as usize].entry;
+                    pt == time && ps < seq
+                },
+                "bucket {b} would mix timestamps or break seq order"
+            );
+            self.nodes[t as usize].next = idx;
+        }
+        self.tail[b] = idx;
+        self.bucketed += 1;
+    }
+
+    /// Merges every overflow entry that now falls inside the bucket
+    /// window `[cur, cur + capacity)`. Insertion keeps per-bucket seq
+    /// order (overflow entries may pre-date bucketed ones).
+    fn merge_overflow(&mut self) {
+        while let Some(&Reverse((t, _, _))) = self.overflow.peek() {
+            if t - self.cur > self.mask {
+                break;
+            }
+            let Reverse(e) = self.overflow.pop().expect("peeked entry");
+            let b = (t & self.mask) as usize;
+            let idx = self.alloc(e);
+            if self.head[b] == NIL {
+                self.head[b] = idx;
+                self.tail[b] = idx;
+                self.set_bit(b);
+            } else {
+                debug_assert_eq!(self.nodes[self.head[b] as usize].entry.0, t);
+                // Walk to the first node with a larger seq and splice in
+                // front of it; overflow entries may pre-date bucketed
+                // ones, but this path is rare by construction.
+                let mut prev = NIL;
+                let mut at = self.head[b];
+                while at != NIL && self.nodes[at as usize].entry.1 < e.1 {
+                    prev = at;
+                    at = self.nodes[at as usize].next;
+                }
+                self.nodes[idx as usize].next = at;
+                if prev == NIL {
+                    self.head[b] = idx;
+                } else {
+                    self.nodes[prev as usize].next = idx;
+                }
+                if at == NIL {
+                    self.tail[b] = idx;
+                }
+            }
+            self.bucketed += 1;
+        }
+    }
+
+    /// First non-empty bucket at circular distance ≥ 0 from `start`.
+    /// Must only be called while some bucket is non-empty.
+    fn next_set_from(&self, start: usize) -> usize {
+        let sw = start >> 6;
+        let within = self.l0[sw] & (u64::MAX << (start & 63));
+        if within != 0 {
+            return (sw << 6) | within.trailing_zeros() as usize;
+        }
+        // Later words, then wrap to the words at or before `sw`; `l1`
+        // has one bit per word, so each probe is a couple of masks.
+        let hi = if sw + 1 < 64 { u64::MAX << (sw + 1) } else { 0 };
+        let later = self.l1 & hi;
+        let w = if later != 0 {
+            later.trailing_zeros() as usize
+        } else {
+            debug_assert_ne!(self.l1, 0, "scan on an empty bucket queue");
+            self.l1.trailing_zeros() as usize
+        };
+        (w << 6) | self.l0[w].trailing_zeros() as usize
+    }
+
+    /// The timestamp the next [`BucketQueue::pop`] will return, without
+    /// consuming it.
+    ///
+    /// A pure peek: it must NOT advance the clock the way [`pop`]'s
+    /// window preparation does, because callers (the lock-step runner)
+    /// peek ahead and may still schedule sends from an earlier wake-up
+    /// pulse. The bucket scan alone is not enough — a pop advances the
+    /// window, and an overflow entry the window now covers (but which
+    /// [`pop`] has not merged yet) can undercut every bucketed time — so
+    /// the peek is the minimum over both sides.
+    ///
+    /// [`pop`]: BucketQueue::pop
+    pub fn next_time(&mut self) -> Option<u64> {
+        let bucketed = (self.bucketed > 0).then(|| {
+            let b = self.next_set_from((self.cur & self.mask) as usize);
+            self.nodes[self.head[b] as usize].entry.0
+        });
+        let overflowed = self.overflow.peek().map(|&Reverse((t, _, _))| t);
+        match (bucketed, overflowed) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Makes the bucket window authoritative: jumps the clock onto the
+    /// overflow head when the buckets ran dry, then merges every
+    /// overflow entry the window now covers. Returns `None` when the
+    /// queue is empty.
+    fn prepare_window(&mut self) -> Option<()> {
+        if self.bucketed == 0 {
+            let &Reverse((t, _, _)) = self.overflow.peek()?;
+            self.cur = t;
+        }
+        self.merge_overflow();
+        Some(())
+    }
+
+    /// Advances the window origin to `t` without popping — for executors
+    /// whose clock can jump ahead of the last delivery (the lock-step
+    /// runner's wake-up pulses). Valid only when no pending entry is
+    /// earlier than `t` (debug-asserted); entries the enlarged window now
+    /// covers migrate out of the overflow heap.
+    pub fn advance_to(&mut self, t: u64) {
+        if t <= self.cur {
+            return;
+        }
+        debug_assert!(self.next_time().is_none_or(|nt| nt >= t));
+        self.cur = t;
+        self.merge_overflow();
+    }
+
+    /// Removes and returns the minimum entry by `(time, seq)`.
+    pub fn pop(&mut self) -> Option<QueueEntry> {
+        // Window preparation only matters while overflow entries exist —
+        // skipping it keeps the common all-bucketed path branch-cheap.
+        if !self.overflow.is_empty() {
+            self.prepare_window()?;
+        } else if self.bucketed == 0 {
+            return None;
+        }
+        let b = self.next_set_from((self.cur & self.mask) as usize);
+        let h = self.head[b];
+        let Node { entry, next } = self.nodes[h as usize];
+        self.head[b] = next;
+        if next == NIL {
+            self.tail[b] = NIL;
+            self.clear_bit(b);
+        }
+        self.nodes[h as usize].next = self.free_head;
+        self.free_head = h;
+        self.bucketed -= 1;
+        self.cur = entry.0;
+        Some(entry)
+    }
+
+    /// Every pending entry in `(time, seq)` order — the checkpoint
+    /// serialization of the queue.
+    pub fn snapshot_sorted(&self) -> Vec<QueueEntry> {
+        let mut out: Vec<QueueEntry> = Vec::with_capacity(self.len());
+        for (w, &word) in self.l0.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = (w << 6) | bits.trailing_zeros() as usize;
+                let mut at = self.head[b];
+                while at != NIL {
+                    out.push(self.nodes[at as usize].entry);
+                    at = self.nodes[at as usize].next;
+                }
+                bits &= bits - 1;
+            }
+        }
+        out.extend(self.overflow.iter().map(|&Reverse(e)| e));
+        out.sort_unstable();
+        out
+    }
+
+    /// Replaces the contents with `entries` (must be `(time, seq)`
+    /// sorted, as produced by [`BucketQueue::snapshot_sorted`]) and sets
+    /// the clock to the earliest pending time.
+    pub fn restore(&mut self, entries: &[QueueEntry]) {
+        self.clear();
+        if let Some(&(t0, _, _)) = entries.first() {
+            self.cur = t0;
+        }
+        for &(t, s, slot) in entries {
+            self.push(t, s, slot);
+        }
+    }
+}
+
+/// The retained `BinaryHeap` scheduling queue — the reference
+/// implementation [`BucketQueue`] is differentially tested against, and
+/// the core behind [`CoreKind::Heap`](crate::runtime::CoreKind).
+#[derive(Debug, Default)]
+pub struct HeapQueue {
+    heap: BinaryHeap<Reverse<QueueEntry>>,
+}
+
+// Hand-written for a buffer-reusing `clone_from`, as on [`BucketQueue`].
+impl Clone for HeapQueue {
+    fn clone(&self) -> Self {
+        HeapQueue {
+            heap: self.heap.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        self.heap.clone_from(&src.heap);
+    }
+}
+
+impl HeapQueue {
+    /// Creates an empty heap queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total pending entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no entries are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes every pending entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Schedules `(time, seq, slot)`.
+    #[inline]
+    pub fn push(&mut self, time: u64, seq: u64, slot: usize) {
+        self.heap.push(Reverse((time, seq, slot)));
+    }
+
+    /// The timestamp the next pop will return.
+    pub fn next_time(&mut self) -> Option<u64> {
+        self.heap.peek().map(|&Reverse((t, _, _))| t)
+    }
+
+    /// Removes and returns the minimum entry by `(time, seq)`.
+    #[inline]
+    pub fn pop(&mut self) -> Option<QueueEntry> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    /// Every pending entry in `(time, seq)` order.
+    pub fn snapshot_sorted(&self) -> Vec<QueueEntry> {
+        let mut out: Vec<QueueEntry> = self.heap.iter().map(|&Reverse(e)| e).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Replaces the contents with `entries`.
+    pub fn restore(&mut self, entries: &[QueueEntry]) {
+        self.heap.clear();
+        self.heap.extend(entries.iter().map(|&e| Reverse(e)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// Drives both queues with an identical, simulator-shaped workload
+    /// (monotone pushes within a bounded span) and checks every pop.
+    fn differential(mut max_delay: u64, capacity: usize, seed: u64, ops: usize) {
+        max_delay = max_delay.max(1);
+        let mut bucket = BucketQueue::with_capacity(capacity);
+        let mut heap = HeapQueue::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for i in 0..ops {
+            // A burst of pushes from the current clock...
+            for _ in 0..rng.random_range(0..4u64) {
+                let t = now + rng.random_range(1..=max_delay);
+                bucket.push(t, seq, i);
+                heap.push(t, seq, i);
+                seq += 1;
+            }
+            // ...then pop one event, as the run loop does.
+            assert_eq!(bucket.next_time(), heap.next_time());
+            let (b, h) = (bucket.pop(), heap.pop());
+            assert_eq!(b, h, "divergence at op {i} (seed {seed})");
+            if let Some((t, _, _)) = b {
+                now = t;
+            }
+            assert_eq!(bucket.len(), heap.len());
+        }
+        // Drain to empty — still identical.
+        loop {
+            let (b, h) = (bucket.pop(), heap.pop());
+            assert_eq!(b, h);
+            if b.is_none() {
+                break;
+            }
+        }
+        assert!(bucket.is_empty());
+    }
+
+    #[test]
+    fn matches_heap_when_span_fits_window() {
+        for seed in 0..8 {
+            differential(60, 64, seed, 500);
+        }
+    }
+
+    #[test]
+    fn matches_heap_through_overflow() {
+        // Delays up to 500 on a 16-bucket window: almost everything
+        // takes the overflow path and must still pop in exact order.
+        for seed in 0..8 {
+            differential(500, 16, seed, 400);
+        }
+    }
+
+    #[test]
+    fn same_time_pops_in_seq_order() {
+        let mut q = BucketQueue::with_capacity(64);
+        for s in 0..10 {
+            q.push(5, s, s as usize);
+        }
+        for s in 0..10 {
+            assert_eq!(q.pop(), Some((5, s, s as usize)));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn overflow_entry_older_than_bucketed_pops_first() {
+        // seq 0 lands far out (overflow), seq 1 lands at the same time
+        // but is pushed later from a closer clock: the overflow entry
+        // must still pop first.
+        let mut q = BucketQueue::with_capacity(16);
+        q.push(100, 0, 0); // overflow (span 100 > 15)
+        q.push(1, 2, 2);
+        assert_eq!(q.pop(), Some((1, 2, 2))); // clock now 1
+        q.push(100, 3, 3); // within a later window after jumps
+        q.push(90, 4, 4); // overflow
+        assert_eq!(q.pop(), Some((90, 4, 4)));
+        assert_eq!(q.pop(), Some((100, 0, 0)));
+        assert_eq!(q.pop(), Some((100, 3, 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn peek_sees_unmerged_overflow_entries_and_keeps_the_clock_still() {
+        // A pop advances the window, after which a not-yet-merged
+        // overflow entry may undercut every bucketed time: peeking must
+        // report it, and must not advance the clock — the lock-step
+        // runner peeks ahead and may still push from an earlier pulse.
+        let mut q = BucketQueue::with_capacity(16);
+        q.push(5, 0, 0);
+        q.push(17, 1, 1); // 17 - 0 > 15: overflow
+        assert_eq!(q.pop(), Some((5, 0, 0))); // clock 5; 17 unmerged
+        q.push(19, 2, 2); // bucketed: 19 - 5 <= 15
+        assert_eq!(q.next_time(), Some(17));
+        // The peek must not have committed the clock to 17: a push at
+        // 6 (> the popped time 5) must still be admissible.
+        q.push(6, 3, 3);
+        assert_eq!(q.pop(), Some((6, 3, 3)));
+        assert_eq!(q.pop(), Some((17, 1, 1)));
+        assert_eq!(q.pop(), Some((19, 2, 2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let mut q = BucketQueue::with_capacity(32);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut now = 0;
+        for s in 0..50u64 {
+            q.push(now + rng.random_range(1..=200u64), s, s as usize);
+            if s % 3 == 0 {
+                if let Some((t, _, _)) = q.pop() {
+                    now = t;
+                }
+            }
+        }
+        let snap = q.snapshot_sorted();
+        assert!(snap.windows(2).all(|w| w[0] < w[1]), "snapshot sorted");
+        let mut restored = BucketQueue::with_capacity(32);
+        restored.restore(&snap);
+        let mut heap = HeapQueue::new();
+        heap.restore(&snap);
+        assert_eq!(restored.len(), heap.len());
+        loop {
+            let (a, b) = (restored.pop(), heap.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn clear_keeps_queue_reusable() {
+        let mut q = BucketQueue::new(100);
+        q.push(5, 0, 0);
+        q.push(900, 1, 1);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        q.push(3, 0, 7);
+        assert_eq!(q.pop(), Some((3, 0, 7)));
+    }
+
+    #[test]
+    fn capacity_is_clamped_and_sized_by_delay() {
+        assert_eq!(BucketQueue::new(0).capacity(), BucketQueue::MIN_CAPACITY);
+        assert_eq!(BucketQueue::new(100).capacity(), 128);
+        assert_eq!(
+            BucketQueue::new(u64::MAX).capacity(),
+            BucketQueue::MAX_CAPACITY
+        );
+    }
+}

@@ -6,9 +6,15 @@
 //!
 //! * In-flight messages live in a **slab** — a `Vec<Option<Delivery>>`
 //!   indexed by slot, with freed slots recycled through a free list. The
-//!   scheduling heap stores only `(arrival, seq, slot)` triples; `seq`
+//!   scheduling queue stores only `(arrival, seq, slot)` triples; `seq`
 //!   preserves global send order, so delivery order is identical to the
 //!   reference implementation in [`crate::baseline`].
+//! * The scheduling queue itself is a [`BucketQueue`] by default:
+//!   arrivals are monotone and within `max_weight` of the clock, so an
+//!   integer-keyed bucket ladder gives O(1) amortized push/pop (see
+//!   [`crate::queue`] for the invariants). The retained `BinaryHeap`
+//!   core stays selectable via [`Simulator::core`] as the differential
+//!   reference.
 //! * Per-directed-edge **FIFO floors** live in a flat `Vec<SimTime>` of
 //!   length `2·m`, indexed by `2·edge + direction` — no hashing, and no
 //!   `n²` table.
@@ -20,15 +26,32 @@
 //! *dispatch* time: the send that first pushes the metered cost past the
 //! budget is the last one accepted, so the overshoot is bounded by a
 //! single message weight.
+//!
+//! # Checkpoints and pooled evaluation
+//!
+//! For search workloads that re-simulate many near-identical runs (see
+//! `csp-adversary`), the runtime additionally supports:
+//!
+//! * [`Simulator::run_with_checkpoints`] — a run that snapshots its
+//!   complete state ([`Checkpoint`]) every time the metered message
+//!   count crosses a mark, and [`Simulator::resume`] /
+//!   [`Simulator::eval_resume`] which continue a run from a snapshot
+//!   under a (possibly different) oracle. A resumed run is bit-identical
+//!   to a cold run whose oracle agrees on every message index below the
+//!   checkpoint — the property the adversary's prefix-sharing hill-climb
+//!   exploits, pinned by `tests/flat_core_differential.rs`.
+//! * [`EvalPool`] + [`Simulator::eval`] — repeated evaluation that
+//!   retains every buffer (slab, queue, floors, states, outboxes)
+//!   between runs, reporting only an [`EvalSummary`] instead of
+//!   returning owned state.
 
 use crate::cost::{CostClass, CostReport};
 use crate::delay::{DelayModel, DelayOracle, ModelOracle, MsgInfo};
 use crate::process::{Context, Process};
+use crate::queue::{BucketQueue, HeapQueue, QueueEntry};
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceEvent};
-use csp_graph::{EdgeId, NodeId, WeightedGraph};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use csp_graph::{Cost, EdgeId, NodeId, WeightedGraph};
 use std::error::Error;
 use std::fmt;
 
@@ -72,7 +95,22 @@ pub struct Run<P> {
     pub trace: Trace,
 }
 
-/// One in-flight message: everything needed at delivery time.
+/// Which scheduling-queue implementation drives the event core.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CoreKind {
+    /// The integer-keyed bucket ladder ([`BucketQueue`]) — the default
+    /// and the fast path.
+    #[default]
+    Bucket,
+    /// The retained `BinaryHeap` core ([`HeapQueue`]) — the reference
+    /// implementation the bucket core is differentially tested against.
+    Heap,
+}
+
+/// One in-flight message: everything needed at delivery time. `Copy`
+/// for copyable payloads so slab restores on the checkpoint-resume path
+/// specialize to memcpy.
+#[derive(Clone, Copy, Debug)]
 struct Delivery<M> {
     to: NodeId,
     from: NodeId,
@@ -82,14 +120,69 @@ struct Delivery<M> {
     edge: EdgeId,
 }
 
-/// Flat-array event queue: scheduling heap + payload slab + FIFO floors.
+/// The scheduling queue behind [`EventCore`], dispatched by [`CoreKind`].
+#[derive(Clone, Debug)]
+enum Queue {
+    Bucket(BucketQueue),
+    Heap(HeapQueue),
+}
+
+impl Queue {
+    fn new(kind: CoreKind, max_delay: u64) -> Self {
+        match kind {
+            CoreKind::Bucket => Queue::Bucket(BucketQueue::new(max_delay)),
+            CoreKind::Heap => Queue::Heap(HeapQueue::new()),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, time: u64, seq: u64, slot: usize) {
+        match self {
+            Queue::Bucket(q) => q.push(time, seq, slot),
+            Queue::Heap(q) => q.push(time, seq, slot),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<QueueEntry> {
+        match self {
+            Queue::Bucket(q) => q.pop(),
+            Queue::Heap(q) => q.pop(),
+        }
+    }
+
+    fn snapshot_sorted(&self) -> Vec<QueueEntry> {
+        match self {
+            Queue::Bucket(q) => q.snapshot_sorted(),
+            Queue::Heap(q) => q.snapshot_sorted(),
+        }
+    }
+
+    /// Overwrites this queue with a snapshotted one. Same-kind restores
+    /// are allocation-reusing field copies (the hot checkpoint-resume
+    /// path); a kind mismatch — resuming a checkpoint on a simulator
+    /// with the other core — rebuilds from the sorted entry view, which
+    /// both kinds accept.
+    fn restore(&mut self, src: &Queue) {
+        match (&mut *self, src) {
+            (Queue::Bucket(a), Queue::Bucket(b)) => a.clone_from(b),
+            (Queue::Heap(a), Queue::Heap(b)) => a.clone_from(b),
+            (me, other) => match me {
+                Queue::Bucket(q) => q.restore(&other.snapshot_sorted()),
+                Queue::Heap(q) => q.restore(&other.snapshot_sorted()),
+            },
+        }
+    }
+}
+
+/// Flat-array event core: scheduling queue + payload slab + FIFO floors.
 ///
 /// See the [module docs](self) for the layout rationale.
 struct EventCore<M> {
-    /// Min-heap of `(arrival, seq, slot)`. `seq` is globally unique so
+    /// Min-queue of `(arrival, seq, slot)`. `seq` is globally unique so
     /// ties at equal arrival break in send order, exactly like the
     /// baseline's `(arrival, seq)` key.
-    queue: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    queue: Queue,
     /// Payloads, indexed by slot. `None` marks a free slot.
     slab: Vec<Option<Delivery<M>>>,
     /// Slots vacated by delivered events, reused before growing the slab.
@@ -102,13 +195,43 @@ struct EventCore<M> {
 }
 
 impl<M> EventCore<M> {
-    fn new(edge_count: usize) -> Self {
+    fn new(kind: CoreKind, edge_count: usize, max_delay: u64) -> Self {
         EventCore {
-            queue: BinaryHeap::new(),
+            queue: Queue::new(kind, max_delay),
             slab: Vec::new(),
             free: Vec::new(),
             fifo_floor: vec![SimTime::ZERO; 2 * edge_count],
             seq: 0,
+        }
+    }
+
+    /// Rewinds the core to a fresh state for `edge_count`/`max_delay`,
+    /// keeping every allocation that still fits (the pooled-evaluation
+    /// path). A kind change or an undersized bucket window rebuilds just
+    /// the queue.
+    fn reset(&mut self, kind: CoreKind, edge_count: usize, max_delay: u64) {
+        self.ensure_queue(kind, max_delay);
+        match &mut self.queue {
+            Queue::Bucket(q) => q.clear(),
+            Queue::Heap(q) => q.clear(),
+        }
+        self.slab.clear();
+        self.free.clear();
+        self.fifo_floor.clear();
+        self.fifo_floor.resize(2 * edge_count, SimTime::ZERO);
+        self.seq = 0;
+    }
+
+    /// Makes the queue's kind and window match `kind`/`max_delay`,
+    /// rebuilding only on mismatch — the contents are untouched
+    /// otherwise, so callers that immediately `restore` (which clears
+    /// first) skip a redundant wipe.
+    fn ensure_queue(&mut self, kind: CoreKind, max_delay: u64) {
+        match (&mut self.queue, kind) {
+            (Queue::Bucket(q), CoreKind::Bucket)
+                if q.capacity() >= BucketQueue::capacity_for(max_delay) => {}
+            (Queue::Heap(_), CoreKind::Heap) => {}
+            (queue, kind) => *queue = Queue::new(kind, max_delay),
         }
     }
 
@@ -129,15 +252,262 @@ impl<M> EventCore<M> {
                 self.slab.len() - 1
             }
         };
-        self.queue.push(Reverse((arrival, self.seq, slot)));
+        self.queue.push(arrival.get(), self.seq, slot);
         self.seq += 1;
     }
 
     fn pop(&mut self) -> Option<(SimTime, Delivery<M>)> {
-        let Reverse((now, _seq, slot)) = self.queue.pop()?;
+        let (now, _seq, slot) = self.queue.pop()?;
         let delivery = self.slab[slot].take().expect("slab slot holds payload");
         self.free.push(slot);
-        Some((now, delivery))
+        Some((SimTime::new(now), delivery))
+    }
+}
+
+impl<M: Clone> EventCore<M> {
+    /// Overwrites the core with a checkpoint's event state, reusing the
+    /// existing allocations where possible.
+    fn restore_from<P: Process<Msg = M>>(&mut self, cp: &Checkpoint<P>) {
+        self.slab.clone_from(&cp.slab);
+        self.free.clone_from(&cp.free);
+        self.fifo_floor.clone_from(&cp.fifo_floor);
+        self.queue.restore(&cp.queue);
+        self.seq = cp.seq;
+    }
+}
+
+/// The complete mutable state of a run in flight: process states, cost
+/// meters, the event core and the recycled handler buffers. Owned by a
+/// single run, or retained across runs inside an [`EvalPool`].
+struct Machine<P: Process> {
+    states: Vec<P>,
+    cost: CostReport,
+    core: EventCore<P::Msg>,
+    truncated: bool,
+    trace: Trace,
+    events: u64,
+    outbox: Vec<(NodeId, P::Msg, CostClass)>,
+    out_edges: Vec<EdgeId>,
+}
+
+impl<P: Process> Machine<P> {
+    fn new(kind: CoreKind, g: &WeightedGraph, trace_cap: usize) -> Self {
+        Machine {
+            states: Vec::new(),
+            cost: CostReport::new(g.edge_count()),
+            core: EventCore::new(kind, g.edge_count(), g.max_weight().get()),
+            truncated: false,
+            trace: Trace::new(trace_cap),
+            events: 0,
+            outbox: Vec::new(),
+            out_edges: Vec::new(),
+        }
+    }
+
+    /// Drains the handler outbox into scheduled deliveries: budget check,
+    /// cost metering, oracle-decided delay (clamped into `[1, w(e)]`),
+    /// FIFO-floor enforcement.
+    fn dispatch<O: DelayOracle + ?Sized>(
+        &mut self,
+        g: &WeightedGraph,
+        comm_limit: Option<u128>,
+        from: NodeId,
+        now: SimTime,
+        oracle: &mut O,
+    ) {
+        for ((to, msg, class), eid) in self.outbox.drain(..).zip(self.out_edges.drain(..)) {
+            // Budget check happens *before* metering: the send that
+            // crossed the limit was the last one paid for, so the
+            // overshoot is at most one message weight.
+            if self.truncated || comm_limit.is_some_and(|lim| self.cost.weighted_comm.raw() > lim) {
+                self.truncated = true;
+                continue;
+            }
+            let w = g.weight(eid);
+            let index = self.cost.messages;
+            self.cost.record_send(eid, w, class);
+            let channel = self.core.channel(g, eid, from);
+            let delay = oracle
+                .delay(&MsgInfo {
+                    index,
+                    edge: eid,
+                    dir: (channel & 1) as u8,
+                    weight: w,
+                    from,
+                    to,
+                    sent: now,
+                })
+                .clamp(1, w.get());
+            let arrival = (now + delay).max(self.core.fifo_floor[channel]);
+            self.core.fifo_floor[channel] = arrival;
+            self.core.push(
+                arrival,
+                Delivery {
+                    to,
+                    from,
+                    msg,
+                    sent: now,
+                    class,
+                    edge: eid,
+                },
+            );
+        }
+    }
+}
+
+/// Per-event hook of the run loop — how checkpoint capture plugs into
+/// [`Simulator::run_with_checkpoints`] without taxing plain runs.
+trait Capture<P: Process> {
+    fn after_event(&mut self, m: &Machine<P>);
+}
+
+/// The no-op capture used by every non-checkpointing entry point.
+struct NoCapture;
+
+impl<P: Process> Capture<P> for NoCapture {
+    #[inline]
+    fn after_event(&mut self, _m: &Machine<P>) {}
+}
+
+/// Captures a [`Checkpoint`] whenever the metered message count crosses
+/// the next multiple-ish mark (marks advance by `every` from wherever
+/// the count lands, so bursty dispatches never capture twice).
+struct CheckpointCapture<'a, P: Process + Clone> {
+    every: u64,
+    next_at: u64,
+    out: &'a mut Vec<Checkpoint<P>>,
+}
+
+impl<P: Process + Clone> Capture<P> for CheckpointCapture<'_, P> {
+    fn after_event(&mut self, m: &Machine<P>) {
+        if m.cost.messages >= self.next_at {
+            self.out.push(Checkpoint::of(m));
+            self.next_at = m.cost.messages + self.every;
+        }
+    }
+}
+
+/// A complete snapshot of a run in progress, taken at an event boundary
+/// by [`Simulator::run_with_checkpoints`].
+///
+/// Resuming from a checkpoint ([`Simulator::resume`],
+/// [`Simulator::eval_resume`]) reproduces the original run **bit for
+/// bit** provided the resuming oracle agrees with the original on every
+/// message index at or above [`Checkpoint::messages`] — delays below
+/// that index are already baked into the snapshot's queue, so the
+/// resuming oracle is never asked about them. Index-addressed oracles
+/// (like `csp-adversary`'s schedule replay) satisfy this by
+/// construction; stateful randomized oracles in general do not.
+#[derive(Clone, Debug)]
+pub struct Checkpoint<P: Process> {
+    messages: u64,
+    events: u64,
+    truncated: bool,
+    cost: CostReport,
+    states: Vec<P>,
+    trace: Trace,
+    /// The scheduling queue as captured — restoring into the same kind
+    /// is a flat copy; the other kind rebuilds from the sorted view.
+    queue: Queue,
+    slab: Vec<Option<Delivery<P::Msg>>>,
+    free: Vec<usize>,
+    fifo_floor: Vec<SimTime>,
+    seq: u64,
+}
+
+impl<P: Process + Clone> Checkpoint<P> {
+    fn of(m: &Machine<P>) -> Self {
+        Checkpoint {
+            messages: m.cost.messages,
+            events: m.events,
+            truncated: m.truncated,
+            cost: m.cost.clone(),
+            states: m.states.clone(),
+            trace: m.trace.clone(),
+            queue: m.core.queue.clone(),
+            slab: m.core.slab.clone(),
+            free: m.core.free.clone(),
+            fifo_floor: m.core.fifo_floor.clone(),
+            seq: m.core.seq,
+        }
+    }
+}
+
+impl<P: Process> Checkpoint<P> {
+    /// Number of messages dispatched (and therefore delay decisions
+    /// consumed) before this snapshot — the resume point's position in
+    /// schedule-index space.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Number of events delivered before this snapshot.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Completion time of the captured prefix.
+    pub fn completion(&self) -> SimTime {
+        self.cost.completion
+    }
+}
+
+/// Reusable simulation state for high-throughput evaluation: the slab,
+/// scheduling queue, FIFO floors, process-state vector, cost meters and
+/// handler buffers all persist between [`Simulator::eval`] /
+/// [`Simulator::eval_resume`] calls, so a warm evaluation performs no
+/// per-run setup allocation. Keep one pool per worker thread.
+pub struct EvalPool<P: Process> {
+    machine: Option<Machine<P>>,
+}
+
+impl<P: Process> EvalPool<P> {
+    /// Creates an empty pool; buffers materialize on first use.
+    pub fn new() -> Self {
+        EvalPool { machine: None }
+    }
+}
+
+impl<P: Process> Default for EvalPool<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Process> fmt::Debug for EvalPool<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EvalPool")
+            .field("warm", &self.machine.is_some())
+            .finish()
+    }
+}
+
+/// The result of a pooled evaluation: the run's metered aggregates,
+/// without the per-vertex states (which stay in the pool).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EvalSummary {
+    /// Completion time (time of the last delivered event).
+    pub completion: SimTime,
+    /// Total messages dispatched — for a resumed run, *including* the
+    /// prefix captured by the checkpoint.
+    pub messages: u64,
+    /// Weighted communication complexity, prefix included.
+    pub weighted_comm: Cost,
+    /// Whether the run was cut short by [`Simulator::comm_limit`].
+    pub truncated: bool,
+    /// Events delivered, prefix included for resumed runs.
+    pub events: u64,
+}
+
+impl EvalSummary {
+    fn of<P: Process>(m: &Machine<P>) -> Self {
+        EvalSummary {
+            completion: m.cost.completion,
+            messages: m.cost.messages,
+            weighted_comm: m.cost.weighted_comm,
+            truncated: m.truncated,
+            events: m.events,
+        }
     }
 }
 
@@ -165,6 +535,7 @@ pub struct Simulator<'g> {
     event_limit: u64,
     comm_limit: Option<u128>,
     trace_cap: usize,
+    core: CoreKind,
 }
 
 impl<'g> Simulator<'g> {
@@ -178,6 +549,7 @@ impl<'g> Simulator<'g> {
             event_limit: 100_000_000,
             comm_limit: None,
             trace_cap: 0,
+            core: CoreKind::Bucket,
         }
     }
 
@@ -202,6 +574,15 @@ impl<'g> Simulator<'g> {
     /// Records up to `cap` delivered messages into [`Run::trace`].
     pub fn record_trace(&mut self, cap: usize) -> &mut Self {
         self.trace_cap = cap;
+        self
+    }
+
+    /// Selects the scheduling-queue implementation (default
+    /// [`CoreKind::Bucket`]). Both cores produce bit-identical runs; the
+    /// heap core exists as the differential reference and for
+    /// before/after benchmarking.
+    pub fn core(&mut self, kind: CoreKind) -> &mut Self {
+        self.core = kind;
         self
     }
 
@@ -251,105 +632,253 @@ impl<'g> Simulator<'g> {
     ///
     /// Returns [`SimError::EventLimitExceeded`] if the protocol does not
     /// quiesce within the event budget.
-    pub fn run_with_oracle<P, F, O>(&self, oracle: &mut O, mut make: F) -> Result<Run<P>, SimError>
+    pub fn run_with_oracle<P, F, O>(&self, oracle: &mut O, make: F) -> Result<Run<P>, SimError>
+    where
+        P: Process,
+        F: FnMut(NodeId, &WeightedGraph) -> P,
+        O: DelayOracle + ?Sized,
+    {
+        let mut m = Machine::new(self.core, self.graph, self.trace_cap);
+        self.start(&mut m, make, oracle);
+        self.exec(oracle, &mut m, &mut NoCapture)?;
+        Ok(Run {
+            states: m.states,
+            cost: m.cost,
+            truncated: m.truncated,
+            trace: m.trace,
+        })
+    }
+
+    /// Like [`Simulator::run_with_oracle`], but snapshots the complete
+    /// run state into `checkpoints` every time the metered message count
+    /// crosses a multiple-of-`every` mark (an initial snapshot is also
+    /// taken right after the time-zero starts if they already dispatched
+    /// `every` messages). `every` must be non-zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventLimitExceeded`] if the protocol does not
+    /// quiesce within the event budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn run_with_checkpoints<P, F, O>(
+        &self,
+        oracle: &mut O,
+        make: F,
+        every: u64,
+        checkpoints: &mut Vec<Checkpoint<P>>,
+    ) -> Result<Run<P>, SimError>
+    where
+        P: Process + Clone,
+        F: FnMut(NodeId, &WeightedGraph) -> P,
+        O: DelayOracle + ?Sized,
+    {
+        assert!(every > 0, "checkpoint interval must be non-zero");
+        let mut m = Machine::new(self.core, self.graph, self.trace_cap);
+        self.start(&mut m, make, oracle);
+        let mut capture = CheckpointCapture {
+            every,
+            next_at: every,
+            out: checkpoints,
+        };
+        capture.after_event(&m);
+        self.exec(oracle, &mut m, &mut capture)?;
+        Ok(Run {
+            states: m.states,
+            cost: m.cost,
+            truncated: m.truncated,
+            trace: m.trace,
+        })
+    }
+
+    /// Continues a checkpointed run to quiescence under `oracle`.
+    ///
+    /// See [`Checkpoint`] for the oracle-agreement condition under which
+    /// the result is bit-identical to a cold run. The simulator's
+    /// configured core may differ from the one that took the snapshot —
+    /// checkpoints are queue-implementation agnostic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventLimitExceeded`] if the protocol does not
+    /// quiesce within the event budget (delivered events count from the
+    /// checkpoint's total, not from zero).
+    pub fn resume<P, O>(&self, cp: &Checkpoint<P>, oracle: &mut O) -> Result<Run<P>, SimError>
+    where
+        P: Process + Clone,
+        O: DelayOracle + ?Sized,
+    {
+        let g = self.graph;
+        debug_assert_eq!(
+            cp.fifo_floor.len(),
+            2 * g.edge_count(),
+            "checkpoint/graph mismatch"
+        );
+        let mut m = Machine {
+            states: cp.states.clone(),
+            cost: cp.cost.clone(),
+            core: EventCore::new(self.core, g.edge_count(), g.max_weight().get()),
+            truncated: cp.truncated,
+            trace: cp.trace.clone(),
+            events: cp.events,
+            outbox: Vec::new(),
+            out_edges: Vec::new(),
+        };
+        m.core.restore_from(cp);
+        self.exec(oracle, &mut m, &mut NoCapture)?;
+        Ok(Run {
+            states: m.states,
+            cost: m.cost,
+            truncated: m.truncated,
+            trace: m.trace,
+        })
+    }
+
+    /// Runs a full evaluation out of `pool`, reusing every buffer the
+    /// pool retained from earlier evaluations. Traces are not recorded
+    /// on this path and final states stay inside the pool; only the
+    /// metered aggregates come back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventLimitExceeded`] if the protocol does not
+    /// quiesce within the event budget.
+    pub fn eval<P, F, O>(
+        &self,
+        pool: &mut EvalPool<P>,
+        oracle: &mut O,
+        make: F,
+    ) -> Result<EvalSummary, SimError>
+    where
+        P: Process,
+        F: FnMut(NodeId, &WeightedGraph) -> P,
+        O: DelayOracle + ?Sized,
+    {
+        let mut m = self.pooled_machine(pool);
+        self.start(&mut m, make, oracle);
+        let res = self.exec(oracle, &mut m, &mut NoCapture);
+        let summary = EvalSummary::of(&m);
+        pool.machine = Some(m);
+        res.map(|()| summary)
+    }
+
+    /// [`Simulator::resume`] out of a pool: continues `cp` under
+    /// `oracle` with zero per-run setup allocation in steady state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventLimitExceeded`] if the protocol does not
+    /// quiesce within the event budget (events count from the
+    /// checkpoint's total).
+    pub fn eval_resume<P, O>(
+        &self,
+        pool: &mut EvalPool<P>,
+        cp: &Checkpoint<P>,
+        oracle: &mut O,
+    ) -> Result<EvalSummary, SimError>
+    where
+        P: Process + Clone,
+        O: DelayOracle + ?Sized,
+    {
+        debug_assert_eq!(
+            cp.fifo_floor.len(),
+            2 * self.graph.edge_count(),
+            "checkpoint/graph mismatch"
+        );
+        // Take the pooled machine raw — every field the usual rewind
+        // would clear is overwritten from the checkpoint below, and
+        // leaving `states` populated lets `clone_from` reuse each
+        // element's own buffers instead of cloning into freed slots.
+        let mut m = match pool.machine.take() {
+            Some(m) => m,
+            None => Machine::new(self.core, self.graph, 0),
+        };
+        m.core
+            .ensure_queue(self.core, self.graph.max_weight().get());
+        m.states.clone_from(&cp.states);
+        m.cost.clone_from(&cp.cost);
+        m.core.restore_from(cp);
+        m.truncated = cp.truncated;
+        m.events = cp.events;
+        m.outbox.clear();
+        m.out_edges.clear();
+        let res = self.exec(oracle, &mut m, &mut NoCapture);
+        let summary = EvalSummary::of(&m);
+        pool.machine = Some(m);
+        res.map(|()| summary)
+    }
+
+    /// Takes the pool's machine (or builds one) and rewinds it for a run
+    /// on this simulator's graph and core.
+    fn pooled_machine<P: Process>(&self, pool: &mut EvalPool<P>) -> Machine<P> {
+        let g = self.graph;
+        match pool.machine.take() {
+            Some(mut m) => {
+                m.states.clear();
+                m.cost.reset(g.edge_count());
+                m.core
+                    .reset(self.core, g.edge_count(), g.max_weight().get());
+                m.truncated = false;
+                m.trace = Trace::new(0);
+                m.events = 0;
+                m.outbox.clear();
+                m.out_edges.clear();
+                m
+            }
+            // Pooled paths never record traces: cap 0.
+            None => Machine::new(self.core, g, 0),
+        }
+    }
+
+    /// Time zero: constructs per-vertex states and runs every
+    /// [`Process::on_start`], dispatching what they send.
+    fn start<P, F, O>(&self, m: &mut Machine<P>, mut make: F, oracle: &mut O)
     where
         P: Process,
         F: FnMut(NodeId, &WeightedGraph) -> P,
         O: DelayOracle + ?Sized,
     {
         let g = self.graph;
-        let mut states: Vec<P> = g.nodes().map(|v| make(v, g)).collect();
-        let mut cost = CostReport::new(g.edge_count());
-        let mut core: EventCore<P::Msg> = EventCore::new(g.edge_count());
-        let mut truncated = false;
-        let mut trace = Trace::new(self.trace_cap);
-
-        // Handler buffers, drained by dispatch and recycled every event.
-        let mut outbox: Vec<(NodeId, P::Msg, CostClass)> = Vec::new();
-        let mut out_edges: Vec<EdgeId> = Vec::new();
-
-        let dispatch = |outbox: &mut Vec<(NodeId, P::Msg, CostClass)>,
-                        out_edges: &mut Vec<EdgeId>,
-                        from: NodeId,
-                        now: SimTime,
-                        core: &mut EventCore<P::Msg>,
-                        cost: &mut CostReport,
-                        truncated: &mut bool,
-                        oracle: &mut O| {
-            for ((to, msg, class), eid) in outbox.drain(..).zip(out_edges.drain(..)) {
-                // Budget check happens *before* metering: the send that
-                // crossed the limit was the last one paid for, so the
-                // overshoot is at most one message weight.
-                if *truncated
-                    || self
-                        .comm_limit
-                        .is_some_and(|lim| cost.weighted_comm.raw() > lim)
-                {
-                    *truncated = true;
-                    continue;
-                }
-                let w = g.weight(eid);
-                let index = cost.messages;
-                cost.record_send(eid, w, class);
-                let channel = core.channel(g, eid, from);
-                let delay = oracle
-                    .delay(&MsgInfo {
-                        index,
-                        edge: eid,
-                        dir: (channel & 1) as u8,
-                        weight: w,
-                        from,
-                        to,
-                        sent: now,
-                    })
-                    .clamp(1, w.get());
-                let arrival = (now + delay).max(core.fifo_floor[channel]);
-                core.fifo_floor[channel] = arrival;
-                core.push(
-                    arrival,
-                    Delivery {
-                        to,
-                        from,
-                        msg,
-                        sent: now,
-                        class,
-                        edge: eid,
-                    },
-                );
-            }
-        };
-
-        // Time zero: start every vertex.
+        m.states.extend(g.nodes().map(|v| make(v, g)));
         for v in g.nodes() {
+            let outbox = std::mem::take(&mut m.outbox);
+            let out_edges = std::mem::take(&mut m.out_edges);
             let mut ctx = Context::recycled(v, SimTime::ZERO, g, outbox, out_edges);
-            states[v.index()].on_start(&mut ctx);
-            (outbox, out_edges) = ctx.into_parts();
-            dispatch(
-                &mut outbox,
-                &mut out_edges,
-                v,
-                SimTime::ZERO,
-                &mut core,
-                &mut cost,
-                &mut truncated,
-                &mut *oracle,
-            );
+            m.states[v.index()].on_start(&mut ctx);
+            (m.outbox, m.out_edges) = ctx.into_parts();
+            m.dispatch(g, self.comm_limit, v, SimTime::ZERO, oracle);
         }
+    }
 
-        let mut events: u64 = 0;
-        while !truncated {
-            let Some((now, delivery)) = core.pop() else {
+    /// The main loop: pop, deliver, dispatch, capture — until quiescence
+    /// or truncation.
+    fn exec<P, O, C>(
+        &self,
+        oracle: &mut O,
+        m: &mut Machine<P>,
+        capture: &mut C,
+    ) -> Result<(), SimError>
+    where
+        P: Process,
+        O: DelayOracle + ?Sized,
+        C: Capture<P>,
+    {
+        let g = self.graph;
+        while !m.truncated {
+            let Some((now, delivery)) = m.core.pop() else {
                 break;
             };
-            events += 1;
-            if events > self.event_limit {
+            m.events += 1;
+            if m.events > self.event_limit {
                 return Err(SimError::EventLimitExceeded {
                     limit: self.event_limit,
                 });
             }
-            cost.completion = cost.completion.max(now);
+            m.cost.completion = m.cost.completion.max(now);
             if self.trace_cap > 0 {
-                trace.push(TraceEvent {
+                m.trace.push(TraceEvent {
                     from: delivery.from,
                     to: delivery.to,
                     edge: delivery.edge,
@@ -358,27 +887,15 @@ impl<'g> Simulator<'g> {
                     class: delivery.class,
                 });
             }
+            let outbox = std::mem::take(&mut m.outbox);
+            let out_edges = std::mem::take(&mut m.out_edges);
             let mut ctx = Context::recycled(delivery.to, now, g, outbox, out_edges);
-            states[delivery.to.index()].on_message(delivery.from, delivery.msg, &mut ctx);
-            (outbox, out_edges) = ctx.into_parts();
-            dispatch(
-                &mut outbox,
-                &mut out_edges,
-                delivery.to,
-                now,
-                &mut core,
-                &mut cost,
-                &mut truncated,
-                &mut *oracle,
-            );
+            m.states[delivery.to.index()].on_message(delivery.from, delivery.msg, &mut ctx);
+            (m.outbox, m.out_edges) = ctx.into_parts();
+            m.dispatch(g, self.comm_limit, delivery.to, now, oracle);
+            capture.after_event(m);
         }
-
-        Ok(Run {
-            states,
-            cost,
-            truncated,
-            trace,
-        })
+        Ok(())
     }
 }
 
@@ -388,6 +905,7 @@ mod tests {
     use csp_graph::{generators, Cost};
 
     /// Ping-pong `rounds` times between the endpoints of a single edge.
+    #[derive(Clone)]
     struct PingPong {
         rounds: u32,
         received: u32,
@@ -455,6 +973,29 @@ mod tests {
                 .cost
         };
         assert_eq!(run_with(3), run_with(3));
+    }
+
+    #[test]
+    fn heap_and_bucket_cores_agree() {
+        let g = generators::connected_gnp(14, 0.3, generators::WeightDist::Uniform(1, 20), 11);
+        let run_on = |kind: CoreKind, seed: u64| {
+            let mut sim = Simulator::new(&g);
+            sim.core(kind)
+                .delay(DelayModel::Uniform)
+                .seed(seed)
+                .record_trace(1 << 14);
+            sim.run(|_, _| PingPong {
+                rounds: 8,
+                received: 0,
+            })
+            .unwrap()
+        };
+        for seed in 0..4 {
+            let b = run_on(CoreKind::Bucket, seed);
+            let h = run_on(CoreKind::Heap, seed);
+            assert_eq!(b.cost, h.cost, "cost diverged at seed {seed}");
+            assert_eq!(b.trace.events(), h.trace.events());
+        }
     }
 
     #[test]
@@ -597,6 +1138,184 @@ mod tests {
         let g = generators::path(2, |_| 1);
         let run = Simulator::new(&g).run(|_, _| Chain).unwrap();
         assert_eq!(run.cost.messages, 1001);
+    }
+}
+
+#[cfg(test)]
+mod checkpoint_tests {
+    use super::*;
+    use csp_graph::generators;
+
+    /// Ping-pong with a payload so states evolve observably.
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    struct Counter {
+        rounds: u32,
+        received: u32,
+    }
+
+    impl Process for Counter {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            if ctx.self_id() == NodeId::new(0) && self.rounds > 0 {
+                ctx.send(NodeId::new(1), 1);
+            }
+        }
+        fn on_message(&mut self, from: NodeId, msg: u32, ctx: &mut Context<'_, u32>) {
+            self.received += 1;
+            if msg < self.rounds {
+                ctx.send(from, msg + 1);
+            }
+        }
+    }
+
+    fn make(_: NodeId, _: &WeightedGraph) -> Counter {
+        Counter {
+            rounds: 40,
+            received: 0,
+        }
+    }
+
+    #[test]
+    fn resume_reproduces_the_cold_run_exactly() {
+        let g = generators::path(2, |_| 9);
+        let mut sim = Simulator::new(&g);
+        sim.record_trace(1 << 10);
+        let cold = sim.run(make).unwrap();
+
+        let mut cps = Vec::new();
+        let checkpointed = sim
+            .run_with_checkpoints(
+                &mut ModelOracle::new(DelayModel::WorstCase, 0),
+                make,
+                7,
+                &mut cps,
+            )
+            .unwrap();
+        assert_eq!(checkpointed.cost, cold.cost);
+        assert!(!cps.is_empty(), "expected checkpoints every 7 messages");
+
+        for cp in &cps {
+            let resumed = sim
+                .resume(cp, &mut ModelOracle::new(DelayModel::WorstCase, 0))
+                .unwrap();
+            assert_eq!(resumed.cost, cold.cost, "at checkpoint {}", cp.messages());
+            assert_eq!(resumed.trace.events(), cold.trace.events());
+            assert_eq!(resumed.states, cold.states);
+        }
+    }
+
+    #[test]
+    fn resume_works_across_core_kinds() {
+        let g = generators::cycle(6, |i| 1 + i as u64);
+        let mut cps: Vec<Checkpoint<Counter>> = Vec::new();
+        let bucket_sim = Simulator::new(&g);
+        bucket_sim
+            .run_with_checkpoints(
+                &mut ModelOracle::new(DelayModel::WorstCase, 0),
+                make,
+                5,
+                &mut cps,
+            )
+            .unwrap();
+        let cold = Simulator::new(&g).run(make).unwrap();
+        let mut heap_sim = Simulator::new(&g);
+        heap_sim.core(CoreKind::Heap);
+        for cp in &cps {
+            let resumed = heap_sim
+                .resume(cp, &mut ModelOracle::new(DelayModel::WorstCase, 0))
+                .unwrap();
+            assert_eq!(resumed.cost, cold.cost);
+        }
+    }
+
+    #[test]
+    fn pooled_eval_matches_owned_runs() {
+        let g = generators::connected_gnp(10, 0.4, generators::WeightDist::Uniform(1, 12), 3);
+        let mut sim = Simulator::new(&g);
+        sim.delay(DelayModel::Uniform);
+        let mut pool = EvalPool::new();
+        for seed in 0..6 {
+            sim.seed(seed);
+            let owned = sim.run(make).unwrap();
+            let pooled = sim
+                .eval(
+                    &mut pool,
+                    &mut ModelOracle::new(DelayModel::Uniform, seed),
+                    make,
+                )
+                .unwrap();
+            assert_eq!(pooled.completion, owned.cost.completion);
+            assert_eq!(pooled.messages, owned.cost.messages);
+            assert_eq!(pooled.weighted_comm, owned.cost.weighted_comm);
+            assert!(!pooled.truncated);
+        }
+    }
+
+    #[test]
+    fn pooled_resume_matches_cold_resume() {
+        let g = generators::path(2, |_| 9);
+        let sim = Simulator::new(&g);
+        let mut cps = Vec::new();
+        sim.run_with_checkpoints(
+            &mut ModelOracle::new(DelayModel::WorstCase, 0),
+            make,
+            6,
+            &mut cps,
+        )
+        .unwrap();
+        let mut pool = EvalPool::new();
+        for cp in &cps {
+            let cold = sim
+                .resume(cp, &mut ModelOracle::new(DelayModel::WorstCase, 0))
+                .unwrap();
+            let pooled = sim
+                .eval_resume(
+                    &mut pool,
+                    cp,
+                    &mut ModelOracle::new(DelayModel::WorstCase, 0),
+                )
+                .unwrap();
+            assert_eq!(pooled.completion, cold.cost.completion);
+            assert_eq!(pooled.messages, cold.cost.messages);
+            assert!(pooled.events >= cp.events());
+        }
+    }
+
+    #[test]
+    fn pool_survives_graph_and_core_changes() {
+        let g1 = generators::path(3, |_| 4);
+        let g2 = generators::cycle(7, |_| 90);
+        let mut pool = EvalPool::new();
+        let o = || ModelOracle::new(DelayModel::WorstCase, 0);
+        let a = Simulator::new(&g1).eval(&mut pool, &mut o(), make).unwrap();
+        let mut sim2 = Simulator::new(&g2);
+        sim2.core(CoreKind::Heap);
+        let b = sim2.eval(&mut pool, &mut o(), make).unwrap();
+        let c = Simulator::new(&g2).eval(&mut pool, &mut o(), make).unwrap();
+        assert_eq!(
+            a,
+            Simulator::new(&g1).eval(&mut pool, &mut o(), make).unwrap()
+        );
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn checkpoint_marks_follow_message_count() {
+        let g = generators::path(2, |_| 3);
+        let sim = Simulator::new(&g);
+        let mut cps: Vec<Checkpoint<Counter>> = Vec::new();
+        sim.run_with_checkpoints(
+            &mut ModelOracle::new(DelayModel::WorstCase, 0),
+            make,
+            10,
+            &mut cps,
+        )
+        .unwrap();
+        // 40 messages at one per event: marks at 10, 20, 30, 40.
+        let marks: Vec<u64> = cps.iter().map(|c| c.messages()).collect();
+        assert_eq!(marks, vec![10, 20, 30, 40]);
+        assert!(cps.windows(2).all(|w| w[0].events() < w[1].events()));
+        assert!(cps[0].completion() > SimTime::ZERO);
     }
 }
 

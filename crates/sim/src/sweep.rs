@@ -53,36 +53,73 @@ use csp_graph::{Cost, WeightedGraph};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// Resolves a requested worker-thread count against the machine:
+/// `0` means "auto" (the available parallelism), and any explicit
+/// request is capped at the available parallelism — asking for 64
+/// workers on a 8-way host gets 8, never 64 idle-fighting threads.
+///
+/// Both this module's drivers and `csp-adversary`'s search use this, so
+/// `threads: 0` means the same thing everywhere.
+pub fn effective_threads(requested: usize) -> usize {
+    let avail = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    if requested == 0 {
+        avail
+    } else {
+        requested.min(avail)
+    }
+}
+
 /// Applies `f` to every item on a pool of scoped threads, preserving
 /// input order in the output.
 ///
 /// Items are claimed dynamically off a shared atomic cursor, so uneven
 /// per-item runtimes balance automatically. A panic in `f` is propagated
-/// to the caller after the scope joins. `threads` is clamped to
-/// `1..=items.len()`; with one thread (or on a single-core host) this
-/// degenerates to a plain sequential map with no thread spawned.
+/// to the caller after the scope joins. `threads` goes through
+/// [`effective_threads`] (`0` = auto, capped at the machine) and is then
+/// clamped to `1..=items.len()`; with one thread this degenerates to a
+/// plain sequential map with no thread spawned.
 pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = threads.clamp(1, items.len().max(1));
+    par_map_with(items, threads, || (), move |(), item| f(item))
+}
+
+/// [`par_map`] with per-worker scratch state: each worker thread calls
+/// `init` once and threads the resulting state through every item it
+/// claims — the hook pooled evaluators (e.g.
+/// [`EvalPool`](crate::EvalPool)) need to stay allocation-free across a
+/// fan-out. Results are still returned in input order, and with one
+/// effective thread the single state makes this a sequential fold.
+pub fn par_map_with<T, S, R, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    let threads = effective_threads(threads).clamp(1, items.len().max(1));
     if threads == 1 {
-        return items.iter().map(f).collect();
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
     }
     let cursor = AtomicUsize::new(0);
     let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut state = init();
                     let mut done = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else {
                             return done;
                         };
-                        done.push((i, f(item)));
+                        done.push((i, f(&mut state, item)));
                     }
                 })
             })
@@ -188,7 +225,9 @@ impl<'g> SweepGrid<'g> {
         self
     }
 
-    /// Caps the worker-thread count (default: available parallelism).
+    /// Caps the worker-thread count. `0` (and the default) mean "auto" —
+    /// the machine's available parallelism; explicit values are capped at
+    /// it (see [`effective_threads`]).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
         self
@@ -249,12 +288,7 @@ impl<'g> SweepGrid<'g> {
     where
         F: Fn(&SweepPoint<'_>) -> CostReport + Sync,
     {
-        let threads = self.threads.unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1)
-        });
-        self.collect(threads, f)
+        self.collect(effective_threads(self.threads.unwrap_or(0)), f)
     }
 
     /// Runs the grid on the calling thread only — same results as
@@ -307,6 +341,41 @@ mod tests {
             let out = par_map(&items, threads, |&x| x * x);
             assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn par_map_with_threads_worker_state() {
+        let items: Vec<u64> = (0..50).collect();
+        for threads in [0, 1, 3] {
+            // Each worker counts how many items it processed in its own
+            // state; results must still be in input order.
+            let out = par_map_with(
+                &items,
+                threads,
+                || 0u64,
+                |seen, &x| {
+                    *seen += 1;
+                    (x, *seen)
+                },
+            );
+            assert_eq!(
+                out.iter().map(|&(x, _)| x).collect::<Vec<_>>(),
+                items,
+                "order broken at {threads} threads"
+            );
+            // Worker-local counters are all ≥ 1 and sum to the item count.
+            assert!(out.iter().all(|&(_, seen)| seen >= 1));
+        }
+    }
+
+    #[test]
+    fn effective_threads_caps_and_autos() {
+        let avail = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        assert_eq!(effective_threads(0), avail, "0 means auto");
+        assert_eq!(effective_threads(1), 1);
+        assert_eq!(effective_threads(usize::MAX), avail, "requests are capped");
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! [`SyncRunner::require_in_synch`].
 
 use crate::cost::{CostClass, CostReport};
+use crate::queue::BucketQueue;
 use crate::time::SimTime;
 use csp_graph::{EdgeId, NodeId, Weight, WeightedGraph};
 use std::cmp::Reverse;
@@ -249,11 +250,15 @@ impl<'g> SyncRunner<'g> {
         let mut cost = CostReport::new(g.edge_count());
 
         // Flat in-flight store, mirroring the asynchronous runtime's
-        // event core: the heap holds `(arrival pulse, seq, slot)` and the
-        // payload `(to, from, msg)` lives in a slab with free-list reuse.
-        // `seq` is globally unique, so same-pulse deliveries pop in send
-        // order — the insertion order the old `BTreeMap<_, Vec<_>>` kept.
-        let mut queue: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+        // event core: the bucket queue holds `(arrival pulse, seq, slot)`
+        // and the payload `(to, from, msg)` lives in a slab with
+        // free-list reuse. `seq` is globally unique, so same-pulse
+        // deliveries pop in send order — the insertion order the old
+        // `BTreeMap<_, Vec<_>>` kept. Arrivals are `pulse + w(e)`, so the
+        // window sized by the max weight covers every send made at the
+        // current pulse; `advance_to` below keeps the window anchored
+        // when wake-ups jump the clock past the last delivery.
+        let mut queue = BucketQueue::new(g.max_weight().get());
         let mut slab: Vec<Option<(NodeId, NodeId, P::Msg)>> = Vec::new();
         let mut free: Vec<usize> = Vec::new();
         let mut seq: u64 = 0;
@@ -277,8 +282,8 @@ impl<'g> SyncRunner<'g> {
             }
             touched.clear();
             let everyone = pulse == 0;
-            while queue.peek().is_some_and(|&Reverse((p, _, _))| p == pulse) {
-                let Reverse((_, _, slot)) = queue.pop().expect("peeked entry");
+            while queue.next_time() == Some(pulse) {
+                let (_, _, slot) = queue.pop().expect("peeked entry");
                 let (to, from, msg) = slab[slot].take().expect("slab slot holds payload");
                 free.push(slot);
                 let i = to.index();
@@ -335,7 +340,7 @@ impl<'g> SyncRunner<'g> {
                             slab.len() - 1
                         }
                     };
-                    queue.push(Reverse((arrival, seq, slot)));
+                    queue.push(arrival, seq, slot);
                     seq += 1;
                     last_activity = arrival;
                 }
@@ -352,7 +357,7 @@ impl<'g> SyncRunner<'g> {
                 });
             }
             // Advance to the next interesting pulse.
-            let next_delivery = queue.peek().map(|&Reverse((p, _, _))| p);
+            let next_delivery = queue.next_time();
             let next_wake = wakes.peek().map(|&Reverse((p, _))| p);
             let next = match (next_delivery, next_wake) {
                 (Some(d), Some(w)) => d.min(w),
@@ -376,6 +381,9 @@ impl<'g> SyncRunner<'g> {
                 });
             }
             pulse = next;
+            // Wake-only jumps can move the clock past the last delivery;
+            // re-anchor the bucket window so subsequent sends stay O(1).
+            queue.advance_to(pulse);
         }
     }
 }

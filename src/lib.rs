@@ -88,11 +88,14 @@ pub mod prelude {
     pub use csp_graph::params::CostParams;
     pub use csp_graph::slt::{shallow_light_tree, BreakpointRule};
     pub use csp_graph::{Cost, EdgeId, GraphBuilder, NodeId, RootedTree, Weight, WeightedGraph};
-    pub use csp_sim::sweep::{par_map, summarize, SweepGrid, SweepPoint, SweepRun, SweepSummary};
+    pub use csp_sim::sweep::{
+        effective_threads, par_map, par_map_with, summarize, SweepGrid, SweepPoint, SweepRun,
+        SweepSummary,
+    };
     pub use csp_sim::sync::{SyncContext, SyncProcess, SyncRunner};
     pub use csp_sim::{
-        BaselineSimulator, Context, CostClass, CostReport, DelayModel, DelayOracle, ModelOracle,
-        MsgInfo, Process, SimTime, Simulator,
+        BaselineSimulator, Checkpoint, Context, CoreKind, CostClass, CostReport, DelayModel,
+        DelayOracle, EvalPool, EvalSummary, ModelOracle, MsgInfo, Process, SimTime, Simulator,
     };
     pub use csp_sync::clock::{run_alpha_star, run_beta_star, run_gamma_star};
     pub use csp_sync::net::{

@@ -37,13 +37,14 @@ fn committed_points() -> Vec<(&'static str, WeightedGraph, u64)> {
         (
             "gnp-n16",
             generators::connected_gnp(16, 0.25, generators::WeightDist::Uniform(1, 32), 7),
-            152,
+            170,
         ),
         (
             "heavy-chord-n12",
             generators::heavy_chord_cycle(12, 64),
             200,
         ),
+        ("cluster-3x4", generators::cluster_graph(3, 4, 50, 11), 250),
         (
             "sparse-heavy-n14",
             generators::sparse_heavy_path(14, 100, 3),

@@ -1,12 +1,20 @@
-//! Differential property test: the flat-array event core in
-//! [`Simulator`] must be observationally *identical* to the retained
-//! `HashMap`-based reference implementation
-//! ([`BaselineSimulator`](cost_sensitive::sim::BaselineSimulator)) —
-//! same [`CostReport`], same delivery trace, across graph families,
-//! delay models, dispatch-time delay *oracles* and seeds — and every
-//! trace passes the per-channel FIFO validator. No communication budget
-//! is set here: the two cores intentionally differ in budget enforcement
-//! (the baseline keeps the historical late check).
+//! Differential property tests for the event cores: the default
+//! bucket-queue core in [`Simulator`] must be observationally
+//! *identical* both to the retained binary-heap core
+//! ([`CoreKind::Heap`]) and to the `HashMap`-based reference
+//! implementation ([`BaselineSimulator`](cost_sensitive::sim::BaselineSimulator))
+//! — same [`CostReport`], same delivery trace, same final states,
+//! across graph families, delay models, dispatch-time delay *oracles*
+//! and seeds — and every trace passes the per-channel FIFO validator.
+//! No communication budget is set here: the flat cores and the baseline
+//! intentionally differ in budget enforcement (the baseline keeps the
+//! historical late check).
+//!
+//! The checkpoint-equivalence property pins the other half of the PR:
+//! resuming a mutated schedule from a prefix checkpoint of its base run
+//! is bit-identical to replaying the mutant cold, for random mutation
+//! points and checkpoint intervals — the exact contract the adversary
+//! search's incremental candidate evaluation relies on.
 
 use cost_sensitive::algo::mst::ghs::Ghs;
 use cost_sensitive::prelude::*;
@@ -107,14 +115,22 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// GHS — the heaviest protocol in the workspace — produces the same
-    /// costs and the same message-by-message trace on both cores.
+    /// costs, the same message-by-message trace and the same final
+    /// states on the bucket core, the heap core and the baseline.
     #[test]
-    fn ghs_runs_identically_on_both_cores(
+    fn ghs_runs_identically_on_all_three_cores(
         g in arb_graph(),
         delay in arb_delay(),
         seed in any::<u64>(),
     ) {
         let flat = Simulator::new(&g)
+            .delay(delay)
+            .seed(seed)
+            .record_trace(1 << 16)
+            .run(Ghs::new)
+            .unwrap();
+        let heap = Simulator::new(&g)
+            .core(CoreKind::Heap)
             .delay(delay)
             .seed(seed)
             .record_trace(1 << 16)
@@ -126,14 +142,25 @@ proptest! {
             .record_trace(1 << 16)
             .run(Ghs::new)
             .unwrap();
+        prop_assert_eq!(&flat.cost, &heap.cost);
+        prop_assert_eq!(flat.trace.events(), heap.trace.events());
+        prop_assert_eq!(
+            format!("{:?}", flat.states),
+            format!("{:?}", heap.states)
+        );
         prop_assert_eq!(&flat.cost, &base.cost);
         prop_assert_eq!(flat.trace.events(), base.trace.events());
         prop_assert_eq!(flat.truncated, base.truncated);
+        prop_assert_eq!(
+            format!("{:?}", flat.states),
+            format!("{:?}", base.states)
+        );
     }
 
-    /// Burst-heavy traffic with FIFO stacking is also bit-identical.
+    /// Burst-heavy traffic with FIFO stacking is also bit-identical on
+    /// all three executors.
     #[test]
-    fn chatter_runs_identically_on_both_cores(
+    fn chatter_runs_identically_on_all_three_cores(
         g in arb_graph(),
         delay in arb_delay(),
         seed in any::<u64>(),
@@ -146,12 +173,21 @@ proptest! {
             .record_trace(1 << 16)
             .run(mk)
             .unwrap();
+        let heap = Simulator::new(&g)
+            .core(CoreKind::Heap)
+            .delay(delay)
+            .seed(seed)
+            .record_trace(1 << 16)
+            .run(mk)
+            .unwrap();
         let base = BaselineSimulator::new(&g)
             .delay(delay)
             .seed(seed)
             .record_trace(1 << 16)
             .run(mk)
             .unwrap();
+        prop_assert_eq!(&flat.cost, &heap.cost);
+        prop_assert_eq!(flat.trace.events(), heap.trace.events());
         prop_assert_eq!(&flat.cost, &base.cost);
         prop_assert_eq!(flat.trace.events(), base.trace.events());
     }
@@ -181,6 +217,12 @@ proptest! {
             .record_trace(1 << 16)
             .run_with_oracle(&mut *flat_oracle, Ghs::new)
             .unwrap();
+        let mut heap_oracle = oracle_for(&spec, mutant.as_ref());
+        let heap = Simulator::new(&g)
+            .core(CoreKind::Heap)
+            .record_trace(1 << 16)
+            .run_with_oracle(&mut *heap_oracle, Ghs::new)
+            .unwrap();
         let mut base_oracle = oracle_for(&spec, mutant.as_ref());
         let base = BaselineSimulator::new(&g)
             .record_trace(1 << 16)
@@ -188,7 +230,60 @@ proptest! {
             .unwrap();
         prop_assert!(flat.trace.is_fifo(), "flat core violated channel FIFO");
         prop_assert!(base.trace.is_fifo(), "baseline violated channel FIFO");
+        prop_assert_eq!(&flat.cost, &heap.cost);
+        prop_assert_eq!(flat.trace.events(), heap.trace.events());
         prop_assert_eq!(&flat.cost, &base.cost);
         prop_assert_eq!(flat.trace.events(), base.trace.events());
+    }
+
+    /// Checkpoint equivalence: for a random mutated schedule, resuming
+    /// from the deepest base-run checkpoint at or before the first
+    /// mutated decision reproduces the cold replay of the mutant
+    /// bit-for-bit — costs, trace and final states. This is exactly the
+    /// splice the adversary search performs per hill-climb candidate.
+    #[test]
+    fn checkpoint_resume_equals_cold_run_for_mutated_schedules(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        flips in 1usize..8,
+        every in 1u64..48,
+    ) {
+        let mut rec = Recorder::new(ModelOracle::new(DelayModel::Uniform, seed));
+        Simulator::new(&g).run_with_oracle(&mut rec, Ghs::new).unwrap();
+        let incumbent = rec.into_schedule(Fallback::WorstCase);
+        let mutant = cost_sensitive::adversary::mutate(&incumbent, seed ^ 0xabc, flips);
+
+        let mut sim = Simulator::new(&g);
+        sim.record_trace(1 << 16);
+        let mut cps: Vec<Checkpoint<Ghs>> = Vec::new();
+        sim.run_with_checkpoints(
+            &mut ScheduleOracle::new(&incumbent),
+            Ghs::new,
+            every,
+            &mut cps,
+        )
+        .unwrap();
+
+        let first_diff = incumbent
+            .decisions
+            .iter()
+            .zip(&mutant.decisions)
+            .position(|(a, b)| a.delay != b.delay)
+            .unwrap_or(mutant.decisions.len()) as u64;
+        if let Some(cp) = cps.iter().rev().find(|cp| cp.messages() <= first_diff) {
+            let resumed = sim
+                .resume(cp, &mut ScheduleOracle::new(&mutant))
+                .unwrap();
+            let cold = sim
+                .run_with_oracle(&mut ScheduleOracle::new(&mutant), Ghs::new)
+                .unwrap();
+            prop_assert_eq!(&resumed.cost, &cold.cost);
+            prop_assert_eq!(resumed.trace.events(), cold.trace.events());
+            prop_assert_eq!(resumed.truncated, cold.truncated);
+            prop_assert_eq!(
+                format!("{:?}", resumed.states),
+                format!("{:?}", cold.states)
+            );
+        }
     }
 }
