@@ -1,6 +1,7 @@
 #![deny(missing_docs)]
 
-//! Adversarial delay-schedule search for the cost-sensitive simulator.
+//! Adversarial schedule search — delays, drops and crashes — for the
+//! cost-sensitive simulator.
 //!
 //! The paper defines time complexity as the **worst case over all
 //! per-message delay assignments** in `[0, w(e)]`. The simulator's fixed
@@ -9,21 +10,30 @@
 //! is the true adversary for monotone protocols (flooding, DFS) but not
 //! in general: selectively *fast* messages can force extra phases in
 //! timing-dependent protocols like GHS. This crate searches the
-//! schedule space through the [`csp_sim::DelayOracle`] dispatch-time
-//! hook:
+//! schedule space through the [`csp_sim::LinkOracle`] dispatch-time
+//! hook, which also lets the adversary *lose* a message outright
+//! ([`LinkDecision::Drop`](csp_sim::LinkDecision)) or crash a vertex at
+//! a chosen time — the fault model retransmission layers like
+//! [`csp_sim::Reliable`] are measured against:
 //!
 //! * [`Schedule`] — a deterministic, serializable transcript of every
-//!   delay decision, with [`record`] / [`replay`] reproducing a run
-//!   exactly (plain-text format, no external dependencies);
+//!   link decision (delay or drop) plus per-vertex [`Crash`]
+//!   assignments, with [`record`] / [`replay`] reproducing a run
+//!   exactly (plain-text format, no external dependencies; fault-free
+//!   schedules keep the v1 dialect byte-for-byte);
 //! * [`find_worst_schedule`] — seeded random probes, the
-//!   [`CriticalPathOracle`] greedy and hill-climbing mutation, fanned
-//!   out in parallel through [`csp_sim::sweep::par_map_with`] with a
-//!   pooled evaluator per worker; hill-climb candidates resume from
+//!   [`CriticalPathOracle`] greedy, optional single-crash probes and
+//!   hill-climbing mutation (drop flags searched alongside delays when
+//!   [`SearchConfig::drop_flips`] is set), fanned out in parallel
+//!   through [`csp_sim::sweep::par_map_with`] with a pooled evaluator
+//!   per worker; hill-climb candidates resume from
 //!   [checkpoints](csp_sim::Checkpoint) of the incumbent's run instead
 //!   of replaying from scratch;
 //! * [`check_time_bound`] — refutes a claimed time bound on a
 //!   protocol × graph grid and [`shrink`]s any violating schedule,
-//!   proptest-style, to a 1-minimal replayable counterexample on disk.
+//!   proptest-style, to a 1-minimal replayable counterexample on disk,
+//!   reporting how often the replay fell back past the recorded horizon
+//!   ([`ReplayReport`]).
 //!
 //! # Example: hunt for a bad schedule
 //!
@@ -60,15 +70,17 @@ pub mod search;
 
 pub use oracle::{CriticalPathOracle, Recorder, ScheduleOracle};
 pub use refute::{check_time_bound, shrink, GridPoint, Refutation};
-pub use schedule::{Decision, Fallback, ParseError, Schedule};
-pub use search::{find_worst_schedule, mutate, SearchConfig, SearchOutcome};
+pub use schedule::{Crash, Decision, Fallback, ParseError, Schedule};
+pub use search::{find_worst_schedule, mutate, mutate_with_drops, SearchConfig, SearchOutcome};
 
 use csp_graph::{NodeId, WeightedGraph};
-use csp_sim::{DelayOracle, Process, Run, Simulator};
+use csp_sim::{LinkOracle, Process, Run, Simulator};
 
-/// Runs the protocol under `oracle` while recording every delay
-/// decision. Returns the completed run and the [`Schedule`] that
-/// [`replay`] will reproduce it from.
+/// Runs the protocol under `oracle` while recording every link decision
+/// and crash assignment. Returns the completed run and the [`Schedule`]
+/// that [`replay`] will reproduce it from. Any
+/// [`DelayOracle`](csp_sim::DelayOracle) works here too, through the
+/// blanket [`LinkOracle`] impl.
 pub fn record<P, F, O>(
     g: &WeightedGraph,
     make: F,
@@ -78,7 +90,7 @@ pub fn record<P, F, O>(
 where
     P: Process,
     F: FnMut(NodeId, &WeightedGraph) -> P,
-    O: DelayOracle,
+    O: LinkOracle,
 {
     let mut rec = Recorder::new(oracle);
     let run = Simulator::new(g)
@@ -99,4 +111,46 @@ where
     Simulator::new(g)
         .run_with_oracle(&mut oracle, make)
         .expect("replayed protocol must quiesce")
+}
+
+/// How faithfully a [`replay`] followed its recorded [`Schedule`].
+///
+/// A clean replay has every counter at zero. `past_horizon` counts
+/// decisions requested beyond the recorded transcript (served silently
+/// by the schedule's [`Fallback`] — the failure mode that used to be
+/// invisible); `mismatched` counts dispatches whose message identity
+/// diverged from the recording at the same index.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// `past_horizon + mismatched` — total fallback answers.
+    pub divergences: u64,
+    /// Decisions requested past the recorded horizon.
+    pub past_horizon: u64,
+    /// Recorded decisions that did not match the dispatched message.
+    pub mismatched: u64,
+}
+
+/// [`replay`], but also reports how often the run left the recorded
+/// schedule (see [`ReplayReport`]).
+pub fn replay_report<P, F>(
+    g: &WeightedGraph,
+    make: F,
+    schedule: &Schedule,
+) -> (Run<P>, ReplayReport)
+where
+    P: Process,
+    F: FnMut(NodeId, &WeightedGraph) -> P,
+{
+    let mut oracle = ScheduleOracle::new(schedule);
+    let run = Simulator::new(g)
+        .run_with_oracle(&mut oracle, make)
+        .expect("replayed protocol must quiesce");
+    (
+        run,
+        ReplayReport {
+            divergences: oracle.divergences,
+            past_horizon: oracle.past_horizon,
+            mismatched: oracle.mismatched,
+        },
+    )
 }

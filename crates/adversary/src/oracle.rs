@@ -1,13 +1,16 @@
-//! Delay oracles built on the [`csp_sim::DelayOracle`] hook: recording,
+//! Link oracles built on the [`csp_sim::LinkOracle`] hook: recording,
 //! replay and the critical-path greedy adversary.
 
-use crate::schedule::{Decision, Fallback, Schedule};
-use csp_sim::{DelayOracle, MsgInfo};
+use crate::schedule::{Crash, Decision, Fallback, Schedule};
+use csp_graph::NodeId;
+use csp_sim::{DelayOracle, LinkDecision, LinkOracle, MsgInfo, SimTime};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// Wraps any oracle and records every decision it makes, producing a
-/// [`Schedule`] that replays the run exactly.
+/// Wraps any [`LinkOracle`] (every [`DelayOracle`] qualifies through the
+/// blanket shim) and records every decision it makes — delays, drops and
+/// crash assignments — producing a [`Schedule`] that replays the run
+/// exactly.
 ///
 /// The recorded delay is the *effective* one — clamped into
 /// `[1, w(e)]` exactly as the runtime clamps it — so a recording never
@@ -16,13 +19,14 @@ use std::collections::BinaryHeap;
 pub struct Recorder<O> {
     inner: O,
     decisions: Vec<Decision>,
+    crashes: Vec<Crash>,
     /// Message index the recording starts at — non-zero when transcribing
     /// a run resumed from a [`csp_sim::Checkpoint`], whose first decision
     /// carries the checkpoint's message count as its index.
     offset: u64,
 }
 
-impl<O: DelayOracle> Recorder<O> {
+impl<O: LinkOracle> Recorder<O> {
     /// Starts recording on top of `inner`.
     pub fn new(inner: O) -> Self {
         Self::with_offset(inner, 0)
@@ -31,11 +35,14 @@ impl<O: DelayOracle> Recorder<O> {
     /// Starts recording a run that resumes mid-schedule: the first
     /// decision observed is expected to carry index `start_index`.
     /// [`Recorder::into_decisions`] then yields only the suffix, to be
-    /// spliced after the prefix the checkpoint already covers.
+    /// spliced after the prefix the checkpoint already covers. (Resumed
+    /// runs restore their crash assignment from the checkpoint and never
+    /// re-query it, so an offset recording carries no crashes.)
     pub fn with_offset(inner: O, start_index: u64) -> Self {
         Recorder {
             inner,
             decisions: Vec::new(),
+            crashes: Vec::new(),
             offset: start_index,
         }
     }
@@ -49,6 +56,7 @@ impl<O: DelayOracle> Recorder<O> {
         Schedule {
             decisions: self.decisions,
             fallback,
+            crashes: self.crashes,
         }
     }
 
@@ -59,35 +67,63 @@ impl<O: DelayOracle> Recorder<O> {
     }
 }
 
-impl<O: DelayOracle> DelayOracle for Recorder<O> {
-    fn delay(&mut self, msg: &MsgInfo) -> u64 {
-        let d = self.inner.delay(msg).clamp(1, msg.weight.get());
+impl<O: LinkOracle> LinkOracle for Recorder<O> {
+    fn decide(&mut self, msg: &MsgInfo) -> LinkDecision {
         debug_assert_eq!(msg.index, self.offset + self.decisions.len() as u64);
+        let w = msg.weight.get();
+        let (decision, delay, dropped) = match self.inner.decide(msg) {
+            LinkDecision::Drop => (LinkDecision::Drop, w, true),
+            LinkDecision::Deliver { delay } => {
+                let d = delay.clamp(1, w);
+                (LinkDecision::Deliver { delay: d }, d, false)
+            }
+        };
         self.decisions.push(Decision {
             index: msg.index,
             edge: msg.edge,
             dir: msg.dir,
-            weight: msg.weight.get(),
-            delay: d,
+            weight: w,
+            delay,
+            dropped,
         });
-        d
+        decision
+    }
+
+    fn crash_at(&mut self, node: NodeId) -> Option<SimTime> {
+        let at = self.inner.crash_at(node);
+        if let Some(t) = at {
+            self.crashes.push(Crash { node, at: t.get() });
+        }
+        at
     }
 }
 
-/// Replays a [`Schedule`]: message `i` takes the recorded delay of
-/// decision `i`, as long as the run still dispatches the same message
-/// (same edge and direction) at that index.
+/// Replays a [`Schedule`]: message `i` takes the recorded fate of
+/// decision `i` — its delay, or a drop — as long as the run still
+/// dispatches the same message (same edge and direction) at that index;
+/// crashed vertices come straight from the schedule's crash list.
 ///
 /// Past the recorded prefix — or at any mismatching index, which happens
 /// when a *mutated* schedule steers the protocol down a different path —
 /// the oracle applies the schedule's [`Fallback`] and counts the event in
-/// [`ScheduleOracle::divergences`]. A faithful replay of an unmodified
-/// recording never diverges (asserted in the adversary test suite).
+/// [`ScheduleOracle::divergences`]; the two causes are told apart by
+/// [`ScheduleOracle::past_horizon`] and [`ScheduleOracle::mismatched`].
+/// The fallback never drops: an unrecorded message is delivered, so
+/// truncating a schedule degrades toward a fault-free run instead of a
+/// silently lossy one. A faithful replay of an unmodified recording
+/// never diverges (asserted in the adversary test suite).
 #[derive(Clone, Debug)]
 pub struct ScheduleOracle<'s> {
     schedule: &'s Schedule,
-    /// How many decisions fell through to the fallback policy.
+    /// How many decisions fell through to the fallback policy
+    /// (`past_horizon + mismatched`).
     pub divergences: u64,
+    /// Fallback decisions caused by running past the recorded horizon:
+    /// the run dispatched more messages than the schedule records.
+    pub past_horizon: u64,
+    /// Fallback decisions caused by an edge/direction mismatch at a
+    /// recorded index: the run took a different path than the recording.
+    pub mismatched: u64,
 }
 
 impl<'s> ScheduleOracle<'s> {
@@ -96,22 +132,40 @@ impl<'s> ScheduleOracle<'s> {
         ScheduleOracle {
             schedule,
             divergences: 0,
+            past_horizon: 0,
+            mismatched: 0,
         }
     }
 }
 
-impl DelayOracle for ScheduleOracle<'_> {
-    fn delay(&mut self, msg: &MsgInfo) -> u64 {
-        if let Some(d) = self.schedule.decisions.get(msg.index as usize) {
-            if d.index == msg.index && d.edge == msg.edge && d.dir == msg.dir {
-                return d.delay;
+impl LinkOracle for ScheduleOracle<'_> {
+    fn decide(&mut self, msg: &MsgInfo) -> LinkDecision {
+        match self.schedule.decisions.get(msg.index as usize) {
+            Some(d) if d.index == msg.index && d.edge == msg.edge && d.dir == msg.dir => {
+                return if d.dropped {
+                    LinkDecision::Drop
+                } else {
+                    LinkDecision::Deliver { delay: d.delay }
+                };
             }
+            Some(_) => self.mismatched += 1,
+            None => self.past_horizon += 1,
         }
         self.divergences += 1;
-        match self.schedule.fallback {
-            Fallback::WorstCase => msg.weight.get(),
-            Fallback::Rush => 1,
+        LinkDecision::Deliver {
+            delay: match self.schedule.fallback {
+                Fallback::WorstCase => msg.weight.get(),
+                Fallback::Rush => 1,
+            },
         }
+    }
+
+    fn crash_at(&mut self, node: NodeId) -> Option<SimTime> {
+        self.schedule
+            .crashes
+            .iter()
+            .find(|c| c.node == node)
+            .map(|c| SimTime::new(c.at))
     }
 }
 
@@ -178,6 +232,10 @@ mod tests {
         }
     }
 
+    fn deliver(delay: u64) -> LinkDecision {
+        LinkDecision::Deliver { delay }
+    }
+
     #[test]
     fn recorder_transcribes_and_clamps() {
         struct Wild;
@@ -187,10 +245,49 @@ mod tests {
             }
         }
         let mut rec = Recorder::new(Wild);
-        assert_eq!(rec.delay(&info(0, 7, 0)), 7);
+        assert_eq!(rec.decide(&info(0, 7, 0)), deliver(7));
         let s = rec.into_schedule(Fallback::Rush);
         assert_eq!(s.decisions.len(), 1);
         assert_eq!(s.decisions[0].delay, 7);
+        assert!(!s.decisions[0].dropped);
+    }
+
+    #[test]
+    fn recorder_transcribes_drops_and_crashes() {
+        struct Hostile;
+        impl LinkOracle for Hostile {
+            fn decide(&mut self, msg: &MsgInfo) -> LinkDecision {
+                if msg.index == 0 {
+                    LinkDecision::Drop
+                } else {
+                    deliver(2)
+                }
+            }
+            fn crash_at(&mut self, node: NodeId) -> Option<SimTime> {
+                (node.index() == 1).then_some(SimTime::new(30))
+            }
+        }
+        let mut rec = Recorder::new(Hostile);
+        assert_eq!(rec.crash_at(NodeId::new(0)), None);
+        assert_eq!(rec.crash_at(NodeId::new(1)), Some(SimTime::new(30)));
+        assert_eq!(rec.decide(&info(0, 7, 0)), LinkDecision::Drop);
+        assert_eq!(rec.decide(&info(1, 7, 0)), deliver(2));
+        let s = rec.into_schedule(Fallback::WorstCase);
+        assert_eq!(s.dropped_count(), 1);
+        assert_eq!(
+            s.crashes,
+            vec![Crash {
+                node: NodeId::new(1),
+                at: 30
+            }]
+        );
+        // Replaying the recording reproduces both fates and the crash.
+        let mut o = ScheduleOracle::new(&s);
+        assert_eq!(o.decide(&info(0, 7, 0)), LinkDecision::Drop);
+        assert_eq!(o.decide(&info(1, 7, 0)), deliver(2));
+        assert_eq!(o.crash_at(NodeId::new(1)), Some(SimTime::new(30)));
+        assert_eq!(o.crash_at(NodeId::new(2)), None);
+        assert_eq!(o.divergences, 0);
     }
 
     #[test]
@@ -202,13 +299,17 @@ mod tests {
                 dir: 0,
                 weight: 9,
                 delay: 4,
+                dropped: false,
             }],
             fallback: Fallback::WorstCase,
+            crashes: vec![],
         };
         let mut o = ScheduleOracle::new(&s);
-        assert_eq!(o.delay(&info(0, 9, 0)), 4); // recorded
-        assert_eq!(o.delay(&info(1, 9, 0)), 9); // past prefix -> worst case
+        assert_eq!(o.decide(&info(0, 9, 0)), deliver(4)); // recorded
+        assert_eq!(o.decide(&info(1, 9, 0)), deliver(9)); // past prefix -> worst case
         assert_eq!(o.divergences, 1);
+        assert_eq!(o.past_horizon, 1);
+        assert_eq!(o.mismatched, 0);
     }
 
     #[test]
@@ -220,13 +321,17 @@ mod tests {
                 dir: 0,
                 weight: 9,
                 delay: 4,
+                dropped: false,
             }],
             fallback: Fallback::Rush,
+            crashes: vec![],
         };
         let mut o = ScheduleOracle::new(&s);
         // Same index but a different edge: the run diverged.
-        assert_eq!(o.delay(&info(0, 9, 0)), 1);
+        assert_eq!(o.decide(&info(0, 9, 0)), deliver(1));
         assert_eq!(o.divergences, 1);
+        assert_eq!(o.mismatched, 1);
+        assert_eq!(o.past_horizon, 0);
     }
 
     #[test]

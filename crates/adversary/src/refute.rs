@@ -4,13 +4,16 @@
 //!
 //! The shrinker is proptest-style: a violation witnessed by a searched
 //! schedule usually rushes many messages, most of them irrelevant.
-//! [`shrink`] reverts rushed decisions toward
+//! [`shrink`] first discards crashes the violation does not need, then
+//! reverts interesting decisions — rushed (`delay < weight`) or dropped
+//! — toward fault-free
 //! [`DelayModel::WorstCase`](csp_sim::DelayModel::WorstCase) in
 //! halving-size chunks while the violation persists, down to a
-//! 1-minimal schedule: reverting any single remaining rushed decision
-//! makes the violation disappear. The minimal schedule is re-recorded
-//! after every accepted step, so the file written to disk replays to
-//! exactly the reported completion time.
+//! 1-minimal schedule: reverting any single remaining interesting
+//! decision (or removing any remaining crash) makes the violation
+//! disappear. The minimal schedule is re-recorded after every accepted
+//! step, so the file written to disk replays to exactly the reported
+//! completion time.
 
 use crate::oracle::{Recorder, ScheduleOracle};
 use crate::schedule::{Fallback, Schedule};
@@ -45,6 +48,12 @@ pub struct Refutation {
     /// Where the counterexample was written, if an output directory was
     /// given.
     pub path: Option<PathBuf>,
+    /// Decisions the final replay requested beyond the recorded horizon
+    /// (served by the schedule's [`Fallback`]). Non-zero means the
+    /// witness relies on the fallback policy, not only on recorded
+    /// decisions — worth knowing before trusting it across simulator
+    /// versions.
+    pub past_horizon: u64,
 }
 
 /// Replays `schedule` and re-records what was actually taken.
@@ -62,12 +71,15 @@ where
 
 /// Shrinks `schedule` to a 1-minimal violation of `violates`.
 ///
-/// Rushed decisions (`delay < weight`) are reverted to the full edge
+/// Crashes are tried for removal first, one at a time, until every
+/// remaining crash is load-bearing. Then interesting decisions — rushed
+/// (`delay < weight`) or dropped — are reverted to fault-free full edge
 /// weight in chunks, halving the chunk size whenever no chunk at the
-/// current size can be reverted, until no single rushed decision can be
-/// reverted without losing the violation. The returned schedule is a
-/// fresh recording of its own replay, so it is internally consistent
-/// even when reverting steered the protocol down a different path.
+/// current size can be reverted, until no single interesting decision
+/// can be reverted without losing the violation. The returned schedule
+/// is a fresh recording of its own replay, so it is internally
+/// consistent even when reverting steered the protocol down a different
+/// path.
 ///
 /// Returns the input re-recorded (unshrunk) if its replay does not
 /// satisfy `violates` in the first place.
@@ -86,24 +98,42 @@ where
         return (time, current);
     }
 
-    let rushed_positions = |s: &Schedule| -> Vec<usize> {
+    // Crash removal first: a crash silences a vertex for the rest of the
+    // run, warping the whole transcript, so deciding whether each one is
+    // needed before touching per-message decisions keeps the decision
+    // phase shrinking a stable run.
+    let mut c = 0;
+    while c < current.crashes.len() {
+        let mut candidate = current.clone();
+        candidate.crashes.remove(c);
+        let (t, recorded) = replay_recorded(g, make, &candidate);
+        if violates(t) {
+            time = t;
+            current = recorded;
+        } else {
+            c += 1;
+        }
+    }
+
+    let interesting_positions = |s: &Schedule| -> Vec<usize> {
         (0..s.decisions.len())
-            .filter(|&i| s.decisions[i].delay < s.decisions[i].weight)
+            .filter(|&i| s.decisions[i].delay < s.decisions[i].weight || s.decisions[i].dropped)
             .collect()
     };
 
-    let mut chunk = rushed_positions(&current).len().div_ceil(2).max(1);
+    let mut chunk = interesting_positions(&current).len().div_ceil(2).max(1);
     loop {
-        let rushed = rushed_positions(&current);
-        if rushed.is_empty() {
+        let interesting = interesting_positions(&current);
+        if interesting.is_empty() {
             break;
         }
-        chunk = chunk.min(rushed.len());
+        chunk = chunk.min(interesting.len());
         let mut reverted = false;
-        for block in rushed.chunks(chunk) {
+        for block in interesting.chunks(chunk) {
             let mut candidate = current.clone();
             for &i in block {
                 candidate.decisions[i].delay = candidate.decisions[i].weight;
+                candidate.decisions[i].dropped = false;
             }
             let (t, recorded) = replay_recorded(g, make, &candidate);
             if violates(t) {
@@ -156,6 +186,7 @@ where
         let (observed, minimal) = shrink(&point.graph, &make, &outcome.schedule, |t| {
             t.get() > claimed
         });
+        let (_, report) = crate::replay_report(&point.graph, &make, &minimal);
         let path = out_dir.map(|dir| {
             let file = dir.join(format!("{}.schedule", sanitize(&point.label)));
             minimal
@@ -168,6 +199,12 @@ where
                             "found by {} after {} evaluations",
                             outcome.strategy, outcome.evaluations
                         ),
+                        format!(
+                            "replay: {} drops, {} crashes, {} past-horizon fallbacks",
+                            minimal.dropped_count(),
+                            minimal.crashes.len(),
+                            report.past_horizon
+                        ),
                     ],
                 )
                 .expect("write counterexample schedule");
@@ -179,6 +216,7 @@ where
             observed,
             schedule: minimal,
             path,
+            past_horizon: report.past_horizon,
         });
     }
     refutations
@@ -245,6 +283,33 @@ mod tests {
         let (t, minimal) = shrink(&g, &make, &all_rushed, |t| t.get() <= 27);
         assert_eq!(minimal.rushed(), 1);
         assert_eq!(t, SimTime::new(26));
+    }
+
+    #[test]
+    fn shrink_discards_needless_faults_and_keeps_the_load_bearing_drop() {
+        // Fault-free, the six-hop ring always completes at >= 6 ticks;
+        // finishing earlier requires losing the token. Start from a
+        // maximally faulty schedule — every hop rushed AND dropped, plus
+        // a crash — and shrink against "completes before tick 6". The
+        // crash and all but one drop are noise: 1-minimal keeps a single
+        // dropped decision and nothing else interesting.
+        let g = generators::cycle(6, |_| 5);
+        let make = |_: NodeId, _: &WeightedGraph| Ring { done: false };
+        let mut rec = Recorder::new(ModelOracle::new(DelayModel::Eager, 0));
+        Simulator::new(&g).run_with_oracle(&mut rec, make).unwrap();
+        let mut faulty = rec.into_schedule(Fallback::WorstCase);
+        for d in &mut faulty.decisions {
+            d.dropped = true;
+        }
+        faulty.crashes.push(crate::schedule::Crash {
+            node: NodeId::new(3),
+            at: 2,
+        });
+        let (t, minimal) = shrink(&g, &make, &faulty, |t| t.get() < 6);
+        assert!(t.get() < 6);
+        assert_eq!(minimal.dropped_count(), 1);
+        assert_eq!(minimal.rushed(), 0);
+        assert!(minimal.crashes.is_empty(), "the crash was not load-bearing");
     }
 
     #[test]

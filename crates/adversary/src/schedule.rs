@@ -1,18 +1,21 @@
-//! Recorded delay schedules: the serializable unit of adversarial state.
+//! Recorded fault schedules: the serializable unit of adversarial state.
 //!
-//! A [`Schedule`] is the complete transcript of one run's delay
-//! decisions, one [`Decision`] per metered send in dispatch order.
-//! Because the simulator is deterministic given an oracle, replaying a
-//! schedule (see [`crate::ScheduleOracle`]) reproduces the run exactly —
-//! same [`CostReport`](csp_sim::CostReport), same trace, same final
-//! states. Mutated or truncated schedules may diverge from the run that
+//! A [`Schedule`] is the complete transcript of one run's link
+//! decisions, one [`Decision`] per metered send in dispatch order —
+//! its delay, or the fact that it was dropped — plus the run's
+//! [`Crash`] assignment. Because the simulator is deterministic given
+//! an oracle, replaying a schedule (see [`crate::ScheduleOracle`])
+//! reproduces the run exactly — same
+//! [`CostReport`](csp_sim::CostReport), same trace, same final states.
+//! Mutated or truncated schedules may diverge from the run that
 //! produced them; past the recorded prefix (or on an edge mismatch) the
 //! replay oracle falls back to the schedule's [`Fallback`] policy.
 //!
 //! # Text format
 //!
 //! Schedules serialize to a line-oriented plain-text format (no external
-//! dependencies):
+//! dependencies). A delay-only schedule keeps the original `v1` dialect,
+//! so previously committed witnesses parse and regenerate unchanged:
 //!
 //! ```text
 //! csp-adversary-schedule v1
@@ -22,16 +25,30 @@
 //! d 1 7 0 4 1
 //! ```
 //!
-//! Blank lines and `#` comments are ignored anywhere, so counterexample
-//! files can carry a human-readable header.
+//! A schedule carrying faults serializes as `v2`, which adds `x` lines
+//! for dropped sends (no delay — the message never arrives) and `c`
+//! lines for crashed vertices:
+//!
+//! ```text
+//! csp-adversary-schedule v2
+//! fallback worst-case
+//! c 3 120
+//! # index edge dir weight delay
+//! d 0 3 1 16 16
+//! x 1 7 0 4
+//! ```
+//!
+//! Both dialects are accepted by [`Schedule::from_text`]. Blank lines
+//! and `#` comments are ignored anywhere, so counterexample files can
+//! carry a human-readable header.
 
-use csp_graph::EdgeId;
+use csp_graph::{EdgeId, NodeId};
 use std::error::Error;
 use std::fmt;
 use std::path::Path;
 
-/// One recorded delay decision: the i-th metered send of the run took
-/// `delay` ticks on `edge`.
+/// One recorded link decision: what happened to the i-th metered send
+/// of the run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Decision {
     /// Global dispatch index (0-based send order) — matches
@@ -43,8 +60,22 @@ pub struct Decision {
     pub dir: u8,
     /// Weight of the edge at record time (delays live in `[1, weight]`).
     pub weight: u64,
-    /// The delay taken, in ticks.
+    /// The delay taken, in ticks. Meaningless when [`Decision::dropped`]
+    /// is set (kept admissible so mutation can toggle the drop off).
     pub delay: u64,
+    /// Whether the adversary dropped the message instead of delivering
+    /// it: the send was metered but nothing arrived.
+    pub dropped: bool,
+}
+
+/// A crashed vertex: from `at` onward it silently consumes every
+/// delivery and timer without reacting.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Crash {
+    /// The vertex that crashes.
+    pub node: NodeId,
+    /// The time it crashes (inclusive; `0` suppresses even `on_start`).
+    pub at: u64,
 }
 
 /// What the replay oracle does beyond the recorded prefix, or when the
@@ -61,13 +92,15 @@ pub enum Fallback {
     Rush,
 }
 
-/// A deterministic, serializable record of every delay decision of a run.
+/// A deterministic, serializable record of every link decision of a run.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Schedule {
     /// Decisions in dispatch order; position `i` holds index `i`.
     pub decisions: Vec<Decision>,
     /// Policy for messages beyond (or diverging from) the recording.
     pub fallback: Fallback,
+    /// Vertices the adversary crashes, at most one entry per vertex.
+    pub crashes: Vec<Crash>,
 }
 
 impl Schedule {
@@ -81,43 +114,79 @@ impl Schedule {
         self.decisions.is_empty()
     }
 
-    /// Number of decisions strictly faster than the worst case
-    /// (`delay < weight`) — the "interesting" part of an adversarial
-    /// schedule, and the quantity shrinking minimizes.
+    /// Number of delivered decisions strictly faster than the worst case
+    /// (`delay < weight`) — together with [`Schedule::dropped_count`] the
+    /// "interesting" part of an adversarial schedule, and the quantity
+    /// shrinking minimizes.
     pub fn rushed(&self) -> usize {
-        self.decisions.iter().filter(|d| d.delay < d.weight).count()
+        self.decisions
+            .iter()
+            .filter(|d| !d.dropped && d.delay < d.weight)
+            .count()
+    }
+
+    /// Number of dropped decisions.
+    pub fn dropped_count(&self) -> usize {
+        self.decisions.iter().filter(|d| d.dropped).count()
+    }
+
+    /// Whether this schedule needs the `v2` dialect (it records faults,
+    /// not just delays).
+    pub fn has_faults(&self) -> bool {
+        !self.crashes.is_empty() || self.decisions.iter().any(|d| d.dropped)
     }
 
     /// Serializes to the plain-text format described in the
-    /// [module docs](self).
+    /// [module docs](self): `v1` when delay-only, `v2` when faults are
+    /// present.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
-        out.push_str("csp-adversary-schedule v1\n");
+        let v2 = self.has_faults();
+        out.push_str(if v2 {
+            "csp-adversary-schedule v2\n"
+        } else {
+            "csp-adversary-schedule v1\n"
+        });
         out.push_str(match self.fallback {
             Fallback::WorstCase => "fallback worst-case\n",
             Fallback::Rush => "fallback rush\n",
         });
+        for c in &self.crashes {
+            out.push_str(&format!("c {} {}\n", c.node.index(), c.at));
+        }
         out.push_str("# index edge dir weight delay\n");
         for d in &self.decisions {
-            out.push_str(&format!(
-                "d {} {} {} {} {}\n",
-                d.index,
-                d.edge.index(),
-                d.dir,
-                d.weight,
-                d.delay
-            ));
+            if d.dropped {
+                out.push_str(&format!(
+                    "x {} {} {} {}\n",
+                    d.index,
+                    d.edge.index(),
+                    d.dir,
+                    d.weight
+                ));
+            } else {
+                out.push_str(&format!(
+                    "d {} {} {} {} {}\n",
+                    d.index,
+                    d.edge.index(),
+                    d.dir,
+                    d.weight,
+                    d.delay
+                ));
+            }
         }
         out
     }
 
-    /// Parses the plain-text format.
+    /// Parses the plain-text format, accepting both the `v1` (delay-only)
+    /// and `v2` (faults) dialects.
     ///
     /// # Errors
     ///
     /// Returns a [`ParseError`] naming the offending line on malformed
-    /// input: wrong header, unknown fallback, non-contiguous indices or
-    /// a delay outside `[1, weight]`.
+    /// input: wrong header, unknown fallback, non-contiguous indices, a
+    /// delay outside `[1, weight]`, fault lines in a `v1` file, or a
+    /// vertex crashed twice.
     pub fn from_text(text: &str) -> Result<Schedule, ParseError> {
         let fail = |line: usize, msg: &str| ParseError {
             line,
@@ -130,9 +199,15 @@ impl Schedule {
             .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
 
         let (ln, header) = lines.next().ok_or_else(|| fail(0, "empty schedule"))?;
-        if header != "csp-adversary-schedule v1" {
-            return Err(fail(ln, "expected header `csp-adversary-schedule v1`"));
-        }
+        let v2 =
+            match header {
+                "csp-adversary-schedule v1" => false,
+                "csp-adversary-schedule v2" => true,
+                _ => return Err(fail(
+                    ln,
+                    "expected header `csp-adversary-schedule v1` or `csp-adversary-schedule v2`",
+                )),
+            };
         let (ln, fb) = lines
             .next()
             .ok_or_else(|| fail(0, "missing `fallback` line"))?;
@@ -148,9 +223,11 @@ impl Schedule {
         };
 
         let mut decisions = Vec::new();
+        let mut crashes: Vec<Crash> = Vec::new();
         for (ln, line) in lines {
             let mut parts = line.split_ascii_whitespace();
-            if parts.next() != Some("d") {
+            let kind = parts.next().expect("non-empty line has a first token");
+            if !v2 && kind != "d" {
                 return Err(fail(
                     ln,
                     "expected decision line `d <index> <edge> <dir> <weight> <delay>`",
@@ -163,11 +240,29 @@ impl Schedule {
                     .parse::<u64>()
                     .map_err(|_| fail(ln, &format!("malformed {what}")))
             };
+            match kind {
+                "c" => {
+                    let node = num("node")?;
+                    let at = num("time")?;
+                    if parts.next().is_some() {
+                        return Err(fail(ln, "trailing tokens on crash line"));
+                    }
+                    let node = NodeId::new(node as usize);
+                    if crashes.iter().any(|c| c.node == node) {
+                        return Err(fail(ln, "vertex crashed twice"));
+                    }
+                    crashes.push(Crash { node, at });
+                    continue;
+                }
+                "d" | "x" => {}
+                _ => return Err(fail(ln, "expected a `d`, `x` or `c` line")),
+            }
+            let dropped = kind == "x";
             let index = num("index")?;
             let edge = num("edge")?;
             let dir = num("dir")?;
             let weight = num("weight")?;
-            let delay = num("delay")?;
+            let delay = if dropped { weight } else { num("delay")? };
             if parts.next().is_some() {
                 return Err(fail(ln, "trailing tokens on decision line"));
             }
@@ -186,11 +281,13 @@ impl Schedule {
                 dir: dir as u8,
                 weight,
                 delay,
+                dropped,
             });
         }
         Ok(Schedule {
             decisions,
             fallback,
+            crashes,
         })
     }
 
@@ -209,22 +306,33 @@ impl Schedule {
         for h in header {
             writeln!(w, "# {h}")?;
         }
-        writeln!(w, "csp-adversary-schedule v1")?;
+        if self.has_faults() {
+            writeln!(w, "csp-adversary-schedule v2")?;
+        } else {
+            writeln!(w, "csp-adversary-schedule v1")?;
+        }
         match self.fallback {
             Fallback::WorstCase => writeln!(w, "fallback worst-case")?,
             Fallback::Rush => writeln!(w, "fallback rush")?,
         }
+        for c in &self.crashes {
+            writeln!(w, "c {} {}", c.node.index(), c.at)?;
+        }
         writeln!(w, "# index edge dir weight delay")?;
         for d in &self.decisions {
-            writeln!(
-                w,
-                "d {} {} {} {} {}",
-                d.index,
-                d.edge.index(),
-                d.dir,
-                d.weight,
-                d.delay
-            )?;
+            if d.dropped {
+                writeln!(w, "x {} {} {} {}", d.index, d.edge.index(), d.dir, d.weight)?;
+            } else {
+                writeln!(
+                    w,
+                    "d {} {} {} {} {}",
+                    d.index,
+                    d.edge.index(),
+                    d.dir,
+                    d.weight,
+                    d.delay
+                )?;
+            }
         }
         w.flush()
     }
@@ -279,6 +387,7 @@ mod tests {
                     dir: 1,
                     weight: 16,
                     delay: 16,
+                    dropped: false,
                 },
                 Decision {
                     index: 1,
@@ -286,16 +395,60 @@ mod tests {
                     dir: 0,
                     weight: 4,
                     delay: 1,
+                    dropped: false,
                 },
             ],
             fallback: Fallback::Rush,
+            crashes: vec![],
         }
+    }
+
+    fn faulty_sample() -> Schedule {
+        let mut s = sample();
+        s.decisions[1].dropped = true;
+        s.decisions[1].delay = s.decisions[1].weight;
+        s.crashes.push(Crash {
+            node: NodeId::new(4),
+            at: 12,
+        });
+        s
     }
 
     #[test]
     fn text_round_trip() {
         let s = sample();
         assert_eq!(Schedule::from_text(&s.to_text()).unwrap(), s);
+    }
+
+    #[test]
+    fn delay_only_schedules_stay_v1() {
+        // Stability guarantee: committed delay-only witnesses must keep
+        // their exact on-disk dialect.
+        assert!(sample()
+            .to_text()
+            .starts_with("csp-adversary-schedule v1\n"));
+    }
+
+    #[test]
+    fn fault_round_trip_uses_v2() {
+        let s = faulty_sample();
+        let text = s.to_text();
+        assert!(text.starts_with("csp-adversary-schedule v2\n"));
+        assert!(text.contains("\nx 1 7 0 4\n"));
+        assert!(text.contains("\nc 4 12\n"));
+        assert_eq!(Schedule::from_text(&text).unwrap(), s);
+        assert_eq!(s.dropped_count(), 1);
+        assert_eq!(s.rushed(), 0, "a dropped decision is not rushed");
+    }
+
+    #[test]
+    fn fault_save_load_round_trips() {
+        let s = faulty_sample();
+        let path = std::env::temp_dir().join("csp-adversary-fault-roundtrip.schedule");
+        s.save(&path, &["fault round-trip".to_string()]).unwrap();
+        let loaded = Schedule::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, s);
     }
 
     #[test]
@@ -319,12 +472,23 @@ mod tests {
                 edge: EdgeId::new((i % 37) as usize),
                 dir: (i % 2) as u8,
                 weight: 1 + i % 50,
-                delay: 1 + (i * 7) % (1 + i % 50),
+                // Dropped entries re-parse with delay = weight, so give
+                // them exactly that for the equality round-trip.
+                delay: if i % 19 == 0 {
+                    1 + i % 50
+                } else {
+                    1 + (i * 7) % (1 + i % 50)
+                },
+                dropped: i % 19 == 0,
             })
             .collect();
         let s = Schedule {
             decisions,
             fallback: Fallback::Rush,
+            crashes: vec![Crash {
+                node: NodeId::new(2),
+                at: 77,
+            }],
         };
         let path = std::env::temp_dir().join("csp-adversary-large-roundtrip.schedule");
         s.save(&path, &["large round-trip".to_string()]).unwrap();
@@ -338,6 +502,19 @@ mod tests {
         for (text, expect) in [
             ("", "empty"),
             ("wrong header", "header"),
+            (
+                // v1 files must not carry fault lines.
+                "csp-adversary-schedule v1\nfallback rush\nx 0 0 0 5",
+                "expected decision line",
+            ),
+            (
+                "csp-adversary-schedule v2\nfallback rush\nc 1 0\nc 1 9",
+                "crashed twice",
+            ),
+            (
+                "csp-adversary-schedule v2\nfallback rush\nq 0 0 0 5",
+                "`d`, `x` or `c`",
+            ),
             ("csp-adversary-schedule v1\nfallback maybe", "fallback"),
             (
                 "csp-adversary-schedule v1\nfallback rush\nd 1 0 0 5 5",

@@ -45,11 +45,11 @@
 //! an improving pass.
 
 use crate::oracle::{CriticalPathOracle, Recorder, ScheduleOracle};
-use crate::schedule::{Fallback, Schedule};
+use crate::schedule::{Crash, Fallback, Schedule};
 use csp_graph::{NodeId, WeightedGraph};
 use csp_sim::sweep::{effective_threads, par_map_with};
 use csp_sim::{
-    Checkpoint, DelayModel, DelayOracle, EvalPool, ModelOracle, Process, SimTime, Simulator,
+    Checkpoint, DelayModel, EvalPool, LinkOracle, ModelOracle, Process, SimTime, Simulator,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -83,6 +83,16 @@ pub struct SearchConfig {
     /// sweeping the final quarter of the schedule from the tail (see the
     /// [module docs](self)).
     pub polish_passes: usize,
+    /// Decisions whose drop flag is toggled per mutation, on top of
+    /// `flips` delay re-randomizations. `0` (the default) keeps the
+    /// search delay-only — and byte-identical to the pre-fault search,
+    /// so committed delay witnesses regenerate unchanged.
+    pub drop_flips: usize,
+    /// Crash candidates probed between the random and hill phases: the
+    /// first `crash_probes` vertices are each tried as the incumbent
+    /// schedule plus that vertex crashing at half the incumbent's
+    /// completion time. `0` (the default) disables crash search.
+    pub crash_probes: usize,
 }
 
 impl Default for SearchConfig {
@@ -96,6 +106,8 @@ impl Default for SearchConfig {
             threads: 0,
             checkpoint_every: 0,
             polish_passes: 4,
+            drop_flips: 0,
+            crash_probes: 0,
         }
     }
 }
@@ -131,7 +143,8 @@ pub struct SearchOutcome {
     /// replaying it reproduces that time exactly.
     pub schedule: Schedule,
     /// Which strategy found the best schedule: `"worst-case"`,
-    /// `"critical-path"`, `"random"`, `"hill-climb"` or `"polish"`.
+    /// `"critical-path"`, `"random"`, `"crash"`, `"hill-climb"` or
+    /// `"polish"`.
     pub strategy: &'static str,
     /// Total simulator runs spent (checkpoint-resumed candidate
     /// evaluations count as one run each, like the cold runs they
@@ -162,7 +175,7 @@ fn record_run<P, F, O>(g: &WeightedGraph, make: &F, oracle: O) -> (SimTime, Sche
 where
     P: Process,
     F: Fn(NodeId, &WeightedGraph) -> P,
-    O: DelayOracle,
+    O: LinkOracle,
 {
     let mut rec = Recorder::new(oracle);
     let run = Simulator::new(g)
@@ -182,7 +195,7 @@ fn eval_recorded<P, F, O>(
 where
     P: Process,
     F: Fn(NodeId, &WeightedGraph) -> P,
-    O: DelayOracle,
+    O: LinkOracle,
 {
     let mut rec = Recorder::new(oracle);
     let summary = sim
@@ -211,16 +224,21 @@ fn rebuild_checkpoints<P, F>(
     debug_assert_eq!(oracle.divergences, 0, "incumbent replay diverged");
 }
 
-/// First index at which `mutant`'s delays depart from the incumbent's —
-/// the first message where the candidate's run can diverge; everything
-/// before it is shared prefix. Mutation only rewrites delays, so
-/// comparing delays suffices.
+/// First index at which `mutant`'s link decisions depart from the
+/// incumbent's — the first message where the candidate's run can
+/// diverge; everything before it is shared prefix. Mutation only
+/// rewrites delays and drop flags, so comparing those suffices — except
+/// crashes, which take effect from time zero: a candidate with a
+/// different crash assignment shares no prefix at all.
 fn first_diff(incumbent: &Schedule, mutant: &Schedule) -> u64 {
+    if incumbent.crashes != mutant.crashes {
+        return 0;
+    }
     incumbent
         .decisions
         .iter()
         .zip(&mutant.decisions)
-        .position(|(a, b)| a.delay != b.delay)
+        .position(|(a, b)| (a.delay, a.dropped) != (b.delay, b.dropped))
         .unwrap_or(mutant.decisions.len()) as u64
 }
 
@@ -289,13 +307,30 @@ where
         Schedule {
             decisions,
             fallback: Fallback::WorstCase,
+            // Resumed runs restore the crash assignment from the
+            // checkpoint instead of re-querying the oracle, so the
+            // recorder saw none of it; splice the mutant's own crashes
+            // (identical to the checkpoint's — `first_diff` is 0, and no
+            // checkpoint covers it, whenever they differ).
+            crashes: mutant.crashes.clone(),
         },
     )
 }
 
 /// Re-randomizes `flips` decisions of `base`: each picked decision is set
 /// to rushed (`1`), stretched (`weight`) or a uniform point between.
+/// Equivalent to [`mutate_with_drops`] with `drop_flips = 0`.
 pub fn mutate(base: &Schedule, seed: u64, flips: usize) -> Schedule {
+    mutate_with_drops(base, seed, flips, 0)
+}
+
+/// [`mutate`] plus fault injection: after the `flips` delay
+/// re-randomizations, `drop_flips` further picked decisions have their
+/// drop flag toggled (a delivered message is lost, a lost one is
+/// delivered at its recorded delay). With `drop_flips = 0` the RNG
+/// stream — and therefore the mutant — is identical to [`mutate`]'s, so
+/// enabling fault search never perturbs delay-only results.
+pub fn mutate_with_drops(base: &Schedule, seed: u64, flips: usize, drop_flips: usize) -> Schedule {
     let mut out = base.clone();
     if out.decisions.is_empty() {
         return out;
@@ -310,6 +345,11 @@ pub fn mutate(base: &Schedule, seed: u64, flips: usize) -> Schedule {
             _ => rng.random_range(1..=d.weight),
         };
     }
+    for _ in 0..drop_flips {
+        let i = rng.random_range(0..out.decisions.len() as u64) as usize;
+        let d = &mut out.decisions[i];
+        d.dropped = !d.dropped;
+    }
     out
 }
 
@@ -319,7 +359,8 @@ pub fn mutate(base: &Schedule, seed: u64, flips: usize) -> Schedule {
 /// Strategy pipeline: (1) the [`DelayModel::WorstCase`] baseline, which
 /// also defines [`SearchOutcome::worst_case`]; (2) the
 /// [`CriticalPathOracle`] greedy; (3) `random_probes` uniform-delay
-/// probes in parallel; (4) `hill_rounds` rounds of parallel
+/// probes in parallel; (3½) `crash_probes` single-crash candidates
+/// spliced onto the incumbent; (4) `hill_rounds` rounds of parallel
 /// [`mutate`]-and-replay hill climbing from the incumbent, each
 /// candidate resumed from the incumbent's checkpoint store (see the
 /// [module docs](self)); (5) `polish_passes` of tail coordinate descent
@@ -366,6 +407,24 @@ where
         }
     }
 
+    // Crash probes: try each of the first `crash_probes` vertices as the
+    // incumbent plus that vertex crashing halfway through the incumbent's
+    // run. Crashes take effect from time zero (`first_diff` is 0 against
+    // any crash-free checkpoint), so every probe is a cold recorded run.
+    if cfg.crash_probes > 0 {
+        let at = (best.best_time.get() / 2).max(1);
+        let mut pool = EvalPool::new();
+        for v in g.nodes().take(cfg.crash_probes) {
+            let mut candidate = best.schedule.clone();
+            candidate.crashes.push(Crash { node: v, at });
+            let (t, s) = eval_recorded(&sim, &mut pool, &make, ScheduleOracle::new(&candidate));
+            evaluations += 1;
+            if t > best.best_time {
+                (best.best_time, best.schedule, best.strategy) = (t, s, "crash");
+            }
+        }
+    }
+
     let mut checkpoints: Vec<Checkpoint<P>> = Vec::new();
     let mut main_pool = EvalPool::new();
     if cfg.hill_rounds > 0 || cfg.polish_passes > 0 {
@@ -380,7 +439,7 @@ where
         let incumbent = &best.schedule;
         let store = &checkpoints;
         let scores = par_map_with(&mutation_seeds, threads, EvalPool::new, |pool, &ms| {
-            let mutant = mutate(incumbent, ms, cfg.flips);
+            let mutant = mutate_with_drops(incumbent, ms, cfg.flips, cfg.drop_flips);
             let fd = first_diff(incumbent, &mutant);
             score_candidate_from(&sim, pool, &make, store, &mutant, fd)
         });
@@ -395,7 +454,8 @@ where
             }
         }
         if let Some((i, t)) = winner {
-            let mutant = mutate(&best.schedule, mutation_seeds[i], cfg.flips);
+            let mutant =
+                mutate_with_drops(&best.schedule, mutation_seeds[i], cfg.flips, cfg.drop_flips);
             let fd = first_diff(&best.schedule, &mutant);
             let (rt, rs) =
                 evaluate_candidate_from(&sim, &mut main_pool, &make, &checkpoints, &mutant, fd);
@@ -580,6 +640,81 @@ mod tests {
         assert_eq!(mutant.decisions.len(), base.decisions.len());
         for d in &mutant.decisions {
             assert!(d.delay >= 1 && d.delay <= d.weight);
+        }
+    }
+
+    #[test]
+    fn zero_drop_flips_matches_the_delay_only_mutator() {
+        // `mutate_with_drops(.., 0)` must draw the identical RNG stream as
+        // `mutate`, so enabling fault search can never perturb delay-only
+        // results (committed witnesses regenerate unchanged).
+        let g = small_graph();
+        let (_, base) = record_run(
+            &g,
+            &|_, _| Flood { seen: false },
+            ModelOracle::new(DelayModel::Uniform, 3),
+        );
+        for seed in [0, 7, 99] {
+            assert_eq!(mutate(&base, seed, 6), mutate_with_drops(&base, seed, 6, 0));
+        }
+    }
+
+    #[test]
+    fn drop_flips_toggle_only_drop_flags() {
+        let g = small_graph();
+        let (_, base) = record_run(
+            &g,
+            &|_, _| Flood { seen: false },
+            ModelOracle::new(DelayModel::Uniform, 3),
+        );
+        let mutant = mutate_with_drops(&base, 42, 0, 5);
+        assert!(mutant.dropped_count() > 0, "some flag must flip");
+        for (a, b) in base.decisions.iter().zip(&mutant.decisions) {
+            assert_eq!(a.delay, b.delay, "delays must be untouched");
+        }
+    }
+
+    #[test]
+    fn fault_search_with_drops_never_loses_to_delay_only() {
+        // Drops can only stall a flood further (retransmission-free flood
+        // still quiesces — undelivered copies just vanish), so the
+        // drop-enabled search must dominate its own delay-only baseline.
+        let g = small_graph();
+        let base = SearchConfig {
+            random_probes: 4,
+            hill_rounds: 3,
+            candidates_per_round: 4,
+            polish_passes: 0,
+            ..SearchConfig::default()
+        };
+        let delay_only = find_worst_schedule(&g, |_, _| Flood { seen: false }, &base);
+        let faulty = find_worst_schedule(
+            &g,
+            |_, _| Flood { seen: false },
+            &SearchConfig {
+                drop_flips: 2,
+                ..base
+            },
+        );
+        assert!(faulty.best_time >= delay_only.worst_case);
+        assert!(faulty.evaluations >= delay_only.evaluations);
+    }
+
+    #[test]
+    fn crash_probes_are_evaluated_and_recorded() {
+        let g = small_graph();
+        let cfg = SearchConfig {
+            random_probes: 2,
+            hill_rounds: 0,
+            polish_passes: 0,
+            crash_probes: 3,
+            ..SearchConfig::default()
+        };
+        let out = find_worst_schedule(&g, |_, _| Flood { seen: false }, &cfg);
+        // 1 worst-case + 1 critical-path + 2 random + 3 crash probes.
+        assert_eq!(out.evaluations, 7);
+        if out.strategy == "crash" {
+            assert_eq!(out.schedule.crashes.len(), 1);
         }
     }
 

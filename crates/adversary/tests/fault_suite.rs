@@ -1,0 +1,175 @@
+//! Fault-injection suite: committed drop-schedule witnesses, the
+//! retransmission layer's differential guarantee under bounded loss,
+//! and deadlock *detection* (rather than a hang) when loss hits an
+//! unprotected protocol.
+//!
+//! The committed schedules under the workspace's `tests/schedules/`
+//! were produced by `cargo run --release --example fault_injection`
+//! (see that example for the construction); this suite replays them
+//! and pins the delay-vs-drop gap.
+
+use csp_adversary::{replay, replay_report, Schedule, ScheduleOracle};
+use csp_algo::flood::Flood;
+use csp_algo::spt::recur::SptRecur;
+use csp_algo::termination::Detector;
+use csp_graph::generators::{self, WeightDist};
+use csp_graph::{NodeId, WeightedGraph};
+use csp_sim::{CoreKind, DelayModel, DropOracle, ModelOracle, Reliable, Run, Simulator};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn schedule_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/schedules")
+}
+
+/// The instance both committed witnesses run on.
+fn gnp_n12() -> WeightedGraph {
+    generators::connected_gnp(12, 0.3, WeightDist::Uniform(1, 16), 42)
+}
+
+fn make_reliable_spt(v: NodeId, _: &WeightedGraph) -> Reliable<SptRecur> {
+    Reliable::new(SptRecur::new(v, NodeId::new(0), 1 << 40), 3)
+}
+
+#[test]
+fn committed_drop_witness_beats_the_best_delay_only_schedule() {
+    let g = gnp_n12();
+    let delay_only =
+        Schedule::load(&schedule_dir().join("reliable-spt-recur-gnp-n12.schedule")).unwrap();
+    let faulty = Schedule::load(&schedule_dir().join("fault-spt-recur-gnp-n12.schedule")).unwrap();
+    assert_eq!(delay_only.dropped_count(), 0);
+    assert!(faulty.dropped_count() > 0, "the fault witness must drop");
+
+    let clean: Run<Reliable<SptRecur>> = replay(&g, make_reliable_spt, &delay_only);
+    let (lossy, report) = replay_report::<Reliable<SptRecur>, _>(&g, make_reliable_spt, &faulty);
+    assert!(
+        lossy.cost.completion > clean.cost.completion,
+        "injected drops must strictly increase weighted completion \
+         ({} vs {})",
+        lossy.cost.completion,
+        clean.cost.completion
+    );
+    // Both witnesses are faithful recordings: replay never leaves them.
+    assert_eq!(report.divergences, 0, "{report:?}");
+    // And the wrapper still delivered everywhere.
+    assert!(lossy.states.iter().all(|s| s.inner().dist().is_some()));
+}
+
+#[test]
+fn committed_witnesses_replay_identically_on_bucket_and_heap_cores() {
+    let g = gnp_n12();
+    for file in [
+        "reliable-spt-recur-gnp-n12.schedule",
+        "fault-spt-recur-gnp-n12.schedule",
+    ] {
+        let schedule = Schedule::load(&schedule_dir().join(file)).unwrap();
+        let run_on = |kind: CoreKind| {
+            let mut oracle = ScheduleOracle::new(&schedule);
+            let mut sim = Simulator::new(&g);
+            sim.core(kind).record_trace(1 << 14);
+            sim.run_with_oracle(&mut oracle, make_reliable_spt).unwrap()
+        };
+        let b = run_on(CoreKind::Bucket);
+        let h = run_on(CoreKind::Heap);
+        assert_eq!(b.cost, h.cost, "{file}: cost reports must match");
+        assert_eq!(
+            b.trace.events(),
+            h.trace.events(),
+            "{file}: traces must be bit-identical"
+        );
+        assert_eq!(
+            format!("{:?}", b.states),
+            format!("{:?}", h.states),
+            "{file}: final states must match"
+        );
+    }
+}
+
+#[test]
+fn committed_fault_witness_round_trips_in_the_v2_dialect() {
+    let path = schedule_dir().join("fault-spt-recur-gnp-n12.schedule");
+    let schedule = Schedule::load(&path).unwrap();
+    assert!(schedule.has_faults());
+    let text = schedule.to_text();
+    assert!(text.starts_with("csp-adversary-schedule v2"));
+    assert_eq!(Schedule::from_text(&text).unwrap(), schedule);
+    // The delay-only companion stays in the v1 dialect byte-for-byte.
+    let delay_only =
+        Schedule::load(&schedule_dir().join("reliable-spt-recur-gnp-n12.schedule")).unwrap();
+    assert!(!delay_only.has_faults());
+    assert!(delay_only
+        .to_text()
+        .starts_with("csp-adversary-schedule v1"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The retransmission layer's guarantee, differentially: under any
+    /// bounded-loss oracle, `Reliable<Flood>` reaches exactly the
+    /// vertices bare flooding reaches with no faults at all — everyone.
+    #[test]
+    fn reliable_flood_under_bounded_drops_matches_fault_free_flood(
+        seed in any::<u64>(),
+        drop_rate in 0.0f64..0.9,
+        n in 6usize..14,
+    ) {
+        let g = generators::connected_gnp(n, 0.35, WeightDist::Uniform(1, 9), seed);
+        let root = NodeId::new(0);
+
+        let mut eager = ModelOracle::new(DelayModel::Eager, 0);
+        let bare: Run<Flood> = Simulator::new(&g)
+            .run_with_oracle(&mut eager, |v, _| Flood::new(v == root))
+            .unwrap();
+
+        // Budget 4 < max_retries 6: delivery is guaranteed, not lucky.
+        let mut lossy = DropOracle::new(DelayModel::Uniform, seed ^ 0xD15EA5E, drop_rate, 4);
+        let wrapped: Run<Reliable<Flood>> = Simulator::new(&g)
+            .run_with_oracle(&mut lossy, |v, _| Reliable::new(Flood::new(v == root), 6))
+            .unwrap();
+
+        for v in g.nodes() {
+            prop_assert!(
+                wrapped.states[v.index()].inner().reached()
+                    == bare.states[v.index()].reached(),
+                "vertex {} reachability must survive bounded loss", v
+            );
+        }
+        prop_assert!(wrapped.states.iter().all(|s| s.inner().reached()));
+    }
+}
+
+#[test]
+fn unprotected_flood_under_loss_is_detected_as_deadlocked_not_hung() {
+    // Cut the flood's very first token on a path graph: downstream
+    // vertices are unreachable, the run quiesces (it does NOT hang), and
+    // Dijkstra–Scholten correctly never announces termination.
+    struct DropFirst;
+    impl csp_sim::LinkOracle for DropFirst {
+        fn decide(&mut self, msg: &csp_sim::MsgInfo) -> csp_sim::LinkDecision {
+            if msg.index == 0 {
+                csp_sim::LinkDecision::Drop
+            } else {
+                csp_sim::LinkDecision::Deliver { delay: 1 }
+            }
+        }
+    }
+
+    let g = generators::path(4, |_| 3);
+    let root = NodeId::new(0);
+    let mut oracle = DropFirst;
+    let run: Run<Detector<Flood>> = Simulator::new(&g)
+        .run_with_oracle(&mut oracle, |v, _| {
+            Detector::new(v, root, Flood::new(v == root))
+        })
+        .unwrap();
+    assert_eq!(
+        run.states[root.index()].detected_at(),
+        None,
+        "termination must not be announced after a lost message"
+    );
+    assert!(
+        run.states[1..].iter().all(|s| !s.hosted().reached()),
+        "the dropped token never went anywhere"
+    );
+}

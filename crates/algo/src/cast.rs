@@ -70,7 +70,9 @@ impl Echo {
             return;
         }
         match self.parent {
-            Some(p) => ctx.send(p, EchoMsg::UpDone),
+            Some(p) => {
+                ctx.send(p, EchoMsg::UpDone);
+            }
             None => self.complete = true,
         }
     }

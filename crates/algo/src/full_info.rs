@@ -253,7 +253,9 @@ impl<R: GrowthRule> FullInfoGrowth<R> {
             return;
         }
         match self.tree_parent {
-            Some(p) => ctx.send(p, GrowMsg::Report(self.best)),
+            Some(p) => {
+                ctx.send(p, GrowMsg::Report(self.best));
+            }
             None => self.decide(ctx),
         }
     }
@@ -304,7 +306,9 @@ impl<R: GrowthRule> FullInfoGrowth<R> {
             );
             // Signal phase completion toward the root.
             match self.tree_parent {
-                Some(p) => ctx.send(p, GrowMsg::PhaseDone),
+                Some(p) => {
+                    ctx.send(p, GrowMsg::PhaseDone);
+                }
                 None => self.root_begin_phase(ctx), // root is the host
             }
         }
@@ -345,7 +349,9 @@ impl<R: GrowthRule> Process for FullInfoGrowth<R> {
                 self.dist = self.dists[ctx.self_id().index()];
             }
             GrowMsg::PhaseDone => match self.tree_parent {
-                Some(p) => ctx.send(p, GrowMsg::PhaseDone),
+                Some(p) => {
+                    ctx.send(p, GrowMsg::PhaseDone);
+                }
                 None => self.root_begin_phase(ctx),
             },
         }

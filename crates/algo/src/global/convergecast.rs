@@ -112,7 +112,9 @@ impl<F: SymmetricCompact> GlobalFunction<F> {
             return;
         }
         match self.parent {
-            Some(p) => ctx.send(p, GlobalMsg::Up(self.acc)),
+            Some(p) => {
+                ctx.send(p, GlobalMsg::Up(self.acc));
+            }
             None => {
                 // Root: the fold is complete.
                 self.result = Some(self.acc);

@@ -30,6 +30,7 @@ pub mod full_info;
 pub mod global;
 pub mod leader;
 pub mod mst;
+pub mod reliable;
 pub mod slt_dist;
 pub mod spt;
 pub mod termination;

@@ -16,7 +16,7 @@
 //! comparisons must not set a budget.
 
 use crate::cost::{CostClass, CostReport};
-use crate::delay::{DelayModel, DelayOracle, ModelOracle, MsgInfo};
+use crate::delay::{DelayModel, LinkDecision, LinkOracle, ModelOracle, MsgInfo};
 use crate::process::{Context, Process};
 use crate::runtime::{Run, SimError};
 use crate::time::SimTime;
@@ -99,12 +99,15 @@ impl<'g> BaselineSimulator<'g> {
         self.run_with_oracle(&mut ModelOracle::new(self.delay, self.seed), make)
     }
 
-    /// Runs with every message's delay decided by `oracle` — the same
+    /// Runs with every message's fate decided by `oracle` — the same
     /// dispatch-time hook as
     /// [`Simulator::run_with_oracle`](crate::Simulator::run_with_oracle),
     /// so the differential suite can compare both cores under arbitrary
-    /// adversaries. The configured [`DelayModel`] and seed are ignored on
-    /// this path.
+    /// adversaries (drops and crashes included). The configured
+    /// [`DelayModel`] and seed are ignored on this path.
+    ///
+    /// The baseline has no timer facility: a handler that arms or
+    /// cancels a timer panics here rather than silently never firing.
     ///
     /// # Errors
     ///
@@ -114,12 +117,14 @@ impl<'g> BaselineSimulator<'g> {
     where
         P: Process,
         F: FnMut(NodeId, &WeightedGraph) -> P,
-        O: DelayOracle + ?Sized,
+        O: LinkOracle + ?Sized,
     {
         let g = self.graph;
         let n = g.node_count();
         let mut states: Vec<P> = g.nodes().map(|v| make(v, g)).collect();
         let mut cost = CostReport::new(g.edge_count());
+        let crash: Vec<Option<SimTime>> = g.nodes().map(|v| oracle.crash_at(v)).collect();
+        let crashed = |v: NodeId, now: SimTime| crash[v.index()].is_some_and(|t| now >= t);
 
         // Min-heap of (time, seq) -> delivery.
         struct Delivery<M> {
@@ -153,17 +158,21 @@ impl<'g> BaselineSimulator<'g> {
                 let w = g.weight(eid);
                 let index = cost.messages;
                 cost.record_send(eid, w, class);
-                let delay = oracle
-                    .delay(&MsgInfo {
-                        index,
-                        edge: eid,
-                        dir: u8::from(g.edge(eid).u() != from),
-                        weight: w,
-                        from,
-                        to,
-                        sent: now,
-                    })
-                    .clamp(1, w.get());
+                let decision = oracle.decide(&MsgInfo {
+                    index,
+                    edge: eid,
+                    dir: u8::from(g.edge(eid).u() != from),
+                    weight: w,
+                    from,
+                    to,
+                    sent: now,
+                });
+                let delay = match decision {
+                    // Same drop semantics as the flat core: paid for,
+                    // index consumed, never enqueued, floor untouched.
+                    LinkDecision::Drop => continue,
+                    LinkDecision::Deliver { delay } => delay.clamp(1, w.get()),
+                };
                 let mut arrival = now + delay;
                 let key = from.index() * n + to.index();
                 if let Some(&floor) = fifo_floor.get(&key) {
@@ -185,10 +194,17 @@ impl<'g> BaselineSimulator<'g> {
             }
         };
 
-        // Time zero: start every vertex.
+        // Time zero: start every vertex (crashed-at-zero ones excepted).
         for v in g.nodes() {
+            if crashed(v, SimTime::ZERO) {
+                continue;
+            }
             let mut ctx = Context::new(v, SimTime::ZERO, g);
             states[v.index()].on_start(&mut ctx);
+            assert!(
+                !ctx.has_timer_ops(),
+                "BaselineSimulator has no timer facility"
+            );
             dispatch(
                 ctx.take_outbox(),
                 v,
@@ -226,6 +242,13 @@ impl<'g> BaselineSimulator<'g> {
                 sent,
                 class,
             } = payloads.remove(&id).expect("payload for event");
+            if crashed(to, now) {
+                // A dead vertex consumes its deliveries silently — same
+                // semantics as the flat core, which does not count the
+                // pop as an event either.
+                events -= 1;
+                continue;
+            }
             cost.completion = cost.completion.max(now);
             if self.trace_cap > 0 {
                 let eid = g.edge_between(from, to).expect("delivery edge exists");
@@ -240,6 +263,10 @@ impl<'g> BaselineSimulator<'g> {
             }
             let mut ctx = Context::new(to, now, g);
             states[to.index()].on_message(from, msg, &mut ctx);
+            assert!(
+                !ctx.has_timer_ops(),
+                "BaselineSimulator has no timer facility"
+            );
             dispatch(
                 ctx.take_outbox(),
                 to,

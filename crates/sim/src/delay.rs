@@ -1,11 +1,14 @@
-//! Edge delay models and the dispatch-time delay oracle.
+//! Edge delay models and the dispatch-time link oracle.
 //!
 //! The paper's time complexity is defined against an adversary that may
 //! delay each message on edge `e` by anything in `[0, w(e)]`. The
 //! simulator realizes a spectrum of adversaries, from the fixed per-edge
 //! policies of [`DelayModel`] up to fully general per-message
-//! [`DelayOracle`]s (the `csp-adversary` crate builds schedule search,
-//! record/replay and counterexample shrinking on top of the oracle hook).
+//! [`LinkOracle`]s, which additionally decide *whether* a message
+//! arrives at all ([`LinkDecision::Drop`]) and whether a vertex crashes
+//! ([`LinkOracle::crash_at`]). The `csp-adversary` crate builds schedule
+//! search, record/replay and counterexample shrinking on top of the
+//! oracle hook.
 //!
 //! **Quantization deviation (stated here, once).** Delays are quantized
 //! to at least one tick so that every run has finitely many events per
@@ -87,19 +90,17 @@ pub struct MsgInfo {
     pub sent: SimTime,
 }
 
-/// Decides each message's delay at dispatch time.
+/// The legacy delay-only adversary interface.
 ///
-/// This is the simulator's adversary interface: the oracle sees the full
-/// dispatch context ([`MsgInfo`]) and returns a delay in ticks. The
-/// runtime clamps the returned value into `[1, w(e)]` (see the
-/// [module docs](self) for why the floor is 1), and per-directed-edge
-/// FIFO order is still enforced afterwards, so an oracle can never
-/// reorder a channel — only stretch or squeeze it.
+/// **Deprecated name.** `DelayOracle` is superseded by [`LinkOracle`],
+/// which subsumes it (every `DelayOracle` is a `LinkOracle` through a
+/// blanket impl that always delivers). The trait is kept for one release
+/// so downstream delay-only oracles keep compiling; new code should
+/// implement [`LinkOracle`] directly. It will be removed in the release
+/// after next.
 ///
 /// Oracles are stateful (`&mut self`): recording, replaying and
-/// search-strategy oracles all need memory. The fixed [`DelayModel`]
-/// policies are re-expressed as the stateless-per-message
-/// [`ModelOracle`].
+/// search-strategy oracles all need memory.
 pub trait DelayOracle {
     /// Returns the delay, in ticks, of the message described by `msg`.
     ///
@@ -109,7 +110,74 @@ pub trait DelayOracle {
     fn delay(&mut self, msg: &MsgInfo) -> u64;
 }
 
-/// A [`DelayModel`] plus its seeded generator, as a [`DelayOracle`].
+/// A link adversary's verdict on one dispatched message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LinkDecision {
+    /// Deliver the message after `delay` ticks. The runtime clamps the
+    /// delay into `[1, w(e)]` (see the [module docs](self) for why the
+    /// floor is 1).
+    Deliver {
+        /// Requested delay in ticks, clamped into `[1, w(e)]`.
+        delay: u64,
+    },
+    /// Lose the message. The send is still metered (the sender paid
+    /// `w(e)` the moment it transmitted) and still consumes a dispatch
+    /// index, but nothing is enqueued and the channel's FIFO floor does
+    /// not move.
+    Drop,
+}
+
+/// Decides each message's fate at dispatch time — the simulator's
+/// adversary interface.
+///
+/// The oracle sees the full dispatch context ([`MsgInfo`]) and returns a
+/// [`LinkDecision`]: deliver after some delay, or drop. Delivered delays
+/// are clamped into `[1, w(e)]`, and per-directed-edge FIFO order is
+/// still enforced afterwards, so an oracle can never reorder a channel —
+/// only stretch, squeeze or puncture it. The optional [`crash_at`]
+/// hook additionally fails whole vertices at chosen times.
+///
+/// Every [`DelayOracle`] is a `LinkOracle` through a blanket impl that
+/// always delivers, so delay-only adversaries (the common case) need not
+/// mention drops at all. The fixed [`DelayModel`] policies are
+/// re-expressed as the stateless-per-message [`ModelOracle`].
+///
+/// [`crash_at`]: LinkOracle::crash_at
+pub trait LinkOracle {
+    /// Returns the fate of the message described by `msg`.
+    fn decide(&mut self, msg: &MsgInfo) -> LinkDecision;
+
+    /// Crash time of `node`, if the adversary fails it.
+    ///
+    /// Queried once per vertex when a run starts (before any handler
+    /// executes). From the returned time onward the vertex is dead: its
+    /// pending and future deliveries and timer fires are silently
+    /// consumed, and it executes no handlers. A crash at time 0 even
+    /// suppresses `on_start`. Senders still pay for messages sent *to* a
+    /// crashed vertex — the loss is discovered, not announced.
+    ///
+    /// The default adversary crashes nobody.
+    fn crash_at(&mut self, node: NodeId) -> Option<SimTime> {
+        let _ = node;
+        None
+    }
+}
+
+/// Every delay-only oracle is a link oracle that always delivers.
+///
+/// This is the one-release compatibility shim for the [`DelayOracle`] →
+/// [`LinkOracle`] redesign: downstream `DelayOracle` impls keep working
+/// everywhere a `LinkOracle` is expected.
+impl<T: DelayOracle + ?Sized> LinkOracle for T {
+    fn decide(&mut self, msg: &MsgInfo) -> LinkDecision {
+        LinkDecision::Deliver {
+            delay: self.delay(msg),
+        }
+    }
+}
+
+/// A [`DelayModel`] plus its seeded generator, as a [`LinkOracle`] that
+/// always delivers.
 ///
 /// [`Simulator::run`](crate::Simulator::run) is defined as
 /// `run_with_oracle` over a `ModelOracle`, so a model-driven run and the
@@ -141,6 +209,61 @@ impl DelayOracle for ModelOracle {
 impl<O: DelayOracle + ?Sized> DelayOracle for &mut O {
     fn delay(&mut self, msg: &MsgInfo) -> u64 {
         (**self).delay(msg)
+    }
+}
+
+/// A [`DelayModel`] plus seeded Bernoulli message loss, as a
+/// [`LinkOracle`].
+///
+/// Each message is dropped with probability `drop_rate`, except that a
+/// per-directed-channel *drop budget* bounds consecutive losses: after
+/// `budget` drops on a channel, the next message on it is
+/// force-delivered (which resets the channel's budget). The budget is
+/// what makes retransmission over this oracle *provably* live rather
+/// than probabilistically live — a sender whose retry limit exceeds the
+/// budget is guaranteed delivery, so tests can assert termination
+/// instead of hoping for it.
+#[derive(Clone, Debug)]
+pub struct DropOracle {
+    model: DelayModel,
+    rng: StdRng,
+    drop_rate: f64,
+    budget: u32,
+    /// Consecutive drops so far per directed channel `2·edge + dir`.
+    streaks: std::collections::HashMap<u64, u32>,
+}
+
+impl DropOracle {
+    /// A `model`-delayed oracle dropping each message with probability
+    /// `drop_rate` (must be in `[0, 1)`), at most `budget` times in a
+    /// row per directed channel.
+    pub fn new(model: DelayModel, seed: u64, drop_rate: f64, budget: u32) -> Self {
+        assert!(
+            (0.0..1.0).contains(&drop_rate),
+            "drop_rate must be in [0, 1)"
+        );
+        DropOracle {
+            model,
+            rng: StdRng::seed_from_u64(seed),
+            drop_rate,
+            budget,
+            streaks: std::collections::HashMap::new(),
+        }
+    }
+}
+
+impl LinkOracle for DropOracle {
+    fn decide(&mut self, msg: &MsgInfo) -> LinkDecision {
+        let chan = 2 * msg.edge.index() as u64 + u64::from(msg.dir);
+        let streak = self.streaks.entry(chan).or_insert(0);
+        if *streak < self.budget && self.rng.random_bool(self.drop_rate) {
+            *streak += 1;
+            return LinkDecision::Drop;
+        }
+        *streak = 0;
+        LinkDecision::Deliver {
+            delay: self.model.sample(msg.weight, &mut self.rng),
+        }
     }
 }
 
@@ -212,6 +335,71 @@ mod tests {
             assert_eq!(
                 oracle.delay(&info(i, w)),
                 DelayModel::Uniform.sample(Weight::new(w), &mut rng)
+            );
+        }
+    }
+
+    #[test]
+    fn delay_oracles_are_link_oracles_that_always_deliver() {
+        // The compatibility shim: `ModelOracle` only implements
+        // `DelayOracle`, yet answers `decide` with the sampled delay.
+        let mut direct = ModelOracle::new(DelayModel::Uniform, 3);
+        let mut shimmed = ModelOracle::new(DelayModel::Uniform, 3);
+        for i in 0..50 {
+            let w = 1 + i % 7;
+            assert_eq!(
+                shimmed.decide(&info(i, w)),
+                LinkDecision::Deliver {
+                    delay: direct.delay(&info(i, w))
+                }
+            );
+        }
+        assert_eq!(LinkOracle::crash_at(&mut shimmed, NodeId::new(0)), None);
+    }
+
+    #[test]
+    fn drop_oracle_respects_its_budget() {
+        // At drop_rate ~1 every message the budget allows is dropped, so
+        // the pattern per channel is exactly budget drops, one delivery.
+        let mut oracle = DropOracle::new(DelayModel::WorstCase, 5, 0.999_999, 2);
+        let fates: Vec<bool> = (0..9)
+            .map(|i| oracle.decide(&info(i, 4)) == LinkDecision::Drop)
+            .collect();
+        assert_eq!(
+            fates,
+            [true, true, false, true, true, false, true, true, false]
+        );
+    }
+
+    #[test]
+    fn drop_oracle_budget_is_per_channel() {
+        let mut oracle = DropOracle::new(DelayModel::WorstCase, 5, 0.999_999, 1);
+        // Alternate two directed channels: each gets its own streak.
+        let chan = |idx: u64, dir: u8| MsgInfo {
+            dir,
+            ..info(idx, 4)
+        };
+        assert_eq!(oracle.decide(&chan(0, 0)), LinkDecision::Drop);
+        assert_eq!(oracle.decide(&chan(1, 1)), LinkDecision::Drop);
+        assert_ne!(oracle.decide(&chan(2, 0)), LinkDecision::Drop);
+        assert_ne!(oracle.decide(&chan(3, 1)), LinkDecision::Drop);
+    }
+
+    #[test]
+    fn drop_oracle_at_rate_zero_never_drops() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut oracle = DropOracle::new(DelayModel::Uniform, 11, 0.0, 8);
+        for i in 0..50 {
+            let w = 1 + i % 13;
+            // Consumes one Bernoulli draw then one delay draw, so the
+            // stream differs from ModelOracle's — compare against a
+            // lock-step twin instead.
+            let _ = rng.random_bool(0.0);
+            assert_eq!(
+                oracle.decide(&info(i, w)),
+                LinkDecision::Deliver {
+                    delay: DelayModel::Uniform.sample(Weight::new(w), &mut rng)
+                }
             );
         }
     }

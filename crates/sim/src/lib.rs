@@ -62,6 +62,7 @@ pub mod cost;
 pub mod delay;
 pub mod process;
 pub mod queue;
+pub mod reliable;
 pub mod runtime;
 pub mod sweep;
 pub mod sync;
@@ -70,8 +71,11 @@ pub mod trace;
 
 pub use baseline::BaselineSimulator;
 pub use cost::{CostClass, CostReport};
-pub use delay::{DelayModel, DelayOracle, ModelOracle, MsgInfo};
-pub use process::{Context, Process};
+pub use delay::{
+    DelayModel, DelayOracle, DropOracle, LinkDecision, LinkOracle, ModelOracle, MsgInfo,
+};
+pub use process::{Context, MsgToken, Process, TimerId};
+pub use reliable::{RelMsg, Reliable};
 pub use runtime::{Checkpoint, CoreKind, EvalPool, EvalSummary, Run, SimError, Simulator};
 pub use sweep::{
     effective_threads, par_map, par_map_with, summarize, SweepGrid, SweepPoint, SweepRun,

@@ -20,7 +20,33 @@ pub trait Process {
 
     /// Called on each message delivery.
     fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>);
+
+    /// Called when a timer armed with [`Context::set_timer`] fires
+    /// (unless cancelled first). The default does nothing, so purely
+    /// message-driven protocols never mention timers.
+    fn on_timer(&mut self, id: TimerId, ctx: &mut Context<'_, Self::Msg>) {
+        let _ = (id, ctx);
+    }
 }
+
+/// Stable per-message identifier handed back by [`Context::send`].
+///
+/// The token is the message's global dispatch index — the same `index`
+/// the adversary sees in [`MsgInfo`](crate::MsgInfo) — assigned in send
+/// order, so protocols and retransmission layers can correlate acks and
+/// timers with specific transmissions without parallel bookkeeping.
+///
+/// Tokens are only meaningful for sends metered by the run that issued
+/// them: contexts created through [`Context::derive`] number from zero
+/// (transformers relay the inner sends through their own, which get real
+/// tokens), and under a `comm_limit` truncation a queued send past the
+/// budget is never dispatched even though it received a token.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MsgToken(pub u64);
+
+/// Handle to a pending timer, for [`Context::cancel_timer`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TimerId(pub u64);
 
 /// Handler-side view of the network: identity, topology, clock and the
 /// outbox.
@@ -38,36 +64,77 @@ pub struct Context<'a, M> {
     /// Edge of each queued send, resolved once at `send` time so the
     /// runtime's dispatch never repeats the adjacency lookup.
     out_edges: Vec<EdgeId>,
+    /// Requested delay of each timer armed this handler, in arming order.
+    timers: Vec<u64>,
+    /// Timer ids cancelled this handler.
+    cancels: Vec<u64>,
+    /// Dispatch index the first queued send will receive — the run's
+    /// metered message count at handler entry.
+    msg_base: u64,
+    /// Id the first armed timer will receive — the vertex's timer count
+    /// at handler entry.
+    timer_base: u64,
 }
 
 impl<'a, M: Clone + std::fmt::Debug> Context<'a, M> {
     pub(crate) fn new(node: NodeId, now: SimTime, graph: &'a WeightedGraph) -> Self {
-        Context::recycled(node, now, graph, Vec::new(), Vec::new())
+        Context::recycled(
+            node,
+            now,
+            graph,
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            0,
+            0,
+        )
     }
 
     /// Creates a context reusing previously drained buffers — the
     /// runtime's steady-state path, which allocates nothing per event.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn recycled(
         node: NodeId,
         now: SimTime,
         graph: &'a WeightedGraph,
         outbox: Vec<(NodeId, M, CostClass)>,
         out_edges: Vec<EdgeId>,
+        timers: Vec<u64>,
+        cancels: Vec<u64>,
+        msg_base: u64,
+        timer_base: u64,
     ) -> Self {
         debug_assert!(outbox.is_empty() && out_edges.is_empty());
+        debug_assert!(timers.is_empty() && cancels.is_empty());
         Context {
             node,
             now,
             graph,
             outbox,
             out_edges,
+            timers,
+            cancels,
+            msg_base,
+            timer_base,
         }
     }
 
-    /// Disassembles the context into its send queue and the matching
-    /// per-send edge ids (same length, same order).
-    pub(crate) fn into_parts(self) -> (Vec<(NodeId, M, CostClass)>, Vec<EdgeId>) {
-        (self.outbox, self.out_edges)
+    /// Disassembles the context into its send queue, the matching
+    /// per-send edge ids (same length, same order), the armed timer
+    /// delays and the cancelled timer ids.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_parts(
+        self,
+    ) -> (Vec<(NodeId, M, CostClass)>, Vec<EdgeId>, Vec<u64>, Vec<u64>) {
+        (self.outbox, self.out_edges, self.timers, self.cancels)
+    }
+
+    /// Whether any timer was armed or cancelled through this context —
+    /// lets executors without a timer facility reject timer use loudly
+    /// instead of silently never firing.
+    pub(crate) fn has_timer_ops(&self) -> bool {
+        !self.timers.is_empty() || !self.cancels.is_empty()
     }
 
     /// This vertex's identifier.
@@ -104,43 +171,81 @@ impl<'a, M: Clone + std::fmt::Debug> Context<'a, M> {
         self.graph.degree(self.node)
     }
 
-    /// Sends `msg` to neighbor `to` at protocol cost class.
+    /// Sends `msg` to neighbor `to` at protocol cost class, returning
+    /// the message's stable [`MsgToken`].
     ///
     /// # Panics
     ///
     /// Panics if `to` is not a neighbor of this vertex — the model only
     /// permits communication along edges.
-    pub fn send(&mut self, to: NodeId, msg: M) {
-        self.send_class(to, msg, CostClass::Protocol);
+    pub fn send(&mut self, to: NodeId, msg: M) -> MsgToken {
+        self.send_class(to, msg, CostClass::Protocol)
     }
 
-    /// Sends `msg` to neighbor `to`, accounted under `class`.
+    /// Sends `msg` to neighbor `to`, accounted under `class`, returning
+    /// the message's stable [`MsgToken`].
     ///
     /// # Panics
     ///
     /// Panics if `to` is not a neighbor of this vertex.
-    pub fn send_class(&mut self, to: NodeId, msg: M, class: CostClass) {
+    pub fn send_class(&mut self, to: NodeId, msg: M, class: CostClass) -> MsgToken {
         let Some(eid) = self.graph.edge_between(self.node, to) else {
             panic!("{} cannot send to non-neighbor {to}", self.node);
         };
+        let token = MsgToken(self.msg_base + self.outbox.len() as u64);
         self.outbox.push((to, msg, class));
         self.out_edges.push(eid);
+        token
     }
 
-    /// Sends a copy of `msg` to every neighbor.
-    pub fn send_all(&mut self, msg: M) {
+    /// Sends a copy of `msg` to every neighbor, returning the
+    /// [`MsgToken`] of the *first* copy (the copies occupy consecutive
+    /// dispatch indices in [`Context::neighbors`] order, so copy `k` is
+    /// `MsgToken(first.0 + k)`). Returns `None` on an isolated vertex.
+    pub fn send_all(&mut self, msg: M) -> Option<MsgToken> {
         let node = self.node;
+        let first = MsgToken(self.msg_base + self.outbox.len() as u64);
+        let mut any = false;
         for eid in self.graph.incident(node) {
             let to = self.graph.edge(*eid).other(node);
             self.outbox.push((to, msg.clone(), CostClass::Protocol));
             self.out_edges.push(*eid);
+            any = true;
         }
+        any.then_some(first)
+    }
+
+    /// Arms a local timer that fires [`Process::on_timer`] at this
+    /// vertex after `delay` ticks (clamped to at least 1 — timers share
+    /// the runtime's discrete clock). Timer fires are scheduler events
+    /// but not communication: they cost nothing and do not advance the
+    /// run's completion time on their own.
+    ///
+    /// Only the asynchronous [`Simulator`](crate::Simulator) cores
+    /// execute timers; the
+    /// [`BaselineSimulator`](crate::BaselineSimulator) rejects them.
+    pub fn set_timer(&mut self, delay: u64) -> TimerId {
+        let id = TimerId(self.timer_base + self.timers.len() as u64);
+        self.timers.push(delay.max(1));
+        id
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired or foreign
+    /// timer id is a silent no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.cancels.push(id.0);
     }
 
     /// Creates a context over a different message alphabet at the same
     /// vertex, time and graph — for protocol *transformers* (controllers,
     /// synchronizers) that host an inner protocol and relay its sends
     /// through their own wrapper messages.
+    ///
+    /// Derived contexts are detached from the runtime: their
+    /// [`MsgToken`]s number from zero (the transformer's relayed sends
+    /// carry the real tokens) and timers armed on them are discarded
+    /// rather than scheduled — a transformer that hosts a timer-using
+    /// protocol must forward timer ops itself.
     pub fn derive<N: Clone + std::fmt::Debug>(&self) -> Context<'a, N> {
         Context::new(self.node, self.now, self.graph)
     }
@@ -197,5 +302,50 @@ mod tests {
         ctx.send(NodeId::new(1), ());
         assert_eq!(ctx.take_outbox().len(), 1);
         assert!(ctx.take_outbox().is_empty());
+    }
+
+    #[test]
+    fn tokens_count_from_the_message_base() {
+        let g = generators::star(4, |_| 3);
+        let mut ctx: Context<'_, u32> = Context::recycled(
+            NodeId::new(0),
+            SimTime::ZERO,
+            &g,
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            17,
+            0,
+        );
+        assert_eq!(ctx.send(NodeId::new(1), 1), MsgToken(17));
+        assert_eq!(ctx.send(NodeId::new(2), 2), MsgToken(18));
+        // send_all returns the first copy; copies are consecutive.
+        assert_eq!(ctx.send_all(3), Some(MsgToken(19)));
+        assert_eq!(ctx.take_outbox().len(), 5);
+    }
+
+    #[test]
+    fn timer_ids_count_from_the_timer_base() {
+        let g = generators::path(2, |_| 1);
+        let mut ctx: Context<'_, ()> = Context::recycled(
+            NodeId::new(0),
+            SimTime::ZERO,
+            &g,
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            0,
+            5,
+        );
+        assert!(!ctx.has_timer_ops());
+        assert_eq!(ctx.set_timer(0), TimerId(5)); // delay clamps to 1
+        assert_eq!(ctx.set_timer(9), TimerId(6));
+        ctx.cancel_timer(TimerId(5));
+        assert!(ctx.has_timer_ops());
+        let (_, _, timers, cancels) = ctx.into_parts();
+        assert_eq!(timers, [1, 9]);
+        assert_eq!(cancels, [5]);
     }
 }

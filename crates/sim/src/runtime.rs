@@ -27,6 +27,20 @@
 //! budget is the last one accepted, so the overshoot is bounded by a
 //! single message weight.
 //!
+//! # Faults and timers
+//!
+//! The dispatch hook is a [`LinkOracle`]: besides choosing delays it may
+//! [`Drop`](LinkDecision::Drop) messages (metered, index-consuming, but
+//! never enqueued) and crash vertices at chosen times
+//! ([`LinkOracle::crash_at`], queried once per vertex at start). Events
+//! addressed to a crashed vertex — deliveries and timer fires alike —
+//! are silently consumed. Local timers
+//! ([`Context::set_timer`](crate::Context::set_timer) /
+//! [`Process::on_timer`]) share the event queue and its deterministic
+//! `(time, seq)` order but are free: they meter no communication and a
+//! timer fire by itself never advances the run's completion time, which
+//! remains the time of the last delivered message.
+//!
 //! # Checkpoints and pooled evaluation
 //!
 //! For search workloads that re-simulate many near-identical runs (see
@@ -46,12 +60,13 @@
 //!   returning owned state.
 
 use crate::cost::{CostClass, CostReport};
-use crate::delay::{DelayModel, DelayOracle, ModelOracle, MsgInfo};
-use crate::process::{Context, Process};
+use crate::delay::{DelayModel, LinkDecision, LinkOracle, ModelOracle, MsgInfo};
+use crate::process::{Context, Process, TimerId};
 use crate::queue::{BucketQueue, HeapQueue, QueueEntry};
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceEvent};
 use csp_graph::{Cost, EdgeId, NodeId, WeightedGraph};
+use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
 
@@ -120,6 +135,15 @@ struct Delivery<M> {
     edge: EdgeId,
 }
 
+/// One scheduled occurrence: a message delivery or a local timer fire.
+/// Timers ride the same `(time, seq)` queue as messages, so the merged
+/// order is deterministic.
+#[derive(Clone, Copy, Debug)]
+enum Event<M> {
+    Msg(Delivery<M>),
+    Timer { node: NodeId, id: u64 },
+}
+
 /// The scheduling queue behind [`EventCore`], dispatched by [`CoreKind`].
 #[derive(Clone, Debug)]
 enum Queue {
@@ -184,7 +208,7 @@ struct EventCore<M> {
     /// baseline's `(arrival, seq)` key.
     queue: Queue,
     /// Payloads, indexed by slot. `None` marks a free slot.
-    slab: Vec<Option<Delivery<M>>>,
+    slab: Vec<Option<Event<M>>>,
     /// Slots vacated by delivered events, reused before growing the slab.
     free: Vec<usize>,
     /// Earliest admissible arrival per directed edge, indexed by
@@ -241,14 +265,14 @@ impl<M> EventCore<M> {
         2 * eid.index() + usize::from(g.edge(eid).u() != from)
     }
 
-    fn push(&mut self, arrival: SimTime, delivery: Delivery<M>) {
+    fn push(&mut self, arrival: SimTime, event: Event<M>) {
         let slot = match self.free.pop() {
             Some(s) => {
-                self.slab[s] = Some(delivery);
+                self.slab[s] = Some(event);
                 s
             }
             None => {
-                self.slab.push(Some(delivery));
+                self.slab.push(Some(event));
                 self.slab.len() - 1
             }
         };
@@ -256,11 +280,11 @@ impl<M> EventCore<M> {
         self.seq += 1;
     }
 
-    fn pop(&mut self) -> Option<(SimTime, Delivery<M>)> {
+    fn pop(&mut self) -> Option<(SimTime, Event<M>)> {
         let (now, _seq, slot) = self.queue.pop()?;
-        let delivery = self.slab[slot].take().expect("slab slot holds payload");
+        let event = self.slab[slot].take().expect("slab slot holds payload");
         self.free.push(slot);
-        Some((SimTime::new(now), delivery))
+        Some((SimTime::new(now), event))
     }
 }
 
@@ -288,6 +312,16 @@ struct Machine<P: Process> {
     events: u64,
     outbox: Vec<(NodeId, P::Msg, CostClass)>,
     out_edges: Vec<EdgeId>,
+    /// Adversary-chosen crash time per vertex (`None` = never), filled
+    /// once from [`LinkOracle::crash_at`] before time zero.
+    crash: Vec<Option<SimTime>>,
+    /// Next timer id to assign — globally unique, never reused.
+    timer_seq: u64,
+    /// Ids cancelled before firing; membership is consumed at pop time.
+    cancelled: HashSet<u64>,
+    /// Recycled handler buffers for armed delays / cancelled ids.
+    timers: Vec<u64>,
+    cancels: Vec<u64>,
 }
 
 impl<P: Process> Machine<P> {
@@ -301,13 +335,27 @@ impl<P: Process> Machine<P> {
             events: 0,
             outbox: Vec::new(),
             out_edges: Vec::new(),
+            crash: Vec::new(),
+            timer_seq: 0,
+            cancelled: HashSet::new(),
+            timers: Vec::new(),
+            cancels: Vec::new(),
         }
     }
 
+    /// Whether `node` is dead at time `now` (crashes take effect at
+    /// their chosen instant inclusive, so a crash at 0 even suppresses
+    /// `on_start`).
+    #[inline]
+    fn crashed(&self, node: NodeId, now: SimTime) -> bool {
+        self.crash[node.index()].is_some_and(|t| now >= t)
+    }
+
     /// Drains the handler outbox into scheduled deliveries: budget check,
-    /// cost metering, oracle-decided delay (clamped into `[1, w(e)]`),
+    /// cost metering, oracle-decided fate (drops are paid for but never
+    /// enqueued; delivery delays are clamped into `[1, w(e)]`),
     /// FIFO-floor enforcement.
-    fn dispatch<O: DelayOracle + ?Sized>(
+    fn dispatch<O: LinkOracle + ?Sized>(
         &mut self,
         g: &WeightedGraph,
         comm_limit: Option<u128>,
@@ -327,30 +375,55 @@ impl<P: Process> Machine<P> {
             let index = self.cost.messages;
             self.cost.record_send(eid, w, class);
             let channel = self.core.channel(g, eid, from);
-            let delay = oracle
-                .delay(&MsgInfo {
-                    index,
-                    edge: eid,
-                    dir: (channel & 1) as u8,
-                    weight: w,
-                    from,
-                    to,
-                    sent: now,
-                })
-                .clamp(1, w.get());
+            let decision = oracle.decide(&MsgInfo {
+                index,
+                edge: eid,
+                dir: (channel & 1) as u8,
+                weight: w,
+                from,
+                to,
+                sent: now,
+            });
+            let delay = match decision {
+                // A dropped message is paid for and consumes its
+                // dispatch index (so record/replay addressing and
+                // `MsgToken`s stay stable), but nothing is enqueued and
+                // the channel's FIFO floor does not move.
+                LinkDecision::Drop => continue,
+                LinkDecision::Deliver { delay } => delay.clamp(1, w.get()),
+            };
             let arrival = (now + delay).max(self.core.fifo_floor[channel]);
             self.core.fifo_floor[channel] = arrival;
             self.core.push(
                 arrival,
-                Delivery {
+                Event::Msg(Delivery {
                     to,
                     from,
                     msg,
                     sent: now,
                     class,
                     edge: eid,
-                },
+                }),
             );
+        }
+    }
+
+    /// Drains the handler's timer ops: cancellations take effect first
+    /// (so a handler that arms and cancels the same timer nets to
+    /// nothing), then each armed delay becomes a scheduled
+    /// [`Event::Timer`] with the next globally-unique id. Timer arrivals
+    /// ignore FIFO floors — they are local, not channel traffic.
+    fn dispatch_timers(&mut self, node: NodeId, now: SimTime) {
+        for id in self.cancels.drain(..) {
+            self.cancelled.insert(id);
+        }
+        for delay in self.timers.drain(..) {
+            let id = self.timer_seq;
+            self.timer_seq += 1;
+            if self.cancelled.remove(&id) {
+                continue;
+            }
+            self.core.push(now + delay, Event::Timer { node, id });
         }
     }
 }
@@ -393,11 +466,14 @@ impl<P: Process + Clone> Capture<P> for CheckpointCapture<'_, P> {
 /// Resuming from a checkpoint ([`Simulator::resume`],
 /// [`Simulator::eval_resume`]) reproduces the original run **bit for
 /// bit** provided the resuming oracle agrees with the original on every
-/// message index at or above [`Checkpoint::messages`] — delays below
+/// message index at or above [`Checkpoint::messages`] — decisions below
 /// that index are already baked into the snapshot's queue, so the
 /// resuming oracle is never asked about them. Index-addressed oracles
 /// (like `csp-adversary`'s schedule replay) satisfy this by
-/// construction; stateful randomized oracles in general do not.
+/// construction; stateful randomized oracles in general do not. Crash
+/// times are part of the snapshot: a resume never queries
+/// [`LinkOracle::crash_at`], so the resuming oracle cannot change who
+/// crashes.
 #[derive(Clone, Debug)]
 pub struct Checkpoint<P: Process> {
     messages: u64,
@@ -409,10 +485,13 @@ pub struct Checkpoint<P: Process> {
     /// The scheduling queue as captured — restoring into the same kind
     /// is a flat copy; the other kind rebuilds from the sorted view.
     queue: Queue,
-    slab: Vec<Option<Delivery<P::Msg>>>,
+    slab: Vec<Option<Event<P::Msg>>>,
     free: Vec<usize>,
     fifo_floor: Vec<SimTime>,
     seq: u64,
+    crash: Vec<Option<SimTime>>,
+    timer_seq: u64,
+    cancelled: HashSet<u64>,
 }
 
 impl<P: Process + Clone> Checkpoint<P> {
@@ -429,6 +508,9 @@ impl<P: Process + Clone> Checkpoint<P> {
             free: m.core.free.clone(),
             fifo_floor: m.core.fifo_floor.clone(),
             seq: m.core.seq,
+            crash: m.crash.clone(),
+            timer_seq: m.timer_seq,
+            cancelled: m.cancelled.clone(),
         }
     }
 }
@@ -636,7 +718,7 @@ impl<'g> Simulator<'g> {
     where
         P: Process,
         F: FnMut(NodeId, &WeightedGraph) -> P,
-        O: DelayOracle + ?Sized,
+        O: LinkOracle + ?Sized,
     {
         let mut m = Machine::new(self.core, self.graph, self.trace_cap);
         self.start(&mut m, make, oracle);
@@ -673,7 +755,7 @@ impl<'g> Simulator<'g> {
     where
         P: Process + Clone,
         F: FnMut(NodeId, &WeightedGraph) -> P,
-        O: DelayOracle + ?Sized,
+        O: LinkOracle + ?Sized,
     {
         assert!(every > 0, "checkpoint interval must be non-zero");
         let mut m = Machine::new(self.core, self.graph, self.trace_cap);
@@ -708,7 +790,7 @@ impl<'g> Simulator<'g> {
     pub fn resume<P, O>(&self, cp: &Checkpoint<P>, oracle: &mut O) -> Result<Run<P>, SimError>
     where
         P: Process + Clone,
-        O: DelayOracle + ?Sized,
+        O: LinkOracle + ?Sized,
     {
         let g = self.graph;
         debug_assert_eq!(
@@ -725,6 +807,11 @@ impl<'g> Simulator<'g> {
             events: cp.events,
             outbox: Vec::new(),
             out_edges: Vec::new(),
+            crash: cp.crash.clone(),
+            timer_seq: cp.timer_seq,
+            cancelled: cp.cancelled.clone(),
+            timers: Vec::new(),
+            cancels: Vec::new(),
         };
         m.core.restore_from(cp);
         self.exec(oracle, &mut m, &mut NoCapture)?;
@@ -754,7 +841,7 @@ impl<'g> Simulator<'g> {
     where
         P: Process,
         F: FnMut(NodeId, &WeightedGraph) -> P,
-        O: DelayOracle + ?Sized,
+        O: LinkOracle + ?Sized,
     {
         let mut m = self.pooled_machine(pool);
         self.start(&mut m, make, oracle);
@@ -780,7 +867,7 @@ impl<'g> Simulator<'g> {
     ) -> Result<EvalSummary, SimError>
     where
         P: Process + Clone,
-        O: DelayOracle + ?Sized,
+        O: LinkOracle + ?Sized,
     {
         debug_assert_eq!(
             cp.fifo_floor.len(),
@@ -804,6 +891,11 @@ impl<'g> Simulator<'g> {
         m.events = cp.events;
         m.outbox.clear();
         m.out_edges.clear();
+        m.crash.clone_from(&cp.crash);
+        m.timer_seq = cp.timer_seq;
+        m.cancelled.clone_from(&cp.cancelled);
+        m.timers.clear();
+        m.cancels.clear();
         let res = self.exec(oracle, &mut m, &mut NoCapture);
         let summary = EvalSummary::of(&m);
         pool.machine = Some(m);
@@ -825,6 +917,11 @@ impl<'g> Simulator<'g> {
                 m.events = 0;
                 m.outbox.clear();
                 m.out_edges.clear();
+                m.crash.clear();
+                m.timer_seq = 0;
+                m.cancelled.clear();
+                m.timers.clear();
+                m.cancels.clear();
                 m
             }
             // Pooled paths never record traces: cap 0.
@@ -832,28 +929,50 @@ impl<'g> Simulator<'g> {
         }
     }
 
-    /// Time zero: constructs per-vertex states and runs every
-    /// [`Process::on_start`], dispatching what they send.
+    /// Time zero: queries crash times, constructs per-vertex states and
+    /// runs every [`Process::on_start`] (crashed-at-zero vertices
+    /// excepted), dispatching what they send and arm.
     fn start<P, F, O>(&self, m: &mut Machine<P>, mut make: F, oracle: &mut O)
     where
         P: Process,
         F: FnMut(NodeId, &WeightedGraph) -> P,
-        O: DelayOracle + ?Sized,
+        O: LinkOracle + ?Sized,
     {
         let g = self.graph;
         m.states.extend(g.nodes().map(|v| make(v, g)));
+        // Crash times are fixed before any handler runs, in vertex
+        // order, so the oracle's query sequence is deterministic.
+        m.crash.extend(g.nodes().map(|v| oracle.crash_at(v)));
         for v in g.nodes() {
+            if m.crashed(v, SimTime::ZERO) {
+                continue;
+            }
             let outbox = std::mem::take(&mut m.outbox);
             let out_edges = std::mem::take(&mut m.out_edges);
-            let mut ctx = Context::recycled(v, SimTime::ZERO, g, outbox, out_edges);
+            let timers = std::mem::take(&mut m.timers);
+            let cancels = std::mem::take(&mut m.cancels);
+            let mut ctx = Context::recycled(
+                v,
+                SimTime::ZERO,
+                g,
+                outbox,
+                out_edges,
+                timers,
+                cancels,
+                m.cost.messages,
+                m.timer_seq,
+            );
             m.states[v.index()].on_start(&mut ctx);
-            (m.outbox, m.out_edges) = ctx.into_parts();
+            (m.outbox, m.out_edges, m.timers, m.cancels) = ctx.into_parts();
             m.dispatch(g, self.comm_limit, v, SimTime::ZERO, oracle);
+            m.dispatch_timers(v, SimTime::ZERO);
         }
     }
 
     /// The main loop: pop, deliver, dispatch, capture — until quiescence
-    /// or truncation.
+    /// or truncation. Cancelled timer fires and events addressed to
+    /// crashed vertices are consumed silently (no handler, no event
+    /// count, no completion-time movement).
     fn exec<P, O, C>(
         &self,
         oracle: &mut O,
@@ -862,37 +981,72 @@ impl<'g> Simulator<'g> {
     ) -> Result<(), SimError>
     where
         P: Process,
-        O: DelayOracle + ?Sized,
+        O: LinkOracle + ?Sized,
         C: Capture<P>,
     {
         let g = self.graph;
         while !m.truncated {
-            let Some((now, delivery)) = m.core.pop() else {
+            let Some((now, event)) = m.core.pop() else {
                 break;
             };
+            // Route the pop: cancelled timers and events addressed to a
+            // dead vertex vanish here, before any meter moves. `Ok` is
+            // a message delivery, `Err` a live timer fire.
+            let (node, fire) = match event {
+                Event::Msg(d) => (d.to, Ok(d)),
+                Event::Timer { node, id } => {
+                    if m.cancelled.remove(&id) {
+                        continue;
+                    }
+                    (node, Err(id))
+                }
+            };
+            if m.crashed(node, now) {
+                continue;
+            }
             m.events += 1;
             if m.events > self.event_limit {
                 return Err(SimError::EventLimitExceeded {
                     limit: self.event_limit,
                 });
             }
-            m.cost.completion = m.cost.completion.max(now);
-            if self.trace_cap > 0 {
-                m.trace.push(TraceEvent {
-                    from: delivery.from,
-                    to: delivery.to,
-                    edge: delivery.edge,
-                    sent: delivery.sent,
-                    delivered: now,
-                    class: delivery.class,
-                });
-            }
             let outbox = std::mem::take(&mut m.outbox);
             let out_edges = std::mem::take(&mut m.out_edges);
-            let mut ctx = Context::recycled(delivery.to, now, g, outbox, out_edges);
-            m.states[delivery.to.index()].on_message(delivery.from, delivery.msg, &mut ctx);
-            (m.outbox, m.out_edges) = ctx.into_parts();
-            m.dispatch(g, self.comm_limit, delivery.to, now, oracle);
+            let timers = std::mem::take(&mut m.timers);
+            let cancels = std::mem::take(&mut m.cancels);
+            let mut ctx = Context::recycled(
+                node,
+                now,
+                g,
+                outbox,
+                out_edges,
+                timers,
+                cancels,
+                m.cost.messages,
+                m.timer_seq,
+            );
+            match fire {
+                Ok(d) => {
+                    // Completion time is the last *delivered message*;
+                    // timer fires are local and free.
+                    m.cost.completion = m.cost.completion.max(now);
+                    if self.trace_cap > 0 {
+                        m.trace.push(TraceEvent {
+                            from: d.from,
+                            to: d.to,
+                            edge: d.edge,
+                            sent: d.sent,
+                            delivered: now,
+                            class: d.class,
+                        });
+                    }
+                    m.states[node.index()].on_message(d.from, d.msg, &mut ctx);
+                }
+                Err(id) => m.states[node.index()].on_timer(TimerId(id), &mut ctx),
+            }
+            (m.outbox, m.out_edges, m.timers, m.cancels) = ctx.into_parts();
+            m.dispatch(g, self.comm_limit, node, now, oracle);
+            m.dispatch_timers(node, now);
             capture.after_event(m);
         }
         Ok(())

@@ -68,7 +68,9 @@ impl BetaStar {
         let have = self.done.get(&pulse).copied().unwrap_or(0);
         if have == self.children.len() && (self.times.len() as u64) > pulse {
             match self.parent {
-                Some(p) => ctx.send_class(p, BetaMsg::Done(pulse), CostClass::Synchronizer),
+                Some(p) => {
+                    ctx.send_class(p, BetaMsg::Done(pulse), CostClass::Synchronizer);
+                }
                 None => {
                     // Leader: everyone finished; broadcast the next pulse.
                     self.done.remove(&pulse);

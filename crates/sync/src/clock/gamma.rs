@@ -188,7 +188,9 @@ impl GammaStar {
             return;
         }
         match parent {
-            Some(p) => ctx.send_class(p, GammaMsg::DoneUp { tree, pulse }, CostClass::Synchronizer),
+            Some(p) => {
+                ctx.send_class(p, GammaMsg::DoneUp { tree, pulse }, CostClass::Synchronizer);
+            }
             None => self.on_tree_done(tree, pulse, ctx),
         }
     }
@@ -236,11 +238,13 @@ impl GammaStar {
         let me = ctx.self_id();
         let (parent, _) = self.my_position(tree, me).clone();
         match parent {
-            Some(p) => ctx.send_class(
-                p,
-                GammaMsg::NbrDone { tree, from, pulse },
-                CostClass::Synchronizer,
-            ),
+            Some(p) => {
+                ctx.send_class(
+                    p,
+                    GammaMsg::NbrDone { tree, from, pulse },
+                    CostClass::Synchronizer,
+                );
+            }
             None => {
                 // I am the leader of `tree`.
                 self.rounds

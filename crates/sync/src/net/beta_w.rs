@@ -106,6 +106,10 @@ impl<P: SyncProcess> BetaWHost<P> {
             let mut sctx: SyncContext<'_, P::Msg> = SyncContext::host(ctx.self_id(), q, g);
             self.hosted.on_pulse(q, &inbox, &mut sctx);
             let out = sctx.drain();
+            assert!(
+                out.timers.is_empty() && out.cancels.is_empty(),
+                "synchronizer hosts do not forward timers; use wake_at"
+            );
             if let Some(w) = out.wake_at {
                 self.wake_at = Some(match self.wake_at {
                     Some(e) => e.min(w),

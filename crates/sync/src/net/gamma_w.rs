@@ -259,6 +259,10 @@ impl<P: SyncProcess> GammaWHost<P> {
         let mut sctx: SyncContext<'_, P::Msg> = SyncContext::host(me, q, g);
         self.hosted.on_pulse(q, &inbox, &mut sctx);
         let out = sctx.drain();
+        assert!(
+            out.timers.is_empty() && out.cancels.is_empty(),
+            "synchronizer hosts do not forward timers; use wake_at"
+        );
         if out.finished {
             self.hosted_finished = true;
         }
@@ -368,14 +372,16 @@ impl<P: SyncProcess> GammaWHost<P> {
         let me = ctx.self_id();
         let layout = &self.layouts[li];
         match layout.parent[me.index()] {
-            Some(p) => ctx.send_class(
-                p,
-                HostMsg::NbrUp {
-                    level: layout.exp,
-                    round,
-                },
-                CostClass::Synchronizer,
-            ),
+            Some(p) => {
+                ctx.send_class(
+                    p,
+                    HostMsg::NbrUp {
+                        level: layout.exp,
+                        round,
+                    },
+                    CostClass::Synchronizer,
+                );
+            }
             None => {
                 self.levels[li].rounds.entry(round).or_default().nbr_up += 1;
                 self.maybe_go(li, round, ctx);

@@ -42,7 +42,7 @@ fn arb_delay() -> impl Strategy<Value = DelayModel> {
     })
 }
 
-/// How to build a [`DelayOracle`] for the oracle-driven differential
+/// How to build a [`LinkOracle`] for the oracle-driven differential
 /// property: the fixed models re-expressed as oracles, the adversary
 /// crate's critical-path greedy, and replay of a mutated recording
 /// (which exercises the fallback path on divergence).
@@ -64,7 +64,7 @@ fn arb_oracle() -> impl Strategy<Value = OracleSpec> {
     })
 }
 
-fn oracle_for<'s>(spec: &OracleSpec, mutant: Option<&'s Schedule>) -> Box<dyn DelayOracle + 's> {
+fn oracle_for<'s>(spec: &OracleSpec, mutant: Option<&'s Schedule>) -> Box<dyn LinkOracle + 's> {
     match spec {
         OracleSpec::Model(m, s) => Box::new(ModelOracle::new(*m, *s)),
         OracleSpec::CriticalPath => Box::new(CriticalPathOracle::new()),
