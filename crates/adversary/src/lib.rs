@@ -71,7 +71,9 @@ pub mod search;
 pub use oracle::{CriticalPathOracle, Recorder, ScheduleOracle};
 pub use refute::{check_time_bound, shrink, GridPoint, Refutation};
 pub use schedule::{Crash, Decision, Fallback, ParseError, Schedule};
-pub use search::{find_worst_schedule, mutate, mutate_with_drops, SearchConfig, SearchOutcome};
+pub use search::{
+    find_worst_schedule, mutate, mutate_with_drops, mutate_with_faults, SearchConfig, SearchOutcome,
+};
 
 use csp_graph::{NodeId, WeightedGraph};
 use csp_sim::{LinkOracle, Process, Run, Simulator};
@@ -128,10 +130,24 @@ pub struct ReplayReport {
     pub past_horizon: u64,
     /// Recorded decisions that did not match the dispatched message.
     pub mismatched: u64,
+    /// Messages the schedule dropped during the replay (from the run's
+    /// [`CostReport`](csp_sim::CostReport) fault meters).
+    pub drops: u64,
+    /// Vertices the schedule crashed.
+    pub crashed_nodes: u64,
+    /// Deliveries and timer fires consumed by crashed vertices.
+    pub dead_events: u64,
+}
+
+impl ReplayReport {
+    /// Whether the replayed schedule injected any fault at all.
+    pub fn has_faults(&self) -> bool {
+        self.drops > 0 || self.crashed_nodes > 0 || self.dead_events > 0
+    }
 }
 
 /// [`replay`], but also reports how often the run left the recorded
-/// schedule (see [`ReplayReport`]).
+/// schedule and what faults it suffered (see [`ReplayReport`]).
 pub fn replay_report<P, F>(
     g: &WeightedGraph,
     make: F,
@@ -145,12 +161,13 @@ where
     let run = Simulator::new(g)
         .run_with_oracle(&mut oracle, make)
         .expect("replayed protocol must quiesce");
-    (
-        run,
-        ReplayReport {
-            divergences: oracle.divergences,
-            past_horizon: oracle.past_horizon,
-            mismatched: oracle.mismatched,
-        },
-    )
+    let report = ReplayReport {
+        divergences: oracle.divergences,
+        past_horizon: oracle.past_horizon,
+        mismatched: oracle.mismatched,
+        drops: run.cost.drops,
+        crashed_nodes: run.cost.crashed_nodes,
+        dead_events: run.cost.dead_events,
+    };
+    (run, report)
 }

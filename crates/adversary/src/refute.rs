@@ -5,15 +5,18 @@
 //! The shrinker is proptest-style: a violation witnessed by a searched
 //! schedule usually rushes many messages, most of them irrelevant.
 //! [`shrink`] first discards crashes the violation does not need, then
-//! reverts interesting decisions — rushed (`delay < weight`) or dropped
-//! — toward fault-free
+//! pushes each surviving crash's *time* as late as the violation
+//! permits (a later crash leaves a longer fault-free prefix, so later
+//! is simpler — and a crash after quiescence is the removal already
+//! rejected), then reverts interesting decisions — rushed
+//! (`delay < weight`) or dropped — toward fault-free
 //! [`DelayModel::WorstCase`](csp_sim::DelayModel::WorstCase) in
 //! halving-size chunks while the violation persists, down to a
 //! 1-minimal schedule: reverting any single remaining interesting
-//! decision (or removing any remaining crash) makes the violation
-//! disappear. The minimal schedule is re-recorded after every accepted
-//! step, so the file written to disk replays to exactly the reported
-//! completion time.
+//! decision, removing any remaining crash, or delaying any remaining
+//! crash by one more tick makes the violation disappear. The minimal
+//! schedule is re-recorded after every accepted step, so the file
+//! written to disk replays to exactly the reported completion time.
 
 use crate::oracle::{Recorder, ScheduleOracle};
 use crate::schedule::{Fallback, Schedule};
@@ -72,14 +75,16 @@ where
 /// Shrinks `schedule` to a 1-minimal violation of `violates`.
 ///
 /// Crashes are tried for removal first, one at a time, until every
-/// remaining crash is load-bearing. Then interesting decisions — rushed
-/// (`delay < weight`) or dropped — are reverted to fault-free full edge
-/// weight in chunks, halving the chunk size whenever no chunk at the
-/// current size can be reverted, until no single interesting decision
-/// can be reverted without losing the violation. The returned schedule
-/// is a fresh recording of its own replay, so it is internally
-/// consistent even when reverting steered the protocol down a different
-/// path.
+/// remaining crash is load-bearing. Each surviving crash's time is then
+/// pushed to the latest tick still violating (so the final witness
+/// says: *this* vertex must die, and no later than *this* moment). Then
+/// interesting decisions — rushed (`delay < weight`) or dropped — are
+/// reverted to fault-free full edge weight in chunks, halving the chunk
+/// size whenever no chunk at the current size can be reverted, until no
+/// single interesting decision can be reverted without losing the
+/// violation. The returned schedule is a fresh recording of its own
+/// replay, so it is internally consistent even when reverting steered
+/// the protocol down a different path.
 ///
 /// Returns the input re-recorded (unshrunk) if its replay does not
 /// satisfy `violates` in the first place.
@@ -114,6 +119,56 @@ where
             c += 1;
         }
     }
+
+    // Crash-time reverts: push every load-bearing crash as late as the
+    // violation allows. "Later" is the simpler direction — the run is
+    // fault-free for longer, and a crash after quiescence is exactly the
+    // removal the previous phase rejected. Pushed once here so the
+    // decision phase shrinks the simplest transcript, and once more
+    // after it, because reverting a decision can slow the run down and
+    // re-loosen a crash's deadline — only the final pass's times are
+    // 1-minimal against the witness actually returned.
+    let push_crash_times = |time: &mut SimTime, current: &mut Schedule| {
+        for c in 0..current.crashes.len() {
+            let replay_at = |at: u64, from: &Schedule| {
+                let mut candidate = from.clone();
+                candidate.crashes[c].at = at;
+                replay_recorded(g, make, &candidate)
+            };
+            // Boundary search keeping `lo` violating and `hi` not; `hi`
+            // climbs exponentially first because a well-timed crash can
+            // violate *more* strongly than an earlier one (recovery
+            // traffic lands later). The invariant makes the final time
+            // 1-minimal regardless of monotonicity: `lo + 1` is a tested
+            // non-violation whenever the search moved at all.
+            let mut lo = current.crashes[c].at;
+            let mut hi = time.get().max(lo).saturating_add(1);
+            loop {
+                let (t, _) = replay_at(hi, current);
+                if !violates(t) {
+                    break;
+                }
+                lo = hi;
+                hi = hi.saturating_mul(2);
+            }
+            while hi - lo > 1 {
+                let mid = lo + (hi - lo) / 2;
+                let (t, _) = replay_at(mid, current);
+                if violates(t) {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            if lo != current.crashes[c].at {
+                let (t, recorded) = replay_at(lo, current);
+                debug_assert!(violates(t), "boundary search kept `lo` violating");
+                *time = t;
+                *current = recorded;
+            }
+        }
+    };
+    push_crash_times(&mut time, &mut current);
 
     let interesting_positions = |s: &Schedule| -> Vec<usize> {
         (0..s.decisions.len())
@@ -150,6 +205,7 @@ where
             chunk = (chunk / 2).max(1);
         }
     }
+    push_crash_times(&mut time, &mut current);
     (time, current)
 }
 
@@ -310,6 +366,43 @@ mod tests {
         assert_eq!(minimal.dropped_count(), 1);
         assert_eq!(minimal.rushed(), 0);
         assert!(minimal.crashes.is_empty(), "the crash was not load-bearing");
+    }
+
+    #[test]
+    fn shrink_pushes_the_crash_time_to_the_latest_violating_tick() {
+        // An eager six-ring completes at tick 6; beheading the token at
+        // vertex 3 is the only way to finish earlier, and only works
+        // while the token has not passed. In the *final* shrunk witness
+        // the first two hops stay rushed (completion must stay under 6)
+        // but the third hop is reverted to its full weight 5, so the
+        // token reaches the victim at t = 1+1+5 = 7 — and a crash at the
+        // instant of delivery still consumes it. Shrinking a crash
+        // planted at t=1 must therefore land on exactly t=7, 1-minimal
+        // in the time coordinate against the witness's own transcript.
+        let g = generators::cycle(6, |_| 5);
+        let make = |_: NodeId, _: &WeightedGraph| Ring { done: false };
+        let mut rec = Recorder::new(ModelOracle::new(DelayModel::Eager, 0));
+        Simulator::new(&g).run_with_oracle(&mut rec, make).unwrap();
+        let mut faulty = rec.into_schedule(Fallback::WorstCase);
+        faulty.crashes.push(crate::schedule::Crash {
+            node: NodeId::new(3),
+            at: 1,
+        });
+        let (t, minimal) = shrink(&g, &make, &faulty, |t| t.get() < 6);
+        assert!(t.get() < 6);
+        assert_eq!(minimal.crashes.len(), 1, "the crash is load-bearing");
+        assert_eq!(minimal.rushed(), 2, "only the completion-critical hops");
+        assert_eq!(minimal.crashes[0].at, 7, "latest violating tick");
+        // 1-minimality beyond what shrink itself claims: one more tick
+        // (or removal) lets the token slip past and the refutation dies.
+        let mut later = minimal.clone();
+        later.crashes[0].at = 8;
+        let run = crate::replay(&g, make, &later);
+        assert!(run.cost.completion.get() >= 6, "t=8 must not violate");
+        let mut removed = minimal.clone();
+        removed.crashes.clear();
+        let run = crate::replay(&g, make, &removed);
+        assert!(run.cost.completion.get() >= 6, "removal must not violate");
     }
 
     #[test]

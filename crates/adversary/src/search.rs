@@ -90,9 +90,18 @@ pub struct SearchConfig {
     pub drop_flips: usize,
     /// Crash candidates probed between the random and hill phases: the
     /// first `crash_probes` vertices are each tried as the incumbent
-    /// schedule plus that vertex crashing at half the incumbent's
-    /// completion time. `0` (the default) disables crash search.
+    /// schedule plus that vertex crashing at each point of a small
+    /// crash-*time* grid (quarter, half and three-quarters of the
+    /// incumbent's completion time) — a victim's damage depends on
+    /// *when* it dies, not just on who dies. `0` (the default) disables
+    /// crash search.
     pub crash_probes: usize,
+    /// Crash times re-randomized per mutation, after the `flips` delay
+    /// draws and `drop_flips` drop toggles — making *when a vertex dies*
+    /// a real hill-climb coordinate once a crash probe has been adopted.
+    /// No-op on crash-free incumbents. `0` (the default) keeps the
+    /// mutation stream byte-identical to [`mutate_with_drops`]'s.
+    pub crash_time_flips: usize,
 }
 
 impl Default for SearchConfig {
@@ -108,6 +117,7 @@ impl Default for SearchConfig {
             polish_passes: 4,
             drop_flips: 0,
             crash_probes: 0,
+            crash_time_flips: 0,
         }
     }
 }
@@ -329,8 +339,28 @@ pub fn mutate(base: &Schedule, seed: u64, flips: usize) -> Schedule {
 /// drop flag toggled (a delivered message is lost, a lost one is
 /// delivered at its recorded delay). With `drop_flips = 0` the RNG
 /// stream — and therefore the mutant — is identical to [`mutate`]'s, so
-/// enabling fault search never perturbs delay-only results.
+/// enabling fault search never perturbs delay-only results. Equivalent
+/// to [`mutate_with_faults`] with `crash_time_flips = 0`.
 pub fn mutate_with_drops(base: &Schedule, seed: u64, flips: usize, drop_flips: usize) -> Schedule {
+    mutate_with_faults(base, seed, flips, drop_flips, 0)
+}
+
+/// [`mutate_with_drops`] plus crash-time search: after the delay and
+/// drop draws, `crash_time_flips` picked crashes have their time
+/// re-randomized — halved, doubled, or redrawn uniformly around the
+/// current value — so *when* a victim dies climbs alongside the delay
+/// and drop coordinates. Crash-free schedules are returned unchanged by
+/// this phase (the crash draws are skipped entirely), and with
+/// `crash_time_flips = 0` the RNG stream is identical to
+/// [`mutate_with_drops`]'s, so the drop-only mutants it pins stay
+/// byte-stable.
+pub fn mutate_with_faults(
+    base: &Schedule,
+    seed: u64,
+    flips: usize,
+    drop_flips: usize,
+    crash_time_flips: usize,
+) -> Schedule {
     let mut out = base.clone();
     if out.decisions.is_empty() {
         return out;
@@ -349,6 +379,17 @@ pub fn mutate_with_drops(base: &Schedule, seed: u64, flips: usize, drop_flips: u
         let i = rng.random_range(0..out.decisions.len() as u64) as usize;
         let d = &mut out.decisions[i];
         d.dropped = !d.dropped;
+    }
+    if !out.crashes.is_empty() {
+        for _ in 0..crash_time_flips {
+            let c = rng.random_range(0..out.crashes.len() as u64) as usize;
+            let at = out.crashes[c].at;
+            out.crashes[c].at = match rng.random_range(0..3u64) {
+                0 => (at / 2).max(1),
+                1 => at.saturating_mul(2).max(1),
+                _ => rng.random_range(1..=at.saturating_mul(2).max(1)),
+            };
+        }
     }
     out
 }
@@ -408,19 +449,33 @@ where
     }
 
     // Crash probes: try each of the first `crash_probes` vertices as the
-    // incumbent plus that vertex crashing halfway through the incumbent's
-    // run. Crashes take effect from time zero (`first_diff` is 0 against
-    // any crash-free checkpoint), so every probe is a cold recorded run.
+    // incumbent plus that vertex crashing at each point of a small
+    // crash-time grid. An early crash removes a participant before it
+    // contributes; a late one forces recovery of state already built —
+    // which of the two stalls a protocol longer is exactly what the grid
+    // discovers (and the hill phase's `crash_time_flips` then refines).
+    // Crashes take effect from time zero (`first_diff` is 0 against any
+    // crash-free checkpoint), so every probe is a cold recorded run.
     if cfg.crash_probes > 0 {
-        let at = (best.best_time.get() / 2).max(1);
+        let horizon = best.best_time.get();
+        let mut grid: Vec<u64> = [horizon / 4, horizon / 2, (3 * horizon) / 4]
+            .iter()
+            .map(|&at| at.max(1))
+            .collect();
+        grid.dedup();
         let mut pool = EvalPool::new();
         for v in g.nodes().take(cfg.crash_probes) {
-            let mut candidate = best.schedule.clone();
-            candidate.crashes.push(Crash { node: v, at });
-            let (t, s) = eval_recorded(&sim, &mut pool, &make, ScheduleOracle::new(&candidate));
-            evaluations += 1;
-            if t > best.best_time {
-                (best.best_time, best.schedule, best.strategy) = (t, s, "crash");
+            for &at in &grid {
+                let mut candidate = best.schedule.clone();
+                // Replace, don't duplicate, when an earlier grid point
+                // for this vertex was already adopted.
+                candidate.crashes.retain(|c| c.node != v);
+                candidate.crashes.push(Crash { node: v, at });
+                let (t, s) = eval_recorded(&sim, &mut pool, &make, ScheduleOracle::new(&candidate));
+                evaluations += 1;
+                if t > best.best_time {
+                    (best.best_time, best.schedule, best.strategy) = (t, s, "crash");
+                }
             }
         }
     }
@@ -439,7 +494,13 @@ where
         let incumbent = &best.schedule;
         let store = &checkpoints;
         let scores = par_map_with(&mutation_seeds, threads, EvalPool::new, |pool, &ms| {
-            let mutant = mutate_with_drops(incumbent, ms, cfg.flips, cfg.drop_flips);
+            let mutant = mutate_with_faults(
+                incumbent,
+                ms,
+                cfg.flips,
+                cfg.drop_flips,
+                cfg.crash_time_flips,
+            );
             let fd = first_diff(incumbent, &mutant);
             score_candidate_from(&sim, pool, &make, store, &mutant, fd)
         });
@@ -454,8 +515,13 @@ where
             }
         }
         if let Some((i, t)) = winner {
-            let mutant =
-                mutate_with_drops(&best.schedule, mutation_seeds[i], cfg.flips, cfg.drop_flips);
+            let mutant = mutate_with_faults(
+                &best.schedule,
+                mutation_seeds[i],
+                cfg.flips,
+                cfg.drop_flips,
+                cfg.crash_time_flips,
+            );
             let fd = first_diff(&best.schedule, &mutant);
             let (rt, rs) =
                 evaluate_candidate_from(&sim, &mut main_pool, &make, &checkpoints, &mutant, fd);
@@ -711,11 +777,62 @@ mod tests {
             ..SearchConfig::default()
         };
         let out = find_worst_schedule(&g, |_, _| Flood { seen: false }, &cfg);
-        // 1 worst-case + 1 critical-path + 2 random + 3 crash probes.
-        assert_eq!(out.evaluations, 7);
+        // 1 worst-case + 1 critical-path + 2 random + 3 vertices × the
+        // 3-point crash-time grid.
+        assert_eq!(out.evaluations, 13);
         if out.strategy == "crash" {
             assert_eq!(out.schedule.crashes.len(), 1);
         }
+    }
+
+    #[test]
+    fn zero_crash_time_flips_matches_the_drop_mutator() {
+        // The crash-time draws are appended after the drop draws, so
+        // disabling them must reproduce `mutate_with_drops` exactly even
+        // on crash-bearing schedules.
+        let g = small_graph();
+        let (_, mut base) = record_run(
+            &g,
+            &|_, _| Flood { seen: false },
+            ModelOracle::new(DelayModel::Uniform, 3),
+        );
+        base.crashes.push(Crash {
+            node: NodeId::new(2),
+            at: 9,
+        });
+        for seed in [0, 7, 99] {
+            assert_eq!(
+                mutate_with_drops(&base, seed, 6, 2),
+                mutate_with_faults(&base, seed, 6, 2, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn crash_time_flips_move_only_crash_times() {
+        let g = small_graph();
+        let (_, mut base) = record_run(
+            &g,
+            &|_, _| Flood { seen: false },
+            ModelOracle::new(DelayModel::Uniform, 3),
+        );
+        base.crashes.push(Crash {
+            node: NodeId::new(4),
+            at: 16,
+        });
+        let mut moved = false;
+        for seed in 0..8 {
+            let mutant = mutate_with_faults(&base, seed, 0, 0, 3);
+            assert_eq!(mutant.decisions, base.decisions, "decisions untouched");
+            assert_eq!(mutant.crashes.len(), 1);
+            assert_eq!(mutant.crashes[0].node, NodeId::new(4), "victim untouched");
+            assert!(mutant.crashes[0].at >= 1);
+            moved |= mutant.crashes[0].at != 16;
+        }
+        assert!(moved, "some seed must actually move the crash time");
+        // Crash-free schedules pass through the phase unchanged.
+        base.crashes.clear();
+        assert_eq!(mutate_with_faults(&base, 5, 0, 0, 3), base);
     }
 
     #[test]

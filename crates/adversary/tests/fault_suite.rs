@@ -10,11 +10,15 @@
 
 use csp_adversary::{replay, replay_report, Schedule, ScheduleOracle};
 use csp_algo::flood::Flood;
+use csp_algo::resilient::{contract_violation, Metric, Resilient, ResilientOutcome};
 use csp_algo::spt::recur::SptRecur;
 use csp_algo::termination::Detector;
 use csp_graph::generators::{self, WeightDist};
 use csp_graph::{NodeId, WeightedGraph};
-use csp_sim::{CoreKind, DelayModel, DropOracle, ModelOracle, Reliable, Run, Simulator};
+use csp_sim::{
+    CoreKind, CrashOracle, DelayModel, Detect, DetectConfig, DropOracle, ModelOracle, Reliable,
+    Run, SimTime, Simulator,
+};
 use proptest::prelude::*;
 use std::path::PathBuf;
 
@@ -136,6 +140,72 @@ proptest! {
             );
         }
         prop_assert!(wrapped.states.iter().all(|s| s.inner().reached()));
+    }
+
+    /// The self-healing contract under a *combined* adversary: arbitrary
+    /// bounded drops plus a crash of a random victim at a random time
+    /// within the detection horizon. Every vertex of the surviving
+    /// connected component must terminate with the exact subgraph answer
+    /// (hop or weighted distance), everyone cut off must retract to
+    /// `None` — and the whole monitored run must be bit-identical on the
+    /// bucket and heap event cores.
+    #[test]
+    fn resilient_protocols_heal_arbitrary_drop_plus_crash_schedules(
+        seed in any::<u64>(),
+        drop_rate in 0.0f64..0.5,
+        n in 6usize..12,
+        victim_ix in 0usize..12,
+        crash_at in 0u64..180,
+        weighted in any::<bool>(),
+    ) {
+        let g = generators::connected_gnp(n, 0.35, WeightDist::Uniform(1, 9), seed);
+        let root = NodeId::new(0);
+        let victim = NodeId::new(victim_ix % n);
+        let metric = if weighted { Metric::Weighted } else { Metric::Hops };
+        // Horizon ≥ (60-1-3)·4 - 8 = 216 > 180: every sampled crash time
+        // is inside the guaranteed-detection window, and loss tolerance 3
+        // matches the drop oracle's budget so suspicion stays accurate.
+        let cfg = DetectConfig::new(4, 60, 3);
+
+        let run_on = |kind: CoreKind| {
+            let lossy = DropOracle::new(DelayModel::Uniform, seed ^ 0x5E1F_4EA1, drop_rate, 3);
+            let mut oracle = CrashOracle::new(lossy, vec![(victim, SimTime::new(crash_at))]);
+            let mut sim = Simulator::new(&g);
+            sim.core(kind);
+            sim.run_with_oracle(&mut oracle, |v, g| {
+                Detect::new(Reliable::new(Resilient::new(v, root, metric, g), 8), cfg)
+            })
+            .unwrap()
+        };
+        let bucket: Run<Detect<Reliable<Resilient>>> = run_on(CoreKind::Bucket);
+        let heap = run_on(CoreKind::Heap);
+        prop_assert_eq!(&bucket.cost, &heap.cost);
+        prop_assert_eq!(
+            format!("{:?}", bucket.states),
+            format!("{:?}", heap.states)
+        );
+        prop_assert_eq!(bucket.cost.crashed_nodes, 1);
+
+        let peel = |s: &Detect<Reliable<Resilient>>| -> Resilient { s.inner().inner().clone() };
+        let out = ResilientOutcome {
+            dists: bucket.states.iter().map(|s| peel(s).dist()).collect(),
+            parents: bucket.states.iter().map(|s| peel(s).parent()).collect(),
+            suspected_links: bucket
+                .states
+                .iter()
+                .map(|s| peel(s).dead_neighbor_count())
+                .sum(),
+            retransmissions: bucket.states.iter().map(|s| s.inner().retransmissions()).sum(),
+            failed_channels: bucket
+                .states
+                .iter()
+                .map(|s| s.inner().failed_channel_count())
+                .sum(),
+            cost: bucket.cost.clone(),
+        };
+        let mut dead = vec![false; g.node_count()];
+        dead[victim.index()] = true;
+        prop_assert_eq!(contract_violation(&g, root, metric, &dead, &out), None);
     }
 }
 

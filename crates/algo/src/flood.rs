@@ -12,7 +12,7 @@
 
 use crate::util::tree_from_parents;
 use csp_graph::{NodeId, RootedTree, WeightedGraph};
-use csp_sim::{Context, CostReport, DelayModel, Process, Run, SimError, Simulator};
+use csp_sim::{Context, CostReport, DelayModel, FaultAware, Process, Run, SimError, Simulator};
 
 /// Per-vertex state of the flooding protocol.
 #[derive(Clone, Debug)]
@@ -66,6 +66,12 @@ impl Process for Flood {
         }
     }
 }
+
+/// Flooding ignores fault upcalls: a dead neighbor only ever costs the
+/// one token it would have forwarded. Opting in lets the protocol ride
+/// inside [`Reliable`](csp_sim::Reliable) and
+/// [`Detect`](csp_sim::Detect).
+impl FaultAware for Flood {}
 
 /// Outcome of a flood run.
 #[derive(Debug)]

@@ -21,6 +21,7 @@
 //! | §9.2  | [`spt`]        | `SPT_recur` (layered strips) | strip-tunable |
 //! | §9.3  | [`spt`]        | `SPT_hybrid` | min of the two |
 //! | §2.4  | [`slt_dist`]   | distributed SLT construction | `O(V̂·n²)`, `O(D̂·n²)` |
+//! | —     | [`resilient`]  | self-healing flood / SPT (crash-tolerant distance vector) | exact on the surviving component |
 
 pub mod cast;
 pub mod con_hybrid;
@@ -31,6 +32,7 @@ pub mod global;
 pub mod leader;
 pub mod mst;
 pub mod reliable;
+pub mod resilient;
 pub mod slt_dist;
 pub mod spt;
 pub mod termination;

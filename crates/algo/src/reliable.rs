@@ -19,11 +19,11 @@ use crate::flood::Flood;
 use crate::spt::recur::SptRecur;
 use crate::util::tree_from_parents;
 use csp_graph::{Cost, NodeId, RootedTree, WeightedGraph};
-use csp_sim::{CostReport, LinkOracle, Process, Reliable, Run, SimError, Simulator};
+use csp_sim::{CostReport, FaultAware, LinkOracle, Reliable, Run, SimError, Simulator};
 
 /// Channels the wrapper abandoned after exhausting retries, summed over
 /// all vertices (each direction counts separately).
-fn failed_channels<P: Process>(g: &WeightedGraph, states: &[Reliable<P>]) -> usize {
+fn failed_channels<P: FaultAware>(g: &WeightedGraph, states: &[Reliable<P>]) -> usize {
     g.nodes()
         .map(|v| {
             g.neighbors(v)

@@ -1,0 +1,645 @@
+//! Self-healing broadcast and shortest paths: crash-tolerant variants
+//! of `CON_flood` (Section 6.1) and the SPT protocols (Section 9).
+//!
+//! The paper's protocols assume a fixed fault-free network. [`Resilient`]
+//! is one distance-vector state machine covering both weighted regimes
+//! that *survives vertex crashes*: hosted under the simulator's
+//! [`Detect`] failure detector (and optionally the [`Reliable`]
+//! retransmission wrapper), it reacts to `peer_suspected` /
+//! `channel_failed` upcalls by routing around dead channels and
+//! re-parenting orphaned subtrees.
+//!
+//! # The protocol
+//!
+//! Every vertex keeps, per neighbor, the neighbor's last *announced*
+//! distance to the source (its **offer**), and computes its own distance
+//! as the minimum of `offer(u) + cost(u, v)` over live neighbors — where
+//! `cost` is `1` under [`Metric::Hops`] (flood: reach everyone, build a
+//! tree) and `w(e)` under [`Metric::Weighted`] (SPT: exact weighted
+//! distances). Whenever its own distance changes it announces the new
+//! value to all live neighbors; a vertex with no surviving support
+//! announces a *retraction* (`None`), which cascades through any subtree
+//! the crash orphaned. A count-to-infinity bound (`n - 1` hops, total
+//! graph weight respectively) converts loop-supported climbing into
+//! retraction in bounded time.
+//!
+//! Fault upcalls are the only crash input: when the detector suspects a
+//! peer (or the reliability layer abandons its channel), the vertex
+//! marks the peer dead, discards its offer, ignores any straggler
+//! traffic from it, and recomputes.
+//!
+//! # Correctness contract
+//!
+//! Let `C` be the surviving component of the source — the vertices
+//! reachable from it in the subgraph induced by non-crashed vertices
+//! ([`surviving_component`](csp_graph::algo::surviving_component)).
+//! If every crash is detected (it is whenever crashes fall within the
+//! detector's [`detection_horizon`](DetectConfig::detection_horizon)),
+//! then at quiescence **every vertex of `C` holds exactly its distance
+//! from the source in the live-induced subgraph**, with parent pointers
+//! forming a tree on `C` rooted at the source; every live vertex outside
+//! `C` holds `None`. If the source itself crashes the contract is
+//! vacuous (all survivors eventually retract to `None`).
+//!
+//! The fixpoint argument: once all dead offers are cleared and all
+//! announcements delivered, the offer tables satisfy the Bellman
+//! equations of the live-induced subgraph, whose unique bounded solution
+//! is the true distance vector — any loop-supported value would strictly
+//! decrease along its own support chain without reaching the source,
+//! and values above the bound are forced to `None`.
+
+use csp_graph::{NodeId, WeightedGraph};
+use csp_sim::{
+    Context, CostClass, CostReport, Detect, DetectConfig, FaultAware, LinkOracle, Process,
+    Reliable, Run, SimError, Simulator,
+};
+
+/// Which cost the distance-vector computation minimizes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Metric {
+    /// Every edge costs 1: distances are hop counts and the protocol is
+    /// a crash-tolerant flood (reach the surviving component, build a
+    /// BFS-style tree over it).
+    Hops,
+    /// Every edge costs `w(e)`: distances are weighted and the protocol
+    /// is a crash-tolerant SPT.
+    Weighted,
+}
+
+/// Per-vertex state of the self-healing distance-vector protocol. See
+/// the [module docs](self) for the algorithm and its contract.
+#[derive(Clone, Debug)]
+pub struct Resilient {
+    me: NodeId,
+    source: NodeId,
+    metric: Metric,
+    /// Count-to-infinity cutoff: candidate distances above this are
+    /// treated as unreachable.
+    bound: u64,
+    dist: Option<u64>,
+    parent: Option<NodeId>,
+    /// Last announced distance per vertex id (entries for non-neighbors
+    /// stay `None` forever).
+    offers: Vec<Option<u64>>,
+    /// Neighbors marked dead by a fault upcall.
+    dead: Vec<bool>,
+}
+
+impl Resilient {
+    /// Creates the state for vertex `v` computing distances from
+    /// `source` under `metric` on `g`.
+    ///
+    /// The count-to-infinity bound is derived from the graph: `n - 1`
+    /// for [`Metric::Hops`], the total edge weight for
+    /// [`Metric::Weighted`] — both upper bounds on any real distance, so
+    /// the cutoff never truncates a true value.
+    pub fn new(v: NodeId, source: NodeId, metric: Metric, g: &WeightedGraph) -> Self {
+        g.check_node(v);
+        g.check_node(source);
+        let bound = match metric {
+            Metric::Hops => g.node_count().saturating_sub(1) as u64,
+            Metric::Weighted => g.edges().map(|e| e.weight().get()).sum(),
+        };
+        Resilient {
+            me: v,
+            source,
+            metric,
+            bound,
+            dist: None,
+            parent: None,
+            offers: vec![None; g.node_count()],
+            dead: vec![false; g.node_count()],
+        }
+    }
+
+    /// The vertex's current distance to the source (`None` = no
+    /// surviving support).
+    pub fn dist(&self) -> Option<u64> {
+        self.dist
+    }
+
+    /// The supporting neighbor (`None` at the source and at unreached
+    /// vertices).
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    /// Whether a fault upcall has marked `peer` dead.
+    pub fn knows_dead(&self, peer: NodeId) -> bool {
+        self.dead[peer.index()]
+    }
+
+    /// Number of neighbors marked dead by fault upcalls.
+    pub fn dead_neighbor_count(&self) -> usize {
+        self.dead.iter().filter(|&&d| d).count()
+    }
+
+    fn edge_cost(&self, w: csp_graph::Weight) -> u64 {
+        match self.metric {
+            Metric::Hops => 1,
+            Metric::Weighted => w.get(),
+        }
+    }
+
+    /// Recomputes `dist`/`parent` from the live offers; announces the
+    /// distance to all live neighbors if it changed.
+    fn recompute(&mut self, ctx: &mut Context<'_, Option<u64>>) {
+        let g = ctx.graph();
+        let (new_dist, new_parent) = if self.me == self.source {
+            (Some(0), None)
+        } else {
+            // Deterministic tie-break: first neighbor in adjacency
+            // order achieving the minimum.
+            let mut best: Option<(u64, NodeId)> = None;
+            for (u, _, w) in g.neighbors(self.me) {
+                if self.dead[u.index()] {
+                    continue;
+                }
+                if let Some(d) = self.offers[u.index()] {
+                    let c = d.saturating_add(self.edge_cost(w));
+                    if c <= self.bound && best.is_none_or(|(b, _)| c < b) {
+                        best = Some((c, u));
+                    }
+                }
+            }
+            match best {
+                Some((d, u)) => (Some(d), Some(u)),
+                None => (None, None),
+            }
+        };
+        self.parent = new_parent;
+        if new_dist != self.dist {
+            self.dist = new_dist;
+            self.announce(ctx);
+        }
+    }
+
+    fn announce(&mut self, ctx: &mut Context<'_, Option<u64>>) {
+        let g = ctx.graph();
+        for (u, _, _) in g.neighbors(self.me) {
+            if !self.dead[u.index()] {
+                ctx.send_class(u, self.dist, CostClass::Protocol);
+            }
+        }
+    }
+
+    fn mark_dead(&mut self, peer: NodeId, ctx: &mut Context<'_, Option<u64>>) {
+        if self.dead[peer.index()] {
+            return; // e.g. suspected after the channel already failed
+        }
+        self.dead[peer.index()] = true;
+        self.offers[peer.index()] = None;
+        self.recompute(ctx);
+    }
+}
+
+impl Process for Resilient {
+    type Msg = Option<u64>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Option<u64>>) {
+        if self.me == self.source {
+            self.dist = Some(0);
+            self.announce(ctx);
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, offer: Option<u64>, ctx: &mut Context<'_, Option<u64>>) {
+        if self.dead[from.index()] {
+            return; // straggler from a suspected peer
+        }
+        self.offers[from.index()] = offer;
+        self.recompute(ctx);
+    }
+}
+
+impl FaultAware for Resilient {
+    fn on_channel_failed(&mut self, peer: NodeId, ctx: &mut Context<'_, Option<u64>>) {
+        self.mark_dead(peer, ctx);
+    }
+
+    fn on_peer_suspected(&mut self, peer: NodeId, ctx: &mut Context<'_, Option<u64>>) {
+        self.mark_dead(peer, ctx);
+    }
+}
+
+/// Outcome of a self-healing run.
+#[derive(Debug)]
+pub struct ResilientOutcome {
+    /// Per-vertex distance to the source at quiescence (`None` at
+    /// crashed, retracted and never-reached vertices).
+    pub dists: Vec<Option<u64>>,
+    /// Per-vertex supporting neighbor — parent pointers of the recovery
+    /// tree over the surviving component.
+    pub parents: Vec<Option<NodeId>>,
+    /// Fault upcalls consumed: dead-neighbor marks summed over all
+    /// vertices (each surviving endpoint of a dead channel counts once).
+    pub suspected_links: usize,
+    /// Retransmissions performed by the [`Reliable`] layer — `0` for the
+    /// crash-only stack.
+    pub retransmissions: u64,
+    /// Channels the [`Reliable`] layer abandoned — `0` for the
+    /// crash-only stack.
+    pub failed_channels: usize,
+    /// Metered costs: announcements under `Protocol`; heartbeats, acks
+    /// and retransmissions under `Auxiliary`. Fault meters (`drops`,
+    /// `crashed_nodes`, `dead_events`) record what the adversary did.
+    pub cost: CostReport,
+}
+
+/// Runs the crash-tolerant flood ([`Metric::Hops`]) under `oracle` on
+/// the `Detect<Resilient>` stack.
+///
+/// Crash-only tolerance: the detector handles dead vertices, but a
+/// dropped announcement is simply lost — combine with [`Reliable`] via
+/// [`run_resilient_flood_reliable`] when the adversary also drops
+/// messages.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range.
+pub fn run_resilient_flood<O>(
+    g: &WeightedGraph,
+    root: NodeId,
+    oracle: &mut O,
+    cfg: DetectConfig,
+) -> Result<ResilientOutcome, SimError>
+where
+    O: LinkOracle + ?Sized,
+{
+    run_detected(g, root, Metric::Hops, oracle, cfg)
+}
+
+/// Runs the crash-tolerant SPT ([`Metric::Weighted`]) under `oracle` on
+/// the `Detect<Resilient>` stack.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+///
+/// # Panics
+///
+/// Panics if `s` is out of range.
+pub fn run_resilient_spt<O>(
+    g: &WeightedGraph,
+    s: NodeId,
+    oracle: &mut O,
+    cfg: DetectConfig,
+) -> Result<ResilientOutcome, SimError>
+where
+    O: LinkOracle + ?Sized,
+{
+    run_detected(g, s, Metric::Weighted, oracle, cfg)
+}
+
+fn run_detected<O>(
+    g: &WeightedGraph,
+    source: NodeId,
+    metric: Metric,
+    oracle: &mut O,
+    cfg: DetectConfig,
+) -> Result<ResilientOutcome, SimError>
+where
+    O: LinkOracle + ?Sized,
+{
+    g.check_node(source);
+    let run: Run<Detect<Resilient>> = Simulator::new(g).run_with_oracle(oracle, |v, _| {
+        Detect::new(Resilient::new(v, source, metric, g), cfg)
+    })?;
+    Ok(collect(g, run, |d| d.inner(), 0, 0))
+}
+
+/// Runs the full drop-and-crash-tolerant stack
+/// `Detect<Reliable<Resilient>>` under `oracle`.
+///
+/// The reliability layer restores exactly the delivery assumption the
+/// distance-vector fixpoint argument needs (every announcement
+/// eventually arrives), so the contract survives adversaries that both
+/// drop messages (below the retry bound) and crash vertices (within the
+/// detection horizon). `metric` picks flood versus SPT.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn run_resilient_reliable<O>(
+    g: &WeightedGraph,
+    source: NodeId,
+    metric: Metric,
+    oracle: &mut O,
+    cfg: DetectConfig,
+    max_retries: u32,
+) -> Result<ResilientOutcome, SimError>
+where
+    O: LinkOracle + ?Sized,
+{
+    g.check_node(source);
+    let run: Run<Detect<Reliable<Resilient>>> =
+        Simulator::new(g).run_with_oracle(oracle, |v, _| {
+            Detect::new(
+                Reliable::new(Resilient::new(v, source, metric, g), max_retries),
+                cfg,
+            )
+        })?;
+    let retransmissions = run.states.iter().map(|d| d.inner().retransmissions()).sum();
+    let failed = run
+        .states
+        .iter()
+        .map(|d| d.inner().failed_channel_count())
+        .sum();
+    Ok(collect(
+        g,
+        run,
+        |d| d.inner().inner(),
+        retransmissions,
+        failed,
+    ))
+}
+
+/// Convenience alias for the combined stack with [`Metric::Hops`].
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+pub fn run_resilient_flood_reliable<O>(
+    g: &WeightedGraph,
+    root: NodeId,
+    oracle: &mut O,
+    cfg: DetectConfig,
+    max_retries: u32,
+) -> Result<ResilientOutcome, SimError>
+where
+    O: LinkOracle + ?Sized,
+{
+    run_resilient_reliable(g, root, Metric::Hops, oracle, cfg, max_retries)
+}
+
+fn collect<S, F>(
+    g: &WeightedGraph,
+    run: Run<S>,
+    unwrap: F,
+    retransmissions: u64,
+    failed_channels: usize,
+) -> ResilientOutcome
+where
+    S: Process,
+    F: Fn(&S) -> &Resilient,
+{
+    let _ = g;
+    let dists = run.states.iter().map(|s| unwrap(s).dist()).collect();
+    let parents = run.states.iter().map(|s| unwrap(s).parent()).collect();
+    let suspected_links = run
+        .states
+        .iter()
+        .map(|s| unwrap(s).dead_neighbor_count())
+        .sum();
+    ResilientOutcome {
+        dists,
+        parents,
+        suspected_links,
+        retransmissions,
+        failed_channels,
+        cost: run.cost,
+    }
+}
+
+/// Checks the self-healing contract against the reference subgraph
+/// answers: exact distances on the surviving component of `source`,
+/// `None` everywhere else, and parent pointers realizing the distances.
+///
+/// Returns the first violated vertex, or `None` when the contract
+/// holds. `dead[v]` must mark exactly the crashed vertices.
+///
+/// # Panics
+///
+/// Panics if `dead.len() != n`.
+pub fn contract_violation(
+    g: &WeightedGraph,
+    source: NodeId,
+    metric: Metric,
+    dead: &[bool],
+    out: &ResilientOutcome,
+) -> Option<NodeId> {
+    let reference: Vec<Option<u64>> = match metric {
+        Metric::Hops => csp_graph::algo::surviving_hop_distances(g, source, dead)
+            .into_iter()
+            .map(|d| d.map(|h| h as u64))
+            .collect(),
+        Metric::Weighted => csp_graph::algo::surviving_distances(g, source, dead)
+            .into_iter()
+            .map(|d| d.map(|c| u64::try_from(c.get()).expect("distance fits u64")))
+            .collect(),
+    };
+    for v in g.nodes() {
+        if dead[v.index()] {
+            continue; // crashed vertices report nothing
+        }
+        if out.dists[v.index()] != reference[v.index()] {
+            return Some(v);
+        }
+        // A reached non-source vertex's parent must be a live neighbor
+        // whose distance accounts for its own.
+        if v != source && reference[v.index()].is_some() {
+            let Some(p) = out.parents[v.index()] else {
+                return Some(v);
+            };
+            let Some(&(_, _, w)) = g
+                .neighbors(v)
+                .collect::<Vec<_>>()
+                .iter()
+                .find(|&&(u, _, _)| u == p)
+            else {
+                return Some(v);
+            };
+            let step = match metric {
+                Metric::Hops => 1,
+                Metric::Weighted => w.get(),
+            };
+            if dead[p.index()] || reference[p.index()].map(|d| d + step) != reference[v.index()] {
+                return Some(v);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_graph::generators::{self, WeightDist};
+    use csp_sim::{CrashOracle, DelayModel, DropOracle, ModelOracle, SimTime};
+
+    fn gnp() -> WeightedGraph {
+        generators::connected_gnp(12, 0.3, WeightDist::Uniform(1, 16), 42)
+    }
+
+    /// A detector window generous enough that every crash in these
+    /// tests falls inside the detection horizon.
+    fn wide_cfg() -> DetectConfig {
+        DetectConfig::new(4, 60, 0)
+    }
+
+    fn crash_only(crashes: Vec<(NodeId, SimTime)>) -> CrashOracle<ModelOracle> {
+        CrashOracle::new(ModelOracle::new(DelayModel::WorstCase, 0), crashes)
+    }
+
+    fn dead_mask(n: usize, crashes: &[(NodeId, SimTime)]) -> Vec<bool> {
+        let mut dead = vec![false; n];
+        for &(v, _) in crashes {
+            dead[v.index()] = true;
+        }
+        dead
+    }
+
+    #[test]
+    fn crash_free_flood_matches_plain_bfs() {
+        let g = gnp();
+        let mut oracle = ModelOracle::new(DelayModel::WorstCase, 0);
+        let out = run_resilient_flood(&g, NodeId::new(0), &mut oracle, wide_cfg()).unwrap();
+        let dead = vec![false; g.node_count()];
+        assert_eq!(
+            contract_violation(&g, NodeId::new(0), Metric::Hops, &dead, &out),
+            None
+        );
+        assert_eq!(out.suspected_links, 0);
+        assert!(!out.cost.has_faults());
+    }
+
+    #[test]
+    fn crash_free_spt_matches_dijkstra() {
+        let g = gnp();
+        let reference = csp_graph::algo::distances(&g, NodeId::new(0));
+        let mut oracle = ModelOracle::new(DelayModel::Uniform, 7);
+        let out = run_resilient_spt(&g, NodeId::new(0), &mut oracle, wide_cfg()).unwrap();
+        for v in g.nodes() {
+            assert_eq!(
+                out.dists[v.index()],
+                Some(u64::try_from(reference[v.index()].get()).unwrap()),
+                "{v}"
+            );
+        }
+    }
+
+    #[test]
+    fn flood_survives_a_mid_run_crash() {
+        let g = gnp();
+        let crashes = vec![(NodeId::new(5), SimTime::new(20))];
+        let mut oracle = crash_only(crashes.clone());
+        let out = run_resilient_flood(&g, NodeId::new(0), &mut oracle, wide_cfg()).unwrap();
+        let dead = dead_mask(g.node_count(), &crashes);
+        assert_eq!(
+            contract_violation(&g, NodeId::new(0), Metric::Hops, &dead, &out),
+            None
+        );
+        // Every live neighbor of the victim marked it dead.
+        let neighbors = g.neighbors(NodeId::new(5)).count();
+        assert_eq!(out.suspected_links, neighbors);
+        assert_eq!(out.cost.crashed_nodes, 1);
+    }
+
+    #[test]
+    fn spt_reroutes_and_reparents_after_crashes() {
+        let g = gnp();
+        for victim in [1usize, 3, 7, 10] {
+            for at in [0u64, 5, 30, 80] {
+                let crashes = vec![(NodeId::new(victim), SimTime::new(at))];
+                let mut oracle = crash_only(crashes.clone());
+                let out = run_resilient_spt(&g, NodeId::new(0), &mut oracle, wide_cfg()).unwrap();
+                let dead = dead_mask(g.node_count(), &crashes);
+                assert_eq!(
+                    contract_violation(&g, NodeId::new(0), Metric::Weighted, &dead, &out),
+                    None,
+                    "victim {victim} at t={at}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn double_crash_that_disconnects_retracts_the_cut_off_side() {
+        // Path 0-1-2-3: crashing 1 strands 2 and 3, which must retract
+        // to None rather than keep pre-crash distances.
+        let g = generators::path(4, |_| 2);
+        let crashes = vec![(NodeId::new(1), SimTime::new(15))];
+        let mut oracle = crash_only(crashes.clone());
+        let out = run_resilient_spt(&g, NodeId::new(0), &mut oracle, wide_cfg()).unwrap();
+        let dead = dead_mask(4, &crashes);
+        assert_eq!(
+            contract_violation(&g, NodeId::new(0), Metric::Weighted, &dead, &out),
+            None
+        );
+        assert_eq!(out.dists[2], None);
+        assert_eq!(out.dists[3], None);
+        assert_eq!(out.parents[3], None, "orphaned subtree must re-parent away");
+    }
+
+    #[test]
+    fn source_crash_retracts_everyone() {
+        let g = gnp();
+        let crashes = vec![(NodeId::new(0), SimTime::new(25))];
+        let mut oracle = crash_only(crashes.clone());
+        let out = run_resilient_flood(&g, NodeId::new(0), &mut oracle, wide_cfg()).unwrap();
+        for v in g.nodes().filter(|&v| v != NodeId::new(0)) {
+            assert_eq!(out.dists[v.index()], None, "{v}");
+        }
+    }
+
+    #[test]
+    fn combined_stack_survives_drops_and_a_crash_together() {
+        let g = gnp();
+        let crashes = vec![(NodeId::new(4), SimTime::new(12))];
+        for seed in 0..3 {
+            // Drop budget 3 < max_retries 8; loss_tolerance covers the
+            // budget so heartbeats cannot false-suspect.
+            let lossy = DropOracle::new(DelayModel::Uniform, seed, 0.3, 3);
+            let mut oracle = CrashOracle::new(lossy, crashes.clone());
+            let cfg = DetectConfig::new(4, 60, 3);
+            let out =
+                run_resilient_reliable(&g, NodeId::new(0), Metric::Weighted, &mut oracle, cfg, 8)
+                    .unwrap();
+            let dead = dead_mask(g.node_count(), &crashes);
+            assert_eq!(
+                contract_violation(&g, NodeId::new(0), Metric::Weighted, &dead, &out),
+                None,
+                "seed {seed}"
+            );
+            assert!(out.cost.drops > 0, "adversary must actually drop");
+        }
+    }
+
+    #[test]
+    fn late_crash_forces_recovery_traffic() {
+        // A crash after convergence makes the protocol redo work: its
+        // weighted protocol traffic strictly exceeds the time-0 crash
+        // run, where the victim never participated.
+        let g = gnp();
+        let victim = NodeId::new(5);
+        let run_at = |t: u64| {
+            let mut oracle = crash_only(vec![(victim, SimTime::new(t))]);
+            run_resilient_spt(&g, NodeId::new(0), &mut oracle, wide_cfg()).unwrap()
+        };
+        let early = run_at(0);
+        let late = run_at(60);
+        let dead = dead_mask(g.node_count(), &[(victim, SimTime::new(0))]);
+        assert_eq!(
+            contract_violation(&g, NodeId::new(0), Metric::Weighted, &dead, &early),
+            None
+        );
+        assert_eq!(
+            contract_violation(&g, NodeId::new(0), Metric::Weighted, &dead, &late),
+            None
+        );
+        assert!(
+            late.cost.comm_of(CostClass::Protocol) > early.cost.comm_of(CostClass::Protocol),
+            "late {} vs early {}",
+            late.cost.comm_of(CostClass::Protocol),
+            early.cost.comm_of(CostClass::Protocol)
+        );
+    }
+}

@@ -36,7 +36,9 @@
 
 use crate::util::tree_from_parents;
 use csp_graph::{Cost, NodeId, RootedTree, WeightedGraph};
-use csp_sim::{Context, CostClass, CostReport, DelayModel, Process, SimError, Simulator};
+use csp_sim::{
+    Context, CostClass, CostReport, DelayModel, FaultAware, Process, SimError, Simulator,
+};
 
 /// Messages of `SPT_recur`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -335,6 +337,13 @@ impl Process for SptRecur {
         }
     }
 }
+
+/// `SPT_recur` ignores fault upcalls itself — its ack-counting
+/// termination assumes reliable channels, which is exactly what the
+/// [`Reliable`](csp_sim::Reliable) wrapper restores under bounded loss.
+/// Opting in lets it ride inside that wrapper and under
+/// [`Detect`](csp_sim::Detect).
+impl FaultAware for SptRecur {}
 
 /// Outcome of an `SPT_recur` run.
 #[derive(Debug)]

@@ -1,0 +1,144 @@
+//! Recovery cost of the self-healing stack: what a crash costs on top
+//! of a crash-free run, as a function of *when* the victim dies.
+//!
+//! ```text
+//! cargo run -p csp-bench --release --bin resilient_bench \
+//!     [-- out.json [points]]
+//! ```
+//!
+//! Each workload runs the crash-tolerant weighted SPT
+//! (`Detect<Resilient>`) under worst-case delays: once crash-free (the
+//! baseline), then once per point of a crash-time grid spanning the
+//! victim's guaranteed-detection horizon. Reported per point:
+//! weighted completion, weighted announcement (`Protocol`) traffic and
+//! its ratio to the crash-free baseline (`recovery_overhead`) — the
+//! curve the `self_healing` example's adversary climbs. The victim is
+//! the vertex carrying the most SPT children in the crash-free run, so
+//! its crash orphans the largest subtree. The report lands in
+//! `BENCH_resilient.json` (schema pinned by CI).
+
+use csp_algo::resilient::{run_resilient_spt, ResilientOutcome};
+use csp_graph::{generators, NodeId, WeightedGraph};
+use csp_sim::{CostClass, CrashOracle, DelayModel, DetectConfig, ModelOracle, SimTime};
+use std::time::Instant;
+
+/// Detector tuning shared with the `self_healing` example: period 8
+/// with 30 beats keeps the horizon past tick 150 on these instances.
+fn detector() -> DetectConfig {
+    DetectConfig::new(8, 30, 0)
+}
+
+fn workloads() -> Vec<(&'static str, WeightedGraph)> {
+    vec![
+        (
+            "gnp-n12",
+            generators::connected_gnp(12, 0.3, generators::WeightDist::Uniform(1, 16), 42),
+        ),
+        (
+            "gnp-n16",
+            generators::connected_gnp(16, 0.25, generators::WeightDist::Uniform(1, 16), 7),
+        ),
+        ("heavy-chord-n12", generators::heavy_chord_cycle(12, 64)),
+    ]
+}
+
+/// The non-source vertex carrying the most SPT children in the
+/// crash-free run (ties broken by degree): the crash that orphans the
+/// largest subtree and forces the widest healing wave.
+fn pick_victim(g: &WeightedGraph, baseline: &ResilientOutcome) -> NodeId {
+    let mut children = vec![0usize; g.node_count()];
+    for p in baseline.parents.iter().flatten() {
+        children[p.index()] += 1;
+    }
+    g.nodes()
+        .skip(1)
+        .max_by_key(|&v| (children[v.index()], g.neighbors(v).count()))
+        .expect("instance has more than one vertex")
+}
+
+fn run_crashed(g: &WeightedGraph, crashes: Vec<(NodeId, SimTime)>) -> ResilientOutcome {
+    let mut oracle = CrashOracle::new(ModelOracle::new(DelayModel::WorstCase, 0), crashes);
+    run_resilient_spt(g, NodeId::new(0), &mut oracle, detector()).expect("run quiesces")
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let out_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_resilient.json".to_string());
+    let points: u64 = args
+        .next()
+        .map(|s| s.parse().expect("points must be an integer"))
+        .unwrap_or(8);
+    assert!(points > 0, "need at least one grid point");
+
+    let mut rows = Vec::new();
+    let mut runs = 0u64;
+    let start = Instant::now();
+    for (name, g) in workloads() {
+        let baseline = run_crashed(&g, vec![]);
+        runs += 1;
+        let base_protocol = baseline.cost.comm_of(CostClass::Protocol).get();
+        let victim = pick_victim(&g, &baseline);
+        let horizon = g
+            .neighbors(victim)
+            .map(|(_, _, w)| detector().detection_horizon(w.get()))
+            .min()
+            .expect("victim has neighbors");
+
+        let mut curve = Vec::new();
+        let mut max_overhead = 0.0f64;
+        for i in 0..=points {
+            let at = horizon * i / points;
+            let out = run_crashed(&g, vec![(victim, SimTime::new(at))]);
+            runs += 1;
+            let protocol = out.cost.comm_of(CostClass::Protocol).get();
+            let overhead = protocol as f64 / base_protocol as f64;
+            max_overhead = max_overhead.max(overhead);
+            curve.push(format!(
+                concat!(
+                    "        {{\"crash_at\": {}, \"completion\": {}, ",
+                    "\"protocol_comm\": {}, \"suspected_links\": {}, ",
+                    "\"recovery_overhead\": {:.3}}}"
+                ),
+                at,
+                out.cost.completion.get(),
+                protocol,
+                out.suspected_links,
+                overhead,
+            ));
+        }
+        eprintln!(
+            "{:<16} victim {} horizon {:>3}  crash-free protocol {:>5} \
+             (completion {})  max recovery overhead {:.3}x",
+            name, victim, horizon, base_protocol, baseline.cost.completion, max_overhead,
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"workload\": \"{}\", \"victim\": {}, \"horizon\": {}, ",
+                "\"crash_free_completion\": {}, \"crash_free_protocol_comm\": {}, ",
+                "\"max_recovery_overhead\": {:.3}, \"curve\": [\n{}\n    ]}}"
+            ),
+            name,
+            victim.index(),
+            horizon,
+            baseline.cost.completion.get(),
+            base_protocol,
+            max_overhead,
+            curve.join(",\n"),
+        ));
+    }
+    let runs_per_s = runs as f64 / start.elapsed().as_secs_f64();
+    eprintln!("aggregate: {runs} monitored runs at {runs_per_s:.0} runs/s");
+
+    let json = format!(
+        "{{\n  \"bench\": \"resilient_recovery_cost\",\n  \
+         \"protocol\": \"Detect<Resilient> weighted SPT, worst-case delays\",\n  \
+         \"detector\": \"period 8, beats 30, loss_tolerance 0\",\n  \
+         \"points\": {points},\n  \
+         \"runs_per_s\": {runs_per_s:.1},\n  \"per_workload\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("write bench JSON");
+    eprintln!("wrote {out_path}");
+}

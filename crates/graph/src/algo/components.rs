@@ -1,7 +1,11 @@
-//! Connected components.
+//! Connected components, including components of crash-induced
+//! subgraphs.
 
 use crate::graph::WeightedGraph;
 use crate::ids::NodeId;
+use crate::weight::Cost;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// The partition of `V` into connected components.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -91,6 +95,103 @@ pub fn is_connected(g: &WeightedGraph) -> bool {
     connected_components(g).count() <= 1
 }
 
+/// Membership mask of the *surviving component* of `source`: the set of
+/// vertices reachable from `source` in the subgraph induced by the
+/// vertices with `dead[v] == false`.
+///
+/// This is the reference notion behind the self-healing protocols'
+/// correctness contract ("every live vertex in the source's surviving
+/// component terminates with the right answer"). When `source` itself is
+/// dead the mask is all-`false` — the contract is vacuous.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range or `dead.len() != n`.
+pub fn surviving_component(g: &WeightedGraph, source: NodeId, dead: &[bool]) -> Vec<bool> {
+    g.check_node(source);
+    assert_eq!(dead.len(), g.node_count(), "dead mask must cover V");
+    let mut alive = vec![false; g.node_count()];
+    if dead[source.index()] {
+        return alive;
+    }
+    alive[source.index()] = true;
+    let mut stack = vec![source];
+    while let Some(v) = stack.pop() {
+        for (u, _, _) in g.neighbors(v) {
+            if !dead[u.index()] && !alive[u.index()] {
+                alive[u.index()] = true;
+                stack.push(u);
+            }
+        }
+    }
+    alive
+}
+
+/// Weighted distances from `s` restricted to the subgraph induced by the
+/// vertices with `dead[v] == false` — `None` for dead vertices and for
+/// live vertices cut off from `s` by the crashes.
+///
+/// The reference answer a crash-tolerant SPT protocol must converge to
+/// on the surviving component.
+///
+/// # Panics
+///
+/// Panics if `s` is out of range or `dead.len() != n`.
+pub fn surviving_distances(g: &WeightedGraph, s: NodeId, dead: &[bool]) -> Vec<Option<Cost>> {
+    g.check_node(s);
+    assert_eq!(dead.len(), g.node_count(), "dead mask must cover V");
+    let mut dist = vec![None; g.node_count()];
+    if dead[s.index()] {
+        return dist;
+    }
+    dist[s.index()] = Some(Cost::ZERO);
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((Cost::ZERO, s)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if dist[v.index()].is_some_and(|b| d > b) {
+            continue; // stale entry
+        }
+        for (u, _, w) in g.neighbors(v) {
+            if dead[u.index()] {
+                continue;
+            }
+            let nd = d + w;
+            if dist[u.index()].is_none_or(|b| nd < b) {
+                dist[u.index()] = Some(nd);
+                heap.push(Reverse((nd, u)));
+            }
+        }
+    }
+    dist
+}
+
+/// Hop distances from `s` restricted to the live-induced subgraph — the
+/// reference answer for a crash-tolerant flood.
+///
+/// # Panics
+///
+/// Panics if `s` is out of range or `dead.len() != n`.
+pub fn surviving_hop_distances(g: &WeightedGraph, s: NodeId, dead: &[bool]) -> Vec<Option<usize>> {
+    g.check_node(s);
+    assert_eq!(dead.len(), g.node_count(), "dead mask must cover V");
+    let mut dist = vec![None; g.node_count()];
+    if dead[s.index()] {
+        return dist;
+    }
+    dist[s.index()] = Some(0);
+    let mut queue = std::collections::VecDeque::from([s]);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()].expect("queued with distance");
+        for (u, _, _) in g.neighbors(v) {
+            if !dead[u.index()] && dist[u.index()].is_none() {
+                dist[u.index()] = Some(dv + 1);
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +231,54 @@ mod tests {
     fn empty_graph_is_connected() {
         let g = GraphBuilder::new(0).build().unwrap();
         assert!(is_connected(&g));
+    }
+
+    /// Path 0-1-2-3 with a 2-weight shortcut 0-3; killing vertex 1 cuts
+    /// the cheap route but leaves everyone reachable via the shortcut.
+    fn shortcut_path() -> WeightedGraph {
+        let mut b = GraphBuilder::new(4);
+        b.edge(0, 1, 1).edge(1, 2, 1).edge(2, 3, 1).edge(0, 3, 2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn surviving_component_excludes_cut_off_vertices() {
+        let mut b = GraphBuilder::new(4);
+        b.edge(0, 1, 1).edge(1, 2, 1).edge(2, 3, 1);
+        let g = b.build().unwrap();
+        let mut dead = vec![false; 4];
+        dead[1] = true;
+        let alive = surviving_component(&g, NodeId::new(0), &dead);
+        assert_eq!(alive, vec![true, false, false, false]);
+    }
+
+    #[test]
+    fn surviving_component_is_empty_when_the_source_is_dead() {
+        let g = shortcut_path();
+        let mut dead = vec![false; 4];
+        dead[0] = true;
+        let alive = surviving_component(&g, NodeId::new(0), &dead);
+        assert!(alive.iter().all(|&a| !a));
+    }
+
+    #[test]
+    fn surviving_distances_reroute_around_the_crash() {
+        let g = shortcut_path();
+        let mut dead = vec![false; 4];
+        dead[1] = true;
+        let d = surviving_distances(&g, NodeId::new(0), &dead);
+        assert_eq!(d[0], Some(Cost::ZERO));
+        assert_eq!(d[1], None);
+        assert_eq!(d[3], Some(Cost::new(2))); // via the shortcut
+        assert_eq!(d[2], Some(Cost::new(3))); // 0-3-2 now that 1 is gone
+    }
+
+    #[test]
+    fn surviving_hop_distances_match_a_bfs_on_the_live_subgraph() {
+        let g = shortcut_path();
+        let mut dead = vec![false; 4];
+        dead[2] = true;
+        let d = surviving_hop_distances(&g, NodeId::new(0), &dead);
+        assert_eq!(d, vec![Some(0), Some(1), None, Some(1)]);
     }
 }

@@ -13,7 +13,10 @@ mod mst;
 
 pub use bfs::{bfs_tree, hop_distances};
 pub use center::{eccentricities, weighted_center};
-pub use components::{connected_components, is_connected, Components};
+pub use components::{
+    connected_components, is_connected, surviving_component, surviving_distances,
+    surviving_hop_distances, Components,
+};
 pub use dijkstra::{distances, shortest_path, shortest_path_tree};
 pub use euler::{euler_tour, mst_line, LineVertex, MstLine};
 pub use mst::{kruskal_mst, prim_mst};

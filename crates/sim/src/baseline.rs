@@ -124,6 +124,7 @@ impl<'g> BaselineSimulator<'g> {
         let mut states: Vec<P> = g.nodes().map(|v| make(v, g)).collect();
         let mut cost = CostReport::new(g.edge_count());
         let crash: Vec<Option<SimTime>> = g.nodes().map(|v| oracle.crash_at(v)).collect();
+        cost.crashed_nodes = crash.iter().filter(|c| c.is_some()).count() as u64;
         let crashed = |v: NodeId, now: SimTime| crash[v.index()].is_some_and(|t| now >= t);
 
         // Min-heap of (time, seq) -> delivery.
@@ -170,7 +171,10 @@ impl<'g> BaselineSimulator<'g> {
                 let delay = match decision {
                     // Same drop semantics as the flat core: paid for,
                     // index consumed, never enqueued, floor untouched.
-                    LinkDecision::Drop => continue,
+                    LinkDecision::Drop => {
+                        cost.drops += 1;
+                        continue;
+                    }
                     LinkDecision::Deliver { delay } => delay.clamp(1, w.get()),
                 };
                 let mut arrival = now + delay;
@@ -247,6 +251,7 @@ impl<'g> BaselineSimulator<'g> {
                 // semantics as the flat core, which does not count the
                 // pop as an event either.
                 events -= 1;
+                cost.dead_events += 1;
                 continue;
             }
             cost.completion = cost.completion.max(now);

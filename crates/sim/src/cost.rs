@@ -73,6 +73,16 @@ pub struct CostReport {
     /// Per-edge message counts (both directions combined), indexed by
     /// [`EdgeId`].
     pub per_edge_messages: Vec<u64>,
+    /// Messages the adversary dropped: metered (the sender paid) and
+    /// counted in [`CostReport::messages`], but never delivered.
+    pub drops: u64,
+    /// Vertices the adversary assigned a crash time
+    /// ([`LinkOracle::crash_at`](crate::LinkOracle::crash_at) returned
+    /// `Some`), whether or not the run lasted long enough to reach it.
+    pub crashed_nodes: u64,
+    /// Events (deliveries and timer fires) silently consumed by a
+    /// crashed vertex — traffic paid for but lost to a dead receiver.
+    pub dead_events: u64,
 }
 
 // Manual `Clone` so `clone_from` reuses the per-edge buffer — the hot
@@ -87,6 +97,9 @@ impl Clone for CostReport {
             messages_by_class: self.messages_by_class,
             comm_by_class: self.comm_by_class,
             per_edge_messages: self.per_edge_messages.clone(),
+            drops: self.drops,
+            crashed_nodes: self.crashed_nodes,
+            dead_events: self.dead_events,
         }
     }
 
@@ -97,6 +110,9 @@ impl Clone for CostReport {
         self.messages_by_class = src.messages_by_class;
         self.comm_by_class = src.comm_by_class;
         self.per_edge_messages.clone_from(&src.per_edge_messages);
+        self.drops = src.drops;
+        self.crashed_nodes = src.crashed_nodes;
+        self.dead_events = src.dead_events;
     }
 }
 
@@ -119,6 +135,9 @@ impl CostReport {
         self.comm_by_class = [Cost::default(); 4];
         self.per_edge_messages.clear();
         self.per_edge_messages.resize(m, 0);
+        self.drops = 0;
+        self.crashed_nodes = 0;
+        self.dead_events = 0;
     }
 
     /// Meters one send of weight `w` on edge `e` under `class`.
@@ -145,6 +164,12 @@ impl CostReport {
     pub fn max_edge_congestion(&self) -> u64 {
         self.per_edge_messages.iter().copied().max().unwrap_or(0)
     }
+
+    /// Whether the adversary injected any fault this run (drops, crashes
+    /// or crash-consumed events).
+    pub fn has_faults(&self) -> bool {
+        self.drops > 0 || self.crashed_nodes > 0 || self.dead_events > 0
+    }
 }
 
 impl fmt::Display for CostReport {
@@ -153,7 +178,17 @@ impl fmt::Display for CostReport {
             f,
             "msgs={} comm={} time={}",
             self.messages, self.weighted_comm, self.completion
-        )
+        )?;
+        // Fault meters only appear when an adversary actually injected
+        // faults, so fault-free reports keep the historical format.
+        if self.has_faults() {
+            write!(
+                f,
+                " drops={} crashes={} dead={}",
+                self.drops, self.crashed_nodes, self.dead_events
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -189,5 +224,34 @@ mod tests {
         r.record_send(EdgeId::new(0), Weight::new(2), CostClass::Protocol);
         r.completion = SimTime::new(5);
         assert_eq!(r.to_string(), "msgs=1 comm=2 time=t=5");
+    }
+
+    #[test]
+    fn display_surfaces_fault_meters() {
+        let mut r = CostReport::new(1);
+        r.record_send(EdgeId::new(0), Weight::new(2), CostClass::Protocol);
+        r.completion = SimTime::new(5);
+        r.drops = 3;
+        r.crashed_nodes = 1;
+        r.dead_events = 2;
+        assert!(r.has_faults());
+        assert_eq!(
+            r.to_string(),
+            "msgs=1 comm=2 time=t=5 drops=3 crashes=1 dead=2"
+        );
+    }
+
+    #[test]
+    fn reset_clears_fault_meters() {
+        let mut r = CostReport::new(2);
+        r.drops = 5;
+        r.crashed_nodes = 2;
+        r.dead_events = 7;
+        r.reset(2);
+        assert!(!r.has_faults());
+        let mut copy = CostReport::new(0);
+        r.drops = 1;
+        copy.clone_from(&r);
+        assert_eq!(copy, r);
     }
 }

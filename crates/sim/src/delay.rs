@@ -267,6 +267,54 @@ impl LinkOracle for DropOracle {
     }
 }
 
+/// An inner [`LinkOracle`] plus a fixed vertex-crash plan.
+///
+/// Message fates are delegated to the inner oracle untouched; crash
+/// times come from the plan. This is the composable way to add crashes
+/// to any existing adversary — e.g. `CrashOracle` over a [`DropOracle`]
+/// exercises the full drop-and-crash fault model the self-healing
+/// protocols in `csp-algo` are written against.
+#[derive(Clone, Debug)]
+pub struct CrashOracle<O> {
+    inner: O,
+    crashes: Vec<(NodeId, SimTime)>,
+}
+
+impl<O: LinkOracle> CrashOracle<O> {
+    /// Wraps `inner` with the given `(vertex, crash time)` plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan crashes the same vertex twice.
+    pub fn new(inner: O, crashes: Vec<(NodeId, SimTime)>) -> Self {
+        for (i, &(v, _)) in crashes.iter().enumerate() {
+            assert!(
+                crashes[..i].iter().all(|&(u, _)| u != v),
+                "vertex {v} crashed twice"
+            );
+        }
+        CrashOracle { inner, crashes }
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+}
+
+impl<O: LinkOracle> LinkOracle for CrashOracle<O> {
+    fn decide(&mut self, msg: &MsgInfo) -> LinkDecision {
+        self.inner.decide(msg)
+    }
+
+    fn crash_at(&mut self, node: NodeId) -> Option<SimTime> {
+        self.crashes
+            .iter()
+            .find(|&&(v, _)| v == node)
+            .map(|&(_, t)| t)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,6 +431,30 @@ mod tests {
         assert_eq!(oracle.decide(&chan(1, 1)), LinkDecision::Drop);
         assert_ne!(oracle.decide(&chan(2, 0)), LinkDecision::Drop);
         assert_ne!(oracle.decide(&chan(3, 1)), LinkDecision::Drop);
+    }
+
+    #[test]
+    fn crash_oracle_delegates_fates_and_serves_the_plan() {
+        let mut bare = ModelOracle::new(DelayModel::Uniform, 4);
+        let mut wrapped = CrashOracle::new(
+            ModelOracle::new(DelayModel::Uniform, 4),
+            vec![(NodeId::new(2), SimTime::new(9))],
+        );
+        for i in 0..20 {
+            assert_eq!(wrapped.decide(&info(i, 5)), bare.decide(&info(i, 5)));
+        }
+        assert_eq!(wrapped.crash_at(NodeId::new(2)), Some(SimTime::new(9)));
+        assert_eq!(wrapped.crash_at(NodeId::new(0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "crashed twice")]
+    fn crash_oracle_rejects_duplicate_victims() {
+        let plan = vec![
+            (NodeId::new(1), SimTime::new(3)),
+            (NodeId::new(1), SimTime::new(5)),
+        ];
+        let _ = CrashOracle::new(ModelOracle::new(DelayModel::WorstCase, 0), plan);
     }
 
     #[test]

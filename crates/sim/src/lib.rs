@@ -60,6 +60,7 @@
 pub mod baseline;
 pub mod cost;
 pub mod delay;
+pub mod detect;
 pub mod process;
 pub mod queue;
 pub mod reliable;
@@ -72,8 +73,10 @@ pub mod trace;
 pub use baseline::BaselineSimulator;
 pub use cost::{CostClass, CostReport};
 pub use delay::{
-    DelayModel, DelayOracle, DropOracle, LinkDecision, LinkOracle, ModelOracle, MsgInfo,
+    CrashOracle, DelayModel, DelayOracle, DropOracle, LinkDecision, LinkOracle, ModelOracle,
+    MsgInfo,
 };
+pub use detect::{Detect, DetectConfig, DetectMsg, FaultAware};
 pub use process::{Context, MsgToken, Process, TimerId};
 pub use reliable::{RelMsg, Reliable};
 pub use runtime::{Checkpoint, CoreKind, EvalPool, EvalSummary, Run, SimError, Simulator};

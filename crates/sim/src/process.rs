@@ -250,6 +250,45 @@ impl<'a, M: Clone + std::fmt::Debug> Context<'a, M> {
         Context::new(self.node, self.now, self.graph)
     }
 
+    /// Like [`Context::derive`], but the derived context assigns timer
+    /// ids starting from `timer_base` — for transformers that *forward*
+    /// a hosted protocol's timer ops to the runtime instead of
+    /// discarding them.
+    ///
+    /// The transformer owns the inner protocol's timer-id space: it
+    /// passes the count of inner timers armed so far as `timer_base`, so
+    /// the ids the inner protocol sees are stable, then maps each
+    /// inner arm/cancel onto real timers of its own (see
+    /// `csp_sim::detect::Detect` for the canonical use). Message tokens
+    /// still number from zero, exactly as with [`Context::derive`].
+    pub fn derive_with_timers<N: Clone + std::fmt::Debug>(
+        &self,
+        timer_base: u64,
+    ) -> Context<'a, N> {
+        Context::recycled(
+            self.node,
+            self.now,
+            self.graph,
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            0,
+            timer_base,
+        )
+    }
+
+    /// Drains the timer ops queued on this context — the armed delays
+    /// (in arming order; the `k`-th entry carries id `timer_base + k`)
+    /// and the cancelled timer ids. For transformers that forward a
+    /// hosted protocol's timers; see [`Context::derive_with_timers`].
+    pub fn take_timer_ops(&mut self) -> (Vec<u64>, Vec<u64>) {
+        (
+            std::mem::take(&mut self.timers),
+            std::mem::take(&mut self.cancels),
+        )
+    }
+
     /// Drains the queued sends — for protocol transformers inspecting a
     /// hosted handler's output. Each entry is
     /// `(destination, message, cost class)`.

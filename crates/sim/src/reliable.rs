@@ -25,6 +25,7 @@
 //! not merely probable.
 
 use crate::cost::CostClass;
+use crate::detect::FaultAware;
 use crate::process::{Context, Process, TimerId};
 use csp_graph::NodeId;
 use std::collections::VecDeque;
@@ -75,22 +76,31 @@ struct Chan<M> {
 
 /// Retransmission wrapper: runs `P` unchanged over lossy links. See the
 /// [module docs](self) for the protocol and its cost accounting.
+///
+/// The hosted protocol must be [`FaultAware`]: when a channel exhausts
+/// its retries, the wrapper delivers
+/// [`FaultAware::on_channel_failed`] so crash-tolerant protocols can
+/// re-route (protocols that don't care opt in with an empty impl).
 #[derive(Clone, Debug)]
-pub struct Reliable<P: Process> {
+pub struct Reliable<P: FaultAware> {
     inner: P,
     max_retries: u32,
+    /// Retransmitted `Data` messages so far — the count behind the
+    /// `Auxiliary` overhead meter, surfaced for fault reports.
+    retransmissions: u64,
     /// Lazily created channels, scanned linearly by peer (vertex degrees
     /// in the model are small; determinism matters more than hashing).
     chans: Vec<Chan<P::Msg>>,
 }
 
-impl<P: Process> Reliable<P> {
+impl<P: FaultAware> Reliable<P> {
     /// Wraps `inner`, giving up on a channel after `max_retries`
     /// consecutive unacknowledged timeouts.
     pub fn new(inner: P, max_retries: u32) -> Self {
         Reliable {
             inner,
             max_retries,
+            retransmissions: 0,
             chans: Vec::new(),
         }
     }
@@ -109,6 +119,17 @@ impl<P: Process> Reliable<P> {
     /// up.
     pub fn channel_failed(&self, peer: NodeId) -> bool {
         self.chans.iter().any(|c| c.peer == peer && c.failed)
+    }
+
+    /// Number of channels at this vertex that gave up.
+    pub fn failed_channel_count(&self) -> usize {
+        self.chans.iter().filter(|c| c.failed).count()
+    }
+
+    /// Number of `Data` retransmissions this vertex performed — each
+    /// one was metered under [`CostClass::Auxiliary`].
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
     }
 
     /// The channel toward `peer`, created on first use with its
@@ -177,7 +198,7 @@ impl<P: Process> Reliable<P> {
     }
 }
 
-impl<P: Process> Process for Reliable<P> {
+impl<P: FaultAware> Process for Reliable<P> {
     type Msg = RelMsg<P::Msg>;
 
     fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
@@ -237,9 +258,12 @@ impl<P: Process> Process for Reliable<P> {
         if self.chans[i].retries > self.max_retries {
             // The peer is unreachable (crashed, or the adversary owns
             // the channel outright): give up so the run quiesces, and
-            // leave the failure observable.
+            // leave the failure observable — both as queryable state and
+            // as an upcall the hosted protocol can re-route on.
             self.chans[i].send_buf.clear();
             self.chans[i].failed = true;
+            let peer = self.chans[i].peer;
+            self.host(ctx, |p, c| p.on_channel_failed(peer, c));
             return;
         }
         // Retransmit the whole window in order — metered as Auxiliary,
@@ -250,6 +274,7 @@ impl<P: Process> Process for Reliable<P> {
             .iter()
             .map(|(s, m, _)| (*s, m.clone()))
             .collect();
+        self.retransmissions += resend.len() as u64;
         for (seq, msg) in resend {
             ctx.send_class(peer, RelMsg::Data { seq, msg }, CostClass::Auxiliary);
         }
@@ -258,6 +283,19 @@ impl<P: Process> Process for Reliable<P> {
         let rto = c.rto;
         let t = ctx.set_timer(rto);
         self.chans[i].timer = Some(t);
+    }
+}
+
+/// Failure notifications pass through to the hosted protocol: a
+/// suspicion raised by an enclosing detector (`Detect<Reliable<P>>`)
+/// reaches `P` with its sends still sequenced through this wrapper.
+impl<P: FaultAware> FaultAware for Reliable<P> {
+    fn on_channel_failed(&mut self, peer: NodeId, ctx: &mut Context<'_, Self::Msg>) {
+        self.host(ctx, |p, c| p.on_channel_failed(peer, c));
+    }
+
+    fn on_peer_suspected(&mut self, peer: NodeId, ctx: &mut Context<'_, Self::Msg>) {
+        self.host(ctx, |p, c| p.on_peer_suspected(peer, c));
     }
 }
 
@@ -291,6 +329,8 @@ mod tests {
             }
         }
     }
+
+    impl FaultAware for Flood {}
 
     fn make(v: NodeId, _: &csp_graph::WeightedGraph) -> Reliable<Flood> {
         Reliable::new(
@@ -419,6 +459,65 @@ mod tests {
             lossy.cost.comm_of(CostClass::Protocol),
             lossless.cost.comm_of(CostClass::Protocol)
         );
+    }
+
+    #[test]
+    fn give_up_delivers_the_channel_failed_upcall() {
+        /// Flood that records which channels it was told failed.
+        #[derive(Clone, Debug)]
+        struct Probe {
+            initiator: bool,
+            reached: bool,
+            failed: Vec<NodeId>,
+        }
+        impl Process for Probe {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                if self.initiator {
+                    self.reached = true;
+                    ctx.send_all(());
+                }
+            }
+            fn on_message(&mut self, _f: NodeId, _m: (), ctx: &mut Context<'_, ()>) {
+                if !self.reached {
+                    self.reached = true;
+                    ctx.send_all(());
+                }
+            }
+        }
+        impl FaultAware for Probe {
+            fn on_channel_failed(&mut self, peer: NodeId, _ctx: &mut Context<'_, ()>) {
+                self.failed.push(peer);
+            }
+        }
+        struct CrashOne;
+        impl LinkOracle for CrashOne {
+            fn decide(&mut self, _msg: &MsgInfo) -> LinkDecision {
+                LinkDecision::Deliver { delay: 1 }
+            }
+            fn crash_at(&mut self, node: NodeId) -> Option<SimTime> {
+                (node == NodeId::new(1)).then_some(SimTime::ZERO)
+            }
+        }
+        let g = generators::path(3, |_| 2);
+        let run = Simulator::new(&g)
+            .run_with_oracle(&mut CrashOne, |v, _| {
+                Reliable::new(
+                    Probe {
+                        initiator: v == NodeId::new(0),
+                        reached: false,
+                        failed: Vec::new(),
+                    },
+                    3,
+                )
+            })
+            .unwrap();
+        // The initiator's channel to the dead vertex gave up — and told
+        // the hosted protocol so, with retransmissions metered.
+        assert_eq!(run.states[0].inner().failed, vec![NodeId::new(1)]);
+        assert_eq!(run.states[0].failed_channel_count(), 1);
+        assert!(run.states[0].retransmissions() > 0);
+        assert_eq!(run.cost.crashed_nodes, 1);
     }
 
     #[test]

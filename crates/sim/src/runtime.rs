@@ -389,7 +389,10 @@ impl<P: Process> Machine<P> {
                 // dispatch index (so record/replay addressing and
                 // `MsgToken`s stay stable), but nothing is enqueued and
                 // the channel's FIFO floor does not move.
-                LinkDecision::Drop => continue,
+                LinkDecision::Drop => {
+                    self.cost.drops += 1;
+                    continue;
+                }
                 LinkDecision::Deliver { delay } => delay.clamp(1, w.get()),
             };
             let arrival = (now + delay).max(self.core.fifo_floor[channel]);
@@ -943,6 +946,7 @@ impl<'g> Simulator<'g> {
         // Crash times are fixed before any handler runs, in vertex
         // order, so the oracle's query sequence is deterministic.
         m.crash.extend(g.nodes().map(|v| oracle.crash_at(v)));
+        m.cost.crashed_nodes = m.crash.iter().filter(|c| c.is_some()).count() as u64;
         for v in g.nodes() {
             if m.crashed(v, SimTime::ZERO) {
                 continue;
@@ -1002,6 +1006,7 @@ impl<'g> Simulator<'g> {
                 }
             };
             if m.crashed(node, now) {
+                m.cost.dead_events += 1;
                 continue;
             }
             m.events += 1;

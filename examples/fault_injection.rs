@@ -19,7 +19,8 @@
 //! `fault_suite` integration tests replay them and pin the gap.
 
 use csp_adversary::{
-    find_worst_schedule, record, shrink, Fallback, Schedule, ScheduleOracle, SearchConfig,
+    find_worst_schedule, record, replay_report, shrink, Fallback, Schedule, ScheduleOracle,
+    SearchConfig,
 };
 use csp_algo::spt::recur::SptRecur;
 use csp_graph::generators::{self, WeightDist};
@@ -132,11 +133,41 @@ fn main() {
         ScheduleOracle::new(&undropped),
         Fallback::WorstCase,
     );
-    let (lossy, _) = record(&g, make, ScheduleOracle::new(&shrunk), Fallback::WorstCase);
+    let (lossy, report) = replay_report::<Reliable<SptRecur>, _>(&g, make, &shrunk);
     println!(
         "  auxiliary comm {} (same delays, no drops) -> {} (under drops)",
         clean.cost.comm_of(CostClass::Auxiliary),
         lossy.cost.comm_of(CostClass::Auxiliary)
+    );
+    let retransmissions: u64 = lossy.states.iter().map(|s| s.retransmissions()).sum();
+    let failed_channels: usize = lossy.states.iter().map(|s| s.failed_channel_count()).sum();
+    println!(
+        "  fault meters: {} drops, {} crashed vertices, {} dead events, \
+         {} retransmissions, {} abandoned channels",
+        report.drops, report.crashed_nodes, report.dead_events, retransmissions, failed_channels
+    );
+
+    // The reachability contract, asserted explicitly rather than read
+    // off completion times: every vertex of the surviving component
+    // (the whole graph unless the witness crashes someone) must end up
+    // holding a distance. A crash silently truncating output fails
+    // loudly here.
+    let mut dead = vec![false; g.node_count()];
+    for c in &shrunk.crashes {
+        dead[c.node.index()] = true;
+    }
+    let alive = csp_graph::algo::surviving_component(&g, NodeId::new(0), &dead);
+    for v in g.nodes() {
+        assert_eq!(
+            lossy.states[v.index()].inner().dist().is_some(),
+            alive[v.index()],
+            "vertex {v} must be reached iff it survives connected to the root"
+        );
+    }
+    println!(
+        "  reachability contract holds: {} of {} vertices survive and hold distances",
+        alive.iter().filter(|&&a| a).count(),
+        g.node_count()
     );
 
     std::fs::create_dir_all(&out_dir).expect("create output directory");

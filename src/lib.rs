@@ -66,9 +66,9 @@ pub use csp_sync as sync;
 /// The most commonly used items, in one import.
 pub mod prelude {
     pub use csp_adversary::{
-        check_time_bound, find_worst_schedule, mutate_with_drops, replay, replay_report, shrink,
-        Crash, CriticalPathOracle, Fallback, GridPoint, Recorder, ReplayReport, Schedule,
-        ScheduleOracle, SearchConfig, SearchOutcome,
+        check_time_bound, find_worst_schedule, mutate_with_drops, mutate_with_faults, replay,
+        replay_report, shrink, Crash, CriticalPathOracle, Fallback, GridPoint, Recorder,
+        ReplayReport, Schedule, ScheduleOracle, SearchConfig, SearchOutcome,
     };
     pub use csp_algo::con_hybrid::{connectivity_pivot, run_con_hybrid};
     pub use csp_algo::dfs::run_dfs;
@@ -80,6 +80,10 @@ pub mod prelude {
     pub use csp_algo::leader::run_leader_election;
     pub use csp_algo::mst::{run_mst_centr, run_mst_fast, run_mst_ghs, run_mst_hybrid};
     pub use csp_algo::reliable::{run_reliable_flood, run_reliable_spt_recur};
+    pub use csp_algo::resilient::{
+        contract_violation, run_resilient_flood, run_resilient_flood_reliable,
+        run_resilient_reliable, run_resilient_spt, Metric, Resilient, ResilientOutcome,
+    };
     pub use csp_algo::slt_dist::run_slt_dist;
     pub use csp_algo::spt::synch::run_spt_synch_ideal;
     pub use csp_algo::spt::{run_spt_centr, run_spt_hybrid, run_spt_recur, run_spt_synch};
@@ -96,9 +100,10 @@ pub mod prelude {
     };
     pub use csp_sim::sync::{SyncContext, SyncProcess, SyncRunner};
     pub use csp_sim::{
-        BaselineSimulator, Checkpoint, Context, CoreKind, CostClass, CostReport, DelayModel,
-        DelayOracle, DropOracle, EvalPool, EvalSummary, LinkDecision, LinkOracle, ModelOracle,
-        MsgInfo, MsgToken, Process, RelMsg, Reliable, SimTime, Simulator, TimerId,
+        BaselineSimulator, Checkpoint, Context, CoreKind, CostClass, CostReport, CrashOracle,
+        DelayModel, DelayOracle, Detect, DetectConfig, DropOracle, EvalPool, EvalSummary,
+        FaultAware, LinkDecision, LinkOracle, ModelOracle, MsgInfo, MsgToken, Process, RelMsg,
+        Reliable, SimTime, Simulator, TimerId,
     };
     pub use csp_sync::clock::{run_alpha_star, run_beta_star, run_gamma_star};
     pub use csp_sync::net::{
