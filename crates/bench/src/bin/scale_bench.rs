@@ -1,0 +1,156 @@
+//! Million-node scale-tier benchmark: streaming generation rate, CSR
+//! memory footprint, and event-core throughput as `n` grows.
+//!
+//! ```text
+//! cargo run -p csp-bench --release --bin scale_bench [-- out.json [max_n_exp]]
+//! ```
+//!
+//! For each `n = 10^e`, `e ∈ 3..=max_n_exp` (default 6), the bench
+//! generates a connected `G(n, p)` workload at expected extra degree
+//! `~8` through the streaming generator, records generation time and
+//! the CSR graph's bytes-per-vertex, then drives the flat event core:
+//! `Flood` at every size, and the chattier `SPT_recur` up to `n = 10⁴`
+//! (its message complexity grows superlinearly, so the larger sizes
+//! would measure the protocol, not the core). Writes a hand-rolled
+//! JSON report (default `BENCH_scale.json`) with one row per
+//! `(protocol, n)`:
+//!
+//! ```text
+//! {"protocol", "n", "edges", "gen_secs", "bytes_per_vertex",
+//!  "events", "run_secs", "events_per_s"}
+//! ```
+//!
+//! "Event" = one delivered message (`CostReport::messages`); delays are
+//! `WorstCase` so runs are reproducible across machines up to timing.
+
+use csp_algo::flood::run_flood;
+use csp_algo::spt::recur::run_spt_recur;
+use csp_graph::generators::{connected_gnp, WeightDist};
+use csp_graph::{NodeId, WeightedGraph};
+use csp_sim::DelayModel;
+use std::time::Instant;
+
+/// Graph seed; one graph per size keeps the bench fast at `n = 10⁶`.
+const SEED: u64 = 1;
+/// Expected extra degree beyond the spanning-tree backbone.
+const EXTRA_DEGREE: f64 = 8.0;
+/// Weight distribution — spans the auto-sized bucket window without
+/// engaging the overflow heap.
+const DIST: WeightDist = WeightDist::Uniform(1, 64);
+/// Largest size that runs `SPT_recur` (superlinear message count).
+const SPT_MAX_N: usize = 10_000;
+
+struct Row {
+    protocol: &'static str,
+    n: usize,
+    edges: usize,
+    gen_secs: f64,
+    bytes_per_vertex: f64,
+    events: u64,
+    run_secs: f64,
+}
+
+impl Row {
+    fn eps(&self) -> f64 {
+        self.events as f64 / self.run_secs
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"protocol\": \"{}\", \"n\": {}, \"edges\": {}, ",
+                "\"gen_secs\": {:.4}, \"bytes_per_vertex\": {:.1}, ",
+                "\"events\": {}, \"run_secs\": {:.4}, \"events_per_s\": {:.0}}}"
+            ),
+            self.protocol,
+            self.n,
+            self.edges,
+            self.gen_secs,
+            self.bytes_per_vertex,
+            self.events,
+            self.run_secs,
+            self.eps(),
+        )
+    }
+}
+
+fn generate(n: usize) -> (WeightedGraph, f64) {
+    let p = (EXTRA_DEGREE / n as f64).min(1.0);
+    let start = Instant::now();
+    let g = connected_gnp(n, p, DIST, SEED);
+    (g, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let out_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_scale.json".to_string());
+    let max_exp: u32 = args
+        .next()
+        .map(|s| s.parse().expect("max_n_exp must be an integer"))
+        .unwrap_or(6)
+        .clamp(3, 6);
+
+    let mut rows = Vec::new();
+    for exp in 3..=max_exp {
+        let n = 10usize.pow(exp);
+        let (g, gen_secs) = generate(n);
+        let bytes_per_vertex = g.memory_bytes() as f64 / n as f64;
+        eprintln!(
+            "n = {n:>8}: {} edges generated in {gen_secs:.3}s, {bytes_per_vertex:.1} B/vertex",
+            g.edge_count(),
+        );
+
+        let start = Instant::now();
+        let flood =
+            run_flood(&g, NodeId::new(0), DelayModel::WorstCase, SEED).expect("flood run at scale");
+        let run_secs = start.elapsed().as_secs_f64();
+        assert!(flood.tree.is_spanning());
+        rows.push(Row {
+            protocol: "flood",
+            n,
+            edges: g.edge_count(),
+            gen_secs,
+            bytes_per_vertex,
+            events: flood.cost.messages,
+            run_secs,
+        });
+        eprintln!(
+            "n = {n:>8}: flood     {:>10} events in {run_secs:.3}s ({:.0} ev/s)",
+            flood.cost.messages,
+            rows.last().expect("just pushed").eps(),
+        );
+
+        if n <= SPT_MAX_N {
+            let start = Instant::now();
+            let spt = run_spt_recur(&g, NodeId::new(0), 16, DelayModel::WorstCase, SEED)
+                .expect("SPT_recur run at scale");
+            let run_secs = start.elapsed().as_secs_f64();
+            rows.push(Row {
+                protocol: "spt_recur",
+                n,
+                edges: g.edge_count(),
+                gen_secs,
+                bytes_per_vertex,
+                events: spt.cost.messages,
+                run_secs,
+            });
+            eprintln!(
+                "n = {n:>8}: spt_recur {:>10} events in {run_secs:.3}s ({:.0} ev/s)",
+                spt.cost.messages,
+                rows.last().expect("just pushed").eps(),
+            );
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"scale_tier\",\n  \"delay_model\": \"WorstCase\",\n  \
+         \"weight_dist\": \"Uniform(1, 64)\",\n  \"extra_degree\": {EXTRA_DEGREE},\n  \
+         \"seed\": {SEED},\n  \"max_n\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        10u64.pow(max_exp),
+        rows.iter().map(Row::json).collect::<Vec<_>>().join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("write bench JSON");
+    eprintln!("wrote {out_path}");
+}

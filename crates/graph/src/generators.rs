@@ -4,10 +4,32 @@
 //! lower-bound family of Figure 7) plus seeded random families. Every
 //! random generator takes an explicit seed, so benchmark workloads are
 //! reproducible.
+//!
+//! # The million-node tier
+//!
+//! The random families come in two regimes:
+//!
+//! * **Dense** (small `n`): the historical per-pair loops, kept
+//!   bit-stable because committed adversary schedules and witnesses
+//!   reference graphs by `(n, p, dist, seed)`.
+//! * **Streaming** (large `n`): [`connected_gnp_streaming`] draws the
+//!   sparse `G(n, p)` edge set by *geometric skip sampling* — one
+//!   uniform draw per accepted edge instead of one coin per vertex
+//!   pair — so generation is `O(n + m)` rather than `O(n²)`, and the
+//!   edge stream goes straight into a pre-reserved
+//!   [`GraphBuilder::build_unchecked`] build (the stream is
+//!   duplicate-free by construction). `n = 10⁶` at expected degree 8
+//!   generates in about a second.
+//!
+//! [`connected_gnp`] dispatches between the two on
+//! [`GNP_STREAMING_THRESHOLD`]; below it the dense loop runs
+//! unchanged, which `tests/generator_streaming.rs` pins seed-for-seed
+//! against the retained [`connected_gnp_dense`] reference.
 
 use crate::graph::{GraphBuilder, WeightedGraph};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::collections::HashSet;
 
 /// How edge weights are drawn in random generators.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -111,28 +133,69 @@ pub fn grid(rows: usize, cols: usize, dist: WeightDist, seed: u64) -> WeightedGr
     b.build().expect("grid construction is valid")
 }
 
+/// Largest `n` for which [`connected_gnp`] still runs the dense
+/// per-pair loop. Committed schedules and witnesses all live far below
+/// this bound, so their graphs are bit-stable; anything above it takes
+/// the `O(n + m)` streaming path.
+pub const GNP_STREAMING_THRESHOLD: usize = 2048;
+
+/// The shared backbone of both gnp regimes: a uniform-attachment random
+/// spanning tree, drawn with exactly the legacy draw order (parent
+/// index, then weight, per vertex) so the two regimes consume an
+/// identical RNG prefix. Returns the tree's vertex pairs.
+fn attach_random_tree(
+    b: &mut GraphBuilder,
+    n: usize,
+    dist: WeightDist,
+    rng: &mut StdRng,
+) -> HashSet<(usize, usize)> {
+    let mut tree_pairs = HashSet::new();
+    let mut in_tree = vec![0usize]; // random attachment tree
+    for v in 1..n {
+        let parent = in_tree[rng.random_range(0..in_tree.len())];
+        b.edge(v, parent, dist.sample(rng));
+        tree_pairs.insert((parent.min(v), parent.max(v)));
+        in_tree.push(v);
+    }
+    tree_pairs
+}
+
 /// Connected Erdős–Rényi-style graph: a random spanning tree plus each
 /// remaining pair independently with probability `p`.
 ///
 /// The random-tree backbone guarantees connectivity (the paper's protocols
 /// assume a connected network).
 ///
+/// Dispatches on [`GNP_STREAMING_THRESHOLD`]: up to it, the historical
+/// dense loop ([`connected_gnp_dense`]) runs bit-for-bit, keeping every
+/// committed schedule and witness valid; above it, the `O(n + m)`
+/// streaming sampler ([`connected_gnp_streaming`]) takes over.
+///
 /// # Panics
 ///
 /// Panics if `n == 0` or `p` is not in `[0, 1]`.
 pub fn connected_gnp(n: usize, p: f64, dist: WeightDist, seed: u64) -> WeightedGraph {
+    if n <= GNP_STREAMING_THRESHOLD {
+        connected_gnp_dense(n, p, dist, seed)
+    } else {
+        connected_gnp_streaming(n, p, dist, seed)
+    }
+}
+
+/// The legacy dense `G(n, p)` generator: one coin flip per non-tree
+/// vertex pair, `O(n²)` time. Retained verbatim as the seed-for-seed
+/// reference the dispatching [`connected_gnp`] is differentially tested
+/// against — use [`connected_gnp`] everywhere else.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `p` is not in `[0, 1]`.
+pub fn connected_gnp_dense(n: usize, p: f64, dist: WeightDist, seed: u64) -> WeightedGraph {
     assert!(n > 0, "connected_gnp needs at least one vertex");
     assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
-    let mut tree_pairs = std::collections::HashSet::new();
-    let mut in_tree = vec![0usize]; // random attachment tree
-    for v in 1..n {
-        let parent = in_tree[rng.random_range(0..in_tree.len())];
-        b.edge(v, parent, dist.sample(&mut rng));
-        tree_pairs.insert((parent.min(v), parent.max(v)));
-        in_tree.push(v);
-    }
+    let tree_pairs = attach_random_tree(&mut b, n, dist, &mut rng);
     for u in 0..n {
         for v in (u + 1)..n {
             if tree_pairs.contains(&(u, v)) {
@@ -144,6 +207,88 @@ pub fn connected_gnp(n: usize, p: f64, dist: WeightDist, seed: u64) -> WeightedG
         }
     }
     b.build().expect("gnp construction is valid")
+}
+
+/// The lexicographic rank of pair `(i, j)`, `i < j`, in the strictly
+/// upper triangle of an `n × n` matrix: row `i` starts at
+/// `i·(2n − i − 1)/2`.
+#[inline]
+fn pair_rank_start(i: u64, n: u64) -> u64 {
+    i * (2 * n - i - 1) / 2
+}
+
+/// Inverse of [`pair_rank_start`]: the pair at rank `k`. The row index
+/// comes from the quadratic formula in `f64` (exact well past n = 10⁸
+/// since ranks stay below 2⁵³), then two correction loops absorb any
+/// last-bit rounding.
+fn unrank_pair(k: u64, n: u64) -> (usize, usize) {
+    let nf = n as f64 - 0.5;
+    let mut i = (nf - (nf * nf - 2.0 * k as f64).max(0.0).sqrt()) as u64;
+    i = i.min(n - 2);
+    while i > 0 && pair_rank_start(i, n) > k {
+        i -= 1;
+    }
+    while i < n - 2 && pair_rank_start(i + 1, n) <= k {
+        i += 1;
+    }
+    let j = i + 1 + (k - pair_rank_start(i, n));
+    (i as usize, j as usize)
+}
+
+/// Streaming `G(n, p)` over the random-tree backbone: instead of one
+/// coin per pair, draws the *gap* to the next present edge from the
+/// geometric distribution (inverse-CDF on one uniform), touching only
+/// the `≈ p·n(n−1)/2` accepted pairs. Tree pairs hit by the skip chain
+/// are discarded, which leaves every non-tree pair at probability `p`
+/// exactly as in the dense loop (tree pairs flip no coin there either).
+///
+/// Same distribution as [`connected_gnp_dense`], different realization
+/// for a given seed (the two consume the RNG stream differently past
+/// the shared tree prefix). The tree phase *is* seed-for-seed identical
+/// — the first `n − 1` edges of both generators agree bit for bit.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `p` is not in `[0, 1]`.
+pub fn connected_gnp_streaming(n: usize, p: f64, dist: WeightDist, seed: u64) -> WeightedGraph {
+    assert!(n > 0, "connected_gnp needs at least one vertex");
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total_pairs = if n < 2 {
+        0
+    } else {
+        pair_rank_start(n as u64 - 1, n as u64)
+    };
+    let expected_extra = (p * total_pairs as f64).ceil() as usize;
+    let mut b = GraphBuilder::with_edge_capacity(n, n - 1 + expected_extra);
+    let tree_pairs = attach_random_tree(&mut b, n, dist, &mut rng);
+    if p >= 1.0 {
+        // Degenerate complete graph: every pair is present anyway.
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if !tree_pairs.contains(&(u, v)) {
+                    b.edge(u, v, dist.sample(&mut rng));
+                }
+            }
+        }
+    } else if p > 0.0 {
+        let ln_q = (1.0 - p).ln(); // < 0
+        let mut k = 0u64; // rank of the next candidate pair
+        while k < total_pairs {
+            // Geometric gap: failures before the next success.
+            let skip = ((1.0 - rng.random_unit_f64()).ln() / ln_q).floor();
+            if !skip.is_finite() || skip >= (total_pairs - k) as f64 {
+                break;
+            }
+            k += skip as u64;
+            let (u, v) = unrank_pair(k, n as u64);
+            if !tree_pairs.contains(&(u, v)) {
+                b.edge(u, v, dist.sample(&mut rng));
+            }
+            k += 1;
+        }
+    }
+    b.build_unchecked().expect("gnp construction is valid")
 }
 
 /// The lower-bound family `G_n` of Figure 7 (Section 7.1).
@@ -160,22 +305,41 @@ pub fn connected_gnp(n: usize, p: f64, dist: WeightDist, seed: u64) -> WeightedG
 ///
 /// # Panics
 ///
-/// Panics if `n < 4` or `x < 2`, where the construction degenerates.
+/// Panics if `n < 4` or `x < 2`, where the construction degenerates,
+/// or if `x⁴` overflows `u64` (`x ≥ 2¹⁶` — see [`heavy_bypass_weight`]).
 pub fn lower_bound_family(n: usize, x: u64) -> WeightedGraph {
     assert!(n >= 4, "lower-bound family needs n >= 4");
     assert!(x >= 2, "lower-bound family needs x >= 2");
-    let mut b = GraphBuilder::new(n);
+    let heavy = heavy_bypass_weight(x);
+    let mut b = GraphBuilder::with_edge_capacity(n, n - 1 + n / 2);
     for i in 0..n - 1 {
         b.edge(i, i + 1, x);
     }
-    let heavy = x.saturating_mul(x).saturating_mul(x).saturating_mul(x);
     for i in 0..n / 2 {
         let j = n - 1 - i;
         if j != i && j != i + 1 && (i == 0 || j != i - 1) {
             b.edge(i, j, heavy);
         }
     }
-    b.build().expect("lower-bound construction is valid")
+    b.build_unchecked()
+        .expect("lower-bound construction is valid")
+}
+
+/// The bypass weight `x⁴` of the lower-bound family, with overflow
+/// checked: `saturating_mul` here used to silently flatten every bypass
+/// to `u64::MAX` for `x ≥ 2¹⁶`, which breaks the family's
+/// `V̂ = (n−1)·x ≪ x⁴` cost separation without any signal.
+///
+/// # Panics
+///
+/// Panics if `x⁴ > u64::MAX`, i.e. `x ≥ 2¹⁶ = 65536`.
+pub fn heavy_bypass_weight(x: u64) -> u64 {
+    x.checked_pow(4).unwrap_or_else(|| {
+        panic!(
+            "lower-bound family weight x⁴ overflows u64 for x = {x}; \
+             the largest admissible x is 65535"
+        )
+    })
 }
 
 /// The adversarial split `G'_{n,i}` of Figure 8: `G_n` with bypass edge
@@ -188,11 +352,12 @@ pub fn lower_bound_family(n: usize, x: u64) -> WeightedGraph {
 ///
 /// # Panics
 ///
-/// Panics if `n < 4`, `x < 2` or `i ≥ n/2` (no such bypass edge).
+/// Panics if `n < 4`, `x < 2`, `i ≥ n/2` (no such bypass edge), or if
+/// `x⁴` overflows `u64`.
 pub fn lower_bound_split(n: usize, x: u64, i: usize) -> WeightedGraph {
     assert!(n >= 4 && x >= 2, "invalid lower-bound parameters");
     assert!(i < n / 2, "bypass index out of range");
-    let heavy = x.saturating_mul(x).saturating_mul(x).saturating_mul(x);
+    let heavy = heavy_bypass_weight(x);
     let j = n - 1 - i;
     let mut b = GraphBuilder::new(n + 2);
     for k in 0..n - 1 {
@@ -338,6 +503,11 @@ pub fn random_tree(n: usize, dist: WeightDist, seed: u64) -> WeightedGraph {
 /// intra-cluster edges, connected by a sparse ring of heavy inter-cluster
 /// edges. Exercises cover/partition quality.
 ///
+/// Already `O(n)` per vertex, so the large-`n` tier only needed the
+/// chunked build: the edge stream is duplicate-free by construction and
+/// pre-sized, so it takes [`GraphBuilder::build_unchecked`] straight
+/// through (output is bit-identical to the historical checked build).
+///
 /// # Panics
 ///
 /// Panics if `clusters == 0 || size == 0`.
@@ -348,7 +518,7 @@ pub fn cluster_graph(clusters: usize, size: usize, heavy: u64, seed: u64) -> Wei
     );
     let n = clusters * size;
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut b = GraphBuilder::new(n);
+    let mut b = GraphBuilder::with_edge_capacity(n, n + 2 * clusters);
     for c in 0..clusters {
         let base = c * size;
         // intra-cluster: ring + random chords, weight 1..=3
@@ -368,7 +538,7 @@ pub fn cluster_graph(clusters: usize, size: usize, heavy: u64, seed: u64) -> Wei
             b.edge(c * size, next * size, heavy.max(1));
         }
     }
-    b.build().expect("cluster construction is valid")
+    b.build_unchecked().expect("cluster construction is valid")
 }
 
 #[cfg(test)]
@@ -487,6 +657,102 @@ mod tests {
     #[should_panic(expected = "n >= 4")]
     fn lower_bound_rejects_tiny_n() {
         let _ = lower_bound_family(3, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u64 for x = 65536")]
+    fn lower_bound_family_panics_on_x4_overflow() {
+        // saturating_mul used to flatten this silently to u64::MAX.
+        let _ = lower_bound_family(8, 1 << 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u64")]
+    fn lower_bound_split_panics_on_x4_overflow() {
+        let _ = lower_bound_split(8, 1 << 16, 1);
+    }
+
+    #[test]
+    fn heavy_bypass_weight_admits_the_largest_x() {
+        // 65535⁴ is the largest representable bypass weight.
+        assert_eq!(heavy_bypass_weight(65535), 65535u64.pow(4));
+        assert_eq!(heavy_bypass_weight(10), 10_000);
+    }
+
+    #[test]
+    fn unrank_pair_inverts_the_rank_everywhere() {
+        for n in [2u64, 3, 5, 17, 100] {
+            let mut k = 0;
+            for i in 0..n - 1 {
+                for j in i + 1..n {
+                    assert_eq!(
+                        unrank_pair(k, n),
+                        (i as usize, j as usize),
+                        "rank {k} of n={n}"
+                    );
+                    k += 1;
+                }
+            }
+            assert_eq!(k, pair_rank_start(n - 1, n));
+        }
+        // Spot-check the f64 row inversion at million-node scale.
+        let n = 1_000_000u64;
+        for k in [0, 1, 999_998, 999_999, pair_rank_start(n - 1, n) - 1] {
+            let (i, j) = unrank_pair(k, n);
+            assert!(i < j && j < n as usize);
+            let back = pair_rank_start(i as u64, n) + (j as u64 - i as u64 - 1);
+            assert_eq!(back, k);
+        }
+    }
+
+    #[test]
+    fn streaming_gnp_shares_the_tree_backbone_with_dense() {
+        // Identical RNG prefix: the first n−1 edges (the attachment
+        // tree) of both regimes agree bit for bit for the same seed.
+        let (n, p, dist, seed) = (64, 0.1, WeightDist::Uniform(1, 50), 17);
+        let dense = connected_gnp_dense(n, p, dist, seed);
+        let streaming = connected_gnp_streaming(n, p, dist, seed);
+        let tree = |g: &WeightedGraph| {
+            g.edges()
+                .take(n - 1)
+                .map(|e| (e.u(), e.v(), e.weight()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(tree(&dense), tree(&streaming));
+    }
+
+    #[test]
+    fn streaming_gnp_is_connected_and_deterministic() {
+        let g1 = connected_gnp_streaming(500, 0.01, WeightDist::Uniform(1, 16), 42);
+        let g2 = connected_gnp_streaming(500, 0.01, WeightDist::Uniform(1, 16), 42);
+        assert!(is_connected(&g1));
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        let w1: Vec<u64> = g1.edges().map(|e| e.weight().get()).collect();
+        let w2: Vec<u64> = g2.edges().map(|e| e.weight().get()).collect();
+        assert_eq!(w1, w2);
+        // Expected extras ≈ p·n(n−1)/2 ≈ 1248; allow a wide band.
+        let extras = g1.edge_count() - 499;
+        assert!((600..2200).contains(&extras), "extras = {extras}");
+    }
+
+    #[test]
+    fn streaming_gnp_handles_probability_extremes() {
+        let g0 = connected_gnp_streaming(40, 0.0, WeightDist::Constant(2), 3);
+        assert_eq!(g0.edge_count(), 39); // tree only
+        let g1 = connected_gnp_streaming(10, 1.0, WeightDist::Constant(2), 3);
+        assert_eq!(g1.edge_count(), 45); // complete
+        assert!(is_connected(&g1));
+    }
+
+    #[test]
+    fn dispatching_gnp_is_bit_identical_to_dense_below_threshold() {
+        for seed in 0..4 {
+            let a = connected_gnp(33, 0.2, WeightDist::Uniform(1, 9), seed);
+            let b = connected_gnp_dense(33, 0.2, WeightDist::Uniform(1, 9), seed);
+            let ea: Vec<_> = a.edges().map(|e| (e.u(), e.v(), e.weight())).collect();
+            let eb: Vec<_> = b.edges().map(|e| (e.u(), e.v(), e.weight())).collect();
+            assert_eq!(ea, eb);
+        }
     }
 
     #[test]

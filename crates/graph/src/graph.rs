@@ -1,9 +1,22 @@
 //! The weighted communication graph `G = (V, E, w)`.
 //!
 //! [`WeightedGraph`] is an immutable undirected multigraph-free graph with
-//! positive integer edge weights, stored as adjacency lists over a dense
-//! edge table. Construction goes through [`GraphBuilder`], which validates
-//! endpoints and rejects duplicate edges and self-loops.
+//! positive integer edge weights, stored in **CSR (compressed sparse
+//! row)** form: one dense edge table plus two flat adjacency arrays —
+//! `adj_off` (`n + 1` offsets) and `adj` (`2m` u32 edge ids) — instead
+//! of a `Vec<Vec<EdgeId>>` per vertex. The struct-of-arrays layout costs
+//! 4 bytes per vertex and 4 bytes per directed edge, makes construction
+//! two counting-sort passes with no per-vertex allocation, and keeps
+//! neighbor scans on one contiguous cache stream — the layout the
+//! million-node tier depends on. Per-vertex incident lists keep exact
+//! edge-insertion order, so iteration order (and therefore every
+//! simulated protocol trace) is identical to the historical per-vertex
+//! `Vec` representation.
+//!
+//! Construction goes through [`GraphBuilder`], which validates endpoints
+//! and rejects duplicate edges and self-loops. Generators whose edge
+//! streams are duplicate-free by construction can skip the duplicate
+//! scan with [`GraphBuilder::build_unchecked`].
 
 use crate::ids::{EdgeId, NodeId};
 use crate::weight::{Cost, Weight};
@@ -139,6 +152,17 @@ impl GraphBuilder {
         }
     }
 
+    /// Starts a builder with room reserved for `m` edges — the
+    /// streaming generators know their edge count (or a tight bound) up
+    /// front, and one reservation avoids the doubling re-allocations a
+    /// million-edge push sequence would otherwise pay.
+    pub fn with_edge_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+        }
+    }
+
     /// Adds an undirected edge `{u, v}` with weight `w`.
     ///
     /// Validation is deferred to [`GraphBuilder::build`], except the weight:
@@ -172,8 +196,34 @@ impl GraphBuilder {
     /// Returns [`GraphError`] if an endpoint is out of range, an edge is a
     /// self-loop, or the same vertex pair appears twice.
     pub fn build(&self) -> Result<WeightedGraph, GraphError> {
+        self.build_inner(true)
+    }
+
+    /// Finalizes the graph **without the duplicate-pair scan** — for
+    /// edge streams that are duplicate-free by construction (every
+    /// generator in [`crate::generators`] qualifies). Endpoint range and
+    /// self-loop checks still run; debug builds additionally re-run the
+    /// full duplicate scan, so a generator bug cannot silently produce
+    /// a multigraph in tests.
+    ///
+    /// On a million-edge graph this skips the hash table that otherwise
+    /// dominates construction time and transient memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if an endpoint is out of range or an edge
+    /// is a self-loop.
+    pub fn build_unchecked(&self) -> Result<WeightedGraph, GraphError> {
+        self.build_inner(cfg!(debug_assertions))
+    }
+
+    fn build_inner(&self, check_dups: bool) -> Result<WeightedGraph, GraphError> {
         let n = self.n;
-        let mut seen: HashMap<(usize, usize), ()> = HashMap::with_capacity(self.edges.len());
+        let mut seen: HashMap<(usize, usize), ()> = if check_dups {
+            HashMap::with_capacity(self.edges.len())
+        } else {
+            HashMap::new()
+        };
         let mut edges = Vec::with_capacity(self.edges.len());
         for &(u, v, w) in &self.edges {
             if u >= n {
@@ -186,7 +236,7 @@ impl GraphBuilder {
                 return Err(GraphError::SelfLoop { node: u });
             }
             let key = (u.min(v), u.max(v));
-            if seen.insert(key, ()).is_some() {
+            if check_dups && seen.insert(key, ()).is_some() {
                 return Err(GraphError::DuplicateEdge { u: key.0, v: key.1 });
             }
             edges.push(Edge {
@@ -195,15 +245,38 @@ impl GraphBuilder {
                 weight: Weight::new(w),
             });
         }
-        let mut adjacency = vec![Vec::new(); n];
+        // Directed-edge positions are u32 offsets: 2m must fit.
+        assert!(
+            edges.len() <= (u32::MAX / 2) as usize,
+            "edge count {} exceeds the u32 CSR offset space",
+            edges.len()
+        );
+        // CSR in two counting-sort passes: degree count + prefix sum,
+        // then a stable fill in edge-insertion order (so per-vertex
+        // incident order matches the historical Vec-per-vertex layout).
+        let mut adj_off = vec![0u32; n + 1];
+        for e in &edges {
+            adj_off[e.u.index() + 1] += 1;
+            adj_off[e.v.index() + 1] += 1;
+        }
+        for i in 0..n {
+            adj_off[i + 1] += adj_off[i];
+        }
+        let mut cursor: Vec<u32> = adj_off[..n].to_vec();
+        let mut adj = vec![EdgeId::new(0); 2 * edges.len()];
         for (i, e) in edges.iter().enumerate() {
-            adjacency[e.u.index()].push(EdgeId::new(i));
-            adjacency[e.v.index()].push(EdgeId::new(i));
+            let eid = EdgeId::new(i);
+            for v in [e.u, e.v] {
+                let c = &mut cursor[v.index()];
+                adj[*c as usize] = eid;
+                *c += 1;
+            }
         }
         Ok(WeightedGraph {
             n,
             edges,
-            adjacency,
+            adj_off,
+            adj,
         })
     }
 }
@@ -214,11 +287,18 @@ impl GraphBuilder {
 /// weights. This is the communication-graph model of the paper: the weight
 /// of an edge is simultaneously the *cost* of sending one message across it
 /// and its worst-case *delay*.
+///
+/// Adjacency is CSR: `adj[adj_off[v]..adj_off[v+1]]` are the edge ids
+/// incident to `v`, in edge-insertion order (see the [module
+/// docs](self) for the layout and its limits).
 #[derive(Clone, Debug)]
 pub struct WeightedGraph {
     n: usize,
     edges: Vec<Edge>,
-    adjacency: Vec<Vec<EdgeId>>,
+    /// `n + 1` prefix offsets into [`WeightedGraph::adj`].
+    adj_off: Vec<u32>,
+    /// `2m` incident edge ids, grouped by vertex.
+    adj: Vec<EdgeId>,
 }
 
 impl WeightedGraph {
@@ -265,25 +345,27 @@ impl WeightedGraph {
         self.edges[e.index()].weight
     }
 
-    /// Edges incident to `v`.
+    /// Edges incident to `v`, in edge-insertion order.
     ///
     /// # Panics
     ///
     /// Panics if `v` is out of range.
     #[inline]
     pub fn incident(&self, v: NodeId) -> &[EdgeId] {
-        &self.adjacency[v.index()]
+        let i = v.index();
+        &self.adj[self.adj_off[i] as usize..self.adj_off[i + 1] as usize]
     }
 
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adjacency[v.index()].len()
+        let i = v.index();
+        (self.adj_off[i + 1] - self.adj_off[i]) as usize
     }
 
     /// Iterates over `(neighbor, edge id, weight)` triples around `v`.
     pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, EdgeId, Weight)> + '_ {
-        self.adjacency[v.index()].iter().map(move |&eid| {
+        self.incident(v).iter().map(move |&eid| {
             let e = &self.edges[eid.index()];
             (e.other(v), eid, e.weight)
         })
@@ -296,10 +378,20 @@ impl WeightedGraph {
         } else {
             (v, u)
         };
-        self.adjacency[a.index()]
+        self.incident(a)
             .iter()
             .copied()
             .find(|&eid| self.edges[eid.index()].other(a) == b)
+    }
+
+    /// Heap bytes of the graph's three flat arrays (edge table, CSR
+    /// offsets, CSR incident ids) — the `bytes/vertex` numerator
+    /// reported by `scale_bench`. Capacity slack is excluded: this is
+    /// the steady-state footprint of the layout, not of the builder.
+    pub fn memory_bytes(&self) -> usize {
+        self.edges.len() * std::mem::size_of::<Edge>()
+            + self.adj_off.len() * std::mem::size_of::<u32>()
+            + self.adj.len() * std::mem::size_of::<EdgeId>()
     }
 
     /// Total weight `w(G) = Σ_e w(e)` — the paper's `Ê`.
@@ -542,5 +634,65 @@ mod tests {
         assert_eq!(g.node_count(), 0);
         assert_eq!(g.edge_count(), 0);
         assert_eq!(g.total_weight(), Cost::ZERO);
+    }
+
+    #[test]
+    fn csr_incident_order_matches_insertion_order() {
+        // The CSR fill must be stable: each vertex's incident list is
+        // its edges in insertion order, exactly like the historical
+        // Vec-per-vertex layout (protocol traces depend on this order).
+        let mut b = GraphBuilder::new(5);
+        b.edge(0, 1, 1)
+            .edge(2, 0, 2)
+            .edge(3, 4, 3)
+            .edge(0, 3, 4)
+            .edge(1, 2, 5);
+        let g = b.build().unwrap();
+        let mut reference = vec![Vec::new(); 5];
+        for (i, e) in g.edges().enumerate() {
+            reference[e.u().index()].push(EdgeId::new(i));
+            reference[e.v().index()].push(EdgeId::new(i));
+        }
+        for v in g.nodes() {
+            assert_eq!(g.incident(v), reference[v.index()].as_slice(), "{v}");
+            assert_eq!(g.degree(v), reference[v.index()].len());
+        }
+    }
+
+    #[test]
+    fn build_unchecked_matches_checked_build() {
+        let mut b = GraphBuilder::new(4);
+        b.edge(0, 1, 3).edge(1, 2, 1).edge(2, 3, 2).edge(3, 0, 9);
+        let checked = b.build().unwrap();
+        let fast = b.build_unchecked().unwrap();
+        assert_eq!(fast.node_count(), checked.node_count());
+        assert_eq!(fast.edge_count(), checked.edge_count());
+        for v in fast.nodes() {
+            assert_eq!(fast.incident(v), checked.incident(v));
+        }
+    }
+
+    #[test]
+    fn build_unchecked_still_validates_range_and_loops() {
+        let mut b = GraphBuilder::new(2);
+        b.edge(0, 7, 1);
+        assert_eq!(
+            b.build_unchecked().unwrap_err(),
+            GraphError::NodeOutOfRange { node: 7, n: 2 }
+        );
+        let mut b = GraphBuilder::new(2);
+        b.edge(1, 1, 1);
+        assert_eq!(
+            b.build_unchecked().unwrap_err(),
+            GraphError::SelfLoop { node: 1 }
+        );
+    }
+
+    #[test]
+    fn memory_bytes_counts_the_flat_arrays() {
+        let g = triangle();
+        // 3 edges × 16 B + 4 offsets × 4 B + 6 incident ids × 4 B.
+        let expected = 3 * std::mem::size_of::<Edge>() + 4 * 4 + 6 * 4;
+        assert_eq!(g.memory_bytes(), expected);
     }
 }

@@ -2,12 +2,23 @@
 //!
 //! Raw `usize` indices are easy to mix up between node and edge index
 //! spaces; these newtypes keep the distinction static ([C-NEWTYPE]).
+//!
+//! Both identifiers are **u32-backed**: a vertex or edge index is a
+//! dense `0..n` value well below 2³², and halving the id width halves
+//! the CSR adjacency arrays and every id-carrying payload on the
+//! million-node tier. The public API stays `usize`-shaped; the cap
+//! ([`MAX_INDEX`]) is asserted at construction.
 
 use std::fmt;
 
+/// Largest admissible dense index for either id space: `u32::MAX` is
+/// reserved as an internal sentinel, so indices run `0..=MAX_INDEX`.
+pub const MAX_INDEX: usize = u32::MAX as usize - 1;
+
 /// Identifier of a vertex in a [`WeightedGraph`](crate::WeightedGraph).
 ///
-/// Node identifiers are dense indices `0..n`.
+/// Node identifiers are dense indices `0..n`, stored compactly as
+/// `u32`.
 ///
 /// # Example
 ///
@@ -18,19 +29,24 @@ use std::fmt;
 /// assert_eq!(format!("{v}"), "v3");
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
-pub struct NodeId(usize);
+pub struct NodeId(u32);
 
 impl NodeId {
     /// Creates a node identifier from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > MAX_INDEX` (indices are stored as `u32`).
     #[inline]
     pub const fn new(index: usize) -> Self {
-        NodeId(index)
+        assert!(index <= MAX_INDEX, "node index exceeds the u32 id space");
+        NodeId(index as u32)
     }
 
     /// Returns the dense index of this node.
     #[inline]
     pub const fn index(self) -> usize {
-        self.0
+        self.0 as usize
     }
 }
 
@@ -42,20 +58,21 @@ impl fmt::Display for NodeId {
 
 impl From<usize> for NodeId {
     fn from(index: usize) -> Self {
-        NodeId(index)
+        NodeId::new(index)
     }
 }
 
 impl From<NodeId> for usize {
     fn from(id: NodeId) -> usize {
-        id.0
+        id.index()
     }
 }
 
 /// Identifier of an undirected edge in a
 /// [`WeightedGraph`](crate::WeightedGraph).
 ///
-/// Edge identifiers are dense indices `0..m` in insertion order.
+/// Edge identifiers are dense indices `0..m` in insertion order,
+/// stored compactly as `u32`.
 ///
 /// # Example
 ///
@@ -66,19 +83,24 @@ impl From<NodeId> for usize {
 /// assert_eq!(format!("{e}"), "e7");
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
-pub struct EdgeId(usize);
+pub struct EdgeId(u32);
 
 impl EdgeId {
     /// Creates an edge identifier from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > MAX_INDEX` (indices are stored as `u32`).
     #[inline]
     pub const fn new(index: usize) -> Self {
-        EdgeId(index)
+        assert!(index <= MAX_INDEX, "edge index exceeds the u32 id space");
+        EdgeId(index as u32)
     }
 
     /// Returns the dense index of this edge.
     #[inline]
     pub const fn index(self) -> usize {
-        self.0
+        self.0 as usize
     }
 }
 
@@ -90,13 +112,13 @@ impl fmt::Display for EdgeId {
 
 impl From<usize> for EdgeId {
     fn from(index: usize) -> Self {
-        EdgeId(index)
+        EdgeId::new(index)
     }
 }
 
 impl From<EdgeId> for usize {
     fn from(id: EdgeId) -> usize {
-        id.0
+        id.index()
     }
 }
 
@@ -107,7 +129,7 @@ mod tests {
 
     #[test]
     fn node_id_round_trip() {
-        for i in [0usize, 1, 17, usize::MAX] {
+        for i in [0usize, 1, 17, super::MAX_INDEX] {
             assert_eq!(NodeId::new(i).index(), i);
             assert_eq!(usize::from(NodeId::from(i)), i);
         }
@@ -115,10 +137,22 @@ mod tests {
 
     #[test]
     fn edge_id_round_trip() {
-        for i in [0usize, 1, 17, usize::MAX] {
+        for i in [0usize, 1, 17, super::MAX_INDEX] {
             assert_eq!(EdgeId::new(i).index(), i);
             assert_eq!(usize::from(EdgeId::from(i)), i);
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "u32 id space")]
+    fn node_id_rejects_indices_past_u32() {
+        let _ = NodeId::new(super::MAX_INDEX + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "u32 id space")]
+    fn edge_id_rejects_indices_past_u32() {
+        let _ = EdgeId::new(super::MAX_INDEX + 1);
     }
 
     #[test]

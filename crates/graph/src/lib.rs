@@ -45,6 +45,6 @@ pub mod tree;
 pub mod weight;
 
 pub use graph::{Edge, GraphBuilder, GraphError, WeightedGraph};
-pub use ids::{EdgeId, NodeId};
+pub use ids::{EdgeId, NodeId, MAX_INDEX};
 pub use tree::RootedTree;
 pub use weight::{Cost, Weight};

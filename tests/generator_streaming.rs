@@ -1,0 +1,132 @@
+//! Differential property tests for the streaming scale-tier
+//! generators: below [`generators::GNP_STREAMING_THRESHOLD`] the
+//! dispatching [`generators::connected_gnp`] must reproduce the
+//! historical dense generator **bit for bit** — every committed
+//! adversary schedule and crash-time witness references its graph by
+//! `(n, p, dist, seed)`, so any drift would silently invalidate them —
+//! and above it the geometric-skip streaming path must deliver
+//! structurally sound graphs that share the dense path's RNG prefix
+//! (the attachment-tree backbone).
+
+use cost_sensitive::graph::algo::is_connected;
+use cost_sensitive::prelude::*;
+use generators::{
+    connected_gnp_dense, connected_gnp_streaming, WeightDist, GNP_STREAMING_THRESHOLD,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Flattens a graph into a comparable `(u, v, w)` edge list; two graphs
+/// built from the same RNG stream must agree on this exactly, including
+/// insertion order (protocol traces depend on it).
+fn edge_list(g: &WeightedGraph) -> Vec<(usize, usize, u64)> {
+    g.edges()
+        .map(|e| (e.u().index(), e.v().index(), e.weight().get()))
+        .collect()
+}
+
+fn arb_dist() -> impl Strategy<Value = WeightDist> {
+    (0u8..3, 1u64..=64, 0u32..=6).prop_map(|(kind, w, exp)| match kind {
+        0 => WeightDist::Constant(w),
+        1 => WeightDist::Uniform(1, w),
+        _ => WeightDist::PowerOfTwo(exp),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The seed-for-seed contract: for every `n` below the streaming
+    /// threshold the dispatcher and the dense reference emit the same
+    /// `WeightedGraph`, bit for bit.
+    #[test]
+    fn dispatching_gnp_matches_dense_below_threshold(
+        n in 2usize..=48,
+        p_pct in 0u32..=100,
+        dist in arb_dist(),
+        seed in any::<u64>(),
+    ) {
+        let p = p_pct as f64 / 100.0;
+        let dispatched = generators::connected_gnp(n, p, dist, seed);
+        let dense = connected_gnp_dense(n, p, dist, seed);
+        prop_assert_eq!(dispatched.node_count(), dense.node_count());
+        prop_assert_eq!(edge_list(&dispatched), edge_list(&dense));
+    }
+
+    /// The streaming generator's first `n − 1` edges (the attachment
+    /// tree) coincide with the dense generator's: both draw the tree
+    /// from the same RNG prefix before diverging on the extras.
+    #[test]
+    fn streaming_gnp_shares_the_dense_tree_backbone(
+        n in 2usize..=128,
+        p_pct in 0u32..=50,
+        dist in arb_dist(),
+        seed in any::<u64>(),
+    ) {
+        let p = p_pct as f64 / 100.0;
+        let dense = connected_gnp_dense(n, p, dist, seed);
+        let streaming = connected_gnp_streaming(n, p, dist, seed);
+        prop_assert_eq!(
+            &edge_list(&dense)[..n - 1],
+            &edge_list(&streaming)[..n - 1]
+        );
+    }
+
+    /// Structural soundness of the streaming path at sizes the dense
+    /// reference can still cross-check: connected, duplicate-free,
+    /// deterministic, and edge counts in the right regime.
+    #[test]
+    fn streaming_gnp_is_sound(
+        n in 2usize..=300,
+        p_pct in 0u32..=30,
+        dist in arb_dist(),
+        seed in any::<u64>(),
+    ) {
+        let p = p_pct as f64 / 100.0;
+        let g = connected_gnp_streaming(n, p, dist, seed);
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert!(is_connected(&g));
+        prop_assert!(g.edge_count() >= n - 1);
+        let mut seen = HashSet::new();
+        for e in g.edges() {
+            prop_assert!(e.u() < e.v(), "normalized endpoints");
+            prop_assert!(e.v().index() < n);
+            prop_assert!(seen.insert((e.u(), e.v())), "duplicate edge");
+        }
+        let again = connected_gnp_streaming(n, p, dist, seed);
+        prop_assert_eq!(edge_list(&g), edge_list(&again));
+    }
+
+    /// The chunked builders of the other scale-tier families keep
+    /// their invariants: `G_x` (the Figure-7 lower-bound family) and
+    /// the cluster workload stay connected and duplicate-free.
+    #[test]
+    fn chunked_family_builders_stay_sound(
+        n in 4usize..=32,
+        x in 2u64..=24,
+        clusters in 2usize..=5,
+        size in 2usize..=12,
+        seed in any::<u64>(),
+    ) {
+        let gx = generators::lower_bound_family(n, x);
+        prop_assert!(is_connected(&gx));
+        let cg = generators::cluster_graph(clusters, size, 64, seed);
+        prop_assert!(is_connected(&cg));
+        let mut seen = HashSet::new();
+        for e in cg.edges() {
+            prop_assert!(seen.insert((e.u(), e.v())), "duplicate edge");
+        }
+    }
+}
+
+/// One deterministic probe above the dispatch threshold: the dispatcher
+/// must route to the streaming path (same output) and stay connected.
+#[test]
+fn dispatcher_routes_large_n_to_streaming() {
+    let n = GNP_STREAMING_THRESHOLD + 1;
+    let dist = WeightDist::Uniform(1, 32);
+    let via_dispatch = generators::connected_gnp(n, 4.0 / n as f64, dist, 7);
+    let direct = connected_gnp_streaming(n, 4.0 / n as f64, dist, 7);
+    assert_eq!(edge_list(&via_dispatch), edge_list(&direct));
+    assert!(is_connected(&via_dispatch));
+}
