@@ -70,7 +70,7 @@ pub mod search;
 
 pub use oracle::{CriticalPathOracle, Recorder, ScheduleOracle};
 pub use refute::{check_time_bound, shrink, GridPoint, Refutation};
-pub use schedule::{Crash, Decision, Fallback, ParseError, Schedule};
+pub use schedule::{Crash, Decision, Fallback, ParseError, PrefixHasher, Schedule};
 pub use search::{
     find_worst_schedule, mutate, mutate_with_drops, mutate_with_faults, SearchConfig, SearchOutcome,
 };

@@ -291,6 +291,62 @@ impl Schedule {
         })
     }
 
+    /// Canonical 64-bit key of the schedule's crash assignment, order
+    /// independent: two schedules crashing the same vertices at the same
+    /// times get the same key however their `crashes` vectors are
+    /// ordered. Crash times are baked into a run at start (the oracle is
+    /// queried once per vertex), so *every* prefix key
+    /// ([`Schedule::prefix_key`]) folds this in — schedules with
+    /// different crash sets share no resumable prefix, no matter how
+    /// their decision streams compare.
+    pub fn crash_key(&self) -> u64 {
+        let mut crashes: Vec<&Crash> = self.crashes.iter().collect();
+        crashes.sort_by_key(|c| (c.node.index(), c.at));
+        let mut h = PrefixHasher::seed();
+        for c in crashes {
+            h = PrefixHasher::mix(h, c.node.index() as u64);
+            h = PrefixHasher::mix(h, c.at);
+        }
+        h
+    }
+
+    /// Canonical key of the first `len` decisions together with the
+    /// crash assignment — the cache key an incremental evaluator uses to
+    /// recognise that a submitted schedule extends a checkpointed one.
+    ///
+    /// The [`Fallback`] policy is deliberately excluded: it only governs
+    /// sends *beyond* the recorded horizon, so it cannot affect the
+    /// first `len` decisions of a replay. Equal keys ⟺ (with the usual
+    /// 64-bit-hash caveat) equal crash sets and bitwise-equal decision
+    /// prefixes, which is exactly the [`Checkpoint`](csp_sim::Checkpoint)
+    /// oracle-agreement condition for indices below `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > self.len()`.
+    pub fn prefix_key(&self, len: usize) -> u64 {
+        let mut h = PrefixHasher::new(self);
+        for d in &self.decisions[..len] {
+            h.absorb(d);
+        }
+        h.key()
+    }
+
+    /// Length of the longest shared decision prefix with `other`, or `0`
+    /// when the crash assignments differ (crashes apply from time zero,
+    /// so differing sets invalidate even the empty prefix — see
+    /// [`Schedule::crash_key`]).
+    pub fn common_prefix_len(&self, other: &Schedule) -> usize {
+        if self.crash_key() != other.crash_key() {
+            return 0;
+        }
+        self.decisions
+            .iter()
+            .zip(&other.decisions)
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
     /// Writes the schedule to `path`, prefixing `header` lines as `#`
     /// comments (pass `&[]` for none). Decision lines stream through a
     /// [`BufWriter`](std::io::BufWriter), so large schedules (searched
@@ -349,6 +405,82 @@ impl Schedule {
         std::io::BufReader::new(std::fs::File::open(path)?).read_to_string(&mut text)?;
         Schedule::from_text(&text)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Incrementally computes [`Schedule::prefix_key`] one decision at a
+/// time, so a consumer hashing every prefix of an `n`-decision schedule
+/// (a cache probing all checkpoint depths) pays O(n) total instead of
+/// the O(n²) of calling `prefix_key` per depth.
+///
+/// ```
+/// use csp_adversary::{PrefixHasher, Schedule};
+/// let s = Schedule::default();
+/// let mut h = PrefixHasher::new(&s);
+/// assert_eq!(h.key(), s.prefix_key(0));
+/// for (i, d) in s.decisions.iter().enumerate() {
+///     h.absorb(d);
+///     assert_eq!(h.key(), s.prefix_key(i + 1));
+/// }
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct PrefixHasher {
+    hash: u64,
+    absorbed: u64,
+}
+
+impl PrefixHasher {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+    /// Starts a hasher seeded with `schedule`'s crash key (the decision
+    /// stream itself is *not* consumed — absorb decisions explicitly).
+    pub fn new(schedule: &Schedule) -> Self {
+        PrefixHasher {
+            hash: schedule.crash_key(),
+            absorbed: 0,
+        }
+    }
+
+    /// The state of a hasher over the empty input.
+    fn seed() -> u64 {
+        Self::OFFSET
+    }
+
+    /// Folds one 64-bit word into `h`. Word-at-a-time (multiply +
+    /// xor-shift, murmur-style finalizer constants): the service probes
+    /// hash every decision of every submitted schedule on its accept
+    /// path, so per-word cost is what bounds probe latency.
+    fn mix(h: u64, word: u64) -> u64 {
+        let mut x = (h ^ word).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x ^= x >> 32;
+        x.wrapping_mul(0xff51_afd7_ed55_8ccd)
+    }
+
+    /// Extends the running prefix by one decision.
+    pub fn absorb(&mut self, d: &Decision) {
+        let mut h = self.hash;
+        h = Self::mix(h, d.index);
+        h = Self::mix(h, d.edge.index() as u64);
+        h = Self::mix(h, u64::from(d.dir));
+        h = Self::mix(h, d.weight);
+        // A dropped send has no meaningful delay, but `Decision` keeps
+        // an admissible one for mutation — canonicalise it away so two
+        // schedules dropping the same send hash alike.
+        h = Self::mix(h, if d.dropped { u64::MAX } else { d.delay });
+        h = Self::mix(h, u64::from(d.dropped));
+        self.hash = h;
+        self.absorbed += 1;
+    }
+
+    /// The key of the prefix absorbed so far (mixes in the length, so a
+    /// prefix and its extension never collide trivially).
+    pub fn key(&self) -> u64 {
+        Self::mix(self.hash, self.absorbed)
+    }
+
+    /// How many decisions have been absorbed.
+    pub fn absorbed(&self) -> u64 {
+        self.absorbed
     }
 }
 
@@ -418,6 +550,101 @@ mod tests {
     fn text_round_trip() {
         let s = sample();
         assert_eq!(Schedule::from_text(&s.to_text()).unwrap(), s);
+    }
+
+    #[test]
+    fn prefix_keys_distinguish_length_content_and_crashes() {
+        let s = sample();
+        // Distinct depths and distinct contents get distinct keys.
+        let keys: Vec<u64> = (0..=s.len()).map(|i| s.prefix_key(i)).collect();
+        for i in 0..keys.len() {
+            for j in (i + 1)..keys.len() {
+                assert_ne!(keys[i], keys[j], "depths {i} and {j} collided");
+            }
+        }
+        let mut tweaked = s.clone();
+        tweaked.decisions[1].delay = 2;
+        assert_eq!(tweaked.prefix_key(1), s.prefix_key(1));
+        assert_ne!(tweaked.prefix_key(2), s.prefix_key(2));
+        // Fallback is excluded: it cannot affect the recorded prefix.
+        let mut refit = s.clone();
+        refit.fallback = Fallback::WorstCase;
+        assert_eq!(refit.prefix_key(2), s.prefix_key(2));
+        // Crashes poison every depth, including the empty prefix.
+        let f = faulty_sample();
+        assert_ne!(f.prefix_key(0), s.prefix_key(0));
+        assert_ne!(f.crash_key(), s.crash_key());
+    }
+
+    #[test]
+    fn crash_key_is_order_independent() {
+        let mk = |order: &[(usize, u64)]| Schedule {
+            crashes: order
+                .iter()
+                .map(|&(n, at)| Crash {
+                    node: NodeId::new(n),
+                    at,
+                })
+                .collect(),
+            ..Schedule::default()
+        };
+        let a = mk(&[(1, 5), (3, 9)]);
+        let b = mk(&[(3, 9), (1, 5)]);
+        assert_eq!(a.crash_key(), b.crash_key());
+        assert_ne!(a.crash_key(), mk(&[(1, 5), (3, 10)]).crash_key());
+    }
+
+    #[test]
+    fn dropped_decisions_hash_canonically() {
+        // The delay slot of a dropped decision is bookkeeping for
+        // mutation; two drops of the same send must share a key.
+        let mut a = faulty_sample();
+        let mut b = faulty_sample();
+        a.decisions[1].delay = 1;
+        b.decisions[1].delay = 4;
+        assert_eq!(a.prefix_key(2), b.prefix_key(2));
+        // But a drop never collides with a delivery at any delay.
+        let delivered = sample();
+        for delay in 1..=4 {
+            let mut d = delivered.clone();
+            d.decisions[1].delay = delay;
+            assert_ne!(a.crash_key(), d.crash_key()); // crash sets differ
+            let mut crashless = a.clone();
+            crashless.crashes.clear();
+            assert_ne!(crashless.prefix_key(2), d.prefix_key(2));
+        }
+    }
+
+    #[test]
+    fn incremental_hasher_matches_prefix_key() {
+        let s = faulty_sample();
+        let mut h = PrefixHasher::new(&s);
+        assert_eq!(h.key(), s.prefix_key(0));
+        for (i, d) in s.decisions.iter().enumerate() {
+            h.absorb(d);
+            assert_eq!(h.absorbed(), (i + 1) as u64);
+            assert_eq!(h.key(), s.prefix_key(i + 1));
+        }
+    }
+
+    #[test]
+    fn common_prefix_len_respects_crash_sets() {
+        let s = sample();
+        let mut longer = s.clone();
+        longer.decisions.push(Decision {
+            index: 2,
+            edge: EdgeId::new(1),
+            dir: 0,
+            weight: 9,
+            delay: 3,
+            dropped: false,
+        });
+        assert_eq!(s.common_prefix_len(&longer), 2);
+        assert_eq!(longer.common_prefix_len(&s), 2);
+        let mut diverged = longer.clone();
+        diverged.decisions[0].delay = 3;
+        assert_eq!(s.common_prefix_len(&diverged), 0);
+        assert_eq!(s.common_prefix_len(&faulty_sample()), 0, "crash gate");
     }
 
     #[test]

@@ -209,6 +209,76 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The invariant the incremental-evaluation cache rests on, under
+    /// *fault* schedules rather than delay-only ones: resuming a run
+    /// from any prefix checkpoint under the same drop+crash schedule is
+    /// bit-identical to the cold run — costs including every fault
+    /// meter, traces, and final states. Both the full `resume` path and
+    /// the pooled `eval_resume` path are pinned, the latter through one
+    /// shared pool so buffer reuse across checkpoints is exercised too.
+    #[test]
+    fn checkpoint_resume_matches_cold_run_under_drop_crash_schedules(
+        seed in any::<u64>(),
+        drop_rate in 0.05f64..0.6,
+        n in 6usize..12,
+        victim_ix in 1usize..12,
+        crash_at in 0u64..60,
+        every in 3u64..9,
+    ) {
+        let g = generators::connected_gnp(n, 0.35, WeightDist::Uniform(1, 9), seed);
+        let victim = NodeId::new(victim_ix % n);
+
+        // Record a faithful fault schedule: bounded drops plus one
+        // crash, over the retransmission-wrapped SPT (timers included).
+        let lossy = DropOracle::new(DelayModel::Uniform, seed ^ 0xCAFE_F00D, drop_rate, 3);
+        let oracle = CrashOracle::new(lossy, vec![(victim, SimTime::new(crash_at))]);
+        let (_, schedule) =
+            csp_adversary::record(&g, make_reliable_spt, oracle, csp_adversary::Fallback::WorstCase);
+        prop_assert!(!schedule.crashes.is_empty());
+
+        // Cold reference run, checkpointed, with the trace recorded.
+        let mut cps = Vec::new();
+        let mut sim = Simulator::new(&g);
+        sim.record_trace(1 << 14);
+        let cold = sim
+            .run_with_checkpoints(
+                &mut ScheduleOracle::new(&schedule),
+                make_reliable_spt,
+                every,
+                &mut cps,
+            )
+            .unwrap();
+        prop_assert!(!cps.is_empty(), "workload too small to checkpoint");
+
+        let mut pool = csp_sim::EvalPool::new();
+        for cp in &cps {
+            let resumed = sim
+                .resume(cp, &mut ScheduleOracle::new(&schedule))
+                .unwrap();
+            prop_assert_eq!(&resumed.cost, &cold.cost);
+            prop_assert_eq!(resumed.cost.drops, cold.cost.drops);
+            prop_assert_eq!(resumed.cost.crashed_nodes, cold.cost.crashed_nodes);
+            prop_assert_eq!(resumed.cost.dead_events, cold.cost.dead_events);
+            prop_assert_eq!(resumed.trace.events(), cold.trace.events());
+            prop_assert_eq!(
+                format!("{:?}", resumed.states),
+                format!("{:?}", cold.states)
+            );
+
+            let summary = sim
+                .eval_resume(&mut pool, cp, &mut ScheduleOracle::new(&schedule))
+                .unwrap();
+            prop_assert_eq!(summary.completion, cold.cost.completion);
+            prop_assert_eq!(summary.messages, cold.cost.messages);
+            prop_assert_eq!(summary.weighted_comm, cold.cost.weighted_comm);
+            prop_assert!(!summary.truncated);
+        }
+    }
+}
+
 #[test]
 fn unprotected_flood_under_loss_is_detected_as_deadlocked_not_hung() {
     // Cut the flood's very first token on a path graph: downstream

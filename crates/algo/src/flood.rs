@@ -15,7 +15,7 @@ use csp_graph::{NodeId, RootedTree, WeightedGraph};
 use csp_sim::{Context, CostReport, DelayModel, FaultAware, Process, Run, SimError, Simulator};
 
 /// Per-vertex state of the flooding protocol.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 pub struct Flood {
     /// Whether this vertex initiates the flood.
     initiator: bool,

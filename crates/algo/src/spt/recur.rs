@@ -66,7 +66,7 @@ pub enum RecurMsg {
 }
 
 /// Per-vertex state of `SPT_recur`.
-#[derive(Debug)]
+#[derive(Debug, Hash)]
 pub struct SptRecur {
     source: NodeId,
     delta: u64,

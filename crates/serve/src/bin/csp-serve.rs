@@ -1,0 +1,114 @@
+//! `csp-serve` — the scenario-evaluation service binary.
+//!
+//! Speaks line-delimited JSON on stdin/stdout: one request per line in,
+//! one response per scenario out. `{"type":"shutdown"}` (or EOF) exits
+//! cleanly.
+//!
+//! ```text
+//! csp-serve [--threads N] [--checkpoint-every N] [--no-cache]
+//!           [--metrics] [--trace-cap N]
+//! ```
+//!
+//! - `--threads N`          worker threads (0 = one per core)
+//! - `--checkpoint-every N` messages between stored checkpoints (default 16)
+//! - `--no-cache`           disable the prefix-sharing cache (cold baseline)
+//! - `--metrics`            emit one JSON metrics line per batch on stderr
+//! - `--trace-cap N`        record up to N trace events per run and expose
+//!   a trace digest in responses (differential testing)
+
+use csp_serve::json::Json;
+use csp_serve::service::{Service, ServiceConfig};
+use std::io::{BufRead, Write};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: csp-serve [--threads N] [--checkpoint-every N] [--no-cache] \
+         [--metrics] [--trace-cap N]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_usize(args: &mut std::env::Args, flag: &str) -> usize {
+    match args.next().map(|v| v.parse::<usize>()) {
+        Some(Ok(v)) => v,
+        _ => {
+            eprintln!("csp-serve: {flag} needs a non-negative integer");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let mut cfg = ServiceConfig::default();
+    let mut metrics_stream = false;
+    let mut args = std::env::args();
+    let _ = args.next();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => cfg.threads = parse_usize(&mut args, "--threads"),
+            "--checkpoint-every" => {
+                cfg.checkpoint_every = parse_usize(&mut args, "--checkpoint-every") as u64;
+                if cfg.checkpoint_every == 0 {
+                    eprintln!("csp-serve: --checkpoint-every must be >= 1");
+                    usage()
+                }
+            }
+            "--no-cache" => cfg.cache = false,
+            "--metrics" => metrics_stream = true,
+            "--trace-cap" => cfg.trace_cap = parse_usize(&mut args, "--trace-cap"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("csp-serve: unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+
+    let mut service = Service::new(cfg);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let stderr = std::io::stderr();
+    let mut out = stdout.lock();
+    let mut err = stderr.lock();
+
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let request = match Json::parse(line) {
+            Ok(j) => j,
+            Err(e) => {
+                let resp = Json::obj(vec![
+                    ("type", Json::str("error")),
+                    ("id", Json::str("")),
+                    (
+                        "error",
+                        Json::str(format!("bad JSON at byte {}: {}", e.pos, e.msg)),
+                    ),
+                ]);
+                let _ = writeln!(out, "{}", resp.dump());
+                let _ = out.flush();
+                continue;
+            }
+        };
+        if request.get("type").and_then(Json::as_str) == Some("shutdown") {
+            let resp = Json::obj(vec![
+                ("type", Json::str("shutdown")),
+                ("ok", Json::Bool(true)),
+            ]);
+            let _ = writeln!(out, "{}", resp.dump());
+            let _ = out.flush();
+            break;
+        }
+        for resp in service.handle(&request) {
+            let _ = writeln!(out, "{}", resp.dump());
+        }
+        let _ = out.flush();
+        if metrics_stream {
+            let _ = writeln!(err, "{}", service.metrics.to_json().dump());
+            let _ = err.flush();
+        }
+    }
+}

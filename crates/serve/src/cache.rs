@@ -1,0 +1,482 @@
+//! The prefix-sharing result cache: FULL hits, INCREMENTAL resumes.
+//!
+//! Scenarios are keyed by `(graph key, stack key, schedule prefix
+//! hash)`. For every cold schedule run the service stores the
+//! checkpoints [`run_with_checkpoints`](csp_sim::Simulator::run_with_checkpoints)
+//! produced, each under the [`prefix_key`](csp_adversary::Schedule::prefix_key)
+//! of the decisions baked into it. A resubmitted scenario probes its own
+//! prefix hashes deepest-first: an exact full-schedule match is a
+//! **FULL** hit (the stored report comes back without replaying
+//! anything), a checkpoint match is an **INCREMENTAL** hit (the run
+//! resumes from the deepest matching snapshot), and anything else is a
+//! cold **MISS**.
+//!
+//! Soundness leans on two invariants pinned elsewhere in the workspace:
+//! the checkpoint oracle-agreement contract (a resume is bit-identical
+//! to a cold run when the oracle agrees on indices ≥
+//! [`Checkpoint::messages`]) and the prefix-key construction (equal
+//! keys ⟺ equal crash sets + bitwise-equal decision prefixes, the
+//! hash-collision caveat aside). Because a schedule's crash set is
+//! folded into every prefix key, schedules that crash different
+//! vertices never share a checkpoint.
+//!
+//! Eviction is LRU by a global access epoch with separate caps for
+//! checkpoints (heavyweight: queue + slab + states) and results
+//! (lightweight), so a long-running service holds its memory flat.
+
+use csp_adversary::{PrefixHasher, Schedule};
+use csp_sim::{Checkpoint, CostReport, Process};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Capacity limits for one [`StackCache`].
+#[derive(Clone, Copy, Debug)]
+pub struct CacheCaps {
+    /// Maximum retained checkpoints across all graphs and schedules.
+    pub checkpoints: usize,
+    /// Maximum retained exact results.
+    pub results: usize,
+}
+
+impl Default for CacheCaps {
+    fn default() -> Self {
+        CacheCaps {
+            checkpoints: 256,
+            results: 1024,
+        }
+    }
+}
+
+/// What a cache probe found for a submitted schedule.
+#[derive(Debug)]
+pub enum Probe<P: Process> {
+    /// The full schedule (and fallback) was evaluated before: the
+    /// stored report, returned without any replay. Boxed: a
+    /// `StoredResult` carries a full `CostReport`, far larger than the
+    /// other variants.
+    Full(Box<StoredResult>),
+    /// A checkpoint covers a proper prefix: resume from it. Stored
+    /// checkpoints are immutable, so the cache hands out an [`Arc`] —
+    /// shipping one to a worker thread is a refcount bump, not a deep
+    /// clone of queue + slab + states.
+    Incremental {
+        /// Snapshot to resume from.
+        checkpoint: Arc<Checkpoint<P>>,
+        /// Decisions baked into the snapshot (= its message count).
+        depth: u64,
+    },
+    /// Nothing usable: run cold.
+    Miss,
+}
+
+/// A cached exact result.
+#[derive(Clone, Debug)]
+pub struct StoredResult {
+    /// The run's full cost report.
+    pub report: CostReport,
+    /// Structural digest of the final states, letting differential
+    /// tests assert FULL hits describe the same run without storing
+    /// every state vector.
+    pub states_digest: u64,
+    /// For search results: the worst schedule found, serialized.
+    pub schedule_text: Option<String>,
+    /// For search results: worst-case baseline completion.
+    pub worst_case: Option<u64>,
+}
+
+struct StoredCheckpoint<P: Process> {
+    cp: Arc<Checkpoint<P>>,
+    epoch: u64,
+}
+
+struct StoredExact {
+    result: StoredResult,
+    epoch: u64,
+}
+
+/// Cache for one protocol stack type `P`, covering every graph the
+/// service has seen (graph and stack keys are folded into the map
+/// keys).
+pub struct StackCache<P: Process> {
+    /// `(scenario key, prefix hash)` → checkpoint at that prefix.
+    checkpoints: HashMap<(String, u64), StoredCheckpoint<P>>,
+    /// Checkpoint depths (message marks) known per scenario key, sorted
+    /// ascending. Probes walk this deepest-first.
+    marks: HashMap<String, Vec<u64>>,
+    /// `(scenario key, exact hash)` → stored result.
+    results: HashMap<(String, u64), StoredExact>,
+    caps: CacheCaps,
+    epoch: u64,
+    evictions: u64,
+}
+
+impl<P: Process + Clone> StackCache<P> {
+    /// An empty cache with the given caps.
+    pub fn new(caps: CacheCaps) -> Self {
+        StackCache {
+            checkpoints: HashMap::new(),
+            marks: HashMap::new(),
+            results: HashMap::new(),
+            caps,
+            epoch: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Checkpoints + results currently held.
+    pub fn len(&self) -> (usize, usize) {
+        (self.checkpoints.len(), self.results.len())
+    }
+
+    /// Whether nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.checkpoints.is_empty() && self.results.is_empty()
+    }
+
+    /// Total evictions since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// The exact-result key of a full schedule: its complete prefix key
+    /// extended with the fallback policy (which *does* govern replays
+    /// past the horizon, so it belongs in the exact key even though
+    /// prefix keys exclude it).
+    pub fn exact_schedule_hash(schedule: &Schedule) -> u64 {
+        schedule.prefix_key(schedule.len()) ^ Self::fallback_salt(schedule.fallback)
+    }
+
+    /// Cheap distinct tweak per fallback; stays stable across runs.
+    fn fallback_salt(fallback: csp_adversary::Fallback) -> u64 {
+        match fallback {
+            csp_adversary::Fallback::WorstCase => 0x9E37_79B9_7F4A_7C15,
+            csp_adversary::Fallback::Rush => 0xC2B2_AE3D_27D4_EB4F,
+        }
+    }
+
+    /// Probes for the best way to evaluate `schedule` under
+    /// `scenario_key` (= `graph_key/stack_key`). Exact result first,
+    /// then the deepest checkpoint whose prefix key matches, else miss.
+    /// A hit bumps the entry's LRU epoch.
+    ///
+    /// Returns the schedule's [`StackCache::exact_schedule_hash`]
+    /// alongside the probe outcome: the hash falls out of the same
+    /// O(len) pass that computes the per-mark prefix keys, and the
+    /// caller reuses it when storing the eventual result — hashing the
+    /// full decision stream is the probe's dominant cost, so it is paid
+    /// exactly once per submission.
+    pub fn probe(&mut self, scenario_key: &str, schedule: &Schedule) -> (u64, Probe<P>) {
+        let now = self.tick();
+        // One O(len) pass computes the prefix key at every mark ≤ len
+        // *and* the full-schedule key the exact-result hash extends.
+        let usable: Vec<u64> = self
+            .marks
+            .get(scenario_key)
+            .map(|marks| {
+                marks
+                    .iter()
+                    .copied()
+                    .filter(|&m| m <= schedule.len() as u64)
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut keys_at: Vec<(u64, u64)> = Vec::with_capacity(usable.len());
+        let mut hasher = PrefixHasher::new(schedule);
+        let mut mark_ix = 0;
+        for (i, d) in schedule.decisions.iter().enumerate() {
+            while mark_ix < usable.len() && usable[mark_ix] == i as u64 {
+                keys_at.push((usable[mark_ix], hasher.key()));
+                mark_ix += 1;
+            }
+            hasher.absorb(d);
+        }
+        while mark_ix < usable.len() {
+            debug_assert_eq!(usable[mark_ix], schedule.len() as u64);
+            keys_at.push((usable[mark_ix], hasher.key()));
+            mark_ix += 1;
+        }
+        let exact = hasher.key() ^ Self::fallback_salt(schedule.fallback);
+        debug_assert_eq!(exact, Self::exact_schedule_hash(schedule));
+        if let Some(hit) = self.results.get_mut(&(scenario_key.to_string(), exact)) {
+            hit.epoch = now;
+            return (exact, Probe::Full(Box::new(hit.result.clone())));
+        }
+        for &(depth, key) in keys_at.iter().rev() {
+            if let Some(hit) = self.checkpoints.get_mut(&(scenario_key.to_string(), key)) {
+                hit.epoch = now;
+                return (
+                    exact,
+                    Probe::Incremental {
+                        checkpoint: Arc::clone(&hit.cp),
+                        depth,
+                    },
+                );
+            }
+        }
+        (exact, Probe::Miss)
+    }
+
+    /// Stores the checkpoints of a cold run of `schedule`, each keyed
+    /// by the prefix it bakes in. Checkpoints whose message mark
+    /// exceeds the schedule's recorded horizon are skipped: past the
+    /// horizon the oracle was in fallback territory, and a different
+    /// submitted schedule extending the same prefix could legitimately
+    /// diverge there.
+    pub fn insert_checkpoints(
+        &mut self,
+        scenario_key: &str,
+        schedule: &Schedule,
+        cps: &[Checkpoint<P>],
+    ) {
+        let now = self.tick();
+        let mut hasher = PrefixHasher::new(schedule);
+        let mut absorbed: u64 = 0;
+        for cp in cps {
+            let mark = cp.messages();
+            if mark > schedule.len() as u64 {
+                break;
+            }
+            while absorbed < mark {
+                hasher.absorb(&schedule.decisions[absorbed as usize]);
+                absorbed += 1;
+            }
+            let key = (scenario_key.to_string(), hasher.key());
+            self.checkpoints.insert(
+                key,
+                StoredCheckpoint {
+                    cp: Arc::new(cp.clone()),
+                    epoch: now,
+                },
+            );
+            let marks = self.marks.entry(scenario_key.to_string()).or_default();
+            if let Err(ix) = marks.binary_search(&mark) {
+                marks.insert(ix, mark);
+            }
+        }
+        self.evict_checkpoints();
+    }
+
+    /// Stores an exact schedule result.
+    pub fn insert_schedule_result(
+        &mut self,
+        scenario_key: &str,
+        schedule: &Schedule,
+        result: StoredResult,
+    ) {
+        let hash = Self::exact_schedule_hash(schedule);
+        self.insert_exact(scenario_key, hash, result);
+    }
+
+    /// Looks up an exact (non-schedule) result by its canonical
+    /// mode-key hash.
+    pub fn get_exact(&mut self, scenario_key: &str, hash: u64) -> Option<StoredResult> {
+        let now = self.tick();
+        let hit = self.results.get_mut(&(scenario_key.to_string(), hash))?;
+        hit.epoch = now;
+        Some(hit.result.clone())
+    }
+
+    /// Stores an exact (non-schedule) result under a mode-key hash.
+    pub fn insert_exact(&mut self, scenario_key: &str, hash: u64, result: StoredResult) {
+        let now = self.tick();
+        self.results.insert(
+            (scenario_key.to_string(), hash),
+            StoredExact { result, epoch: now },
+        );
+        while self.results.len() > self.caps.results {
+            let victim = self
+                .results
+                .iter()
+                .min_by_key(|(_, v)| v.epoch)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty over cap");
+            self.results.remove(&victim);
+            self.evictions += 1;
+        }
+    }
+
+    fn evict_checkpoints(&mut self) {
+        while self.checkpoints.len() > self.caps.checkpoints {
+            let victim = self
+                .checkpoints
+                .iter()
+                .min_by_key(|(_, v)| v.epoch)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty over cap");
+            let evicted = self.checkpoints.remove(&victim).expect("victim exists");
+            self.evictions += 1;
+            // Drop the mark only when no other schedule's checkpoint at
+            // the same depth survives for this scenario key.
+            let mark = evicted.cp.messages();
+            let still_used = self
+                .checkpoints
+                .iter()
+                .any(|((k, _), v)| *k == victim.0 && v.cp.messages() == mark);
+            if !still_used {
+                if let Some(marks) = self.marks.get_mut(&victim.0) {
+                    if let Ok(ix) = marks.binary_search(&mark) {
+                        marks.remove(ix);
+                    }
+                    if marks.is_empty() {
+                        self.marks.remove(&victim.0);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// FNV-1a over a string — used for mode keys and state digests.
+pub fn fnv1a(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_adversary::ScheduleOracle;
+    use csp_algo::flood::Flood;
+    use csp_graph::generators::{self, WeightDist};
+    use csp_graph::NodeId;
+    use csp_sim::{DelayModel, ModelOracle, Simulator};
+
+    fn recorded_schedule(seed: u64) -> (csp_graph::WeightedGraph, Schedule) {
+        let g = generators::connected_gnp(10, 0.4, WeightDist::Uniform(1, 9), seed);
+        let (_, s) = csp_adversary::record(
+            &g,
+            |v, _| Flood::new(v == NodeId::new(0)),
+            ModelOracle::new(DelayModel::Uniform, seed),
+            csp_adversary::Fallback::WorstCase,
+        );
+        (g, s)
+    }
+
+    #[test]
+    fn probe_finds_deepest_shared_prefix() {
+        let (g, schedule) = recorded_schedule(3);
+        let mut cache: StackCache<Flood> = StackCache::new(CacheCaps::default());
+        let key = "g/s";
+
+        let mut cps = Vec::new();
+        let sim = Simulator::new(&g);
+        let cold = sim
+            .run_with_checkpoints(
+                &mut ScheduleOracle::new(&schedule),
+                |v, _| Flood::new(v == NodeId::new(0)),
+                5,
+                &mut cps,
+            )
+            .unwrap();
+        assert!(cps.len() >= 2, "need several checkpoints for the test");
+        cache.insert_checkpoints(key, &schedule, &cps);
+
+        // A tail-mutated schedule shares every checkpointed prefix —
+        // probe must return the deepest stored one.
+        let mut tweaked = schedule.clone();
+        let last = tweaked.decisions.len() - 1;
+        tweaked.decisions[last].delay = tweaked.decisions[last].weight.max(1);
+        let (exact, probe) = cache.probe(key, &tweaked);
+        assert_eq!(exact, StackCache::<Flood>::exact_schedule_hash(&tweaked));
+        match probe {
+            Probe::Incremental { checkpoint, depth } => {
+                let deepest = cps
+                    .iter()
+                    .map(|c| c.messages())
+                    .filter(|&m| m <= last as u64)
+                    .max()
+                    .unwrap();
+                assert_eq!(depth, deepest);
+                assert_eq!(checkpoint.messages(), deepest);
+                // And the resume reproduces the cold run of `tweaked`
+                // exactly when the tails agree (here: tail of 1).
+                let resumed = sim
+                    .resume(&checkpoint, &mut ScheduleOracle::new(&tweaked))
+                    .unwrap();
+                let cold_tweaked = Simulator::new(&g)
+                    .run_with_oracle(&mut ScheduleOracle::new(&tweaked), |v, _| {
+                        Flood::new(v == NodeId::new(0))
+                    })
+                    .unwrap();
+                assert_eq!(resumed.cost, cold_tweaked.cost);
+            }
+            other => panic!("expected incremental, got {other:?}"),
+        }
+
+        // A schedule that diverges at decision 0 misses entirely
+        // (unless a mark-0 checkpoint exists, which `every=5` avoids).
+        let mut diverged = schedule.clone();
+        diverged.decisions[0].delay = if diverged.decisions[0].delay == 1 {
+            diverged.decisions[0].weight
+        } else {
+            1
+        };
+        assert!(matches!(cache.probe(key, &diverged).1, Probe::Miss));
+        // Different crash set: miss, even with identical decisions.
+        let mut crashed = schedule.clone();
+        crashed.crashes.push(csp_adversary::Crash {
+            node: NodeId::new(1),
+            at: 4,
+        });
+        assert!(matches!(cache.probe(key, &crashed).1, Probe::Miss));
+        // Wrong scenario key: miss.
+        assert!(matches!(cache.probe("other/s", &tweaked).1, Probe::Miss));
+
+        // Exact result round-trip.
+        cache.insert_schedule_result(
+            key,
+            &schedule,
+            StoredResult {
+                report: cold.cost.clone(),
+                states_digest: fnv1a(&format!("{:?}", cold.states)),
+                schedule_text: None,
+                worst_case: None,
+            },
+        );
+        match cache.probe(key, &schedule).1 {
+            Probe::Full(hit) => assert_eq!(hit.report, cold.cost),
+            other => panic!("expected full hit, got {other:?}"),
+        }
+        // Same decisions, different fallback: not the same exact result.
+        let mut refit = schedule.clone();
+        refit.fallback = csp_adversary::Fallback::Rush;
+        assert!(!matches!(cache.probe(key, &refit).1, Probe::Full(_)));
+    }
+
+    #[test]
+    fn eviction_keeps_caps_and_counts() {
+        let (_, schedule) = recorded_schedule(9);
+        let mut cache: StackCache<Flood> = StackCache::new(CacheCaps {
+            checkpoints: 4,
+            results: 2,
+        });
+        // Results: insert 5 under distinct hashes, cap 2 holds.
+        for i in 0..5u64 {
+            cache.insert_exact(
+                "k",
+                i,
+                StoredResult {
+                    report: CostReport::new(0),
+                    states_digest: 0,
+                    schedule_text: None,
+                    worst_case: None,
+                },
+            );
+        }
+        assert_eq!(cache.len().1, 2);
+        assert!(cache.evictions() >= 3);
+        // The most recent insert must have survived LRU.
+        assert!(cache.get_exact("k", 4).is_some());
+        assert!(cache.get_exact("k", 0).is_none());
+        let _ = schedule;
+    }
+}

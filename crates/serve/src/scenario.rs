@@ -1,0 +1,494 @@
+//! Scenario submissions: what a client asks the service to evaluate.
+//!
+//! A scenario names a **graph** (by generator family and parameters —
+//! graphs are deterministic given the spec, so the spec *is* the
+//! graph), a **protocol stack**, a **run mode** (replay a fault
+//! schedule, run a delay model, or search for a worst-case schedule)
+//! and optionally a **bound** to check the outcome against.
+//!
+//! Graph and stack specs canonicalise to key strings
+//! ([`GraphSpec::key`], [`StackSpec::key`]); together with
+//! `csp-adversary`'s schedule prefix hashes these form the cache keys
+//! the service's prefix-sharing layer is built on.
+
+use crate::json::Json;
+use csp_adversary::Schedule;
+use csp_graph::generators::{self, WeightDist};
+use csp_graph::{NodeId, WeightedGraph};
+use csp_sim::DelayModel;
+use std::fmt;
+
+/// A graph named by its generator parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphSpec {
+    /// Connected G(n, p) with uniform weights in `[w_min, w_max]`.
+    Gnp {
+        /// Vertex count.
+        n: usize,
+        /// Edge probability.
+        p: f64,
+        /// Minimum edge weight.
+        w_min: u64,
+        /// Maximum edge weight.
+        w_max: u64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// A cycle with constant weight.
+    Cycle {
+        /// Vertex count.
+        n: usize,
+        /// Every edge's weight.
+        w: u64,
+    },
+    /// A path with constant weight.
+    Path {
+        /// Vertex count.
+        n: usize,
+        /// Every edge's weight.
+        w: u64,
+    },
+    /// Dense unit-weight clusters joined by heavy bridges.
+    Cluster {
+        /// Number of clusters.
+        clusters: usize,
+        /// Vertices per cluster.
+        size: usize,
+        /// Bridge weight.
+        heavy: u64,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+impl GraphSpec {
+    /// Canonical cache-key string: distinct specs map to distinct keys
+    /// and equal specs always render identically.
+    pub fn key(&self) -> String {
+        match self {
+            GraphSpec::Gnp {
+                n,
+                p,
+                w_min,
+                w_max,
+                seed,
+            } => format!("gnp:n={n}:p={p}:w={w_min}-{w_max}:seed={seed}"),
+            GraphSpec::Cycle { n, w } => format!("cycle:n={n}:w={w}"),
+            GraphSpec::Path { n, w } => format!("path:n={n}:w={w}"),
+            GraphSpec::Cluster {
+                clusters,
+                size,
+                heavy,
+                seed,
+            } => format!("cluster:k={clusters}:size={size}:heavy={heavy}:seed={seed}"),
+        }
+    }
+
+    /// Materializes the graph (deterministic given the spec).
+    pub fn build(&self) -> WeightedGraph {
+        match *self {
+            GraphSpec::Gnp {
+                n,
+                p,
+                w_min,
+                w_max,
+                seed,
+            } => generators::connected_gnp(n, p, WeightDist::Uniform(w_min, w_max), seed),
+            GraphSpec::Cycle { n, w } => generators::cycle(n, |_| w),
+            GraphSpec::Path { n, w } => generators::path(n, |_| w),
+            GraphSpec::Cluster {
+                clusters,
+                size,
+                heavy,
+                seed,
+            } => generators::cluster_graph(clusters, size, heavy, seed),
+        }
+    }
+
+    /// Parses the `"graph"` member of a submission.
+    pub fn from_json(v: &Json) -> Result<GraphSpec, SpecError> {
+        let family = req_str(v, "family")?;
+        let spec = match family {
+            "gnp" => GraphSpec::Gnp {
+                n: req_u64(v, "n")? as usize,
+                p: v.get("p")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| SpecError::new("graph.p must be a number"))?,
+                w_min: opt_u64(v, "w_min", 1)?,
+                w_max: opt_u64(v, "w_max", 9)?,
+                seed: opt_u64(v, "seed", 0)?,
+            },
+            "cycle" => GraphSpec::Cycle {
+                n: req_u64(v, "n")? as usize,
+                w: opt_u64(v, "w", 1)?,
+            },
+            "path" => GraphSpec::Path {
+                n: req_u64(v, "n")? as usize,
+                w: opt_u64(v, "w", 1)?,
+            },
+            "cluster" => GraphSpec::Cluster {
+                clusters: req_u64(v, "clusters")? as usize,
+                size: req_u64(v, "size")? as usize,
+                heavy: opt_u64(v, "heavy", 16)?,
+                seed: opt_u64(v, "seed", 0)?,
+            },
+            other => {
+                return Err(SpecError::new(&format!(
+                    "unknown graph family {other:?} (gnp, cycle, path, cluster)"
+                )))
+            }
+        };
+        let n = match spec {
+            GraphSpec::Gnp { n, .. } | GraphSpec::Cycle { n, .. } | GraphSpec::Path { n, .. } => n,
+            GraphSpec::Cluster { clusters, size, .. } => clusters * size,
+        };
+        if n < 2 {
+            return Err(SpecError::new("graph needs at least 2 vertices"));
+        }
+        if n > MAX_NODES {
+            return Err(SpecError::new(&format!(
+                "graph too large for the service tier (n={n} > {MAX_NODES})"
+            )));
+        }
+        Ok(spec)
+    }
+}
+
+/// Upper bound on submitted graph sizes: the service is an interactive
+/// tier, and a hostile or fat-fingered `n` must not wedge every worker.
+pub const MAX_NODES: usize = 100_000;
+
+/// The protocol stack a scenario runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StackSpec {
+    /// Broadcast flood from `root`.
+    Flood {
+        /// The initiating vertex.
+        root: usize,
+    },
+    /// Recursive-doubling SPT from `root` with strip parameter `delta`.
+    SptRecur {
+        /// The source vertex.
+        root: usize,
+        /// Strip width Δ (`0` means one strip covering everything).
+        delta: u64,
+    },
+}
+
+impl StackSpec {
+    /// Canonical cache-key string.
+    pub fn key(&self) -> String {
+        match self {
+            StackSpec::Flood { root } => format!("flood:root={root}"),
+            StackSpec::SptRecur { root, delta } => format!("spt_recur:root={root}:delta={delta}"),
+        }
+    }
+
+    /// The stack's root/source vertex.
+    pub fn root(&self) -> NodeId {
+        match self {
+            StackSpec::Flood { root } | StackSpec::SptRecur { root, .. } => NodeId::new(*root),
+        }
+    }
+
+    /// Parses the `"stack"` member of a submission.
+    pub fn from_json(v: &Json) -> Result<StackSpec, SpecError> {
+        let protocol = req_str(v, "protocol")?;
+        match protocol {
+            "flood" => Ok(StackSpec::Flood {
+                root: opt_u64(v, "root", 0)? as usize,
+            }),
+            "spt_recur" => Ok(StackSpec::SptRecur {
+                root: opt_u64(v, "root", 0)? as usize,
+                delta: opt_u64(v, "delta", 0)?,
+            }),
+            other => Err(SpecError::new(&format!(
+                "unknown protocol {other:?} (flood, spt_recur)"
+            ))),
+        }
+    }
+}
+
+/// How the scenario's link behaviour is determined.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunMode {
+    /// Replay a recorded fault schedule (the schedule's text format,
+    /// embedded as a JSON string).
+    Schedule(Schedule),
+    /// Run a delay model with a seed — deterministic, so cacheable by
+    /// `(model, seed)`.
+    Model {
+        /// The delay model.
+        delay: DelayModel,
+        /// Model seed (ignored by deterministic models).
+        seed: u64,
+    },
+    /// Search for a worst-case schedule within a budget.
+    Search {
+        /// Hill-climbing rounds (`0` means the search default).
+        budget: usize,
+        /// Master search seed.
+        seed: u64,
+    },
+}
+
+impl RunMode {
+    /// Parses the `"run"` member of a submission.
+    pub fn from_json(v: &Json) -> Result<RunMode, SpecError> {
+        match req_str(v, "mode")? {
+            "schedule" => {
+                let text = req_str(v, "schedule")?;
+                let schedule = Schedule::from_text(text)
+                    .map_err(|e| SpecError::new(&format!("bad schedule: {e}")))?;
+                Ok(RunMode::Schedule(schedule))
+            }
+            "model" => {
+                let delay = match opt_str(v, "delay", "worst-case")? {
+                    "worst-case" => DelayModel::WorstCase,
+                    "eager" => DelayModel::Eager,
+                    "uniform" => DelayModel::Uniform,
+                    other => {
+                        return Err(SpecError::new(&format!(
+                            "unknown delay model {other:?} (worst-case, eager, uniform)"
+                        )))
+                    }
+                };
+                Ok(RunMode::Model {
+                    delay,
+                    seed: opt_u64(v, "seed", 0)?,
+                })
+            }
+            "search" => Ok(RunMode::Search {
+                budget: opt_u64(v, "budget", 0)? as usize,
+                seed: opt_u64(v, "seed", 0)?,
+            }),
+            other => Err(SpecError::new(&format!(
+                "unknown run mode {other:?} (schedule, model, search)"
+            ))),
+        }
+    }
+
+    /// Canonical key suffix for modes cacheable as exact results.
+    pub fn exact_key(&self) -> Option<String> {
+        match self {
+            // Schedules are keyed by prefix hash, not by this path.
+            RunMode::Schedule(_) => None,
+            RunMode::Model { delay, seed } => {
+                let name = match delay {
+                    DelayModel::WorstCase => "worst-case".to_string(),
+                    DelayModel::Eager => "eager".to_string(),
+                    DelayModel::Uniform => "uniform".to_string(),
+                    // Not reachable from the wire (the parser only
+                    // accepts the three names above), but programmatic
+                    // scenarios may carry it.
+                    DelayModel::Proportional { num, den } => format!("proportional:{num}/{den}"),
+                };
+                Some(format!("model:{name}:seed={seed}"))
+            }
+            RunMode::Search { budget, seed } => Some(format!("search:budget={budget}:seed={seed}")),
+        }
+    }
+}
+
+/// An optional bound the result is checked against.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Bound {
+    /// Maximum admissible completion time.
+    pub time: Option<u64>,
+    /// Maximum admissible weighted communication.
+    pub comm: Option<u64>,
+}
+
+impl Bound {
+    /// Parses the optional `"bound"` member of a submission.
+    pub fn from_json(v: Option<&Json>) -> Result<Bound, SpecError> {
+        let Some(v) = v else {
+            return Ok(Bound::default());
+        };
+        Ok(Bound {
+            time: v.get("time").map(|t| t.as_u64()).map_or(Ok(None), |t| {
+                t.map(Some)
+                    .ok_or_else(|| SpecError::new("bound.time must be a non-negative integer"))
+            })?,
+            comm: v.get("comm").map(|c| c.as_u64()).map_or(Ok(None), |c| {
+                c.map(Some)
+                    .ok_or_else(|| SpecError::new("bound.comm must be a non-negative integer"))
+            })?,
+        })
+    }
+}
+
+/// One fully parsed scenario submission.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Client-chosen request id, echoed on the response.
+    pub id: String,
+    /// The graph to run on.
+    pub graph: GraphSpec,
+    /// The protocol stack.
+    pub stack: StackSpec,
+    /// Link behaviour.
+    pub run: RunMode,
+    /// Optional bound to check.
+    pub bound: Bound,
+}
+
+impl Scenario {
+    /// Parses one `submit` object.
+    pub fn from_json(v: &Json) -> Result<Scenario, SpecError> {
+        let graph = GraphSpec::from_json(
+            v.get("graph")
+                .ok_or_else(|| SpecError::new("missing \"graph\""))?,
+        )?;
+        let stack = StackSpec::from_json(
+            v.get("stack")
+                .ok_or_else(|| SpecError::new("missing \"stack\""))?,
+        )?;
+        let run = RunMode::from_json(
+            v.get("run")
+                .ok_or_else(|| SpecError::new("missing \"run\""))?,
+        )?;
+        let scenario = Scenario {
+            id: opt_str(v, "id", "")?.to_string(),
+            graph,
+            stack,
+            run,
+            bound: Bound::from_json(v.get("bound"))?,
+        };
+        // The root must exist in the spec'd graph; checking here keeps
+        // worker code panic-free on hostile input.
+        let n = match scenario.graph {
+            GraphSpec::Gnp { n, .. } | GraphSpec::Cycle { n, .. } | GraphSpec::Path { n, .. } => n,
+            GraphSpec::Cluster { clusters, size, .. } => clusters * size,
+        };
+        if scenario.stack.root().index() >= n {
+            return Err(SpecError::new(&format!(
+                "stack root {} out of range for a {n}-vertex graph",
+                scenario.stack.root().index()
+            )));
+        }
+        Ok(scenario)
+    }
+}
+
+/// A rejected submission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError {
+    /// Human-readable cause, returned verbatim on the error response.
+    pub msg: String,
+}
+
+impl SpecError {
+    pub(crate) fn new(msg: &str) -> SpecError {
+        SpecError {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn req_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, SpecError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| SpecError::new(&format!("missing or non-string \"{key}\"")))
+}
+
+fn opt_str<'a>(v: &'a Json, key: &str, default: &'static str) -> Result<&'a str, SpecError> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(s) => s
+            .as_str()
+            .ok_or_else(|| SpecError::new(&format!("\"{key}\" must be a string"))),
+    }
+}
+
+fn req_u64(v: &Json, key: &str) -> Result<u64, SpecError> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| SpecError::new(&format!("missing or non-integer \"{key}\"")))
+}
+
+fn opt_u64(v: &Json, key: &str, default: u64) -> Result<u64, SpecError> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(n) => n
+            .as_u64()
+            .ok_or_else(|| SpecError::new(&format!("\"{key}\" must be a non-negative integer"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(doc: &str) -> Json {
+        Json::parse(doc).unwrap()
+    }
+
+    #[test]
+    fn graph_keys_are_canonical_and_buildable() {
+        let v = parse(r#"{"family":"gnp","n":10,"p":0.3,"seed":7}"#);
+        let spec = GraphSpec::from_json(&v).unwrap();
+        assert_eq!(spec.key(), "gnp:n=10:p=0.3:w=1-9:seed=7");
+        let g = spec.build();
+        assert_eq!(g.node_count(), 10);
+        // Same spec, differently-ordered JSON → same key.
+        let v2 = parse(r#"{"seed":7,"p":0.3,"n":10,"family":"gnp"}"#);
+        assert_eq!(GraphSpec::from_json(&v2).unwrap().key(), spec.key());
+    }
+
+    #[test]
+    fn stack_and_mode_parse() {
+        let s =
+            StackSpec::from_json(&parse(r#"{"protocol":"spt_recur","root":2,"delta":8}"#)).unwrap();
+        assert_eq!(s.key(), "spt_recur:root=2:delta=8");
+        let m = RunMode::from_json(&parse(r#"{"mode":"model","delay":"eager"}"#)).unwrap();
+        assert_eq!(m.exact_key().as_deref(), Some("model:eager:seed=0"));
+        let m = RunMode::from_json(&parse(
+            r#"{"mode":"schedule","schedule":"csp-adversary-schedule v1\nfallback rush\n"}"#,
+        ))
+        .unwrap();
+        assert!(matches!(m, RunMode::Schedule(s) if s.is_empty()));
+    }
+
+    #[test]
+    fn hostile_submissions_are_rejected_not_panicked() {
+        for bad in [
+            r#"{"graph":{"family":"torus"},"stack":{"protocol":"flood"},"run":{"mode":"model"}}"#,
+            r#"{"graph":{"family":"gnp","n":1,"p":0.5},"stack":{"protocol":"flood"},"run":{"mode":"model"}}"#,
+            r#"{"graph":{"family":"gnp","n":200000,"p":0.5},"stack":{"protocol":"flood"},"run":{"mode":"model"}}"#,
+            r#"{"graph":{"family":"path","n":4},"stack":{"protocol":"flood","root":9},"run":{"mode":"model"}}"#,
+            r#"{"graph":{"family":"path","n":4},"stack":{"protocol":"flood"},"run":{"mode":"schedule","schedule":"garbage"}}"#,
+            r#"{"graph":{"family":"path","n":4},"stack":{"protocol":"flood"},"run":{"mode":"model"},"bound":{"time":-3}}"#,
+        ] {
+            assert!(
+                Scenario::from_json(&parse(bad)).is_err(),
+                "{bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn minimal_submission_defaults() {
+        let v = parse(
+            r#"{"id":"a","graph":{"family":"path","n":4},"stack":{"protocol":"flood"},"run":{"mode":"model"}}"#,
+        );
+        let s = Scenario::from_json(&v).unwrap();
+        assert_eq!(s.id, "a");
+        assert_eq!(s.bound, Bound::default());
+        assert!(matches!(
+            s.run,
+            RunMode::Model {
+                delay: DelayModel::WorstCase,
+                seed: 0
+            }
+        ));
+    }
+}

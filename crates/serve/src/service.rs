@@ -1,0 +1,850 @@
+//! The service engine: request handling, batch scheduling, cache
+//! integration.
+//!
+//! Requests flow **queue → scheduler → cache → workers**:
+//!
+//! 1. A batch of parsed [`Scenario`]s is partitioned by protocol stack
+//!    (the cache is typed per stack).
+//! 2. On the service thread, each scenario probes its
+//!    [`StackCache`]: FULL hits are answered immediately, INCREMENTAL
+//!    hits clone the deepest matching checkpoint into the job, misses
+//!    stay cold.
+//! 3. Remaining jobs fan out over [`csp_sim::sweep::par_map_with`] —
+//!    the same order-preserving worker pool the sweep driver uses — and
+//!    run replay / resume / model / search work.
+//! 4. Back on the service thread, fresh checkpoints and results are
+//!    folded into the cache and metrics, and responses are emitted in
+//!    submission order.
+//!
+//! The cache layer never crosses a thread: workers only see cloned
+//! checkpoints, which keeps the engine lock-free.
+
+use crate::cache::{fnv1a, CacheCaps, Probe, StackCache, StoredResult};
+use crate::json::Json;
+use crate::metrics::{CacheOutcome, ServeMetrics};
+use crate::scenario::{Bound, RunMode, Scenario, StackSpec};
+use csp_adversary::{Fallback, Recorder, Schedule, ScheduleOracle, SearchConfig};
+use csp_algo::flood::Flood;
+use csp_algo::spt::recur::SptRecur;
+use csp_graph::{NodeId, WeightedGraph};
+use csp_sim::sweep::{effective_threads, par_map_with};
+use csp_sim::{Checkpoint, CostReport, DelayModel, ModelOracle, Process, Run, Simulator, Trace};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Service construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads (`0` = one per core, capped at the machine).
+    pub threads: usize,
+    /// Message interval between stored checkpoints on cold runs.
+    pub checkpoint_every: u64,
+    /// Whether the prefix-sharing cache is active. Off, every scenario
+    /// runs cold — the baseline `serve_bench` measures against.
+    pub cache: bool,
+    /// Cache capacity limits.
+    pub caps: CacheCaps,
+    /// Trace events recorded per run (`0` records nothing). Traces are
+    /// digested into responses, so differential consumers can pin
+    /// cold ≡ incremental trace identity through the protocol.
+    pub trace_cap: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            threads: 0,
+            checkpoint_every: 16,
+            cache: true,
+            caps: CacheCaps::default(),
+            trace_cap: 0,
+        }
+    }
+}
+
+/// A protocol stack the service can host: constructible per vertex from
+/// its [`StackSpec`], and shippable to worker threads.
+pub trait ServeStack: Process + Clone + Send + Sync + std::hash::Hash
+where
+    Self::Msg: Clone + Send + Sync,
+{
+    /// Builds the per-vertex process for `spec`.
+    fn make(spec: StackSpec, v: NodeId, g: &WeightedGraph) -> Self;
+}
+
+impl ServeStack for Flood {
+    fn make(spec: StackSpec, v: NodeId, _: &WeightedGraph) -> Flood {
+        Flood::new(v == spec.root())
+    }
+}
+
+impl ServeStack for SptRecur {
+    fn make(spec: StackSpec, v: NodeId, _: &WeightedGraph) -> SptRecur {
+        let delta = match spec {
+            StackSpec::SptRecur { delta, .. } if delta > 0 => delta,
+            // 0 = "one strip": effectively unbounded Δ.
+            _ => 1 << 40,
+        };
+        SptRecur::new(v, spec.root(), delta)
+    }
+}
+
+/// The long-running scenario-evaluation service.
+pub struct Service {
+    cfg: ServiceConfig,
+    threads: usize,
+    graphs: HashMap<String, WeightedGraph>,
+    flood_cache: StackCache<Flood>,
+    spt_cache: StackCache<SptRecur>,
+    /// Aggregated counters, exported by `stats` and the metrics stream.
+    pub metrics: ServeMetrics,
+}
+
+/// One scheduled unit of work, after cache probing.
+struct Job<'g, P: Process> {
+    ix: usize,
+    graph: &'g WeightedGraph,
+    spec: StackSpec,
+    queued: Instant,
+    work: Work<P>,
+}
+
+enum Work<P: Process> {
+    Replay {
+        schedule: Schedule,
+        resume: Option<Arc<Checkpoint<P>>>,
+        depth: u64,
+        /// Precomputed exact-result hash of the submitted schedule
+        /// (None with the cache off — nothing will be stored).
+        exact: Option<u64>,
+    },
+    Model {
+        delay: DelayModel,
+        seed: u64,
+        exact: u64,
+    },
+    Search {
+        budget: usize,
+        seed: u64,
+        exact: u64,
+    },
+}
+
+/// What a worker hands back to the service thread.
+struct JobOut<P: Process> {
+    ix: usize,
+    worker: usize,
+    exec: Duration,
+    queue_wait: Duration,
+    outcome: CacheOutcome,
+    depth: u64,
+    result: Result<RunOut<P>, String>,
+    /// Mode key this result should also be stored under (model/search).
+    exact: Option<u64>,
+}
+
+struct RunOut<P: Process> {
+    report: CostReport,
+    states_digest: u64,
+    trace_digest: u64,
+    /// Checkpoints produced by a cold run, to be cached keyed by
+    /// `cache_schedule`.
+    checkpoints: Vec<Checkpoint<P>>,
+    /// The schedule that deterministically describes the run (submitted
+    /// for replays, recorded for model runs, found for searches).
+    cache_schedule: Option<Schedule>,
+    /// Search extras.
+    worst_case: Option<u64>,
+    schedule_text: Option<String>,
+}
+
+impl Service {
+    /// Creates a service with the given configuration.
+    pub fn new(cfg: ServiceConfig) -> Service {
+        let threads = effective_threads(cfg.threads);
+        Service {
+            cfg,
+            threads,
+            graphs: HashMap::new(),
+            flood_cache: StackCache::new(cfg.caps),
+            spt_cache: StackCache::new(cfg.caps),
+            metrics: ServeMetrics::new(threads),
+        }
+    }
+
+    /// Worker threads the pool runs with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Handles one JSON-lines request, returning the responses to
+    /// write (one per line). `shutdown` is the caller's concern — the
+    /// engine is transport-agnostic.
+    pub fn handle(&mut self, request: &Json) -> Vec<Json> {
+        match request.get("type").and_then(Json::as_str) {
+            Some("submit") => {
+                let id = request
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string();
+                match Scenario::from_json(request) {
+                    Ok(s) => self.process_batch(vec![s]),
+                    Err(e) => {
+                        self.metrics.rejected += 1;
+                        vec![error_response(&id, &e.msg)]
+                    }
+                }
+            }
+            Some("batch") => {
+                let Some(items) = request.get("scenarios").and_then(Json::as_arr) else {
+                    self.metrics.rejected += 1;
+                    return vec![error_response("", "batch needs a \"scenarios\" array")];
+                };
+                let mut scenarios = Vec::new();
+                let mut responses: Vec<Option<Json>> = Vec::new();
+                for item in items {
+                    match Scenario::from_json(item) {
+                        Ok(s) => {
+                            scenarios.push((responses.len(), s));
+                            responses.push(None);
+                        }
+                        Err(e) => {
+                            self.metrics.rejected += 1;
+                            let id = item.get("id").and_then(Json::as_str).unwrap_or_default();
+                            responses.push(Some(error_response(id, &e.msg)));
+                        }
+                    }
+                }
+                let ok: Vec<Scenario> = scenarios.iter().map(|(_, s)| s.clone()).collect();
+                let answered = self.process_batch(ok);
+                for ((slot, _), resp) in scenarios.into_iter().zip(answered) {
+                    responses[slot] = Some(resp);
+                }
+                responses.into_iter().flatten().collect()
+            }
+            Some("stats") => {
+                let id = request.get("id").and_then(Json::as_str).unwrap_or_default();
+                vec![Json::obj(vec![
+                    ("type", Json::str("stats")),
+                    ("id", Json::str(id)),
+                    ("stats", self.metrics.to_json()),
+                ])]
+            }
+            Some(other) => {
+                self.metrics.rejected += 1;
+                vec![error_response(
+                    "",
+                    &format!("unknown request type {other:?} (submit, batch, stats, shutdown)"),
+                )]
+            }
+            None => {
+                self.metrics.rejected += 1;
+                vec![error_response("", "request needs a string \"type\"")]
+            }
+        }
+    }
+
+    /// Evaluates a batch of parsed scenarios, returning one response
+    /// per scenario in submission order.
+    pub fn process_batch(&mut self, scenarios: Vec<Scenario>) -> Vec<Json> {
+        self.metrics.batches += 1;
+        self.metrics.submitted += scenarios.len() as u64;
+        let queued = Instant::now();
+
+        // Materialize every referenced graph first, so jobs can borrow
+        // the store immutably for the whole parallel phase.
+        for s in &scenarios {
+            self.graphs
+                .entry(s.graph.key())
+                .or_insert_with(|| s.graph.build());
+        }
+
+        let mut responses: Vec<Option<Json>> = vec![None; scenarios.len()];
+
+        // Partition by stack type; each partition runs through the
+        // typed pipeline. Order within `responses` preserves submission
+        // order regardless of partitioning.
+        let mut flood_jobs: Vec<(usize, Scenario)> = Vec::new();
+        let mut spt_jobs: Vec<(usize, Scenario)> = Vec::new();
+        for (ix, s) in scenarios.into_iter().enumerate() {
+            match s.stack {
+                StackSpec::Flood { .. } => flood_jobs.push((ix, s)),
+                StackSpec::SptRecur { .. } => spt_jobs.push((ix, s)),
+            }
+        }
+
+        // The typed pipelines need simultaneous access to the graph
+        // store (shared) and one cache (exclusive) — split the borrows
+        // field by field.
+        let Service {
+            cfg,
+            threads,
+            graphs,
+            flood_cache,
+            spt_cache,
+            metrics,
+        } = self;
+        run_stack_jobs(
+            *cfg,
+            *threads,
+            graphs,
+            flood_cache,
+            metrics,
+            flood_jobs,
+            queued,
+            &mut responses,
+        );
+        run_stack_jobs(
+            *cfg,
+            *threads,
+            graphs,
+            spt_cache,
+            metrics,
+            spt_jobs,
+            queued,
+            &mut responses,
+        );
+
+        let (fc, fr) = self.flood_cache.len();
+        let (sc, sr) = self.spt_cache.len();
+        self.metrics.checkpoints_stored = (fc + sc) as u64;
+        self.metrics.results_stored = (fr + sr) as u64;
+        self.metrics.evictions = self.flood_cache.evictions() + self.spt_cache.evictions();
+
+        responses
+            .into_iter()
+            .map(|r| r.expect("every scenario answered"))
+            .collect()
+    }
+}
+
+/// Probes the cache, fans misses/resumes out to the worker pool, folds
+/// results back into cache + metrics, and writes responses.
+#[allow(clippy::too_many_arguments)]
+fn run_stack_jobs<P: ServeStack>(
+    cfg: ServiceConfig,
+    threads: usize,
+    graphs: &HashMap<String, WeightedGraph>,
+    cache: &mut StackCache<P>,
+    metrics: &mut ServeMetrics,
+    scenarios: Vec<(usize, Scenario)>,
+    queued: Instant,
+    responses: &mut [Option<Json>],
+) where
+    P::Msg: Clone + Send + Sync,
+{
+    if scenarios.is_empty() {
+        return;
+    }
+    let mut jobs: Vec<Job<'_, P>> = Vec::new();
+    let mut ids: HashMap<usize, (String, Bound, String)> = HashMap::new();
+
+    for (ix, s) in scenarios {
+        let graph = graphs.get(&s.graph.key()).expect("graph materialized");
+        let scenario_key = format!("{}/{}", s.graph.key(), s.stack.key());
+        ids.insert(ix, (s.id.clone(), s.bound, scenario_key.clone()));
+        let exact_hash = s
+            .run
+            .exact_key()
+            .map(|suffix| fnv1a(&format!("{scenario_key}#{suffix}")));
+        let work = match s.run {
+            RunMode::Schedule(schedule) => {
+                if cfg.cache {
+                    // The probe's single O(len) pass also yields the
+                    // exact hash reused at result-insertion time.
+                    let (sched_exact, probe) = cache.probe(&scenario_key, &schedule);
+                    match probe {
+                        Probe::Full(stored) => {
+                            metrics.cache_full_hits += 1;
+                            responses[ix] = Some(result_response(
+                                &s.id,
+                                CacheOutcome::Full,
+                                0,
+                                &stored.report,
+                                stored.states_digest,
+                                None,
+                                s.bound,
+                                Duration::ZERO,
+                                queued.elapsed(),
+                                stored.worst_case,
+                                stored.schedule_text.as_deref(),
+                            ));
+                            continue;
+                        }
+                        Probe::Incremental { checkpoint, depth } => Work::Replay {
+                            schedule,
+                            resume: Some(checkpoint),
+                            depth,
+                            exact: Some(sched_exact),
+                        },
+                        Probe::Miss => Work::Replay {
+                            schedule,
+                            resume: None,
+                            depth: 0,
+                            exact: Some(sched_exact),
+                        },
+                    }
+                } else {
+                    Work::Replay {
+                        schedule,
+                        resume: None,
+                        depth: 0,
+                        exact: None,
+                    }
+                }
+            }
+            RunMode::Model { delay, seed } => {
+                let exact = exact_hash.expect("model mode is exact");
+                if cfg.cache {
+                    if let Some(stored) = cache.get_exact(&scenario_key, exact) {
+                        metrics.cache_full_hits += 1;
+                        responses[ix] = Some(result_response(
+                            &s.id,
+                            CacheOutcome::Full,
+                            0,
+                            &stored.report,
+                            stored.states_digest,
+                            None,
+                            s.bound,
+                            Duration::ZERO,
+                            queued.elapsed(),
+                            stored.worst_case,
+                            stored.schedule_text.as_deref(),
+                        ));
+                        continue;
+                    }
+                }
+                Work::Model { delay, seed, exact }
+            }
+            RunMode::Search { budget, seed } => {
+                let exact = exact_hash.expect("search mode is exact");
+                if cfg.cache {
+                    if let Some(stored) = cache.get_exact(&scenario_key, exact) {
+                        metrics.cache_full_hits += 1;
+                        responses[ix] = Some(result_response(
+                            &s.id,
+                            CacheOutcome::Full,
+                            0,
+                            &stored.report,
+                            stored.states_digest,
+                            None,
+                            s.bound,
+                            Duration::ZERO,
+                            queued.elapsed(),
+                            stored.worst_case,
+                            stored.schedule_text.as_deref(),
+                        ));
+                        continue;
+                    }
+                }
+                Work::Search {
+                    budget,
+                    seed,
+                    exact,
+                }
+            }
+        };
+        jobs.push(Job {
+            ix,
+            graph,
+            spec: s.stack,
+            queued,
+            work,
+        });
+    }
+
+    // Fan out. Worker slots self-assign ids off an atomic so per-worker
+    // meters survive the pool (par_map_with's state is per thread).
+    let next_worker = AtomicUsize::new(0);
+    let outs: Vec<JobOut<P>> = par_map_with(
+        &jobs,
+        threads,
+        || next_worker.fetch_add(1, Ordering::Relaxed),
+        |worker, job| run_job(cfg, *worker, job),
+    );
+
+    // Fold back: cache inserts, metrics, responses. Replay schedules
+    // are recovered from the job list (moving, not cloning, the
+    // decision stream a worker would otherwise have to copy).
+    let replay_schedules: HashMap<usize, Schedule> = jobs
+        .into_iter()
+        .filter_map(|j| match j.work {
+            Work::Replay { schedule, .. } => Some((j.ix, schedule)),
+            _ => None,
+        })
+        .collect();
+    for out in outs {
+        let (id, bound, scenario_key) = ids.remove(&out.ix).expect("job bookkeeping");
+        match out.result {
+            Err(msg) => {
+                responses[out.ix] = Some(error_response(&id, &msg));
+            }
+            Ok(run) => {
+                if cfg.cache {
+                    let stored = StoredResult {
+                        report: run.report.clone(),
+                        states_digest: run.states_digest,
+                        schedule_text: run.schedule_text.clone(),
+                        worst_case: run.worst_case,
+                    };
+                    if !run.checkpoints.is_empty() {
+                        // Cold replays key checkpoints by the submitted
+                        // schedule; model/search runs by the schedule
+                        // they recorded/found.
+                        if let Some(schedule) = run
+                            .cache_schedule
+                            .as_ref()
+                            .or_else(|| replay_schedules.get(&out.ix))
+                        {
+                            cache.insert_checkpoints(&scenario_key, schedule, &run.checkpoints);
+                        }
+                    }
+                    if let Some(schedule) = &run.cache_schedule {
+                        cache.insert_schedule_result(&scenario_key, schedule, stored.clone());
+                    }
+                    if let Some(exact) = out.exact {
+                        cache.insert_exact(&scenario_key, exact, stored);
+                    }
+                }
+                metrics.record_scenario(
+                    out.outcome,
+                    out.depth,
+                    &run.report,
+                    out.exec,
+                    out.queue_wait,
+                    out.worker,
+                );
+                responses[out.ix] = Some(result_response(
+                    &id,
+                    out.outcome,
+                    out.depth,
+                    &run.report,
+                    run.states_digest,
+                    Some(run.trace_digest),
+                    bound,
+                    out.exec,
+                    out.queue_wait,
+                    run.worst_case,
+                    run.schedule_text.as_deref(),
+                ));
+            }
+        }
+    }
+}
+
+impl<P: Process> JobOut<P> {
+    fn new(ix: usize, worker: usize, outcome: CacheOutcome, depth: u64) -> Self {
+        JobOut {
+            ix,
+            worker,
+            exec: Duration::ZERO,
+            queue_wait: Duration::ZERO,
+            outcome,
+            depth,
+            result: Err("unset".to_string()),
+            exact: None,
+        }
+    }
+}
+
+/// Evaluates one job on a worker thread.
+fn run_job<P: ServeStack>(cfg: ServiceConfig, worker: usize, job: &Job<'_, P>) -> JobOut<P>
+where
+    P::Msg: Clone + Send + Sync,
+{
+    let started = Instant::now();
+    let queue_wait = started.duration_since(job.queued);
+    let g = job.graph;
+    let spec = job.spec;
+    let make = |v: NodeId, g: &WeightedGraph| P::make(spec, v, g);
+    // With the cache off there is nobody to hand checkpoints to — run
+    // with an unreachable cadence so the baseline pays no snapshot cost.
+    let every = if cfg.cache {
+        cfg.checkpoint_every
+    } else {
+        u64::MAX
+    };
+
+    let (outcome, depth, result, exact) = match &job.work {
+        Work::Replay {
+            schedule,
+            resume: Some(cp),
+            depth,
+            exact,
+        } => {
+            let mut sim = Simulator::new(g);
+            sim.record_trace(cfg.trace_cap);
+            let res = sim
+                .resume(cp, &mut ScheduleOracle::new(schedule))
+                .map(|run| finish_run(run, Vec::new(), None, None, None))
+                .map_err(|e| e.to_string());
+            (CacheOutcome::Incremental, *depth, res, *exact)
+        }
+        Work::Replay {
+            schedule,
+            resume: None,
+            exact,
+            ..
+        } => {
+            let outcome = if cfg.cache {
+                CacheOutcome::Miss
+            } else {
+                CacheOutcome::Uncached
+            };
+            let mut cps = Vec::new();
+            let mut sim = Simulator::new(g);
+            sim.record_trace(cfg.trace_cap);
+            let res = sim
+                .run_with_checkpoints(&mut ScheduleOracle::new(schedule), make, every, &mut cps)
+                .map(|run| finish_run(run, cps, None, None, None))
+                .map_err(|e| e.to_string());
+            (outcome, 0, res, *exact)
+        }
+        Work::Model { delay, seed, exact } => {
+            let outcome = if cfg.cache {
+                CacheOutcome::Miss
+            } else {
+                CacheOutcome::Uncached
+            };
+            // Record the transcript while running: the recorded
+            // schedule is the canonical key the checkpoints are cached
+            // under, so later *schedule* submissions replaying a
+            // variation of this run resume incrementally.
+            let mut rec = Recorder::new(ModelOracle::new(*delay, *seed));
+            let mut cps = Vec::new();
+            let mut sim = Simulator::new(g);
+            sim.record_trace(cfg.trace_cap);
+            let res = sim
+                .run_with_checkpoints(&mut rec, make, every, &mut cps)
+                .map(|run| {
+                    let schedule = rec.into_schedule(Fallback::WorstCase);
+                    finish_run(run, cps, Some(schedule), None, None)
+                })
+                .map_err(|e| e.to_string());
+            (outcome, 0, res, Some(*exact))
+        }
+        Work::Search {
+            budget,
+            seed,
+            exact,
+        } => {
+            let outcome = if cfg.cache {
+                CacheOutcome::Miss
+            } else {
+                CacheOutcome::Uncached
+            };
+            let mut search_cfg = SearchConfig {
+                seed: *seed,
+                // The pool is already parallel — one thread per search
+                // keeps total parallelism at the pool's width.
+                threads: 1,
+                ..SearchConfig::default()
+            };
+            if *budget > 0 {
+                search_cfg.hill_rounds = *budget;
+            }
+            let out = csp_adversary::find_worst_schedule(g, make, &search_cfg);
+            // Replay the found schedule once with checkpoints: the full
+            // report for the response, and cached prefixes for free.
+            let mut cps = Vec::new();
+            let mut sim = Simulator::new(g);
+            sim.record_trace(cfg.trace_cap);
+            let res = sim
+                .run_with_checkpoints(
+                    &mut ScheduleOracle::new(&out.schedule),
+                    make,
+                    every,
+                    &mut cps,
+                )
+                .map(|run| {
+                    finish_run(
+                        run,
+                        cps,
+                        Some(out.schedule.clone()),
+                        Some(out.worst_case.get()),
+                        Some(out.schedule.to_text()),
+                    )
+                })
+                .map_err(|e| e.to_string());
+            (outcome, 0, res, Some(*exact))
+        }
+    };
+
+    let mut out = JobOut::new(job.ix, worker, outcome, depth);
+    out.exec = started.elapsed();
+    out.queue_wait = queue_wait;
+    out.result = result;
+    out.exact = exact;
+    out
+}
+
+fn finish_run<P: Process + std::hash::Hash>(
+    run: Run<P>,
+    checkpoints: Vec<Checkpoint<P>>,
+    cache_schedule: Option<Schedule>,
+    worst_case: Option<u64>,
+    schedule_text: Option<String>,
+) -> RunOut<P> {
+    RunOut {
+        states_digest: digest_states(&run.states),
+        trace_digest: digest_trace(&run.trace),
+        report: run.cost,
+        checkpoints,
+        cache_schedule,
+        worst_case,
+        schedule_text,
+    }
+}
+
+/// Deterministic word-mixing [`std::hash::Hasher`] for state digests:
+/// `DefaultHasher` is documented as unstable across releases, and
+/// `Debug`-formatting the state vector costs more than the run itself
+/// on warm paths.
+struct WordHasher(u64);
+
+impl WordHasher {
+    fn mix(h: u64, word: u64) -> u64 {
+        let mut x = (h ^ word).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x ^= x >> 32;
+        x.wrapping_mul(0xff51_afd7_ed55_8ccd)
+    }
+}
+
+impl std::hash::Hasher for WordHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn write_u8(&mut self, i: u8) {
+        self.0 = Self::mix(self.0, u64::from(i));
+    }
+    fn write_u32(&mut self, i: u32) {
+        self.0 = Self::mix(self.0, u64::from(i));
+    }
+    fn write_u64(&mut self, i: u64) {
+        self.0 = Self::mix(self.0, i);
+    }
+    fn write_u128(&mut self, i: u128) {
+        self.0 = Self::mix(Self::mix(self.0, i as u64), (i >> 64) as u64);
+    }
+    fn write_usize(&mut self, i: usize) {
+        self.0 = Self::mix(self.0, i as u64);
+    }
+}
+
+/// Structural digest of the final state vector.
+fn digest_states<P: std::hash::Hash>(states: &[P]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = WordHasher(0xcbf2_9ce4_8422_2325);
+    states.len().hash(&mut h);
+    for s in states {
+        s.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Structural hash of a trace — field-by-field, not via `Debug`
+/// formatting, because traces run to tens of thousands of events and
+/// this digest sits on every response's hot path.
+fn digest_trace(trace: &Trace) -> u64 {
+    fn mix(h: u64, word: u64) -> u64 {
+        let mut x = (h ^ word).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x ^= x >> 32;
+        x.wrapping_mul(0xff51_afd7_ed55_8ccd)
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for e in trace.events() {
+        h = mix(h, e.from.index() as u64);
+        h = mix(h, e.to.index() as u64);
+        h = mix(h, e.edge.index() as u64);
+        h = mix(h, e.sent.get());
+        h = mix(h, e.delivered.get());
+        h = mix(h, e.class as u64);
+    }
+    mix(mix(h, trace.events().len() as u64), trace.dropped())
+}
+
+fn error_response(id: &str, msg: &str) -> Json {
+    Json::obj(vec![
+        ("type", Json::str("error")),
+        ("id", Json::str(id)),
+        ("error", Json::str(msg)),
+    ])
+}
+
+/// Renders a [`CostReport`] to the wire shape shared by results and
+/// stored cache hits.
+pub fn report_to_json(r: &CostReport) -> Json {
+    Json::obj(vec![
+        ("messages", Json::num(r.messages as f64)),
+        ("weighted_comm", Json::num(r.weighted_comm.get() as f64)),
+        ("completion", Json::num(r.completion.get() as f64)),
+        ("drops", Json::num(r.drops as f64)),
+        ("crashed_nodes", Json::num(r.crashed_nodes as f64)),
+        ("dead_events", Json::num(r.dead_events as f64)),
+        (
+            "max_edge_congestion",
+            Json::num(r.max_edge_congestion() as f64),
+        ),
+        ("overflow_pushes", Json::num(r.overflow_pushes as f64)),
+        ("bucket_window", Json::num(r.bucket_window as f64)),
+    ])
+}
+
+#[allow(clippy::too_many_arguments)]
+fn result_response(
+    id: &str,
+    outcome: CacheOutcome,
+    depth: u64,
+    report: &CostReport,
+    states_digest: u64,
+    trace_digest: Option<u64>,
+    bound: Bound,
+    exec: Duration,
+    queue_wait: Duration,
+    worst_case: Option<u64>,
+    schedule_text: Option<&str>,
+) -> Json {
+    let mut fields = vec![
+        ("type", Json::str("result")),
+        ("id", Json::str(id)),
+        ("status", Json::str("ok")),
+        ("cache", Json::str(outcome.name())),
+        ("depth", Json::num(depth as f64)),
+        ("report", report_to_json(report)),
+        ("states_digest", Json::str(format!("{states_digest:016x}"))),
+        ("exec_us", Json::num(exec.as_micros() as f64)),
+        ("queue_wait_us", Json::num(queue_wait.as_micros() as f64)),
+    ];
+    if let Some(t) = trace_digest {
+        fields.push(("trace_digest", Json::str(format!("{t:016x}"))));
+    }
+    if bound.time.is_some() || bound.comm.is_some() {
+        let time_ok = bound.time.is_none_or(|t| report.completion.get() <= t);
+        let comm_ok = bound
+            .comm
+            .is_none_or(|c| report.weighted_comm.get() <= u128::from(c));
+        let mut b = vec![("holds", Json::Bool(time_ok && comm_ok))];
+        if let Some(t) = bound.time {
+            b.push(("time", Json::num(t as f64)));
+        }
+        if let Some(c) = bound.comm {
+            b.push(("comm", Json::num(c as f64)));
+        }
+        fields.push(("bound", Json::obj(b)));
+    }
+    if let Some(w) = worst_case {
+        fields.push(("worst_case", Json::num(w as f64)));
+    }
+    if let Some(s) = schedule_text {
+        fields.push(("schedule", Json::str(s)));
+    }
+    Json::obj(fields)
+}

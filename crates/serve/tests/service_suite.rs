@@ -1,0 +1,438 @@
+//! End-to-end tests for the scenario-evaluation service: the JSON-lines
+//! protocol, cache behaviour (FULL / INCREMENTAL / MISS), and the
+//! differential guarantee the cache is allowed to exist by — resumed
+//! and cached results are **bit-identical** to cold runs (costs, trace
+//! digests, final-state digests, fault meters) across drop/crash
+//! schedules.
+
+use csp_adversary::{record, Fallback, Schedule};
+use csp_algo::spt::recur::SptRecur;
+use csp_graph::generators::{self, WeightDist};
+use csp_graph::NodeId;
+use csp_serve::json::Json;
+use csp_serve::service::{Service, ServiceConfig};
+use csp_serve::CacheCaps;
+use csp_sim::{CrashOracle, DelayModel, DropOracle, SimTime};
+
+/// The gnp graph every test scenario here runs on. Weights start at 2
+/// so every decision has at least two admissible delays (mutation can
+/// always pick a different one).
+fn graph_json() -> Json {
+    Json::obj(vec![
+        ("family", Json::str("gnp")),
+        ("n", Json::num(10.0)),
+        ("p", Json::num(0.35)),
+        ("w_min", Json::num(2.0)),
+        ("w_max", Json::num(9.0)),
+        ("seed", Json::num(7.0)),
+    ])
+}
+
+fn stack_json() -> Json {
+    Json::obj(vec![
+        ("protocol", Json::str("spt_recur")),
+        ("root", Json::num(0.0)),
+    ])
+}
+
+fn submit(id: &str, run: Json) -> Json {
+    Json::obj(vec![
+        ("type", Json::str("submit")),
+        ("id", Json::str(id)),
+        ("graph", graph_json()),
+        ("stack", stack_json()),
+        ("run", run),
+    ])
+}
+
+fn schedule_run(s: &Schedule) -> Json {
+    Json::obj(vec![
+        ("mode", Json::str("schedule")),
+        ("schedule", Json::str(s.to_text())),
+    ])
+}
+
+/// Records a drop+crash schedule for the test graph's SPT scenario.
+fn fault_schedule() -> Schedule {
+    let g = generators::connected_gnp(10, 0.35, WeightDist::Uniform(2, 9), 7);
+    let make = |v: NodeId, _: &csp_graph::WeightedGraph| SptRecur::new(v, NodeId::new(0), 1 << 40);
+    let oracle = CrashOracle::new(
+        DropOracle::new(DelayModel::Uniform, 0xFEED_BEEF, 0.2, 3),
+        vec![(NodeId::new(7), SimTime::new(25))],
+    );
+    let (_, schedule) = record(&g, make, oracle, Fallback::WorstCase);
+    assert!(
+        schedule.has_faults(),
+        "test premise: the recorded schedule must carry faults"
+    );
+    schedule
+}
+
+/// Mutates the tail of a schedule: different delay on the last ~10% of
+/// delivered decisions, keeping every delay admissible in [1, w].
+fn mutate_tail(base: &Schedule) -> Schedule {
+    let mut s = base.clone();
+    let len = s.decisions.len();
+    assert!(len >= 10, "test premise: schedule long enough to mutate");
+    let from = len - len / 10 - 1;
+    let mut changed = 0;
+    for d in &mut s.decisions[from..] {
+        if !d.dropped && d.weight > 1 {
+            d.delay = if d.delay == d.weight { 1 } else { d.delay + 1 };
+            changed += 1;
+        }
+    }
+    assert!(changed > 0, "test premise: tail mutation changed something");
+    s
+}
+
+/// One response of type "result" with status ok, or panic with context.
+fn expect_result(responses: &[Json]) -> &Json {
+    assert_eq!(responses.len(), 1, "one response per submit");
+    let r = &responses[0];
+    assert_eq!(
+        r.get("type").and_then(Json::as_str),
+        Some("result"),
+        "expected a result, got: {}",
+        r.dump()
+    );
+    r
+}
+
+fn cache_of(r: &Json) -> &str {
+    r.get("cache").and_then(Json::as_str).unwrap()
+}
+
+/// Every field a cold and a cached evaluation must agree on, pulled
+/// into one comparable string.
+fn identity_fields(r: &Json) -> String {
+    let report = r.get("report").expect("report");
+    format!(
+        "report={} states={} trace={}",
+        report.dump(),
+        r.get("states_digest").and_then(Json::as_str).unwrap(),
+        r.get("trace_digest").and_then(Json::as_str).unwrap(),
+    )
+}
+
+fn caching_service() -> Service {
+    Service::new(ServiceConfig {
+        threads: 2,
+        checkpoint_every: 8,
+        cache: true,
+        caps: CacheCaps::default(),
+        trace_cap: 1 << 14,
+    })
+}
+
+fn cold_service() -> Service {
+    Service::new(ServiceConfig {
+        threads: 2,
+        checkpoint_every: 8,
+        cache: false,
+        caps: CacheCaps::default(),
+        trace_cap: 1 << 14,
+    })
+}
+
+#[test]
+fn incremental_resume_is_bit_identical_to_cold_under_faults() {
+    let base = fault_schedule();
+    let variant = mutate_tail(&base);
+
+    let mut warm = caching_service();
+    let mut cold = cold_service();
+
+    // Cold evaluation of the base schedule populates the checkpoint
+    // tree.
+    let r_base = warm.handle(&submit("base", schedule_run(&base)));
+    let r_base = expect_result(&r_base);
+    assert_eq!(cache_of(r_base), "miss");
+
+    // The tail-mutated variant must resume from a checkpoint...
+    let r_var = warm.handle(&submit("variant", schedule_run(&variant)));
+    let r_var = expect_result(&r_var);
+    assert_eq!(
+        cache_of(r_var),
+        "incremental",
+        "tail mutation shares a prefix: {}",
+        r_var.dump()
+    );
+    assert!(r_var.get("depth").and_then(Json::as_u64).unwrap() > 0);
+
+    // ...and be bit-identical to a cold run of the same variant.
+    let c_var = cold.handle(&submit("variant-cold", schedule_run(&variant)));
+    let c_var = expect_result(&c_var);
+    assert_eq!(cache_of(c_var), "uncached");
+    assert_eq!(
+        identity_fields(r_var),
+        identity_fields(c_var),
+        "incremental result must match cold run exactly"
+    );
+
+    // The cold base run and the warm base run agree too.
+    let c_base = cold.handle(&submit("base-cold", schedule_run(&base)));
+    assert_eq!(
+        identity_fields(r_base),
+        identity_fields(expect_result(&c_base))
+    );
+
+    // Exact resubmission is a FULL hit with the same identity.
+    let r_full = warm.handle(&submit("base-again", schedule_run(&base)));
+    let r_full = expect_result(&r_full);
+    assert_eq!(cache_of(r_full), "full");
+    let report_eq = |a: &Json, b: &Json| {
+        assert_eq!(
+            a.get("report").unwrap().dump(),
+            b.get("report").unwrap().dump()
+        );
+        assert_eq!(
+            a.get("states_digest").and_then(Json::as_str),
+            b.get("states_digest").and_then(Json::as_str)
+        );
+    };
+    report_eq(r_full, r_base);
+
+    // Fault meters actually moved (the schedule carries drops and a
+    // crash), so the equality above covered them.
+    let report = r_var.get("report").unwrap();
+    assert!(report.get("drops").and_then(Json::as_u64).unwrap() > 0);
+
+    let stats = warm.handle(&Json::obj(vec![("type", Json::str("stats"))]));
+    let stats = &stats[0].get("stats").cloned().unwrap();
+    assert_eq!(stats.get("cache_full_hits").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        stats.get("cache_incremental_hits").and_then(Json::as_u64),
+        Some(1)
+    );
+    assert_eq!(stats.get("cache_misses").and_then(Json::as_u64), Some(1));
+    assert!(
+        stats
+            .get("mean_checkpoint_depth")
+            .and_then(Json::as_f64)
+            .unwrap()
+            > 0.0
+    );
+}
+
+#[test]
+fn crash_set_divergence_prevents_prefix_reuse() {
+    let base = fault_schedule();
+    let mut other_crash = base.clone();
+    other_crash.crashes[0].at += 1_000_000;
+
+    let mut warm = caching_service();
+    expect_result(&warm.handle(&submit("base", schedule_run(&base))));
+    let r = warm.handle(&submit("other", schedule_run(&other_crash)));
+    let r = expect_result(&r);
+    assert_eq!(
+        cache_of(r),
+        "miss",
+        "different crash set must not resume from base checkpoints"
+    );
+}
+
+#[test]
+fn model_and_search_runs_cache_as_exact_results() {
+    let mut svc = caching_service();
+
+    let model = || {
+        Json::obj(vec![
+            ("mode", Json::str("model")),
+            ("delay", Json::str("uniform")),
+            ("seed", Json::num(11.0)),
+        ])
+    };
+    let first = svc.handle(&submit("m1", model()));
+    let first = expect_result(&first);
+    assert_eq!(cache_of(first), "miss");
+    let second = svc.handle(&submit("m2", model()));
+    let second = expect_result(&second);
+    assert_eq!(cache_of(second), "full");
+    assert_eq!(
+        first.get("report").unwrap().dump(),
+        second.get("report").unwrap().dump()
+    );
+
+    // A schedule submission replaying the *recorded transcript* of the
+    // model run hits the checkpoints that run left behind.
+    let g = generators::connected_gnp(10, 0.35, WeightDist::Uniform(2, 9), 7);
+    let make = |v: NodeId, _: &csp_graph::WeightedGraph| SptRecur::new(v, NodeId::new(0), 1 << 40);
+    let (_, transcript) = record(
+        &g,
+        make,
+        csp_sim::ModelOracle::new(DelayModel::Uniform, 11),
+        Fallback::WorstCase,
+    );
+    let variant = mutate_tail(&transcript);
+    let r = svc.handle(&submit("m3", schedule_run(&variant)));
+    let r = expect_result(&r);
+    assert_eq!(
+        cache_of(r),
+        "incremental",
+        "model-run checkpoints serve schedule variants: {}",
+        r.dump()
+    );
+
+    let search = || {
+        Json::obj(vec![
+            ("mode", Json::str("search")),
+            ("budget", Json::num(2.0)),
+            ("seed", Json::num(3.0)),
+        ])
+    };
+    let s1 = svc.handle(&submit("s1", search()));
+    let s1 = expect_result(&s1);
+    assert_eq!(cache_of(s1), "miss");
+    assert!(s1.get("worst_case").and_then(Json::as_u64).unwrap() > 0);
+    assert!(s1.get("schedule").and_then(Json::as_str).is_some());
+    let s2 = svc.handle(&submit("s2", search()));
+    let s2 = expect_result(&s2);
+    assert_eq!(cache_of(s2), "full");
+    assert_eq!(
+        s1.get("worst_case").and_then(Json::as_u64),
+        s2.get("worst_case").and_then(Json::as_u64)
+    );
+}
+
+#[test]
+fn bounds_are_checked_against_the_report() {
+    let mut svc = caching_service();
+    let run = || {
+        Json::obj(vec![
+            ("mode", Json::str("model")),
+            ("delay", Json::str("worst-case")),
+        ])
+    };
+    let mut with_bound = submit("loose", run());
+    if let Json::Obj(ref mut m) = with_bound {
+        m.insert(
+            "bound".to_string(),
+            Json::obj(vec![("time", Json::num(1e12))]),
+        );
+    }
+    let r = svc.handle(&with_bound);
+    let r = expect_result(&r);
+    assert_eq!(
+        r.get("bound")
+            .unwrap()
+            .get("holds")
+            .and_then(|b| b.as_bool()),
+        Some(true)
+    );
+
+    let mut tight = submit("tight", run());
+    if let Json::Obj(ref mut m) = tight {
+        m.insert(
+            "bound".to_string(),
+            Json::obj(vec![("time", Json::num(1.0)), ("comm", Json::num(1.0))]),
+        );
+    }
+    let r = svc.handle(&tight);
+    let r = expect_result(&r);
+    assert_eq!(
+        r.get("bound")
+            .unwrap()
+            .get("holds")
+            .and_then(|b| b.as_bool()),
+        Some(false),
+        "1 tick / 1 comm cannot hold: {}",
+        r.dump()
+    );
+}
+
+#[test]
+fn batches_preserve_order_and_isolate_errors() {
+    let mut svc = caching_service();
+    let good = |id: &str| {
+        Json::obj(vec![
+            ("id", Json::str(id)),
+            ("graph", graph_json()),
+            ("stack", stack_json()),
+            (
+                "run",
+                Json::obj(vec![
+                    ("mode", Json::str("model")),
+                    ("delay", Json::str("eager")),
+                ]),
+            ),
+        ])
+    };
+    let bad = Json::obj(vec![
+        ("id", Json::str("broken")),
+        ("graph", Json::obj(vec![("family", Json::str("torus"))])),
+        ("stack", stack_json()),
+        (
+            "run",
+            Json::obj(vec![
+                ("mode", Json::str("model")),
+                ("delay", Json::str("eager")),
+            ]),
+        ),
+    ]);
+    let batch = Json::obj(vec![
+        ("type", Json::str("batch")),
+        ("scenarios", Json::Arr(vec![good("a"), bad, good("b")])),
+    ]);
+    let rs = svc.handle(&batch);
+    assert_eq!(rs.len(), 3);
+    assert_eq!(rs[0].get("id").and_then(Json::as_str), Some("a"));
+    assert_eq!(rs[0].get("type").and_then(Json::as_str), Some("result"));
+    assert_eq!(rs[1].get("id").and_then(Json::as_str), Some("broken"));
+    assert_eq!(rs[1].get("type").and_then(Json::as_str), Some("error"));
+    assert_eq!(rs[2].get("id").and_then(Json::as_str), Some("b"));
+    assert_eq!(rs[2].get("type").and_then(Json::as_str), Some("result"));
+    // Identical scenarios in one batch: first in wins the cache, the
+    // duplicate is answered consistently (either outcome, same report).
+    assert_eq!(
+        rs[0].get("report").unwrap().dump(),
+        rs[2].get("report").unwrap().dump()
+    );
+}
+
+#[test]
+fn hostile_requests_are_rejected_not_crashed() {
+    let mut svc = caching_service();
+    let cases = vec![
+        Json::obj(vec![("type", Json::str("noop"))]),
+        Json::obj(vec![("nope", Json::num(1.0))]),
+        Json::obj(vec![("type", Json::str("submit")), ("graph", graph_json())]),
+        submit(
+            "root-oob",
+            Json::obj(vec![
+                ("mode", Json::str("model")),
+                ("delay", Json::str("eager")),
+            ]),
+        ),
+    ];
+    // Patch the last case's stack root out of range.
+    let mut cases = cases;
+    if let Json::Obj(ref mut m) = cases[3] {
+        m.insert(
+            "stack".to_string(),
+            Json::obj(vec![
+                ("protocol", Json::str("flood")),
+                ("root", Json::num(99.0)),
+            ]),
+        );
+    }
+    for case in &cases {
+        let rs = svc.handle(case);
+        assert_eq!(rs.len(), 1, "one error per bad request");
+        assert_eq!(
+            rs[0].get("type").and_then(Json::as_str),
+            Some("error"),
+            "expected rejection of {}",
+            case.dump()
+        );
+    }
+    let stats = svc.handle(&Json::obj(vec![("type", Json::str("stats"))]));
+    assert_eq!(
+        stats[0]
+            .get("stats")
+            .unwrap()
+            .get("rejected")
+            .and_then(Json::as_u64),
+        Some(4)
+    );
+}

@@ -18,6 +18,7 @@
 use crate::cost::{CostClass, CostReport};
 use crate::delay::{DelayModel, LinkDecision, LinkOracle, ModelOracle, MsgInfo};
 use crate::process::{Context, Process};
+use crate::queue::BucketQueue;
 use crate::runtime::{Run, SimError};
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceEvent};
@@ -285,6 +286,11 @@ impl<'g> BaselineSimulator<'g> {
             );
         }
 
+        // The window is a workload property shared with the optimized
+        // cores (differential comparisons check full report equality);
+        // the baseline's `BinaryHeap` never overflows, matching the
+        // in-window bucket-core count of zero.
+        cost.bucket_window = BucketQueue::capacity_for(g.max_weight().get()) as u64;
         Ok(Run {
             states,
             cost,

@@ -58,7 +58,18 @@ impl fmt::Display for CostClass {
 }
 
 /// Aggregate cost of a protocol run.
-#[derive(Debug, Default, PartialEq, Eq)]
+///
+/// Equality compares the *metered* quantities — messages, weighted
+/// communication, completion, per-class/per-edge breakdowns, fault
+/// meters and the workload's [`bucket_window`](CostReport::bucket_window).
+/// The scheduler statistic
+/// [`overflow_pushes`](CostReport::overflow_pushes) is excluded: it
+/// describes which executor ran the workload (heap cores and the
+/// baseline structurally report zero; bucket cores count window
+/// spills, e.g. from retransmission timers armed past `W`), so
+/// including it would break the cross-core differential contract that
+/// identical runs produce equal reports.
+#[derive(Debug, Default)]
 pub struct CostReport {
     /// Total number of messages sent.
     pub messages: u64,
@@ -83,7 +94,49 @@ pub struct CostReport {
     /// Events (deliveries and timer fires) silently consumed by a
     /// crashed vertex — traffic paid for but lost to a dead receiver.
     pub dead_events: u64,
+    /// Scheduling-queue pushes that landed beyond the bucket core's
+    /// window and fell back to the overflow heap
+    /// ([`BucketQueue::overflow_pushes`](crate::queue::BucketQueue::overflow_pushes)).
+    /// Zero on the heap core and the baseline (they have no window), and
+    /// zero on the bucket core whenever the workload's maximum delay
+    /// fits the auto-sized window — so any non-zero value flags the
+    /// slow-path fallback without consumers reaching into the queue.
+    /// Same-kind checkpoint resumes carry the counter exactly; a
+    /// cross-kind resume rebuilds the queue and re-counts the restored
+    /// entries, so only the zero/non-zero signal is portable there.
+    /// Timer pushes share the queue, so timeouts armed beyond `W`
+    /// (retransmission backoff, failure-detector horizons) can overflow
+    /// even when message delays fit — which is why this field does
+    /// **not** participate in [`CostReport`] equality.
+    pub overflow_pushes: u64,
+    /// The bucket window (bucket count) the workload sizes to:
+    /// [`BucketQueue::capacity_for`](crate::queue::BucketQueue::capacity_for)
+    /// of the graph's maximum weight. A property of the workload, not of
+    /// the core that ran it — every executor reports the same value, so
+    /// cross-core differential equality is preserved. Together with
+    /// [`CostReport::overflow_pushes`] this tells a consumer how close
+    /// the run sat to the window cap.
+    pub bucket_window: u64,
 }
+
+// Manual `PartialEq`: every metered field except `overflow_pushes`
+// (see the struct docs for why the scheduler statistic is excluded).
+impl PartialEq for CostReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.messages == other.messages
+            && self.weighted_comm == other.weighted_comm
+            && self.completion == other.completion
+            && self.messages_by_class == other.messages_by_class
+            && self.comm_by_class == other.comm_by_class
+            && self.per_edge_messages == other.per_edge_messages
+            && self.drops == other.drops
+            && self.crashed_nodes == other.crashed_nodes
+            && self.dead_events == other.dead_events
+            && self.bucket_window == other.bucket_window
+    }
+}
+
+impl Eq for CostReport {}
 
 // Manual `Clone` so `clone_from` reuses the per-edge buffer — the hot
 // checkpoint-restore path in the pooled evaluator assigns reports in a
@@ -100,6 +153,8 @@ impl Clone for CostReport {
             drops: self.drops,
             crashed_nodes: self.crashed_nodes,
             dead_events: self.dead_events,
+            overflow_pushes: self.overflow_pushes,
+            bucket_window: self.bucket_window,
         }
     }
 
@@ -113,6 +168,8 @@ impl Clone for CostReport {
         self.drops = src.drops;
         self.crashed_nodes = src.crashed_nodes;
         self.dead_events = src.dead_events;
+        self.overflow_pushes = src.overflow_pushes;
+        self.bucket_window = src.bucket_window;
     }
 }
 
@@ -138,6 +195,8 @@ impl CostReport {
         self.drops = 0;
         self.crashed_nodes = 0;
         self.dead_events = 0;
+        self.overflow_pushes = 0;
+        self.bucket_window = 0;
     }
 
     /// Meters one send of weight `w` on edge `e` under `class`.
@@ -239,6 +298,16 @@ mod tests {
             r.to_string(),
             "msgs=1 comm=2 time=t=5 drops=3 crashes=1 dead=2"
         );
+    }
+
+    #[test]
+    fn equality_ignores_overflow_pushes_but_not_window() {
+        let mut a = CostReport::new(1);
+        let mut b = a.clone();
+        a.overflow_pushes = 40;
+        assert_eq!(a, b, "scheduler statistic must not break equality");
+        b.bucket_window = 128;
+        assert_ne!(a, b, "the window is a workload property");
     }
 
     #[test]

@@ -182,6 +182,15 @@ impl Queue {
         }
     }
 
+    /// Pushes that fell back to the overflow heap — zero on the heap
+    /// core, which has no window to overflow.
+    fn overflow_pushes(&self) -> u64 {
+        match self {
+            Queue::Bucket(q) => q.overflow_pushes(),
+            Queue::Heap(_) => 0,
+        }
+    }
+
     /// Overwrites this queue with a snapshotted one. Same-kind restores
     /// are allocation-reusing field copies (the hot checkpoint-resume
     /// path); a kind mismatch — resuming a checkpoint on a simulator
@@ -890,6 +899,11 @@ impl<'g> Simulator<'g> {
         m.states.clone_from(&cp.states);
         m.cost.clone_from(&cp.cost);
         m.core.restore_from(cp);
+        // Pooled paths never record traces, but `exec` appends whenever
+        // the *simulator* has `trace_cap > 0` — rewind so a pooled
+        // machine never carries a previous run's trace (or its dropped
+        // counter) across evaluations.
+        m.trace = Trace::new(0);
         m.truncated = cp.truncated;
         m.events = cp.events;
         m.outbox.clear();
@@ -989,6 +1003,14 @@ impl<'g> Simulator<'g> {
         C: Capture<P>,
     {
         let g = self.graph;
+        // Queue stats land on the report at every exit below (normal and
+        // error), so consumers can detect overflow-heap fallback without
+        // reaching into the queue. The window is a workload property
+        // (identical across cores) — only the push counter is per-queue.
+        let finalize = |m: &mut Machine<P>| {
+            m.cost.bucket_window = BucketQueue::capacity_for(g.max_weight().get()) as u64;
+            m.cost.overflow_pushes = m.core.queue.overflow_pushes();
+        };
         while !m.truncated {
             let Some((now, event)) = m.core.pop() else {
                 break;
@@ -1011,6 +1033,7 @@ impl<'g> Simulator<'g> {
             }
             m.events += 1;
             if m.events > self.event_limit {
+                finalize(m);
                 return Err(SimError::EventLimitExceeded {
                     limit: self.event_limit,
                 });
@@ -1054,6 +1077,7 @@ impl<'g> Simulator<'g> {
             m.dispatch_timers(node, now);
             capture.after_event(m);
         }
+        finalize(m);
         Ok(())
     }
 }
@@ -1155,6 +1179,55 @@ mod tests {
             assert_eq!(b.cost, h.cost, "cost diverged at seed {seed}");
             assert_eq!(b.trace.events(), h.trace.events());
         }
+    }
+
+    #[test]
+    fn cost_report_surfaces_bucket_window_and_overflow() {
+        // In-window workload: every core reports the same auto-sized
+        // window and a zero overflow count, so full-report differential
+        // equality holds.
+        let g = generators::path(3, |_| 5);
+        let run_on = |kind: CoreKind| {
+            let mut sim = Simulator::new(&g);
+            sim.core(kind).delay(DelayModel::WorstCase);
+            sim.run(|_, _| PingPong {
+                rounds: 3,
+                received: 0,
+            })
+            .unwrap()
+        };
+        let b = run_on(CoreKind::Bucket);
+        let h = run_on(CoreKind::Heap);
+        assert_eq!(b.cost, h.cost);
+        assert_eq!(b.cost.bucket_window, BucketQueue::capacity_for(5) as u64);
+        assert_eq!(b.cost.overflow_pushes, 0);
+
+        // Past-window workload (W > MAX_CAPACITY): the bucket core falls
+        // back to its overflow heap and says so; the heap core reports
+        // zero. The window itself stays a workload property both agree
+        // on, and every metered aggregate still matches.
+        let big = generators::path(2, |_| 300_000);
+        let run_big = |kind: CoreKind| {
+            let mut sim = Simulator::new(&big);
+            sim.core(kind).delay(DelayModel::WorstCase);
+            sim.run(|_, _| PingPong {
+                rounds: 2,
+                received: 0,
+            })
+            .unwrap()
+        };
+        let bb = run_big(CoreKind::Bucket);
+        let hb = run_big(CoreKind::Heap);
+        assert_eq!(bb.cost.bucket_window, BucketQueue::MAX_CAPACITY as u64);
+        assert_eq!(hb.cost.bucket_window, BucketQueue::MAX_CAPACITY as u64);
+        assert!(
+            bb.cost.overflow_pushes > 0,
+            "W past the window cap must hit the overflow heap"
+        );
+        assert_eq!(hb.cost.overflow_pushes, 0);
+        // Equality excludes the scheduler statistic, so the full-report
+        // differential contract survives the overflow regime.
+        assert_eq!(bb.cost, hb.cost);
     }
 
     #[test]
@@ -1456,6 +1529,76 @@ mod checkpoint_tests {
             Simulator::new(&g1).eval(&mut pool, &mut o(), make).unwrap()
         );
         assert_eq!(b, c);
+    }
+
+    #[test]
+    fn pool_resumes_cleanly_across_graph_sizes() {
+        // Regression: one pool shared by evaluations over graphs of very
+        // different sizes (state count, edge count, bucket window) in
+        // every interleaving of `eval` and `eval_resume` — the shape a
+        // long-running service's per-worker pools see, as opposed to the
+        // fixed-graph reuse inside one adversary search.
+        let g_small = generators::path(3, |_| 4); // 2 edges, W = 4
+        let g_big = generators::cycle(40, |_| 5000); // 40 edges, W = 5000
+        let o = || ModelOracle::new(DelayModel::WorstCase, 0);
+
+        let small_sim = Simulator::new(&g_small);
+        let mut big_sim = Simulator::new(&g_big);
+        big_sim.record_trace(1 << 10); // trace-recording sim sharing the pool
+        let mut cps_small: Vec<Checkpoint<Counter>> = Vec::new();
+        let mut cps_big: Vec<Checkpoint<Counter>> = Vec::new();
+        let cold_small = small_sim
+            .run_with_checkpoints(&mut o(), make, 7, &mut cps_small)
+            .unwrap();
+        let cold_big = big_sim
+            .run_with_checkpoints(&mut o(), make, 11, &mut cps_big)
+            .unwrap();
+        assert!(!cps_small.is_empty() && !cps_big.is_empty());
+
+        let mut pool = EvalPool::new();
+        for round in 0..3 {
+            // Alternate directions between rounds so both small-after-big
+            // and big-after-small restores happen.
+            type Leg<'a, 'g> = (
+                &'a Simulator<'g>,
+                &'a Vec<Checkpoint<Counter>>,
+                &'a Run<Counter>,
+            );
+            let order: [Leg; 2] = if round % 2 == 0 {
+                [
+                    (&small_sim, &cps_small, &cold_small),
+                    (&big_sim, &cps_big, &cold_big),
+                ]
+            } else {
+                [
+                    (&big_sim, &cps_big, &cold_big),
+                    (&small_sim, &cps_small, &cold_small),
+                ]
+            };
+            for (sim, cps, cold) in order {
+                for cp in cps.iter() {
+                    let s = sim.eval_resume(&mut pool, cp, &mut o()).unwrap();
+                    assert_eq!(s.completion, cold.cost.completion, "round {round}");
+                    assert_eq!(s.messages, cold.cost.messages, "round {round}");
+                    assert_eq!(s.weighted_comm, cold.cost.weighted_comm, "round {round}");
+                }
+                let s = sim.eval(&mut pool, &mut o(), make).unwrap();
+                assert_eq!(s.completion, cold.cost.completion, "round {round}");
+                assert_eq!(s.messages, cold.cost.messages, "round {round}");
+            }
+        }
+
+        // Cross-core restores of foreign-size checkpoints, same pool.
+        let mut heap_big = Simulator::new(&g_big);
+        heap_big.core(CoreKind::Heap);
+        let s = heap_big
+            .eval_resume(&mut pool, &cps_big[0], &mut o())
+            .unwrap();
+        assert_eq!(s.completion, cold_big.cost.completion);
+        let s = small_sim
+            .eval_resume(&mut pool, &cps_small[0], &mut o())
+            .unwrap();
+        assert_eq!(s.completion, cold_small.cost.completion);
     }
 
     #[test]

@@ -446,6 +446,8 @@ impl<'g> SyncRunner<'g> {
             let all_done = finished.iter().all(|&f| f);
             if all_done && queue.is_empty() && timer_heap.is_empty() {
                 cost.completion = SimTime::new(last_activity.max(pulse));
+                cost.bucket_window = BucketQueue::capacity_for(g.max_weight().get()) as u64;
+                cost.overflow_pushes = queue.overflow_pushes();
                 return Ok(SyncRun {
                     states,
                     cost,
@@ -468,6 +470,8 @@ impl<'g> SyncRunner<'g> {
                     // Treat as completion — mirrors asynchronous
                     // quiescence; callers inspect `finished` via state.
                     cost.completion = SimTime::new(pulse);
+                    cost.bucket_window = BucketQueue::capacity_for(g.max_weight().get()) as u64;
+                    cost.overflow_pushes = queue.overflow_pushes();
                     return Ok(SyncRun {
                         states,
                         cost,
