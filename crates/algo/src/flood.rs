@@ -12,7 +12,10 @@
 
 use crate::util::tree_from_parents;
 use csp_graph::{NodeId, RootedTree, WeightedGraph};
-use csp_sim::{Context, CostReport, DelayModel, FaultAware, Process, Run, SimError, Simulator};
+use csp_sim::{
+    Context, CostReport, DelayModel, FaultAware, Process, Run, ShardedSimulator, SimError,
+    Simulator,
+};
 
 /// Per-vertex state of the flooding protocol.
 #[derive(Clone, Debug, Hash)]
@@ -114,6 +117,42 @@ pub fn run_flood(
     })
 }
 
+/// [`run_flood`] on the sharded conservative-parallel core: partitions
+/// the graph across `threads` workers (`0` = auto) and produces the
+/// bit-identical outcome of the sequential run — same tree, same
+/// [`CostReport`].
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator (cannot normally happen:
+/// flooding sends at most `2m` messages).
+///
+/// # Panics
+///
+/// Panics if `g` is disconnected (the flood tree would not span) or
+/// `root` is out of range.
+pub fn run_flood_sharded(
+    g: &WeightedGraph,
+    root: NodeId,
+    delay: DelayModel,
+    seed: u64,
+    threads: usize,
+) -> Result<FloodOutcome, SimError> {
+    g.check_node(root);
+    let run: Run<Flood> = ShardedSimulator::new(g)
+        .delay(delay)
+        .seed(seed)
+        .threads(threads)
+        .run(|v, _| Flood::new(v == root))?;
+    let parents: Vec<Option<NodeId>> = run.states.iter().map(Flood::parent).collect();
+    let tree = tree_from_parents(g, root, &parents);
+    assert!(tree.is_spanning(), "flood tree must span a connected graph");
+    Ok(FloodOutcome {
+        tree,
+        cost: run.cost,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +199,21 @@ mod tests {
             let out = run_flood(&g, NodeId::new(12), DelayModel::Uniform, seed).unwrap();
             assert!(out.tree.is_spanning());
             assert_eq!(out.tree.root(), NodeId::new(12));
+        }
+    }
+
+    #[test]
+    fn sharded_flood_matches_sequential() {
+        let g = generators::connected_gnp(40, 0.1, generators::WeightDist::Uniform(1, 12), 5);
+        for delay in [DelayModel::WorstCase, DelayModel::Uniform] {
+            let seq = run_flood(&g, NodeId::new(3), delay, 11).unwrap();
+            for threads in [1, 2, 4, 8] {
+                let par = run_flood_sharded(&g, NodeId::new(3), delay, 11, threads).unwrap();
+                assert_eq!(par.cost, seq.cost, "{delay:?} at {threads} threads");
+                for v in g.nodes() {
+                    assert_eq!(par.tree.parent(v), seq.tree.parent(v));
+                }
+            }
         }
     }
 

@@ -13,20 +13,31 @@
 //! (its message complexity grows superlinearly, so the larger sizes
 //! would measure the protocol, not the core). Writes a hand-rolled
 //! JSON report (default `BENCH_scale.json`) with one row per
-//! `(protocol, n)`:
+//! `(protocol, n, threads)`:
 //!
 //! ```text
 //! {"protocol", "n", "edges", "gen_secs", "bytes_per_vertex",
-//!  "events", "run_secs", "events_per_s"}
+//!  "events", "run_secs", "events_per_s", "threads", "lookahead"}
 //! ```
+//!
+//! `threads = 1` rows run the sequential `Simulator` core; for every
+//! `n ≥ 10⁴` the flood workload is re-run on the sharded
+//! conservative-parallel core at 2, 4 and 8 shards (asserting
+//! bit-identical costs against the sequential row). `lookahead` is the
+//! derived partition's minimum cut-edge weight — the conservative
+//! lookahead bound a cut-based windowing scheme would get (`null` on
+//! sequential rows, and on sharded rows whose partition has no cut
+//! edge). The `host_threads` header records the measuring machine's
+//! available parallelism: sharded rows only show real speedup when it
+//! exceeds 1.
 //!
 //! "Event" = one delivered message (`CostReport::messages`); delays are
 //! `WorstCase` so runs are reproducible across machines up to timing.
 
-use csp_algo::flood::run_flood;
+use csp_algo::flood::{run_flood, run_flood_sharded};
 use csp_algo::spt::recur::run_spt_recur;
 use csp_graph::generators::{connected_gnp, WeightDist};
-use csp_graph::{NodeId, WeightedGraph};
+use csp_graph::{NodeId, ShardPlan, WeightedGraph};
 use csp_sim::DelayModel;
 use std::time::Instant;
 
@@ -39,6 +50,10 @@ const EXTRA_DEGREE: f64 = 8.0;
 const DIST: WeightDist = WeightDist::Uniform(1, 64);
 /// Largest size that runs `SPT_recur` (superlinear message count).
 const SPT_MAX_N: usize = 10_000;
+/// Smallest size worth sharding (below it the per-tick barriers beat
+/// any partitioning gain) and the shard counts the curve samples.
+const SHARD_MIN_N: usize = 10_000;
+const SHARD_COUNTS: [usize; 3] = [2, 4, 8];
 
 struct Row {
     protocol: &'static str,
@@ -48,6 +63,8 @@ struct Row {
     bytes_per_vertex: f64,
     events: u64,
     run_secs: f64,
+    threads: usize,
+    lookahead: Option<u64>,
 }
 
 impl Row {
@@ -60,7 +77,8 @@ impl Row {
             concat!(
                 "    {{\"protocol\": \"{}\", \"n\": {}, \"edges\": {}, ",
                 "\"gen_secs\": {:.4}, \"bytes_per_vertex\": {:.1}, ",
-                "\"events\": {}, \"run_secs\": {:.4}, \"events_per_s\": {:.0}}}"
+                "\"events\": {}, \"run_secs\": {:.4}, \"events_per_s\": {:.0}, ",
+                "\"threads\": {}, \"lookahead\": {}}}"
             ),
             self.protocol,
             self.n,
@@ -70,6 +88,9 @@ impl Row {
             self.events,
             self.run_secs,
             self.eps(),
+            self.threads,
+            self.lookahead
+                .map_or_else(|| "null".to_string(), |l| l.to_string()),
         )
     }
 }
@@ -115,12 +136,45 @@ fn main() {
             bytes_per_vertex,
             events: flood.cost.messages,
             run_secs,
+            threads: 1,
+            lookahead: None,
         });
         eprintln!(
             "n = {n:>8}: flood     {:>10} events in {run_secs:.3}s ({:.0} ev/s)",
             flood.cost.messages,
             rows.last().expect("just pushed").eps(),
         );
+
+        if n >= SHARD_MIN_N {
+            for k in SHARD_COUNTS {
+                let plan = ShardPlan::derive(&g, k);
+                let lookahead = plan.cut(&g).min_cut_weight.map(|w| w.get());
+                let start = Instant::now();
+                let sharded = run_flood_sharded(&g, NodeId::new(0), DelayModel::WorstCase, SEED, k)
+                    .expect("sharded flood run at scale");
+                let run_secs = start.elapsed().as_secs_f64();
+                assert_eq!(
+                    sharded.cost, flood.cost,
+                    "sharded flood diverged from the sequential run"
+                );
+                rows.push(Row {
+                    protocol: "flood",
+                    n,
+                    edges: g.edge_count(),
+                    gen_secs,
+                    bytes_per_vertex,
+                    events: sharded.cost.messages,
+                    run_secs,
+                    threads: k,
+                    lookahead,
+                });
+                eprintln!(
+                    "n = {n:>8}: flood x{k} {:>10} events in {run_secs:.3}s ({:.0} ev/s)",
+                    sharded.cost.messages,
+                    rows.last().expect("just pushed").eps(),
+                );
+            }
+        }
 
         if n <= SPT_MAX_N {
             let start = Instant::now();
@@ -135,6 +189,8 @@ fn main() {
                 bytes_per_vertex,
                 events: spt.cost.messages,
                 run_secs,
+                threads: 1,
+                lookahead: None,
             });
             eprintln!(
                 "n = {n:>8}: spt_recur {:>10} events in {run_secs:.3}s ({:.0} ev/s)",
@@ -144,10 +200,12 @@ fn main() {
         }
     }
 
+    let host_threads = csp_sim::effective_threads(0);
     let json = format!(
         "{{\n  \"bench\": \"scale_tier\",\n  \"delay_model\": \"WorstCase\",\n  \
          \"weight_dist\": \"Uniform(1, 64)\",\n  \"extra_degree\": {EXTRA_DEGREE},\n  \
-         \"seed\": {SEED},\n  \"max_n\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+         \"seed\": {SEED},\n  \"max_n\": {},\n  \"host_threads\": {host_threads},\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
         10u64.pow(max_exp),
         rows.iter().map(Row::json).collect::<Vec<_>>().join(",\n"),
     );

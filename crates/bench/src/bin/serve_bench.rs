@@ -95,6 +95,7 @@ fn scenario(id: String, schedule: Schedule) -> Scenario {
         stack: StackSpec::SptRecur { root: 0, delta: 0 },
         run: RunMode::Schedule(schedule),
         bound: Bound::default(),
+        shards: 0,
     }
 }
 

@@ -19,7 +19,7 @@ use crate::algo::distances;
 use crate::graph::WeightedGraph;
 use crate::ids::NodeId;
 use crate::tree::RootedTree;
-use crate::weight::Cost;
+use crate::weight::{Cost, Weight};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -546,6 +546,222 @@ pub fn ball_partition(g: &WeightedGraph, k: usize) -> Partition {
     }
 }
 
+/// A disjoint assignment of every vertex to one of `shards` *shards* —
+/// the unit of parallelism for `csp-sim`'s sharded executor. Unlike a
+/// [`Cover`] (whose clusters overlap) and a [`Partition`] (whose cluster
+/// count is emergent), a shard plan has a *fixed* shard count and every
+/// vertex belongs to exactly one shard; empty shards are legal (they
+/// simply idle).
+///
+/// The plan only affects *load balance*, never results: the sharded
+/// executor is bit-identical to the sequential core under any
+/// assignment, so all constructors here are deterministic, pure
+/// functions of their inputs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Shard index of each vertex.
+    shard_of: Vec<u32>,
+    /// Number of shards (≥ 1); indices in `shard_of` are `< shards`.
+    shards: usize,
+}
+
+/// Inter-shard cut statistics of a [`ShardPlan`] over a graph — the
+/// quantities the conservative-parallel executor reasons about: how many
+/// edges cross shards (cross-shard traffic volume) and the minimum
+/// crossing weight (the classic conservative-PDES lookahead bound under
+/// worst-case delays, where a message over edge `e` takes exactly
+/// `w(e)` ticks).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CutStats {
+    /// Number of edges whose endpoints live in different shards.
+    pub cut_edges: usize,
+    /// Minimum weight over the cut edges (`None` when no edge crosses —
+    /// the shards are fully independent).
+    pub min_cut_weight: Option<Weight>,
+}
+
+impl CutStats {
+    /// The worst-case-delay lookahead the cut admits: the minimum cut
+    /// weight, or `u64::MAX` when nothing crosses. Under arbitrary
+    /// (adversarial) delays the sound bound degrades to the 1-tick
+    /// quantization floor — see the sharded executor's docs.
+    pub fn worst_case_lookahead(&self) -> u64 {
+        self.min_cut_weight.map_or(u64::MAX, Weight::get)
+    }
+}
+
+impl ShardPlan {
+    /// Largest vertex count for which [`ShardPlan::derive`] attempts the
+    /// cover-coarsening partition; above it, building a cover is far more
+    /// expensive than the simulation it would balance, so `derive` goes
+    /// straight to contiguous CSR ranges.
+    pub const COVER_DERIVE_MAX_N: usize = 4096;
+
+    /// Number of shards (≥ 1).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Shard of vertex `v`.
+    #[inline]
+    pub fn shard_of(&self, v: NodeId) -> usize {
+        self.shard_of[v.index()] as usize
+    }
+
+    /// The raw vertex→shard assignment, indexed by vertex.
+    pub fn assignment(&self) -> &[u32] {
+        &self.shard_of
+    }
+
+    /// Vertex count per shard.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.shards];
+        for &s in &self.shard_of {
+            sizes[s as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Wraps an explicit vertex→shard assignment. Any total assignment
+    /// is a valid plan — balance affects only speed, never the simulated
+    /// execution — so empty shards are allowed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0` or any entry is out of range.
+    pub fn from_assignment(assignment: Vec<u32>, shards: usize) -> ShardPlan {
+        assert!(shards >= 1, "a shard plan needs at least one shard");
+        assert!(
+            assignment.iter().all(|&s| (s as usize) < shards),
+            "assignment references a shard out of range"
+        );
+        ShardPlan {
+            shard_of: assignment,
+            shards,
+        }
+    }
+
+    /// Balanced contiguous ranges over the CSR vertex order: vertex `v`
+    /// goes to shard `⌊v·shards/n⌋`, so shard sizes differ by at most
+    /// one. The degenerate-cover fallback, and the only constructor that
+    /// stays O(n) at million-node scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn contiguous(n: usize, shards: usize) -> ShardPlan {
+        assert!(shards >= 1, "a shard plan needs at least one shard");
+        ShardPlan {
+            shard_of: (0..n).map(|v| (v * shards / n.max(1)) as u32).collect(),
+            shards,
+        }
+    }
+
+    /// Derives a disjoint plan from an (overlapping) [`Cover`]:
+    ///
+    /// 1. **Tie-break**: each vertex is owned by the lowest-index cluster
+    ///    containing it (covers guarantee at least one).
+    /// 2. **Packing**: clusters are ordered by owned size (largest
+    ///    first, index ascending on ties) and greedily assigned to the
+    ///    currently lightest shard (lowest index on ties).
+    ///
+    /// Both steps are deterministic, so the same cover always yields the
+    /// same plan. Clusters that own no vertex after the tie-break are
+    /// skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`, or if the cover misses a vertex of `g`
+    /// (impossible for covers built through [`Cover::new`]).
+    pub fn from_cover(g: &WeightedGraph, cover: &Cover, shards: usize) -> ShardPlan {
+        assert!(shards >= 1, "a shard plan needs at least one shard");
+        let n = g.node_count();
+        let mut owner = vec![usize::MAX; n];
+        let mut owned = vec![0u64; cover.len()];
+        for (ci, c) in cover.clusters().iter().enumerate() {
+            for &v in c.members() {
+                if owner[v.index()] == usize::MAX {
+                    owner[v.index()] = ci;
+                    owned[ci] += 1;
+                }
+            }
+        }
+        assert!(
+            owner.iter().all(|&c| c != usize::MAX),
+            "cover must contain every vertex"
+        );
+
+        let mut order: Vec<usize> = (0..cover.len()).filter(|&ci| owned[ci] > 0).collect();
+        order.sort_by_key(|&ci| (std::cmp::Reverse(owned[ci]), ci));
+        let mut shard_of_cluster = vec![0u32; cover.len()];
+        let mut load = vec![0u64; shards];
+        for ci in order {
+            let lightest = (0..shards)
+                .min_by_key(|&s| (load[s], s))
+                .expect("shards ≥ 1");
+            shard_of_cluster[ci] = lightest as u32;
+            load[lightest] += owned[ci];
+        }
+        ShardPlan {
+            shard_of: owner.into_iter().map(|ci| shard_of_cluster[ci]).collect(),
+            shards,
+        }
+    }
+
+    /// The default derivation: coarsen the singleton cover (Theorem 1.1
+    /// with `k = 2` — cheap, locality-preserving balls) and pack the
+    /// resulting clusters, falling back to [`ShardPlan::contiguous`]
+    /// when the cover route is degenerate — fewer distinct clusters than
+    /// shards (some shard would idle while others split the whole
+    /// graph), or `n` past [`ShardPlan::COVER_DERIVE_MAX_N`] where cover
+    /// construction would dwarf the run itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn derive(g: &WeightedGraph, shards: usize) -> ShardPlan {
+        assert!(shards >= 1, "a shard plan needs at least one shard");
+        let n = g.node_count();
+        if shards == 1 || n <= 1 {
+            return ShardPlan {
+                shard_of: vec![0; n],
+                shards,
+            };
+        }
+        if n > Self::COVER_DERIVE_MAX_N {
+            return Self::contiguous(n, shards);
+        }
+        let cover = coarsen(g, &Cover::singletons(g), 2);
+        let plan = Self::from_cover(g, &cover, shards);
+        // Degenerate cover: fewer populated shards than requested while
+        // vertices would suffice — fall back to contiguous ranges.
+        let populated = plan.shard_sizes().iter().filter(|&&s| s > 0).count();
+        if populated < shards.min(n) {
+            return Self::contiguous(n, shards);
+        }
+        plan
+    }
+
+    /// Inter-shard cut statistics of this plan over `g`: crossing-edge
+    /// count and minimum crossing weight (the worst-case lookahead).
+    pub fn cut(&self, g: &WeightedGraph) -> CutStats {
+        let mut cut_edges = 0usize;
+        let mut min_cut_weight: Option<Weight> = None;
+        for e in g.edges() {
+            let (u, v) = e.endpoints();
+            if self.shard_of[u.index()] != self.shard_of[v.index()] {
+                cut_edges += 1;
+                let w = e.weight();
+                min_cut_weight = Some(min_cut_weight.map_or(w, |m| m.min(w)));
+            }
+        }
+        CutStats {
+            cut_edges,
+            min_cut_weight,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -745,5 +961,82 @@ mod tests {
         let g = grid_graph();
         let c = Cluster::new(&g, [NodeId::new(0)]);
         let _ = Cover::new(&g, vec![c]);
+    }
+
+    #[test]
+    fn contiguous_plan_is_balanced_and_total() {
+        for (n, k) in [(10, 4), (16, 1), (3, 8), (1000, 7)] {
+            let plan = ShardPlan::contiguous(n, k);
+            assert_eq!(plan.shards(), k);
+            assert_eq!(plan.assignment().len(), n);
+            let sizes = plan.shard_sizes();
+            assert_eq!(sizes.iter().sum::<usize>(), n);
+            let (min, max) = (
+                sizes.iter().filter(|&&s| s > 0).min().copied().unwrap_or(0),
+                sizes.iter().max().copied().unwrap_or(0),
+            );
+            assert!(max - min <= 1, "n={n} k={k}: sizes {sizes:?}");
+            // Contiguity: assignment is non-decreasing in vertex order.
+            assert!(plan.assignment().windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn from_cover_is_disjoint_deterministic_and_packed() {
+        let g = grid_graph();
+        let cover = coarsen(&g, &Cover::singletons(&g), 2);
+        let a = ShardPlan::from_cover(&g, &cover, 3);
+        let b = ShardPlan::from_cover(&g, &cover, 3);
+        assert_eq!(a, b, "same cover must give the same plan");
+        assert_eq!(a.assignment().len(), 16);
+        assert!(a.assignment().iter().all(|&s| (s as usize) < 3));
+        // Overlapping vertices go to the lowest-index cluster: every
+        // vertex in cluster 0 that no earlier cluster claims (there is
+        // none earlier) maps to cluster 0's shard.
+        let c0_shard = a.shard_of(cover.clusters()[0].members()[0]);
+        for &v in cover.clusters()[0].members() {
+            let first_cluster = cover.clusters().iter().position(|c| c.contains(v)).unwrap();
+            if first_cluster == 0 {
+                assert_eq!(a.shard_of(v), c0_shard);
+            }
+        }
+    }
+
+    #[test]
+    fn derive_covers_all_vertices_and_falls_back_when_degenerate() {
+        let g = grid_graph();
+        let plan = ShardPlan::derive(&g, 4);
+        assert_eq!(plan.shard_sizes().iter().sum::<usize>(), 16);
+        assert_eq!(plan.shard_sizes().iter().filter(|&&s| s > 0).count(), 4);
+
+        // Above COVER_DERIVE_MAX_N the cover machinery is too expensive;
+        // derive switches to contiguous CSR ranges.
+        let n = ShardPlan::COVER_DERIVE_MAX_N + 1;
+        let big = generators::path(n, |_| 1);
+        assert_eq!(ShardPlan::derive(&big, 4), ShardPlan::contiguous(n, 4));
+
+        // shards == 1 short-circuits to the trivial plan.
+        let one = ShardPlan::derive(&g, 1);
+        assert!(one.assignment().iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn cut_stats_report_min_crossing_weight() {
+        // Path 0-1-2-3 with weights 5, 1, 7; split {0,1} | {2,3}: the
+        // only crossing edge is the 1-weight middle edge.
+        let mut b = crate::graph::GraphBuilder::new(4);
+        b.edge(0, 1, 5).edge(1, 2, 1).edge(2, 3, 7);
+        let g = b.build().unwrap();
+        let plan = ShardPlan::contiguous(4, 2);
+        let cut = plan.cut(&g);
+        assert_eq!(cut.cut_edges, 1);
+        assert_eq!(cut.min_cut_weight, Some(Weight::new(1)));
+        assert_eq!(cut.worst_case_lookahead(), 1);
+
+        let solo = ShardPlan::contiguous(4, 1);
+        let no_cut = solo.cut(&g);
+        assert_eq!(no_cut.cut_edges, 0);
+        assert_eq!(no_cut.min_cut_weight, None);
+        assert_eq!(no_cut.worst_case_lookahead(), u64::MAX);
     }
 }

@@ -44,6 +44,7 @@ pub mod slt;
 pub mod tree;
 pub mod weight;
 
+pub use cover::{CutStats, ShardPlan};
 pub use graph::{Edge, GraphBuilder, GraphError, WeightedGraph};
 pub use ids::{EdgeId, NodeId, MAX_INDEX};
 pub use tree::RootedTree;

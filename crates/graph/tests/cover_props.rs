@@ -1,0 +1,118 @@
+//! Property coverage for `cover::coarsen` and the shard plans derived
+//! from it. Coarsened covers are load-bearing for sharded simulation
+//! (`csp_sim::shard`), so the structural invariants — every vertex
+//! covered, every cluster connected in the induced subgraph — must
+//! hold on arbitrary connected graphs, not just the curated families.
+
+use std::collections::HashSet;
+
+use csp_graph::cover::{coarsen, Cover};
+use csp_graph::generators::{self, WeightDist};
+use csp_graph::{NodeId, ShardPlan, WeightedGraph};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = WeightedGraph> {
+    (3usize..=20, 0.0f64..0.5, 1u64..=64, any::<u64>()).prop_map(|(n, p, wmax, seed)| {
+        generators::connected_gnp(n, p, WeightDist::Uniform(1, wmax), seed)
+    })
+}
+
+/// BFS inside the vertex subset: true iff `members` induce a connected
+/// subgraph of `g`.
+fn connected_in_induced(g: &WeightedGraph, members: &[NodeId]) -> bool {
+    let set: HashSet<NodeId> = members.iter().copied().collect();
+    let Some(&start) = members.first() else {
+        return false;
+    };
+    let mut seen = HashSet::new();
+    seen.insert(start);
+    let mut frontier = vec![start];
+    while let Some(v) = frontier.pop() {
+        for (u, _, _) in g.neighbors(v) {
+            if set.contains(&u) && seen.insert(u) {
+                frontier.push(u);
+            }
+        }
+    }
+    seen.len() == members.len()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every vertex of the graph appears in at least one coarsened
+    /// cluster, for any initial cover and growth parameter.
+    #[test]
+    fn coarsen_covers_every_vertex(g in arb_graph(), k in 1usize..=4) {
+        let coarse = coarsen(&g, &Cover::singletons(&g), k);
+        let mut covered = vec![false; g.node_count()];
+        for c in coarse.clusters() {
+            for &v in c.members() {
+                covered[v.index()] = true;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c), "coarsen left a vertex uncovered");
+    }
+
+    /// Every coarsened cluster is connected in the subgraph its members
+    /// induce — merging layers must never glue together vertex sets
+    /// that only touch through outside vertices.
+    #[test]
+    fn coarsen_clusters_are_induced_connected(g in arb_graph(), k in 1usize..=4) {
+        let coarse = coarsen(&g, &Cover::singletons(&g), k);
+        for c in coarse.clusters() {
+            prop_assert!(!c.members().is_empty(), "empty cluster");
+            prop_assert!(
+                connected_in_induced(&g, c.members()),
+                "cluster {:?} is disconnected in its induced subgraph",
+                c.members()
+            );
+        }
+    }
+
+    /// Same invariants starting from the neighbor-path cover, the other
+    /// initial cover the paper uses.
+    #[test]
+    fn coarsen_from_neighbor_paths_keeps_invariants(g in arb_graph(), k in 1usize..=3) {
+        let coarse = coarsen(&g, &Cover::neighbor_paths(&g), k);
+        let mut covered = vec![false; g.node_count()];
+        for c in coarse.clusters() {
+            prop_assert!(connected_in_induced(&g, c.members()));
+            for &v in c.members() {
+                covered[v.index()] = true;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c));
+    }
+
+    /// Shard plans derived from covers are total, disjoint (one shard
+    /// per vertex by construction) and deterministic.
+    #[test]
+    fn shard_plan_is_total_and_deterministic(g in arb_graph(), shards in 1usize..=8) {
+        let a = ShardPlan::derive(&g, shards);
+        let b = ShardPlan::derive(&g, shards);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.assignment().len(), g.node_count());
+        prop_assert!(a.assignment().iter().all(|&s| (s as usize) < shards));
+        // Every shard that can be populated is populated.
+        let populated = a.shard_sizes().iter().filter(|&&s| s > 0).count();
+        prop_assert_eq!(populated, shards.min(g.node_count()));
+    }
+
+    /// Cut stats agree with a direct recount over the edge list.
+    #[test]
+    fn cut_stats_match_direct_recount(g in arb_graph(), shards in 1usize..=8) {
+        let plan = ShardPlan::derive(&g, shards);
+        let cut = plan.cut(&g);
+        let mut edges = 0usize;
+        let mut min_w: Option<u64> = None;
+        for e in g.edges() {
+            if plan.shard_of(e.u()) != plan.shard_of(e.v()) {
+                edges += 1;
+                min_w = Some(min_w.map_or(e.weight().get(), |m| m.min(e.weight().get())));
+            }
+        }
+        prop_assert_eq!(cut.cut_edges, edges);
+        prop_assert_eq!(cut.min_cut_weight.map(|w| w.get()), min_w);
+    }
+}

@@ -15,6 +15,12 @@
 //! - `--metrics`            emit one JSON metrics line per batch on stderr
 //! - `--trace-cap N`        record up to N trace events per run and expose
 //!   a trace digest in responses (differential testing)
+//!
+//! A submission may carry `"shards": k` to evaluate a model-mode run on
+//! the sharded conservative-parallel core. The result is bit-identical
+//! to the sequential core's, so the field is an execution hint only —
+//! cached results are shared freely between sharded and sequential
+//! submissions of the same scenario.
 
 use csp_serve::json::Json;
 use csp_serve::service::{Service, ServiceConfig};

@@ -158,6 +158,10 @@ impl GraphSpec {
 /// tier, and a hostile or fat-fingered `n` must not wedge every worker.
 pub const MAX_NODES: usize = 100_000;
 
+/// Upper bound on the per-scenario shard count: each shard is a real
+/// worker thread, and a hostile request must not fork-bomb the host.
+pub const MAX_SHARDS: usize = 64;
+
 /// The protocol stack a scenario runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StackSpec {
@@ -331,6 +335,13 @@ pub struct Scenario {
     pub run: RunMode,
     /// Optional bound to check.
     pub bound: Bound,
+    /// Shard count for the conservative-parallel core (`0` = the
+    /// sequential core). A pure *execution hint*: the sharded core is
+    /// bit-identical to the sequential one, so this is deliberately not
+    /// part of any cache key — a sharded run can hit a sequential run's
+    /// cached result and vice versa. Only model-mode runs honour it
+    /// (replay and search are built on sequential prefix checkpoints).
+    pub shards: usize,
 }
 
 impl Scenario {
@@ -354,7 +365,14 @@ impl Scenario {
             stack,
             run,
             bound: Bound::from_json(v.get("bound"))?,
+            shards: opt_u64(v, "shards", 0)? as usize,
         };
+        if scenario.shards > MAX_SHARDS {
+            return Err(SpecError::new(&format!(
+                "shards {} too large (max {MAX_SHARDS})",
+                scenario.shards
+            )));
+        }
         // The root must exist in the spec'd graph; checking here keeps
         // worker code panic-free on hostile input.
         let n = match scenario.graph {

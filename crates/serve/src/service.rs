@@ -28,7 +28,10 @@ use csp_algo::flood::Flood;
 use csp_algo::spt::recur::SptRecur;
 use csp_graph::{NodeId, WeightedGraph};
 use csp_sim::sweep::{effective_threads, par_map_with};
-use csp_sim::{Checkpoint, CostReport, DelayModel, ModelOracle, Process, Run, Simulator, Trace};
+use csp_sim::{
+    Checkpoint, CostReport, DelayModel, ModelOracle, Process, Run, ShardedSimulator, Simulator,
+    Trace,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -124,6 +127,10 @@ enum Work<P: Process> {
         delay: DelayModel,
         seed: u64,
         exact: u64,
+        /// Shard count for the conservative-parallel core (`0` =
+        /// sequential). Not part of `exact` — the cores are
+        /// bit-identical, so results are interchangeable.
+        shards: usize,
     },
     Search {
         budget: usize,
@@ -417,7 +424,12 @@ fn run_stack_jobs<P: ServeStack>(
                         continue;
                     }
                 }
-                Work::Model { delay, seed, exact }
+                Work::Model {
+                    delay,
+                    seed,
+                    exact,
+                    shards: s.shards,
+                }
             }
             RunMode::Search { budget, seed } => {
                 let exact = exact_hash.expect("search mode is exact");
@@ -603,7 +615,12 @@ where
                 .map_err(|e| e.to_string());
             (outcome, 0, res, *exact)
         }
-        Work::Model { delay, seed, exact } => {
+        Work::Model {
+            delay,
+            seed,
+            exact,
+            shards,
+        } => {
             let outcome = if cfg.cache {
                 CacheOutcome::Miss
             } else {
@@ -614,17 +631,34 @@ where
             // under, so later *schedule* submissions replaying a
             // variation of this run resume incrementally.
             let mut rec = Recorder::new(ModelOracle::new(*delay, *seed));
-            let mut cps = Vec::new();
-            let mut sim = Simulator::new(g);
-            sim.record_trace(cfg.trace_cap);
-            let res = sim
-                .run_with_checkpoints(&mut rec, make, every, &mut cps)
-                .map(|run| {
-                    let schedule = rec.into_schedule(Fallback::WorstCase);
-                    finish_run(run, cps, Some(schedule), None, None)
-                })
-                .map_err(|e| e.to_string());
-            (outcome, 0, res, Some(*exact))
+            if *shards > 0 {
+                // Opt-in sharded evaluation: bit-identical to the
+                // sequential path (same report, digests and recorded
+                // schedule), but checkpointless — prefix snapshots are
+                // a sequential-core artifact.
+                let res = ShardedSimulator::new(g)
+                    .threads(*shards)
+                    .record_trace(cfg.trace_cap)
+                    .run_with_oracle(&mut rec, make)
+                    .map(|run| {
+                        let schedule = rec.into_schedule(Fallback::WorstCase);
+                        finish_run(run, Vec::new(), Some(schedule), None, None)
+                    })
+                    .map_err(|e| e.to_string());
+                (outcome, 0, res, Some(*exact))
+            } else {
+                let mut cps = Vec::new();
+                let mut sim = Simulator::new(g);
+                sim.record_trace(cfg.trace_cap);
+                let res = sim
+                    .run_with_checkpoints(&mut rec, make, every, &mut cps)
+                    .map(|run| {
+                        let schedule = rec.into_schedule(Fallback::WorstCase);
+                        finish_run(run, cps, Some(schedule), None, None)
+                    })
+                    .map_err(|e| e.to_string());
+                (outcome, 0, res, Some(*exact))
+            }
         }
         Work::Search {
             budget,

@@ -296,6 +296,56 @@ fn model_and_search_runs_cache_as_exact_results() {
 }
 
 #[test]
+fn sharded_model_runs_are_bit_identical_and_share_the_cache() {
+    // Sequential and sharded evaluation of the same model scenario must
+    // agree on every identity field, and since `shards` is an execution
+    // hint rather than a cache key, each one's cold result must serve
+    // the other's resubmission as a FULL hit.
+    let submit_shards = |id: &str, shards: f64| {
+        Json::obj(vec![
+            ("type", Json::str("submit")),
+            ("id", Json::str(id)),
+            ("graph", graph_json()),
+            ("stack", stack_json()),
+            (
+                "run",
+                Json::obj(vec![
+                    ("mode", Json::str("model")),
+                    ("delay", Json::str("uniform")),
+                    ("seed", Json::num(29.0)),
+                ]),
+            ),
+            ("shards", Json::num(shards)),
+        ])
+    };
+
+    // Cold sharded run vs cold sequential run (separate services, so
+    // both really execute).
+    let mut sharded_svc = caching_service();
+    let sharded = sharded_svc.handle(&submit_shards("p1", 4.0));
+    let sharded = expect_result(&sharded);
+    assert_eq!(cache_of(sharded), "miss");
+    let mut seq_svc = caching_service();
+    let seq = seq_svc.handle(&submit_shards("q1", 0.0));
+    let seq = expect_result(&seq);
+    assert_eq!(cache_of(seq), "miss");
+    assert_eq!(identity_fields(sharded), identity_fields(seq));
+
+    // Cross-resubmission: the sequential twin FULL-hits the sharded
+    // service's cache, and vice versa.
+    let hit = sharded_svc.handle(&submit_shards("p2", 0.0));
+    let hit = expect_result(&hit);
+    assert_eq!(cache_of(hit), "full", "{}", hit.dump());
+    let hit = seq_svc.handle(&submit_shards("q2", 8.0));
+    let hit = expect_result(&hit);
+    assert_eq!(cache_of(hit), "full", "{}", hit.dump());
+
+    // A hostile shard count is rejected, not spawned.
+    let r = sharded_svc.handle(&submit_shards("p3", 10_000.0));
+    assert_eq!(r[0].get("type").and_then(Json::as_str), Some("error"));
+}
+
+#[test]
 fn bounds_are_checked_against_the_report() {
     let mut svc = caching_service();
     let run = || {

@@ -65,6 +65,7 @@ pub mod process;
 pub mod queue;
 pub mod reliable;
 pub mod runtime;
+pub mod shard;
 pub mod sweep;
 pub mod sync;
 pub mod time;
@@ -80,6 +81,7 @@ pub use detect::{Detect, DetectConfig, DetectMsg, FaultAware};
 pub use process::{Context, MsgToken, Process, TimerId};
 pub use reliable::{RelMsg, Reliable};
 pub use runtime::{Checkpoint, CoreKind, EvalPool, EvalSummary, Run, SimError, Simulator};
+pub use shard::ShardedSimulator;
 pub use sweep::{
     effective_threads, par_map, par_map_with, summarize, SweepGrid, SweepPoint, SweepRun,
     SweepSummary,

@@ -31,10 +31,15 @@ pub trait Process {
 
 /// Stable per-message identifier handed back by [`Context::send`].
 ///
-/// The token is the message's global dispatch index — the same `index`
-/// the adversary sees in [`MsgInfo`](crate::MsgInfo) — assigned in send
-/// order, so protocols and retransmission layers can correlate acks and
-/// timers with specific transmissions without parallel bookkeeping.
+/// The token is the *sender's* dispatch index — the number of metered
+/// sends this vertex issued before it — assigned in send order, so
+/// protocols and retransmission layers can correlate acks and timers
+/// with specific transmissions without parallel bookkeeping. Numbering
+/// per sender (rather than globally) keeps the assignment independent
+/// of other vertices' concurrent activity, which is what lets the
+/// sharded runtime execute same-tick handlers in parallel; the global
+/// dispatch index remains the adversary-facing `index` in
+/// [`MsgInfo`](crate::MsgInfo).
 ///
 /// Tokens are only meaningful for sends metered by the run that issued
 /// them: contexts created through [`Context::derive`] number from zero
@@ -68,8 +73,8 @@ pub struct Context<'a, M> {
     timers: Vec<u64>,
     /// Timer ids cancelled this handler.
     cancels: Vec<u64>,
-    /// Dispatch index the first queued send will receive — the run's
-    /// metered message count at handler entry.
+    /// Token the first queued send will receive — the vertex's metered
+    /// send count at handler entry.
     msg_base: u64,
     /// Id the first armed timer will receive — the vertex's timer count
     /// at handler entry.

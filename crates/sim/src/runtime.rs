@@ -126,33 +126,35 @@ pub enum CoreKind {
 /// for copyable payloads so slab restores on the checkpoint-resume path
 /// specialize to memcpy.
 #[derive(Clone, Copy, Debug)]
-struct Delivery<M> {
-    to: NodeId,
-    from: NodeId,
-    msg: M,
-    sent: SimTime,
-    class: CostClass,
-    edge: EdgeId,
+pub(crate) struct Delivery<M> {
+    pub(crate) to: NodeId,
+    pub(crate) from: NodeId,
+    pub(crate) msg: M,
+    pub(crate) sent: SimTime,
+    pub(crate) class: CostClass,
+    pub(crate) edge: EdgeId,
 }
 
 /// One scheduled occurrence: a message delivery or a local timer fire.
 /// Timers ride the same `(time, seq)` queue as messages, so the merged
 /// order is deterministic.
 #[derive(Clone, Copy, Debug)]
-enum Event<M> {
+pub(crate) enum Event<M> {
     Msg(Delivery<M>),
     Timer { node: NodeId, id: u64 },
 }
 
 /// The scheduling queue behind [`EventCore`], dispatched by [`CoreKind`].
+/// Shared with the sharded runtime ([`crate::shard`]), whose per-shard
+/// cores need the same kind dispatch.
 #[derive(Clone, Debug)]
-enum Queue {
+pub(crate) enum Queue {
     Bucket(BucketQueue),
     Heap(HeapQueue),
 }
 
 impl Queue {
-    fn new(kind: CoreKind, max_delay: u64) -> Self {
+    pub(crate) fn new(kind: CoreKind, max_delay: u64) -> Self {
         match kind {
             CoreKind::Bucket => Queue::Bucket(BucketQueue::new(max_delay)),
             CoreKind::Heap => Queue::Heap(HeapQueue::new()),
@@ -160,7 +162,7 @@ impl Queue {
     }
 
     #[inline]
-    fn push(&mut self, time: u64, seq: u64, slot: usize) {
+    pub(crate) fn push(&mut self, time: u64, seq: u64, slot: usize) {
         match self {
             Queue::Bucket(q) => q.push(time, seq, slot),
             Queue::Heap(q) => q.push(time, seq, slot),
@@ -168,10 +170,19 @@ impl Queue {
     }
 
     #[inline]
-    fn pop(&mut self) -> Option<QueueEntry> {
+    pub(crate) fn pop(&mut self) -> Option<QueueEntry> {
         match self {
             Queue::Bucket(q) => q.pop(),
             Queue::Heap(q) => q.pop(),
+        }
+    }
+
+    /// Earliest scheduled time without popping — `None` when empty.
+    #[inline]
+    pub(crate) fn next_time(&mut self) -> Option<u64> {
+        match self {
+            Queue::Bucket(q) => q.next_time(),
+            Queue::Heap(q) => q.next_time(),
         }
     }
 
@@ -184,7 +195,7 @@ impl Queue {
 
     /// Pushes that fell back to the overflow heap — zero on the heap
     /// core, which has no window to overflow.
-    fn overflow_pushes(&self) -> u64 {
+    pub(crate) fn overflow_pushes(&self) -> u64 {
         match self {
             Queue::Bucket(q) => q.overflow_pushes(),
             Queue::Heap(_) => 0,
@@ -324,10 +335,16 @@ struct Machine<P: Process> {
     /// Adversary-chosen crash time per vertex (`None` = never), filled
     /// once from [`LinkOracle::crash_at`] before time zero.
     crash: Vec<Option<SimTime>>,
-    /// Next timer id to assign — globally unique, never reused.
-    timer_seq: u64,
-    /// Ids cancelled before firing; membership is consumed at pop time.
-    cancelled: HashSet<u64>,
+    /// Per-vertex metered-send count — the `msg_base` of the vertex's
+    /// next handler. Advances exactly when [`CostReport::messages`]
+    /// does, but per sender, so token assignment depends only on the
+    /// vertex's own history (what lets shards run handlers in parallel).
+    node_msg_seq: Vec<u64>,
+    /// Next timer id per vertex — unique per vertex, never reused.
+    node_timer_seq: Vec<u64>,
+    /// `(vertex, id)` pairs cancelled before firing; membership is
+    /// consumed at pop time.
+    cancelled: HashSet<(NodeId, u64)>,
     /// Recycled handler buffers for armed delays / cancelled ids.
     timers: Vec<u64>,
     cancels: Vec<u64>,
@@ -345,7 +362,8 @@ impl<P: Process> Machine<P> {
             outbox: Vec::new(),
             out_edges: Vec::new(),
             crash: Vec::new(),
-            timer_seq: 0,
+            node_msg_seq: Vec::new(),
+            node_timer_seq: Vec::new(),
             cancelled: HashSet::new(),
             timers: Vec::new(),
             cancels: Vec::new(),
@@ -383,6 +401,9 @@ impl<P: Process> Machine<P> {
             let w = g.weight(eid);
             let index = self.cost.messages;
             self.cost.record_send(eid, w, class);
+            // Per-sender token counter moves in lock-step with the
+            // metered count (drops included, truncated sends excluded).
+            self.node_msg_seq[from.index()] += 1;
             let channel = self.core.channel(g, eid, from);
             let decision = oracle.decide(&MsgInfo {
                 index,
@@ -423,16 +444,16 @@ impl<P: Process> Machine<P> {
     /// Drains the handler's timer ops: cancellations take effect first
     /// (so a handler that arms and cancels the same timer nets to
     /// nothing), then each armed delay becomes a scheduled
-    /// [`Event::Timer`] with the next globally-unique id. Timer arrivals
+    /// [`Event::Timer`] with the vertex's next id. Timer arrivals
     /// ignore FIFO floors — they are local, not channel traffic.
     fn dispatch_timers(&mut self, node: NodeId, now: SimTime) {
         for id in self.cancels.drain(..) {
-            self.cancelled.insert(id);
+            self.cancelled.insert((node, id));
         }
         for delay in self.timers.drain(..) {
-            let id = self.timer_seq;
-            self.timer_seq += 1;
-            if self.cancelled.remove(&id) {
+            let id = self.node_timer_seq[node.index()];
+            self.node_timer_seq[node.index()] += 1;
+            if self.cancelled.remove(&(node, id)) {
                 continue;
             }
             self.core.push(now + delay, Event::Timer { node, id });
@@ -502,8 +523,9 @@ pub struct Checkpoint<P: Process> {
     fifo_floor: Vec<SimTime>,
     seq: u64,
     crash: Vec<Option<SimTime>>,
-    timer_seq: u64,
-    cancelled: HashSet<u64>,
+    node_msg_seq: Vec<u64>,
+    node_timer_seq: Vec<u64>,
+    cancelled: HashSet<(NodeId, u64)>,
 }
 
 impl<P: Process + Clone> Checkpoint<P> {
@@ -521,7 +543,8 @@ impl<P: Process + Clone> Checkpoint<P> {
             fifo_floor: m.core.fifo_floor.clone(),
             seq: m.core.seq,
             crash: m.crash.clone(),
-            timer_seq: m.timer_seq,
+            node_msg_seq: m.node_msg_seq.clone(),
+            node_timer_seq: m.node_timer_seq.clone(),
             cancelled: m.cancelled.clone(),
         }
     }
@@ -820,7 +843,8 @@ impl<'g> Simulator<'g> {
             outbox: Vec::new(),
             out_edges: Vec::new(),
             crash: cp.crash.clone(),
-            timer_seq: cp.timer_seq,
+            node_msg_seq: cp.node_msg_seq.clone(),
+            node_timer_seq: cp.node_timer_seq.clone(),
             cancelled: cp.cancelled.clone(),
             timers: Vec::new(),
             cancels: Vec::new(),
@@ -909,7 +933,8 @@ impl<'g> Simulator<'g> {
         m.outbox.clear();
         m.out_edges.clear();
         m.crash.clone_from(&cp.crash);
-        m.timer_seq = cp.timer_seq;
+        m.node_msg_seq.clone_from(&cp.node_msg_seq);
+        m.node_timer_seq.clone_from(&cp.node_timer_seq);
         m.cancelled.clone_from(&cp.cancelled);
         m.timers.clear();
         m.cancels.clear();
@@ -935,7 +960,8 @@ impl<'g> Simulator<'g> {
                 m.outbox.clear();
                 m.out_edges.clear();
                 m.crash.clear();
-                m.timer_seq = 0;
+                m.node_msg_seq.clear();
+                m.node_timer_seq.clear();
                 m.cancelled.clear();
                 m.timers.clear();
                 m.cancels.clear();
@@ -957,6 +983,8 @@ impl<'g> Simulator<'g> {
     {
         let g = self.graph;
         m.states.extend(g.nodes().map(|v| make(v, g)));
+        m.node_msg_seq.resize(g.node_count(), 0);
+        m.node_timer_seq.resize(g.node_count(), 0);
         // Crash times are fixed before any handler runs, in vertex
         // order, so the oracle's query sequence is deterministic.
         m.crash.extend(g.nodes().map(|v| oracle.crash_at(v)));
@@ -977,8 +1005,8 @@ impl<'g> Simulator<'g> {
                 out_edges,
                 timers,
                 cancels,
-                m.cost.messages,
-                m.timer_seq,
+                m.node_msg_seq[v.index()],
+                m.node_timer_seq[v.index()],
             );
             m.states[v.index()].on_start(&mut ctx);
             (m.outbox, m.out_edges, m.timers, m.cancels) = ctx.into_parts();
@@ -1021,7 +1049,7 @@ impl<'g> Simulator<'g> {
             let (node, fire) = match event {
                 Event::Msg(d) => (d.to, Ok(d)),
                 Event::Timer { node, id } => {
-                    if m.cancelled.remove(&id) {
+                    if m.cancelled.remove(&(node, id)) {
                         continue;
                     }
                     (node, Err(id))
@@ -1050,8 +1078,8 @@ impl<'g> Simulator<'g> {
                 out_edges,
                 timers,
                 cancels,
-                m.cost.messages,
-                m.timer_seq,
+                m.node_msg_seq[node.index()],
+                m.node_timer_seq[node.index()],
             );
             match fire {
                 Ok(d) => {

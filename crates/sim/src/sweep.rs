@@ -75,8 +75,10 @@ pub fn effective_threads(requested: usize) -> usize {
 /// input order in the output.
 ///
 /// Items are claimed dynamically off a shared atomic cursor, so uneven
-/// per-item runtimes balance automatically. A panic in `f` is propagated
-/// to the caller after the scope joins. `threads` goes through
+/// per-item runtimes balance automatically. Workers are named
+/// `csp-worker-{i}`; a panic in `f` is reported with the index of the
+/// item being processed and then propagated to the caller after the
+/// scope joins. `threads` goes through
 /// [`effective_threads`] (`0` = auto, capped at the machine) and is then
 /// clamped to `1..=items.len()`; with one thread this degenerates to a
 /// plain sequential map with no thread spawned.
@@ -108,27 +110,43 @@ where
         return items.iter().map(|item| f(&mut state, item)).collect();
     }
     let cursor = AtomicUsize::new(0);
+    // One slot per worker recording the item it is currently processing,
+    // so a propagated panic can say *which* grid point blew up.
+    let in_flight: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(usize::MAX)).collect();
     let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut state = init();
-                    let mut done = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(item) = items.get(i) else {
-                            return done;
-                        };
-                        done.push((i, f(&mut state, item)));
-                    }
-                })
+            .map(|w| {
+                let slot = &in_flight[w];
+                let init = &init;
+                let f = &f;
+                let cursor = &cursor;
+                std::thread::Builder::new()
+                    .name(format!("csp-worker-{w}"))
+                    .spawn_scoped(scope, move || {
+                        let mut state = init();
+                        let mut done = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(item) = items.get(i) else {
+                                return done;
+                            };
+                            slot.store(i, Ordering::Relaxed);
+                            done.push((i, f(&mut state, item)));
+                        }
+                    })
+                    .expect("spawning a scoped worker thread cannot fail")
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| match h.join() {
+            .enumerate()
+            .map(|(w, h)| match h.join() {
                 Ok(bucket) => bucket,
-                Err(payload) => std::panic::resume_unwind(payload),
+                Err(payload) => {
+                    let item = in_flight[w].load(Ordering::Relaxed);
+                    eprintln!("csp-worker-{w} panicked while processing item {item}");
+                    std::panic::resume_unwind(payload)
+                }
             })
             .collect()
     });

@@ -94,6 +94,7 @@ pub mod prelude {
     pub use csp_graph::params::CostParams;
     pub use csp_graph::slt::{shallow_light_tree, BreakpointRule};
     pub use csp_graph::{Cost, EdgeId, GraphBuilder, NodeId, RootedTree, Weight, WeightedGraph};
+    pub use csp_sim::shard::{CutStats, ShardPlan};
     pub use csp_sim::sweep::{
         effective_threads, par_map, par_map_with, summarize, SweepGrid, SweepPoint, SweepRun,
         SweepSummary,
@@ -103,7 +104,7 @@ pub mod prelude {
         BaselineSimulator, Checkpoint, Context, CoreKind, CostClass, CostReport, CrashOracle,
         DelayModel, DelayOracle, Detect, DetectConfig, DropOracle, EvalPool, EvalSummary,
         FaultAware, LinkDecision, LinkOracle, ModelOracle, MsgInfo, MsgToken, Process, RelMsg,
-        Reliable, SimTime, Simulator, TimerId,
+        Reliable, ShardedSimulator, SimTime, Simulator, TimerId,
     };
     pub use csp_sync::clock::{run_alpha_star, run_beta_star, run_gamma_star};
     pub use csp_sync::net::{
