@@ -33,7 +33,18 @@
 //!   protocol × graph grid and [`shrink`]s any violating schedule,
 //!   proptest-style, to a 1-minimal replayable counterexample on disk,
 //!   reporting how often the replay fell back past the recorded horizon
-//!   ([`ReplayReport`]).
+//!   ([`ReplayReport`]);
+//! * [`trace`] ([`Trace`], [`explore_exhaustive`]) — the run as its
+//!   sequence of dispatch decisions with a dependence relation over
+//!   deliveries, and a sleep-set/DPOR explorer that evaluates exactly
+//!   one delay schedule per Mazurkiewicz class of delivery orders —
+//!   the exhaustive refutation mode [`SearchConfig::exhaustive`] routes
+//!   [`check_time_bound`] through.
+//!
+//! Construction goes through builders: [`SearchConfig::builder`]
+//! validates budgets before a search runs, and [`Mutation`] is the one
+//! perturbation surface the hill-climb, polish and fault dimensions
+//! share.
 //!
 //! # Example: hunt for a bad schedule
 //!
@@ -67,13 +78,17 @@ pub mod oracle;
 pub mod refute;
 pub mod schedule;
 pub mod search;
+pub mod trace;
 
 pub use oracle::{CriticalPathOracle, Recorder, ScheduleOracle};
 pub use refute::{check_time_bound, shrink, GridPoint, Refutation};
 pub use schedule::{Crash, Decision, Fallback, ParseError, PrefixHasher, Schedule};
 pub use search::{
-    find_worst_schedule, mutate, mutate_with_drops, mutate_with_faults, SearchConfig, SearchOutcome,
+    find_worst_schedule, ConfigError, Mutation, SearchConfig, SearchConfigBuilder, SearchOutcome,
 };
+#[allow(deprecated)]
+pub use search::{mutate, mutate_with_drops, mutate_with_faults};
+pub use trace::{explore_exhaustive, OccurrenceOracle, Trace, TraceStep, DEFAULT_CLASS_BUDGET};
 
 use csp_graph::{NodeId, WeightedGraph};
 use csp_sim::{LinkOracle, Process, Run, Simulator};

@@ -96,6 +96,10 @@ impl<O: LinkOracle> LinkOracle for Recorder<O> {
         }
         at
     }
+
+    fn observe_arrival(&mut self, msg: &MsgInfo, arrival: SimTime) {
+        self.inner.observe_arrival(msg, arrival);
+    }
 }
 
 /// Replays a [`Schedule`]: message `i` takes the recorded fate of

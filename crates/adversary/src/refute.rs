@@ -219,6 +219,13 @@ where
 /// `<label>.schedule`, with the claim and observation in the header.
 /// An empty return vector means the search could not refute the bound
 /// anywhere on the grid.
+///
+/// With [`SearchConfig::exhaustive`] set, each grid point runs the
+/// sleep-set/DPOR explorer ([`crate::explore_exhaustive`]) instead of
+/// the heuristic pipeline: a clean result then means *no reachable
+/// delivery-order class* violates the bound (up to the class budget),
+/// turning the heuristic hunt into a correctness tool on small
+/// instances.
 pub fn check_time_bound<P, F, B>(
     grid: &[GridPoint],
     make: F,
@@ -235,7 +242,11 @@ where
     let mut refutations = Vec::new();
     for point in grid {
         let claimed = bound(point);
-        let outcome: SearchOutcome = find_worst_schedule(&point.graph, &make, cfg);
+        let outcome: SearchOutcome = if cfg.exhaustive {
+            crate::trace::explore_exhaustive(&point.graph, &make, cfg)
+        } else {
+            find_worst_schedule(&point.graph, &make, cfg)
+        };
         if outcome.best_time.get() <= claimed {
             continue;
         }
@@ -252,8 +263,17 @@ where
                         format!("refuted time bound on {}", point.label),
                         format!("claimed <= {claimed}, observed {observed}"),
                         format!(
-                            "found by {} after {} evaluations",
-                            outcome.strategy, outcome.evaluations
+                            "found by {} after {} evaluations{}",
+                            outcome.strategy,
+                            outcome.evaluations,
+                            if outcome.strategy == "exhaustive" {
+                                format!(
+                                    " ({} classes explored, {} schedules pruned)",
+                                    outcome.classes_explored, outcome.schedules_pruned
+                                )
+                            } else {
+                                String::new()
+                            }
                         ),
                         format!(
                             "replay: {} drops, {} crashes, {} past-horizon fallbacks",
@@ -409,12 +429,12 @@ mod tests {
     fn shrink_returns_input_when_not_violating() {
         let g = generators::cycle(4, |_| 3);
         let make = |_: NodeId, _: &WeightedGraph| Ring { done: false };
-        let cfg = SearchConfig {
-            random_probes: 2,
-            hill_rounds: 0,
-            candidates_per_round: 1,
-            ..SearchConfig::default()
-        };
+        let cfg = SearchConfig::builder()
+            .random_probes(2)
+            .hill_rounds(0)
+            .candidates_per_round(1)
+            .build()
+            .unwrap();
         let outcome = find_worst_schedule(&g, make, &cfg);
         let (t, s) = shrink(&g, &make, &outcome.schedule, |t| t.get() > 10_000);
         assert!(t.get() <= 10_000);
@@ -434,12 +454,12 @@ mod tests {
             &grid,
             |_: NodeId, _: &WeightedGraph| Ring { done: false },
             |_| 10,
-            &SearchConfig {
-                random_probes: 2,
-                hill_rounds: 0,
-                candidates_per_round: 1,
-                ..SearchConfig::default()
-            },
+            &SearchConfig::builder()
+                .random_probes(2)
+                .hill_rounds(0)
+                .candidates_per_round(1)
+                .build()
+                .unwrap(),
             Some(&dir),
         );
         assert_eq!(refs.len(), 1);
@@ -459,5 +479,36 @@ mod tests {
         );
         assert!(none.is_empty());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn exhaustive_mode_refutes_through_the_explorer() {
+        // On a cycle the token's path is a single dependent chain — every
+        // delay vector realizes the same delivery-order class, so the
+        // explorer evaluates exactly one class and its worst case is the
+        // true worst case (5·4 = 20).
+        let grid = vec![GridPoint {
+            label: "cycle-n5-exhaustive".to_string(),
+            graph: generators::cycle(5, |_| 4),
+        }];
+        let cfg = SearchConfig::builder().exhaustive(64).build().unwrap();
+        let refs = check_time_bound(
+            &grid,
+            |_: NodeId, _: &WeightedGraph| Ring { done: false },
+            |_| 10,
+            &cfg,
+            None,
+        );
+        assert_eq!(refs.len(), 1);
+        assert_eq!(refs[0].observed, SimTime::new(20), "true worst case");
+        // The same explorer run cannot refute the true bound.
+        let none = check_time_bound(
+            &grid,
+            |_: NodeId, _: &WeightedGraph| Ring { done: false },
+            |_| 20,
+            &cfg,
+            None,
+        );
+        assert!(none.is_empty());
     }
 }

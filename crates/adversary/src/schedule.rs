@@ -68,6 +68,16 @@ pub struct Decision {
     pub dropped: bool,
 }
 
+impl Decision {
+    /// The directed channel the message travelled: `2·edge + dir`.
+    /// Per-directed-channel FIFO makes "the k-th decision on channel c"
+    /// well defined independently of global interleaving — the key the
+    /// trace machinery ([`crate::trace`]) replays and deduplicates by.
+    pub fn channel(&self) -> usize {
+        2 * self.edge.index() + self.dir as usize
+    }
+}
+
 /// A crashed vertex: from `at` onward it silently consumes every
 /// delivery and timer without reacting.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

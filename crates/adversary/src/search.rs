@@ -100,8 +100,24 @@ pub struct SearchConfig {
     /// draws and `drop_flips` drop toggles — making *when a vertex dies*
     /// a real hill-climb coordinate once a crash probe has been adopted.
     /// No-op on crash-free incumbents. `0` (the default) keeps the
-    /// mutation stream byte-identical to [`mutate_with_drops`]'s.
+    /// mutation stream byte-identical to the drop-only mutator's.
     pub crash_time_flips: usize,
+    /// Routes [`check_time_bound`](crate::check_time_bound) through the
+    /// DPOR explorer ([`explore_exhaustive`](crate::explore_exhaustive))
+    /// instead of the heuristic pipeline: every Mazurkiewicz class of
+    /// delivery orders reachable by branching on dependent races gets
+    /// exactly one representative schedule. Only tractable on small
+    /// instances; `false` (the default) keeps the heuristic search.
+    pub exhaustive: bool,
+    /// Cap on equivalence classes the exhaustive explorer evaluates.
+    /// `0` (the default) means the explorer's built-in cap
+    /// ([`DEFAULT_CLASS_BUDGET`](crate::trace::DEFAULT_CLASS_BUDGET)).
+    pub class_budget: usize,
+    /// Latest admissible crash time: the crash-probe grid and every
+    /// [`Mutation`] crash-time redraw are clamped to it, so the search
+    /// never emits a crash the run's horizon makes unobservable. `0`
+    /// (the default) leaves crash times unbounded.
+    pub crash_horizon: u64,
 }
 
 impl Default for SearchConfig {
@@ -118,11 +134,48 @@ impl Default for SearchConfig {
             drop_flips: 0,
             crash_probes: 0,
             crash_time_flips: 0,
+            exhaustive: false,
+            class_budget: 0,
+            crash_horizon: 0,
         }
     }
 }
 
 impl SearchConfig {
+    /// Starts a validated builder from the defaults — the construction
+    /// path every consumer (search bins, the service, tests) goes
+    /// through, so misconfigured budgets fail loudly at build time
+    /// instead of silently searching nothing.
+    pub fn builder() -> SearchConfigBuilder {
+        SearchConfigBuilder {
+            cfg: SearchConfig::default(),
+        }
+    }
+
+    /// The [`Mutation`] the hill and polish phases apply, assembled from
+    /// the config's flip budgets and crash horizon.
+    pub fn mutation(&self) -> Mutation {
+        let m = Mutation::new()
+            .delay_flips(self.flips)
+            .drop_flips(self.drop_flips)
+            .crash_time_flips(self.crash_time_flips);
+        if self.crash_horizon > 0 {
+            m.crash_horizon(self.crash_horizon)
+        } else {
+            m
+        }
+    }
+
+    /// The explorer's effective class cap (`class_budget`, or the
+    /// built-in default when it is 0).
+    pub fn effective_class_budget(&self) -> usize {
+        if self.class_budget > 0 {
+            self.class_budget
+        } else {
+            crate::trace::DEFAULT_CLASS_BUDGET
+        }
+    }
+
     fn worker_threads(&self) -> usize {
         effective_threads(self.threads)
     }
@@ -137,6 +190,170 @@ impl SearchConfig {
         }
     }
 }
+
+/// Builds a [`SearchConfig`] with validation — see
+/// [`SearchConfig::builder`]. Every setter overrides one field of the
+/// defaults; [`SearchConfigBuilder::build`] rejects configurations that
+/// would search nothing or emit unobservable crashes.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchConfigBuilder {
+    cfg: SearchConfig,
+}
+
+impl SearchConfigBuilder {
+    /// Sets [`SearchConfig::random_probes`].
+    pub fn random_probes(mut self, n: usize) -> Self {
+        self.cfg.random_probes = n;
+        self
+    }
+
+    /// Sets [`SearchConfig::hill_rounds`].
+    pub fn hill_rounds(mut self, n: usize) -> Self {
+        self.cfg.hill_rounds = n;
+        self
+    }
+
+    /// Sets [`SearchConfig::candidates_per_round`].
+    pub fn candidates_per_round(mut self, n: usize) -> Self {
+        self.cfg.candidates_per_round = n;
+        self
+    }
+
+    /// Sets [`SearchConfig::flips`].
+    pub fn flips(mut self, n: usize) -> Self {
+        self.cfg.flips = n;
+        self
+    }
+
+    /// Sets [`SearchConfig::seed`].
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets [`SearchConfig::threads`].
+    pub fn threads(mut self, n: usize) -> Self {
+        self.cfg.threads = n;
+        self
+    }
+
+    /// Sets [`SearchConfig::checkpoint_every`].
+    pub fn checkpoint_every(mut self, interval: u64) -> Self {
+        self.cfg.checkpoint_every = interval;
+        self
+    }
+
+    /// Sets [`SearchConfig::polish_passes`].
+    pub fn polish_passes(mut self, n: usize) -> Self {
+        self.cfg.polish_passes = n;
+        self
+    }
+
+    /// Sets [`SearchConfig::drop_flips`].
+    pub fn drop_flips(mut self, n: usize) -> Self {
+        self.cfg.drop_flips = n;
+        self
+    }
+
+    /// Sets [`SearchConfig::crash_probes`].
+    pub fn crash_probes(mut self, n: usize) -> Self {
+        self.cfg.crash_probes = n;
+        self
+    }
+
+    /// Sets [`SearchConfig::crash_time_flips`].
+    pub fn crash_time_flips(mut self, n: usize) -> Self {
+        self.cfg.crash_time_flips = n;
+        self
+    }
+
+    /// Selects the exhaustive DPOR mode ([`SearchConfig::exhaustive`])
+    /// with the given class cap (`0` keeps the built-in default).
+    pub fn exhaustive(mut self, class_budget: usize) -> Self {
+        self.cfg.exhaustive = true;
+        self.cfg.class_budget = class_budget;
+        self
+    }
+
+    /// Sets [`SearchConfig::crash_horizon`].
+    pub fn crash_horizon(mut self, horizon: u64) -> Self {
+        self.cfg.crash_horizon = horizon;
+        self
+    }
+
+    /// Validates and returns the config.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ZeroBudget`] when no phase has any budget (nothing
+    /// beyond the two fixed baselines would run);
+    /// [`ConfigError::NoCandidates`] when hill rounds are requested with
+    /// zero candidates per round; [`ConfigError::FrozenMutation`] when
+    /// hill rounds are requested but every mutation dimension is zero
+    /// (each round would re-score the incumbent verbatim);
+    /// [`ConfigError::UnusedCrashHorizon`] when a crash horizon is set
+    /// but no phase can emit a crash — the knob silently capping nothing
+    /// is the "crash past the horizon" misconfiguration this builder
+    /// exists to reject.
+    pub fn build(self) -> Result<SearchConfig, ConfigError> {
+        let c = &self.cfg;
+        if !c.exhaustive
+            && c.random_probes == 0
+            && c.hill_rounds == 0
+            && c.polish_passes == 0
+            && c.crash_probes == 0
+        {
+            return Err(ConfigError::ZeroBudget);
+        }
+        if c.hill_rounds > 0 && c.candidates_per_round == 0 {
+            return Err(ConfigError::NoCandidates);
+        }
+        if c.hill_rounds > 0 && c.flips + c.drop_flips + c.crash_time_flips == 0 {
+            return Err(ConfigError::FrozenMutation);
+        }
+        if c.crash_horizon > 0 && c.crash_probes == 0 && c.crash_time_flips == 0 {
+            return Err(ConfigError::UnusedCrashHorizon);
+        }
+        Ok(self.cfg)
+    }
+}
+
+/// A [`SearchConfigBuilder`] rejection — see
+/// [`SearchConfigBuilder::build`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConfigError {
+    /// Every search phase has zero budget.
+    ZeroBudget,
+    /// Hill rounds requested with zero candidates per round.
+    NoCandidates,
+    /// Hill rounds requested with every mutation dimension zero.
+    FrozenMutation,
+    /// A crash horizon is set but no phase emits crashes.
+    UnusedCrashHorizon,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroBudget => write!(f, "every search phase has zero budget"),
+            ConfigError::NoCandidates => {
+                write!(f, "hill rounds require candidates_per_round >= 1")
+            }
+            ConfigError::FrozenMutation => write!(
+                f,
+                "hill rounds require at least one nonzero mutation dimension \
+                 (flips, drop_flips or crash_time_flips)"
+            ),
+            ConfigError::UnusedCrashHorizon => write!(
+                f,
+                "crash_horizon is set but neither crash_probes nor crash_time_flips \
+                 can emit a crash time for it to cap"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// The result of a schedule search on one protocol × graph instance.
 #[derive(Clone, Debug)]
@@ -153,13 +370,22 @@ pub struct SearchOutcome {
     /// replaying it reproduces that time exactly.
     pub schedule: Schedule,
     /// Which strategy found the best schedule: `"worst-case"`,
-    /// `"critical-path"`, `"random"`, `"crash"`, `"hill-climb"` or
-    /// `"polish"`.
+    /// `"critical-path"`, `"random"`, `"crash"`, `"hill-climb"`,
+    /// `"polish"` or `"exhaustive"`.
     pub strategy: &'static str,
     /// Total simulator runs spent (checkpoint-resumed candidate
     /// evaluations count as one run each, like the cold runs they
     /// replace).
     pub evaluations: usize,
+    /// Mazurkiewicz classes the exhaustive explorer evaluated — one
+    /// representative schedule each. `0` on heuristic searches, which do
+    /// not track equivalence.
+    pub classes_explored: u64,
+    /// Branches the explorer discarded without evaluation: sleep-set
+    /// covered alternatives (no dependent delivery crossed), duplicate
+    /// crossing-set representatives, and already-visited prefixes. `0`
+    /// on heuristic searches.
+    pub schedules_pruned: u64,
 }
 
 impl SearchOutcome {
@@ -327,33 +553,124 @@ where
     )
 }
 
-/// Re-randomizes `flips` decisions of `base`: each picked decision is set
-/// to rushed (`1`), stretched (`weight`) or a uniform point between.
-/// Equivalent to [`mutate_with_drops`] with `drop_flips = 0`.
+/// One seeded schedule perturbation across every adversarial dimension —
+/// the single mutation surface the hill-climb, polish and future fault
+/// dimensions share (replacing the historical
+/// `mutate`/`mutate_with_drops`/`mutate_with_faults` sprawl).
+///
+/// [`Mutation::apply`] draws, in order: `delay_flips` delay
+/// re-randomizations (each picked decision set to rushed `1`, stretched
+/// `weight`, or a uniform point between), `drop_flips` drop-flag
+/// toggles, then — only on crash-bearing schedules —
+/// `crash_time_flips` crash-time redraws (halved, doubled, or uniform
+/// around the current value). The draw order is a compatibility
+/// contract: a dimension with zero flips consumes no RNG, so enabling a
+/// later dimension never perturbs the mutants of an earlier one, and
+/// committed delay-only witnesses regenerate byte-identically.
+///
+/// An optional [`Mutation::crash_horizon`] clamps redrawn crash times
+/// *after* the draw (consuming no extra RNG, so an unbounded mutation
+/// stays byte-identical), keeping every emitted crash observable within
+/// the run's horizon.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Mutation {
+    delay_flips: usize,
+    drop_flips: usize,
+    crash_time_flips: usize,
+    horizon: Option<u64>,
+}
+
+impl Mutation {
+    /// A mutation with every dimension zero — [`Mutation::apply`] is the
+    /// identity until a flip budget is set.
+    pub fn new() -> Self {
+        Mutation::default()
+    }
+
+    /// Sets how many decisions get their delay re-randomized.
+    pub fn delay_flips(mut self, n: usize) -> Self {
+        self.delay_flips = n;
+        self
+    }
+
+    /// Sets how many decisions get their drop flag toggled.
+    pub fn drop_flips(mut self, n: usize) -> Self {
+        self.drop_flips = n;
+        self
+    }
+
+    /// Sets how many crash times get redrawn (no-op on crash-free
+    /// schedules — the draws are skipped entirely).
+    pub fn crash_time_flips(mut self, n: usize) -> Self {
+        self.crash_time_flips = n;
+        self
+    }
+
+    /// Clamps every redrawn crash time to `at <= horizon` (post-draw, so
+    /// the RNG stream is unchanged).
+    pub fn crash_horizon(mut self, horizon: u64) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// Applies the mutation to `base` under `seed`, returning the mutant.
+    /// Deterministic: same base, seed and dimensions — same mutant.
+    pub fn apply(&self, base: &Schedule, seed: u64) -> Schedule {
+        let mut out = base.clone();
+        if out.decisions.is_empty() {
+            return out;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..self.delay_flips {
+            let i = rng.random_range(0..out.decisions.len() as u64) as usize;
+            let d = &mut out.decisions[i];
+            d.delay = match rng.random_range(0..3u64) {
+                0 => 1,
+                1 => d.weight,
+                _ => rng.random_range(1..=d.weight),
+            };
+        }
+        for _ in 0..self.drop_flips {
+            let i = rng.random_range(0..out.decisions.len() as u64) as usize;
+            let d = &mut out.decisions[i];
+            d.dropped = !d.dropped;
+        }
+        if !out.crashes.is_empty() {
+            for _ in 0..self.crash_time_flips {
+                let c = rng.random_range(0..out.crashes.len() as u64) as usize;
+                let at = out.crashes[c].at;
+                let mut drawn = match rng.random_range(0..3u64) {
+                    0 => (at / 2).max(1),
+                    1 => at.saturating_mul(2).max(1),
+                    _ => rng.random_range(1..=at.saturating_mul(2).max(1)),
+                };
+                if let Some(h) = self.horizon {
+                    drawn = drawn.min(h).max(1);
+                }
+                out.crashes[c].at = drawn;
+            }
+        }
+        out
+    }
+}
+
+/// Re-randomizes `flips` decisions of `base`.
+#[deprecated(note = "use `Mutation::new().delay_flips(flips).apply(base, seed)`")]
 pub fn mutate(base: &Schedule, seed: u64, flips: usize) -> Schedule {
-    mutate_with_drops(base, seed, flips, 0)
+    Mutation::new().delay_flips(flips).apply(base, seed)
 }
 
-/// [`mutate`] plus fault injection: after the `flips` delay
-/// re-randomizations, `drop_flips` further picked decisions have their
-/// drop flag toggled (a delivered message is lost, a lost one is
-/// delivered at its recorded delay). With `drop_flips = 0` the RNG
-/// stream — and therefore the mutant — is identical to [`mutate`]'s, so
-/// enabling fault search never perturbs delay-only results. Equivalent
-/// to [`mutate_with_faults`] with `crash_time_flips = 0`.
+/// Delay re-randomization plus drop-flag toggles.
+#[deprecated(note = "use `Mutation::new().delay_flips(..).drop_flips(..).apply(base, seed)`")]
 pub fn mutate_with_drops(base: &Schedule, seed: u64, flips: usize, drop_flips: usize) -> Schedule {
-    mutate_with_faults(base, seed, flips, drop_flips, 0)
+    Mutation::new()
+        .delay_flips(flips)
+        .drop_flips(drop_flips)
+        .apply(base, seed)
 }
 
-/// [`mutate_with_drops`] plus crash-time search: after the delay and
-/// drop draws, `crash_time_flips` picked crashes have their time
-/// re-randomized — halved, doubled, or redrawn uniformly around the
-/// current value — so *when* a victim dies climbs alongside the delay
-/// and drop coordinates. Crash-free schedules are returned unchanged by
-/// this phase (the crash draws are skipped entirely), and with
-/// `crash_time_flips = 0` the RNG stream is identical to
-/// [`mutate_with_drops`]'s, so the drop-only mutants it pins stay
-/// byte-stable.
+/// Delay, drop and crash-time mutation in one call.
+#[deprecated(note = "use the `Mutation` builder")]
 pub fn mutate_with_faults(
     base: &Schedule,
     seed: u64,
@@ -361,37 +678,11 @@ pub fn mutate_with_faults(
     drop_flips: usize,
     crash_time_flips: usize,
 ) -> Schedule {
-    let mut out = base.clone();
-    if out.decisions.is_empty() {
-        return out;
-    }
-    let mut rng = StdRng::seed_from_u64(seed);
-    for _ in 0..flips {
-        let i = rng.random_range(0..out.decisions.len() as u64) as usize;
-        let d = &mut out.decisions[i];
-        d.delay = match rng.random_range(0..3u64) {
-            0 => 1,
-            1 => d.weight,
-            _ => rng.random_range(1..=d.weight),
-        };
-    }
-    for _ in 0..drop_flips {
-        let i = rng.random_range(0..out.decisions.len() as u64) as usize;
-        let d = &mut out.decisions[i];
-        d.dropped = !d.dropped;
-    }
-    if !out.crashes.is_empty() {
-        for _ in 0..crash_time_flips {
-            let c = rng.random_range(0..out.crashes.len() as u64) as usize;
-            let at = out.crashes[c].at;
-            out.crashes[c].at = match rng.random_range(0..3u64) {
-                0 => (at / 2).max(1),
-                1 => at.saturating_mul(2).max(1),
-                _ => rng.random_range(1..=at.saturating_mul(2).max(1)),
-            };
-        }
-    }
-    out
+    Mutation::new()
+        .delay_flips(flips)
+        .drop_flips(drop_flips)
+        .crash_time_flips(crash_time_flips)
+        .apply(base, seed)
 }
 
 /// Searches for the schedule maximizing completion time of the protocol
@@ -427,6 +718,8 @@ where
         schedule: worst_schedule,
         strategy: "worst-case",
         evaluations: 0,
+        classes_explored: 0,
+        schedules_pruned: 0,
     };
 
     let (t, s) = record_run(g, &make, CriticalPathOracle::new());
@@ -458,9 +751,16 @@ where
     // crash-free checkpoint), so every probe is a cold recorded run.
     if cfg.crash_probes > 0 {
         let horizon = best.best_time.get();
+        // An explicit crash horizon caps the grid: a crash past it would
+        // be recorded but never observed within the run.
+        let cap = if cfg.crash_horizon > 0 {
+            cfg.crash_horizon
+        } else {
+            u64::MAX
+        };
         let mut grid: Vec<u64> = [horizon / 4, horizon / 2, (3 * horizon) / 4]
             .iter()
-            .map(|&at| at.max(1))
+            .map(|&at| at.clamp(1, cap))
             .collect();
         grid.dedup();
         let mut pool = EvalPool::new();
@@ -487,6 +787,7 @@ where
         rebuild_checkpoints(&sim, &make, &best.schedule, interval, &mut checkpoints);
         evaluations += 1;
     }
+    let mutation = cfg.mutation();
     for round in 0..cfg.hill_rounds as u64 {
         let mutation_seeds: Vec<u64> = (0..cfg.candidates_per_round as u64)
             .map(|i| cfg.seed.wrapping_mul(0x100_0001b3) ^ (round << 32 | i))
@@ -494,13 +795,7 @@ where
         let incumbent = &best.schedule;
         let store = &checkpoints;
         let scores = par_map_with(&mutation_seeds, threads, EvalPool::new, |pool, &ms| {
-            let mutant = mutate_with_faults(
-                incumbent,
-                ms,
-                cfg.flips,
-                cfg.drop_flips,
-                cfg.crash_time_flips,
-            );
+            let mutant = mutation.apply(incumbent, ms);
             let fd = first_diff(incumbent, &mutant);
             score_candidate_from(&sim, pool, &make, store, &mutant, fd)
         });
@@ -515,13 +810,7 @@ where
             }
         }
         if let Some((i, t)) = winner {
-            let mutant = mutate_with_faults(
-                &best.schedule,
-                mutation_seeds[i],
-                cfg.flips,
-                cfg.drop_flips,
-                cfg.crash_time_flips,
-            );
+            let mutant = mutation.apply(&best.schedule, mutation_seeds[i]);
             let fd = first_diff(&best.schedule, &mutant);
             let (rt, rs) =
                 evaluate_candidate_from(&sim, &mut main_pool, &make, &checkpoints, &mutant, fd);
@@ -638,29 +927,34 @@ mod tests {
     #[test]
     fn search_never_loses_to_its_own_baseline() {
         let g = small_graph();
-        let cfg = SearchConfig {
-            random_probes: 8,
-            hill_rounds: 3,
-            candidates_per_round: 4,
-            ..SearchConfig::default()
-        };
+        let cfg = SearchConfig::builder()
+            .random_probes(8)
+            .hill_rounds(3)
+            .candidates_per_round(4)
+            .build()
+            .unwrap();
         let out = find_worst_schedule(&g, |_, _| Flood { seen: false }, &cfg);
         assert!(out.best_time >= out.worst_case);
         assert!(out.gap() >= 1.0);
         assert!(out.evaluations >= 1 + 1 + 8);
+        assert_eq!(
+            out.classes_explored, 0,
+            "heuristic search tracks no classes"
+        );
+        assert_eq!(out.schedules_pruned, 0);
     }
 
     #[test]
     fn search_is_deterministic_across_thread_counts() {
         let g = small_graph();
         let run = |threads| {
-            let cfg = SearchConfig {
-                random_probes: 8,
-                hill_rounds: 2,
-                candidates_per_round: 4,
-                threads,
-                ..SearchConfig::default()
-            };
+            let cfg = SearchConfig::builder()
+                .random_probes(8)
+                .hill_rounds(2)
+                .candidates_per_round(4)
+                .threads(threads)
+                .build()
+                .unwrap();
             find_worst_schedule(&g, |_, _| Flood { seen: false }, &cfg)
         };
         let (a, b) = (run(1), run(4));
@@ -676,13 +970,13 @@ mod tests {
         // any `checkpoint_every` must produce the same outcome.
         let g = small_graph();
         let run = |every| {
-            let cfg = SearchConfig {
-                random_probes: 4,
-                hill_rounds: 4,
-                candidates_per_round: 4,
-                checkpoint_every: every,
-                ..SearchConfig::default()
-            };
+            let cfg = SearchConfig::builder()
+                .random_probes(4)
+                .hill_rounds(4)
+                .candidates_per_round(4)
+                .checkpoint_every(every)
+                .build()
+                .unwrap();
             find_worst_schedule(&g, |_, _| Flood { seen: false }, &cfg)
         };
         let dense = run(1);
@@ -702,7 +996,7 @@ mod tests {
             &|_, _| Flood { seen: false },
             ModelOracle::new(DelayModel::Uniform, 3),
         );
-        let mutant = mutate(&base, 99, 16);
+        let mutant = Mutation::new().delay_flips(16).apply(&base, 99);
         assert_eq!(mutant.decisions.len(), base.decisions.len());
         for d in &mutant.decisions {
             assert!(d.delay >= 1 && d.delay <= d.weight);
@@ -711,9 +1005,9 @@ mod tests {
 
     #[test]
     fn zero_drop_flips_matches_the_delay_only_mutator() {
-        // `mutate_with_drops(.., 0)` must draw the identical RNG stream as
-        // `mutate`, so enabling fault search can never perturb delay-only
-        // results (committed witnesses regenerate unchanged).
+        // A zero-flip dimension must draw no RNG at all, so enabling
+        // fault search can never perturb delay-only results (committed
+        // witnesses regenerate unchanged).
         let g = small_graph();
         let (_, base) = record_run(
             &g,
@@ -721,7 +1015,51 @@ mod tests {
             ModelOracle::new(DelayModel::Uniform, 3),
         );
         for seed in [0, 7, 99] {
-            assert_eq!(mutate(&base, seed, 6), mutate_with_drops(&base, seed, 6, 0));
+            assert_eq!(
+                Mutation::new().delay_flips(6).apply(&base, seed),
+                Mutation::new()
+                    .delay_flips(6)
+                    .drop_flips(0)
+                    .apply(&base, seed)
+            );
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_builder() {
+        // The thin wrappers exist so external callers and committed tests
+        // keep compiling; they must stay byte-identical to the builder.
+        let g = small_graph();
+        let (_, mut base) = record_run(
+            &g,
+            &|_, _| Flood { seen: false },
+            ModelOracle::new(DelayModel::Uniform, 3),
+        );
+        base.crashes.push(Crash {
+            node: NodeId::new(1),
+            at: 20,
+        });
+        for seed in [0, 7, 99] {
+            assert_eq!(
+                mutate(&base, seed, 6),
+                Mutation::new().delay_flips(6).apply(&base, seed)
+            );
+            assert_eq!(
+                mutate_with_drops(&base, seed, 6, 2),
+                Mutation::new()
+                    .delay_flips(6)
+                    .drop_flips(2)
+                    .apply(&base, seed)
+            );
+            assert_eq!(
+                mutate_with_faults(&base, seed, 6, 2, 1),
+                Mutation::new()
+                    .delay_flips(6)
+                    .drop_flips(2)
+                    .crash_time_flips(1)
+                    .apply(&base, seed)
+            );
         }
     }
 
@@ -733,7 +1071,7 @@ mod tests {
             &|_, _| Flood { seen: false },
             ModelOracle::new(DelayModel::Uniform, 3),
         );
-        let mutant = mutate_with_drops(&base, 42, 0, 5);
+        let mutant = Mutation::new().drop_flips(5).apply(&base, 42);
         assert!(mutant.dropped_count() > 0, "some flag must flip");
         for (a, b) in base.decisions.iter().zip(&mutant.decisions) {
             assert_eq!(a.delay, b.delay, "delays must be untouched");
@@ -746,21 +1084,17 @@ mod tests {
         // still quiesces — undelivered copies just vanish), so the
         // drop-enabled search must dominate its own delay-only baseline.
         let g = small_graph();
-        let base = SearchConfig {
-            random_probes: 4,
-            hill_rounds: 3,
-            candidates_per_round: 4,
-            polish_passes: 0,
-            ..SearchConfig::default()
-        };
-        let delay_only = find_worst_schedule(&g, |_, _| Flood { seen: false }, &base);
+        let base = SearchConfig::builder()
+            .random_probes(4)
+            .hill_rounds(3)
+            .candidates_per_round(4)
+            .polish_passes(0);
+        let delay_only =
+            find_worst_schedule(&g, |_, _| Flood { seen: false }, &base.build().unwrap());
         let faulty = find_worst_schedule(
             &g,
             |_, _| Flood { seen: false },
-            &SearchConfig {
-                drop_flips: 2,
-                ..base
-            },
+            &base.drop_flips(2).build().unwrap(),
         );
         assert!(faulty.best_time >= delay_only.worst_case);
         assert!(faulty.evaluations >= delay_only.evaluations);
@@ -769,13 +1103,13 @@ mod tests {
     #[test]
     fn crash_probes_are_evaluated_and_recorded() {
         let g = small_graph();
-        let cfg = SearchConfig {
-            random_probes: 2,
-            hill_rounds: 0,
-            polish_passes: 0,
-            crash_probes: 3,
-            ..SearchConfig::default()
-        };
+        let cfg = SearchConfig::builder()
+            .random_probes(2)
+            .hill_rounds(0)
+            .polish_passes(0)
+            .crash_probes(3)
+            .build()
+            .unwrap();
         let out = find_worst_schedule(&g, |_, _| Flood { seen: false }, &cfg);
         // 1 worst-case + 1 critical-path + 2 random + 3 vertices × the
         // 3-point crash-time grid.
@@ -788,7 +1122,7 @@ mod tests {
     #[test]
     fn zero_crash_time_flips_matches_the_drop_mutator() {
         // The crash-time draws are appended after the drop draws, so
-        // disabling them must reproduce `mutate_with_drops` exactly even
+        // disabling them must reproduce the drop-only mutant exactly even
         // on crash-bearing schedules.
         let g = small_graph();
         let (_, mut base) = record_run(
@@ -800,10 +1134,11 @@ mod tests {
             node: NodeId::new(2),
             at: 9,
         });
+        let drops = Mutation::new().delay_flips(6).drop_flips(2);
         for seed in [0, 7, 99] {
             assert_eq!(
-                mutate_with_drops(&base, seed, 6, 2),
-                mutate_with_faults(&base, seed, 6, 2, 0)
+                drops.apply(&base, seed),
+                drops.crash_time_flips(0).apply(&base, seed)
             );
         }
     }
@@ -820,9 +1155,10 @@ mod tests {
             node: NodeId::new(4),
             at: 16,
         });
+        let crash_only = Mutation::new().crash_time_flips(3);
         let mut moved = false;
         for seed in 0..8 {
-            let mutant = mutate_with_faults(&base, seed, 0, 0, 3);
+            let mutant = crash_only.apply(&base, seed);
             assert_eq!(mutant.decisions, base.decisions, "decisions untouched");
             assert_eq!(mutant.crashes.len(), 1);
             assert_eq!(mutant.crashes[0].node, NodeId::new(4), "victim untouched");
@@ -832,15 +1168,101 @@ mod tests {
         assert!(moved, "some seed must actually move the crash time");
         // Crash-free schedules pass through the phase unchanged.
         base.crashes.clear();
-        assert_eq!(mutate_with_faults(&base, 5, 0, 0, 3), base);
+        assert_eq!(crash_only.apply(&base, 5), base);
+    }
+
+    #[test]
+    fn crash_horizon_clamps_without_consuming_rng() {
+        // Clamping happens after the draw, so a horizon wide enough to be
+        // inert leaves the mutant byte-identical, and a tight one caps
+        // every redrawn time without perturbing the decision stream.
+        let mut base = Schedule::default();
+        base.decisions.push(crate::schedule::Decision {
+            index: 0,
+            edge: csp_graph::EdgeId::new(0),
+            dir: 0,
+            weight: 5,
+            delay: 5,
+            dropped: false,
+        });
+        base.crashes.push(Crash {
+            node: NodeId::new(0),
+            at: 40,
+        });
+        let free = Mutation::new().crash_time_flips(2);
+        for seed in 0..16 {
+            let unbounded = free.apply(&base, seed);
+            let wide = free.crash_horizon(u64::MAX).apply(&base, seed);
+            assert_eq!(unbounded, wide, "inert horizon must not change draws");
+            let tight = free.crash_horizon(10).apply(&base, seed);
+            assert!(tight.crashes[0].at >= 1 && tight.crashes[0].at <= 10);
+            assert_eq!(tight.decisions, unbounded.decisions);
+        }
+    }
+
+    #[test]
+    fn builder_validates_budgets_and_horizons() {
+        assert!(SearchConfig::builder().build().is_ok(), "defaults are sane");
+        assert_eq!(
+            SearchConfig::builder()
+                .random_probes(0)
+                .hill_rounds(0)
+                .polish_passes(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroBudget
+        );
+        // The exhaustive mode is a budget of its own.
+        let exhaustive = SearchConfig::builder()
+            .random_probes(0)
+            .hill_rounds(0)
+            .polish_passes(0)
+            .exhaustive(128)
+            .build()
+            .unwrap();
+        assert!(exhaustive.exhaustive);
+        assert_eq!(exhaustive.class_budget, 128);
+        assert_eq!(
+            SearchConfig::builder()
+                .candidates_per_round(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::NoCandidates
+        );
+        assert_eq!(
+            SearchConfig::builder().flips(0).build().unwrap_err(),
+            ConfigError::FrozenMutation
+        );
+        assert!(SearchConfig::builder()
+            .flips(0)
+            .drop_flips(1)
+            .build()
+            .is_ok());
+        assert_eq!(
+            SearchConfig::builder()
+                .crash_horizon(50)
+                .build()
+                .unwrap_err(),
+            ConfigError::UnusedCrashHorizon
+        );
+        assert!(SearchConfig::builder()
+            .crash_probes(2)
+            .crash_horizon(50)
+            .build()
+            .is_ok());
+        for e in [
+            ConfigError::ZeroBudget,
+            ConfigError::NoCandidates,
+            ConfigError::FrozenMutation,
+            ConfigError::UnusedCrashHorizon,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
     }
 
     #[test]
     fn worker_threads_are_capped_at_the_machine() {
-        let cfg = SearchConfig {
-            threads: usize::MAX,
-            ..SearchConfig::default()
-        };
+        let cfg = SearchConfig::builder().threads(usize::MAX).build().unwrap();
         let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
         assert_eq!(cfg.worker_threads(), avail);
         let auto = SearchConfig::default();

@@ -1,0 +1,735 @@
+//! Trace-centric view of a run: dispatch decisions with their effective
+//! arrival times, a happens-before/dependence relation over them, and a
+//! sleep-set/DPOR explorer enumerating one delay schedule per
+//! Mazurkiewicz equivalence class of delivery orders.
+//!
+//! # From schedules to traces
+//!
+//! A [`Schedule`] is a flat delay vector; many delay
+//! vectors commute to the *same delivery order*, and the paper's
+//! adversary quantifies over orders, not vectors. A [`Trace`] re-derives
+//! the order view from a replay: every dispatch decision becomes a
+//! [`TraceStep`] carrying the message's identity *and* its effective
+//! arrival time — observed post-clamp, post-FIFO-floor through the
+//! [`LinkOracle::observe_arrival`] hook, so the trace sees exactly when
+//! each delivery fires in either queue core.
+//!
+//! # The dependence relation
+//!
+//! Two deliveries are **independent** iff they touch disjoint vertex
+//! sets and neither enables the other. [`TraceStep::dependent`] tests
+//! vertex-set overlap (`{from, to} ∩ {from, to} ≠ ∅`), which
+//! conservatively subsumes enablement: if step `i` enables step `j`,
+//! then `j` was sent by the vertex `i` delivered to, so `i.to == j.from`
+//! and the sets overlap. Swapping two adjacent independent deliveries
+//! changes neither vertex's observation sequence, hence neither the
+//! protocol states nor the cost meters — the invariance the
+//! permutation proptests in `tests/dpor_suite.rs` pin.
+//!
+//! Dispatch-time oracles are what make sleep sets sound here: the
+//! runtime consults the oracle *at dispatch*, in a deterministic global
+//! order, and per-directed-channel FIFO makes "the k-th send on channel
+//! c" well defined independently of how unrelated deliveries interleave.
+//! A pruned branch therefore cannot smuggle in a delivery order the
+//! retained representative does not already realize — the replay keyed
+//! by channel occurrence ([`OccurrenceOracle`]) is invariant under
+//! exactly the permutations the dependence relation declares harmless.
+//!
+//! # The explorer and its caveat
+//!
+//! [`explore_exhaustive`] runs a DFS anchored at the all-worst-case
+//! schedule. At each dispatch point it enumerates alternative effective
+//! arrivals, groups them by the set of *dependent* deliveries whose
+//! order against the branched message would flip (the crossing set),
+//! prunes empty-crossing and duplicate-group alternatives (counted in
+//! [`SearchOutcome::schedules_pruned`]), and deduplicates whole classes
+//! by canonical signature ([`Trace::class_signature`]) so each class is
+//! evaluated once ([`SearchOutcome::classes_explored`]).
+//!
+//! The timed model couples orders and times both ways: shifting one
+//! arrival moves every downstream send time, which can open arrival
+//! windows a fixed-prefix analysis does not see. The explorer is
+//! therefore exhaustive over the classes reachable by its race-driven
+//! branching — for monotone protocols (flooding, DFS) the all-worst-case
+//! anchor is already the true worst case and the enumeration is a
+//! *coverage proof*, cross-checked against full naive enumeration in the
+//! DPOR suite — but on timing-dependent protocols a class reachable only
+//! through a downstream window shift can be missed. The honest contract:
+//! one representative per *discovered* class, never two evaluations of
+//! the same class.
+
+use crate::oracle::{Recorder, ScheduleOracle};
+use crate::schedule::{Decision, Fallback, Schedule};
+use crate::search::{SearchConfig, SearchOutcome};
+use csp_graph::{EdgeId, NodeId, WeightedGraph};
+use csp_sim::{
+    DelayModel, EvalPool, LinkDecision, LinkOracle, ModelOracle, MsgInfo, Process, Run, SimTime,
+    Simulator,
+};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Class cap the explorer applies when
+/// [`SearchConfig::class_budget`](crate::SearchConfig::class_budget) is
+/// left at 0.
+pub const DEFAULT_CLASS_BUDGET: usize = 4096;
+
+/// One dispatch decision of a run, with its effective arrival time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceStep {
+    /// Global dispatch index — matches [`MsgInfo::index`].
+    pub index: u64,
+    /// The edge crossed.
+    pub edge: EdgeId,
+    /// Direction bit, as in [`MsgInfo::dir`].
+    pub dir: u8,
+    /// Edge weight at dispatch time.
+    pub weight: u64,
+    /// The effective (clamped) delay the oracle decided.
+    pub delay: u64,
+    /// Sending vertex.
+    pub from: NodeId,
+    /// Receiving vertex.
+    pub to: NodeId,
+    /// When the message was sent.
+    pub sent: u64,
+    /// When the delivery fires: `max(sent + delay, channel floor)` — the
+    /// post-clamp, post-FIFO-floor time observed through
+    /// [`LinkOracle::observe_arrival`].
+    pub arrival: u64,
+}
+
+impl TraceStep {
+    /// The directed channel the message travelled: `2·edge + dir`. FIFO
+    /// holds per channel, so "the k-th send on channel c" identifies a
+    /// message independently of global interleaving.
+    pub fn channel(&self) -> usize {
+        2 * self.edge.index() + self.dir as usize
+    }
+
+    /// Whether the two deliveries are **dependent**: their vertex sets
+    /// `{from, to}` overlap. Disjoint-vertex deliveries are independent
+    /// — they cannot enable each other either, since enablement implies
+    /// `self.to == other.from` (see the [module docs](self)).
+    pub fn dependent(&self, other: &TraceStep) -> bool {
+        self.from == other.from
+            || self.from == other.to
+            || self.to == other.from
+            || self.to == other.to
+    }
+}
+
+/// Captures a [`TraceStep`] per delivered dispatch on top of any inner
+/// oracle, pairing each decision with the effective arrival reported
+/// through [`LinkOracle::observe_arrival`]. Dropped messages produce no
+/// step — they never arrive.
+#[derive(Clone, Debug)]
+struct ArrivalProbe<O> {
+    inner: O,
+    steps: Vec<TraceStep>,
+}
+
+impl<O> ArrivalProbe<O> {
+    fn new(inner: O) -> Self {
+        ArrivalProbe {
+            inner,
+            steps: Vec::new(),
+        }
+    }
+}
+
+impl<O: LinkOracle> LinkOracle for ArrivalProbe<O> {
+    fn decide(&mut self, msg: &MsgInfo) -> LinkDecision {
+        let decision = self.inner.decide(msg);
+        if let LinkDecision::Deliver { delay } = decision {
+            self.steps.push(TraceStep {
+                index: msg.index,
+                edge: msg.edge,
+                dir: msg.dir,
+                weight: msg.weight.get(),
+                delay: delay.clamp(1, msg.weight.get()),
+                from: msg.from,
+                to: msg.to,
+                sent: msg.sent.get(),
+                arrival: 0, // filled by observe_arrival below
+            });
+        }
+        decision
+    }
+
+    fn crash_at(&mut self, node: NodeId) -> Option<SimTime> {
+        self.inner.crash_at(node)
+    }
+
+    fn observe_arrival(&mut self, msg: &MsgInfo, arrival: SimTime) {
+        // The runtime observes the arrival in the same dispatch that
+        // decided the delivery, so it always completes the last step.
+        let step = self
+            .steps
+            .last_mut()
+            .expect("observe_arrival follows a Deliver decision");
+        debug_assert_eq!(step.index, msg.index, "arrival out of dispatch order");
+        step.arrival = arrival.get();
+        self.inner.observe_arrival(msg, arrival);
+    }
+}
+
+/// A run as its sequence of dispatch decisions with effective arrivals —
+/// the representation the dependence relation and the DPOR explorer
+/// operate on. Steps are in dispatch order; the realized *delivery*
+/// order is recovered by [`Trace::delivery_order`].
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    steps: Vec<TraceStep>,
+}
+
+impl Trace {
+    /// Replays `schedule` while deriving its trace: every delivered
+    /// dispatch becomes a [`TraceStep`]. Returns the completed run and
+    /// the trace. Decisions past the recorded horizon are served by the
+    /// schedule's fallback and traced all the same, so a prefix schedule
+    /// yields a full-run trace.
+    pub fn record<P, F>(g: &WeightedGraph, make: F, schedule: &Schedule) -> (Run<P>, Trace)
+    where
+        P: Process,
+        F: FnMut(NodeId, &WeightedGraph) -> P,
+    {
+        let mut probe = ArrivalProbe::new(ScheduleOracle::new(schedule));
+        let run = Simulator::new(g)
+            .run_with_oracle(&mut probe, make)
+            .expect("replayed protocol must quiesce");
+        (run, Trace { steps: probe.steps })
+    }
+
+    /// The recorded steps, in dispatch order.
+    pub fn steps(&self) -> &[TraceStep] {
+        &self.steps
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Positions into [`Trace::steps`] in realized delivery order:
+    /// ascending arrival, ties broken by dispatch order — exactly the
+    /// pop order of both queue cores (bucket FIFO and `(time, seq)`
+    /// heap agree on it).
+    pub fn delivery_order(&self) -> Vec<usize> {
+        let mut ord: Vec<usize> = (0..self.steps.len()).collect();
+        ord.sort_by_key(|&i| (self.steps[i].arrival, i));
+        ord
+    }
+
+    /// Whether steps `i` and `j` (positions into [`Trace::steps`]) are
+    /// dependent — see [`TraceStep::dependent`].
+    pub fn dependent(&self, i: usize, j: usize) -> bool {
+        self.steps[i].dependent(&self.steps[j])
+    }
+
+    /// Rebuilds the delay-only [`Schedule`] this trace realizes. Only
+    /// meaningful for drop-free runs (every dispatch delivered), where
+    /// step positions coincide with dispatch indices.
+    pub fn to_schedule(&self, fallback: Fallback) -> Schedule {
+        let decisions: Vec<Decision> = self
+            .steps
+            .iter()
+            .map(|s| Decision {
+                index: s.index,
+                edge: s.edge,
+                dir: s.dir,
+                weight: s.weight,
+                delay: s.delay,
+                dropped: false,
+            })
+            .collect();
+        debug_assert!(
+            decisions
+                .iter()
+                .enumerate()
+                .all(|(i, d)| d.index == i as u64),
+            "to_schedule requires a drop-free trace"
+        );
+        Schedule {
+            decisions,
+            fallback,
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Canonical 64-bit signature of the run's Mazurkiewicz class: the
+    /// hash of the lexicographically least linear extension of the
+    /// dependence partial order over the realized delivery sequence,
+    /// with each delivery named by its `(channel, occurrence)` pair —
+    /// stable under exactly the permutations that commute independent
+    /// deliveries. Two runs get equal signatures iff they realize the
+    /// same class (up to 64-bit-hash collisions).
+    pub fn class_signature(&self) -> u64 {
+        let ord = self.delivery_order();
+        let k = ord.len();
+        // (channel, occurrence) names: per-channel counters over dispatch
+        // order, which under FIFO equals per-channel delivery order.
+        let mut occ = vec![0u64; self.steps.len()];
+        let mut counts: HashMap<usize, u64> = HashMap::new();
+        for (pos, s) in self.steps.iter().enumerate() {
+            let c = counts.entry(s.channel()).or_insert(0);
+            occ[pos] = *c;
+            *c += 1;
+        }
+        // Dependence DAG over delivery positions.
+        let mut indeg = vec![0usize; k];
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for p in 0..k {
+            for q in (p + 1)..k {
+                if self.steps[ord[p]].dependent(&self.steps[ord[q]]) {
+                    succs[p].push(q);
+                    indeg[q] += 1;
+                }
+            }
+        }
+        // Greedy least linear extension by (channel, occurrence).
+        let mut ready: BinaryHeap<Reverse<(usize, u64, usize)>> = (0..k)
+            .filter(|&p| indeg[p] == 0)
+            .map(|p| {
+                let s = &self.steps[ord[p]];
+                Reverse((s.channel(), occ[ord[p]], p))
+            })
+            .collect();
+        let mut h = SIG_OFFSET;
+        while let Some(Reverse((channel, occurrence, p))) = ready.pop() {
+            h = mix(h, channel as u64);
+            h = mix(h, occurrence);
+            for &q in &succs[p] {
+                indeg[q] -= 1;
+                if indeg[q] == 0 {
+                    let s = &self.steps[ord[q]];
+                    ready.push(Reverse((s.channel(), occ[ord[q]], q)));
+                }
+            }
+        }
+        h
+    }
+
+    /// The channel's FIFO floor right before step `i` dispatched: the
+    /// arrival of the previous delivery on the same channel (0 when `i`
+    /// is the channel's first).
+    fn floor_before(&self, i: usize) -> u64 {
+        let c = self.steps[i].channel();
+        self.steps[..i]
+            .iter()
+            .rev()
+            .find(|s| s.channel() == c)
+            .map_or(0, |s| s.arrival)
+    }
+}
+
+const SIG_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn mix(h: u64, word: u64) -> u64 {
+    let mut x = (h ^ word).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 32;
+    x.wrapping_mul(0xff51_afd7_ed55_8ccd)
+}
+
+/// Replays a delay schedule keyed by **channel occurrence** instead of
+/// global dispatch index: the k-th send on directed channel `c` takes
+/// the delay the k-th recorded decision on `c` took, wherever that send
+/// lands in the global dispatch order.
+///
+/// Per-directed-channel FIFO makes the key well defined, and the lookup
+/// is invariant under any permutation of the decision list that
+/// preserves per-channel order — which is precisely why permuting
+/// *independent* decisions replays to a bit-identical run (pinned by the
+/// DPOR proptest suite). Sends beyond a channel's recorded decisions are
+/// delivered at full weight ([`Fallback::WorstCase`] semantics) and
+/// counted in [`OccurrenceOracle::unmatched`]; the oracle never drops.
+#[derive(Clone, Debug, Default)]
+pub struct OccurrenceOracle {
+    delays: HashMap<usize, Vec<u64>>,
+    cursor: HashMap<usize, usize>,
+    /// Sends past their channel's recorded decisions, served at full
+    /// weight. A faithful same-run replay keeps this at 0.
+    pub unmatched: u64,
+}
+
+impl OccurrenceOracle {
+    /// Builds the per-channel delay lists from `decisions` in the given
+    /// order (delay-only: a dropped decision contributes its recorded
+    /// delay — this oracle never drops).
+    pub fn new(decisions: &[Decision]) -> Self {
+        let mut delays: HashMap<usize, Vec<u64>> = HashMap::new();
+        for d in decisions {
+            delays.entry(d.channel()).or_default().push(d.delay);
+        }
+        OccurrenceOracle {
+            delays,
+            cursor: HashMap::new(),
+            unmatched: 0,
+        }
+    }
+}
+
+impl LinkOracle for OccurrenceOracle {
+    fn decide(&mut self, msg: &MsgInfo) -> LinkDecision {
+        let channel = 2 * msg.edge.index() + msg.dir as usize;
+        let k = self.cursor.entry(channel).or_insert(0);
+        let slot = self.delays.get(&channel).and_then(|v| v.get(*k)).copied();
+        *k += 1;
+        match slot {
+            Some(delay) => LinkDecision::Deliver { delay },
+            None => {
+                self.unmatched += 1;
+                LinkDecision::Deliver {
+                    delay: msg.weight.get(),
+                }
+            }
+        }
+    }
+}
+
+/// One frontier item of the explorer's DFS: a branch schedule and the
+/// dispatch position branching resumes from (sleep-set discipline:
+/// positions before it are covered by the parent).
+struct Frontier {
+    schedule: Schedule,
+    branch_start: usize,
+}
+
+/// Enumerates one representative delay schedule per Mazurkiewicz class
+/// of delivery orders reachable from the all-worst-case anchor,
+/// returning the worst representative found. Delay-only: drops and
+/// crashes are separate search dimensions the explorer does not touch.
+///
+/// DFS discipline (see the [module docs](self) for soundness and the
+/// timed-model caveat):
+///
+/// 1. replay the frontier schedule, trace it, and skip it entirely if
+///    its class was already evaluated;
+/// 2. otherwise count the class, adopt its completion time if worse
+///    than the incumbent, and branch: at every dispatch position from
+///    the branch start, enumerate alternative effective arrivals,
+///    group them by crossing set against *dependent* deliveries, and
+///    keep the earliest-arrival representative of each non-empty group
+///    (everything else is pruned);
+/// 3. stop at the class budget
+///    ([`SearchConfig::effective_class_budget`]) or at `8×` that many
+///    replays, whichever comes first.
+///
+/// The outcome's strategy is `"exhaustive"`;
+/// [`SearchOutcome::classes_explored`] and
+/// [`SearchOutcome::schedules_pruned`] report the reduction achieved.
+/// Deterministic: same graph, protocol and config — same outcome.
+pub fn explore_exhaustive<P, F>(g: &WeightedGraph, make: F, cfg: &SearchConfig) -> SearchOutcome
+where
+    P: Process,
+    F: Fn(NodeId, &WeightedGraph) -> P,
+{
+    let sim = Simulator::new(g);
+    let mut pool: EvalPool<P> = EvalPool::new();
+    let class_budget = cfg.effective_class_budget();
+    let eval_budget = class_budget.saturating_mul(8);
+
+    // Anchor: the all-worst-case run, which also defines `worst_case`.
+    let mut rec = Recorder::new(ModelOracle::new(DelayModel::WorstCase, cfg.seed));
+    let anchor_time = sim
+        .eval(&mut pool, &mut rec, |v, g| make(v, g))
+        .expect("protocol must quiesce under worst-case delays")
+        .completion;
+    let anchor = rec.into_schedule(Fallback::WorstCase);
+
+    let mut best = SearchOutcome {
+        worst_case: anchor_time,
+        best_time: anchor_time,
+        schedule: anchor.clone(),
+        strategy: "exhaustive",
+        evaluations: 1,
+        classes_explored: 0,
+        schedules_pruned: 0,
+    };
+
+    let mut seen_classes: HashSet<u64> = HashSet::new();
+    let mut seen_prefixes: HashSet<u64> = HashSet::new();
+    let mut stack = vec![Frontier {
+        schedule: anchor,
+        branch_start: 0,
+    }];
+
+    while let Some(Frontier {
+        schedule,
+        branch_start,
+    }) = stack.pop()
+    {
+        if best.classes_explored as usize >= class_budget || best.evaluations >= eval_budget {
+            break;
+        }
+        // Replay + trace the frontier schedule. The replay extends past
+        // the recorded prefix under the worst-case fallback, so the
+        // trace always covers the whole run.
+        let mut probe = ArrivalProbe::new(ScheduleOracle::new(&schedule));
+        let completion = sim
+            .eval(&mut pool, &mut probe, |v, g| make(v, g))
+            .expect("protocol must quiesce under an admissible schedule")
+            .completion;
+        best.evaluations += 1;
+        let trace = Trace { steps: probe.steps };
+
+        let sig = trace.class_signature();
+        if !seen_classes.insert(sig) {
+            // A different delay vector, same delivery-order class: the
+            // class representative already evaluated covers it.
+            best.schedules_pruned += 1;
+            continue;
+        }
+        best.classes_explored += 1;
+        if completion > best.best_time {
+            best.best_time = completion;
+            best.schedule = trace.to_schedule(Fallback::WorstCase);
+        }
+
+        // Branch on dependent races at every dispatch point from the
+        // sleep-set start.
+        for i in branch_start..trace.len() {
+            let step = trace.steps[i];
+            let floor = trace.floor_before(i);
+            let lo = (step.sent + 1).max(floor);
+            let hi = (step.sent + step.weight).max(lo);
+            // Candidate arrivals: the extremes plus the boundaries
+            // around every dependent delivery inside the feasible
+            // window — enough to realize every distinct crossing set.
+            let mut candidates: Vec<u64> = vec![lo, hi];
+            for (j, other) in trace.steps.iter().enumerate() {
+                if j == i || !step.dependent(other) {
+                    continue;
+                }
+                for a in [
+                    other.arrival.saturating_sub(1),
+                    other.arrival,
+                    other.arrival + 1,
+                ] {
+                    if (lo..=hi).contains(&a) {
+                        candidates.push(a);
+                    }
+                }
+            }
+            candidates.sort_unstable();
+            candidates.dedup();
+            let mut groups: HashSet<u64> = HashSet::new();
+            for target in candidates {
+                if target == step.arrival {
+                    continue;
+                }
+                // Crossing set: dependent deliveries whose order
+                // against step i flips when its arrival moves from
+                // `step.arrival` to `target` (dispatch index breaks
+                // arrival ties, matching the queue cores).
+                let mut crossing = SIG_OFFSET;
+                let mut crossed = false;
+                for (j, other) in trace.steps.iter().enumerate() {
+                    if j == i || !step.dependent(other) {
+                        continue;
+                    }
+                    let before_now = (step.arrival, i) < (other.arrival, j);
+                    let before_then = (target, i) < (other.arrival, j);
+                    if before_now != before_then {
+                        crossing = mix(crossing, j as u64);
+                        crossed = true;
+                    }
+                }
+                if !crossed {
+                    // Sleep-set covered: no dependent race flips, so the
+                    // branch commutes back into this very class.
+                    best.schedules_pruned += 1;
+                    continue;
+                }
+                if !groups.insert(crossing) {
+                    // Same crossing set as an earlier (earlier-arrival)
+                    // candidate: one representative per race suffices.
+                    best.schedules_pruned += 1;
+                    continue;
+                }
+                let mut branch: Vec<Decision> = trace.steps[..=i]
+                    .iter()
+                    .map(|s| Decision {
+                        index: s.index,
+                        edge: s.edge,
+                        dir: s.dir,
+                        weight: s.weight,
+                        delay: s.delay,
+                        dropped: false,
+                    })
+                    .collect();
+                branch[i].delay = target.saturating_sub(step.sent).clamp(1, step.weight);
+                let branched = Schedule {
+                    decisions: branch,
+                    fallback: Fallback::WorstCase,
+                    crashes: Vec::new(),
+                };
+                if !seen_prefixes.insert(branched.prefix_key(branched.len())) {
+                    best.schedules_pruned += 1;
+                    continue;
+                }
+                stack.push(Frontier {
+                    schedule: branched,
+                    branch_start: i + 1,
+                });
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{record, replay};
+    use csp_graph::generators::{self, WeightDist};
+    use csp_sim::Context;
+
+    #[derive(Clone)]
+    struct Flood {
+        seen: bool,
+    }
+
+    impl Process for Flood {
+        type Msg = ();
+        fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+            if ctx.self_id() == NodeId::new(0) {
+                self.seen = true;
+                ctx.send_all(());
+            }
+        }
+        fn on_message(&mut self, _from: NodeId, _msg: (), ctx: &mut Context<'_, ()>) {
+            if !self.seen {
+                self.seen = true;
+                ctx.send_all(());
+            }
+        }
+    }
+
+    fn flood() -> impl Fn(NodeId, &WeightedGraph) -> Flood + Sync {
+        |_, _| Flood { seen: false }
+    }
+
+    fn tiny() -> WeightedGraph {
+        generators::connected_gnp(8, 0.35, WeightDist::Uniform(1, 3), 11)
+    }
+
+    fn recorded(g: &WeightedGraph, seed: u64) -> Schedule {
+        let (_, s) = record(
+            g,
+            flood(),
+            ModelOracle::new(DelayModel::Uniform, seed),
+            Fallback::WorstCase,
+        );
+        s
+    }
+
+    #[test]
+    fn trace_matches_its_schedule() {
+        let g = tiny();
+        let s = recorded(&g, 3);
+        let (run, trace) = Trace::record::<Flood, _>(&g, flood(), &s);
+        assert_eq!(trace.len(), s.decisions.len());
+        for (step, d) in trace.steps().iter().zip(&s.decisions) {
+            assert_eq!(step.index, d.index);
+            assert_eq!(step.edge, d.edge);
+            assert_eq!(step.delay, d.delay);
+            assert!(step.arrival >= step.sent + step.delay);
+        }
+        // The trace's completion is the run's: the latest arrival.
+        let max_arrival = trace.steps().iter().map(|s| s.arrival).max().unwrap();
+        assert_eq!(max_arrival, run.cost.completion.get());
+        // Rebuilt schedule round-trips.
+        assert_eq!(
+            trace.to_schedule(Fallback::WorstCase).decisions,
+            s.decisions
+        );
+    }
+
+    #[test]
+    fn arrivals_respect_fifo_floors() {
+        let g = tiny();
+        let (_, trace) = Trace::record::<Flood, _>(&g, flood(), &recorded(&g, 5));
+        for i in 0..trace.len() {
+            let floor = trace.floor_before(i);
+            let s = trace.steps()[i];
+            assert_eq!(s.arrival, (s.sent + s.delay).max(floor));
+        }
+    }
+
+    #[test]
+    fn class_signature_is_invariant_under_independent_swaps_only() {
+        let g = tiny();
+        let (_, trace) = Trace::record::<Flood, _>(&g, flood(), &recorded(&g, 7));
+        let base_sig = trace.class_signature();
+        let ord = trace.delivery_order();
+        // Swapping two adjacent deliveries in the realized order: if they
+        // are independent the signature must not change when we rebuild a
+        // trace realizing the swapped order; here we test the cheaper
+        // direct invariant — the signature is a function of the
+        // dependence partial order, so recomputing it is stable.
+        assert_eq!(trace.class_signature(), base_sig, "deterministic");
+        // A genuinely different class (rush everything) differs.
+        let mut rushed = trace.to_schedule(Fallback::WorstCase);
+        for d in &mut rushed.decisions {
+            d.delay = 1;
+        }
+        let (_, rushed_trace) = Trace::record::<Flood, _>(&g, flood(), &rushed);
+        // Rushing every delay reorders dependent deliveries on any graph
+        // where the worst-case order had slack; tolerate equality only if
+        // the delivery order is genuinely unchanged.
+        if rushed_trace.delivery_order() != ord
+            && rushed_trace
+                .delivery_order()
+                .iter()
+                .zip(&ord)
+                .any(|(&a, &b)| rushed_trace.steps()[a].channel() != trace.steps()[b].channel())
+        {
+            assert_ne!(rushed_trace.class_signature(), base_sig);
+        }
+    }
+
+    #[test]
+    fn occurrence_replay_reproduces_the_run() {
+        let g = tiny();
+        let s = recorded(&g, 9);
+        let direct = replay::<Flood, _>(&g, flood(), &s);
+        let mut occ = OccurrenceOracle::new(&s.decisions);
+        let via_occurrence = Simulator::new(&g)
+            .run_with_oracle(&mut occ, flood())
+            .unwrap();
+        assert_eq!(occ.unmatched, 0);
+        assert_eq!(direct.cost, via_occurrence.cost);
+    }
+
+    #[test]
+    fn explorer_covers_at_least_the_anchor_and_is_deterministic() {
+        let g = tiny();
+        let cfg = SearchConfig::builder().exhaustive(256).build().unwrap();
+        let a = explore_exhaustive(&g, flood(), &cfg);
+        let b = explore_exhaustive(&g, flood(), &cfg);
+        assert_eq!(a.strategy, "exhaustive");
+        assert!(a.classes_explored >= 1);
+        assert!(a.best_time >= a.worst_case);
+        assert_eq!(a.best_time, b.best_time);
+        assert_eq!(a.classes_explored, b.classes_explored);
+        assert_eq!(a.schedules_pruned, b.schedules_pruned);
+        assert_eq!(a.schedule, b.schedule);
+        // The returned representative replays to exactly the best time.
+        let rerun = replay::<Flood, _>(&g, flood(), &a.schedule);
+        assert_eq!(rerun.cost.completion, a.best_time);
+    }
+
+    #[test]
+    fn explorer_respects_the_class_budget() {
+        let g = tiny();
+        let cfg = SearchConfig::builder().exhaustive(4).build().unwrap();
+        let out = explore_exhaustive(&g, flood(), &cfg);
+        assert!(out.classes_explored <= 4);
+    }
+}

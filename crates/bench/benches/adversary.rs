@@ -58,12 +58,12 @@ fn bench_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("adversary_search");
     group.sample_size(10);
     let g = workload();
-    let cfg = SearchConfig {
-        random_probes: 8,
-        hill_rounds: 3,
-        candidates_per_round: 4,
-        ..SearchConfig::default()
-    };
+    let cfg = SearchConfig::builder()
+        .random_probes(8)
+        .hill_rounds(3)
+        .candidates_per_round(4)
+        .build()
+        .expect("bench search config is statically valid");
     let root = NodeId::new(0);
     group.bench_with_input(BenchmarkId::new("find_worst", "ghs"), &g, |b, g| {
         b.iter(|| black_box(find_worst_schedule(g, Ghs::new, &cfg)))

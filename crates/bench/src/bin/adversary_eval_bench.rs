@@ -31,7 +31,7 @@
 //! pays when it adopts an incumbent — is charged to the polish stream's
 //! "after" timing.
 
-use csp_adversary::{mutate, Fallback, Recorder, Schedule, ScheduleOracle};
+use csp_adversary::{Fallback, Mutation, Recorder, Schedule, ScheduleOracle};
 use csp_algo::spt::recur::SptRecur;
 use csp_graph::{generators, NodeId, WeightedGraph};
 use csp_sim::{Checkpoint, CoreKind, DelayModel, EvalPool, ModelOracle, SimTime, Simulator};
@@ -142,7 +142,9 @@ fn polish_candidates(incumbent: &Schedule, budget: usize) -> Vec<(u64, Schedule)
 fn hill_candidates(incumbent: &Schedule, budget: usize) -> Vec<(u64, Schedule)> {
     (0..budget)
         .map(|i| {
-            let m = mutate(incumbent, 0x5eed ^ i as u64, FLIPS);
+            let m = Mutation::new()
+                .delay_flips(FLIPS)
+                .apply(incumbent, 0x5eed ^ i as u64);
             let fd = incumbent
                 .decisions
                 .iter()

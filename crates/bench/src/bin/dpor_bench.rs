@@ -1,0 +1,217 @@
+//! DPOR reduction: how many delay schedules the sleep-set explorer
+//! evaluates versus naive enumeration of the whole delay cube.
+//!
+//! ```text
+//! cargo run -p csp-bench --release --bin dpor_bench \
+//!     [-- out.json [class_budget]]
+//! ```
+//!
+//! Each workload is a small `Uniform(1, 2)`-weighted gnp instance under
+//! flooding, where the naive schedule count is exactly `Π_e w(e)²`
+//! (every directed edge carries one message with `w(e)` admissible
+//! delays). The n=8 instance is small enough to enumerate *every* delay
+//! assignment by backtracking DFS, which pins two facts the CI job
+//! gates on:
+//!
+//! * the explorer's worst completion equals the naive enumeration's
+//!   worst — no class the adversary cares about was lost; and
+//! * the explorer evaluated at least 5× fewer schedules than the cube
+//!   holds (`reduction = naive_schedules / dpor_evaluations`).
+//!
+//! Larger instances report the computed cube size only — enumerating
+//! `2^26` runs is the point of *not* doing naive search. The report
+//! lands in `BENCH_dpor.json` (schema pinned by CI).
+
+use csp_adversary::{explore_exhaustive, SearchConfig};
+use csp_algo::flood::Flood;
+use csp_graph::{generators, NodeId, WeightedGraph};
+use csp_sim::{DelayOracle, MsgInfo, Simulator};
+use std::time::Instant;
+
+fn make(v: NodeId, _: &WeightedGraph) -> Flood {
+    Flood::new(v == NodeId::new(0))
+}
+
+fn workloads() -> Vec<(&'static str, bool, WeightedGraph)> {
+    // (name, enumerate_naive, graph). Weights are Uniform(1, 2) so the
+    // delay cube is 2^(2 · #weight-2 edges) — enumerable at n=8.
+    vec![
+        (
+            "gnp-n8",
+            true,
+            generators::connected_gnp(8, 0.25, generators::WeightDist::Uniform(1, 2), 8),
+        ),
+        (
+            "gnp-n10",
+            false,
+            generators::connected_gnp(10, 0.3, generators::WeightDist::Uniform(1, 2), 10),
+        ),
+        (
+            "gnp-n12",
+            false,
+            generators::connected_gnp(12, 0.3, generators::WeightDist::Uniform(1, 2), 12),
+        ),
+    ]
+}
+
+/// Replays a fixed prefix of per-dispatch delay choices and extends the
+/// path with the fastest admissible delay at every fresh dispatch —
+/// one leaf of the adaptive enumeration tree per run.
+struct EnumOracle<'a> {
+    /// `(choice, weight)` per dispatch index, in dispatch order.
+    path: &'a mut Vec<(u64, u64)>,
+    cursor: usize,
+}
+
+impl DelayOracle for EnumOracle<'_> {
+    fn delay(&mut self, msg: &MsgInfo) -> u64 {
+        if self.cursor < self.path.len() {
+            let choice = self.path[self.cursor].0;
+            self.cursor += 1;
+            choice
+        } else {
+            self.path.push((1, msg.weight.get()));
+            self.cursor += 1;
+            1
+        }
+    }
+}
+
+/// Walks every delay assignment of the (adaptive) decision tree by
+/// backtracking DFS: run, bump the deepest non-maximal choice, truncate
+/// everything after it, repeat. Returns `(leaves, worst_completion)`.
+fn enumerate_naive(g: &WeightedGraph, cap: u64) -> (u64, u64) {
+    let mut path: Vec<(u64, u64)> = Vec::new();
+    let mut leaves = 0u64;
+    let mut worst = 0u64;
+    loop {
+        let mut oracle = EnumOracle {
+            path: &mut path,
+            cursor: 0,
+        };
+        let run = Simulator::new(g)
+            .run_with_oracle(&mut oracle, make)
+            .expect("flood quiesces under every admissible schedule");
+        leaves += 1;
+        worst = worst.max(run.cost.completion.get());
+        assert!(
+            leaves <= cap,
+            "naive enumeration exceeded {cap} leaves — choose a smaller instance"
+        );
+        while let Some(last) = path.last_mut() {
+            if last.0 < last.1 {
+                last.0 += 1;
+                break;
+            }
+            path.pop();
+        }
+        if path.is_empty() {
+            break;
+        }
+    }
+    (leaves, worst)
+}
+
+/// `Π_e w(e)²` — the naive schedule count, computed without running:
+/// under flooding every directed edge carries exactly one message with
+/// `w(e)` admissible delays.
+fn cube_size(g: &WeightedGraph) -> u64 {
+    let mut product: u64 = 1;
+    for e in g.edges() {
+        let w = e.weight().get();
+        product = product
+            .checked_mul(w.checked_mul(w).expect("w² fits"))
+            .expect("delay cube fits in u64 for bench instances");
+    }
+    product
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_dpor.json".to_string());
+    let class_budget: usize = args
+        .next()
+        .map(|s| s.parse().expect("class_budget must be an integer"))
+        .unwrap_or(4096);
+
+    let cfg = SearchConfig::builder()
+        .exhaustive(class_budget)
+        .build()
+        .expect("exhaustive bench config is statically valid");
+
+    let mut rows = Vec::new();
+    for (name, enumerate, g) in workloads() {
+        let cube = cube_size(&g);
+        let start = Instant::now();
+        let out = explore_exhaustive(&g, make, &cfg);
+        let dpor_secs = start.elapsed().as_secs_f64();
+
+        let (naive_fields, naive_worst) = if enumerate {
+            let start = Instant::now();
+            let (leaves, worst) = enumerate_naive(&g, 1 << 22);
+            let naive_secs = start.elapsed().as_secs_f64();
+            assert_eq!(
+                leaves, cube,
+                "enumerated leaf count must match the computed cube"
+            );
+            assert_eq!(
+                worst,
+                out.best_time.get(),
+                "{name}: DPOR worst must equal the fully enumerated worst"
+            );
+            (
+                format!(
+                    "\"naive_enumerated\": true, \"naive_worst_time\": {worst}, \
+                     \"naive_secs\": {naive_secs:.3}, "
+                ),
+                Some(worst),
+            )
+        } else {
+            ("\"naive_enumerated\": false, ".to_string(), None)
+        };
+
+        let reduction = cube as f64 / out.evaluations as f64;
+        eprintln!(
+            "{:<8} cube {:>9}  dpor: {} classes, {} evals, {} pruned, worst {} ({:.3}s)  naive worst {:?}  reduction {:.1}x",
+            name,
+            cube,
+            out.classes_explored,
+            out.evaluations,
+            out.schedules_pruned,
+            out.best_time,
+            dpor_secs,
+            naive_worst,
+            reduction,
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"workload\": \"{}\", \"nodes\": {}, \"edges\": {}, ",
+                "\"naive_schedules\": {}, {}\"dpor_worst_time\": {}, ",
+                "\"classes_explored\": {}, \"dpor_evaluations\": {}, ",
+                "\"schedules_pruned\": {}, \"dpor_secs\": {:.3}, ",
+                "\"reduction\": {:.1}}}"
+            ),
+            name,
+            g.node_count(),
+            g.edge_count(),
+            cube,
+            naive_fields,
+            out.best_time.get(),
+            out.classes_explored,
+            out.evaluations,
+            out.schedules_pruned,
+            dpor_secs,
+            reduction,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"dpor_schedule_reduction\",\n  \
+         \"protocol\": \"Flood\",\n  \
+         \"naive\": \"every delay assignment of the [1, w(e)] cube, enumerated adaptively\",\n  \
+         \"class_budget\": {class_budget},\n  \"per_workload\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("write bench JSON");
+    eprintln!("wrote {out_path}");
+}

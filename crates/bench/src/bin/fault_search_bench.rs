@@ -72,18 +72,17 @@ fn main() {
         .map(|s| s.parse().expect("budget must be an integer"))
         .unwrap_or(16);
 
-    let delay_cfg = SearchConfig {
-        random_probes: budget,
-        hill_rounds: budget / 2,
-        candidates_per_round: 4,
-        polish_passes: 1,
-        ..SearchConfig::default()
-    };
-    let fault_cfg = SearchConfig {
-        drop_flips: 2,
-        crash_probes: 2,
-        ..delay_cfg
-    };
+    let base = SearchConfig::builder()
+        .random_probes(budget)
+        .hill_rounds(budget / 2)
+        .candidates_per_round(4)
+        .polish_passes(1);
+    let delay_cfg = base.build().expect("delay-only config is valid");
+    let fault_cfg = base
+        .drop_flips(2)
+        .crash_probes(2)
+        .build()
+        .expect("fault config is valid");
 
     let mut rows = Vec::new();
     let (mut d_evals, mut d_secs) = (0usize, 0.0f64);

@@ -834,12 +834,12 @@ fn adversary_gap() {
     // A smaller budget than `examples/adversary_hunt.rs` so the report
     // stays fast; the committed proof schedules under `tests/schedules/`
     // come from the full default budget.
-    let cfg = SearchConfig {
-        random_probes: 16,
-        hill_rounds: 6,
-        candidates_per_round: 6,
-        ..SearchConfig::default()
-    };
+    let cfg = SearchConfig::builder()
+        .random_probes(16)
+        .hill_rounds(6)
+        .candidates_per_round(6)
+        .build()
+        .expect("report search config is statically valid");
     let root = NodeId::new(0);
     let families = [
         (

@@ -82,6 +82,9 @@ pub struct StoredResult {
     pub schedule_text: Option<String>,
     /// For search results: worst-case baseline completion.
     pub worst_case: Option<u64>,
+    /// For exhaustive results: `(classes_explored, schedules_pruned)`
+    /// from the DPOR explorer.
+    pub reduction: Option<(u64, u64)>,
 }
 
 struct StoredCheckpoint<P: Process> {
@@ -440,6 +443,7 @@ mod tests {
                 states_digest: fnv1a(&format!("{:?}", cold.states)),
                 schedule_text: None,
                 worst_case: None,
+                reduction: None,
             },
         );
         match cache.probe(key, &schedule).1 {
@@ -469,6 +473,7 @@ mod tests {
                     states_digest: 0,
                     schedule_text: None,
                     worst_case: None,
+                    reduction: None,
                 },
             );
         }

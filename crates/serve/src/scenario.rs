@@ -162,6 +162,13 @@ pub const MAX_NODES: usize = 100_000;
 /// worker thread, and a hostile request must not fork-bomb the host.
 pub const MAX_SHARDS: usize = 64;
 
+/// Upper bound on graph sizes admitted to the exhaustive
+/// ([`RunMode::Exhaustive`]) mode: delivery-order class counts grow
+/// combinatorially with the message count, so the interactive tier only
+/// accepts instances small enough that the class budget is a real
+/// coverage guarantee rather than an arbitrary truncation.
+pub const MAX_EXHAUSTIVE_NODES: usize = 16;
+
 /// The protocol stack a scenario runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StackSpec {
@@ -234,6 +241,14 @@ pub enum RunMode {
         /// Master search seed.
         seed: u64,
     },
+    /// Exhaustively enumerate delivery-order classes with the
+    /// sleep-set/DPOR explorer — one representative schedule per class.
+    /// Only accepted for graphs of at most [`MAX_EXHAUSTIVE_NODES`]
+    /// vertices (class counts grow combinatorially).
+    Exhaustive {
+        /// Cap on explored classes (`0` means the explorer default).
+        class_budget: usize,
+    },
 }
 
 impl RunMode {
@@ -266,8 +281,11 @@ impl RunMode {
                 budget: opt_u64(v, "budget", 0)? as usize,
                 seed: opt_u64(v, "seed", 0)?,
             }),
+            "exhaustive" => Ok(RunMode::Exhaustive {
+                class_budget: opt_u64(v, "class_budget", 0)? as usize,
+            }),
             other => Err(SpecError::new(&format!(
-                "unknown run mode {other:?} (schedule, model, search)"
+                "unknown run mode {other:?} (schedule, model, search, exhaustive)"
             ))),
         }
     }
@@ -290,6 +308,9 @@ impl RunMode {
                 Some(format!("model:{name}:seed={seed}"))
             }
             RunMode::Search { budget, seed } => Some(format!("search:budget={budget}:seed={seed}")),
+            RunMode::Exhaustive { class_budget } => {
+                Some(format!("exhaustive:classes={class_budget}"))
+            }
         }
     }
 }
@@ -385,6 +406,12 @@ impl Scenario {
                 scenario.stack.root().index()
             )));
         }
+        if matches!(scenario.run, RunMode::Exhaustive { .. }) && n > MAX_EXHAUSTIVE_NODES {
+            return Err(SpecError::new(&format!(
+                "exhaustive mode is limited to {MAX_EXHAUSTIVE_NODES} vertices \
+                 (got n={n}); use \"mode\": \"search\" for larger instances"
+            )));
+        }
         Ok(scenario)
     }
 }
@@ -474,6 +501,30 @@ mod tests {
         ))
         .unwrap();
         assert!(matches!(m, RunMode::Schedule(s) if s.is_empty()));
+    }
+
+    #[test]
+    fn exhaustive_mode_parses_and_is_size_gated() {
+        let m = RunMode::from_json(&parse(r#"{"mode":"exhaustive","class_budget":512}"#)).unwrap();
+        assert_eq!(m.exact_key().as_deref(), Some("exhaustive:classes=512"));
+        assert_eq!(m, RunMode::Exhaustive { class_budget: 512 });
+        // Within the cap: accepted.
+        let ok = parse(
+            r#"{"graph":{"family":"gnp","n":8,"p":0.4},"stack":{"protocol":"flood"},"run":{"mode":"exhaustive"}}"#,
+        );
+        assert!(Scenario::from_json(&ok).is_ok());
+        // Above the cap: a structured rejection naming the limit, not a
+        // wedged worker.
+        let big = parse(
+            r#"{"graph":{"family":"gnp","n":40,"p":0.4},"stack":{"protocol":"flood"},"run":{"mode":"exhaustive"}}"#,
+        );
+        let err = Scenario::from_json(&big).unwrap_err();
+        assert!(err.msg.contains("exhaustive mode is limited"), "{err}");
+        // The same graph is fine under the heuristic search.
+        let search = parse(
+            r#"{"graph":{"family":"gnp","n":40,"p":0.4},"stack":{"protocol":"flood"},"run":{"mode":"search"}}"#,
+        );
+        assert!(Scenario::from_json(&search).is_ok());
     }
 
     #[test]

@@ -137,6 +137,10 @@ enum Work<P: Process> {
         seed: u64,
         exact: u64,
     },
+    Exhaustive {
+        class_budget: usize,
+        exact: u64,
+    },
 }
 
 /// What a worker hands back to the service thread.
@@ -165,6 +169,8 @@ struct RunOut<P: Process> {
     /// Search extras.
     worst_case: Option<u64>,
     schedule_text: Option<String>,
+    /// Exhaustive extras: `(classes_explored, schedules_pruned)`.
+    reduction: Option<(u64, u64)>,
 }
 
 impl Service {
@@ -378,6 +384,7 @@ fn run_stack_jobs<P: ServeStack>(
                                 queued.elapsed(),
                                 stored.worst_case,
                                 stored.schedule_text.as_deref(),
+                                stored.reduction,
                             ));
                             continue;
                         }
@@ -420,6 +427,7 @@ fn run_stack_jobs<P: ServeStack>(
                             queued.elapsed(),
                             stored.worst_case,
                             stored.schedule_text.as_deref(),
+                            stored.reduction,
                         ));
                         continue;
                     }
@@ -448,6 +456,7 @@ fn run_stack_jobs<P: ServeStack>(
                             queued.elapsed(),
                             stored.worst_case,
                             stored.schedule_text.as_deref(),
+                            stored.reduction,
                         ));
                         continue;
                     }
@@ -455,6 +464,33 @@ fn run_stack_jobs<P: ServeStack>(
                 Work::Search {
                     budget,
                     seed,
+                    exact,
+                }
+            }
+            RunMode::Exhaustive { class_budget } => {
+                let exact = exact_hash.expect("exhaustive mode is exact");
+                if cfg.cache {
+                    if let Some(stored) = cache.get_exact(&scenario_key, exact) {
+                        metrics.cache_full_hits += 1;
+                        responses[ix] = Some(result_response(
+                            &s.id,
+                            CacheOutcome::Full,
+                            0,
+                            &stored.report,
+                            stored.states_digest,
+                            None,
+                            s.bound,
+                            Duration::ZERO,
+                            queued.elapsed(),
+                            stored.worst_case,
+                            stored.schedule_text.as_deref(),
+                            stored.reduction,
+                        ));
+                        continue;
+                    }
+                }
+                Work::Exhaustive {
+                    class_budget,
                     exact,
                 }
             }
@@ -501,6 +537,7 @@ fn run_stack_jobs<P: ServeStack>(
                         states_digest: run.states_digest,
                         schedule_text: run.schedule_text.clone(),
                         worst_case: run.worst_case,
+                        reduction: run.reduction,
                     };
                     if !run.checkpoints.is_empty() {
                         // Cold replays key checkpoints by the submitted
@@ -541,6 +578,7 @@ fn run_stack_jobs<P: ServeStack>(
                     out.queue_wait,
                     run.worst_case,
                     run.schedule_text.as_deref(),
+                    run.reduction,
                 ));
             }
         }
@@ -591,7 +629,7 @@ where
             sim.record_trace(cfg.trace_cap);
             let res = sim
                 .resume(cp, &mut ScheduleOracle::new(schedule))
-                .map(|run| finish_run(run, Vec::new(), None, None, None))
+                .map(|run| finish_run(run, Vec::new(), None, None, None, None))
                 .map_err(|e| e.to_string());
             (CacheOutcome::Incremental, *depth, res, *exact)
         }
@@ -611,7 +649,7 @@ where
             sim.record_trace(cfg.trace_cap);
             let res = sim
                 .run_with_checkpoints(&mut ScheduleOracle::new(schedule), make, every, &mut cps)
-                .map(|run| finish_run(run, cps, None, None, None))
+                .map(|run| finish_run(run, cps, None, None, None, None))
                 .map_err(|e| e.to_string());
             (outcome, 0, res, *exact)
         }
@@ -642,7 +680,7 @@ where
                     .run_with_oracle(&mut rec, make)
                     .map(|run| {
                         let schedule = rec.into_schedule(Fallback::WorstCase);
-                        finish_run(run, Vec::new(), Some(schedule), None, None)
+                        finish_run(run, Vec::new(), Some(schedule), None, None, None)
                     })
                     .map_err(|e| e.to_string());
                 (outcome, 0, res, Some(*exact))
@@ -654,7 +692,7 @@ where
                     .run_with_checkpoints(&mut rec, make, every, &mut cps)
                     .map(|run| {
                         let schedule = rec.into_schedule(Fallback::WorstCase);
-                        finish_run(run, cps, Some(schedule), None, None)
+                        finish_run(run, cps, Some(schedule), None, None, None)
                     })
                     .map_err(|e| e.to_string());
                 (outcome, 0, res, Some(*exact))
@@ -670,16 +708,15 @@ where
             } else {
                 CacheOutcome::Uncached
             };
-            let mut search_cfg = SearchConfig {
-                seed: *seed,
-                // The pool is already parallel — one thread per search
-                // keeps total parallelism at the pool's width.
-                threads: 1,
-                ..SearchConfig::default()
-            };
+            // The pool is already parallel — one thread per search
+            // keeps total parallelism at the pool's width.
+            let mut builder = SearchConfig::builder().seed(*seed).threads(1);
             if *budget > 0 {
-                search_cfg.hill_rounds = *budget;
+                builder = builder.hill_rounds(*budget);
             }
+            let search_cfg = builder
+                .build()
+                .expect("service search config is statically valid");
             let out = csp_adversary::find_worst_schedule(g, make, &search_cfg);
             // Replay the found schedule once with checkpoints: the full
             // report for the response, and cached prefixes for free.
@@ -700,6 +737,49 @@ where
                         Some(out.schedule.clone()),
                         Some(out.worst_case.get()),
                         Some(out.schedule.to_text()),
+                        None,
+                    )
+                })
+                .map_err(|e| e.to_string());
+            (outcome, 0, res, Some(*exact))
+        }
+        Work::Exhaustive {
+            class_budget,
+            exact,
+        } => {
+            let outcome = if cfg.cache {
+                CacheOutcome::Miss
+            } else {
+                CacheOutcome::Uncached
+            };
+            let search_cfg = SearchConfig::builder()
+                // The pool is already parallel — the explorer itself is
+                // sequential, so one evaluator per job suffices.
+                .threads(1)
+                .exhaustive(*class_budget)
+                .build()
+                .expect("exhaustive service config is statically valid");
+            let out = csp_adversary::explore_exhaustive(g, make, &search_cfg);
+            // Replay the per-class representative that won, with
+            // checkpoints — same shape as the heuristic search arm.
+            let mut cps = Vec::new();
+            let mut sim = Simulator::new(g);
+            sim.record_trace(cfg.trace_cap);
+            let res = sim
+                .run_with_checkpoints(
+                    &mut ScheduleOracle::new(&out.schedule),
+                    make,
+                    every,
+                    &mut cps,
+                )
+                .map(|run| {
+                    finish_run(
+                        run,
+                        cps,
+                        Some(out.schedule.clone()),
+                        Some(out.worst_case.get()),
+                        Some(out.schedule.to_text()),
+                        Some((out.classes_explored, out.schedules_pruned)),
                     )
                 })
                 .map_err(|e| e.to_string());
@@ -721,6 +801,7 @@ fn finish_run<P: Process + std::hash::Hash>(
     cache_schedule: Option<Schedule>,
     worst_case: Option<u64>,
     schedule_text: Option<String>,
+    reduction: Option<(u64, u64)>,
 ) -> RunOut<P> {
     RunOut {
         states_digest: digest_states(&run.states),
@@ -730,6 +811,7 @@ fn finish_run<P: Process + std::hash::Hash>(
         cache_schedule,
         worst_case,
         schedule_text,
+        reduction,
     }
 }
 
@@ -845,6 +927,7 @@ fn result_response(
     queue_wait: Duration,
     worst_case: Option<u64>,
     schedule_text: Option<&str>,
+    reduction: Option<(u64, u64)>,
 ) -> Json {
     let mut fields = vec![
         ("type", Json::str("result")),
@@ -876,6 +959,10 @@ fn result_response(
     }
     if let Some(w) = worst_case {
         fields.push(("worst_case", Json::num(w as f64)));
+    }
+    if let Some((classes, pruned)) = reduction {
+        fields.push(("classes_explored", Json::num(classes as f64)));
+        fields.push(("schedules_pruned", Json::num(pruned as f64)));
     }
     if let Some(s) = schedule_text {
         fields.push(("schedule", Json::str(s)));

@@ -296,6 +296,94 @@ fn model_and_search_runs_cache_as_exact_results() {
 }
 
 #[test]
+fn exhaustive_runs_report_reduction_and_cache_as_exact_results() {
+    // Exhaustive mode answers with the explorer's reduction counters,
+    // a replayable witness schedule, and caches like a search result.
+    let submit_exhaustive = |id: &str| {
+        Json::obj(vec![
+            ("type", Json::str("submit")),
+            ("id", Json::str(id)),
+            (
+                "graph",
+                Json::obj(vec![
+                    ("family", Json::str("gnp")),
+                    ("n", Json::num(6.0)),
+                    ("p", Json::num(0.5)),
+                    ("w_min", Json::num(2.0)),
+                    ("w_max", Json::num(4.0)),
+                    ("seed", Json::num(3.0)),
+                ]),
+            ),
+            (
+                "stack",
+                Json::obj(vec![
+                    ("protocol", Json::str("flood")),
+                    ("root", Json::num(0.0)),
+                ]),
+            ),
+            (
+                "run",
+                Json::obj(vec![
+                    ("mode", Json::str("exhaustive")),
+                    ("class_budget", Json::num(64.0)),
+                ]),
+            ),
+        ])
+    };
+
+    let mut svc = caching_service();
+    let cold = svc.handle(&submit_exhaustive("x1"));
+    let cold = expect_result(&cold);
+    assert_eq!(cache_of(cold), "miss");
+    let classes = cold
+        .get("classes_explored")
+        .and_then(Json::as_u64)
+        .expect("exhaustive results carry classes_explored");
+    assert!(classes >= 1, "{}", cold.dump());
+    assert!(
+        cold.get("schedules_pruned")
+            .and_then(Json::as_u64)
+            .is_some(),
+        "{}",
+        cold.dump()
+    );
+    // The winning representative is at least the worst-case anchor.
+    let worst = cold.get("worst_case").and_then(Json::as_u64).unwrap();
+    let completion = cold
+        .get("report")
+        .and_then(|r| r.get("completion"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(completion >= worst, "{}", cold.dump());
+    assert!(cold.get("schedule").and_then(Json::as_str).is_some());
+
+    // Resubmission is a FULL hit with identical counters.
+    let warm = svc.handle(&submit_exhaustive("x2"));
+    let warm = expect_result(&warm);
+    assert_eq!(cache_of(warm), "full", "{}", warm.dump());
+    assert_eq!(
+        warm.get("classes_explored").and_then(Json::as_u64),
+        Some(classes)
+    );
+    assert_eq!(
+        cold.get("report").unwrap().dump(),
+        warm.get("report").unwrap().dump()
+    );
+
+    // Heuristic searches keep their wire shape: no reduction counters.
+    let s = svc.handle(&submit(
+        "x3",
+        Json::obj(vec![
+            ("mode", Json::str("search")),
+            ("budget", Json::num(1.0)),
+            ("seed", Json::num(3.0)),
+        ]),
+    ));
+    let s = expect_result(&s);
+    assert!(s.get("classes_explored").is_none(), "{}", s.dump());
+}
+
+#[test]
 fn sharded_model_runs_are_bit_identical_and_share_the_cache() {
     // Sequential and sharded evaluation of the same model scenario must
     // agree on every identity field, and since `shards` is an execution

@@ -160,7 +160,7 @@ impl<'g> BaselineSimulator<'g> {
                 let w = g.weight(eid);
                 let index = cost.messages;
                 cost.record_send(eid, w, class);
-                let decision = oracle.decide(&MsgInfo {
+                let info = MsgInfo {
                     index,
                     edge: eid,
                     dir: u8::from(g.edge(eid).u() != from),
@@ -168,8 +168,8 @@ impl<'g> BaselineSimulator<'g> {
                     from,
                     to,
                     sent: now,
-                });
-                let delay = match decision {
+                };
+                let delay = match oracle.decide(&info) {
                     // Same drop semantics as the flat core: paid for,
                     // index consumed, never enqueued, floor untouched.
                     LinkDecision::Drop => {
@@ -184,6 +184,9 @@ impl<'g> BaselineSimulator<'g> {
                     arrival = arrival.max(floor);
                 }
                 fifo_floor.insert(key, arrival);
+                // Same observational hook as the flat core, so an
+                // arrival-observing oracle sees an identical stream.
+                oracle.observe_arrival(&info, arrival);
                 queue.push(Reverse((arrival, *seq)));
                 payloads.insert(
                     *seq,

@@ -161,6 +161,27 @@ pub trait LinkOracle {
         let _ = node;
         None
     }
+
+    /// Observes the *effective arrival time* of a delivered message,
+    /// immediately after the runtime has clamped the decided delay into
+    /// `[1, w(e)]` and applied the channel's FIFO floor.
+    ///
+    /// This is dispatch-point race metadata: `arrival` is exactly when
+    /// the message will be handed to its receiver, so an observing
+    /// oracle sees the full `(MsgInfo, arrival)` pair for every
+    /// delivery of the run — what `csp-adversary`'s trace layer needs
+    /// to compute happens-before and dependent races without guessing
+    /// at floor interactions. Both in-memory queue cores (bucket and
+    /// heap) dispatch through the same code path, so the hook fires
+    /// identically under either.
+    ///
+    /// Purely observational: the runtime ignores anything this does,
+    /// dropped messages are never reported (they have no arrival), and
+    /// the default does nothing — committed-schedule semantics are
+    /// unchanged.
+    fn observe_arrival(&mut self, msg: &MsgInfo, arrival: SimTime) {
+        let _ = (msg, arrival);
+    }
 }
 
 /// Every delay-only oracle is a link oracle that always delivers.
@@ -312,6 +333,10 @@ impl<O: LinkOracle> LinkOracle for CrashOracle<O> {
             .iter()
             .find(|&&(v, _)| v == node)
             .map(|&(_, t)| t)
+    }
+
+    fn observe_arrival(&mut self, msg: &MsgInfo, arrival: SimTime) {
+        self.inner.observe_arrival(msg, arrival);
     }
 }
 

@@ -405,7 +405,7 @@ impl<P: Process> Machine<P> {
             // metered count (drops included, truncated sends excluded).
             self.node_msg_seq[from.index()] += 1;
             let channel = self.core.channel(g, eid, from);
-            let decision = oracle.decide(&MsgInfo {
+            let info = MsgInfo {
                 index,
                 edge: eid,
                 dir: (channel & 1) as u8,
@@ -413,8 +413,8 @@ impl<P: Process> Machine<P> {
                 from,
                 to,
                 sent: now,
-            });
-            let delay = match decision {
+            };
+            let delay = match oracle.decide(&info) {
                 // A dropped message is paid for and consumes its
                 // dispatch index (so record/replay addressing and
                 // `MsgToken`s stay stable), but nothing is enqueued and
@@ -427,6 +427,9 @@ impl<P: Process> Machine<P> {
             };
             let arrival = (now + delay).max(self.core.fifo_floor[channel]);
             self.core.fifo_floor[channel] = arrival;
+            // Post-clamp, post-floor: the observed arrival is exactly
+            // when the delivery fires. Both queue cores dispatch here.
+            oracle.observe_arrival(&info, arrival);
             self.core.push(
                 arrival,
                 Event::Msg(Delivery {

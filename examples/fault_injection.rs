@@ -64,13 +64,12 @@ fn main() {
         .map_or_else(|| PathBuf::from("tests/schedules"), PathBuf::from);
     let g = generators::connected_gnp(12, 0.3, WeightDist::Uniform(1, 16), 42);
 
-    let cfg = SearchConfig {
-        random_probes: 16,
-        hill_rounds: 8,
-        candidates_per_round: 8,
-        polish_passes: 1,
-        ..SearchConfig::default()
-    };
+    let base = SearchConfig::builder()
+        .random_probes(16)
+        .hill_rounds(8)
+        .candidates_per_round(8)
+        .polish_passes(1);
+    let cfg = base.build().expect("delay-only config is valid");
 
     println!("delay-only search over Reliable<SPT_recur> on gnp-n12 ...");
     let delay = find_worst_schedule(&g, make, &cfg);
@@ -83,10 +82,7 @@ fn main() {
     let faulty = find_worst_schedule(
         &g,
         make,
-        &SearchConfig {
-            drop_flips: 2,
-            ..cfg
-        },
+        &base.drop_flips(2).build().expect("drop config is valid"),
     );
     println!(
         "  searched {} with {} drops (strategy: {})",

@@ -92,13 +92,12 @@ fn main() {
         .map_or_else(|| PathBuf::from("tests/schedules"), PathBuf::from);
     let g = generators::connected_gnp(12, 0.3, WeightDist::Uniform(1, 16), 42);
 
-    let cfg = SearchConfig {
-        random_probes: 16,
-        hill_rounds: 8,
-        candidates_per_round: 8,
-        polish_passes: 1,
-        ..SearchConfig::default()
-    };
+    let base = SearchConfig::builder()
+        .random_probes(16)
+        .hill_rounds(8)
+        .candidates_per_round(8)
+        .polish_passes(1);
+    let cfg = base.build().expect("delay-only config is valid");
 
     println!("delay-only search over Detect<Resilient> (SPT) on gnp-n12 ...");
     let delay = find_worst_schedule(&g, make, &cfg);
@@ -111,11 +110,11 @@ fn main() {
     let crashed = find_worst_schedule(
         &g,
         make,
-        &SearchConfig {
-            crash_probes: g.node_count(),
-            crash_time_flips: 2,
-            ..cfg
-        },
+        &base
+            .crash_probes(g.node_count())
+            .crash_time_flips(2)
+            .build()
+            .expect("crash config is valid"),
     );
     println!(
         "  searched {} with {} crash(es) (strategy: {})",

@@ -66,10 +66,13 @@ pub use csp_sync as sync;
 /// The most commonly used items, in one import.
 pub mod prelude {
     pub use csp_adversary::{
-        check_time_bound, find_worst_schedule, mutate_with_drops, mutate_with_faults, replay,
-        replay_report, shrink, Crash, CriticalPathOracle, Fallback, GridPoint, Recorder,
-        ReplayReport, Schedule, ScheduleOracle, SearchConfig, SearchOutcome,
+        check_time_bound, explore_exhaustive, find_worst_schedule, record, replay, replay_report,
+        shrink, ConfigError, Crash, CriticalPathOracle, Decision, Fallback, GridPoint, Mutation,
+        OccurrenceOracle, Recorder, ReplayReport, Schedule, ScheduleOracle, SearchConfig,
+        SearchConfigBuilder, SearchOutcome, Trace, TraceStep, DEFAULT_CLASS_BUDGET,
     };
+    #[allow(deprecated)]
+    pub use csp_adversary::{mutate_with_drops, mutate_with_faults};
     pub use csp_algo::con_hybrid::{connectivity_pivot, run_con_hybrid};
     pub use csp_algo::dfs::run_dfs;
     pub use csp_algo::flood::run_flood;

@@ -124,12 +124,12 @@ fn searched_ghs_schedule_keeps_figure_3_comm_bound() {
     // `tests/paper_bounds.rs`).
     let g = generators::connected_gnp(12, 0.3, generators::WeightDist::Uniform(1, 16), 42);
     let p = CostParams::of(&g);
-    let cfg = SearchConfig {
-        random_probes: 8,
-        hill_rounds: 2,
-        candidates_per_round: 4,
-        ..SearchConfig::default()
-    };
+    let cfg = SearchConfig::builder()
+        .random_probes(8)
+        .hill_rounds(2)
+        .candidates_per_round(4)
+        .build()
+        .expect("suite search config is statically valid");
     let out = find_worst_schedule(&g, Ghs::new, &cfg);
     let run = replay(&g, Ghs::new, &out.schedule);
     assert_eq!(run.cost.completion, out.best_time);

@@ -204,11 +204,11 @@ proptest! {
             OracleSpec::MutatedReplay { seed, flips } => {
                 let mut rec = Recorder::new(ModelOracle::new(DelayModel::WorstCase, 0));
                 Simulator::new(&g).run_with_oracle(&mut rec, Ghs::new).unwrap();
-                Some(cost_sensitive::adversary::mutate(
-                    &rec.into_schedule(Fallback::Rush),
-                    seed,
-                    flips,
-                ))
+                Some(
+                    cost_sensitive::adversary::Mutation::new()
+                        .delay_flips(flips)
+                        .apply(&rec.into_schedule(Fallback::Rush), seed),
+                )
             }
             _ => None,
         };
@@ -251,7 +251,9 @@ proptest! {
         let mut rec = Recorder::new(ModelOracle::new(DelayModel::Uniform, seed));
         Simulator::new(&g).run_with_oracle(&mut rec, Ghs::new).unwrap();
         let incumbent = rec.into_schedule(Fallback::WorstCase);
-        let mutant = cost_sensitive::adversary::mutate(&incumbent, seed ^ 0xabc, flips);
+        let mutant = cost_sensitive::adversary::Mutation::new()
+            .delay_flips(flips)
+            .apply(&incumbent, seed ^ 0xabc);
 
         let mut sim = Simulator::new(&g);
         sim.record_trace(1 << 16);

@@ -11,7 +11,6 @@
 //! select the *same* execution, so all assertions here are exact
 //! equalities against the sequential run, never mere invariants.
 
-use cost_sensitive::adversary::mutate;
 use cost_sensitive::algo::flood::Flood;
 use cost_sensitive::algo::mst::ghs::Ghs;
 use cost_sensitive::prelude::*;
@@ -184,7 +183,7 @@ proptest! {
             OracleSpec::MutatedReplay { seed, flips } => {
                 let mut rec = Recorder::new(ModelOracle::new(DelayModel::WorstCase, 0));
                 Simulator::new(&g).run_with_oracle(&mut rec, Ghs::new).unwrap();
-                Some(mutate(&rec.into_schedule(Fallback::Rush), seed, flips))
+                Some(Mutation::new().delay_flips(flips).apply(&rec.into_schedule(Fallback::Rush), seed))
             }
             _ => None,
         };
