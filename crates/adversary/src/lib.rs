@@ -17,10 +17,11 @@
 //! [`csp_sim::Reliable`] are measured against:
 //!
 //! * [`Schedule`] — a deterministic, serializable transcript of every
-//!   link decision (delay or drop) plus per-vertex [`Crash`]
-//!   assignments, with [`record`] / [`replay`] reproducing a run
-//!   exactly (plain-text format, no external dependencies; fault-free
-//!   schedules keep the v1 dialect byte-for-byte);
+//!   link decision (delay or drop) plus per-vertex [`Crash`] /
+//!   [`Rejoin`] chains and mid-run [`Drift`] weight revisions, with
+//!   [`record`] / [`replay`] reproducing a run exactly (plain-text
+//!   format, no external dependencies; fault-free schedules keep the v1
+//!   dialect and churn-free ones the v2 dialect byte-for-byte);
 //! * [`find_worst_schedule`] — seeded random probes, the
 //!   [`CriticalPathOracle`] greedy, optional single-crash probes and
 //!   hill-climbing mutation (drop flags searched alongside delays when
@@ -82,12 +83,10 @@ pub mod trace;
 
 pub use oracle::{CriticalPathOracle, Recorder, ScheduleOracle};
 pub use refute::{check_time_bound, shrink, GridPoint, Refutation};
-pub use schedule::{Crash, Decision, Fallback, ParseError, PrefixHasher, Schedule};
+pub use schedule::{Crash, Decision, Drift, Fallback, ParseError, PrefixHasher, Rejoin, Schedule};
 pub use search::{
     find_worst_schedule, ConfigError, Mutation, SearchConfig, SearchConfigBuilder, SearchOutcome,
 };
-#[allow(deprecated)]
-pub use search::{mutate, mutate_with_drops, mutate_with_faults};
 pub use trace::{explore_exhaustive, OccurrenceOracle, Trace, TraceStep, DEFAULT_CLASS_BUDGET};
 
 use csp_graph::{NodeId, WeightedGraph};
@@ -152,12 +151,23 @@ pub struct ReplayReport {
     pub crashed_nodes: u64,
     /// Deliveries and timer fires consumed by crashed vertices.
     pub dead_events: u64,
+    /// Rejoins the schedule performed (crashed vertices restarting with
+    /// fresh protocol state).
+    pub recoveries: u64,
+    /// Mid-run edge-weight revisions the schedule applied.
+    pub weight_revisions: u64,
 }
 
 impl ReplayReport {
     /// Whether the replayed schedule injected any fault at all.
     pub fn has_faults(&self) -> bool {
         self.drops > 0 || self.crashed_nodes > 0 || self.dead_events > 0
+    }
+
+    /// Whether the replayed schedule churned beyond crash-stop —
+    /// rejoins or weight drift.
+    pub fn has_churn(&self) -> bool {
+        self.recoveries > 0 || self.weight_revisions > 0
     }
 }
 
@@ -183,6 +193,8 @@ where
         drops: run.cost.drops,
         crashed_nodes: run.cost.crashed_nodes,
         dead_events: run.cost.dead_events,
+        recoveries: run.cost.recoveries,
+        weight_revisions: run.cost.weight_revisions,
     };
     (run, report)
 }

@@ -1,25 +1,33 @@
 //! Link oracles built on the [`csp_sim::LinkOracle`] hook: recording,
 //! replay and the critical-path greedy adversary.
 
-use crate::schedule::{Crash, Decision, Fallback, Schedule};
-use csp_graph::NodeId;
+use crate::schedule::{Crash, Decision, Drift, Fallback, Rejoin, Schedule};
+use csp_graph::{EdgeId, NodeId, Weight};
 use csp_sim::{DelayOracle, LinkDecision, LinkOracle, MsgInfo, SimTime};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Wraps any [`LinkOracle`] (every [`DelayOracle`] qualifies through the
-/// blanket shim) and records every decision it makes — delays, drops and
-/// crash assignments — producing a [`Schedule`] that replays the run
-/// exactly.
+/// blanket shim) and records every decision it makes — delays, drops,
+/// churn plans (crashes and rejoins) and weight drift — producing a
+/// [`Schedule`] that replays the run exactly.
 ///
 /// The recorded delay is the *effective* one — clamped into
 /// `[1, w(e)]` exactly as the runtime clamps it — so a recording never
-/// disagrees with the run it transcribed.
+/// disagrees with the run it transcribed. Churn is transcribed at the
+/// [`churn_plan`](LinkOracle::churn_plan) /
+/// [`drift_plan`](LinkOracle::drift_plan) hooks the executors actually
+/// query (crash-stop oracles flow through the default
+/// `crash_at → churn_plan` derivation), so a recorded crash-stop run
+/// still yields a `v2` schedule, byte-identical to what the old
+/// `crash_at` transcription produced.
 #[derive(Clone, Debug)]
 pub struct Recorder<O> {
     inner: O,
     decisions: Vec<Decision>,
     crashes: Vec<Crash>,
+    rejoins: Vec<Rejoin>,
+    drifts: Vec<Drift>,
     /// Message index the recording starts at — non-zero when transcribing
     /// a run resumed from a [`csp_sim::Checkpoint`], whose first decision
     /// carries the checkpoint's message count as its index.
@@ -43,6 +51,8 @@ impl<O: LinkOracle> Recorder<O> {
             inner,
             decisions: Vec::new(),
             crashes: Vec::new(),
+            rejoins: Vec::new(),
+            drifts: Vec::new(),
             offset: start_index,
         }
     }
@@ -57,6 +67,8 @@ impl<O: LinkOracle> Recorder<O> {
             decisions: self.decisions,
             fallback,
             crashes: self.crashes,
+            rejoins: self.rejoins,
+            drifts: self.drifts,
         }
     }
 
@@ -89,12 +101,27 @@ impl<O: LinkOracle> LinkOracle for Recorder<O> {
         decision
     }
 
-    fn crash_at(&mut self, node: NodeId) -> Option<SimTime> {
-        let at = self.inner.crash_at(node);
-        if let Some(t) = at {
-            self.crashes.push(Crash { node, at: t.get() });
+    fn churn_plan(&mut self, node: NodeId) -> Vec<SimTime> {
+        let plan = self.inner.churn_plan(node);
+        // Toggles alternate crash / rejoin / crash / …
+        for (i, t) in plan.iter().enumerate() {
+            if i % 2 == 0 {
+                self.crashes.push(Crash { node, at: t.get() });
+            } else {
+                self.rejoins.push(Rejoin { node, at: t.get() });
+            }
         }
-        at
+        plan
+    }
+
+    fn drift_plan(&mut self) -> Vec<(EdgeId, SimTime, Weight)> {
+        let plan = self.inner.drift_plan();
+        self.drifts.extend(plan.iter().map(|&(edge, at, w)| Drift {
+            edge,
+            at: at.get(),
+            weight: w.get(),
+        }));
+        plan
     }
 
     fn observe_arrival(&mut self, msg: &MsgInfo, arrival: SimTime) {
@@ -165,11 +192,30 @@ impl LinkOracle for ScheduleOracle<'_> {
     }
 
     fn crash_at(&mut self, node: NodeId) -> Option<SimTime> {
+        // Earliest crash, for crash-stop-only consumers; with churn a
+        // vertex may crash more than once and file order is free.
         self.schedule
             .crashes
             .iter()
-            .find(|c| c.node == node)
+            .filter(|c| c.node == node)
             .map(|c| SimTime::new(c.at))
+            .min()
+    }
+
+    fn churn_plan(&mut self, node: NodeId) -> Vec<SimTime> {
+        self.schedule
+            .churn_of(node)
+            .into_iter()
+            .map(SimTime::new)
+            .collect()
+    }
+
+    fn drift_plan(&mut self) -> Vec<(EdgeId, SimTime, Weight)> {
+        self.schedule
+            .drifts
+            .iter()
+            .map(|d| (d.edge, SimTime::new(d.at), Weight::new(d.weight)))
+            .collect()
     }
 }
 
@@ -272,8 +318,10 @@ mod tests {
             }
         }
         let mut rec = Recorder::new(Hostile);
-        assert_eq!(rec.crash_at(NodeId::new(0)), None);
-        assert_eq!(rec.crash_at(NodeId::new(1)), Some(SimTime::new(30)));
+        // Executors query churn through the churn_plan hook; crash-stop
+        // oracles flow through the default crash_at derivation.
+        assert!(rec.churn_plan(NodeId::new(0)).is_empty());
+        assert_eq!(rec.churn_plan(NodeId::new(1)), vec![SimTime::new(30)]);
         assert_eq!(rec.decide(&info(0, 7, 0)), LinkDecision::Drop);
         assert_eq!(rec.decide(&info(1, 7, 0)), deliver(2));
         let s = rec.into_schedule(Fallback::WorstCase);
@@ -285,6 +333,7 @@ mod tests {
                 at: 30
             }]
         );
+        assert!(!s.has_churn(), "crash-stop recording stays v2");
         // Replaying the recording reproduces both fates and the crash.
         let mut o = ScheduleOracle::new(&s);
         assert_eq!(o.decide(&info(0, 7, 0)), LinkDecision::Drop);
@@ -292,6 +341,74 @@ mod tests {
         assert_eq!(o.crash_at(NodeId::new(1)), Some(SimTime::new(30)));
         assert_eq!(o.crash_at(NodeId::new(2)), None);
         assert_eq!(o.divergences, 0);
+    }
+
+    #[test]
+    fn recorder_transcribes_churn_and_the_replay_serves_it() {
+        use crate::schedule::{Drift, Rejoin};
+        use csp_sim::{ChurnOracle, DelayModel, ModelOracle};
+        let churny = ChurnOracle::new(
+            ModelOracle::new(DelayModel::WorstCase, 0),
+            vec![(
+                NodeId::new(2),
+                vec![SimTime::new(5), SimTime::new(9), SimTime::new(20)],
+            )],
+            vec![(EdgeId::new(1), SimTime::new(6), Weight::new(11))],
+        );
+        let mut rec = Recorder::new(churny);
+        assert_eq!(
+            rec.churn_plan(NodeId::new(2)),
+            vec![SimTime::new(5), SimTime::new(9), SimTime::new(20)]
+        );
+        assert!(rec.churn_plan(NodeId::new(0)).is_empty());
+        assert_eq!(
+            rec.drift_plan(),
+            vec![(EdgeId::new(1), SimTime::new(6), Weight::new(11))]
+        );
+        let s = rec.into_schedule(Fallback::WorstCase);
+        assert_eq!(
+            s.crashes,
+            vec![
+                Crash {
+                    node: NodeId::new(2),
+                    at: 5
+                },
+                Crash {
+                    node: NodeId::new(2),
+                    at: 20
+                }
+            ]
+        );
+        assert_eq!(
+            s.rejoins,
+            vec![Rejoin {
+                node: NodeId::new(2),
+                at: 9
+            }]
+        );
+        assert_eq!(
+            s.drifts,
+            vec![Drift {
+                edge: EdgeId::new(1),
+                at: 6,
+                weight: 11
+            }]
+        );
+        assert!(s.has_churn());
+        // The replay oracle serves the full plan back, and its
+        // crash-stop view is the earliest crash.
+        let mut o = ScheduleOracle::new(&s);
+        assert_eq!(
+            o.churn_plan(NodeId::new(2)),
+            vec![SimTime::new(5), SimTime::new(9), SimTime::new(20)]
+        );
+        assert_eq!(o.crash_at(NodeId::new(2)), Some(SimTime::new(5)));
+        assert_eq!(
+            o.drift_plan(),
+            vec![(EdgeId::new(1), SimTime::new(6), Weight::new(11))]
+        );
+        // Text round-trip preserves the plans exactly.
+        assert_eq!(Schedule::from_text(&s.to_text()).unwrap(), s);
     }
 
     #[test]
@@ -306,7 +423,7 @@ mod tests {
                 dropped: false,
             }],
             fallback: Fallback::WorstCase,
-            crashes: vec![],
+            ..Schedule::default()
         };
         let mut o = ScheduleOracle::new(&s);
         assert_eq!(o.decide(&info(0, 9, 0)), deliver(4)); // recorded
@@ -328,7 +445,7 @@ mod tests {
                 dropped: false,
             }],
             fallback: Fallback::Rush,
-            crashes: vec![],
+            ..Schedule::default()
         };
         let mut o = ScheduleOracle::new(&s);
         // Same index but a different edge: the run diverged.

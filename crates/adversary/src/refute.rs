@@ -4,19 +4,24 @@
 //!
 //! The shrinker is proptest-style: a violation witnessed by a searched
 //! schedule usually rushes many messages, most of them irrelevant.
-//! [`shrink`] first discards crashes the violation does not need, then
-//! pushes each surviving crash's *time* as late as the violation
-//! permits (a later crash leaves a longer fault-free prefix, so later
-//! is simpler — and a crash after quiescence is the removal already
-//! rejected), then reverts interesting decisions — rushed
+//! [`shrink`] first discards churn the violation does not need — whole
+//! crash/rejoin chains per vertex, then trailing toggles of surviving
+//! chains (a crash–rejoin–recrash that only needs its first crash
+//! shrinks back to plain crash-stop), then weight-drift revisions one
+//! at a time — then pushes each surviving crash's *time* as late as the
+//! violation permits (a later crash leaves a longer fault-free prefix,
+//! so later is simpler — and a crash after quiescence is the removal
+//! already rejected; on a churn chain the push stays strictly below the
+//! next toggle), then reverts interesting decisions — rushed
 //! (`delay < weight`) or dropped — toward fault-free
 //! [`DelayModel::WorstCase`](csp_sim::DelayModel::WorstCase) in
 //! halving-size chunks while the violation persists, down to a
 //! 1-minimal schedule: reverting any single remaining interesting
-//! decision, removing any remaining crash, or delaying any remaining
-//! crash by one more tick makes the violation disappear. The minimal
-//! schedule is re-recorded after every accepted step, so the file
-//! written to disk replays to exactly the reported completion time.
+//! decision, removing any remaining chain, truncating it by one toggle,
+//! dropping any remaining drift, or delaying any remaining crash by one
+//! more tick makes the violation disappear. The minimal schedule is
+//! re-recorded after every accepted step, so the file written to disk
+//! replays to exactly the reported completion time.
 
 use crate::oracle::{Recorder, ScheduleOracle};
 use crate::schedule::{Fallback, Schedule};
@@ -74,17 +79,21 @@ where
 
 /// Shrinks `schedule` to a 1-minimal violation of `violates`.
 ///
-/// Crashes are tried for removal first, one at a time, until every
-/// remaining crash is load-bearing. Each surviving crash's time is then
-/// pushed to the latest tick still violating (so the final witness
-/// says: *this* vertex must die, and no later than *this* moment). Then
-/// interesting decisions — rushed (`delay < weight`) or dropped — are
-/// reverted to fault-free full edge weight in chunks, halving the chunk
-/// size whenever no chunk at the current size can be reverted, until no
-/// single interesting decision can be reverted without losing the
-/// violation. The returned schedule is a fresh recording of its own
-/// replay, so it is internally consistent even when reverting steered
-/// the protocol down a different path.
+/// Churn is tried for removal first: each vertex's whole crash/rejoin
+/// chain (a chain stands or falls together — removing an inner toggle
+/// would break the alternation discipline), then trailing toggles of
+/// surviving chains one at a time, then drift revisions one at a time,
+/// until every remaining churn event is load-bearing. Each surviving
+/// crash's time is then pushed to the latest tick still violating (so
+/// the final witness says: *this* vertex must die, and no later than
+/// *this* moment; on a chain the push stays strictly below the next
+/// toggle). Then interesting decisions — rushed (`delay < weight`) or
+/// dropped — are reverted to fault-free full edge weight in chunks,
+/// halving the chunk size whenever no chunk at the current size can be
+/// reverted, until no single interesting decision can be reverted
+/// without losing the violation. The returned schedule is a fresh
+/// recording of its own replay, so it is internally consistent even
+/// when reverting steered the protocol down a different path.
 ///
 /// Returns the input re-recorded (unshrunk) if its replay does not
 /// satisfy `violates` in the first place.
@@ -103,20 +112,78 @@ where
         return (time, current);
     }
 
-    // Crash removal first: a crash silences a vertex for the rest of the
-    // run, warping the whole transcript, so deciding whether each one is
-    // needed before touching per-message decisions keeps the decision
-    // phase shrinking a stable run.
-    let mut c = 0;
-    while c < current.crashes.len() {
+    // Churn removal first: a crash silences a vertex for the rest of the
+    // run (and a rejoin resurrects it), warping the whole transcript, so
+    // deciding what churn is needed before touching per-message
+    // decisions keeps the decision phase shrinking a stable run.
+    let chain_vertices = |s: &Schedule| -> Vec<NodeId> {
+        let mut vs: Vec<NodeId> = s.crashes.iter().map(|c| c.node).collect();
+        vs.sort_unstable_by_key(|n| n.index());
+        vs.dedup();
+        vs
+    };
+
+    // Whole-chain removal, one vertex at a time.
+    let mut v = 0;
+    loop {
+        let vs = chain_vertices(&current);
+        let Some(&victim) = vs.get(v) else { break };
         let mut candidate = current.clone();
-        candidate.crashes.remove(c);
+        candidate.crashes.retain(|c| c.node != victim);
+        candidate.rejoins.retain(|r| r.node != victim);
         let (t, recorded) = replay_recorded(g, make, &candidate);
         if violates(t) {
             time = t;
             current = recorded;
         } else {
-            c += 1;
+            v += 1;
+        }
+    }
+
+    // Chain truncation: drop the last toggle of each surviving chain
+    // while the violation persists — a crash–rejoin–recrash that only
+    // needs its opening crash shrinks back to plain crash-stop.
+    let mut v = 0;
+    loop {
+        let vs = chain_vertices(&current);
+        let Some(&victim) = vs.get(v) else { break };
+        let chain = current.churn_of(victim);
+        if chain.len() <= 1 {
+            v += 1;
+            continue;
+        }
+        let last = *chain.last().expect("chain is non-empty");
+        let mut candidate = current.clone();
+        if chain.len() % 2 == 0 {
+            candidate
+                .rejoins
+                .retain(|r| !(r.node == victim && r.at == last));
+        } else {
+            candidate
+                .crashes
+                .retain(|c| !(c.node == victim && c.at == last));
+        }
+        let (t, recorded) = replay_recorded(g, make, &candidate);
+        if violates(t) {
+            time = t;
+            current = recorded; // same vertex again: keep truncating
+        } else {
+            v += 1;
+        }
+    }
+
+    // Drift removal: weight revisions are independent events; each is
+    // tried alone until every survivor is load-bearing.
+    let mut d = 0;
+    while d < current.drifts.len() {
+        let mut candidate = current.clone();
+        candidate.drifts.remove(d);
+        let (t, recorded) = replay_recorded(g, make, &candidate);
+        if violates(t) {
+            time = t;
+            current = recorded;
+        } else {
+            d += 1;
         }
     }
 
@@ -140,16 +207,30 @@ where
             // violate *more* strongly than an earlier one (recovery
             // traffic lands later). The invariant makes the final time
             // 1-minimal regardless of monotonicity: `lo + 1` is a tested
-            // non-violation whenever the search moved at all.
+            // non-violation whenever the search moved at all. On a churn
+            // chain the crash must stay strictly below the vertex's next
+            // toggle, so the climb is capped there.
             let mut lo = current.crashes[c].at;
-            let mut hi = time.get().max(lo).saturating_add(1);
+            let chain = current.churn_of(current.crashes[c].node);
+            let pos = chain
+                .iter()
+                .position(|&t| t == lo)
+                .expect("crash time is on its own chain");
+            let cap = chain.get(pos + 1).map_or(u64::MAX, |&t| t - 1);
+            let mut hi = time.get().max(lo).saturating_add(1).min(cap);
+            if hi <= lo {
+                continue; // the next toggle leaves no room to push
+            }
             loop {
                 let (t, _) = replay_at(hi, current);
                 if !violates(t) {
                     break;
                 }
                 lo = hi;
-                hi = hi.saturating_mul(2);
+                if hi == cap {
+                    break; // violating at the cap: can push no later
+                }
+                hi = hi.saturating_mul(2).min(cap);
             }
             while hi - lo > 1 {
                 let mid = lo + (hi - lo) / 2;
@@ -276,9 +357,12 @@ where
                             }
                         ),
                         format!(
-                            "replay: {} drops, {} crashes, {} past-horizon fallbacks",
+                            "replay: {} drops, {} crashes, {} rejoins, {} drifts, \
+                             {} past-horizon fallbacks",
                             minimal.dropped_count(),
                             minimal.crashes.len(),
+                            minimal.rejoins.len(),
+                            minimal.drifts.len(),
                             report.past_horizon
                         ),
                     ],
@@ -423,6 +507,88 @@ mod tests {
         removed.crashes.clear();
         let run = crate::replay(&g, make, &removed);
         assert!(run.cost.completion.get() >= 6, "removal must not violate");
+    }
+
+    #[test]
+    fn shrink_truncates_churn_chains_and_discards_needless_drift() {
+        // Beheading the token at vertex 3 (crash at t=2, before the
+        // eager token arrives at t=3) is load-bearing for "completes
+        // before tick 6". The rejoin at 50, the recrash at 60 and the
+        // drift all land after quiescence — pure noise the shrinker
+        // must strip, truncating the crash–rejoin–recrash chain back to
+        // the plain crash.
+        let g = generators::cycle(6, |_| 5);
+        let make = |_: NodeId, _: &WeightedGraph| Ring { done: false };
+        let mut rec = Recorder::new(ModelOracle::new(DelayModel::Eager, 0));
+        Simulator::new(&g).run_with_oracle(&mut rec, make).unwrap();
+        let mut faulty = rec.into_schedule(Fallback::WorstCase);
+        faulty.crashes.push(crate::schedule::Crash {
+            node: NodeId::new(3),
+            at: 2,
+        });
+        faulty.rejoins.push(crate::schedule::Rejoin {
+            node: NodeId::new(3),
+            at: 50,
+        });
+        faulty.crashes.push(crate::schedule::Crash {
+            node: NodeId::new(3),
+            at: 60,
+        });
+        faulty.drifts.push(crate::schedule::Drift {
+            edge: faulty.decisions[0].edge,
+            at: 40,
+            weight: 2,
+        });
+        let (t, minimal) = shrink(&g, &make, &faulty, |t| t.get() < 6);
+        assert!(t.get() < 6);
+        assert_eq!(minimal.crashes.len(), 1, "the opening crash survives");
+        assert!(minimal.rejoins.is_empty(), "the rejoin was noise");
+        assert!(minimal.drifts.is_empty(), "the drift was noise");
+        assert!(!minimal.has_churn(), "back to plain crash-stop");
+    }
+
+    #[test]
+    fn shrink_keeps_a_load_bearing_rejoin_and_pushes_the_crash_below_it() {
+        // A rejoin restarts the vertex with fresh state, so `on_start`
+        // runs again — and on the token ring only vertex 0 launches a
+        // token from `on_start`. Crash vertex 0 at t=1 (its first token
+        // is already in flight) and rejoin it at t=10: the restarted
+        // incarnation launches a *second* lap, whose hops replay past
+        // the recorded horizon at worst-case weight 5, completing around
+        // t = 10 + 6·5 = 40. The violation "still running at t >= 35" is
+        // achievable only through the rejoin: six hops at full weight
+        // complete by t = 30, so no delay stretching reaches 35 without
+        // the second lap. The crash time is then pushed as late as its chain
+        // allows — any t in [1, 9] leaves the restart intact, so the
+        // 1-minimal witness crashes at 9, strictly below the rejoin.
+        let g = generators::cycle(6, |_| 5);
+        let make = |_: NodeId, _: &WeightedGraph| Ring { done: false };
+        let mut rec = Recorder::new(ModelOracle::new(DelayModel::Eager, 0));
+        Simulator::new(&g).run_with_oracle(&mut rec, make).unwrap();
+        let mut faulty = rec.into_schedule(Fallback::WorstCase);
+        faulty.crashes.push(crate::schedule::Crash {
+            node: NodeId::new(0),
+            at: 1,
+        });
+        faulty.rejoins.push(crate::schedule::Rejoin {
+            node: NodeId::new(0),
+            at: 10,
+        });
+        let (t, minimal) = shrink(&g, &make, &faulty, |t| t.get() >= 35);
+        assert!(t.get() >= 35);
+        assert_eq!(
+            minimal.churn_of(NodeId::new(0)),
+            vec![9, 10],
+            "crash and rejoin both survive; the crash sits just below \
+             the rejoin"
+        );
+        assert!(minimal.has_churn());
+        // Dropping the rejoin (the truncation the shrinker rejected)
+        // kills the second lap and with it the violation.
+        let mut truncated = minimal.clone();
+        truncated.rejoins.clear();
+        let run = crate::replay(&g, make, &truncated);
+        assert!(run.cost.completion.get() < 35);
     }
 
     #[test]

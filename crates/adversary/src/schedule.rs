@@ -38,9 +38,32 @@
 //! x 1 7 0 4
 //! ```
 //!
-//! Both dialects are accepted by [`Schedule::from_text`]. Blank lines
-//! and `#` comments are ignored anywhere, so counterexample files can
-//! carry a human-readable header.
+//! A schedule carrying *churn* — rejoins or mid-run weight drift —
+//! serializes as `v3`, which adds `r` lines for rejoined vertices and
+//! `w` lines for weight revisions. Under `v3` a vertex may crash again
+//! after a rejoin, so a node can own several `c` lines; per vertex the
+//! merged crash/rejoin times must strictly increase and alternate
+//! starting with a crash (the [`ChurnOracle`](csp_sim::ChurnOracle)
+//! toggle discipline):
+//!
+//! ```text
+//! csp-adversary-schedule v3
+//! fallback worst-case
+//! c 3 20
+//! c 3 200
+//! r 3 120
+//! w 7 60 9
+//! # index edge dir weight delay
+//! d 0 3 1 16 16
+//! x 1 7 0 4
+//! ```
+//!
+//! All three dialects are accepted by [`Schedule::from_text`], and
+//! emission always picks the *oldest* dialect that can express the
+//! schedule (`v1` delay-only, `v2` faults, `v3` churn), so previously
+//! committed witnesses parse and regenerate byte-identically. Blank
+//! lines and `#` comments are ignored anywhere, so counterexample files
+//! can carry a human-readable header.
 
 use csp_graph::{EdgeId, NodeId};
 use std::error::Error;
@@ -79,13 +102,39 @@ impl Decision {
 }
 
 /// A crashed vertex: from `at` onward it silently consumes every
-/// delivery and timer without reacting.
+/// delivery and timer without reacting — until a matching [`Rejoin`],
+/// if the schedule carries one.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Crash {
     /// The vertex that crashes.
     pub node: NodeId,
     /// The time it crashes (inclusive; `0` suppresses even `on_start`).
     pub at: u64,
+}
+
+/// A rejoined vertex: at `at` it restarts with fresh protocol state
+/// (its `on_start` runs again). Every rejoin must pair with an earlier
+/// [`Crash`] of the same vertex — per vertex the merged crash/rejoin
+/// times alternate starting with a crash.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Rejoin {
+    /// The vertex that recovers.
+    pub node: NodeId,
+    /// The time it restarts.
+    pub at: u64,
+}
+
+/// A mid-run edge-weight revision: from `at` onward delays on the edge
+/// clamp into the new `[1, weight]`, sends meter at the new weight, and
+/// failure-detector horizons follow it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Drift {
+    /// The revised edge.
+    pub edge: EdgeId,
+    /// The time the revision takes effect (inclusive).
+    pub at: u64,
+    /// The new weight (≥ 1).
+    pub weight: u64,
 }
 
 /// What the replay oracle does beyond the recorded prefix, or when the
@@ -109,8 +158,17 @@ pub struct Schedule {
     pub decisions: Vec<Decision>,
     /// Policy for messages beyond (or diverging from) the recording.
     pub fallback: Fallback,
-    /// Vertices the adversary crashes, at most one entry per vertex.
+    /// Vertices the adversary crashes. Without churn, at most one entry
+    /// per vertex; with rejoins a vertex may crash repeatedly, once per
+    /// alternation cycle (see [`Schedule::churn_of`]).
     pub crashes: Vec<Crash>,
+    /// Vertices the adversary restarts, each pairing with an earlier
+    /// crash of the same vertex.
+    pub rejoins: Vec<Rejoin>,
+    /// Mid-run weight revisions, in plan order (the runtime applies
+    /// same-instant revisions in plan order after a stable sort by
+    /// time).
+    pub drifts: Vec<Drift>,
 }
 
 impl Schedule {
@@ -140,29 +198,126 @@ impl Schedule {
         self.decisions.iter().filter(|d| d.dropped).count()
     }
 
-    /// Whether this schedule needs the `v2` dialect (it records faults,
-    /// not just delays).
+    /// Whether this schedule records faults (crashes or drops) beyond
+    /// pure delays — the `v2` dialect threshold.
     pub fn has_faults(&self) -> bool {
         !self.crashes.is_empty() || self.decisions.iter().any(|d| d.dropped)
     }
 
+    /// Whether this schedule records churn (rejoins or weight drift) —
+    /// the `v3` dialect threshold.
+    pub fn has_churn(&self) -> bool {
+        !self.rejoins.is_empty() || !self.drifts.is_empty()
+    }
+
+    /// The header line of the oldest dialect that can express this
+    /// schedule — churn-free schedules keep their historical dialect,
+    /// so committed witnesses stay byte-stable.
+    fn dialect(&self) -> &'static str {
+        if self.has_churn() {
+            "csp-adversary-schedule v3"
+        } else if self.has_faults() {
+            "csp-adversary-schedule v2"
+        } else {
+            "csp-adversary-schedule v1"
+        }
+    }
+
+    /// The merged crash/rejoin toggle times of `node`, sorted — exactly
+    /// the per-vertex plan [`csp_sim::LinkOracle::churn_plan`] serves
+    /// (odd positions are crashes, even positions rejoins). Empty for a
+    /// vertex the schedule never touches.
+    pub fn churn_of(&self, node: NodeId) -> Vec<u64> {
+        let mut plan: Vec<u64> = self
+            .crashes
+            .iter()
+            .filter(|c| c.node == node)
+            .map(|c| c.at)
+            .chain(self.rejoins.iter().filter(|r| r.node == node).map(|r| r.at))
+            .collect();
+        plan.sort_unstable();
+        plan
+    }
+
+    /// Validates the churn discipline: per vertex the merged
+    /// crash/rejoin times must strictly increase and alternate starting
+    /// with a crash, and no edge may be revised twice at one instant
+    /// (the two revisions would race). Returns the offending vertex or
+    /// edge description on failure.
+    fn validate_churn(&self) -> Result<(), String> {
+        let mut nodes: Vec<NodeId> = self
+            .crashes
+            .iter()
+            .map(|c| c.node)
+            .chain(self.rejoins.iter().map(|r| r.node))
+            .collect();
+        nodes.sort_unstable_by_key(|v| v.index());
+        nodes.dedup();
+        for v in nodes {
+            // Kind 0 = crash, 1 = rejoin; crashes sort first at a tie so
+            // the strictly-increase check reports equal-time pairs.
+            let mut toggles: Vec<(u64, u8)> = self
+                .crashes
+                .iter()
+                .filter(|c| c.node == v)
+                .map(|c| (c.at, 0))
+                .chain(
+                    self.rejoins
+                        .iter()
+                        .filter(|r| r.node == v)
+                        .map(|r| (r.at, 1)),
+                )
+                .collect();
+            toggles.sort_unstable();
+            for (i, &(at, kind)) in toggles.iter().enumerate() {
+                if i > 0 && toggles[i - 1].0 >= at {
+                    return Err(format!(
+                        "churn times for vertex {} must strictly increase",
+                        v.index()
+                    ));
+                }
+                if kind != (i % 2) as u8 {
+                    return Err(format!(
+                        "churn for vertex {} must alternate crash/rejoin starting with a crash",
+                        v.index()
+                    ));
+                }
+            }
+        }
+        for (i, d) in self.drifts.iter().enumerate() {
+            if self.drifts[..i]
+                .iter()
+                .any(|e| e.edge == d.edge && e.at == d.at)
+            {
+                return Err(format!(
+                    "edge {} revised twice at time {}",
+                    d.edge.index(),
+                    d.at
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Serializes to the plain-text format described in the
     /// [module docs](self): `v1` when delay-only, `v2` when faults are
-    /// present.
+    /// present, `v3` when churn is present.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
-        let v2 = self.has_faults();
-        out.push_str(if v2 {
-            "csp-adversary-schedule v2\n"
-        } else {
-            "csp-adversary-schedule v1\n"
-        });
+        out.push_str(self.dialect());
+        out.push('\n');
         out.push_str(match self.fallback {
             Fallback::WorstCase => "fallback worst-case\n",
             Fallback::Rush => "fallback rush\n",
         });
         for c in &self.crashes {
             out.push_str(&format!("c {} {}\n", c.node.index(), c.at));
+        }
+        for r in &self.rejoins {
+            out.push_str(&format!("r {} {}\n", r.node.index(), r.at));
+        }
+        for d in &self.drifts {
+            out.push_str(&format!("w {} {} {}\n", d.edge.index(), d.at, d.weight));
         }
         out.push_str("# index edge dir weight delay\n");
         for d in &self.decisions {
@@ -188,15 +343,17 @@ impl Schedule {
         out
     }
 
-    /// Parses the plain-text format, accepting both the `v1` (delay-only)
-    /// and `v2` (faults) dialects.
+    /// Parses the plain-text format, accepting the `v1` (delay-only),
+    /// `v2` (faults) and `v3` (churn) dialects.
     ///
     /// # Errors
     ///
     /// Returns a [`ParseError`] naming the offending line on malformed
     /// input: wrong header, unknown fallback, non-contiguous indices, a
-    /// delay outside `[1, weight]`, fault lines in a `v1` file, or a
-    /// vertex crashed twice.
+    /// delay outside `[1, weight]`, fault lines in a `v1` file, churn
+    /// lines below `v3`, a vertex crashed twice without an intervening
+    /// rejoin, or a churn discipline violation (see
+    /// [`Schedule::churn_of`]).
     pub fn from_text(text: &str) -> Result<Schedule, ParseError> {
         let fail = |line: usize, msg: &str| ParseError {
             line,
@@ -209,15 +366,17 @@ impl Schedule {
             .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
 
         let (ln, header) = lines.next().ok_or_else(|| fail(0, "empty schedule"))?;
-        let v2 =
-            match header {
-                "csp-adversary-schedule v1" => false,
-                "csp-adversary-schedule v2" => true,
-                _ => return Err(fail(
+        let version = match header {
+            "csp-adversary-schedule v1" => 1,
+            "csp-adversary-schedule v2" => 2,
+            "csp-adversary-schedule v3" => 3,
+            _ => {
+                return Err(fail(
                     ln,
-                    "expected header `csp-adversary-schedule v1` or `csp-adversary-schedule v2`",
-                )),
-            };
+                    "expected header `csp-adversary-schedule v1`, `v2` or `v3`",
+                ))
+            }
+        };
         let (ln, fb) = lines
             .next()
             .ok_or_else(|| fail(0, "missing `fallback` line"))?;
@@ -234,14 +393,19 @@ impl Schedule {
 
         let mut decisions = Vec::new();
         let mut crashes: Vec<Crash> = Vec::new();
+        let mut rejoins: Vec<Rejoin> = Vec::new();
+        let mut drifts: Vec<Drift> = Vec::new();
         for (ln, line) in lines {
             let mut parts = line.split_ascii_whitespace();
             let kind = parts.next().expect("non-empty line has a first token");
-            if !v2 && kind != "d" {
+            if version < 2 && kind != "d" {
                 return Err(fail(
                     ln,
                     "expected decision line `d <index> <edge> <dir> <weight> <delay>`",
                 ));
+            }
+            if version < 3 && matches!(kind, "r" | "w") {
+                return Err(fail(ln, "churn lines require the v3 dialect"));
             }
             let mut num = |what: &str| -> Result<u64, ParseError> {
                 parts
@@ -258,14 +422,46 @@ impl Schedule {
                         return Err(fail(ln, "trailing tokens on crash line"));
                     }
                     let node = NodeId::new(node as usize);
-                    if crashes.iter().any(|c| c.node == node) {
+                    // Below v3 a vertex crashes at most once; under v3
+                    // recrashes are legal and the alternation check at
+                    // the end enforces the intervening rejoin.
+                    if version < 3 && crashes.iter().any(|c| c.node == node) {
                         return Err(fail(ln, "vertex crashed twice"));
                     }
                     crashes.push(Crash { node, at });
                     continue;
                 }
+                "r" => {
+                    let node = num("node")?;
+                    let at = num("time")?;
+                    if parts.next().is_some() {
+                        return Err(fail(ln, "trailing tokens on rejoin line"));
+                    }
+                    rejoins.push(Rejoin {
+                        node: NodeId::new(node as usize),
+                        at,
+                    });
+                    continue;
+                }
+                "w" => {
+                    let edge = num("edge")?;
+                    let at = num("time")?;
+                    let weight = num("weight")?;
+                    if parts.next().is_some() {
+                        return Err(fail(ln, "trailing tokens on drift line"));
+                    }
+                    if weight == 0 {
+                        return Err(fail(ln, "drift weight must be at least 1"));
+                    }
+                    drifts.push(Drift {
+                        edge: EdgeId::new(edge as usize),
+                        at,
+                        weight,
+                    });
+                    continue;
+                }
                 "d" | "x" => {}
-                _ => return Err(fail(ln, "expected a `d`, `x` or `c` line")),
+                _ => return Err(fail(ln, "expected a `d`, `x`, `c`, `r` or `w` line")),
             }
             let dropped = kind == "x";
             let index = num("index")?;
@@ -294,21 +490,29 @@ impl Schedule {
                 dropped,
             });
         }
-        Ok(Schedule {
+        let schedule = Schedule {
             decisions,
             fallback,
             crashes,
-        })
+            rejoins,
+            drifts,
+        };
+        schedule.validate_churn().map_err(|msg| fail(0, &msg))?;
+        Ok(schedule)
     }
 
-    /// Canonical 64-bit key of the schedule's crash assignment, order
-    /// independent: two schedules crashing the same vertices at the same
-    /// times get the same key however their `crashes` vectors are
-    /// ordered. Crash times are baked into a run at start (the oracle is
-    /// queried once per vertex), so *every* prefix key
-    /// ([`Schedule::prefix_key`]) folds this in — schedules with
-    /// different crash sets share no resumable prefix, no matter how
-    /// their decision streams compare.
+    /// Canonical 64-bit key of the schedule's crash, rejoin and drift
+    /// assignment, order independent: two schedules with the same churn
+    /// however their vectors are ordered get the same key. Churn is
+    /// baked into a run at start (the plans are queried once), so
+    /// *every* prefix key ([`Schedule::prefix_key`]) folds this in —
+    /// schedules with different churn share no resumable prefix, no
+    /// matter how their decision streams compare.
+    ///
+    /// Rejoins and drifts fold in under distinct salts, gated on
+    /// presence, so every churn-free schedule keeps its exact
+    /// historical key (committed witnesses and warm caches survive the
+    /// dialect extension).
     pub fn crash_key(&self) -> u64 {
         let mut crashes: Vec<&Crash> = self.crashes.iter().collect();
         crashes.sort_by_key(|c| (c.node.index(), c.at));
@@ -317,8 +521,34 @@ impl Schedule {
             h = PrefixHasher::mix(h, c.node.index() as u64);
             h = PrefixHasher::mix(h, c.at);
         }
+        if !self.rejoins.is_empty() {
+            let mut rejoins: Vec<&Rejoin> = self.rejoins.iter().collect();
+            rejoins.sort_by_key(|r| (r.node.index(), r.at));
+            h = PrefixHasher::mix(h, Self::REJOIN_SALT);
+            for r in rejoins {
+                h = PrefixHasher::mix(h, r.node.index() as u64);
+                h = PrefixHasher::mix(h, r.at);
+            }
+        }
+        if !self.drifts.is_empty() {
+            // (edge, at) pairs are unique (validate_churn), so sorting
+            // canonicalizes without conflating conflicting revisions.
+            let mut drifts: Vec<&Drift> = self.drifts.iter().collect();
+            drifts.sort_by_key(|d| (d.at, d.edge.index()));
+            h = PrefixHasher::mix(h, Self::DRIFT_SALT);
+            for d in drifts {
+                h = PrefixHasher::mix(h, d.edge.index() as u64);
+                h = PrefixHasher::mix(h, d.at);
+                h = PrefixHasher::mix(h, d.weight);
+            }
+        }
         h
     }
+
+    /// Domain separators for the churn sections of the key: a rejoin of
+    /// vertex `v` at `t` must never collide with a crash of `v` at `t`.
+    const REJOIN_SALT: u64 = 0x7265_6a6f_696e_2e76;
+    const DRIFT_SALT: u64 = 0x6472_6966_742e_7633;
 
     /// Canonical key of the first `len` decisions together with the
     /// crash assignment — the cache key an incremental evaluator uses to
@@ -372,17 +602,19 @@ impl Schedule {
         for h in header {
             writeln!(w, "# {h}")?;
         }
-        if self.has_faults() {
-            writeln!(w, "csp-adversary-schedule v2")?;
-        } else {
-            writeln!(w, "csp-adversary-schedule v1")?;
-        }
+        writeln!(w, "{}", self.dialect())?;
         match self.fallback {
             Fallback::WorstCase => writeln!(w, "fallback worst-case")?,
             Fallback::Rush => writeln!(w, "fallback rush")?,
         }
         for c in &self.crashes {
             writeln!(w, "c {} {}", c.node.index(), c.at)?;
+        }
+        for r in &self.rejoins {
+            writeln!(w, "r {} {}", r.node.index(), r.at)?;
+        }
+        for d in &self.drifts {
+            writeln!(w, "w {} {} {}", d.edge.index(), d.at, d.weight)?;
         }
         writeln!(w, "# index edge dir weight delay")?;
         for d in &self.decisions {
@@ -541,7 +773,7 @@ mod tests {
                 },
             ],
             fallback: Fallback::Rush,
-            crashes: vec![],
+            ..Schedule::default()
         }
     }
 
@@ -726,12 +958,161 @@ mod tests {
                 node: NodeId::new(2),
                 at: 77,
             }],
+            ..Schedule::default()
         };
         let path = std::env::temp_dir().join("csp-adversary-large-roundtrip.schedule");
         s.save(&path, &["large round-trip".to_string()]).unwrap();
         let loaded = Schedule::load(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(loaded, s);
+    }
+
+    fn churny_sample() -> Schedule {
+        let mut s = faulty_sample();
+        s.crashes = vec![
+            Crash {
+                node: NodeId::new(4),
+                at: 12,
+            },
+            Crash {
+                node: NodeId::new(4),
+                at: 90,
+            },
+        ];
+        s.rejoins.push(Rejoin {
+            node: NodeId::new(4),
+            at: 50,
+        });
+        s.drifts.push(Drift {
+            edge: EdgeId::new(7),
+            at: 33,
+            weight: 9,
+        });
+        s
+    }
+
+    #[test]
+    fn churn_round_trip_uses_v3() {
+        let s = churny_sample();
+        let text = s.to_text();
+        assert!(text.starts_with("csp-adversary-schedule v3\n"));
+        assert!(text.contains("\nc 4 12\n"));
+        assert!(text.contains("\nc 4 90\n"));
+        assert!(text.contains("\nr 4 50\n"));
+        assert!(text.contains("\nw 7 33 9\n"));
+        assert_eq!(Schedule::from_text(&text).unwrap(), s);
+        assert!(s.has_churn());
+        assert!(!faulty_sample().has_churn(), "fault-only stays below v3");
+    }
+
+    #[test]
+    fn churn_save_load_round_trips() {
+        let s = churny_sample();
+        let path = std::env::temp_dir().join("csp-adversary-churn-roundtrip.schedule");
+        s.save(&path, &["churn round-trip".to_string()]).unwrap();
+        let loaded = Schedule::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, s);
+    }
+
+    #[test]
+    fn churn_of_merges_crashes_and_rejoins_sorted() {
+        let s = churny_sample();
+        assert_eq!(s.churn_of(NodeId::new(4)), vec![12, 50, 90]);
+        assert_eq!(s.churn_of(NodeId::new(0)), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn churn_folds_into_crash_key_with_distinct_salts() {
+        let base = faulty_sample();
+        let churny = churny_sample();
+        assert_ne!(base.crash_key(), churny.crash_key());
+        // A rejoin at t must not hash like an extra crash at t.
+        let mut rejoined = faulty_sample();
+        rejoined.rejoins.push(Rejoin {
+            node: NodeId::new(4),
+            at: 50,
+        });
+        let mut recrashed = faulty_sample();
+        recrashed.crashes.push(Crash {
+            node: NodeId::new(4),
+            at: 50,
+        });
+        assert_ne!(rejoined.crash_key(), recrashed.crash_key());
+        // Rejoin order is canonicalized; drift sets are compared as
+        // (edge, at, weight) sets.
+        let mut a = churny_sample();
+        let mut b = churny_sample();
+        a.drifts.push(Drift {
+            edge: EdgeId::new(2),
+            at: 5,
+            weight: 3,
+        });
+        b.drifts.insert(
+            0,
+            Drift {
+                edge: EdgeId::new(2),
+                at: 5,
+                weight: 3,
+            },
+        );
+        assert_eq!(a.crash_key(), b.crash_key());
+        // Prefix keys inherit the gate: different churn, no shared
+        // prefix at any depth.
+        assert_ne!(churny.prefix_key(0), base.prefix_key(0));
+        assert_eq!(base.common_prefix_len(&churny), 0);
+    }
+
+    #[test]
+    fn parse_rejects_bad_churn() {
+        for (text, expect) in [
+            (
+                // Churn lines below v3.
+                "csp-adversary-schedule v2\nfallback rush\nc 1 5\nr 1 9",
+                "require the v3 dialect",
+            ),
+            (
+                "csp-adversary-schedule v2\nfallback rush\nw 0 5 3",
+                "require the v3 dialect",
+            ),
+            (
+                // Rejoin with no preceding crash.
+                "csp-adversary-schedule v3\nfallback rush\nr 1 9",
+                "starting with a crash",
+            ),
+            (
+                // Recrash without an intervening rejoin.
+                "csp-adversary-schedule v3\nfallback rush\nc 1 5\nc 1 9",
+                "alternate crash/rejoin",
+            ),
+            (
+                // Rejoin at the crash instant.
+                "csp-adversary-schedule v3\nfallback rush\nc 1 5\nr 1 5",
+                "strictly increase",
+            ),
+            (
+                "csp-adversary-schedule v3\nfallback rush\nw 0 5 0",
+                "at least 1",
+            ),
+            (
+                // Two revisions of one edge at one instant race.
+                "csp-adversary-schedule v3\nfallback rush\nw 0 5 3\nw 0 5 4",
+                "revised twice",
+            ),
+            (
+                "csp-adversary-schedule v3\nfallback rush\nr 1 9 7",
+                "trailing tokens on rejoin line",
+            ),
+        ] {
+            let err = Schedule::from_text(text).unwrap_err();
+            assert!(err.msg.contains(expect), "input {text:?} gave {err}");
+        }
+        // v3 legitimizes a recrash when the rejoin intervenes.
+        let ok = "csp-adversary-schedule v3\nfallback rush\nc 1 5\nr 1 9\nc 1 12";
+        assert_eq!(
+            Schedule::from_text(ok).unwrap().churn_of(NodeId::new(1)),
+            vec![5, 9, 12]
+        );
     }
 
     #[test]
@@ -750,7 +1131,7 @@ mod tests {
             ),
             (
                 "csp-adversary-schedule v2\nfallback rush\nq 0 0 0 5",
-                "`d`, `x` or `c`",
+                "`d`, `x`, `c`, `r` or `w`",
             ),
             ("csp-adversary-schedule v1\nfallback maybe", "fallback"),
             (

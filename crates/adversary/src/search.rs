@@ -45,7 +45,7 @@
 //! an improving pass.
 
 use crate::oracle::{CriticalPathOracle, Recorder, ScheduleOracle};
-use crate::schedule::{Crash, Fallback, Schedule};
+use crate::schedule::{Crash, Drift, Fallback, Rejoin, Schedule};
 use csp_graph::{NodeId, WeightedGraph};
 use csp_sim::sweep::{effective_threads, par_map_with};
 use csp_sim::{
@@ -102,6 +102,16 @@ pub struct SearchConfig {
     /// No-op on crash-free incumbents. `0` (the default) keeps the
     /// mutation stream byte-identical to the drop-only mutator's.
     pub crash_time_flips: usize,
+    /// Churn-chain extensions per mutation ([`Mutation::rejoin_flips`]):
+    /// each grows a crashed vertex's crash/rejoin chain by one toggle,
+    /// letting the hill phase discover crash–rejoin–recrash schedules.
+    /// No-op on crash-free incumbents. `0` (the default) keeps the
+    /// mutation stream byte-identical to the crash-time mutator's.
+    pub rejoin_flips: usize,
+    /// Weight revisions per mutation ([`Mutation::drift_flips`]): each
+    /// redraws one decision's edge weight at a drawn time. `0` (the
+    /// default) keeps the search drift-free.
+    pub drift_flips: usize,
     /// Routes [`check_time_bound`](crate::check_time_bound) through the
     /// DPOR explorer ([`explore_exhaustive`](crate::explore_exhaustive))
     /// instead of the heuristic pipeline: every Mazurkiewicz class of
@@ -134,6 +144,8 @@ impl Default for SearchConfig {
             drop_flips: 0,
             crash_probes: 0,
             crash_time_flips: 0,
+            rejoin_flips: 0,
+            drift_flips: 0,
             exhaustive: false,
             class_budget: 0,
             crash_horizon: 0,
@@ -158,7 +170,9 @@ impl SearchConfig {
         let m = Mutation::new()
             .delay_flips(self.flips)
             .drop_flips(self.drop_flips)
-            .crash_time_flips(self.crash_time_flips);
+            .crash_time_flips(self.crash_time_flips)
+            .rejoin_flips(self.rejoin_flips)
+            .drift_flips(self.drift_flips);
         if self.crash_horizon > 0 {
             m.crash_horizon(self.crash_horizon)
         } else {
@@ -267,6 +281,18 @@ impl SearchConfigBuilder {
         self
     }
 
+    /// Sets [`SearchConfig::rejoin_flips`].
+    pub fn rejoin_flips(mut self, n: usize) -> Self {
+        self.cfg.rejoin_flips = n;
+        self
+    }
+
+    /// Sets [`SearchConfig::drift_flips`].
+    pub fn drift_flips(mut self, n: usize) -> Self {
+        self.cfg.drift_flips = n;
+        self
+    }
+
     /// Selects the exhaustive DPOR mode ([`SearchConfig::exhaustive`])
     /// with the given class cap (`0` keeps the built-in default).
     pub fn exhaustive(mut self, class_budget: usize) -> Self {
@@ -308,10 +334,17 @@ impl SearchConfigBuilder {
         if c.hill_rounds > 0 && c.candidates_per_round == 0 {
             return Err(ConfigError::NoCandidates);
         }
-        if c.hill_rounds > 0 && c.flips + c.drop_flips + c.crash_time_flips == 0 {
+        if c.hill_rounds > 0
+            && c.flips + c.drop_flips + c.crash_time_flips + c.rejoin_flips + c.drift_flips == 0
+        {
             return Err(ConfigError::FrozenMutation);
         }
-        if c.crash_horizon > 0 && c.crash_probes == 0 && c.crash_time_flips == 0 {
+        if c.crash_horizon > 0
+            && c.crash_probes == 0
+            && c.crash_time_flips == 0
+            && c.rejoin_flips == 0
+            && c.drift_flips == 0
+        {
             return Err(ConfigError::UnusedCrashHorizon);
         }
         Ok(self.cfg)
@@ -342,12 +375,12 @@ impl std::fmt::Display for ConfigError {
             ConfigError::FrozenMutation => write!(
                 f,
                 "hill rounds require at least one nonzero mutation dimension \
-                 (flips, drop_flips or crash_time_flips)"
+                 (flips, drop_flips, crash_time_flips, rejoin_flips or drift_flips)"
             ),
             ConfigError::UnusedCrashHorizon => write!(
                 f,
-                "crash_horizon is set but neither crash_probes nor crash_time_flips \
-                 can emit a crash time for it to cap"
+                "crash_horizon is set but no phase (crash_probes, crash_time_flips, \
+                 rejoin_flips, drift_flips) can emit a churn time for it to cap"
             ),
         }
     }
@@ -464,10 +497,13 @@ fn rebuild_checkpoints<P, F>(
 /// incumbent's — the first message where the candidate's run can
 /// diverge; everything before it is shared prefix. Mutation only
 /// rewrites delays and drop flags, so comparing those suffices — except
-/// crashes, which take effect from time zero: a candidate with a
-/// different crash assignment shares no prefix at all.
+/// churn (crashes, rejoins, drifts), which is assigned at time zero: a
+/// candidate with a different churn assignment shares no prefix at all.
 fn first_diff(incumbent: &Schedule, mutant: &Schedule) -> u64 {
-    if incumbent.crashes != mutant.crashes {
+    if incumbent.crashes != mutant.crashes
+        || incumbent.rejoins != mutant.rejoins
+        || incumbent.drifts != mutant.drifts
+    {
         return 0;
     }
     incumbent
@@ -547,36 +583,48 @@ where
             // checkpoint instead of re-querying the oracle, so the
             // recorder saw none of it; splice the mutant's own crashes
             // (identical to the checkpoint's — `first_diff` is 0, and no
-            // checkpoint covers it, whenever they differ).
+            // checkpoint covers it, whenever they differ). Rejoins and
+            // drifts are part of the same start-of-run assignment, so
+            // they splice the same way.
             crashes: mutant.crashes.clone(),
+            rejoins: mutant.rejoins.clone(),
+            drifts: mutant.drifts.clone(),
         },
     )
 }
 
 /// One seeded schedule perturbation across every adversarial dimension —
-/// the single mutation surface the hill-climb, polish and future fault
-/// dimensions share (replacing the historical
-/// `mutate`/`mutate_with_drops`/`mutate_with_faults` sprawl).
+/// the single mutation surface the hill-climb, polish and churn-search
+/// phases share (the historical
+/// `mutate`/`mutate_with_drops`/`mutate_with_faults` trio is gone).
 ///
 /// [`Mutation::apply`] draws, in order: `delay_flips` delay
 /// re-randomizations (each picked decision set to rushed `1`, stretched
 /// `weight`, or a uniform point between), `drop_flips` drop-flag
 /// toggles, then — only on crash-bearing schedules —
 /// `crash_time_flips` crash-time redraws (halved, doubled, or uniform
-/// around the current value). The draw order is a compatibility
-/// contract: a dimension with zero flips consumes no RNG, so enabling a
-/// later dimension never perturbs the mutants of an earlier one, and
-/// committed delay-only witnesses regenerate byte-identically.
+/// around the current value), `rejoin_flips` churn-chain extensions
+/// (each picked victim's crash/rejoin chain grows by one toggle: a
+/// rejoin if the victim is down at the end of its chain, a *recrash* if
+/// it is back up — the crash–rejoin–recrash ladders the churn witness
+/// needs), and finally `drift_flips` weight revisions (a picked
+/// decision's edge gets its weight redrawn in `[1, 2·weight]` at a
+/// drawn time). The draw order is a compatibility contract: a dimension
+/// with zero flips consumes no RNG, so enabling a later dimension never
+/// perturbs the mutants of an earlier one, and committed delay-only and
+/// single-crash witnesses regenerate byte-identically.
 ///
-/// An optional [`Mutation::crash_horizon`] clamps redrawn crash times
-/// *after* the draw (consuming no extra RNG, so an unbounded mutation
-/// stays byte-identical), keeping every emitted crash observable within
-/// the run's horizon.
+/// An optional [`Mutation::crash_horizon`] clamps redrawn crash, rejoin
+/// and drift times *after* the draw (consuming no extra RNG, so an
+/// unbounded mutation stays byte-identical), keeping every emitted
+/// churn event observable within the run's horizon.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct Mutation {
     delay_flips: usize,
     drop_flips: usize,
     crash_time_flips: usize,
+    rejoin_flips: usize,
+    drift_flips: usize,
     horizon: Option<u64>,
 }
 
@@ -606,8 +654,25 @@ impl Mutation {
         self
     }
 
-    /// Clamps every redrawn crash time to `at <= horizon` (post-draw, so
-    /// the RNG stream is unchanged).
+    /// Sets how many churn-chain extensions get drawn: each flip picks a
+    /// crashed vertex and appends one toggle to its crash/rejoin chain —
+    /// a rejoin when the chain ends down, a recrash when it ends up
+    /// (no-op on crash-free schedules — the draws are skipped entirely).
+    pub fn rejoin_flips(mut self, n: usize) -> Self {
+        self.rejoin_flips = n;
+        self
+    }
+
+    /// Sets how many weight revisions get drawn: each flip picks a
+    /// decision and revises its edge's weight at a drawn time (no-op on
+    /// empty schedules).
+    pub fn drift_flips(mut self, n: usize) -> Self {
+        self.drift_flips = n;
+        self
+    }
+
+    /// Clamps every redrawn crash, rejoin and drift time to
+    /// `at <= horizon` (post-draw, so the RNG stream is unchanged).
     pub fn crash_horizon(mut self, horizon: u64) -> Self {
         self.horizon = Some(horizon);
         self
@@ -647,42 +712,76 @@ impl Mutation {
                 if let Some(h) = self.horizon {
                     drawn = drawn.min(h).max(1);
                 }
-                out.crashes[c].at = drawn;
+                // On a churn chain the redraw must stay strictly between
+                // its neighbouring toggles or the alternation discipline
+                // breaks; clamp post-draw (no RNG consumed — on the
+                // single-crash chains the pre-churn mutator handled,
+                // the slot is (0, ∞) and this is the identity).
+                let chain = out.churn_of(out.crashes[c].node);
+                let pos = chain
+                    .iter()
+                    .position(|&t| t == at)
+                    .expect("crash time is on its own chain");
+                let lo = if pos > 0 { chain[pos - 1] + 1 } else { 1 };
+                let hi = chain
+                    .get(pos + 1)
+                    .map_or(u64::MAX, |&t| t.saturating_sub(1));
+                if lo > hi {
+                    continue; // zero-width slot: keep the original time
+                }
+                out.crashes[c].at = drawn.clamp(lo, hi);
+            }
+            for _ in 0..self.rejoin_flips {
+                let c = rng.random_range(0..out.crashes.len() as u64) as usize;
+                let victim = out.crashes[c].node;
+                let chain = out.churn_of(victim);
+                let last = *chain.last().expect("victim has at least its crash");
+                let mut at = last + rng.random_range(1..=last.max(1));
+                if let Some(h) = self.horizon {
+                    at = at.min(h);
+                }
+                if at <= last {
+                    // The horizon leaves no room for another toggle on
+                    // this chain; skip rather than emit invalid churn.
+                    continue;
+                }
+                if chain.len() % 2 == 1 {
+                    out.rejoins.push(Rejoin { node: victim, at });
+                } else {
+                    out.crashes.push(Crash { node: victim, at });
+                }
+            }
+        }
+        for _ in 0..self.drift_flips {
+            let i = rng.random_range(0..out.decisions.len() as u64) as usize;
+            let d = out.decisions[i];
+            let weight = rng.random_range(1..=d.weight.saturating_mul(2).max(1));
+            // Drift times are drawn against a message-count proxy for
+            // the run's duration (the hill phase refines them like any
+            // other coordinate), then clamped post-draw so a horizon
+            // never perturbs the RNG stream.
+            let cap = (out.decisions.len() as u64).saturating_mul(2).max(1);
+            let mut at = rng.random_range(1..=cap);
+            if let Some(h) = self.horizon {
+                at = at.min(h).max(1);
+            }
+            // Two revisions of one edge at one instant would race in
+            // the dialect; replace instead of duplicating.
+            match out
+                .drifts
+                .iter_mut()
+                .find(|dr| dr.edge == d.edge && dr.at == at)
+            {
+                Some(existing) => existing.weight = weight,
+                None => out.drifts.push(Drift {
+                    edge: d.edge,
+                    at,
+                    weight,
+                }),
             }
         }
         out
     }
-}
-
-/// Re-randomizes `flips` decisions of `base`.
-#[deprecated(note = "use `Mutation::new().delay_flips(flips).apply(base, seed)`")]
-pub fn mutate(base: &Schedule, seed: u64, flips: usize) -> Schedule {
-    Mutation::new().delay_flips(flips).apply(base, seed)
-}
-
-/// Delay re-randomization plus drop-flag toggles.
-#[deprecated(note = "use `Mutation::new().delay_flips(..).drop_flips(..).apply(base, seed)`")]
-pub fn mutate_with_drops(base: &Schedule, seed: u64, flips: usize, drop_flips: usize) -> Schedule {
-    Mutation::new()
-        .delay_flips(flips)
-        .drop_flips(drop_flips)
-        .apply(base, seed)
-}
-
-/// Delay, drop and crash-time mutation in one call.
-#[deprecated(note = "use the `Mutation` builder")]
-pub fn mutate_with_faults(
-    base: &Schedule,
-    seed: u64,
-    flips: usize,
-    drop_flips: usize,
-    crash_time_flips: usize,
-) -> Schedule {
-    Mutation::new()
-        .delay_flips(flips)
-        .drop_flips(drop_flips)
-        .crash_time_flips(crash_time_flips)
-        .apply(base, seed)
 }
 
 /// Searches for the schedule maximizing completion time of the protocol
@@ -693,7 +792,7 @@ pub fn mutate_with_faults(
 /// [`CriticalPathOracle`] greedy; (3) `random_probes` uniform-delay
 /// probes in parallel; (3½) `crash_probes` single-crash candidates
 /// spliced onto the incumbent; (4) `hill_rounds` rounds of parallel
-/// [`mutate`]-and-replay hill climbing from the incumbent, each
+/// [`Mutation`]-and-replay hill climbing from the incumbent, each
 /// candidate resumed from the incumbent's checkpoint store (see the
 /// [module docs](self)); (5) `polish_passes` of tail coordinate descent
 /// over single decisions. Strict improvement is required to adopt a
@@ -1026,44 +1125,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_the_builder() {
-        // The thin wrappers exist so external callers and committed tests
-        // keep compiling; they must stay byte-identical to the builder.
-        let g = small_graph();
-        let (_, mut base) = record_run(
-            &g,
-            &|_, _| Flood { seen: false },
-            ModelOracle::new(DelayModel::Uniform, 3),
-        );
-        base.crashes.push(Crash {
-            node: NodeId::new(1),
-            at: 20,
-        });
-        for seed in [0, 7, 99] {
-            assert_eq!(
-                mutate(&base, seed, 6),
-                Mutation::new().delay_flips(6).apply(&base, seed)
-            );
-            assert_eq!(
-                mutate_with_drops(&base, seed, 6, 2),
-                Mutation::new()
-                    .delay_flips(6)
-                    .drop_flips(2)
-                    .apply(&base, seed)
-            );
-            assert_eq!(
-                mutate_with_faults(&base, seed, 6, 2, 1),
-                Mutation::new()
-                    .delay_flips(6)
-                    .drop_flips(2)
-                    .crash_time_flips(1)
-                    .apply(&base, seed)
-            );
-        }
-    }
-
-    #[test]
     fn drop_flips_toggle_only_drop_flags() {
         let g = small_graph();
         let (_, base) = record_run(
@@ -1198,6 +1259,119 @@ mod tests {
             assert!(tight.crashes[0].at >= 1 && tight.crashes[0].at <= 10);
             assert_eq!(tight.decisions, unbounded.decisions);
         }
+    }
+
+    #[test]
+    fn zero_churn_flips_match_the_fault_mutator() {
+        // Rejoin and drift draws are appended after the crash-time
+        // draws, so disabling them must reproduce the fault mutant
+        // exactly — committed single-crash witnesses regenerate
+        // byte-identically with churn search compiled in.
+        let g = small_graph();
+        let (_, mut base) = record_run(
+            &g,
+            &|_, _| Flood { seen: false },
+            ModelOracle::new(DelayModel::Uniform, 3),
+        );
+        base.crashes.push(Crash {
+            node: NodeId::new(2),
+            at: 9,
+        });
+        let faults = Mutation::new()
+            .delay_flips(6)
+            .drop_flips(2)
+            .crash_time_flips(1);
+        for seed in [0, 7, 99] {
+            assert_eq!(
+                faults.apply(&base, seed),
+                faults.rejoin_flips(0).drift_flips(0).apply(&base, seed)
+            );
+        }
+    }
+
+    #[test]
+    fn rejoin_flips_grow_alternating_churn_chains() {
+        let g = small_graph();
+        let (_, mut base) = record_run(
+            &g,
+            &|_, _| Flood { seen: false },
+            ModelOracle::new(DelayModel::Uniform, 3),
+        );
+        base.crashes.push(Crash {
+            node: NodeId::new(4),
+            at: 16,
+        });
+        let churn = Mutation::new().rejoin_flips(3);
+        let mut extended = false;
+        for seed in 0..8 {
+            let mutant = churn.apply(&base, seed);
+            assert_eq!(mutant.decisions, base.decisions, "decisions untouched");
+            let chain = mutant.churn_of(NodeId::new(4));
+            assert!(chain.windows(2).all(|w| w[0] < w[1]), "chain increases");
+            extended |= chain.len() > 1;
+            // The mutant must survive the dialect's churn validation.
+            let text = mutant.to_text();
+            assert_eq!(Schedule::from_text(&text).unwrap(), mutant);
+        }
+        assert!(extended, "some seed must extend the chain");
+        // Crash-free schedules pass through unchanged.
+        base.crashes.clear();
+        assert_eq!(churn.apply(&base, 5), base);
+    }
+
+    #[test]
+    fn drift_flips_draw_valid_weight_revisions() {
+        let g = small_graph();
+        let (_, base) = record_run(
+            &g,
+            &|_, _| Flood { seen: false },
+            ModelOracle::new(DelayModel::Uniform, 3),
+        );
+        let drift = Mutation::new().drift_flips(4);
+        let mut revised = false;
+        for seed in 0..8 {
+            let mutant = drift.apply(&base, seed);
+            assert_eq!(mutant.decisions, base.decisions, "decisions untouched");
+            revised |= !mutant.drifts.is_empty();
+            for d in &mutant.drifts {
+                assert!(d.weight >= 1 && d.at >= 1);
+            }
+            // No duplicate (edge, at) pairs — they would race.
+            let text = mutant.to_text();
+            assert_eq!(Schedule::from_text(&text).unwrap(), mutant);
+        }
+        assert!(revised, "some seed must draw a revision");
+    }
+
+    #[test]
+    fn churn_mutants_share_no_prefix_with_the_incumbent() {
+        let g = small_graph();
+        let (_, mut base) = record_run(
+            &g,
+            &|_, _| Flood { seen: false },
+            ModelOracle::new(DelayModel::Uniform, 3),
+        );
+        base.crashes.push(Crash {
+            node: NodeId::new(1),
+            at: 12,
+        });
+        let mut rejoined = base.clone();
+        rejoined.rejoins.push(crate::schedule::Rejoin {
+            node: NodeId::new(1),
+            at: 30,
+        });
+        assert_eq!(first_diff(&base, &rejoined), 0);
+        let mut drifted = base.clone();
+        drifted.drifts.push(crate::schedule::Drift {
+            edge: base.decisions[0].edge,
+            at: 5,
+            weight: 3,
+        });
+        assert_eq!(first_diff(&base, &drifted), 0);
+        assert_eq!(
+            first_diff(&base, &base.clone()),
+            base.decisions.len() as u64
+        );
     }
 
     #[test]

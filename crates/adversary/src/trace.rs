@@ -161,6 +161,14 @@ impl<O: LinkOracle> LinkOracle for ArrivalProbe<O> {
         self.inner.crash_at(node)
     }
 
+    fn churn_plan(&mut self, node: NodeId) -> Vec<SimTime> {
+        self.inner.churn_plan(node)
+    }
+
+    fn drift_plan(&mut self) -> Vec<(csp_graph::EdgeId, SimTime, csp_graph::Weight)> {
+        self.inner.drift_plan()
+    }
+
     fn observe_arrival(&mut self, msg: &MsgInfo, arrival: SimTime) {
         // The runtime observes the arrival in the same dispatch that
         // decided the delivery, so it always completes the last step.
@@ -258,7 +266,7 @@ impl Trace {
         Schedule {
             decisions,
             fallback,
-            crashes: Vec::new(),
+            ..Schedule::default()
         }
     }
 
@@ -567,7 +575,7 @@ where
                 let branched = Schedule {
                     decisions: branch,
                     fallback: Fallback::WorstCase,
-                    crashes: Vec::new(),
+                    ..Schedule::default()
                 };
                 if !seen_prefixes.insert(branched.prefix_key(branched.len())) {
                     best.schedules_pruned += 1;

@@ -14,10 +14,10 @@ use csp_algo::resilient::{contract_violation, Metric, Resilient, ResilientOutcom
 use csp_algo::spt::recur::SptRecur;
 use csp_algo::termination::Detector;
 use csp_graph::generators::{self, WeightDist};
-use csp_graph::{NodeId, WeightedGraph};
+use csp_graph::{EdgeId, NodeId, Weight, WeightedGraph};
 use csp_sim::{
-    CoreKind, CrashOracle, DelayModel, Detect, DetectConfig, DropOracle, ModelOracle, Reliable,
-    Run, SimTime, Simulator,
+    ChurnOracle, CoreKind, CrashOracle, DelayModel, Detect, DetectConfig, DropOracle, ModelOracle,
+    Reliable, Run, ShardedSimulator, SimTime, Simulator,
 };
 use proptest::prelude::*;
 use std::path::PathBuf;
@@ -173,7 +173,13 @@ proptest! {
             let mut sim = Simulator::new(&g);
             sim.core(kind);
             sim.run_with_oracle(&mut oracle, |v, g| {
-                Detect::new(Reliable::new(Resilient::new(v, root, metric, g), 8), cfg)
+                // Generous retry limit: the drop budget bounds
+                // *consecutive* losses per channel, but heartbeats
+                // interleave on the same channels and can absorb the
+                // forced-delivery slots, so a data message's retries are
+                // not consecutive channel sends — 8 retries can starve
+                // under an unlucky seed and falsely fail a live channel.
+                Detect::new(Reliable::new(Resilient::new(v, root, metric, g), 64), cfg)
             })
             .unwrap()
         };
@@ -195,6 +201,11 @@ proptest! {
                 .iter()
                 .map(|s| peel(s).dead_neighbor_count())
                 .sum(),
+            restored_links: bucket
+                .states
+                .iter()
+                .map(|s| peel(s).restored_count())
+                .sum(),
             retransmissions: bucket.states.iter().map(|s| s.inner().retransmissions()).sum(),
             failed_channels: bucket
                 .states
@@ -211,6 +222,93 @@ proptest! {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Churn beyond crash-stop, differentially: a soak-style
+    /// crash–rejoin chain of arbitrary length (the vertex may die and
+    /// resurrect with fresh state many times over the detector's whole
+    /// lifetime) plus a random mid-run weight revision must replay
+    /// bit-identically — costs including the churn meters, traces and
+    /// final states — across the bucket and heap event cores *and* the
+    /// sharded simulator at 2 and 4 shards.
+    #[test]
+    fn churn_schedules_replay_identically_across_cores_and_shards(
+        seed in any::<u64>(),
+        n in 6usize..12,
+        victim_ix in 0usize..12,
+        start in 1u64..40,
+        chain_len in 1usize..8,
+        gap_seed in any::<u64>(),
+        drift_ix in 0usize..64,
+        drift_at in 1u64..120,
+        drift_w in 1u64..9,
+    ) {
+        let g = generators::connected_gnp(n, 0.35, WeightDist::Uniform(1, 9), seed);
+        let root = NodeId::new(0);
+        // Keep the root out of the chain: the source's fresh incarnation
+        // would re-seed the whole computation, which is legal but makes
+        // the run long without adding coverage here.
+        let victim = NodeId::new(1 + victim_ix % (n - 1));
+        let mut chain = vec![SimTime::new(start)];
+        let mut lcg = gap_seed;
+        for _ in 1..chain_len {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let gap = 1 + (lcg >> 33) % 29;
+            let last = chain.last().unwrap().get();
+            chain.push(SimTime::new(last + gap));
+        }
+        let drift = (
+            EdgeId::new(drift_ix % g.edge_count()),
+            SimTime::new(drift_at),
+            Weight::new(drift_w),
+        );
+        let cfg = DetectConfig::new(4, 60, 0);
+        let expected_recoveries = (chain.len() / 2) as u64;
+
+        let oracle = || {
+            ChurnOracle::new(
+                ModelOracle::new(DelayModel::Uniform, seed ^ 0xC0_FFEE),
+                vec![(victim, chain.clone())],
+                vec![drift],
+            )
+        };
+        let make = |v: NodeId, g: &WeightedGraph| {
+            Detect::new(Resilient::new(v, root, Metric::Weighted, g), cfg)
+        };
+        let run_seq = |kind: CoreKind| {
+            let mut sim = Simulator::new(&g);
+            sim.core(kind).record_trace(1 << 14);
+            sim.run_with_oracle(&mut oracle(), make).unwrap()
+        };
+        let bucket: Run<Detect<Resilient>> = run_seq(CoreKind::Bucket);
+        let heap = run_seq(CoreKind::Heap);
+        prop_assert_eq!(&bucket.cost, &heap.cost);
+        prop_assert_eq!(bucket.trace.events(), heap.trace.events());
+        prop_assert_eq!(
+            format!("{:?}", bucket.states),
+            format!("{:?}", heap.states)
+        );
+        prop_assert_eq!(bucket.cost.recoveries, expected_recoveries);
+        prop_assert_eq!(bucket.cost.weight_revisions, 1);
+
+        for threads in [2usize, 4] {
+            for kind in [CoreKind::Bucket, CoreKind::Heap] {
+                let par: Run<Detect<Resilient>> = ShardedSimulator::new(&g)
+                    .threads(threads)
+                    .core(kind)
+                    .record_trace(1 << 14)
+                    .run_with_oracle(&mut oracle(), make)
+                    .unwrap();
+                prop_assert_eq!(&bucket.cost, &par.cost);
+                prop_assert_eq!(bucket.trace.events(), par.trace.events());
+                prop_assert_eq!(
+                    format!("{:?}", bucket.states),
+                    format!("{:?}", par.states)
+                );
+            }
+        }
+    }
 
     /// The invariant the incremental-evaluation cache rests on, under
     /// *fault* schedules rather than delay-only ones: resuming a run

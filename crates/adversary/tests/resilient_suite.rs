@@ -109,6 +109,7 @@ fn committed_crash_witness_still_satisfies_the_surviving_component_contract() {
             .iter()
             .map(|s| s.inner().dead_neighbor_count())
             .sum(),
+        restored_links: run.states.iter().map(|s| s.inner().restored_count()).sum(),
         retransmissions: 0,
         failed_channels: 0,
         cost: run.cost.clone(),

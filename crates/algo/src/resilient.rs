@@ -28,6 +28,29 @@
 //! marks the peer dead, discards its offer, ignores any straggler
 //! traffic from it, and recomputes.
 //!
+//! # Churn: rejoins and drift
+//!
+//! Under a churn adversary a crashed vertex may *rejoin* with fresh
+//! protocol state. The detector revokes the suspicion on the rejoined
+//! incarnation's first life sign and delivers
+//! [`FaultAware::on_peer_restored`]; the vertex clears its dead mark and
+//! stale offer and **re-announces its own distance to the restored peer**
+//! — metered under [`CostClass::Auxiliary`], the measurable price of
+//! state re-synchronisation — so the blank incarnation re-enters the
+//! Bellman fixpoint. Routes then reconverge to the exact distances of
+//! the final surviving component; [`reconvergence_violation`] checks
+//! both the routes and that the protocol's own traffic settled within a
+//! detector-derived horizon of the last churn event. The contract
+//! requires each crash to be *suspected before the matching rejoin*
+//! (rejoin at or after the crash plus the channel's `θ(e)`): an
+//! invisible crash–rejoin leaves a blank incarnation nobody re-syncs.
+//!
+//! Mid-run *weight drift* moves delays, cost metering and the detector's
+//! timeouts, but not the routing objective: distances remain defined by
+//! the static topology weights. Reacting to revisions would need a drift
+//! upcall no vertex receives — deliberately out of scope, and stated
+//! here rather than papered over.
+//!
 //! # Correctness contract
 //!
 //! Let `C` be the surviving component of the source — the vertices
@@ -83,6 +106,8 @@ pub struct Resilient {
     offers: Vec<Option<u64>>,
     /// Neighbors marked dead by a fault upcall.
     dead: Vec<bool>,
+    /// Restore upcalls consumed (rejoined neighbors re-synced).
+    restored: u64,
 }
 
 impl Resilient {
@@ -109,6 +134,7 @@ impl Resilient {
             parent: None,
             offers: vec![None; g.node_count()],
             dead: vec![false; g.node_count()],
+            restored: 0,
         }
     }
 
@@ -129,9 +155,18 @@ impl Resilient {
         self.dead[peer.index()]
     }
 
-    /// Number of neighbors marked dead by fault upcalls.
+    /// Number of neighbors *currently* marked dead — a restoration
+    /// clears the mark again, so at quiescence this counts the
+    /// final-down channels.
     pub fn dead_neighbor_count(&self) -> usize {
         self.dead.iter().filter(|&&d| d).count()
+    }
+
+    /// Number of restore upcalls consumed: rejoined neighbors this
+    /// vertex re-synchronised with an [`CostClass::Auxiliary`]
+    /// re-announcement.
+    pub fn restored_count(&self) -> u64 {
+        self.restored
     }
 
     fn edge_cost(&self, w: csp_graph::Weight) -> u64 {
@@ -220,6 +255,19 @@ impl FaultAware for Resilient {
     fn on_peer_suspected(&mut self, peer: NodeId, ctx: &mut Context<'_, Option<u64>>) {
         self.mark_dead(peer, ctx);
     }
+
+    fn on_peer_restored(&mut self, peer: NodeId, ctx: &mut Context<'_, Option<u64>>) {
+        self.dead[peer.index()] = false;
+        self.offers[peer.index()] = None;
+        self.restored += 1;
+        // State re-synchronisation: the restarted incarnation knows
+        // nothing, so hand it our current distance. Metered Auxiliary —
+        // recovery overhead, not forward progress — and unconditional:
+        // even a `None` tells the rejoined vertex this channel offers no
+        // support. Its own recompute-and-announce cascade (Protocol
+        // class) folds it back into the Bellman fixpoint.
+        ctx.send_class(peer, self.dist, CostClass::Auxiliary);
+    }
 }
 
 /// Outcome of a self-healing run.
@@ -231,9 +279,13 @@ pub struct ResilientOutcome {
     /// Per-vertex supporting neighbor — parent pointers of the recovery
     /// tree over the surviving component.
     pub parents: Vec<Option<NodeId>>,
-    /// Fault upcalls consumed: dead-neighbor marks summed over all
-    /// vertices (each surviving endpoint of a dead channel counts once).
+    /// Channels still marked dead at quiescence, summed over all
+    /// vertices (each surviving endpoint of a final-down channel counts
+    /// once; a restored channel no longer counts).
     pub suspected_links: usize,
+    /// Restore upcalls consumed over all vertices: each one paid an
+    /// `Auxiliary` re-announcement toward the rejoined neighbor.
+    pub restored_links: u64,
     /// Retransmissions performed by the [`Reliable`] layer — `0` for the
     /// crash-only stack.
     pub retransmissions: u64,
@@ -399,10 +451,12 @@ where
         .iter()
         .map(|s| unwrap(s).dead_neighbor_count())
         .sum();
+    let restored_links = run.states.iter().map(|s| unwrap(s).restored_count()).sum();
     ResilientOutcome {
         dists,
         parents,
         suspected_links,
+        restored_links,
         retransmissions,
         failed_channels,
         cost: run.cost,
@@ -469,11 +523,64 @@ pub fn contract_violation(
     None
 }
 
+/// How a post-heal run failed [`reconvergence_violation`]'s checks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReconvergenceViolation {
+    /// A vertex holds a wrong distance or parent (the
+    /// [`contract_violation`] route checks against the final
+    /// surviving component).
+    Route(NodeId),
+    /// Routes are correct but healed too slowly: the last
+    /// `Protocol`-class delivery landed after the deadline.
+    Late {
+        /// When the protocol's own traffic actually settled.
+        settled: csp_sim::SimTime,
+        /// The deadline it had to settle by: `last_churn + horizon`.
+        deadline: csp_sim::SimTime,
+    },
+}
+
+/// Post-heal route verifier: checks that after the *last* churn event
+/// (crash, rejoin, or weight revision at `last_churn`) the protocol
+/// reconverged to the exact distances of the final surviving component
+/// — `dead[v]` marks the vertices down at the end of the run — and did
+/// so promptly: its own (`Protocol`-class) traffic settled within
+/// `horizon` ticks of `last_churn`. Pass the detector's
+/// [`detection_horizon`](DetectConfig::detection_horizon) at the
+/// graph's maximum weight for `horizon` — the completeness window the
+/// detector itself promises.
+///
+/// Returns the first violation found, or `None` when the contract
+/// holds.
+///
+/// # Panics
+///
+/// Panics if `dead.len() != g.node_count()`.
+pub fn reconvergence_violation(
+    g: &WeightedGraph,
+    source: NodeId,
+    metric: Metric,
+    dead: &[bool],
+    last_churn: csp_sim::SimTime,
+    horizon: u64,
+    out: &ResilientOutcome,
+) -> Option<ReconvergenceViolation> {
+    if let Some(v) = contract_violation(g, source, metric, dead, out) {
+        return Some(ReconvergenceViolation::Route(v));
+    }
+    let settled = out.cost.completion_of(CostClass::Protocol);
+    let deadline = last_churn + horizon;
+    if settled > deadline {
+        return Some(ReconvergenceViolation::Late { settled, deadline });
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use csp_graph::generators::{self, WeightDist};
-    use csp_sim::{CrashOracle, DelayModel, DropOracle, ModelOracle, SimTime};
+    use csp_sim::{ChurnOracle, CrashOracle, DelayModel, DropOracle, ModelOracle, SimTime};
 
     fn gnp() -> WeightedGraph {
         generators::connected_gnp(12, 0.3, WeightDist::Uniform(1, 16), 42)
@@ -611,6 +718,108 @@ mod tests {
             );
             assert!(out.cost.drops > 0, "adversary must actually drop");
         }
+    }
+
+    #[test]
+    fn crash_rejoin_heals_back_to_exact_distances() {
+        let g = gnp();
+        let victim = NodeId::new(5);
+        // Crash at 20 (suspected by ~60), rejoin at 120: the restarted
+        // incarnation is re-synced and the final routes must equal the
+        // crash-free answer exactly.
+        let mut oracle = ChurnOracle::new(
+            ModelOracle::new(DelayModel::WorstCase, 0),
+            vec![(victim, vec![SimTime::new(20), SimTime::new(120)])],
+            vec![],
+        );
+        let out = run_resilient_spt(&g, NodeId::new(0), &mut oracle, wide_cfg()).unwrap();
+        let dead = vec![false; g.node_count()];
+        let horizon = wide_cfg().detection_horizon(16);
+        assert_eq!(
+            reconvergence_violation(
+                &g,
+                NodeId::new(0),
+                Metric::Weighted,
+                &dead,
+                SimTime::new(120),
+                horizon,
+                &out
+            ),
+            None
+        );
+        let neighbors = g.neighbors(victim).count() as u64;
+        assert_eq!(out.restored_links, neighbors, "every neighbor re-synced");
+        assert_eq!(out.suspected_links, 0, "no channel stays marked dead");
+        assert_eq!(out.cost.recoveries, 1);
+        assert!(out.cost.has_churn());
+    }
+
+    #[test]
+    fn crash_rejoin_recrash_retracts_again() {
+        let g = gnp();
+        let victim = NodeId::new(5);
+        let mut oracle = ChurnOracle::new(
+            ModelOracle::new(DelayModel::WorstCase, 0),
+            vec![(
+                victim,
+                vec![SimTime::new(20), SimTime::new(120), SimTime::new(200)],
+            )],
+            vec![],
+        );
+        let out = run_resilient_spt(&g, NodeId::new(0), &mut oracle, wide_cfg()).unwrap();
+        // Down at the end: the healed-then-recrashed vertex must be
+        // routed around exactly as a plain crash would be.
+        let mut dead = vec![false; g.node_count()];
+        dead[victim.index()] = true;
+        let horizon = wide_cfg().detection_horizon(16);
+        assert_eq!(
+            reconvergence_violation(
+                &g,
+                NodeId::new(0),
+                Metric::Weighted,
+                &dead,
+                SimTime::new(200),
+                horizon,
+                &out
+            ),
+            None
+        );
+        let neighbors = g.neighbors(victim).count();
+        assert_eq!(out.restored_links, neighbors as u64);
+        assert_eq!(
+            out.suspected_links, neighbors,
+            "recrash re-marked the links"
+        );
+        assert_eq!(out.cost.recoveries, 1);
+    }
+
+    #[test]
+    fn drift_moves_cost_but_not_the_routing_objective() {
+        // Weight drift changes delays, metering and detector timeouts;
+        // the distance-vector objective stays the static weights (the
+        // module docs state this honestly). Drift lands exactly on an
+        // arrival instant of the revised edge so the detector's live
+        // θ(e) absorbs the slowdown without a false suspicion.
+        let g = generators::path(4, |_| 2);
+        let mut oracle = ChurnOracle::new(
+            ModelOracle::new(DelayModel::WorstCase, 0),
+            vec![],
+            vec![(
+                csp_graph::EdgeId::new(1),
+                SimTime::new(10),
+                csp_graph::Weight::new(6),
+            )],
+        );
+        let out = run_resilient_spt(&g, NodeId::new(0), &mut oracle, wide_cfg()).unwrap();
+        let dead = vec![false; 4];
+        assert_eq!(
+            contract_violation(&g, NodeId::new(0), Metric::Weighted, &dead, &out),
+            None
+        );
+        assert_eq!(out.dists, vec![Some(0), Some(2), Some(4), Some(6)]);
+        assert_eq!(out.suspected_links, 0, "drift must not false-suspect");
+        assert_eq!(out.cost.weight_revisions, 1);
+        assert!(out.cost.has_churn());
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Recovery traffic as a function of *churn rate*: what repeated
+//! crash–rejoin cycles of the same victim cost on top of a churn-free
+//! run of the self-healing stack.
+//!
+//! ```text
+//! cargo run -p csp-bench --release --bin churn_bench \
+//!     [-- out.json [points]]
+//! ```
+//!
+//! Each workload runs the crash-tolerant weighted SPT
+//! (`Detect<Resilient>`) under worst-case delays: once churn-free (the
+//! baseline), then once per churn rate `k = 1..=points`, where rate `k`
+//! packs `k` crash–rejoin cycles of the victim into its
+//! guaranteed-detection window. Every rejoin waits out the victim's
+//! largest channel `θ(e)` so each cycle is fully *observed*: the
+//! survivors suspect, heal, then pay the `Auxiliary` re-announcement
+//! bill to pull the blank incarnation back into the Bellman fixpoint.
+//! Reported per point: weighted completion, weighted `Protocol` and
+//! `Auxiliary` traffic, the recovery meter, and the ratio of protocol
+//! traffic to the churn-free baseline (`churn_overhead`) — the
+//! recovery-traffic-vs-churn-rate curve. Rates that do not fit the
+//! window (heavy-weight instances fit only a few observable cycles) are
+//! clamped to `max_cycles` and reported as such rather than silently
+//! rescaled. The report lands in `BENCH_churn.json` (schema pinned by
+//! CI).
+//!
+//! Runs are single-threaded and fully deterministic; `runs_per_s` is
+//! wall-clock throughput on whatever host executed the bench (CI runs
+//! on 1–2 core machines, so the committed number is *not* comparable to
+//! a workstation's) — CI pins the schema and the overhead inequalities
+//! only, never throughput.
+
+use csp_algo::resilient::{run_resilient_spt, ResilientOutcome};
+use csp_graph::{generators, NodeId, WeightedGraph};
+use csp_sim::{ChurnOracle, CostClass, DelayModel, DetectConfig, ModelOracle, SimTime};
+use std::time::Instant;
+
+/// Detector tuning shared with the `self_healing` example and
+/// `resilient_bench`: period 8 with 30 beats keeps the horizon past
+/// tick 150 on these instances.
+fn detector() -> DetectConfig {
+    DetectConfig::new(8, 30, 0)
+}
+
+fn workloads() -> Vec<(&'static str, WeightedGraph)> {
+    vec![
+        (
+            "gnp-n12",
+            generators::connected_gnp(12, 0.3, generators::WeightDist::Uniform(1, 16), 42),
+        ),
+        (
+            "gnp-n16",
+            generators::connected_gnp(16, 0.25, generators::WeightDist::Uniform(1, 16), 7),
+        ),
+        ("heavy-chord-n12", generators::heavy_chord_cycle(12, 64)),
+    ]
+}
+
+/// The non-source vertex carrying the most SPT children in the
+/// churn-free run (ties broken by degree): every one of its cycles
+/// orphans the largest subtree.
+fn pick_victim(g: &WeightedGraph, baseline: &ResilientOutcome) -> NodeId {
+    let mut children = vec![0usize; g.node_count()];
+    for p in baseline.parents.iter().flatten() {
+        children[p.index()] += 1;
+    }
+    g.nodes()
+        .skip(1)
+        .max_by_key(|&v| (children[v.index()], g.neighbors(v).count()))
+        .expect("instance has more than one vertex")
+}
+
+fn run_churned(g: &WeightedGraph, victim: NodeId, chain: Vec<SimTime>) -> ResilientOutcome {
+    let plans = if chain.is_empty() {
+        vec![]
+    } else {
+        vec![(victim, chain)]
+    };
+    let mut oracle = ChurnOracle::new(ModelOracle::new(DelayModel::WorstCase, 0), plans, vec![]);
+    run_resilient_spt(g, NodeId::new(0), &mut oracle, detector()).expect("run quiesces")
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let out_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_churn.json".to_string());
+    let points: u64 = args
+        .next()
+        .map(|s| s.parse().expect("points must be an integer"))
+        .unwrap_or(4);
+    assert!(points > 0, "need at least one churn rate");
+
+    let mut rows = Vec::new();
+    let mut runs = 0u64;
+    let start = Instant::now();
+    for (name, g) in workloads() {
+        let baseline = run_churned(&g, NodeId::new(0), vec![]);
+        runs += 1;
+        let base_protocol = baseline.cost.comm_of(CostClass::Protocol).get();
+        let victim = pick_victim(&g, &baseline);
+        let horizon = g
+            .neighbors(victim)
+            .map(|(_, _, w)| detector().detection_horizon(w.get()))
+            .min()
+            .expect("victim has neighbors");
+        // Every rejoin waits out the victim's slowest channel, so each
+        // cycle is suspected (and healed) before the resurrection.
+        let gap = g
+            .neighbors(victim)
+            .map(|(_, _, w)| detector().theta(w.get()))
+            .max()
+            .expect("victim has neighbors")
+            + 1;
+        // Rate k needs k cycles of at least gap+1 ticks inside the
+        // window; heavier instances fit fewer observable cycles.
+        let max_cycles = ((horizon.saturating_sub(gap + 1)) / (gap + 1)).max(1);
+
+        let mut curve = Vec::new();
+        let mut max_overhead = 0.0f64;
+        for k in 1..=points {
+            let cycles = k.min(max_cycles);
+            let stride = (horizon - gap - 1) / cycles;
+            let mut chain = Vec::new();
+            for i in 0..cycles {
+                let crash_at = 1 + i * stride;
+                chain.push(SimTime::new(crash_at));
+                chain.push(SimTime::new(crash_at + gap));
+            }
+            let last_event = chain.last().unwrap().get();
+            let out = run_churned(&g, victim, chain);
+            runs += 1;
+            let protocol = out.cost.comm_of(CostClass::Protocol).get();
+            let auxiliary = out.cost.comm_of(CostClass::Auxiliary).get();
+            let overhead = protocol as f64 / base_protocol as f64;
+            max_overhead = max_overhead.max(overhead);
+            curve.push(format!(
+                concat!(
+                    "        {{\"cycles\": {}, \"last_event\": {}, ",
+                    "\"completion\": {}, \"protocol_comm\": {}, ",
+                    "\"auxiliary_comm\": {}, \"recoveries\": {}, ",
+                    "\"churn_overhead\": {:.3}}}"
+                ),
+                cycles,
+                last_event,
+                out.cost.completion.get(),
+                protocol,
+                auxiliary,
+                out.cost.recoveries,
+                overhead,
+            ));
+        }
+        eprintln!(
+            "{:<16} victim {} horizon {:>3} rejoin gap {:>3} (max {} \
+             cycles)  churn-free protocol {:>5}  max churn overhead {:.3}x",
+            name, victim, horizon, gap, max_cycles, base_protocol, max_overhead,
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"workload\": \"{}\", \"victim\": {}, \"horizon\": {}, ",
+                "\"rejoin_gap\": {}, \"max_cycles\": {}, ",
+                "\"crash_free_completion\": {}, \"crash_free_protocol_comm\": {}, ",
+                "\"max_churn_overhead\": {:.3}, \"curve\": [\n{}\n    ]}}"
+            ),
+            name,
+            victim.index(),
+            horizon,
+            gap,
+            max_cycles,
+            baseline.cost.completion.get(),
+            base_protocol,
+            max_overhead,
+            curve.join(",\n"),
+        ));
+    }
+    let runs_per_s = runs as f64 / start.elapsed().as_secs_f64();
+    eprintln!("aggregate: {runs} monitored runs at {runs_per_s:.0} runs/s");
+
+    let json = format!(
+        "{{\n  \"bench\": \"churn_recovery_traffic\",\n  \
+         \"protocol\": \"Detect<Resilient> weighted SPT, worst-case delays\",\n  \
+         \"detector\": \"period 8, beats 30, loss_tolerance 0\",\n  \
+         \"points\": {points},\n  \
+         \"runs_per_s\": {runs_per_s:.1},\n  \"per_workload\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("write bench JSON");
+    eprintln!("wrote {out_path}");
+}

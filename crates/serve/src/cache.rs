@@ -15,10 +15,13 @@
 //! the checkpoint oracle-agreement contract (a resume is bit-identical
 //! to a cold run when the oracle agrees on indices ≥
 //! [`Checkpoint::messages`]) and the prefix-key construction (equal
-//! keys ⟺ equal crash sets + bitwise-equal decision prefixes, the
-//! hash-collision caveat aside). Because a schedule's crash set is
-//! folded into every prefix key, schedules that crash different
-//! vertices never share a checkpoint.
+//! keys ⟺ equal fault-and-churn sets + bitwise-equal decision
+//! prefixes, the hash-collision caveat aside). Because a schedule's
+//! crashes, rejoin chains **and** drift revisions are all folded into
+//! every prefix key ([`Schedule::crash_key`](csp_adversary::Schedule::crash_key)),
+//! schedules that crash different vertices — or churn the same vertex
+//! differently, or revise an edge weight at a different instant — never
+//! share a checkpoint.
 //!
 //! Eviction is LRU by a global access epoch with separate caps for
 //! checkpoints (heavyweight: queue + slab + states) and results
@@ -431,6 +434,22 @@ mod tests {
             at: 4,
         });
         assert!(matches!(cache.probe(key, &crashed).1, Probe::Miss));
+        // Churn divergence: a rejoin of an already-crashed vertex, or a
+        // mid-run weight revision, changes the fault key — miss, even
+        // with identical decisions.
+        let mut rejoined = crashed.clone();
+        rejoined.rejoins.push(csp_adversary::Rejoin {
+            node: NodeId::new(1),
+            at: 9,
+        });
+        assert!(matches!(cache.probe(key, &rejoined).1, Probe::Miss));
+        let mut drifted = schedule.clone();
+        drifted.drifts.push(csp_adversary::Drift {
+            edge: csp_graph::EdgeId::new(0),
+            at: 3,
+            weight: 5,
+        });
+        assert!(matches!(cache.probe(key, &drifted).1, Probe::Miss));
         // Wrong scenario key: miss.
         assert!(matches!(cache.probe("other/s", &tweaked).1, Probe::Miss));
 

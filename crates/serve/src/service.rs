@@ -905,6 +905,8 @@ pub fn report_to_json(r: &CostReport) -> Json {
         ("drops", Json::num(r.drops as f64)),
         ("crashed_nodes", Json::num(r.crashed_nodes as f64)),
         ("dead_events", Json::num(r.dead_events as f64)),
+        ("recoveries", Json::num(r.recoveries as f64)),
+        ("weight_revisions", Json::num(r.weight_revisions as f64)),
         (
             "max_edge_congestion",
             Json::num(r.max_edge_congestion() as f64),

@@ -8,11 +8,11 @@
 use csp_adversary::{record, Fallback, Schedule};
 use csp_algo::spt::recur::SptRecur;
 use csp_graph::generators::{self, WeightDist};
-use csp_graph::NodeId;
+use csp_graph::{EdgeId, NodeId, Weight};
 use csp_serve::json::Json;
 use csp_serve::service::{Service, ServiceConfig};
 use csp_serve::CacheCaps;
-use csp_sim::{CrashOracle, DelayModel, DropOracle, SimTime};
+use csp_sim::{ChurnOracle, CrashOracle, DelayModel, DropOracle, SimTime};
 
 /// The gnp graph every test scenario here runs on. Weights start at 2
 /// so every decision has at least two admissible delays (mutation can
@@ -229,6 +229,97 @@ fn crash_set_divergence_prevents_prefix_reuse() {
         cache_of(r),
         "miss",
         "different crash set must not resume from base checkpoints"
+    );
+}
+
+/// Records a churn schedule — bounded drops plus a crash–rejoin–recrash
+/// chain of vertex 7 and one mid-run weight revision — for the same
+/// scenario the other suites use.
+fn churn_schedule() -> Schedule {
+    let g = generators::connected_gnp(10, 0.35, WeightDist::Uniform(2, 9), 7);
+    let make = |v: NodeId, _: &csp_graph::WeightedGraph| SptRecur::new(v, NodeId::new(0), 1 << 40);
+    let oracle = ChurnOracle::new(
+        DropOracle::new(DelayModel::Uniform, 0xFEED_BEEF, 0.2, 3),
+        vec![(
+            NodeId::new(7),
+            vec![SimTime::new(25), SimTime::new(40), SimTime::new(55)],
+        )],
+        vec![(EdgeId::new(0), SimTime::new(12), Weight::new(4))],
+    );
+    let (_, schedule) = record(&g, make, oracle, Fallback::WorstCase);
+    assert!(
+        schedule.has_churn(),
+        "test premise: the recorded schedule must churn"
+    );
+    assert!(
+        schedule.to_text().starts_with("csp-adversary-schedule v3"),
+        "churn schedules travel in the v3 dialect"
+    );
+    schedule
+}
+
+#[test]
+fn churn_schedules_evaluate_warm_equals_cold() {
+    let churn = churn_schedule();
+    let mut warm = caching_service();
+    let mut cold = cold_service();
+
+    // Cold pass populates the cache; an identical resubmission is a
+    // FULL hit — and both must be bit-identical to the cache-free
+    // service's answer, fault and churn meters included.
+    let first = warm.handle(&submit("churn", schedule_run(&churn)));
+    let first = expect_result(&first);
+    assert_eq!(cache_of(first), "miss");
+    let again = warm.handle(&submit("churn-again", schedule_run(&churn)));
+    let again = expect_result(&again);
+    assert_eq!(cache_of(again), "full");
+    let reference = cold.handle(&submit("churn-cold", schedule_run(&churn)));
+    let reference = expect_result(&reference);
+    assert_eq!(identity_fields(first), identity_fields(reference));
+    // FULL hits come straight from the stored result (no trace replay,
+    // so no trace digest): report and state digest must still agree.
+    assert_eq!(
+        again.get("report").unwrap().dump(),
+        reference.get("report").unwrap().dump()
+    );
+    assert_eq!(
+        again.get("states_digest").and_then(Json::as_str),
+        reference.get("states_digest").and_then(Json::as_str)
+    );
+
+    // The wire report carries the churn meters.
+    let report = first.get("report").unwrap();
+    assert_eq!(report.get("recoveries").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        report.get("weight_revisions").and_then(Json::as_u64),
+        Some(1)
+    );
+}
+
+#[test]
+fn churn_divergence_prevents_prefix_reuse() {
+    let base = churn_schedule();
+    let mut warm = caching_service();
+    expect_result(&warm.handle(&submit("base", schedule_run(&base))));
+
+    // Same decisions, same crash set — but the rejoin moves one tick.
+    let mut moved = base.clone();
+    moved.rejoins[0].at += 1;
+    let r = warm.handle(&submit("moved", schedule_run(&moved)));
+    assert_eq!(
+        cache_of(expect_result(&r)),
+        "miss",
+        "a different rejoin time must not resume from base checkpoints"
+    );
+
+    // And a drift-only change diverges too.
+    let mut drifted = base.clone();
+    drifted.drifts[0].weight += 1;
+    let r = warm.handle(&submit("drifted", schedule_run(&drifted)));
+    assert_eq!(
+        cache_of(expect_result(&r)),
+        "miss",
+        "a different weight revision must not resume from base checkpoints"
     );
 }
 

@@ -124,7 +124,26 @@ impl<'g> BaselineSimulator<'g> {
         let n = g.node_count();
         let mut states: Vec<P> = g.nodes().map(|v| make(v, g)).collect();
         let mut cost = CostReport::new(g.edge_count());
-        let crash: Vec<Option<SimTime>> = g.nodes().map(|v| oracle.crash_at(v)).collect();
+        // The baseline predates churn: it understands the crash-stop
+        // special case only, and rejects anything richer loudly rather
+        // than silently diverging from the flat core. Plans are queried
+        // in the same per-vertex-then-drift order as the flat core, so
+        // a recording oracle sees an identical stream.
+        let crash: Vec<Option<SimTime>> = g
+            .nodes()
+            .map(|v| {
+                let plan = oracle.churn_plan(v);
+                assert!(
+                    plan.len() <= 1,
+                    "BaselineSimulator understands crash-stop only; vertex {v} has a rejoin scheduled"
+                );
+                plan.first().copied()
+            })
+            .collect();
+        assert!(
+            oracle.drift_plan().is_empty(),
+            "BaselineSimulator does not support weight drift"
+        );
         cost.crashed_nodes = crash.iter().filter(|c| c.is_some()).count() as u64;
         let crashed = |v: NodeId, now: SimTime| crash[v.index()].is_some_and(|t| now >= t);
 
@@ -258,7 +277,7 @@ impl<'g> BaselineSimulator<'g> {
                 cost.dead_events += 1;
                 continue;
             }
-            cost.completion = cost.completion.max(now);
+            cost.record_delivery(now, class);
             if self.trace_cap > 0 {
                 let eid = g.edge_between(from, to).expect("delivery edge exists");
                 trace.push(TraceEvent {

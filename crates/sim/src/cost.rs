@@ -77,6 +77,14 @@ pub struct CostReport {
     pub weighted_comm: Cost,
     /// Completion time (time of the last delivered event).
     pub completion: SimTime,
+    /// Completion time per [`CostClass`]: when the last message of each
+    /// class was delivered (`ZERO` for classes that delivered nothing).
+    /// Separates, e.g., the instant a protocol's own traffic settled
+    /// after a churn event from the tail of a detector's heartbeat
+    /// schedule — the quantity the post-heal reconvergence verifier
+    /// bounds. Maintained by the asynchronous executors; the
+    /// synchronous runner reports zeros.
+    pub completion_by_class: [SimTime; 4],
     /// Message counts per [`CostClass`].
     pub messages_by_class: [u64; 4],
     /// Weighted communication per [`CostClass`].
@@ -94,6 +102,14 @@ pub struct CostReport {
     /// Events (deliveries and timer fires) silently consumed by a
     /// crashed vertex — traffic paid for but lost to a dead receiver.
     pub dead_events: u64,
+    /// Rejoins in the adversary's churn plans
+    /// ([`LinkOracle::churn_plan`](crate::LinkOracle::churn_plan)):
+    /// vertices restarting with fresh protocol state, counted whether or
+    /// not the run lasted long enough to reach them.
+    pub recoveries: u64,
+    /// Mid-run edge-weight revisions in the adversary's drift plan
+    /// ([`LinkOracle::drift_plan`](crate::LinkOracle::drift_plan)).
+    pub weight_revisions: u64,
     /// Scheduling-queue pushes that landed beyond the bucket core's
     /// window and fell back to the overflow heap
     /// ([`BucketQueue::overflow_pushes`](crate::queue::BucketQueue::overflow_pushes)).
@@ -126,12 +142,15 @@ impl PartialEq for CostReport {
         self.messages == other.messages
             && self.weighted_comm == other.weighted_comm
             && self.completion == other.completion
+            && self.completion_by_class == other.completion_by_class
             && self.messages_by_class == other.messages_by_class
             && self.comm_by_class == other.comm_by_class
             && self.per_edge_messages == other.per_edge_messages
             && self.drops == other.drops
             && self.crashed_nodes == other.crashed_nodes
             && self.dead_events == other.dead_events
+            && self.recoveries == other.recoveries
+            && self.weight_revisions == other.weight_revisions
             && self.bucket_window == other.bucket_window
     }
 }
@@ -147,12 +166,15 @@ impl Clone for CostReport {
             messages: self.messages,
             weighted_comm: self.weighted_comm,
             completion: self.completion,
+            completion_by_class: self.completion_by_class,
             messages_by_class: self.messages_by_class,
             comm_by_class: self.comm_by_class,
             per_edge_messages: self.per_edge_messages.clone(),
             drops: self.drops,
             crashed_nodes: self.crashed_nodes,
             dead_events: self.dead_events,
+            recoveries: self.recoveries,
+            weight_revisions: self.weight_revisions,
             overflow_pushes: self.overflow_pushes,
             bucket_window: self.bucket_window,
         }
@@ -162,12 +184,15 @@ impl Clone for CostReport {
         self.messages = src.messages;
         self.weighted_comm = src.weighted_comm;
         self.completion = src.completion;
+        self.completion_by_class = src.completion_by_class;
         self.messages_by_class = src.messages_by_class;
         self.comm_by_class = src.comm_by_class;
         self.per_edge_messages.clone_from(&src.per_edge_messages);
         self.drops = src.drops;
         self.crashed_nodes = src.crashed_nodes;
         self.dead_events = src.dead_events;
+        self.recoveries = src.recoveries;
+        self.weight_revisions = src.weight_revisions;
         self.overflow_pushes = src.overflow_pushes;
         self.bucket_window = src.bucket_window;
     }
@@ -188,6 +213,7 @@ impl CostReport {
         self.messages = 0;
         self.weighted_comm = Cost::default();
         self.completion = SimTime::ZERO;
+        self.completion_by_class = [SimTime::ZERO; 4];
         self.messages_by_class = [0; 4];
         self.comm_by_class = [Cost::default(); 4];
         self.per_edge_messages.clear();
@@ -195,6 +221,8 @@ impl CostReport {
         self.drops = 0;
         self.crashed_nodes = 0;
         self.dead_events = 0;
+        self.recoveries = 0;
+        self.weight_revisions = 0;
         self.overflow_pushes = 0;
         self.bucket_window = 0;
     }
@@ -218,6 +246,20 @@ impl CostReport {
         self.messages_by_class[class.index()]
     }
 
+    /// Delivery time of the last message of one class (`ZERO` if the
+    /// class delivered nothing).
+    pub fn completion_of(&self, class: CostClass) -> SimTime {
+        self.completion_by_class[class.index()]
+    }
+
+    /// Meters one delivery at `now` under `class`: advances the run's
+    /// completion time and the class's own.
+    pub fn record_delivery(&mut self, now: SimTime, class: CostClass) {
+        self.completion = self.completion.max(now);
+        let slot = &mut self.completion_by_class[class.index()];
+        *slot = (*slot).max(now);
+    }
+
     /// The maximum number of messages any single edge carried
     /// (a congestion measure).
     pub fn max_edge_congestion(&self) -> u64 {
@@ -228,6 +270,12 @@ impl CostReport {
     /// or crash-consumed events).
     pub fn has_faults(&self) -> bool {
         self.drops > 0 || self.crashed_nodes > 0 || self.dead_events > 0
+    }
+
+    /// Whether the adversary churned the network beyond crash-stop:
+    /// rejoins or mid-run weight revisions.
+    pub fn has_churn(&self) -> bool {
+        self.recoveries > 0 || self.weight_revisions > 0
     }
 }
 
@@ -245,6 +293,15 @@ impl fmt::Display for CostReport {
                 f,
                 " drops={} crashes={} dead={}",
                 self.drops, self.crashed_nodes, self.dead_events
+            )?;
+        }
+        // Likewise the churn meters: crash-stop reports keep the
+        // fault-meter format above byte for byte.
+        if self.has_churn() {
+            write!(
+                f,
+                " recoveries={} drifts={}",
+                self.recoveries, self.weight_revisions
             )?;
         }
         Ok(())
@@ -298,6 +355,30 @@ mod tests {
             r.to_string(),
             "msgs=1 comm=2 time=t=5 drops=3 crashes=1 dead=2"
         );
+    }
+
+    #[test]
+    fn display_surfaces_churn_meters() {
+        let mut r = CostReport::new(1);
+        r.record_send(EdgeId::new(0), Weight::new(2), CostClass::Protocol);
+        r.completion = SimTime::new(5);
+        r.crashed_nodes = 2;
+        r.dead_events = 1;
+        r.recoveries = 2;
+        r.weight_revisions = 3;
+        assert!(r.has_churn());
+        assert_eq!(
+            r.to_string(),
+            "msgs=1 comm=2 time=t=5 drops=0 crashes=2 dead=1 recoveries=2 drifts=3"
+        );
+        // Churn meters participate in equality and survive clone_from.
+        let mut copy = CostReport::new(0);
+        copy.clone_from(&r);
+        assert_eq!(copy, r);
+        copy.recoveries = 0;
+        assert_ne!(copy, r);
+        r.reset(1);
+        assert!(!r.has_churn());
     }
 
     #[test]

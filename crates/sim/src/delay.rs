@@ -162,6 +162,37 @@ pub trait LinkOracle {
         None
     }
 
+    /// The full *churn plan* of `node`: a strictly increasing sequence
+    /// of toggle times, alternating crash, rejoin, crash, … (so even
+    /// positions are crashes and odd positions are rejoins).
+    ///
+    /// Queried once per vertex when a run starts, instead of
+    /// [`crash_at`](LinkOracle::crash_at) — the default derives a
+    /// crash-stop plan from `crash_at`, so every existing oracle keeps
+    /// its exact behavior (including its query sequence). A rejoined
+    /// vertex restarts with **fresh protocol state** (its `on_start`
+    /// runs again at the rejoin time); timers armed by the previous
+    /// incarnation are silently consumed as dead events, while
+    /// in-flight messages that arrive at or after the rejoin are
+    /// delivered to the fresh state.
+    fn churn_plan(&mut self, node: NodeId) -> Vec<SimTime> {
+        self.crash_at(node).into_iter().collect()
+    }
+
+    /// Mid-run edge-weight revisions: `(edge, time, new weight)` drift
+    /// events. Queried once when a run starts, after the per-vertex
+    /// churn plans.
+    ///
+    /// A revision takes effect for every event processed at or after
+    /// its time: subsequent delays on the edge are clamped into the new
+    /// `[1, w]`, sends are metered at the new weight, and protocols
+    /// observe it through
+    /// [`Context::weight_of`](crate::Context::weight_of). The default
+    /// adversary never drifts a weight.
+    fn drift_plan(&mut self) -> Vec<(EdgeId, SimTime, Weight)> {
+        Vec::new()
+    }
+
     /// Observes the *effective arrival time* of a delivered message,
     /// immediately after the runtime has clamped the decided delay into
     /// `[1, w(e)]` and applied the channel's FIFO floor.
@@ -335,6 +366,93 @@ impl<O: LinkOracle> LinkOracle for CrashOracle<O> {
             .map(|&(_, t)| t)
     }
 
+    fn drift_plan(&mut self) -> Vec<(EdgeId, SimTime, Weight)> {
+        self.inner.drift_plan()
+    }
+
+    fn observe_arrival(&mut self, msg: &MsgInfo, arrival: SimTime) {
+        self.inner.observe_arrival(msg, arrival);
+    }
+}
+
+/// An inner [`LinkOracle`] plus a full churn plan: per-vertex
+/// crash/rejoin toggle sequences and mid-run edge-weight drift.
+///
+/// The crash-stop [`CrashOracle`] generalized: each vertex may crash,
+/// recover (restarting with fresh protocol state) and crash again, per
+/// its [`churn plan`](LinkOracle::churn_plan), and edge weights may be
+/// revised mid-run per the [`drift plan`](LinkOracle::drift_plan).
+/// Message fates are delegated to the inner oracle untouched.
+#[derive(Clone, Debug)]
+pub struct ChurnOracle<O> {
+    inner: O,
+    /// Validated per-vertex toggle plans, looked up linearly.
+    churn: Vec<(NodeId, Vec<SimTime>)>,
+    drifts: Vec<(EdgeId, SimTime, Weight)>,
+}
+
+impl<O: LinkOracle> ChurnOracle<O> {
+    /// Wraps `inner` with per-vertex toggle plans (strictly increasing
+    /// times, alternating crash / rejoin) and a weight-drift plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a vertex appears twice or a plan's times are not
+    /// strictly increasing.
+    pub fn new(
+        inner: O,
+        churn: Vec<(NodeId, Vec<SimTime>)>,
+        drifts: Vec<(EdgeId, SimTime, Weight)>,
+    ) -> Self {
+        for (i, (v, plan)) in churn.iter().enumerate() {
+            assert!(
+                churn[..i].iter().all(|(u, _)| u != v),
+                "vertex {v} has two churn plans"
+            );
+            assert!(
+                plan.windows(2).all(|w| w[0] < w[1]),
+                "churn plan for {v} must be strictly increasing"
+            );
+        }
+        ChurnOracle {
+            inner,
+            churn,
+            drifts,
+        }
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+}
+
+impl<O: LinkOracle> LinkOracle for ChurnOracle<O> {
+    fn decide(&mut self, msg: &MsgInfo) -> LinkDecision {
+        self.inner.decide(msg)
+    }
+
+    fn crash_at(&mut self, node: NodeId) -> Option<SimTime> {
+        // First toggle of the plan, for consumers that only understand
+        // crash-stop (e.g. the baseline reference simulator's guard).
+        self.churn
+            .iter()
+            .find(|(v, _)| *v == node)
+            .and_then(|(_, plan)| plan.first().copied())
+    }
+
+    fn churn_plan(&mut self, node: NodeId) -> Vec<SimTime> {
+        self.churn
+            .iter()
+            .find(|(v, _)| *v == node)
+            .map(|(_, plan)| plan.clone())
+            .unwrap_or_default()
+    }
+
+    fn drift_plan(&mut self) -> Vec<(EdgeId, SimTime, Weight)> {
+        self.drifts.clone()
+    }
+
     fn observe_arrival(&mut self, msg: &MsgInfo, arrival: SimTime) {
         self.inner.observe_arrival(msg, arrival);
     }
@@ -480,6 +598,68 @@ mod tests {
             (NodeId::new(1), SimTime::new(5)),
         ];
         let _ = CrashOracle::new(ModelOracle::new(DelayModel::WorstCase, 0), plan);
+    }
+
+    #[test]
+    fn default_churn_plan_derives_from_crash_at() {
+        let mut crash = CrashOracle::new(
+            ModelOracle::new(DelayModel::WorstCase, 0),
+            vec![(NodeId::new(3), SimTime::new(7))],
+        );
+        assert_eq!(crash.churn_plan(NodeId::new(3)), vec![SimTime::new(7)]);
+        assert_eq!(crash.churn_plan(NodeId::new(0)), Vec::<SimTime>::new());
+        assert!(crash.drift_plan().is_empty());
+        let mut plain = ModelOracle::new(DelayModel::WorstCase, 0);
+        assert!(LinkOracle::churn_plan(&mut plain, NodeId::new(0)).is_empty());
+    }
+
+    #[test]
+    fn churn_oracle_serves_plans_and_delegates_fates() {
+        let mut bare = ModelOracle::new(DelayModel::Uniform, 4);
+        let mut wrapped = ChurnOracle::new(
+            ModelOracle::new(DelayModel::Uniform, 4),
+            vec![(
+                NodeId::new(2),
+                vec![SimTime::new(5), SimTime::new(9), SimTime::new(20)],
+            )],
+            vec![(EdgeId::new(1), SimTime::new(6), Weight::new(11))],
+        );
+        for i in 0..20 {
+            assert_eq!(wrapped.decide(&info(i, 5)), bare.decide(&info(i, 5)));
+        }
+        assert_eq!(
+            wrapped.churn_plan(NodeId::new(2)),
+            vec![SimTime::new(5), SimTime::new(9), SimTime::new(20)]
+        );
+        assert_eq!(wrapped.crash_at(NodeId::new(2)), Some(SimTime::new(5)));
+        assert!(wrapped.churn_plan(NodeId::new(0)).is_empty());
+        assert_eq!(
+            wrapped.drift_plan(),
+            vec![(EdgeId::new(1), SimTime::new(6), Weight::new(11))]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn churn_oracle_rejects_unordered_plans() {
+        let _ = ChurnOracle::new(
+            ModelOracle::new(DelayModel::WorstCase, 0),
+            vec![(NodeId::new(1), vec![SimTime::new(9), SimTime::new(3)])],
+            vec![],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "two churn plans")]
+    fn churn_oracle_rejects_duplicate_vertices() {
+        let _ = ChurnOracle::new(
+            ModelOracle::new(DelayModel::WorstCase, 0),
+            vec![
+                (NodeId::new(1), vec![SimTime::new(3)]),
+                (NodeId::new(1), vec![SimTime::new(5)]),
+            ],
+            vec![],
+        );
     }
 
     #[test]

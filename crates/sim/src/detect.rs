@@ -14,9 +14,25 @@
 //! * each neighbor is watched with a per-edge *suspicion timeout*
 //!   `θ(e) = (loss_tolerance + 1)·period + w(e) + 1`: any arrival from
 //!   the peer (heartbeat or application traffic) pushes its deadline to
-//!   `now + θ(e)`, and a deadline that expires raises a **permanent**
-//!   suspicion, delivered to the hosted protocol as
-//!   [`FaultAware::on_peer_suspected`].
+//!   `now + θ(e)`, and a deadline that expires raises a suspicion,
+//!   delivered to the hosted protocol as
+//!   [`FaultAware::on_peer_suspected`]. `θ(e)` is computed from the
+//!   *effective* weight ([`Context::weight_of`]) at every arrival, so
+//!   mid-run weight drift widens or narrows the timeout from its
+//!   instant (the watch's end-of-window instant stays fixed from the
+//!   arm-time weight — a window cannot be reopened by a revision).
+//!
+//! # Suspicion is revocable: rejoin handling
+//!
+//! A suspected channel is put to rest — its watch timer is cancelled
+//! rather than left to fire dead, and subsequent heartbeat rounds skip
+//! the peer, so a crashed neighbor stops costing anything. But churn
+//! adversaries may *rejoin* a crashed vertex: the restarted incarnation
+//! heartbeats afresh, and any arrival from a suspected peer revokes the
+//! suspicion — the watch re-arms (inside its original window), one
+//! immediate heartbeat is returned to the peer so both directions
+//! re-establish liveness, and the hosted protocol hears
+//! [`FaultAware::on_peer_restored`].
 //!
 //! # Accuracy and completeness (in the weighted-delay model)
 //!
@@ -42,11 +58,11 @@
 use crate::cost::CostClass;
 use crate::process::{Context, Process, TimerId};
 use crate::time::SimTime;
-use csp_graph::NodeId;
+use csp_graph::{EdgeId, NodeId};
 
 /// A [`Process`] that can react to failure notifications.
 ///
-/// Both upcalls default to no-ops, so any protocol can opt in with an
+/// All upcalls default to no-ops, so any protocol can opt in with an
 /// empty `impl FaultAware for X {}` and crash-tolerant protocols
 /// override what they need. Upcalls run on a full [`Context`]: the
 /// handler may send messages and arm timers like any other handler.
@@ -59,9 +75,19 @@ pub trait FaultAware: Process {
         let _ = (peer, ctx);
     }
 
-    /// The failure detector suspects `peer` has crashed. Suspicion is
-    /// permanent: the upcall fires at most once per peer.
+    /// The failure detector suspects `peer` has crashed. The upcall
+    /// fires at most once per contiguous down period: a rejoin that
+    /// revokes the suspicion (see [`FaultAware::on_peer_restored`])
+    /// re-arms it for the peer's next crash.
     fn on_peer_suspected(&mut self, peer: NodeId, ctx: &mut Context<'_, Self::Msg>) {
+        let _ = (peer, ctx);
+    }
+
+    /// A previously suspected `peer` showed a life sign again: the
+    /// churn adversary rejoined it and its restarted incarnation is
+    /// heartbeating. The suspicion has already been revoked when this
+    /// fires; traffic to `peer` flows again.
+    fn on_peer_restored(&mut self, peer: NodeId, ctx: &mut Context<'_, Self::Msg>) {
         let _ = (peer, ctx);
     }
 }
@@ -149,13 +175,19 @@ impl Default for DetectConfig {
 #[derive(Clone, Debug)]
 struct Watch {
     peer: NodeId,
+    /// The monitored channel; `θ(e)` is recomputed from its *effective*
+    /// weight at every arrival, so weight drift moves the timeout.
+    edge: EdgeId,
     /// Suspicion fires when the clock reaches this without an arrival.
     deadline: SimTime,
-    /// Deadlines past this instant end monitoring instead of suspecting
-    /// (the bounded beat window ran out).
+    /// Deadlines past this *absolute* instant end monitoring instead of
+    /// suspecting: heartbeat schedules are anchored at time zero, so
+    /// even a rejoined incarnation (whose watches are armed mid-run)
+    /// monitors only for the remainder of the global beat window —
+    /// otherwise it would falsely suspect live peers whose bounded beat
+    /// rounds simply ran out. Fixed from the arm-time weight; drift
+    /// cannot reopen a window.
     end: SimTime,
-    /// Per-edge suspicion timeout `θ(e)`.
-    theta: u64,
     /// Outstanding watch timer, if any.
     timer: Option<TimerId>,
     suspected: bool,
@@ -210,23 +242,31 @@ impl<P: FaultAware> Detect<P> {
         self.inner
     }
 
-    /// Whether this vertex's detector has (permanently) suspected
-    /// `peer`.
+    /// Whether this vertex's detector currently suspects `peer`.
+    /// Suspicion is revocable: any later life sign from the peer (a
+    /// rejoined incarnation's heartbeat) clears it again.
     pub fn suspects(&self, peer: NodeId) -> bool {
         self.watches.iter().any(|w| w.peer == peer && w.suspected)
     }
 
-    /// The suspected neighbors, in neighbor order.
+    /// The currently suspected neighbors, in neighbor order.
     pub fn suspected(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.watches.iter().filter(|w| w.suspected).map(|w| w.peer)
     }
 
     /// Sends one heartbeat round and re-arms the beat timer while rounds
-    /// remain.
+    /// remain. Suspected peers are skipped — a confirmed-dead channel
+    /// stops paying weighted heartbeat cost, and the dead vertex stops
+    /// receiving deliveries that would churn the queue as dead events
+    /// for the rest of the run. (A rejoined peer is un-suspected by its
+    /// own fresh heartbeats and rejoins the round schedule.)
     fn beat(&mut self, ctx: &mut Context<'_, DetectMsg<P::Msg>>) {
         let g = ctx.graph();
         let me = ctx.self_id();
         for (peer, _, _) in g.neighbors(me) {
+            if self.suspects(peer) {
+                continue;
+            }
             ctx.send_class(peer, DetectMsg::Beat, CostClass::Auxiliary);
         }
         self.beats_sent += 1;
@@ -275,13 +315,32 @@ impl<P: FaultAware> Detect<P> {
         }
     }
 
-    /// Records a life sign from `from` at the current time.
-    fn refresh(&mut self, from: NodeId, now: SimTime) {
-        if let Some(w) = self.watches.iter_mut().find(|w| w.peer == from) {
-            if !w.suspected {
-                w.deadline = now + w.theta;
-            }
+    /// Records a life sign from `from` at the current time, pushing its
+    /// watch deadline by the live `θ(e)` (effective weight, so drift
+    /// moves the timeout from its instant).
+    ///
+    /// An arrival from a *suspected* peer proves it rejoined: the
+    /// suspicion is revoked, the watch re-armed (inside its original
+    /// window), one heartbeat is returned immediately so the restarted
+    /// incarnation sees us alive in turn, and the hosted protocol hears
+    /// [`FaultAware::on_peer_restored`].
+    fn refresh(&mut self, from: NodeId, ctx: &mut Context<'_, DetectMsg<P::Msg>>) {
+        let now = ctx.time();
+        let Some(i) = self.watches.iter().position(|w| w.peer == from) else {
+            return;
+        };
+        let theta = self.cfg.theta(ctx.weight_of(self.watches[i].edge).get());
+        self.watches[i].deadline = now + theta;
+        if !self.watches[i].suspected {
+            return;
         }
+        self.watches[i].suspected = false;
+        if self.watches[i].deadline <= self.watches[i].end && self.watches[i].timer.is_none() {
+            let t = ctx.set_timer(theta);
+            self.watches[i].timer = Some(t);
+        }
+        ctx.send_class(from, DetectMsg::Beat, CostClass::Auxiliary);
+        self.host(ctx, |p, c| p.on_peer_restored(from, c));
     }
 }
 
@@ -290,17 +349,27 @@ impl<P: FaultAware> Process for Detect<P> {
 
     fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
         // Arm one watch per neighbor before anything is sent, so even a
-        // peer that crashes at time zero is eventually suspected.
+        // peer that crashes at time zero is eventually suspected. A
+        // rejoined incarnation runs this mid-run: deadlines are
+        // anchored at `now` *plus one edge traversal of grace* — peers
+        // that suspected us only resume beating once our own restart
+        // beat has crossed the edge, so the first life sign can lag a
+        // full round trip behind a steady-state gap. The window end
+        // stays the absolute instant the global beat schedule runs out
+        // (see [`Watch`]).
         let g = ctx.graph();
         let me = ctx.self_id();
-        for (peer, _, w) in g.neighbors(me) {
-            let theta = self.cfg.theta(w.get());
-            let timer = ctx.set_timer(theta);
+        let now = ctx.time();
+        for (peer, eid, _) in g.neighbors(me) {
+            let w = ctx.weight_of(eid).get();
+            let theta = self.cfg.theta(w);
+            let grace = if now == SimTime::ZERO { 0 } else { w };
+            let timer = ctx.set_timer(grace + theta);
             self.watches.push(Watch {
                 peer,
-                deadline: SimTime::new(theta),
-                end: SimTime::new(self.cfg.watch_end(w.get())),
-                theta,
+                edge: eid,
+                deadline: now + grace + theta,
+                end: SimTime::new(self.cfg.watch_end(w)),
                 timer: Some(timer),
                 suspected: false,
             });
@@ -310,7 +379,7 @@ impl<P: FaultAware> Process for Detect<P> {
     }
 
     fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
-        self.refresh(from, ctx.time());
+        self.refresh(from, ctx);
         if let DetectMsg::App(msg) = msg {
             self.host(ctx, |p, c| p.on_message(from, msg, c));
         }
@@ -335,6 +404,13 @@ impl<P: FaultAware> Process for Detect<P> {
             }
             if now >= self.watches[i].deadline {
                 self.watches[i].suspected = true;
+                // Put the channel fully to rest: cancel any outstanding
+                // watch timer instead of leaving it to fire dead (the
+                // restore path can re-arm one mid-window), and `beat`
+                // skips suspected peers from the next round on.
+                if let Some(t) = self.watches[i].timer.take() {
+                    ctx.cancel_timer(t);
+                }
                 let peer = self.watches[i].peer;
                 self.host(ctx, |p, c| p.on_peer_suspected(peer, c));
                 return;
@@ -361,22 +437,28 @@ impl<P: FaultAware> FaultAware for Detect<P> {
     fn on_peer_suspected(&mut self, peer: NodeId, ctx: &mut Context<'_, Self::Msg>) {
         self.host(ctx, |p, c| p.on_peer_suspected(peer, c));
     }
+
+    fn on_peer_restored(&mut self, peer: NodeId, ctx: &mut Context<'_, Self::Msg>) {
+        self.host(ctx, |p, c| p.on_peer_restored(peer, c));
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::delay::{DelayModel, DropOracle, LinkDecision, LinkOracle, MsgInfo};
+    use crate::delay::{ChurnOracle, DelayModel, DropOracle, LinkDecision, LinkOracle, MsgInfo};
     use crate::reliable::Reliable;
     use crate::runtime::{CoreKind, Simulator};
-    use csp_graph::{generators, WeightedGraph};
+    use csp_graph::{generators, Weight, WeightedGraph};
 
-    /// Flood that also records which peers it was told are dead.
+    /// Flood that also records which peers it was told are dead or
+    /// restored.
     #[derive(Clone, Debug)]
     struct Flood {
         initiator: bool,
         reached: bool,
         dead_peers: Vec<NodeId>,
+        restored_peers: Vec<NodeId>,
     }
 
     impl Flood {
@@ -385,6 +467,7 @@ mod tests {
                 initiator,
                 reached: false,
                 dead_peers: Vec::new(),
+                restored_peers: Vec::new(),
             }
         }
     }
@@ -408,6 +491,9 @@ mod tests {
     impl FaultAware for Flood {
         fn on_peer_suspected(&mut self, peer: NodeId, _ctx: &mut Context<'_, ()>) {
             self.dead_peers.push(peer);
+        }
+        fn on_peer_restored(&mut self, peer: NodeId, _ctx: &mut Context<'_, ()>) {
+            self.restored_peers.push(peer);
         }
     }
 
@@ -544,6 +630,102 @@ mod tests {
         assert_eq!(b.cost, h.cost);
         assert_eq!(b.trace.events(), h.trace.events());
         assert_eq!(format!("{:?}", b.states), format!("{:?}", h.states));
+    }
+
+    /// Instant full-weight delivery with no faults of its own; the
+    /// churn/drift plans come from a wrapping [`ChurnOracle`].
+    struct Clean;
+    impl LinkOracle for Clean {
+        fn decide(&mut self, msg: &MsgInfo) -> LinkDecision {
+            LinkDecision::Deliver {
+                delay: msg.weight.get(),
+            }
+        }
+    }
+
+    #[test]
+    fn rejoin_revokes_suspicion_and_upcalls_restored() {
+        let g = generators::star(4, |_| 2);
+        let victim = NodeId::new(0); // the hub: everyone watches it
+        let mut oracle = ChurnOracle::new(
+            Clean,
+            vec![(victim, vec![SimTime::new(9), SimTime::new(25)])],
+            vec![],
+        );
+        let run = Simulator::new(&g)
+            .run_with_oracle(&mut oracle, make)
+            .unwrap();
+        for v in g.nodes().filter(|v| *v != victim) {
+            let s = &run.states[v.index()];
+            assert!(!s.suspects(victim), "{v} still suspects a rejoined peer");
+            assert_eq!(s.inner().dead_peers, vec![victim], "{v} never suspected");
+            assert_eq!(s.inner().restored_peers, vec![victim], "{v} missed rejoin");
+        }
+        // The rejoined incarnation never falsely suspects the spokes:
+        // its watch windows end at the absolute beat-schedule horizon.
+        assert_eq!(run.states[victim.index()].suspected().count(), 0);
+        assert_eq!(run.cost.recoveries, 1);
+        assert!(run.cost.has_churn());
+    }
+
+    #[test]
+    fn recrash_after_rejoin_is_suspected_again() {
+        let g = generators::star(4, |_| 2);
+        let victim = NodeId::new(0);
+        let mut oracle = ChurnOracle::new(
+            Clean,
+            vec![(
+                victim,
+                vec![SimTime::new(9), SimTime::new(25), SimTime::new(33)],
+            )],
+            vec![],
+        );
+        let run = Simulator::new(&g)
+            .run_with_oracle(&mut oracle, make)
+            .unwrap();
+        for v in g.nodes().filter(|v| *v != victim) {
+            let s = &run.states[v.index()];
+            assert!(s.suspects(victim), "{v} missed the recrash");
+            assert_eq!(s.inner().dead_peers, vec![victim, victim]);
+            assert_eq!(s.inner().restored_peers, vec![victim]);
+        }
+    }
+
+    #[test]
+    fn drift_widens_theta_instead_of_falsely_suspecting() {
+        // Weight 2 -> 8 at t = 6: deliveries slow to 8 ticks, so the
+        // arm-time θ(2) = 7 would expire between beats. The live θ(e)
+        // reads the effective weight and keeps both peers unsuspected.
+        let g = generators::path(2, |_| 2);
+        let mut oracle = ChurnOracle::new(
+            Clean,
+            vec![],
+            vec![(csp_graph::EdgeId::new(0), SimTime::new(6), Weight::new(8))],
+        );
+        let run = Simulator::new(&g)
+            .run_with_oracle(&mut oracle, make)
+            .unwrap();
+        for s in &run.states {
+            assert_eq!(s.suspected().count(), 0, "false suspicion under drift");
+        }
+        assert_eq!(run.cost.weight_revisions, 1);
+        assert!(run.cost.has_churn());
+    }
+
+    #[test]
+    fn suspected_channels_stop_paying_heartbeats() {
+        // Crash-only: after suspicion the spokes must skip the hub in
+        // every later beat round, so the monitored run costs strictly
+        // less Auxiliary traffic than the fault-free census 2·m·beats.
+        let g = generators::star(5, |_| 2);
+        let run = Simulator::new(&g)
+            .run_with_oracle(&mut CrashAt(NodeId::new(0), SimTime::new(9)), make)
+            .unwrap();
+        let census: u64 = 2 * g.edge_count() as u64 * u64::from(cfg().beats);
+        assert!(
+            run.cost.messages_of(CostClass::Auxiliary) < census,
+            "suspected hub still billed for full heartbeat rounds"
+        );
     }
 
     #[test]

@@ -74,8 +74,8 @@ pub mod trace;
 pub use baseline::BaselineSimulator;
 pub use cost::{CostClass, CostReport};
 pub use delay::{
-    CrashOracle, DelayModel, DelayOracle, DropOracle, LinkDecision, LinkOracle, ModelOracle,
-    MsgInfo,
+    ChurnOracle, CrashOracle, DelayModel, DelayOracle, DropOracle, LinkDecision, LinkOracle,
+    ModelOracle, MsgInfo,
 };
 pub use detect::{Detect, DetectConfig, DetectMsg, FaultAware};
 pub use process::{Context, MsgToken, Process, TimerId};

@@ -79,6 +79,10 @@ pub struct Context<'a, M> {
     /// Id the first armed timer will receive — the vertex's timer count
     /// at handler entry.
     timer_base: u64,
+    /// Effective per-edge weights under the adversary's drift plan, set
+    /// by executors that support weight revision; `None` means the
+    /// graph's static weights are current.
+    eff: Option<&'a [Weight]>,
 }
 
 impl<'a, M: Clone + std::fmt::Debug> Context<'a, M> {
@@ -122,7 +126,15 @@ impl<'a, M: Clone + std::fmt::Debug> Context<'a, M> {
             cancels,
             msg_base,
             timer_base,
+            eff: None,
         }
+    }
+
+    /// Attaches the executor's effective-weight table, making
+    /// [`Context::weight_of`] reflect mid-run drift.
+    pub(crate) fn with_weights(mut self, eff: &'a [Weight]) -> Self {
+        self.eff = Some(eff);
+        self
     }
 
     /// Disassembles the context into its send queue, the matching
@@ -166,9 +178,26 @@ impl<'a, M: Clone + std::fmt::Debug> Context<'a, M> {
         self.graph.node_count()
     }
 
-    /// `(neighbor, edge, weight)` triples of this vertex.
+    /// `(neighbor, edge, weight)` triples of this vertex. The weights
+    /// are the graph's *static* weights; under a drifting adversary the
+    /// current value of an edge is [`Context::weight_of`].
     pub fn neighbors(&self) -> impl Iterator<Item = (NodeId, EdgeId, Weight)> + 'a {
         self.graph.neighbors(self.node)
+    }
+
+    /// Current effective weight of edge `e`: the graph weight unless the
+    /// adversary revised it mid-run
+    /// ([`LinkOracle::drift_plan`](crate::LinkOracle::drift_plan)), in
+    /// which case the revision visible at the current time is returned.
+    /// Protocols that derive timeouts from weights (failure-detector
+    /// horizons, retransmission timers) should read weights through
+    /// this.
+    #[inline]
+    pub fn weight_of(&self, e: EdgeId) -> Weight {
+        match self.eff {
+            Some(eff) => eff[e.index()],
+            None => self.graph.weight(e),
+        }
     }
 
     /// Number of incident edges.
@@ -252,7 +281,9 @@ impl<'a, M: Clone + std::fmt::Debug> Context<'a, M> {
     /// rather than scheduled — a transformer that hosts a timer-using
     /// protocol must forward timer ops itself.
     pub fn derive<N: Clone + std::fmt::Debug>(&self) -> Context<'a, N> {
-        Context::new(self.node, self.now, self.graph)
+        let mut ctx = Context::new(self.node, self.now, self.graph);
+        ctx.eff = self.eff;
+        ctx
     }
 
     /// Like [`Context::derive`], but the derived context assigns timer
@@ -270,7 +301,7 @@ impl<'a, M: Clone + std::fmt::Debug> Context<'a, M> {
         &self,
         timer_base: u64,
     ) -> Context<'a, N> {
-        Context::recycled(
+        let mut ctx = Context::recycled(
             self.node,
             self.now,
             self.graph,
@@ -280,7 +311,9 @@ impl<'a, M: Clone + std::fmt::Debug> Context<'a, M> {
             Vec::new(),
             0,
             timer_base,
-        )
+        );
+        ctx.eff = self.eff;
+        ctx
     }
 
     /// Drains the timer ops queued on this context — the armed delays
@@ -317,6 +350,21 @@ mod tests {
         assert_eq!(ctx.degree(), 3);
         assert_eq!(ctx.node_count(), 4);
         assert_eq!(ctx.neighbors().count(), 3);
+    }
+
+    #[test]
+    fn weight_of_prefers_the_effective_table() {
+        let g = generators::path(3, |_| 4);
+        let ctx: Context<'_, ()> = Context::new(NodeId::new(0), SimTime::ZERO, &g);
+        assert_eq!(ctx.weight_of(EdgeId::new(0)), Weight::new(4));
+        let eff = vec![Weight::new(9), Weight::new(4)];
+        let ctx = ctx.with_weights(&eff);
+        assert_eq!(ctx.weight_of(EdgeId::new(0)), Weight::new(9));
+        // Derived contexts inherit the table.
+        let d: Context<'_, u32> = ctx.derive();
+        assert_eq!(d.weight_of(EdgeId::new(0)), Weight::new(9));
+        let dt: Context<'_, u32> = ctx.derive_with_timers(3);
+        assert_eq!(dt.weight_of(EdgeId::new(0)), Weight::new(9));
     }
 
     #[test]

@@ -23,6 +23,11 @@
 //! are bounded — e.g. [`DropOracle`](crate::DropOracle) with budget at
 //! most `max_retries` — delivery of every sent message is guaranteed,
 //! not merely probable.
+//!
+//! Under churn a give-up is not the end of the story: when an enclosing
+//! detector reports the peer restored ([`FaultAware::on_peer_restored`]),
+//! the channel is reset to sequence zero — matching the rejoined
+//! incarnation's fresh state — and traffic flows again.
 
 use crate::cost::CostClass;
 use crate::detect::FaultAware;
@@ -289,6 +294,14 @@ impl<P: FaultAware> Process for Reliable<P> {
 /// Failure notifications pass through to the hosted protocol: a
 /// suspicion raised by an enclosing detector (`Detect<Reliable<P>>`)
 /// reaches `P` with its sends still sequenced through this wrapper.
+///
+/// A *restoration* additionally resets the channel toward the rejoined
+/// peer before the upcall is forwarded: the restarted incarnation opens
+/// its channels from sequence zero and has forgotten everything we
+/// sent, so any surviving send window, receive cursor, or failed
+/// give-up mark is about a peer that no longer exists. Without the
+/// reset, the first post-rejoin send would carry a stale sequence
+/// number the fresh receiver never delivers.
 impl<P: FaultAware> FaultAware for Reliable<P> {
     fn on_channel_failed(&mut self, peer: NodeId, ctx: &mut Context<'_, Self::Msg>) {
         self.host(ctx, |p, c| p.on_channel_failed(peer, c));
@@ -296,6 +309,21 @@ impl<P: FaultAware> FaultAware for Reliable<P> {
 
     fn on_peer_suspected(&mut self, peer: NodeId, ctx: &mut Context<'_, Self::Msg>) {
         self.host(ctx, |p, c| p.on_peer_suspected(peer, c));
+    }
+
+    fn on_peer_restored(&mut self, peer: NodeId, ctx: &mut Context<'_, Self::Msg>) {
+        if let Some(c) = self.chans.iter_mut().find(|c| c.peer == peer) {
+            c.next_seq = 0;
+            c.send_buf.clear();
+            c.recv_next = 0;
+            c.retries = 0;
+            c.rto = c.rto_base;
+            c.failed = false;
+            if let Some(t) = c.timer.take() {
+                ctx.cancel_timer(t);
+            }
+        }
+        self.host(ctx, |p, c| p.on_peer_restored(peer, c));
     }
 }
 
@@ -518,6 +546,87 @@ mod tests {
         assert_eq!(run.states[0].failed_channel_count(), 1);
         assert!(run.states[0].retransmissions() > 0);
         assert_eq!(run.cost.crashed_nodes, 1);
+    }
+
+    #[test]
+    fn restored_peer_resets_the_channel_to_sequence_zero() {
+        use crate::delay::ChurnOracle;
+        use crate::detect::{Detect, DetectConfig};
+
+        /// Greets on start; re-greets any peer reported restored.
+        #[derive(Clone, Debug)]
+        struct Greeter {
+            initiator: bool,
+            reached: bool,
+            regreeted: bool,
+        }
+        impl Process for Greeter {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                if self.initiator {
+                    self.reached = true;
+                    ctx.send_all(());
+                }
+            }
+            fn on_message(&mut self, _f: NodeId, _m: (), _ctx: &mut Context<'_, ()>) {
+                self.reached = true;
+            }
+        }
+        impl FaultAware for Greeter {
+            fn on_peer_restored(&mut self, peer: NodeId, ctx: &mut Context<'_, ()>) {
+                self.regreeted = true;
+                ctx.send_class(peer, (), CostClass::Protocol);
+            }
+        }
+
+        struct Clean;
+        impl LinkOracle for Clean {
+            fn decide(&mut self, msg: &MsgInfo) -> LinkDecision {
+                LinkDecision::Deliver {
+                    delay: msg.weight.get(),
+                }
+            }
+        }
+
+        // Vertex 1 takes the initiator's greeting (seq 0), crashes, and
+        // rejoins as a fresh incarnation expecting sequence zero again.
+        // Only the channel reset lets the post-rejoin re-greeting —
+        // assigned seq 0 anew — reach it.
+        let g = generators::path(2, |_| 2);
+        let mut oracle = ChurnOracle::new(
+            Clean,
+            vec![(NodeId::new(1), vec![SimTime::new(9), SimTime::new(25)])],
+            vec![],
+        );
+        let run = Simulator::new(&g)
+            .run_with_oracle(&mut oracle, |v, _| {
+                Detect::new(
+                    Reliable::new(
+                        Greeter {
+                            initiator: v == NodeId::new(0),
+                            reached: false,
+                            regreeted: false,
+                        },
+                        3,
+                    ),
+                    DetectConfig::new(4, 30, 0),
+                )
+            })
+            .unwrap();
+        let initiator = &run.states[0];
+        assert!(!initiator.suspects(NodeId::new(1)), "suspicion not revoked");
+        assert!(initiator.inner().inner().regreeted, "restore upcall lost");
+        assert!(
+            !initiator.inner().channel_failed(NodeId::new(1)),
+            "channel still marked failed after restore"
+        );
+        // The rejoined incarnation received the re-greeting: delivery
+        // only works if the sender restarted from sequence zero.
+        assert!(
+            run.states[1].inner().inner().reached,
+            "fresh incarnation never heard the re-greeting"
+        );
+        assert_eq!(run.cost.recoveries, 1);
     }
 
     #[test]

@@ -31,10 +31,19 @@
 //!
 //! The dispatch hook is a [`LinkOracle`]: besides choosing delays it may
 //! [`Drop`](LinkDecision::Drop) messages (metered, index-consuming, but
-//! never enqueued) and crash vertices at chosen times
-//! ([`LinkOracle::crash_at`], queried once per vertex at start). Events
-//! addressed to a crashed vertex — deliveries and timer fires alike —
-//! are silently consumed. Local timers
+//! never enqueued) and toggle vertices between alive and crashed at
+//! chosen times ([`LinkOracle::churn_plan`], queried once per vertex at
+//! start — the crash-stop special case is a single-toggle plan derived
+//! from [`LinkOracle::crash_at`]). Events addressed to a crashed vertex
+//! — deliveries and timer fires alike — are consumed as dead events. A
+//! rejoin toggle restarts the vertex with a *fresh* protocol state:
+//! `on_start` runs again at the rejoin instant, timers armed by earlier
+//! incarnations are retired behind a per-vertex floor, and in-flight
+//! messages arriving at or after the rejoin reach the fresh state.
+//! Edge weights may also drift mid-run ([`LinkOracle::drift_plan`]):
+//! from a revision's instant onward, delay clamping, cost metering and
+//! [`Context::weight_of`](crate::Context::weight_of) all see the new
+//! weight. Local timers
 //! ([`Context::set_timer`](crate::Context::set_timer) /
 //! [`Process::on_timer`]) share the event queue and its deterministic
 //! `(time, seq)` order but are free: they meter no communication and a
@@ -65,7 +74,7 @@ use crate::process::{Context, Process, TimerId};
 use crate::queue::{BucketQueue, HeapQueue, QueueEntry};
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceEvent};
-use csp_graph::{Cost, EdgeId, NodeId, WeightedGraph};
+use csp_graph::{Cost, EdgeId, NodeId, Weight, WeightedGraph};
 use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
@@ -135,13 +144,17 @@ pub(crate) struct Delivery<M> {
     pub(crate) edge: EdgeId,
 }
 
-/// One scheduled occurrence: a message delivery or a local timer fire.
-/// Timers ride the same `(time, seq)` queue as messages, so the merged
-/// order is deterministic.
+/// One scheduled occurrence: a message delivery, a local timer fire, or
+/// a scheduled rejoin of a churned vertex. All three ride the same
+/// `(time, seq)` queue, so the merged order is deterministic. Rejoins
+/// are pushed at time zero with the lowest sequence numbers, so on a
+/// time tie the restart runs before anything else at that instant and
+/// messages arriving exactly then reach the fresh state.
 #[derive(Clone, Copy, Debug)]
 pub(crate) enum Event<M> {
     Msg(Delivery<M>),
     Timer { node: NodeId, id: u64 },
+    Rejoin { node: NodeId },
 }
 
 /// The scheduling queue behind [`EventCore`], dispatched by [`CoreKind`].
@@ -332,9 +345,31 @@ struct Machine<P: Process> {
     events: u64,
     outbox: Vec<(NodeId, P::Msg, CostClass)>,
     out_edges: Vec<EdgeId>,
-    /// Adversary-chosen crash time per vertex (`None` = never), filled
-    /// once from [`LinkOracle::crash_at`] before time zero.
-    crash: Vec<Option<SimTime>>,
+    /// Adversary-chosen churn plan per vertex — strictly increasing
+    /// toggle times alternating crash / rejoin / crash / …, filled once
+    /// from [`LinkOracle::churn_plan`] before time zero. Empty = the
+    /// vertex never churns; a single entry is classic crash-stop.
+    churn: Vec<Vec<SimTime>>,
+    /// Fresh states for scheduled rejoins, per vertex, stored earliest
+    /// rejoin *last* so execution pops them in rejoin order. Fabricated
+    /// by the same `make` closure as the primary states, right after
+    /// them, so construction order is deterministic.
+    rejoin_states: Vec<Vec<P>>,
+    /// Per-vertex timer-id floor: ids below it belong to a previous
+    /// incarnation and are consumed as dead events at pop time. Bumped
+    /// to the vertex's current timer seq at each rejoin.
+    timer_floor: Vec<u64>,
+    /// Adversary-chosen weight revisions, sorted by revision time
+    /// (stable, so same-time revisions apply in plan order), filled once
+    /// from [`LinkOracle::drift_plan`] before time zero.
+    drift_plan: Vec<(EdgeId, SimTime, Weight)>,
+    /// First entry of `drift_plan` not yet applied to `eff`.
+    drift_cursor: usize,
+    /// Effective weight per edge — the graph's static weights with every
+    /// revision at or before the current instant applied. Dispatch
+    /// meters and clamps against this table, and handlers observe it
+    /// through [`Context::weight_of`](crate::Context::weight_of).
+    eff: Vec<Weight>,
     /// Per-vertex metered-send count — the `msg_base` of the vertex's
     /// next handler. Advances exactly when [`CostReport::messages`]
     /// does, but per sender, so token assignment depends only on the
@@ -361,7 +396,12 @@ impl<P: Process> Machine<P> {
             events: 0,
             outbox: Vec::new(),
             out_edges: Vec::new(),
-            crash: Vec::new(),
+            churn: Vec::new(),
+            rejoin_states: Vec::new(),
+            timer_floor: Vec::new(),
+            drift_plan: Vec::new(),
+            drift_cursor: 0,
+            eff: Vec::new(),
             node_msg_seq: Vec::new(),
             node_timer_seq: Vec::new(),
             cancelled: HashSet::new(),
@@ -370,12 +410,33 @@ impl<P: Process> Machine<P> {
         }
     }
 
-    /// Whether `node` is dead at time `now` (crashes take effect at
-    /// their chosen instant inclusive, so a crash at 0 even suppresses
-    /// `on_start`).
+    /// Whether `node` is dead at time `now`: an odd number of churn
+    /// toggles has taken effect. Toggles take effect at their chosen
+    /// instant inclusive, so a crash at 0 even suppresses `on_start`.
     #[inline]
     fn crashed(&self, node: NodeId, now: SimTime) -> bool {
-        self.crash[node.index()].is_some_and(|t| now >= t)
+        self.churn[node.index()]
+            .iter()
+            .take_while(|&&t| now >= t)
+            .count()
+            % 2
+            == 1
+    }
+
+    /// Applies every weight revision at or before `now` to the effective
+    /// table. Called once per popped event (and before the time-zero
+    /// starts), so every handler and dispatch at time `t` sees exactly
+    /// the revisions with time ≤ `t` — the same rule the sharded runtime
+    /// applies per tick.
+    #[inline]
+    fn advance_drift(&mut self, now: SimTime) {
+        while let Some(&(e, t, w)) = self.drift_plan.get(self.drift_cursor) {
+            if t > now {
+                break;
+            }
+            self.eff[e.index()] = w;
+            self.drift_cursor += 1;
+        }
     }
 
     /// Drains the handler outbox into scheduled deliveries: budget check,
@@ -398,7 +459,9 @@ impl<P: Process> Machine<P> {
                 self.truncated = true;
                 continue;
             }
-            let w = g.weight(eid);
+            // Metering, clamping and the oracle's view all use the
+            // *effective* weight — drift is visible from its instant on.
+            let w = self.eff[eid.index()];
             let index = self.cost.messages;
             self.cost.record_send(eid, w, class);
             // Per-sender token counter moves in lock-step with the
@@ -506,10 +569,11 @@ impl<P: Process + Clone> Capture<P> for CheckpointCapture<'_, P> {
 /// that index are already baked into the snapshot's queue, so the
 /// resuming oracle is never asked about them. Index-addressed oracles
 /// (like `csp-adversary`'s schedule replay) satisfy this by
-/// construction; stateful randomized oracles in general do not. Crash
-/// times are part of the snapshot: a resume never queries
-/// [`LinkOracle::crash_at`], so the resuming oracle cannot change who
-/// crashes.
+/// construction; stateful randomized oracles in general do not. Churn
+/// plans, stashed rejoin states and the drift plan are part of the
+/// snapshot: a resume never queries [`LinkOracle::churn_plan`] or
+/// [`LinkOracle::drift_plan`], so the resuming oracle cannot change who
+/// churns or how weights move.
 #[derive(Clone, Debug)]
 pub struct Checkpoint<P: Process> {
     messages: u64,
@@ -525,7 +589,12 @@ pub struct Checkpoint<P: Process> {
     free: Vec<usize>,
     fifo_floor: Vec<SimTime>,
     seq: u64,
-    crash: Vec<Option<SimTime>>,
+    churn: Vec<Vec<SimTime>>,
+    rejoin_states: Vec<Vec<P>>,
+    timer_floor: Vec<u64>,
+    drift_plan: Vec<(EdgeId, SimTime, Weight)>,
+    drift_cursor: usize,
+    eff: Vec<Weight>,
     node_msg_seq: Vec<u64>,
     node_timer_seq: Vec<u64>,
     cancelled: HashSet<(NodeId, u64)>,
@@ -545,7 +614,12 @@ impl<P: Process + Clone> Checkpoint<P> {
             free: m.core.free.clone(),
             fifo_floor: m.core.fifo_floor.clone(),
             seq: m.core.seq,
-            crash: m.crash.clone(),
+            churn: m.churn.clone(),
+            rejoin_states: m.rejoin_states.clone(),
+            timer_floor: m.timer_floor.clone(),
+            drift_plan: m.drift_plan.clone(),
+            drift_cursor: m.drift_cursor,
+            eff: m.eff.clone(),
             node_msg_seq: m.node_msg_seq.clone(),
             node_timer_seq: m.node_timer_seq.clone(),
             cancelled: m.cancelled.clone(),
@@ -845,7 +919,12 @@ impl<'g> Simulator<'g> {
             events: cp.events,
             outbox: Vec::new(),
             out_edges: Vec::new(),
-            crash: cp.crash.clone(),
+            churn: cp.churn.clone(),
+            rejoin_states: cp.rejoin_states.clone(),
+            timer_floor: cp.timer_floor.clone(),
+            drift_plan: cp.drift_plan.clone(),
+            drift_cursor: cp.drift_cursor,
+            eff: cp.eff.clone(),
             node_msg_seq: cp.node_msg_seq.clone(),
             node_timer_seq: cp.node_timer_seq.clone(),
             cancelled: cp.cancelled.clone(),
@@ -935,7 +1014,12 @@ impl<'g> Simulator<'g> {
         m.events = cp.events;
         m.outbox.clear();
         m.out_edges.clear();
-        m.crash.clone_from(&cp.crash);
+        m.churn.clone_from(&cp.churn);
+        m.rejoin_states.clone_from(&cp.rejoin_states);
+        m.timer_floor.clone_from(&cp.timer_floor);
+        m.drift_plan.clone_from(&cp.drift_plan);
+        m.drift_cursor = cp.drift_cursor;
+        m.eff.clone_from(&cp.eff);
         m.node_msg_seq.clone_from(&cp.node_msg_seq);
         m.node_timer_seq.clone_from(&cp.node_timer_seq);
         m.cancelled.clone_from(&cp.cancelled);
@@ -962,7 +1046,12 @@ impl<'g> Simulator<'g> {
                 m.events = 0;
                 m.outbox.clear();
                 m.out_edges.clear();
-                m.crash.clear();
+                m.churn.clear();
+                m.rejoin_states.clear();
+                m.timer_floor.clear();
+                m.drift_plan.clear();
+                m.drift_cursor = 0;
+                m.eff.clear();
                 m.node_msg_seq.clear();
                 m.node_timer_seq.clear();
                 m.cancelled.clear();
@@ -975,9 +1064,11 @@ impl<'g> Simulator<'g> {
         }
     }
 
-    /// Time zero: queries crash times, constructs per-vertex states and
-    /// runs every [`Process::on_start`] (crashed-at-zero vertices
-    /// excepted), dispatching what they send and arm.
+    /// Time zero: queries churn and drift plans, constructs per-vertex
+    /// states (plus a fresh state per scheduled rejoin), schedules the
+    /// rejoin events, and runs every [`Process::on_start`]
+    /// (crashed-at-zero vertices excepted), dispatching what they send
+    /// and arm.
     fn start<P, F, O>(&self, m: &mut Machine<P>, mut make: F, oracle: &mut O)
     where
         P: Process,
@@ -988,10 +1079,46 @@ impl<'g> Simulator<'g> {
         m.states.extend(g.nodes().map(|v| make(v, g)));
         m.node_msg_seq.resize(g.node_count(), 0);
         m.node_timer_seq.resize(g.node_count(), 0);
-        // Crash times are fixed before any handler runs, in vertex
-        // order, so the oracle's query sequence is deterministic.
-        m.crash.extend(g.nodes().map(|v| oracle.crash_at(v)));
-        m.cost.crashed_nodes = m.crash.iter().filter(|c| c.is_some()).count() as u64;
+        m.timer_floor.resize(g.node_count(), 0);
+        // Churn and drift plans are fixed before any handler runs, in
+        // vertex order, so the oracle's query sequence is deterministic.
+        for v in g.nodes() {
+            let plan = oracle.churn_plan(v);
+            assert!(
+                plan.windows(2).all(|w| w[0] < w[1]),
+                "churn plan for {v} must be strictly increasing"
+            );
+            m.churn.push(plan);
+        }
+        m.drift_plan = oracle.drift_plan();
+        // Stable by time: same-instant revisions apply in plan order.
+        m.drift_plan.sort_by_key(|&(_, t, _)| t);
+        // Fault meters are assigned up front, whether or not the run
+        // lives long enough to reach every scheduled toggle.
+        m.cost.crashed_nodes = m.churn.iter().filter(|p| !p.is_empty()).count() as u64;
+        m.cost.recoveries = m.churn.iter().map(|p| (p.len() / 2) as u64).sum();
+        m.cost.weight_revisions = m.drift_plan.len() as u64;
+        // Effective weights start from the static table; revisions at
+        // time 0 take hold before any on_start runs.
+        m.eff.extend(g.edge_ids().map(|e| g.weight(e)));
+        m.advance_drift(SimTime::ZERO);
+        // Fresh states for every scheduled rejoin — fabricated by the
+        // same closure, in vertex order then rejoin order (stored
+        // reversed so execution pops the earliest first).
+        m.rejoin_states.resize_with(g.node_count(), Vec::new);
+        for v in g.nodes() {
+            let rejoins = m.churn[v.index()].len() / 2;
+            let stash: Vec<P> = (0..rejoins).map(|_| make(v, g)).collect();
+            m.rejoin_states[v.index()].extend(stash.into_iter().rev());
+        }
+        // Rejoin events are pushed before any dispatch, so they hold the
+        // lowest queue seqs and win pop-order ties at their instant.
+        for v in g.nodes() {
+            for i in (1..m.churn[v.index()].len()).step_by(2) {
+                let at = m.churn[v.index()][i];
+                m.core.push(at, Event::Rejoin { node: v });
+            }
+        }
         for v in g.nodes() {
             if m.crashed(v, SimTime::ZERO) {
                 continue;
@@ -1010,7 +1137,8 @@ impl<'g> Simulator<'g> {
                 cancels,
                 m.node_msg_seq[v.index()],
                 m.node_timer_seq[v.index()],
-            );
+            )
+            .with_weights(&m.eff);
             m.states[v.index()].on_start(&mut ctx);
             (m.outbox, m.out_edges, m.timers, m.cancels) = ctx.into_parts();
             m.dispatch(g, self.comm_limit, v, SimTime::ZERO, oracle);
@@ -1046,17 +1174,28 @@ impl<'g> Simulator<'g> {
             let Some((now, event)) = m.core.pop() else {
                 break;
             };
-            // Route the pop: cancelled timers and events addressed to a
-            // dead vertex vanish here, before any meter moves. `Ok` is
-            // a message delivery, `Err` a live timer fire.
+            // Weight revisions with time ≤ now take hold before the
+            // event is handled, so everything at this instant — handler
+            // observation, delay clamping, metering — sees them.
+            m.advance_drift(now);
+            // Route the pop: cancelled timers, stale timers from a
+            // pre-rejoin incarnation, and events addressed to a dead
+            // vertex vanish here, before any handler runs. `Some(Ok)`
+            // is a message delivery, `Some(Err)` a live timer fire,
+            // `None` a scheduled rejoin.
             let (node, fire) = match event {
-                Event::Msg(d) => (d.to, Ok(d)),
+                Event::Msg(d) => (d.to, Some(Ok(d))),
                 Event::Timer { node, id } => {
                     if m.cancelled.remove(&(node, id)) {
                         continue;
                     }
-                    (node, Err(id))
+                    if id < m.timer_floor[node.index()] {
+                        m.cost.dead_events += 1;
+                        continue;
+                    }
+                    (node, Some(Err(id)))
                 }
+                Event::Rejoin { node } => (node, None),
             };
             if m.crashed(node, now) {
                 m.cost.dead_events += 1;
@@ -1068,6 +1207,18 @@ impl<'g> Simulator<'g> {
                 return Err(SimError::EventLimitExceeded {
                     limit: self.event_limit,
                 });
+            }
+            if fire.is_none() {
+                // Rejoin: the vertex restarts with the stashed fresh
+                // state, and every timer id armed by the previous
+                // incarnation drops behind the floor. Message and timer
+                // seqs keep counting — tokens and ids are per vertex,
+                // not per incarnation.
+                let fresh = m.rejoin_states[node.index()]
+                    .pop()
+                    .expect("a fresh state was stashed per scheduled rejoin");
+                m.states[node.index()] = fresh;
+                m.timer_floor[node.index()] = m.node_timer_seq[node.index()];
             }
             let outbox = std::mem::take(&mut m.outbox);
             let out_edges = std::mem::take(&mut m.out_edges);
@@ -1083,12 +1234,13 @@ impl<'g> Simulator<'g> {
                 cancels,
                 m.node_msg_seq[node.index()],
                 m.node_timer_seq[node.index()],
-            );
+            )
+            .with_weights(&m.eff);
             match fire {
-                Ok(d) => {
+                Some(Ok(d)) => {
                     // Completion time is the last *delivered message*;
-                    // timer fires are local and free.
-                    m.cost.completion = m.cost.completion.max(now);
+                    // timer fires and rejoins are local and free.
+                    m.cost.record_delivery(now, d.class);
                     if self.trace_cap > 0 {
                         m.trace.push(TraceEvent {
                             from: d.from,
@@ -1101,7 +1253,8 @@ impl<'g> Simulator<'g> {
                     }
                     m.states[node.index()].on_message(d.from, d.msg, &mut ctx);
                 }
-                Err(id) => m.states[node.index()].on_timer(TimerId(id), &mut ctx),
+                Some(Err(id)) => m.states[node.index()].on_timer(TimerId(id), &mut ctx),
+                None => m.states[node.index()].on_start(&mut ctx),
             }
             (m.outbox, m.out_edges, m.timers, m.cancels) = ctx.into_parts();
             m.dispatch(g, self.comm_limit, node, now, oracle);
@@ -1649,6 +1802,206 @@ mod checkpoint_tests {
         assert_eq!(marks, vec![10, 20, 30, 40]);
         assert!(cps.windows(2).all(|w| w[0].events() < w[1].events()));
         assert!(cps[0].completion() > SimTime::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod churn_tests {
+    use super::*;
+    use crate::delay::ChurnOracle;
+    use csp_graph::generators;
+
+    /// Greets the peer once per incarnation: every `on_start` sends one
+    /// message to the other endpoint of a 2-path.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct Hello {
+        received: u32,
+    }
+
+    impl Process for Hello {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            let peer = NodeId::new(1 - ctx.self_id().index());
+            ctx.send(peer, 1);
+        }
+        fn on_message(&mut self, _from: NodeId, _msg: u32, _ctx: &mut Context<'_, u32>) {
+            self.received += 1;
+        }
+    }
+
+    fn hello_oracle(plan: Vec<SimTime>) -> ChurnOracle<ModelOracle> {
+        ChurnOracle::new(
+            ModelOracle::new(DelayModel::WorstCase, 0),
+            vec![(NodeId::new(1), plan)],
+            Vec::new(),
+        )
+    }
+
+    #[test]
+    fn rejoin_restarts_with_fresh_state() {
+        let g = generators::path(2, |_| 5);
+        for kind in [CoreKind::Bucket, CoreKind::Heap] {
+            // Vertex 1 crashes at 3 and rejoins at 10. Its own greeting
+            // (sent at 0) lands at vertex 0; vertex 0's greeting arrives
+            // at 5 into the dead window; the rejoined incarnation greets
+            // again at 10, landing at 15.
+            let mut sim = Simulator::new(&g);
+            sim.core(kind);
+            let run = sim
+                .run_with_oracle(
+                    &mut hello_oracle(vec![SimTime::new(3), SimTime::new(10)]),
+                    |_, _| Hello { received: 0 },
+                )
+                .unwrap();
+            assert_eq!(run.states[0].received, 2, "original + rejoin greeting");
+            assert_eq!(run.states[1].received, 0, "fresh state saw nothing");
+            assert_eq!(run.cost.messages, 3);
+            assert_eq!(run.cost.weighted_comm, Cost::new(15));
+            assert_eq!(run.cost.completion, SimTime::new(15));
+            assert_eq!(run.cost.dead_events, 1);
+            assert_eq!(run.cost.crashed_nodes, 1);
+            assert_eq!(run.cost.recoveries, 1);
+            assert_eq!(run.cost.weight_revisions, 0);
+        }
+    }
+
+    #[test]
+    fn crash_rejoin_recrash_sequences_execute() {
+        let g = generators::path(2, |_| 5);
+        // Crash at 2, rejoin at 6, crash again at 9: the rejoined
+        // incarnation still gets its greeting out (arrives at 11), and
+        // vertex 0's greeting dies in the first dead window.
+        let run = Simulator::new(&g)
+            .run_with_oracle(
+                &mut hello_oracle(vec![SimTime::new(2), SimTime::new(6), SimTime::new(9)]),
+                |_, _| Hello { received: 0 },
+            )
+            .unwrap();
+        assert_eq!(run.states[0].received, 2);
+        assert_eq!(run.cost.messages, 3);
+        assert_eq!(run.cost.dead_events, 1);
+        assert_eq!(run.cost.crashed_nodes, 1);
+        assert_eq!(run.cost.recoveries, 1);
+        assert_eq!(run.cost.completion, SimTime::new(11));
+    }
+
+    /// Arms one long timer per incarnation and counts the fires.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct Alarm {
+        fired: u32,
+    }
+
+    impl Process for Alarm {
+        type Msg = ();
+        fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+            ctx.set_timer(100);
+        }
+        fn on_message(&mut self, _f: NodeId, _m: (), _ctx: &mut Context<'_, ()>) {}
+        fn on_timer(&mut self, _id: TimerId, _ctx: &mut Context<'_, ()>) {
+            self.fired += 1;
+        }
+    }
+
+    #[test]
+    fn stale_timers_die_behind_the_floor() {
+        let g = generators::path(2, |_| 1);
+        // Vertex 0 crashes at 2 and rejoins at 4: the incarnation-0
+        // timer (due at 100) is stale when it fires and must be
+        // consumed as a dead event, not delivered to the fresh state.
+        let mut oracle = ChurnOracle::new(
+            ModelOracle::new(DelayModel::WorstCase, 0),
+            vec![(NodeId::new(0), vec![SimTime::new(2), SimTime::new(4)])],
+            Vec::new(),
+        );
+        let run = Simulator::new(&g)
+            .run_with_oracle(&mut oracle, |_, _| Alarm { fired: 0 })
+            .unwrap();
+        assert_eq!(run.states[0].fired, 1, "only the fresh incarnation's timer");
+        assert_eq!(run.states[1].fired, 1);
+        assert_eq!(run.cost.dead_events, 1, "the stale timer died at the floor");
+        // Timer fires never move completion.
+        assert_eq!(run.cost.completion, SimTime::ZERO);
+    }
+
+    /// Same shape as the main suite's ping-pong (private to its module).
+    #[derive(Clone)]
+    struct PingPong {
+        rounds: u32,
+        received: u32,
+    }
+
+    impl Process for PingPong {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            if ctx.self_id() == NodeId::new(0) && self.rounds > 0 {
+                ctx.send(NodeId::new(1), 1);
+            }
+        }
+        fn on_message(&mut self, from: NodeId, msg: u32, ctx: &mut Context<'_, u32>) {
+            self.received += 1;
+            if msg < self.rounds {
+                ctx.send(from, msg + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn drift_moves_metering_and_delays_from_its_instant() {
+        let g = generators::path(2, |_| 5);
+        let oracle = || {
+            ChurnOracle::new(
+                ModelOracle::new(DelayModel::WorstCase, 0),
+                Vec::new(),
+                vec![(EdgeId::new(0), SimTime::new(3), Weight::new(2))],
+            )
+        };
+        for kind in [CoreKind::Bucket, CoreKind::Heap] {
+            // Ping-pong of 4 messages: the first is priced and delayed
+            // at weight 5 (sent at 0, before the revision); the
+            // remaining three are sent at 5, 7 and 9 under weight 2.
+            let mut sim = Simulator::new(&g);
+            sim.core(kind);
+            let run = sim
+                .run_with_oracle(&mut oracle(), |_, _| PingPong {
+                    rounds: 4,
+                    received: 0,
+                })
+                .unwrap();
+            assert_eq!(run.cost.messages, 4);
+            assert_eq!(run.cost.weighted_comm, Cost::new(5 + 2 + 2 + 2));
+            assert_eq!(run.cost.completion, SimTime::new(11));
+            assert_eq!(run.cost.weight_revisions, 1);
+            assert_eq!(run.cost.recoveries, 0);
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_carries_churn_state() {
+        let g = generators::path(2, |_| 5);
+        let oracle = || {
+            ChurnOracle::new(
+                ModelOracle::new(DelayModel::WorstCase, 0),
+                vec![(NodeId::new(1), vec![SimTime::new(3), SimTime::new(10)])],
+                vec![(EdgeId::new(0), SimTime::new(12), Weight::new(2))],
+            )
+        };
+        let sim = Simulator::new(&g);
+        let cold = sim
+            .run_with_oracle(&mut oracle(), |_, _| Hello { received: 0 })
+            .unwrap();
+        let mut cps = Vec::new();
+        sim.run_with_checkpoints(&mut oracle(), |_, _| Hello { received: 0 }, 1, &mut cps)
+            .unwrap();
+        assert!(!cps.is_empty());
+        for cp in &cps {
+            // The resuming oracle is never asked about churn or drift —
+            // an oracle with *no* plans must still reproduce the run.
+            let resumed = sim
+                .resume(cp, &mut ModelOracle::new(DelayModel::WorstCase, 0))
+                .unwrap();
+            assert_eq!(resumed.cost, cold.cost, "at checkpoint {}", cp.messages());
+            assert_eq!(resumed.states, cold.states);
+        }
     }
 }
 

@@ -36,8 +36,9 @@
 //! oracle sees the same query sequence, a sharded run is **bit
 //! identical** to [`Simulator`] — costs, trace, final states and fault
 //! meters — under all oracles, including schedule replay, drops,
-//! crashes and timers. `tests/shard_differential.rs` pins this across
-//! shard counts {1, 2, 4, 8} and both queue kinds.
+//! crashes, rejoins, weight drift and timers.
+//! `tests/shard_differential.rs` pins this across shard counts
+//! {1, 2, 4, 8} and both queue kinds.
 //!
 //! The one exception is [`Simulator::comm_limit`]: truncation stops the
 //! sequential loop *mid-tick*, which a whole-tick parallel phase cannot
@@ -52,7 +53,7 @@ use crate::queue::BucketQueue;
 use crate::runtime::{CoreKind, Delivery, Event, Queue, Run, SimError, Simulator};
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceEvent};
-use csp_graph::{NodeId, WeightedGraph};
+use csp_graph::{EdgeId, NodeId, Weight, WeightedGraph};
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -190,6 +191,19 @@ struct Shard<P: Process> {
     node_msg_seq: Vec<u64>,
     /// Per-vertex next timer id, local idx.
     node_timer_seq: Vec<u64>,
+    /// Per-vertex timer-id floor (local idx): ids below it belong to a
+    /// pre-rejoin incarnation and are consumed as dead events.
+    timer_floor: Vec<u64>,
+    /// Stashed fresh states for scheduled rejoins (local idx), earliest
+    /// rejoin last — mirrors the sequential machine's stash.
+    rejoin_states: Vec<Vec<P>>,
+    /// This shard's copy of the effective weight table, advanced to the
+    /// current tick at the top of phase B so handlers observe drift
+    /// through [`Context::weight_of`](crate::Context::weight_of)
+    /// exactly as they would sequentially.
+    eff: Vec<Weight>,
+    /// First drift revision not yet applied to `eff`.
+    drift_cursor: usize,
     cancelled: HashSet<(NodeId, u64)>,
     dead_events: u64,
     // Recycled handler buffers (same role as the sequential Machine's).
@@ -223,6 +237,10 @@ impl<P: Process> Shard<P> {
             floors: Vec::new(),
             node_msg_seq: Vec::new(),
             node_timer_seq: Vec::new(),
+            timer_floor: Vec::new(),
+            rejoin_states: Vec::new(),
+            eff: Vec::new(),
+            drift_cursor: 0,
             cancelled: HashSet::new(),
             dead_events: 0,
             outbox: Vec::new(),
@@ -262,10 +280,43 @@ struct Global<'o, O: ?Sized> {
     cost: CostReport,
     trace: Trace,
     /// Next global push sequence number — mirrors the sequential core's
-    /// `seq`, incremented per enqueued delivery/timer.
+    /// `seq`, incremented per enqueued delivery/timer/rejoin.
     seq: u64,
     events: u64,
     err: Option<SimError>,
+    /// The leader's copy of the effective weight table — metering and
+    /// delay clamping in the serial section use it, advanced to the
+    /// tick at the top of [`serial_dispatch`].
+    eff: Vec<Weight>,
+    /// First drift revision not yet applied to `eff`.
+    drift_cursor: usize,
+}
+
+/// Applies every revision of `drift` (sorted by time) at or before
+/// `now` to an effective-weight table. Each copy of the table — the
+/// leader's and each shard's — is advanced independently but through
+/// this same monotone walk, so all of them agree at any given tick.
+fn advance_drift(
+    eff: &mut [Weight],
+    cursor: &mut usize,
+    drift: &[(EdgeId, SimTime, Weight)],
+    now: SimTime,
+) {
+    while let Some(&(e, t, w)) = drift.get(*cursor) {
+        if t > now {
+            break;
+        }
+        eff[e.index()] = w;
+        *cursor += 1;
+    }
+}
+
+/// Whether `v` is dead at `now` under its churn plan: an odd number of
+/// toggles has taken effect (toggle instants inclusive) — the same
+/// parity rule as the sequential machine's `crashed`.
+#[inline]
+fn churned_dead(churn: &[Vec<SimTime>], v: NodeId, now: SimTime) -> bool {
+    churn[v.index()].iter().take_while(|&&t| now >= t).count() % 2 == 1
 }
 
 /// Drop-in parallel variant of [`Simulator`] executing one run across
@@ -501,7 +552,30 @@ impl<'g> ShardedSimulator<'g> {
             }
         }
 
-        // ---- Time zero, serial: states, crash times, on_start. ----
+        // ---- Time zero, serial: states, churn/drift plans, on_start. ----
+        for v in g.nodes() {
+            let p = make(v, g);
+            shards[plan.shard_of(v)].states.push(p);
+        }
+        // Plans are queried in the sequential core's exact order —
+        // churn per vertex, then drift once — so a recording oracle
+        // sees an identical stream.
+        let churn: Vec<Vec<SimTime>> = g
+            .nodes()
+            .map(|v| {
+                let plan = oracle.churn_plan(v);
+                assert!(
+                    plan.windows(2).all(|w| w[0] < w[1]),
+                    "churn plan for {v} must be strictly increasing"
+                );
+                plan
+            })
+            .collect();
+        let mut drift = oracle.drift_plan();
+        drift.sort_by_key(|&(_, t, _)| t);
+        let mut eff0: Vec<Weight> = g.edge_ids().map(|e| g.weight(e)).collect();
+        let mut applied0 = 0usize;
+        advance_drift(&mut eff0, &mut applied0, &drift, SimTime::ZERO);
         let mut global = Global {
             oracle,
             cost: CostReport::new(g.edge_count()),
@@ -509,21 +583,44 @@ impl<'g> ShardedSimulator<'g> {
             seq: 0,
             events: 0,
             err: None,
+            eff: eff0.clone(),
+            drift_cursor: applied0,
         };
-        for v in g.nodes() {
-            let p = make(v, g);
-            shards[plan.shard_of(v)].states.push(p);
+        global.cost.crashed_nodes = churn.iter().filter(|p| !p.is_empty()).count() as u64;
+        global.cost.recoveries = churn.iter().map(|p| (p.len() / 2) as u64).sum();
+        global.cost.weight_revisions = drift.len() as u64;
+        for shard in &mut shards {
+            shard.eff = eff0.clone();
+            shard.drift_cursor = applied0;
+            shard.timer_floor = vec![0; shard.nodes.len()];
+            shard.rejoin_states.resize_with(shard.nodes.len(), Vec::new);
         }
-        let crash: Vec<Option<SimTime>> = g.nodes().map(|v| global.oracle.crash_at(v)).collect();
-        global.cost.crashed_nodes = crash.iter().filter(|c| c.is_some()).count() as u64;
-        let crashed = |v: NodeId, now: SimTime| crash[v.index()].is_some_and(|t| now >= t);
+        // Fresh rejoin states, fabricated in the sequential order:
+        // vertex order then rejoin order, stored reversed per vertex.
         for v in g.nodes() {
-            if crashed(v, SimTime::ZERO) {
+            let rejoins = churn[v.index()].len() / 2;
+            let stash: Vec<P> = (0..rejoins).map(|_| make(v, g)).collect();
+            let (s, li) = (plan.shard_of(v), local_of[v.index()] as usize);
+            shards[s].rejoin_states[li].extend(stash.into_iter().rev());
+        }
+        // Rejoin events take the lowest global seqs — pushed before any
+        // dispatch, exactly like the sequential core, so they win
+        // pop-order ties at their instant.
+        for v in g.nodes() {
+            for i in (1..churn[v.index()].len()).step_by(2) {
+                let at = churn[v.index()][i];
+                let seq = global.seq;
+                global.seq += 1;
+                shards[plan.shard_of(v)].push(at.get(), seq, Event::Rejoin { node: v });
+            }
+        }
+        for v in g.nodes() {
+            if churned_dead(&churn, v, SimTime::ZERO) {
                 continue;
             }
             let s = plan.shard_of(v);
             let li = local_of[v.index()] as usize;
-            let mut ctx = Context::new(v, SimTime::ZERO, g);
+            let mut ctx = Context::new(v, SimTime::ZERO, g).with_weights(&global.eff);
             shards[s].states[li].on_start(&mut ctx);
             let (outbox, _out_edges, timers, cancels) = ctx.into_parts();
             // Sequential-order dispatch straight into the shard queues.
@@ -531,7 +628,7 @@ impl<'g> ShardedSimulator<'g> {
                 let eid = g
                     .edge_between(v, to)
                     .expect("context validated the neighbor");
-                let w = g.weight(eid);
+                let w = global.eff[eid.index()];
                 let index = global.cost.messages;
                 global.cost.record_send(eid, w, class);
                 shards[s].node_msg_seq[li] += 1;
@@ -612,7 +709,8 @@ impl<'g> ShardedSimulator<'g> {
                 let inbox = &inbox;
                 let channel_local = &channel_local;
                 let local_of = &local_of;
-                let crash = &crash;
+                let churn = &churn;
+                let drift = &drift;
                 let builder = std::thread::Builder::new().name(format!("csp-worker-{me}"));
                 let handle = builder
                     .spawn_scoped(scope, move || {
@@ -629,7 +727,7 @@ impl<'g> ShardedSimulator<'g> {
                             }
                             {
                                 let mut shard = shards[me].lock().unwrap();
-                                phase_b(&mut shard, g, local_of, crash, t);
+                                phase_b(&mut shard, g, local_of, churn, drift, t);
                             }
                             if !barrier.wait() {
                                 return;
@@ -642,6 +740,7 @@ impl<'g> ShardedSimulator<'g> {
                                     &mut guards,
                                     &mut global,
                                     g,
+                                    drift,
                                     t,
                                     trace_cap,
                                     event_limit,
@@ -726,7 +825,8 @@ fn phase_b<P: Process>(
     shard: &mut Shard<P>,
     g: &WeightedGraph,
     local_of: &[u32],
-    crash: &[Option<SimTime>],
+    churn: &[Vec<SimTime>],
+    drift: &[(EdgeId, SimTime, Weight)],
     t: u64,
 ) {
     shard.recs.clear();
@@ -735,24 +835,41 @@ fn phase_b<P: Process>(
     shard.decided.clear();
     shard.arm_seqs.clear();
     let now = SimTime::new(t);
+    // Revisions with time ≤ t take hold before any handler at this tick
+    // runs — the same visibility rule as the sequential pop loop.
+    advance_drift(&mut shard.eff, &mut shard.drift_cursor, drift, now);
     while shard.queue.next_time() == Some(t) {
         let (_, seq, slot) = shard.queue.pop().expect("peeked entry exists");
         let event = shard.slab[slot].take().expect("slab slot holds payload");
         shard.free.push(slot);
         let (node, fire) = match event {
-            Event::Msg(d) => (d.to, Ok(d)),
+            Event::Msg(d) => (d.to, Some(Ok(d))),
             Event::Timer { node, id } => {
                 if shard.cancelled.remove(&(node, id)) {
                     continue;
                 }
-                (node, Err(id))
+                if id < shard.timer_floor[local_of[node.index()] as usize] {
+                    shard.dead_events += 1;
+                    continue;
+                }
+                (node, Some(Err(id)))
             }
+            Event::Rejoin { node } => (node, None),
         };
-        if crash[node.index()].is_some_and(|ct| now >= ct) {
+        if churned_dead(churn, node, now) {
             shard.dead_events += 1;
             continue;
         }
         let li = local_of[node.index()] as usize;
+        if fire.is_none() {
+            // Rejoin: restart the vertex with its stashed fresh state
+            // and retire every timer id armed by earlier incarnations.
+            let fresh = shard.rejoin_states[li]
+                .pop()
+                .expect("a fresh state was stashed per scheduled rejoin");
+            shard.states[li] = fresh;
+            shard.timer_floor[li] = shard.node_timer_seq[li];
+        }
         let outbox = std::mem::take(&mut shard.outbox);
         let out_edges = std::mem::take(&mut shard.out_edges);
         let timers = std::mem::take(&mut shard.timers);
@@ -767,9 +884,10 @@ fn phase_b<P: Process>(
             cancels,
             shard.node_msg_seq[li],
             shard.node_timer_seq[li],
-        );
+        )
+        .with_weights(&shard.eff);
         let msg = match fire {
-            Ok(d) => {
+            Some(Ok(d)) => {
                 let meta = MsgMeta {
                     from: d.from,
                     edge: d.edge,
@@ -779,8 +897,12 @@ fn phase_b<P: Process>(
                 shard.states[li].on_message(d.from, d.msg, &mut ctx);
                 Some(meta)
             }
-            Err(id) => {
+            Some(Err(id)) => {
                 shard.states[li].on_timer(TimerId(id), &mut ctx);
+                None
+            }
+            None => {
+                shard.states[li].on_start(&mut ctx);
                 None
             }
         };
@@ -820,11 +942,13 @@ fn serial_dispatch<P: Process, O: LinkOracle + Send + ?Sized>(
     shards: &mut [impl std::ops::DerefMut<Target = Shard<P>>],
     global: &mut Global<'_, O>,
     g: &WeightedGraph,
+    drift: &[(EdgeId, SimTime, Weight)],
     t: u64,
     trace_cap: usize,
     event_limit: u64,
 ) {
     let now = SimTime::new(t);
+    advance_drift(&mut global.eff, &mut global.drift_cursor, drift, now);
     let mut cursor: Vec<usize> = vec![0; shards.len()];
     loop {
         let mut best: Option<(u64, usize)> = None;
@@ -847,7 +971,7 @@ fn serial_dispatch<P: Process, O: LinkOracle + Send + ?Sized>(
             return;
         }
         if let Some(meta) = &rec.msg {
-            global.cost.completion = global.cost.completion.max(now);
+            global.cost.record_delivery(now, meta.class);
             if trace_cap > 0 {
                 global.trace.push(TraceEvent {
                     from: meta.from,
@@ -863,7 +987,7 @@ fn serial_dispatch<P: Process, O: LinkOracle + Send + ?Sized>(
         for i in rec.sends.0 as usize..rec.sends.1 as usize {
             let (to, _, class, eid) = &shard.sends[i];
             let (to, class, eid) = (*to, *class, *eid);
-            let w = g.weight(eid);
+            let w = global.eff[eid.index()];
             let index = global.cost.messages;
             global.cost.record_send(eid, w, class);
             let dir = u8::from(g.edge(eid).u() != from);
@@ -1113,6 +1237,49 @@ mod tests {
         }
         assert!(seq.cost.drops > 0, "drop oracle should have dropped");
         assert_eq!(seq.cost.crashed_nodes, 2);
+    }
+
+    #[test]
+    fn rejoins_and_drift_match_sequential() {
+        use crate::delay::ChurnOracle;
+        let g = test_graph(32, 23);
+        let oracle = || {
+            ChurnOracle::new(
+                DropOracle::new(DelayModel::Uniform, 5, 0.1, 2),
+                vec![
+                    // Crash–rejoin, crash–rejoin–recrash, and plain
+                    // crash-stop, spread across shards.
+                    (NodeId::new(3), vec![SimTime::new(4), SimTime::new(12)]),
+                    (
+                        NodeId::new(10),
+                        vec![SimTime::new(2), SimTime::new(9), SimTime::new(15)],
+                    ),
+                    (NodeId::new(17), vec![SimTime::new(7)]),
+                ],
+                vec![
+                    (EdgeId::new(0), SimTime::new(5), Weight::new(3)),
+                    (EdgeId::new(1), SimTime::new(11), Weight::new(9)),
+                ],
+            )
+        };
+        let seq = Simulator::new(&g)
+            .record_trace(4096)
+            .run_with_oracle(&mut oracle(), Pulse::make(NodeId::new(0)))
+            .unwrap();
+        assert_eq!(seq.cost.recoveries, 2);
+        assert_eq!(seq.cost.weight_revisions, 2);
+        assert_eq!(seq.cost.crashed_nodes, 3);
+        for threads in [2usize, 4, 8] {
+            for kind in [CoreKind::Bucket, CoreKind::Heap] {
+                let par = ShardedSimulator::new(&g)
+                    .record_trace(4096)
+                    .threads(threads)
+                    .core(kind)
+                    .run_with_oracle(&mut oracle(), Pulse::make(NodeId::new(0)))
+                    .unwrap();
+                assert_runs_match(&seq, &par, &format!("churn k {threads} {kind:?}"));
+            }
+        }
     }
 
     #[test]

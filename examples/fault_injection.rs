@@ -139,8 +139,15 @@ fn main() {
     let failed_channels: usize = lossy.states.iter().map(|s| s.failed_channel_count()).sum();
     println!(
         "  fault meters: {} drops, {} crashed vertices, {} dead events, \
-         {} retransmissions, {} abandoned channels",
-        report.drops, report.crashed_nodes, report.dead_events, retransmissions, failed_channels
+         {} retransmissions, {} abandoned channels, {} recoveries, \
+         {} weight revisions",
+        report.drops,
+        report.crashed_nodes,
+        report.dead_events,
+        retransmissions,
+        failed_channels,
+        report.recoveries,
+        report.weight_revisions
     );
 
     // The reachability contract, asserted explicitly rather than read

@@ -18,16 +18,32 @@
 //! cargo run --release --example self_healing [-- out_dir]
 //! ```
 //!
+//! A churn phase then goes beyond crash-stop: the same victim is
+//! crashed, *rejoined* (fresh state — the survivors pay `Auxiliary`
+//! re-announcement traffic to pull the blank incarnation back into the
+//! Bellman fixpoint), and crashed again, forcing the detection-plus-
+//! healing bill twice. The chain grid honours the detector's contract
+//! (the rejoin waits out the victim's largest channel `θ(e)`, the
+//! recrash stays inside the guaranteed-detection window — anchored at
+//! its boundary, exactly where the clamped single-crash witness sits),
+//! and the winning chain must strictly out-bill the single-crash
+//! witness on weighted protocol traffic: completion alone cannot
+//! separate them, because both final crashes heal on the same
+//! detection clock.
+//!
 //! The committed `tests/schedules/resilient-spt-gnp-n12.schedule`
-//! (delay-only) and `tests/schedules/crash-resilient-spt-gnp-n12.schedule`
-//! (crash witness) were produced by this example; the `resilient_suite`
-//! integration tests replay them and pin the inequalities.
+//! (delay-only), `tests/schedules/crash-resilient-spt-gnp-n12.schedule`
+//! (crash witness) and
+//! `tests/schedules/churn-resilient-spt-gnp-n12.schedule`
+//! (crash–rejoin–recrash witness) were produced by this example; the
+//! `resilient_suite` and `churn_suite` integration tests replay them
+//! and pin the inequalities.
 
 use csp_adversary::{
-    find_worst_schedule, record, replay_report, shrink, Crash, Fallback, Schedule, ScheduleOracle,
-    SearchConfig,
+    find_worst_schedule, record, replay_report, shrink, Crash, Fallback, Rejoin, Schedule,
+    ScheduleOracle, SearchConfig,
 };
-use csp_algo::resilient::{Metric, Resilient};
+use csp_algo::resilient::{reconvergence_violation, Metric, Resilient, ResilientOutcome};
 use csp_graph::generators::{self, WeightDist};
 
 use csp_graph::{Cost, NodeId, WeightedGraph};
@@ -57,6 +73,38 @@ fn with_crashes(
 ) -> (SimTime, Cost, Schedule) {
     let mut candidate = base.clone();
     candidate.crashes = crashes;
+    let (run, recorded) = record(
+        g,
+        make,
+        ScheduleOracle::new(&candidate),
+        Fallback::WorstCase,
+    );
+    (
+        run.cost.completion,
+        run.cost.comm_of(CostClass::Protocol),
+        recorded,
+    )
+}
+
+/// Replays `base` with `victim`'s churn chain replaced by `chain`
+/// (alternating crash/rejoin times, strictly increasing) and re-records
+/// the transcript.
+fn with_churn(
+    g: &WeightedGraph,
+    base: &Schedule,
+    victim: NodeId,
+    chain: &[u64],
+) -> (SimTime, Cost, Schedule) {
+    let mut candidate = base.clone();
+    candidate.crashes.retain(|c| c.node != victim);
+    candidate.rejoins.retain(|r| r.node != victim);
+    for (i, &at) in chain.iter().enumerate() {
+        if i % 2 == 0 {
+            candidate.crashes.push(Crash { node: victim, at });
+        } else {
+            candidate.rejoins.push(Rejoin { node: victim, at });
+        }
+    }
     let (run, recorded) = record(
         g,
         make,
@@ -230,8 +278,137 @@ fn main() {
     let (_, report) = replay_report::<Detect<Resilient>, _>(&g, make, &shrunk);
     assert_eq!(report.divergences, 0, "the witness must replay exactly");
     println!(
-        "  fault meters: {} drops, {} crashed vertices, {} dead events",
-        report.drops, report.crashed_nodes, report.dead_events
+        "  fault meters: {} drops, {} crashed vertices, {} dead events, \
+         {} recoveries, {} weight revisions",
+        report.drops,
+        report.crashed_nodes,
+        report.dead_events,
+        report.recoveries,
+        report.weight_revisions
+    );
+
+    // Churn beyond crash-stop: crash the victim, rejoin it, crash it
+    // again. The rejoin resurrects a *blank* incarnation the survivors
+    // must re-sync (Auxiliary traffic), and the recrash forces the
+    // whole detection-plus-healing bill a second time — strictly worse
+    // than any single crash of the same victim. The chain grid honours
+    // the detector's contract: the rejoin waits out the victim's
+    // largest channel θ(e) (every neighbor suspects before the
+    // resurrection) and the recrash stays inside the
+    // guaranteed-detection window.
+    let theta_max = g
+        .neighbors(witness_victim)
+        .map(|(_, _, w)| detector().theta(w.get()))
+        .max()
+        .expect("the victim has neighbors");
+    println!(
+        "churn search: crash-rejoin-recrash chains on vertex {} \
+         (theta_max {theta_max}, horizon {horizon}) ...",
+        witness_victim
+    );
+    // Both the witness crash and the chain's recrash are capped by the
+    // same guaranteed-detection window, so completion alone cannot
+    // separate them — the surviving component heals the final crash on
+    // the same clock either way. The chain's signature is *cost*: the
+    // first heal, the rejoin-era re-synchronisation and the second heal
+    // all bill weighted announcement traffic the single crash never
+    // pays. Anchor the recrash at the detection horizon (the most
+    // expensive admissible instant, exactly like the clamped witness)
+    // and pick the chain maximizing weighted protocol comm.
+    let mut best_churn: Option<(Cost, SimTime, Schedule)> = None;
+    for c2 in [horizon, horizon - 8, horizon - 16] {
+        for gap2 in [24, 48, 72] {
+            for gap1 in [theta_max + 1, theta_max + 17, theta_max + 33] {
+                let Some(rejoin_at) = c2.checked_sub(gap2) else {
+                    continue;
+                };
+                let Some(c1) = rejoin_at.checked_sub(gap1) else {
+                    continue;
+                };
+                if c1 == 0 {
+                    continue; // a time-0 crash heals nothing
+                }
+                let (t, comm, recorded) =
+                    with_churn(&g, &shrunk, witness_victim, &[c1, rejoin_at, c2]);
+                if best_churn.as_ref().is_none_or(|(bc, _, _)| comm > *bc) {
+                    best_churn = Some((comm, t, recorded));
+                }
+            }
+        }
+    }
+    let (churn_comm, churn_time, churn_schedule) = best_churn.expect("the churn grid is non-empty");
+    let churn_chain = churn_schedule.churn_of(witness_victim);
+    println!(
+        "  best chain {churn_chain:?}: protocol comm {churn_comm} \
+         (completion {churn_time}) vs single-crash witness {late_protocol} \
+         (completion {shrunk_time})"
+    );
+    assert!(
+        churn_comm > late_protocol,
+        "crash-rejoin-recrash must out-bill the best single-crash \
+         witness on weighted announcement traffic ({churn_comm} vs \
+         {late_protocol})"
+    );
+
+    // The churn witness replays faithfully, its meters record the
+    // recovery, and the healed run still satisfies the reconvergence
+    // contract: exact surviving-component routes, settled within the
+    // detector-derived horizon of the *last* churn event.
+    let (churn_run, churn_report) =
+        replay_report::<Detect<Resilient>, _>(&g, make, &churn_schedule);
+    assert_eq!(
+        churn_report.divergences, 0,
+        "the witness must replay exactly"
+    );
+    assert!(
+        churn_report.has_churn(),
+        "the witness churns beyond crash-stop"
+    );
+    println!(
+        "  churn meters: {} recoveries, {} weight revisions, auxiliary \
+         re-announcement comm {}",
+        churn_report.recoveries,
+        churn_report.weight_revisions,
+        churn_run.cost.comm_of(CostClass::Auxiliary)
+    );
+    let mut dead = vec![false; g.node_count()];
+    dead[witness_victim.index()] = true;
+    let churn_out = ResilientOutcome {
+        dists: churn_run.states.iter().map(|s| s.inner().dist()).collect(),
+        parents: churn_run
+            .states
+            .iter()
+            .map(|s| s.inner().parent())
+            .collect(),
+        suspected_links: churn_run
+            .states
+            .iter()
+            .map(|s| s.inner().dead_neighbor_count())
+            .sum(),
+        restored_links: churn_run
+            .states
+            .iter()
+            .map(|s| s.inner().restored_count())
+            .sum(),
+        retransmissions: 0,
+        failed_channels: 0,
+        cost: churn_run.cost.clone(),
+    };
+    let last_churn = *churn_chain.last().expect("the chain is non-empty");
+    let max_w = g.max_weight().get();
+    assert_eq!(
+        reconvergence_violation(
+            &g,
+            NodeId::new(0),
+            Metric::Weighted,
+            &dead,
+            SimTime::new(last_churn),
+            detector().detection_horizon(max_w),
+            &churn_out
+        ),
+        None,
+        "the churned run must reconverge to exact surviving-component \
+         routes within the detection horizon of the last churn event"
     );
 
     std::fs::create_dir_all(&out_dir).expect("create output directory");
@@ -262,9 +439,29 @@ fn main() {
             ],
         )
         .expect("write crash schedule");
+    let churn_path = out_dir.join("churn-resilient-spt-gnp-n12.schedule");
+    churn_schedule
+        .save(
+            &churn_path,
+            &[
+                "resilient-spt on gnp-n12 (crash-rejoin-recrash adversary)".to_string(),
+                format!(
+                    "single-crash protocol comm {} < with churn chain {:?}: {} \
+                     (completion {} vs {})",
+                    late_protocol, churn_chain, churn_comm, churn_time, shrunk_time
+                ),
+                format!(
+                    "{} recoveries, auxiliary re-sync comm {}",
+                    churn_report.recoveries,
+                    churn_run.cost.comm_of(CostClass::Auxiliary)
+                ),
+            ],
+        )
+        .expect("write churn schedule");
     println!(
-        "wrote {} and {}",
+        "wrote {}, {} and {}",
         delay_path.display(),
-        crash_path.display()
+        crash_path.display(),
+        churn_path.display()
     );
 }
